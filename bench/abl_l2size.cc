@@ -1,0 +1,57 @@
+/** Ablation A2 (Section 4.3): L2 capacity and L3 latency sweeps. */
+
+#include "bench_common.h"
+
+using namespace jasim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(std::cout, "Ablation: L2 Capacity / L3 Latency (4.3)",
+                  "Paper: the working set exceeds the L2; a bigger L2 "
+                  "or a lower-latency L3 would improve performance.");
+    const ExperimentConfig base =
+        bench::configFromArgs(argc, argv, 180.0);
+
+    TextTable l2_table(
+        {"L2 size", "CPI", "L1D misses from L2", "from L3", "from mem"});
+    for (const std::uint64_t kb : {768, 1536, 3072, 6144}) {
+        ExperimentConfig config = base;
+        config.window.hierarchy.l2 =
+            CacheGeometry{kb * 1024, 128, 12};
+        Experiment experiment(config);
+        const ExperimentResult r = experiment.run();
+        const auto shares = loadSourceShares(r.total);
+        l2_table.addRow(
+            {std::to_string(kb) + " KB",
+             TextTable::num(windowMean(r.windows, WindowMetric::Cpi),
+                            2),
+             TextTable::pct(shares[static_cast<std::size_t>(
+                                DataSource::L2)] *
+                            100.0),
+             TextTable::pct(shares[static_cast<std::size_t>(
+                                DataSource::L3)] *
+                            100.0),
+             TextTable::pct(shares[static_cast<std::size_t>(
+                                DataSource::Memory)] *
+                            100.0)});
+    }
+    l2_table.print(std::cout);
+
+    std::cout << "\n";
+    TextTable l3_table({"L3 latency (cycles)", "CPI"});
+    for (const Cycles lat : {60u, 100u, 160u, 240u}) {
+        ExperimentConfig config = base;
+        config.window.hierarchy.lat_l3 = lat;
+        Experiment experiment(config);
+        const ExperimentResult r = experiment.run();
+        l3_table.addRow(
+            {std::to_string(lat),
+             TextTable::num(windowMean(r.windows, WindowMetric::Cpi),
+                            2)});
+    }
+    l3_table.print(std::cout);
+    std::cout << "\nShape: CPI falls monotonically with a bigger L2 "
+                 "and a faster L3.\n";
+    return 0;
+}

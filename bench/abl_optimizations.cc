@@ -1,0 +1,92 @@
+/** Extensions: the two software/hardware optimizations the paper
+ *  proposes — devirtualizing indirect call sites (Section 4.2.1) and
+ *  an instruction-friendly L2 replacement policy (Section 4.3). */
+
+#include "bench_common.h"
+
+#include "hpm/events.h"
+
+using namespace jasim;
+
+namespace {
+
+struct OptResult
+{
+    double cpi = 0.0;
+    double mispredicts_per_kinst = 0.0; //!< indirect-target mispredicts
+    double ifetch_beyond_l2 = 0.0;      //!< I-fetches from L3/memory
+};
+
+OptResult
+runWith(ExperimentConfig config)
+{
+    Experiment experiment(config);
+    const ExperimentResult r = experiment.run();
+    OptResult out;
+    out.cpi = windowMean(r.windows, WindowMetric::Cpi);
+    const ExecStats &t = r.total;
+    out.mispredicts_per_kinst =
+        static_cast<double>(t.target_mispredict) /
+        static_cast<double>(t.completed) * 1000.0;
+    double deep = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < t.ifetch_from.size(); ++i) {
+        total += static_cast<double>(t.ifetch_from[i]);
+        const auto src = static_cast<DataSource>(i);
+        if (src == DataSource::L3 || src == DataSource::L3_5 ||
+            src == DataSource::Memory)
+            deep += static_cast<double>(t.ifetch_from[i]);
+    }
+    out.ifetch_beyond_l2 = total > 0 ? deep / total : 0.0;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(std::cout,
+                  "Ablation: Proposed Optimizations (4.2.1 / 4.3)",
+                  "Paper proposals: convert indirect call sites to "
+                  "relative branches (devirtualization); give "
+                  "instruction entries a lower eviction probability "
+                  "in the L2.");
+    const ExperimentConfig base =
+        bench::configFromArgs(argc, argv, 180.0);
+
+    TextTable table({"configuration", "CPI",
+                     "target mispred / 1k inst", "I-fetch from L3/mem"});
+    auto row = [&](const char *name, const OptResult &r) {
+        table.addRow({name, TextTable::num(r.cpi, 2),
+                      TextTable::num(r.mispredicts_per_kinst, 2),
+                      TextTable::pct(r.ifetch_beyond_l2 * 100.0, 3)});
+    };
+
+    row("baseline", runWith(base));
+
+    ExperimentConfig devirt = base;
+    devirt.window.devirtualized_fraction = 0.7;
+    row("devirtualize 70% of sites", runWith(devirt));
+
+    ExperimentConfig inst_friendly = base;
+    inst_friendly.window.hierarchy.l2_instruction_friendly = true;
+    row("instruction-friendly L2", runWith(inst_friendly));
+
+    ExperimentConfig both = base;
+    both.window.devirtualized_fraction = 0.7;
+    both.window.hierarchy.l2_instruction_friendly = true;
+    row("both", runWith(both));
+
+    table.print(std::cout);
+    std::cout << "\nReading: devirtualization removes indirect-target "
+                 "mispredictions roughly in proportion to the "
+                 "converted sites (the Section 4.2.1 proposal). The "
+                 "instruction-friendly L2 is a NEGATIVE result in this "
+                 "model: protecting instruction lines evicts hot data "
+                 "instead, and the simulated mix is more data- than "
+                 "instruction-bound at L2 -- the paper posed the "
+                 "policy as a question ('may be interesting to "
+                 "evaluate'), and the model answers it for this "
+                 "workload shape.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/** Extension (paper Section 7, future work): scaling the number of
+ *  processor cores. */
+
+#include "bench_common.h"
+
+using namespace jasim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(std::cout, "Ablation: Core-Count Scaling (future work)",
+                  "Paper Section 7 asks how the workload scales with "
+                  "processor count; the model answers with matched "
+                  "SUT + hierarchy topologies.");
+    const ExperimentConfig base =
+        bench::configFromArgs(argc, argv, 180.0);
+
+    struct Topo
+    {
+        const char *name;
+        std::size_t cores;
+        std::size_t per_chip;
+        double ir;
+    };
+    // IR scaled with cores so each point runs near the same load.
+    const Topo topologies[] = {
+        {"1 core / 1 chip", 1, 1, 10.0},
+        {"2 cores / 1 chip", 2, 2, 20.0},
+        {"4 cores / 2 chips (study)", 4, 2, 40.0},
+    };
+
+    TextTable table({"topology", "IR", "JOPS", "util", "CPI",
+                     "L2.75 share", "SLA"});
+    for (const Topo &topo : topologies) {
+        ExperimentConfig config = base;
+        config.sut.cpus = topo.cores;
+        config.sut.injection_rate = topo.ir;
+        config.window.hierarchy.cores = topo.cores;
+        config.window.hierarchy.cores_per_chip = topo.per_chip;
+        Experiment experiment(config);
+        const ExperimentResult r = experiment.run();
+        const auto shares = loadSourceShares(r.total);
+        const double remote =
+            shares[static_cast<std::size_t>(
+                DataSource::L2_75Shared)] +
+            shares[static_cast<std::size_t>(
+                DataSource::L2_75Modified)];
+        table.addRow(
+            {topo.name, TextTable::num(topo.ir, 0),
+             TextTable::num(r.jops, 1),
+             TextTable::pct(r.cpu_utilization * 100.0),
+             TextTable::num(windowMean(r.windows, WindowMetric::Cpi),
+                            2),
+             TextTable::pct(remote * 100.0, 2),
+             r.sla_pass ? "PASS" : "FAIL"});
+    }
+    table.print(std::cout);
+    std::cout << "\nShape: throughput scales near-linearly with cores "
+                 "at matched load; cross-MCM traffic only appears "
+                 "once a second chip exists.\n";
+    return 0;
+}

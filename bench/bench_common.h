@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared setup for the figure/table reproduction benches.
+ *
+ * Every bench accepts `key=value` arguments:
+ *   ir=40 seed=42 ramp=90 steady=300 window=1 insts=150000
+ *   disk=ramdisk|spinning spindles=2 heap_mb=1024
+ *   heap_large=1 code_large=0
+ */
+
+#ifndef JASIM_BENCH_BENCH_COMMON_H
+#define JASIM_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/figures.h"
+#include "sim/config.h"
+#include "stats/render.h"
+
+namespace jasim::bench {
+
+inline ExperimentConfig
+configFromArgs(int argc, char **argv, double default_steady_s = 300.0)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    ExperimentConfig config;
+    config.sut.injection_rate = args.getDouble("ir", 40.0);
+    config.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    config.ramp_up_s = args.getDouble("ramp", 90.0);
+    config.steady_s = args.getDouble("steady", default_steady_s);
+    config.ramp_down_s = args.getDouble("rampdown", 10.0);
+    config.window_s = args.getDouble("window", 1.0);
+    config.window.sample_insts = static_cast<std::size_t>(
+        args.getInt("insts", 150000));
+    config.windows_per_group =
+        static_cast<std::size_t>(args.getInt("wpg", 8));
+    config.micro_enabled = args.getBool("micro", true);
+
+    if (args.getString("disk", "ramdisk") == "spinning") {
+        config.sut.disk.kind = DiskConfig::Kind::Spinning;
+        config.sut.disk.spindles = static_cast<std::size_t>(
+            args.getInt("spindles", 2));
+    }
+    config.sut.gc.heap.size_bytes = static_cast<std::uint64_t>(
+        args.getInt("heap_mb", 1024)) << 20;
+    config.window.heap_large_pages = args.getBool("heap_large", true);
+    config.window.code_large_pages = args.getBool("code_large", false);
+    return config;
+}
+
+inline void
+banner(std::ostream &os, const char *figure, const char *claim)
+{
+    os << "==============================================================\n"
+       << figure << "\n" << claim << "\n"
+       << "==============================================================\n";
+}
+
+} // namespace jasim::bench
+
+#endif // JASIM_BENCH_BENCH_COMMON_H

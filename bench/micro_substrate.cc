@@ -1,0 +1,112 @@
+/** google-benchmark microbenchmarks of the substrate itself. */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/direction_predictor.h"
+#include "jvm/heap.h"
+#include "mem/cache.h"
+#include "sim/rng.h"
+#include "stats/correlation.h"
+#include "synth/component_profiles.h"
+#include "xlat/erat.h"
+
+namespace {
+
+using namespace jasim;
+
+void
+BM_RngDraw(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_RngDraw);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache(CacheGeometry{32 * 1024, 128, 2},
+                        ReplacementPolicy::FIFO);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 20), true));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_EratAccess(benchmark::State &state)
+{
+    Erat erat(128, 4);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(erat.access(rng.below(1 << 24)));
+}
+BENCHMARK(BM_EratAccess);
+
+void
+BM_TournamentPredict(benchmark::State &state)
+{
+    TournamentPredictor predictor(16384, 11);
+    Rng rng(4);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            predictor.predictAndUpdate(pc, rng.chance(0.7)));
+        pc = 0x1000 + (rng.below(512) << 2);
+    }
+}
+BENCHMARK(BM_TournamentPredict);
+
+void
+BM_HeapAllocateFree(benchmark::State &state)
+{
+    HeapConfig config;
+    config.size_bytes = 64ull << 20;
+    Heap heap(config);
+    Rng rng(5);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
+    for (auto _ : state) {
+        if (live.size() < 1000 && heap.usableBytes() > 1 << 20) {
+            const std::uint64_t bytes = 64 + rng.below(4000);
+            const auto offset = heap.allocate(bytes);
+            if (offset)
+                live.emplace_back(*offset, bytes);
+        } else if (!live.empty()) {
+            const std::size_t pick = rng.below(live.size());
+            heap.free(live[pick].first, live[pick].second);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+}
+BENCHMARK(BM_HeapAllocateFree);
+
+void
+BM_Pearson(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<double> x, y;
+    for (int i = 0; i < 600; ++i) {
+        x.push_back(rng.uniform());
+        y.push_back(rng.uniform());
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pearson(x, y));
+}
+BENCHMARK(BM_Pearson);
+
+void
+BM_StreamGeneratorNext(benchmark::State &state)
+{
+    WorkloadProfiles profiles(7);
+    auto gen = profiles.makeGenerator(Component::WasJit, 0, 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen->next());
+}
+BENCHMARK(BM_StreamGeneratorNext);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * Capacity planning: sweep the injection rate to find where the SUT
+ * saturates and where it stops meeting its response-time SLA -- the
+ * sizing exercise the paper says its profile data supports.
+ *
+ *   ./capacity_planning [irs=10,20,30,40,47,55] [steady=120]
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "core/experiment.h"
+#include "sim/config.h"
+#include "stats/render.h"
+
+using namespace jasim;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    std::vector<double> irs;
+    std::stringstream list(
+        args.getString("irs", "10,20,30,40,47,55"));
+    for (std::string item; std::getline(list, item, ',');)
+        irs.push_back(std::stod(item));
+
+    std::cout << "Injection-rate sweep (RAM-disk SUT)\n\n";
+    TextTable table({"IR", "JOPS", "util", "p90 web (s)", "p90 RMI (s)",
+                     "SLA"});
+    double max_passing_ir = 0.0;
+    for (const double ir : irs) {
+        ExperimentConfig config;
+        config.sut.injection_rate = ir;
+        config.micro_enabled = false;
+        config.ramp_up_s = 60.0;
+        config.steady_s = args.getDouble("steady", 120.0);
+        Experiment experiment(config);
+        const ExperimentResult r = experiment.run();
+        const double web_p90 = std::max(
+            {r.verdicts[0].p90_seconds, r.verdicts[1].p90_seconds,
+             r.verdicts[2].p90_seconds});
+        const double rmi_p90 = r.verdicts[3].p90_seconds;
+        if (r.sla_pass)
+            max_passing_ir = std::max(max_passing_ir, ir);
+        table.addRow({TextTable::num(ir, 0), TextTable::num(r.jops, 1),
+                      TextTable::pct(r.cpu_utilization * 100.0),
+                      TextTable::num(web_p90, 2),
+                      TextTable::num(rmi_p90, 2),
+                      r.sla_pass ? "PASS" : "FAIL"});
+    }
+    table.print(std::cout);
+    std::cout << "\nHighest passing IR in this sweep: "
+              << TextTable::num(max_passing_ir, 0)
+              << "  (the paper ran its HPM study at IR40, ~90% load, "
+                 "and saturated near IR47)\n";
+    return 0;
+}

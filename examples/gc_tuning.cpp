@@ -1,0 +1,54 @@
+/**
+ * GC tuning study: how heap size changes collection frequency, pause
+ * times and total GC overhead -- the "myths about managed memory"
+ * angle of the paper's Section 4.1.1.
+ *
+ *   ./gc_tuning [steady=180]
+ */
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "sim/config.h"
+#include "stats/render.h"
+
+using namespace jasim;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    std::cout << "Heap-size sweep at IR40\n\n";
+
+    TextTable table({"heap", "interval (s)", "pause (ms)",
+                     "mark/sweep", "GC %", "live at end (MB)"});
+    for (const std::uint64_t mb : {256, 512, 1024, 2048}) {
+        ExperimentConfig config;
+        config.micro_enabled = false;
+        config.ramp_up_s = 60.0;
+        config.steady_s = args.getDouble("steady", 180.0);
+        config.sut.gc.heap.size_bytes = mb << 20;
+        Experiment experiment(config);
+        const ExperimentResult r = experiment.run();
+        const double live_mb = r.gc_events.empty()
+            ? 0.0
+            : r.gc_events.back().live_bytes / 1e6;
+        table.addRow(
+            {std::to_string(mb) + " MB",
+             TextTable::num(r.gc.mean_interval_s, 1),
+             TextTable::num(r.gc.mean_pause_ms, 0),
+             TextTable::pct(r.gc.mark_fraction * 100.0, 0) + "/" +
+                 TextTable::pct(r.gc.sweep_fraction * 100.0, 0),
+             TextTable::pct(r.gc.gc_time_fraction * 100.0, 2),
+             TextTable::num(live_mb, 0)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading: pause time tracks the live set (mark-dominated),"
+           "\nnot the heap size, while frequency tracks free space --"
+           "\nso a server-class heap keeps total GC cost around 1%,"
+           "\nwhich is the paper's rebuttal to the 'GC is unacceptably"
+           "\ninefficient' argument.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * Trade6-style side study: the paper notes "in a separate study, we
+ * observed a similar small GC runtime overhead with Trade6, another
+ * J2EE workload." This example reproduces that observation by varying
+ * the allocation intensity of the workload (Trade6 transactions
+ * allocate differently than jas2004's) and showing the GC-share
+ * conclusion is robust.
+ *
+ *   ./trade6_study [steady=180]
+ */
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "sim/config.h"
+#include "stats/render.h"
+
+using namespace jasim;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    std::cout << "Allocation-intensity sweep (Trade6-style variants) "
+                 "on the 1 GB heap\n\n";
+
+    TextTable table({"alloc intensity", "GC interval (s)",
+                     "pause (ms)", "GC % of runtime", "SLA"});
+    for (const double scale : {0.5, 1.0, 1.5, 2.5}) {
+        ExperimentConfig config;
+        config.micro_enabled = false;
+        config.ramp_up_s = 60.0;
+        config.steady_s = args.getDouble("steady", 180.0);
+        config.sut.alloc_scale = scale;
+        Experiment experiment(config);
+        const ExperimentResult r = experiment.run();
+        table.addRow({TextTable::num(scale, 1) + "x jas2004",
+                      TextTable::num(r.gc.mean_interval_s, 1),
+                      TextTable::num(r.gc.mean_pause_ms, 0),
+                      TextTable::pct(r.gc.gc_time_fraction * 100.0, 2),
+                      r.sla_pass ? "PASS" : "FAIL"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading: even at 2.5x the allocation rate, GC stays a "
+           "small, single-digit share of runtime on a server-sized "
+           "heap -- the paper's Trade6 cross-check. Collection "
+           "frequency scales with allocation; pause time does not "
+           "(it tracks the live set).\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "branch/branch_unit.h"
+
+namespace jasim {
+
+BranchUnit::BranchUnit(const BranchConfig &config)
+    : config_(config),
+      direction_(config.direction_entries, config.history_bits),
+      btb_(config.btb_entries, config.btb_ways),
+      count_cache_(config.count_cache_entries, config.count_cache_ways),
+      return_stack_(config.return_stack_depth)
+{
+}
+
+BranchOutcome
+BranchUnit::conditional(Addr pc, bool taken, Addr target)
+{
+    BranchOutcome outcome;
+    outcome.direction_correct = direction_.predictAndUpdate(pc, taken);
+    if (!outcome.direction_correct) {
+        outcome.penalty += config_.direction_mispredict_penalty;
+    } else if (taken) {
+        // Correct direction still needs the target from the BTB.
+        outcome.target_correct = btb_.predict(pc) == target;
+        if (!outcome.target_correct)
+            outcome.penalty += config_.target_mispredict_penalty;
+    }
+    if (taken)
+        btb_.update(pc, target);
+    return outcome;
+}
+
+BranchOutcome
+BranchUnit::direct(Addr pc, Addr target)
+{
+    BranchOutcome outcome;
+    outcome.target_correct = btb_.predict(pc) == target;
+    if (!outcome.target_correct)
+        outcome.penalty += config_.target_mispredict_penalty;
+    btb_.update(pc, target);
+    return outcome;
+}
+
+BranchOutcome
+BranchUnit::indirect(Addr pc, Addr target)
+{
+    BranchOutcome outcome;
+    outcome.target_correct = count_cache_.resolve(pc, target);
+    if (!outcome.target_correct)
+        outcome.penalty += config_.target_mispredict_penalty;
+    return outcome;
+}
+
+BranchOutcome
+BranchUnit::call(Addr pc, Addr target, Addr return_addr)
+{
+    BranchOutcome outcome = direct(pc, target);
+    return_stack_.push(return_addr);
+    return outcome;
+}
+
+BranchOutcome
+BranchUnit::virtualCall(Addr pc, Addr target, Addr return_addr)
+{
+    BranchOutcome outcome = indirect(pc, target);
+    return_stack_.push(return_addr);
+    return outcome;
+}
+
+BranchOutcome
+BranchUnit::ret(Addr pc, Addr target)
+{
+    (void)pc;
+    BranchOutcome outcome;
+    outcome.target_correct = return_stack_.pop() == target;
+    if (!outcome.target_correct)
+        outcome.penalty += config_.target_mispredict_penalty;
+    return outcome;
+}
+
+} // namespace jasim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The complete per-core branch unit.
+ *
+ * Routes each branch to the right predictor (tournament direction
+ * predictor, BTB for direct targets, count cache for indirect targets,
+ * return stack for returns) and reports per-branch outcomes so the
+ * core model can account penalties and HPM events.
+ */
+
+#ifndef JASIM_BRANCH_BRANCH_UNIT_H
+#define JASIM_BRANCH_BRANCH_UNIT_H
+
+#include "branch/btb.h"
+#include "branch/count_cache.h"
+#include "branch/direction_predictor.h"
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Branch unit structure and penalty parameters. */
+struct BranchConfig
+{
+    std::size_t direction_entries = 16384;
+    unsigned history_bits = 11;
+    std::size_t btb_entries = 2048;
+    std::size_t btb_ways = 4;
+    std::size_t count_cache_entries = 4096;
+    std::size_t count_cache_ways = 8;
+    std::size_t return_stack_depth = 16;
+
+    Cycles direction_mispredict_penalty = 12;
+    Cycles target_mispredict_penalty = 14;
+};
+
+/** What happened to one branch. */
+struct BranchOutcome
+{
+    bool direction_correct = true;
+    bool target_correct = true;
+    Cycles penalty = 0;
+};
+
+/** Per-core branch prediction state. */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchConfig &config);
+
+    /** A conditional (direct-target) branch resolved as taken or not. */
+    BranchOutcome conditional(Addr pc, bool taken, Addr target);
+
+    /** An unconditional direct branch (jump or direct call). */
+    BranchOutcome direct(Addr pc, Addr target);
+
+    /** An indirect branch (virtual dispatch, switch, function ptr). */
+    BranchOutcome indirect(Addr pc, Addr target);
+
+    /** A direct call: predicts like direct() and pushes the RAS. */
+    BranchOutcome call(Addr pc, Addr target, Addr return_addr);
+
+    /** An indirect (virtual) call: count cache plus RAS push. */
+    BranchOutcome virtualCall(Addr pc, Addr target, Addr return_addr);
+
+    /** A return: pops the RAS. */
+    BranchOutcome ret(Addr pc, Addr target);
+
+    const BranchConfig &config() const { return config_; }
+
+  private:
+    BranchConfig config_;
+    TournamentPredictor direction_;
+    Btb btb_;
+    CountCache count_cache_;
+    ReturnStack return_stack_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_BRANCH_BRANCH_UNIT_H

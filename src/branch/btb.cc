@@ -1,0 +1,88 @@
+#include "branch/btb.h"
+
+#include <cassert>
+
+namespace jasim {
+
+Btb::Btb(std::size_t entries, std::size_t ways)
+    : sets_(entries / ways), ways_(ways), table_(entries)
+{
+    assert(entries % ways == 0);
+    assert((sets_ & (sets_ - 1)) == 0);
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) & (sets_ - 1));
+}
+
+Addr
+Btb::predict(Addr pc) const
+{
+    const Entry *base = &table_[setOf(pc) * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].pc == pc)
+            return base[w].target;
+    }
+    return 0;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry *base = &table_[setOf(pc) * ways_];
+    ++tick_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].pc == pc) {
+            base[w].target = target;
+            base[w].stamp = tick_;
+            return;
+        }
+    }
+    std::size_t victim = 0;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].stamp < base[victim].stamp)
+            victim = w;
+    }
+    base[victim] = Entry{pc, target, true, tick_};
+}
+
+void
+Btb::flush()
+{
+    for (auto &e : table_)
+        e.valid = false;
+}
+
+ReturnStack::ReturnStack(std::size_t depth) : stack_(depth)
+{
+    assert(depth > 0);
+}
+
+void
+ReturnStack::push(Addr return_addr)
+{
+    if (top_ < stack_.size()) {
+        stack_[top_++] = return_addr;
+    } else {
+        // Overflow: shift (rare; depth chosen to cover call depth).
+        for (std::size_t i = 1; i < stack_.size(); ++i)
+            stack_[i - 1] = stack_[i];
+        stack_.back() = return_addr;
+    }
+}
+
+Addr
+ReturnStack::pop()
+{
+    if (top_ == 0)
+        return 0;
+    return stack_[--top_];
+}
+
+} // namespace jasim

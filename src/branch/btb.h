@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Branch target buffer for taken-branch targets.
+ *
+ * Direct branches fetch their target from the BTB; capacity misses in
+ * a large instruction working set make even direct branches pay fetch
+ * bubbles, which couples target mispredictions to the instruction
+ * footprint (a correlation the paper highlights).
+ */
+
+#ifndef JASIM_BRANCH_BTB_H
+#define JASIM_BRANCH_BTB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Set-associative PC -> target map with LRU replacement. */
+class Btb
+{
+  public:
+    Btb(std::size_t entries, std::size_t ways);
+
+    /**
+     * Look up the predicted target for a branch at pc.
+     * @return the stored target, or 0 when there is no entry.
+     */
+    Addr predict(Addr pc) const;
+
+    /** Install / refresh the target for pc. */
+    void update(Addr pc, Addr target);
+
+    void flush();
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Entry> table_;
+    std::uint64_t tick_ = 0;
+
+    std::size_t setOf(Addr pc) const;
+};
+
+/** Return-address stack; call pushes, return pops. */
+class ReturnStack
+{
+  public:
+    explicit ReturnStack(std::size_t depth = 16);
+
+    void push(Addr return_addr);
+
+    /** Pop a prediction; 0 when empty. */
+    Addr pop();
+
+    std::size_t size() const { return top_; }
+
+  private:
+    std::vector<Addr> stack_;
+    std::size_t top_ = 0; //!< next free slot; saturates at capacity
+};
+
+} // namespace jasim
+
+#endif // JASIM_BRANCH_BTB_H

@@ -1,0 +1,82 @@
+#include "branch/count_cache.h"
+
+#include <cassert>
+
+namespace jasim {
+
+CountCache::CountCache(std::size_t entries, std::size_t ways)
+    : sets_(entries / ways), ways_(ways), table_(entries)
+{
+    assert(entries % ways == 0);
+    assert((sets_ & (sets_ - 1)) == 0);
+}
+
+std::size_t
+CountCache::setOf(Addr pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) & (sets_ - 1));
+}
+
+CountCache::Entry *
+CountCache::find(Addr pc)
+{
+    Entry *base = &table_[setOf(pc) * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].pc == pc)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CountCache::Entry *
+CountCache::find(Addr pc) const
+{
+    return const_cast<CountCache *>(this)->find(pc);
+}
+
+Addr
+CountCache::predict(Addr pc) const
+{
+    const Entry *entry = find(pc);
+    return entry ? entry->target : 0;
+}
+
+bool
+CountCache::resolve(Addr pc, Addr actual_target)
+{
+    ++tick_;
+    if (Entry *entry = find(pc)) {
+        entry->stamp = tick_;
+        const bool correct = entry->target == actual_target;
+        if (correct) {
+            entry->confident = true;
+        } else if (entry->confident) {
+            entry->confident = false; // first disagreement: keep target
+        } else {
+            entry->target = actual_target; // second: replace
+        }
+        return correct;
+    }
+    // Cold entry: allocate; the prediction was necessarily wrong.
+    Entry *base = &table_[setOf(pc) * ways_];
+    std::size_t victim = 0;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].stamp < base[victim].stamp)
+            victim = w;
+    }
+    base[victim] = Entry{pc, actual_target, true, false, tick_};
+    return false;
+}
+
+void
+CountCache::flush()
+{
+    for (auto &e : table_)
+        e.valid = false;
+}
+
+} // namespace jasim

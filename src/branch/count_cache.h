@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Indirect-branch target predictor (POWER "count cache").
+ *
+ * Java virtual calls compile to branch-to-counter-register; POWER
+ * predicts their targets with a dedicated count cache. A polymorphic
+ * call site whose receiver type varies defeats a last-target predictor
+ * -- the mechanism behind the paper's ~5% indirect target
+ * misprediction rate and its correlation with I-cache misses.
+ */
+
+#ifndef JASIM_BRANCH_COUNT_CACHE_H
+#define JASIM_BRANCH_COUNT_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/**
+ * Tagged last-target table with hysteresis.
+ *
+ * An entry stores the last observed target plus a confidence bit; the
+ * target is replaced only after two consecutive disagreements, like
+ * the classic BTB-with-hysteresis design.
+ */
+class CountCache
+{
+  public:
+    CountCache(std::size_t entries, std::size_t ways);
+
+    /** Predicted target for the indirect branch at pc (0 if none). */
+    Addr predict(Addr pc) const;
+
+    /**
+     * Resolve an indirect branch: updates the table.
+     * @return true when the prediction matched the actual target.
+     */
+    bool resolve(Addr pc, Addr actual_target);
+
+    void flush();
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        bool confident = false;
+        std::uint64_t stamp = 0;
+    };
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Entry> table_;
+    std::uint64_t tick_ = 0;
+
+    std::size_t setOf(Addr pc) const;
+    Entry *find(Addr pc);
+    const Entry *find(Addr pc) const;
+};
+
+} // namespace jasim
+
+#endif // JASIM_BRANCH_COUNT_CACHE_H

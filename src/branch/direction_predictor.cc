@@ -1,0 +1,94 @@
+#include "branch/direction_predictor.h"
+
+#include <cassert>
+
+namespace jasim {
+
+BimodalPredictor::BimodalPredictor(std::size_t entries) : table_(entries)
+{
+    assert(entries > 0 && (entries & (entries - 1)) == 0);
+}
+
+std::size_t
+BimodalPredictor::indexOf(Addr pc) const
+{
+    // Branch PCs are word-ish aligned; drop low bits before indexing.
+    return static_cast<std::size_t>((pc >> 2) & (table_.size() - 1));
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return table_[indexOf(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    table_[indexOf(pc)].update(taken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries, unsigned history_bits)
+    : table_(entries), history_mask_((1ull << history_bits) - 1)
+{
+    assert(entries > 0 && (entries & (entries - 1)) == 0);
+    assert(history_bits > 0 && history_bits < 64);
+}
+
+std::size_t
+GsharePredictor::indexOf(Addr pc) const
+{
+    return static_cast<std::size_t>(((pc >> 2) ^ history_) &
+                                    (table_.size() - 1));
+}
+
+bool
+GsharePredictor::predict(Addr pc) const
+{
+    return table_[indexOf(pc)].taken();
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    table_[indexOf(pc)].update(taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+TournamentPredictor::TournamentPredictor(std::size_t entries,
+                                         unsigned history_bits)
+    : bimodal_(entries), gshare_(entries, history_bits), selector_(entries)
+{
+}
+
+std::size_t
+TournamentPredictor::selectorIndex(Addr pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) & (selector_.size() - 1));
+}
+
+bool
+TournamentPredictor::predict(Addr pc) const
+{
+    const bool use_gshare = selector_[selectorIndex(pc)].taken();
+    return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+bool
+TournamentPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    const bool bimodal_says = bimodal_.predict(pc);
+    const bool gshare_says = gshare_.predict(pc);
+    const bool use_gshare = selector_[selectorIndex(pc)].taken();
+    const bool prediction = use_gshare ? gshare_says : bimodal_says;
+
+    // Selector trains toward the component that was right (only when
+    // they disagree, as in the Alpha 21264 chooser).
+    if (bimodal_says != gshare_says)
+        selector_[selectorIndex(pc)].update(gshare_says == taken);
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+    return prediction == taken;
+}
+
+} // namespace jasim

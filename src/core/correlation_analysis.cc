@@ -1,0 +1,61 @@
+#include "core/correlation_analysis.h"
+
+#include "hpm/events.h"
+
+namespace jasim {
+
+std::vector<CorrelationEntry>
+figure10Events()
+{
+    using namespace event;
+    using Basis = HpmStat::Basis;
+    return {
+        {"L1D Load Miss", l1dLoadMiss, Basis::PerInst},
+        {"L1D Store Miss", l1dStoreMiss, Basis::PerInst},
+        {"L1D Prefetches", l1dPrefetch, Basis::PerInst},
+        {"L2 Prefetches", l2Prefetch, Basis::PerInst},
+        {"D$ Prefetch Stream Alloc.", streamAlloc, Basis::PerInst},
+        {"Speculation Rate", instDispatched, Basis::PerInst},
+        {"Cyc w/ Instr. Comp.", cyclesWithCompletion, Basis::PerWindow},
+        {"Instr. Fetched from L1I", instFetchL1, Basis::PerWindow},
+        {"Instr. Fetched from L2", instFetchL2, Basis::PerInst},
+        {"Instr. Fetched from L3/Mem", instFetchL3, Basis::PerInst},
+        {"SYNC in SRQ", srqSyncCycles, Basis::PerInst},
+        {"IERAT Miss", ieratMiss, Basis::PerInst},
+        {"DERAT Miss", deratMiss, Basis::PerInst},
+        {"TLB Miss (I+D)", dtlbMiss, Basis::PerInst},
+        {"Cond. Branch Mispred.", condMispredict, Basis::PerInst},
+        {"Target Addr. Mispred.", targetMispredict, Basis::PerInst},
+    };
+}
+
+std::vector<CorrelationBar>
+computeCpiCorrelations(const HpmStat &hpm,
+                       const std::vector<CorrelationEntry> &entries)
+{
+    std::vector<CorrelationBar> bars;
+    bars.reserve(entries.size());
+    for (const auto &entry : entries) {
+        bars.push_back(CorrelationBar{
+            entry.label, hpm.cpiCorrelation(entry.event, entry.basis)});
+    }
+    return bars;
+}
+
+AuxCorrelations
+computeAuxCorrelations(const HpmStat &hpm)
+{
+    AuxCorrelations aux;
+    aux.branches_vs_target_mispredict =
+        hpm.crossCorrelation(event::branches, event::targetMispredict)
+            .value_or(0.0);
+    aux.cond_mispredict_vs_branches =
+        hpm.crossCorrelation(event::condMispredict, event::branches)
+            .value_or(0.0);
+    aux.spec_rate_vs_l1d_miss =
+        hpm.crossCorrelation(event::instDispatched, event::l1dLoadMiss)
+            .value_or(0.0);
+    return aux;
+}
+
+} // namespace jasim

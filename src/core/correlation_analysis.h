@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CPI statistical correlation (the paper's Section 4.3 / Figure 10).
+ *
+ * Defines the canonical event list of Figure 10 and computes the
+ * correlation bars from an HpmStat capture, honouring the hardware
+ * restriction that only same-group events can be cross-correlated.
+ */
+
+#ifndef JASIM_CORE_CORRELATION_ANALYSIS_H
+#define JASIM_CORE_CORRELATION_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "hpm/hpmstat.h"
+
+namespace jasim {
+
+/** One Figure 10 entry. */
+struct CorrelationEntry
+{
+    std::string label;
+    std::string event;
+    HpmStat::Basis basis = HpmStat::Basis::PerInst;
+};
+
+/** The Figure 10 event list, in the paper's presentation order. */
+std::vector<CorrelationEntry> figure10Events();
+
+/** One computed bar. */
+struct CorrelationBar
+{
+    std::string label;
+    double r = 0.0;
+};
+
+/** Compute all Figure 10 bars. */
+std::vector<CorrelationBar>
+computeCpiCorrelations(const HpmStat &hpm,
+                       const std::vector<CorrelationEntry> &entries);
+
+/** The auxiliary cross-correlations the paper quotes in prose. */
+struct AuxCorrelations
+{
+    /** branches vs target mispredictions (paper: ~ -0.07). */
+    double branches_vs_target_mispredict = 0.0;
+    /** conditional misses vs branches (paper: ~ 0.43). */
+    double cond_mispredict_vs_branches = 0.0;
+    /** speculation rate vs L1D load misses (paper: ~ 0.1). */
+    double spec_rate_vs_l1d_miss = 0.0;
+};
+
+AuxCorrelations computeAuxCorrelations(const HpmStat &hpm);
+
+} // namespace jasim
+
+#endif // JASIM_CORE_CORRELATION_ANALYSIS_H

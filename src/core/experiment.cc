@@ -1,0 +1,119 @@
+#include "core/experiment.h"
+
+#include <cassert>
+
+#include "hpm/counter_group.h"
+
+namespace jasim {
+
+Experiment::Experiment(const ExperimentConfig &config) : config_(config)
+{
+    profiles_ =
+        std::make_shared<const WorkloadProfiles>(config.seed ^ 0x9a0full);
+    registry_ = std::make_shared<const MethodRegistry>(
+        profiles_->layout(Component::WasJit).count(),
+        config.seed ^ 0x3e9ull);
+    sut_ = std::make_unique<SystemUnderTest>(config.sut, profiles_,
+                                             registry_, config.seed);
+    window_sim_ = std::make_unique<WindowSimulator>(
+        config.window, profiles_, config.seed ^ 0x51ull);
+}
+
+ExperimentResult
+Experiment::run()
+{
+    ExperimentResult result;
+    result.hpm = std::make_shared<HpmStat>(
+        HpmFacility(power4Groups()), config_.windows_per_group);
+    result.profiler = std::make_shared<Profiler>(registry_);
+
+    const SimTime window = secs(config_.window_s);
+    const SimTime steady_from = secs(config_.ramp_up_s);
+    const SimTime steady_to =
+        secs(config_.ramp_up_s + config_.steady_s);
+    const SimTime total = config_.totalTime();
+    result.steady_from = steady_from;
+    result.steady_to = steady_to;
+
+    sut_->start(total);
+
+    auto prev_busy = sut_->scheduler().busySnapshot();
+    SimTime prev_disk_blocked = sut_->diskBlockedUs();
+
+    for (SimTime t = 0; t < total; t += window) {
+        const SimTime window_end = std::min(t + window, total);
+        sut_->advanceTo(window_end);
+
+        const auto busy = sut_->scheduler().busySnapshot();
+        std::array<SimTime, componentCount> busy_delta{};
+        for (std::size_t c = 0; c < componentCount; ++c)
+            busy_delta[c] = busy[c] - prev_busy[c];
+        const SimTime disk_blocked = sut_->diskBlockedUs();
+        const SimTime disk_delta = disk_blocked - prev_disk_blocked;
+
+        const VmStatRow vm =
+            sut_->recordVmstatWindow(t, window_end, busy_delta,
+                                     disk_delta);
+
+        const WindowMix mix = computeMix(prev_busy, busy,
+                                         window_end - t,
+                                         sut_->config().cpus);
+        prev_busy = busy;
+        prev_disk_blocked = disk_blocked;
+
+        const bool in_steady =
+            window_end > steady_from && window_end <= steady_to;
+        if (in_steady) {
+            for (std::size_t c = 0; c < componentCount; ++c) {
+                result.profiler->addComponentTime(
+                    static_cast<Component>(c), busy_delta[c]);
+            }
+            const SimTime capacity =
+                (window_end - t) * sut_->config().cpus;
+            SimTime busy_total = 0;
+            for (const SimTime b : busy_delta)
+                busy_total += b;
+            if (capacity > busy_total)
+                result.profiler->addIdleTime(capacity - busy_total);
+        }
+
+        if (config_.micro_enabled && in_steady && mix.busy_us > 0.0) {
+            WindowRecord record;
+            record.end = window_end;
+            record.mix = mix;
+            record.vm = vm;
+            record.stats = window_sim_->simulateWindow(
+                mix, sut_->gcLiveBytes());
+            result.total.merge(record.stats);
+
+            const double scale =
+                window_sim_->scaleFor(record.stats, mix.busy_us);
+            CounterSet counters;
+            record.stats.exportTo(counters, scale);
+            result.hpm->recordWindow(window_end, counters.snapshot());
+            result.windows.push_back(std::move(record));
+        }
+    }
+
+    // --- summaries ---------------------------------------------------
+    if (config_.micro_enabled)
+        result.profiler->addMethodSamples(
+            window_sim_->jitMethodSamples());
+
+    result.gc_events = sut_->collector().log().events();
+    result.gc = sut_->collector().log().summarize(total);
+    result.vm_mean = sut_->vmstat().mean(steady_from, steady_to);
+    result.cpu_utilization =
+        (result.vm_mean.user_pct + result.vm_mean.system_pct) / 100.0;
+    result.jops = sut_->tracker().jops(steady_from, steady_to);
+    result.jops_per_ir = result.jops / sut_->config().injection_rate;
+    result.verdicts = sut_->tracker().verdicts();
+    result.sla_pass = sut_->tracker().allPass();
+    for (std::size_t r = 0; r < requestTypeCount; ++r) {
+        result.throughput[r] = sut_->tracker().throughputSeries(
+            static_cast<RequestType>(r), total);
+    }
+    return result;
+}
+
+} // namespace jasim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The experiment runner: couples the two simulation levels and
+ * assembles everything a figure or table needs.
+ *
+ * Mirrors the paper's methodology: a ramp-up period is discarded,
+ * steady-state windows are sampled with one HPM counter group active
+ * at a time, tprof-style profiles accumulate over the steady state,
+ * and the verbosegc log spans the whole run.
+ */
+
+#ifndef JASIM_CORE_EXPERIMENT_H
+#define JASIM_CORE_EXPERIMENT_H
+
+#include <memory>
+#include <vector>
+
+#include "core/mix_model.h"
+#include "core/sut.h"
+#include "core/window_simulator.h"
+#include "hpm/hpmstat.h"
+#include "tprof/profiler.h"
+
+namespace jasim {
+
+/** Full experiment parameters. */
+struct ExperimentConfig
+{
+    SutConfig sut;
+    WindowSimConfig window;
+
+    bool micro_enabled = true;   //!< run the window simulator
+    double ramp_up_s = 120.0;    //!< discarded warm-up
+    double steady_s = 600.0;     //!< measured steady state
+    double ramp_down_s = 30.0;
+    double window_s = 1.0;       //!< HPM sample window length
+    std::size_t windows_per_group = 12;
+    std::uint64_t seed = 42;
+
+    SimTime totalTime() const
+    {
+        return secs(ramp_up_s + steady_s + ramp_down_s);
+    }
+};
+
+/** One recorded steady-state window. */
+struct WindowRecord
+{
+    SimTime end = 0;
+    WindowMix mix;
+    ExecStats stats; //!< raw (unscaled) micro statistics
+    VmStatRow vm;
+};
+
+/** Everything a bench or example consumes after a run. */
+struct ExperimentResult
+{
+    std::vector<WindowRecord> windows;
+
+    GcSummary gc;
+    std::vector<GcEvent> gc_events;
+
+    VmStatRow vm_mean;           //!< steady-state mean
+    double cpu_utilization = 0.0;
+    double jops = 0.0;
+    double jops_per_ir = 0.0;
+    std::array<SlaVerdict, requestTypeCount> verdicts{};
+    bool sla_pass = false;
+    std::array<TimeSeries, requestTypeCount> throughput;
+
+    ExecStats total;             //!< merged micro stats (steady state)
+
+    std::shared_ptr<HpmStat> hpm;
+    std::shared_ptr<Profiler> profiler;
+
+    SimTime steady_from = 0;
+    SimTime steady_to = 0;
+};
+
+/** Runs one configured experiment. */
+class Experiment
+{
+  public:
+    explicit Experiment(const ExperimentConfig &config);
+
+    /** Execute the full run and assemble the result. */
+    ExperimentResult run();
+
+    SystemUnderTest &sut() { return *sut_; }
+    WindowSimulator &windowSimulator() { return *window_sim_; }
+    const ExperimentConfig &config() const { return config_; }
+
+  private:
+    ExperimentConfig config_;
+    std::shared_ptr<const WorkloadProfiles> profiles_;
+    std::shared_ptr<const MethodRegistry> registry_;
+    std::unique_ptr<SystemUnderTest> sut_;
+    std::unique_ptr<WindowSimulator> window_sim_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_CORE_EXPERIMENT_H

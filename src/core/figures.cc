@@ -1,0 +1,153 @@
+#include "core/figures.h"
+
+#include "stats/render.h"
+
+namespace jasim {
+
+namespace {
+
+double
+metricOf(const WindowRecord &w, WindowMetric metric)
+{
+    const ExecStats &s = w.stats;
+    const double insts = static_cast<double>(s.completed);
+    auto ratio = [](double num, double den) {
+        return den == 0.0 ? 0.0 : num / den;
+    };
+    switch (metric) {
+      case WindowMetric::Cpi:
+        return s.cpi();
+      case WindowMetric::SpeculationRate:
+        return s.speculationRate();
+      case WindowMetric::L1MissesPerCycle:
+        return ratio(static_cast<double>(s.l1d_load_miss +
+                                         s.l1d_store_miss),
+                     s.cycles);
+      case WindowMetric::L1LoadMissRate:
+        return ratio(static_cast<double>(s.l1d_load_miss),
+                     static_cast<double>(s.loads));
+      case WindowMetric::L1StoreMissRate:
+        return ratio(static_cast<double>(s.l1d_store_miss),
+                     static_cast<double>(s.stores));
+      case WindowMetric::CondMispredictRate:
+        return ratio(static_cast<double>(s.cond_mispredict),
+                     static_cast<double>(s.cond_branches));
+      case WindowMetric::TargetMispredictRate:
+        // Target mispredictions of indirect branches / virtual calls
+        // (returns are tracked separately; the RAS predicts them).
+        return ratio(static_cast<double>(s.target_mispredict),
+                     static_cast<double>(s.indirect_branches));
+      case WindowMetric::BranchesPerInst:
+        return ratio(static_cast<double>(s.branches), insts);
+      case WindowMetric::DeratMissPerInst:
+        return ratio(static_cast<double>(s.derat_miss), insts);
+      case WindowMetric::IeratMissPerInst:
+        return ratio(static_cast<double>(s.ierat_miss), insts);
+      case WindowMetric::DtlbMissPerInst:
+        return ratio(static_cast<double>(s.dtlb_miss), insts);
+      case WindowMetric::ItlbMissPerInst:
+        return ratio(static_cast<double>(s.itlb_miss), insts);
+      case WindowMetric::SrqSyncFraction:
+        return ratio(s.srq_sync_cycles, s.cycles);
+      case WindowMetric::LoadsPerInst:
+        return ratio(static_cast<double>(s.loads), insts);
+      case WindowMetric::StoresPerInst:
+        return ratio(static_cast<double>(s.stores), insts);
+      case WindowMetric::GcFraction:
+        return w.mix.fraction[static_cast<std::size_t>(
+                   Component::GcMark)] +
+            w.mix.fraction[static_cast<std::size_t>(
+                Component::GcSweep)];
+    }
+    return 0.0;
+}
+
+} // namespace
+
+TimeSeries
+windowSeries(const std::vector<WindowRecord> &windows,
+             WindowMetric metric, const std::string &name)
+{
+    TimeSeries series(name);
+    for (const auto &w : windows)
+        series.append(w.end, metricOf(w, metric));
+    return series;
+}
+
+double
+windowMean(const std::vector<WindowRecord> &windows, WindowMetric metric)
+{
+    if (windows.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &w : windows)
+        sum += metricOf(w, metric);
+    return sum / static_cast<double>(windows.size());
+}
+
+double
+windowMeanIf(const std::vector<WindowRecord> &windows,
+             WindowMetric metric, bool gc_windows)
+{
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto &w : windows) {
+        if (w.mix.gc_active != gc_windows)
+            continue;
+        sum += metricOf(w, metric);
+        ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::array<double, 8>
+loadSourceShares(const ExecStats &total)
+{
+    std::array<double, 8> shares{};
+    double misses = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i)
+        misses += static_cast<double>(total.loads_from[i]);
+    // Exclude the L1 slot: loads_from counts only L1 misses.
+    misses -= static_cast<double>(
+        total.loads_from[static_cast<std::size_t>(DataSource::L1)]);
+    if (misses <= 0.0)
+        return shares;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+        if (i == static_cast<std::size_t>(DataSource::L1))
+            continue;
+        shares[i] = static_cast<double>(total.loads_from[i]) / misses;
+    }
+    return shares;
+}
+
+void
+printRunSummary(std::ostream &os, const ExperimentConfig &config,
+                const ExperimentResult &result)
+{
+    os << "run: IR=" << config.sut.injection_rate
+       << " seed=" << config.seed
+       << " ramp=" << config.ramp_up_s << "s"
+       << " steady=" << config.steady_s << "s"
+       << " disk="
+       << (config.sut.disk.kind == DiskConfig::Kind::RamDisk
+               ? "ramdisk"
+               : "spinning")
+       << "\n";
+    os << "cpu utilization: "
+       << TextTable::pct(result.cpu_utilization * 100.0)
+       << "  (user " << TextTable::pct(result.vm_mean.user_pct)
+       << ", system " << TextTable::pct(result.vm_mean.system_pct)
+       << ", iowait " << TextTable::pct(result.vm_mean.iowait_pct)
+       << ")\n";
+    os << "throughput: " << TextTable::num(result.jops, 1) << " JOPS ("
+       << TextTable::num(result.jops_per_ir, 2) << " JOPS/IR)\n";
+    os << "SLA: " << (result.sla_pass ? "PASS" : "FAIL");
+    for (const auto &v : result.verdicts) {
+        os << "  [" << requestTypeName(v.type) << " p90 "
+           << TextTable::num(v.p90_seconds, 2) << "s/"
+           << TextTable::num(v.bound_seconds, 0) << "s]";
+    }
+    os << "\n";
+}
+
+} // namespace jasim

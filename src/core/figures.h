@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure-building helpers shared by the bench binaries.
+ *
+ * Extracts named metric series from recorded windows and formats the
+ * summary tables, so each bench stays a thin "run + print" program.
+ */
+
+#ifndef JASIM_CORE_FIGURES_H
+#define JASIM_CORE_FIGURES_H
+
+#include <ostream>
+
+#include "core/experiment.h"
+#include "stats/time_series.h"
+
+namespace jasim {
+
+/** Per-window derived metrics. */
+enum class WindowMetric
+{
+    Cpi,
+    SpeculationRate,
+    L1MissesPerCycle,
+    L1LoadMissRate,       //!< load misses / loads
+    L1StoreMissRate,      //!< store misses / stores
+    CondMispredictRate,   //!< cond mispredicts / cond branches
+    TargetMispredictRate, //!< target mispredicts / indirect branches
+    BranchesPerInst,
+    DeratMissPerInst,
+    IeratMissPerInst,
+    DtlbMissPerInst,
+    ItlbMissPerInst,
+    SrqSyncFraction,      //!< sync-occupied SRQ cycles / cycles
+    LoadsPerInst,
+    StoresPerInst,
+    GcFraction,           //!< GC share of window busy time
+};
+
+/** Extract one metric as a time series over the recorded windows. */
+TimeSeries windowSeries(const std::vector<WindowRecord> &windows,
+                        WindowMetric metric, const std::string &name);
+
+/** Mean of a metric over all windows (0 when empty). */
+double windowMean(const std::vector<WindowRecord> &windows,
+                  WindowMetric metric);
+
+/** Mean of a metric over GC / non-GC windows only. */
+double windowMeanIf(const std::vector<WindowRecord> &windows,
+                    WindowMetric metric, bool gc_windows);
+
+/** Shares of L1D load-miss fills by data source (sums to 1). */
+std::array<double, 8> loadSourceShares(const ExecStats &total);
+
+/** Print the standard run header (config + throughput + SLA). */
+void printRunSummary(std::ostream &os, const ExperimentConfig &config,
+                     const ExperimentResult &result);
+
+} // namespace jasim
+
+#endif // JASIM_CORE_FIGURES_H

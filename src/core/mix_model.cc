@@ -1,0 +1,34 @@
+#include "core/mix_model.h"
+
+#include <algorithm>
+
+namespace jasim {
+
+WindowMix
+computeMix(const std::array<SimTime, componentCount> &previous,
+           const std::array<SimTime, componentCount> &current,
+           SimTime window_us, std::size_t cpus)
+{
+    WindowMix mix;
+    std::array<double, componentCount> delta{};
+    double busy = 0.0;
+    for (std::size_t c = 0; c < componentCount; ++c) {
+        delta[c] = static_cast<double>(current[c] - previous[c]);
+        busy += delta[c];
+    }
+    mix.busy_us = busy;
+    if (busy > 0.0) {
+        for (std::size_t c = 0; c < componentCount; ++c)
+            mix.fraction[c] = delta[c] / busy;
+    }
+    const double capacity = static_cast<double>(window_us * cpus);
+    mix.idle_fraction = capacity > 0.0
+        ? std::clamp(1.0 - busy / capacity, 0.0, 1.0)
+        : 1.0;
+    mix.gc_active =
+        delta[static_cast<std::size_t>(Component::GcMark)] > 0.0 ||
+        delta[static_cast<std::size_t>(Component::GcSweep)] > 0.0;
+    return mix;
+}
+
+} // namespace jasim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Execution-mix extraction.
+ *
+ * The coupling point between the two simulation levels: scheduler
+ * busy-time deltas over one HPM window become the per-component
+ * instruction budget of the microarchitectural window simulation.
+ */
+
+#ifndef JASIM_CORE_MIX_MODEL_H
+#define JASIM_CORE_MIX_MODEL_H
+
+#include <array>
+
+#include "sim/types.h"
+#include "synth/component_profiles.h"
+
+namespace jasim {
+
+/** One window's execution mix. */
+struct WindowMix
+{
+    /** Fraction of busy time per component (sums to 1 when busy). */
+    std::array<double, componentCount> fraction{};
+    /** Total busy core-microseconds in the window. */
+    double busy_us = 0.0;
+    /** Idle fraction of total capacity. */
+    double idle_fraction = 1.0;
+    /** True when any GC phase ran in the window. */
+    bool gc_active = false;
+};
+
+/**
+ * Compute the mix from two scheduler busy snapshots.
+ *
+ * @param previous snapshot at window start.
+ * @param current snapshot at window end.
+ * @param window_us window length.
+ * @param cpus CPU count (for the idle fraction).
+ */
+WindowMix computeMix(
+    const std::array<SimTime, componentCount> &previous,
+    const std::array<SimTime, componentCount> &current,
+    SimTime window_us, std::size_t cpus);
+
+} // namespace jasim
+
+#endif // JASIM_CORE_MIX_MODEL_H

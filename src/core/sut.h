@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The System Under Test: the whole software stack on one server.
+ *
+ * Wires the driver, web container, EJB container, application,
+ * database, JVM (GC + JIT), CPU scheduler, and disk into the
+ * system-level discrete-event simulation. Request processing uses
+ * "virtual threading": a request's stages are walked at dispatch
+ * time through the FCFS scheduler and disk models, each stage's
+ * completion time feeding the next, while the WAS thread pool bounds
+ * concurrency.
+ */
+
+#ifndef JASIM_CORE_SUT_H
+#define JASIM_CORE_SUT_H
+
+#include <memory>
+
+#include "db/database.h"
+#include "driver/driver.h"
+#include "driver/response_tracker.h"
+#include "jvm/gc.h"
+#include "jvm/jit.h"
+#include "jvm/method_registry.h"
+#include "os/disk.h"
+#include "os/scheduler.h"
+#include "os/vmstat.h"
+#include "sim/event_queue.h"
+#include "synth/component_profiles.h"
+#include "was/application.h"
+#include "was/thread_pool.h"
+#include "was/web_container.h"
+
+namespace jasim {
+
+/** Everything configurable about the SUT. */
+struct SutConfig
+{
+    double injection_rate = 40.0;
+    std::size_t cpus = 4;
+    std::size_t was_threads = 64;
+
+    DiskConfig disk;       //!< RAM disk by default
+    GcConfig gc;           //!< 1 GB heap
+    DbConfig db{512, 32};  //!< 2 MB buffer pool per the study DB:pool ratio
+    WebContainerConfig web;
+    EjbContainerConfig ejb;
+    JitConfig jit;
+    DriverConfig driver;   //!< injection_rate is overridden from above
+
+    /** Log-normal sigma of per-request service-demand noise. */
+    double demand_sigma = 0.18;
+
+    /** Multiplier on per-transaction Java allocation (Trade6-style
+     *  workloads allocate differently; 1.0 = jas2004 calibration). */
+    double alloc_scale = 1.0;
+
+    /** Clamp on the interpreted/warm slowdown during JIT warm-up. */
+    double max_jit_slowdown = 1.8;
+
+    /** Methods sampled (and charged JIT warmup) per transaction. */
+    std::size_t methods_per_txn = 8;
+
+    /**
+     * CPU scheduling quantum (us). Bursts longer than this are split
+     * into quanta so concurrent requests share the CPUs round-robin
+     * instead of head-of-line blocking each other (AIX timeslicing).
+     */
+    double cpu_quantum_us = 2000.0;
+};
+
+/** The assembled system. */
+class SystemUnderTest
+{
+  public:
+    /**
+     * @param profiles shared workload profiles (code layouts).
+     * @param registry shared method registry (aligned with profiles).
+     */
+    SystemUnderTest(const SutConfig &config,
+                    std::shared_ptr<const WorkloadProfiles> profiles,
+                    std::shared_ptr<const MethodRegistry> registry,
+                    std::uint64_t seed);
+
+    /** Begin injecting load over [0, end). */
+    void start(SimTime end);
+
+    /** Advance the discrete-event simulation to `horizon`. */
+    void advanceTo(SimTime horizon) { queue_.runUntil(horizon); }
+
+    EventQueue &queue() { return queue_; }
+    CpuScheduler &scheduler() { return scheduler_; }
+    const CpuScheduler &scheduler() const { return scheduler_; }
+    DiskModel &disk() { return disk_; }
+    GarbageCollector &collector() { return gc_; }
+    const GarbageCollector &collector() const { return gc_; }
+    JitCompiler &jit() { return jit_; }
+    ResponseTracker &tracker() { return tracker_; }
+    const ResponseTracker &tracker() const { return tracker_; }
+    Jas2004Application &application() { return app_; }
+    WebContainer &webContainer() { return web_; }
+    EjbContainer &ejbContainer() { return ejb_; }
+    ThreadPool &threadPool() { return pool_; }
+    VmStat &vmstat() { return vmstat_; }
+    const SutConfig &config() const { return config_; }
+
+    /** Live bytes as of the last collection (mark-phase footprint). */
+    std::uint64_t gcLiveBytes() const { return gc_.lastLiveBytes(); }
+
+    /** Cumulative time requests spent blocked on disk I/O. */
+    SimTime diskBlockedUs() const { return disk_blocked_us_; }
+
+    /**
+     * Compute and record one vmstat interval over [from, to), given
+     * the busy/disk deltas the caller tracked.
+     */
+    VmStatRow recordVmstatWindow(SimTime from, SimTime to,
+                                 const std::array<SimTime,
+                                                  componentCount> &busy_delta,
+                                 SimTime disk_blocked_delta);
+
+  private:
+    SutConfig config_;
+    std::shared_ptr<const WorkloadProfiles> profiles_;
+    std::shared_ptr<const MethodRegistry> registry_;
+
+    EventQueue queue_;
+    CpuScheduler scheduler_;
+    DiskModel disk_;
+    GarbageCollector gc_;
+    JitCompiler jit_;
+    Jas2004Application app_;
+    WebContainer web_;
+    EjbContainer ejb_;
+    ThreadPool pool_;
+    ResponseTracker tracker_;
+    VmStat vmstat_;
+    Rng rng_;
+    std::unique_ptr<Driver> driver_;
+    SimTime disk_blocked_us_ = 0;
+
+    /** In-flight request state for the stage machine. */
+    struct Job
+    {
+        Request request;
+        const TxnProfile *profile = nullptr;
+        double noise = 1.0;
+        int stage = 0;
+        ThreadPool::Done done;
+        TxnDbOutcome db;
+        double compile_us = 0.0;
+    };
+
+    void handleRequest(const Request &request);
+    void advanceJob(const std::shared_ptr<Job> &job);
+    void scheduleAdvance(const std::shared_ptr<Job> &job, SimTime when);
+
+    /** Run a burst in scheduler quanta, then advance the job. */
+    void runBurst(const std::shared_ptr<Job> &job, double burst_us,
+                  Component component);
+    SimTime runGc(SimTime now);
+    double demandNoise();
+    double jitWarmupFactor(SimTime now,
+                           const TxnProfile &profile,
+                           double &compile_us);
+};
+
+} // namespace jasim
+
+#endif // JASIM_CORE_SUT_H

@@ -1,0 +1,130 @@
+#include "core/window_simulator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace jasim {
+
+WindowSimulator::WindowSimulator(
+    const WindowSimConfig &config,
+    std::shared_ptr<const WorkloadProfiles> profiles, std::uint64_t seed)
+    : config_(config), profiles_(std::move(profiles)),
+      space_(profiles_->makeAddressSpace(config.heap_large_pages,
+                                         config.code_large_pages))
+{
+    Rng seeder(seed);
+    hierarchy_ = std::make_unique<MemoryHierarchy>(config_.hierarchy,
+                                                   seeder());
+    const std::size_t cores = config_.hierarchy.cores;
+    generators_.resize(cores);
+    for (std::size_t core = 0; core < cores; ++core) {
+        cores_.push_back(std::make_unique<CoreModel>(
+            core, config_.core, *hierarchy_, space_, seeder()));
+        for (const Component c : allComponents) {
+            auto generator = profiles_->makeGenerator(c, core, seeder());
+            if (config_.devirtualized_fraction > 0.0) {
+                generator->setDevirtualizedFraction(
+                    config_.devirtualized_fraction);
+            }
+            generators_[core][static_cast<std::size_t>(c)] =
+                std::move(generator);
+        }
+    }
+}
+
+ExecStats
+WindowSimulator::simulateWindow(const WindowMix &mix,
+                                std::uint64_t gc_live_bytes)
+{
+    ExecStats stats;
+    if (mix.busy_us <= 0.0)
+        return stats;
+
+    const std::size_t cores = cores_.size();
+
+    // Per-(core, component) instruction budgets.
+    std::vector<std::array<std::size_t, componentCount>> budget(cores);
+    for (std::size_t core = 0; core < cores; ++core) {
+        for (std::size_t c = 0; c < componentCount; ++c) {
+            budget[core][c] = static_cast<std::size_t>(
+                mix.fraction[c] *
+                static_cast<double>(config_.sample_insts) /
+                static_cast<double>(cores));
+        }
+    }
+
+    // Keep the mark-phase generators aware of the live-set size.
+    if (mix.gc_active && gc_live_bytes > 0) {
+        for (std::size_t core = 0; core < cores; ++core) {
+            setGcLiveBytes(*generators_[core][static_cast<std::size_t>(
+                               Component::GcMark)],
+                           gc_live_bytes);
+        }
+    }
+
+    // Interleave across cores in chunks (as SMP hardware does), but
+    // within a core run each component's whole budget contiguously:
+    // an OS timeslice is millions of instructions, so per-window
+    // component switches on one core are rare, not per-chunk.
+    bool work_left = true;
+    std::array<std::size_t, 64> comp_cursor{};
+    assert(cores <= comp_cursor.size());
+    while (work_left) {
+        work_left = false;
+        for (std::size_t core = 0; core < cores; ++core) {
+            // Stay on the current component until its budget drains.
+            std::size_t c = comp_cursor[core];
+            std::size_t probes = 0;
+            while (probes < componentCount && budget[core][c] == 0) {
+                c = (c + 1) % componentCount;
+                ++probes;
+            }
+            if (probes == componentCount)
+                continue;
+            comp_cursor[core] = c;
+            const std::size_t run =
+                std::min(config_.chunk, budget[core][c]);
+            StreamGenerator &gen = *generators_[core][c];
+            CoreModel &cpu = *cores_[core];
+            for (std::size_t i = 0; i < run; ++i)
+                cpu.execute(gen.next(), stats);
+            budget[core][c] -= run;
+            work_left = true;
+        }
+    }
+    return stats;
+}
+
+double
+WindowSimulator::scaleFor(const ExecStats &stats, double busy_us) const
+{
+    if (stats.cycles <= 0.0)
+        return 1.0;
+    const double nominal_cycles = busy_us * config_.freq_ghz * 1e3;
+    return nominal_cycles / stats.cycles;
+}
+
+std::vector<std::uint64_t>
+WindowSimulator::jitMethodSamples() const
+{
+    const std::size_t methods =
+        profiles_->layout(Component::WasJit).count();
+    std::vector<std::uint64_t> samples(methods, 0);
+    for (const auto &per_core : generators_) {
+        const auto &gen =
+            per_core[static_cast<std::size_t>(Component::WasJit)];
+        const auto &s = gen->segmentSamples();
+        for (std::size_t m = 0; m < methods; ++m)
+            samples[m] += s[m];
+    }
+    return samples;
+}
+
+void
+WindowSimulator::flushTranslation()
+{
+    for (auto &core : cores_)
+        core->flushTranslation();
+}
+
+} // namespace jasim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The microarchitectural window simulator.
+ *
+ * For each HPM sample window, runs a representative number of
+ * synthetic instructions through the full simulated hardware (shared
+ * cache hierarchy, per-core translation/branch/lock state), with the
+ * instruction budget split across components according to the
+ * window's execution mix and interleaved across the four cores in
+ * small chunks so coherence traffic is realistic. Generator and
+ * hardware state persist across windows, as on real hardware.
+ */
+
+#ifndef JASIM_CORE_WINDOW_SIMULATOR_H
+#define JASIM_CORE_WINDOW_SIMULATOR_H
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/mix_model.h"
+#include "cpu/core_model.h"
+#include "synth/component_profiles.h"
+
+namespace jasim {
+
+/** Window-simulation parameters. */
+struct WindowSimConfig
+{
+    HierarchyConfig hierarchy;
+    CoreConfig core;
+
+    /** Sample instructions simulated per window. */
+    std::size_t sample_insts = 150000;
+    /** Interleave chunk (instructions per core before rotating). */
+    std::size_t chunk = 512;
+    /** Nominal processor frequency for counter scaling. */
+    double freq_ghz = 1.5;
+
+    bool heap_large_pages = true;
+    bool code_large_pages = false;
+
+    /** Fraction of virtual-call sites the JIT devirtualizes. */
+    double devirtualized_fraction = 0.0;
+};
+
+/** The simulator. */
+class WindowSimulator
+{
+  public:
+    WindowSimulator(const WindowSimConfig &config,
+                    std::shared_ptr<const WorkloadProfiles> profiles,
+                    std::uint64_t seed);
+
+    /**
+     * Simulate one window.
+     *
+     * @param mix the window's execution mix.
+     * @param gc_live_bytes current live-heap size (for the mark phase).
+     * @return raw (unscaled) execution statistics for the window.
+     */
+    ExecStats simulateWindow(const WindowMix &mix,
+                             std::uint64_t gc_live_bytes);
+
+    /**
+     * Counter scale factor that blows the sampled window up to the
+     * nominal hardware volume: nominal busy cycles / simulated cycles.
+     */
+    double scaleFor(const ExecStats &stats, double busy_us) const;
+
+    /** Per-method fetch samples from the JIT-code generators. */
+    std::vector<std::uint64_t> jitMethodSamples() const;
+
+    MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    const WindowSimConfig &config() const { return config_; }
+
+    /** Flush translation structures (page-size ablations). */
+    void flushTranslation();
+
+  private:
+    WindowSimConfig config_;
+    std::shared_ptr<const WorkloadProfiles> profiles_;
+    AddressSpace space_;
+    std::unique_ptr<MemoryHierarchy> hierarchy_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    /** generators_[core][component] */
+    std::vector<std::array<std::unique_ptr<StreamGenerator>,
+                           componentCount>> generators_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_CORE_WINDOW_SIMULATOR_H

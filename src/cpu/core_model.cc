@@ -1,0 +1,296 @@
+#include "cpu/core_model.h"
+
+#include "hpm/events.h"
+
+namespace jasim {
+
+void
+ExecStats::merge(const ExecStats &other)
+{
+    cycles += other.cycles;
+    dispatched += other.dispatched;
+    completed += other.completed;
+    completion_cycles += other.completion_cycles;
+    loads += other.loads;
+    stores += other.stores;
+    l1d_load_miss += other.l1d_load_miss;
+    l1d_store_miss += other.l1d_store_miss;
+    for (std::size_t i = 0; i < loads_from.size(); ++i)
+        loads_from[i] += other.loads_from[i];
+    l1i_miss += other.l1i_miss;
+    for (std::size_t i = 0; i < ifetch_from.size(); ++i)
+        ifetch_from[i] += other.ifetch_from[i];
+    ierat_miss += other.ierat_miss;
+    derat_miss += other.derat_miss;
+    itlb_miss += other.itlb_miss;
+    dtlb_miss += other.dtlb_miss;
+    branches += other.branches;
+    cond_branches += other.cond_branches;
+    cond_mispredict += other.cond_mispredict;
+    indirect_branches += other.indirect_branches;
+    returns += other.returns;
+    return_mispredict += other.return_mispredict;
+    target_mispredict += other.target_mispredict;
+    btb_miss += other.btb_miss;
+    larx += other.larx;
+    stcx += other.stcx;
+    stcx_fail += other.stcx_fail;
+    syncs += other.syncs;
+    srq_sync_cycles += other.srq_sync_cycles;
+    kernel_sleeps += other.kernel_sleeps;
+    l1d_prefetch += other.l1d_prefetch;
+    l2_prefetch += other.l2_prefetch;
+    stream_alloc += other.stream_alloc;
+}
+
+void
+ExecStats::exportTo(CounterSet &set, double scale) const
+{
+    auto put = [&](const char *name, double value) {
+        set.add(name, static_cast<std::uint64_t>(value * scale + 0.5));
+    };
+    put(event::cycles, cycles);
+    put(event::instCompleted, static_cast<double>(completed));
+    put(event::instDispatched, dispatched);
+    put(event::cyclesWithCompletion, completion_cycles);
+    put(event::loads, static_cast<double>(loads));
+    put(event::stores, static_cast<double>(stores));
+    put(event::l1dLoadMiss, static_cast<double>(l1d_load_miss));
+    put(event::l1dStoreMiss, static_cast<double>(l1d_store_miss));
+
+    auto src = [&](DataSource s) {
+        return static_cast<double>(
+            loads_from[static_cast<std::size_t>(s)]);
+    };
+    put(event::dataFromL2, src(DataSource::L2));
+    put(event::dataFromL2_5, src(DataSource::L2_5));
+    put(event::dataFromL2_75Shr, src(DataSource::L2_75Shared));
+    put(event::dataFromL2_75Mod, src(DataSource::L2_75Modified));
+    put(event::dataFromL3, src(DataSource::L3));
+    put(event::dataFromL3_5, src(DataSource::L3_5));
+    put(event::dataFromMem, src(DataSource::Memory));
+
+    auto ifs = [&](DataSource s) {
+        return static_cast<double>(
+            ifetch_from[static_cast<std::size_t>(s)]);
+    };
+    put(event::instFetchL1, ifs(DataSource::L1));
+    put(event::instFetchL2,
+        ifs(DataSource::L2) + ifs(DataSource::L2_5) +
+            ifs(DataSource::L2_75Shared) + ifs(DataSource::L2_75Modified));
+    put(event::instFetchL3, ifs(DataSource::L3) + ifs(DataSource::L3_5));
+    put(event::instFetchMem, ifs(DataSource::Memory));
+    put(event::l1iMiss, static_cast<double>(l1i_miss));
+
+    put(event::ieratMiss, static_cast<double>(ierat_miss));
+    put(event::deratMiss, static_cast<double>(derat_miss));
+    put(event::itlbMiss, static_cast<double>(itlb_miss));
+    put(event::dtlbMiss, static_cast<double>(dtlb_miss));
+
+    put(event::branches, static_cast<double>(branches));
+    put(event::condBranches, static_cast<double>(cond_branches));
+    put(event::condMispredict, static_cast<double>(cond_mispredict));
+    put(event::indirectBranches, static_cast<double>(indirect_branches));
+    put(event::targetMispredict, static_cast<double>(target_mispredict));
+    put(event::btbMiss, static_cast<double>(btb_miss));
+
+    put(event::larx, static_cast<double>(larx));
+    put(event::stcx, static_cast<double>(stcx));
+    put(event::stcxFail, static_cast<double>(stcx_fail));
+    put(event::syncs, static_cast<double>(syncs));
+    put(event::srqSyncCycles, srq_sync_cycles);
+    put(event::kernelSleeps, static_cast<double>(kernel_sleeps));
+
+    put(event::l1dPrefetch, static_cast<double>(l1d_prefetch));
+    put(event::l2Prefetch, static_cast<double>(l2_prefetch));
+    put(event::streamAlloc, static_cast<double>(stream_alloc));
+}
+
+CoreModel::CoreModel(std::size_t core_id, const CoreConfig &config,
+                     MemoryHierarchy &hierarchy, const AddressSpace &space,
+                     std::uint64_t seed)
+    : core_id_(core_id), config_(config), mem_(hierarchy),
+      penalty_(config.penalty), xlat_(config.xlat, space),
+      branch_(config.branch), sync_(config.sync),
+      lock_(config.lock, seed ^ 0x10ccull), rng_(seed)
+{
+}
+
+void
+CoreModel::chargeWrongPath(ExecStats &stats, bool pollute, Addr near_pc)
+{
+    stats.dispatched += config_.wrongpath_dispatch;
+    if (!pollute)
+        return;
+    // A target misprediction fetches useless lines near (but not at)
+    // the right path, evicting useful instructions.
+    for (std::uint32_t i = 0; i < config_.pollution_fetches; ++i) {
+        const Addr wrong = (near_pc ^ (rng_() & 0xffffu)) & ~Addr{3};
+        mem_.fetch(core_id_, wrong);
+    }
+}
+
+void
+CoreModel::execute(const Instr &inst, ExecStats &stats)
+{
+    double stall = 0.0;
+    ++stats.completed;
+    stats.dispatched += config_.base_dispatch_factor;
+    stats.completion_cycles += 1.0 / config_.completion_group;
+
+    // --- Instruction side -------------------------------------------------
+    {
+        const XlatOutcome xo = xlat_.translateInst(inst.pc);
+        if (!xo.erat_hit) {
+            ++stats.ierat_miss;
+            if (!xo.tlb_hit)
+                ++stats.itlb_miss;
+            stall += penalty_.xlatStall(xo.penalty);
+        }
+        const MemAccessOutcome mo = mem_.fetch(core_id_, inst.pc);
+        if (!mo.l1_hit)
+            ++stats.l1i_miss;
+        ++stats.ifetch_from[static_cast<std::size_t>(mo.source)];
+        stall += penalty_.fetchStall(mo);
+    }
+
+    // --- Kind-specific behaviour ------------------------------------------
+    switch (inst.kind) {
+      case InstKind::Alu:
+        break;
+
+      case InstKind::Load:
+      case InstKind::Larx: {
+        const XlatOutcome xo = xlat_.translateData(inst.ea);
+        if (!xo.erat_hit) {
+            ++stats.derat_miss;
+            if (!xo.tlb_hit)
+                ++stats.dtlb_miss;
+            stall += penalty_.xlatStall(xo.penalty);
+            stats.dispatched += xo.redispatches;
+        }
+        const MemAccessOutcome mo = mem_.load(core_id_, inst.ea);
+        ++stats.loads;
+        const bool in_burst = insts_since_miss_ <= config_.burst_window;
+        if (!mo.l1_hit) {
+            ++stats.l1d_load_miss;
+            ++stats.loads_from[static_cast<std::size_t>(mo.source)];
+            insts_since_miss_ = 0;
+        }
+        stall += penalty_.loadStall(mo, in_burst);
+        stats.l1d_prefetch += mo.l1_prefetches;
+        stats.l2_prefetch += mo.l2_prefetches;
+        if (mo.stream_allocated)
+            ++stats.stream_alloc;
+        if (inst.kind == InstKind::Larx) {
+            ++stats.larx;
+            lock_.noteLarx();
+        }
+        break;
+      }
+
+      case InstKind::Store:
+      case InstKind::Stcx: {
+        const XlatOutcome xo = xlat_.translateData(inst.ea);
+        if (!xo.erat_hit) {
+            ++stats.derat_miss;
+            if (!xo.tlb_hit)
+                ++stats.dtlb_miss;
+            stall += penalty_.xlatStall(xo.penalty);
+        }
+        const MemAccessOutcome mo = mem_.store(core_id_, inst.ea);
+        ++stats.stores;
+        if (!mo.l1_hit)
+            ++stats.l1d_store_miss;
+        stall += penalty_.storeStall(mo);
+        stall += sync_.noteStore();
+        if (inst.kind == InstKind::Stcx) {
+            ++stats.stcx;
+            const StcxOutcome so = lock_.resolveStcx();
+            stats.stcx_fail += so.retries;
+            if (so.kernel_sleep)
+                ++stats.kernel_sleeps;
+            stall += so.stall_cycles;
+        }
+        break;
+      }
+
+      case InstKind::BranchCond: {
+        ++stats.branches;
+        ++stats.cond_branches;
+        const BranchOutcome bo =
+            branch_.conditional(inst.pc, inst.taken, inst.target);
+        if (!bo.direction_correct) {
+            ++stats.cond_mispredict;
+            chargeWrongPath(stats, false, inst.pc);
+        } else if (!bo.target_correct) {
+            ++stats.btb_miss;
+        }
+        stall += static_cast<double>(bo.penalty);
+        break;
+      }
+
+      case InstKind::BranchDirect: {
+        ++stats.branches;
+        const BranchOutcome bo = branch_.direct(inst.pc, inst.target);
+        if (!bo.target_correct)
+            ++stats.btb_miss;
+        stall += static_cast<double>(bo.penalty);
+        break;
+      }
+
+      case InstKind::Call: {
+        ++stats.branches;
+        const BranchOutcome bo =
+            branch_.call(inst.pc, inst.target, inst.return_addr);
+        if (!bo.target_correct)
+            ++stats.btb_miss;
+        stall += static_cast<double>(bo.penalty);
+        break;
+      }
+
+      case InstKind::BranchIndirect:
+      case InstKind::VirtualCall: {
+        ++stats.branches;
+        ++stats.indirect_branches;
+        const BranchOutcome bo = inst.kind == InstKind::VirtualCall
+            ? branch_.virtualCall(inst.pc, inst.target, inst.return_addr)
+            : branch_.indirect(inst.pc, inst.target);
+        if (!bo.target_correct) {
+            ++stats.target_mispredict;
+            chargeWrongPath(stats, true, inst.target);
+        }
+        stall += static_cast<double>(bo.penalty);
+        break;
+      }
+
+      case InstKind::Return: {
+        ++stats.branches;
+        ++stats.returns;
+        const BranchOutcome bo = branch_.ret(inst.pc, inst.target);
+        if (!bo.target_correct) {
+            ++stats.return_mispredict;
+            chargeWrongPath(stats, false, inst.target);
+        }
+        stall += static_cast<double>(bo.penalty);
+        break;
+      }
+
+      case InstKind::Sync:
+      case InstKind::Lwsync:
+      case InstKind::Isync: {
+        const SyncOutcome so = sync_.issueSync(inst.kind);
+        ++stats.syncs;
+        stats.srq_sync_cycles += so.srq_occupancy_cycles;
+        stall += so.stall_cycles;
+        break;
+      }
+    }
+
+    sync_.drainTick();
+    if (insts_since_miss_ != ~0ull)
+        ++insts_since_miss_;
+    stats.cycles += config_.penalty.base_cpi + stall;
+}
+
+} // namespace jasim

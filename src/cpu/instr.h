@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The dynamic instruction record exchanged between the synthetic
+ * stream generators and the core model.
+ *
+ * jasim does not interpret an ISA; the stream generators emit dynamic
+ * instructions with resolved addresses and outcomes, and the core
+ * model charges them against the simulated microarchitecture. The
+ * kinds cover everything the paper's counters distinguish, including
+ * the PowerPC synchronization primitives.
+ */
+
+#ifndef JASIM_CPU_INSTR_H
+#define JASIM_CPU_INSTR_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Dynamic instruction classes. */
+enum class InstKind : std::uint8_t
+{
+    Alu,            //!< fixed-point / FP / logic, no memory or control
+    Load,
+    Store,
+    BranchCond,     //!< conditional branch, direct target
+    BranchDirect,   //!< unconditional direct jump
+    BranchIndirect, //!< branch-to-CTR other than a call (e.g. switch)
+    Call,           //!< direct call (pushes return stack)
+    VirtualCall,    //!< indirect call via dispatch table (count cache)
+    Return,         //!< blr
+    Larx,           //!< load-and-reserve (lwarx/ldarx)
+    Stcx,           //!< store-conditional (stwcx/stdcx)
+    Sync,           //!< heavyweight sync
+    Lwsync,         //!< lightweight sync
+    Isync,          //!< instruction sync
+};
+
+/** True for kinds that read memory. */
+constexpr bool
+isLoadKind(InstKind kind)
+{
+    return kind == InstKind::Load || kind == InstKind::Larx;
+}
+
+/** True for kinds that write memory. */
+constexpr bool
+isStoreKind(InstKind kind)
+{
+    return kind == InstKind::Store || kind == InstKind::Stcx;
+}
+
+/** True for control-transfer kinds. */
+constexpr bool
+isBranchKind(InstKind kind)
+{
+    switch (kind) {
+      case InstKind::BranchCond:
+      case InstKind::BranchDirect:
+      case InstKind::BranchIndirect:
+      case InstKind::Call:
+      case InstKind::VirtualCall:
+      case InstKind::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One dynamic instruction. */
+struct Instr
+{
+    InstKind kind = InstKind::Alu;
+    Addr pc = 0;          //!< fetch address
+    Addr ea = 0;          //!< effective address (memory kinds)
+    Addr target = 0;      //!< resolved target (branch kinds)
+    Addr return_addr = 0; //!< pc + 4 for calls
+    bool taken = false;   //!< conditional branches
+};
+
+} // namespace jasim
+
+#endif // JASIM_CPU_INSTR_H

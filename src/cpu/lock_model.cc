@@ -1,0 +1,25 @@
+#include "cpu/lock_model.h"
+
+namespace jasim {
+
+StcxOutcome
+LockModel::resolveStcx()
+{
+    StcxOutcome outcome;
+    while (rng_.chance(config_.stcx_fail_probability)) {
+        ++outcome.retries;
+        outcome.stall_cycles += config_.spin_cost;
+        if (rng_.chance(config_.kernel_sleep_probability /
+                        config_.stcx_fail_probability)) {
+            outcome.kernel_sleep = true;
+            outcome.stall_cycles += config_.kernel_sleep_cost;
+            break;
+        }
+        if (outcome.retries >= 16)
+            break; // bounded spin before the OS would intervene
+    }
+    outcome.success = true; // acquisition eventually succeeds
+    return outcome;
+}
+
+} // namespace jasim

@@ -1,0 +1,54 @@
+#include "cpu/penalty_model.h"
+
+namespace jasim {
+
+double
+PenaltyModel::loadVisibility(DataSource source) const
+{
+    switch (source) {
+      case DataSource::L1:
+        return 0.0;
+      case DataSource::L2:
+        return config_.load_l2_visible;
+      case DataSource::L2_5:
+      case DataSource::L2_75Shared:
+      case DataSource::L2_75Modified:
+        return config_.load_remote_visible;
+      case DataSource::L3:
+      case DataSource::L3_5:
+        return config_.load_l3_visible;
+      case DataSource::Memory:
+        return config_.load_memory_visible;
+    }
+    return 0.0;
+}
+
+double
+PenaltyModel::loadStall(const MemAccessOutcome &outcome, bool in_burst) const
+{
+    if (outcome.l1_hit)
+        return 0.0;
+    double stall = loadVisibility(outcome.source) *
+        static_cast<double>(outcome.latency);
+    if (in_burst)
+        stall *= config_.burst_multiplier;
+    return stall;
+}
+
+double
+PenaltyModel::storeStall(const MemAccessOutcome &outcome) const
+{
+    if (outcome.l1_hit)
+        return 0.0;
+    return config_.store_visible * static_cast<double>(outcome.latency);
+}
+
+double
+PenaltyModel::fetchStall(const MemAccessOutcome &outcome) const
+{
+    if (outcome.l1_hit)
+        return 0.0;
+    return config_.ifetch_visible * static_cast<double>(outcome.latency);
+}
+
+} // namespace jasim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Converts microarchitectural event latencies into visible CPI.
+ *
+ * An out-of-order core hides much of an isolated L2-hit latency (the
+ * paper: "a single L1 DCache miss is often satisfied out of L2 ... and
+ * its impact can be hidden (POWER4 can have about 100 instructions in
+ * flight), but a burst of L1 DCache misses would ... slow down a
+ * processor pipeline"). The penalty model therefore charges each raw
+ * latency a *visibility fraction* that depends on the source and on
+ * whether the miss arrived inside a burst.
+ */
+
+#ifndef JASIM_CPU_PENALTY_MODEL_H
+#define JASIM_CPU_PENALTY_MODEL_H
+
+#include "mem/hierarchy.h"
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Visibility fractions and base cost. */
+struct PenaltyConfig
+{
+    /** Cycles per instruction with no stalls (measured idle CPI). */
+    double base_cpi = 0.7;
+
+    /** Fraction of load-miss latency visible when the miss is isolated. */
+    double load_l2_visible = 0.10;
+    double load_remote_visible = 0.45;
+    double load_l3_visible = 0.18;
+    double load_memory_visible = 0.38;
+
+    /** Extra visibility multiplier for misses inside a burst. */
+    double burst_multiplier = 1.6;
+
+    /** Stores drain through the SRQ; almost fully hidden. */
+    double store_visible = 0.02;
+
+    /** Front-end stalls are hard to hide. */
+    double ifetch_visible = 0.50;
+
+    /** Translation penalties stall the access directly. */
+    double xlat_visible = 0.6;
+};
+
+/** Stateless latency-to-stall conversion. */
+class PenaltyModel
+{
+  public:
+    explicit PenaltyModel(const PenaltyConfig &config) : config_(config) {}
+
+    const PenaltyConfig &config() const { return config_; }
+
+    /** Visible stall cycles of a demand load. */
+    double loadStall(const MemAccessOutcome &outcome, bool in_burst) const;
+
+    /** Visible stall cycles of a store. */
+    double storeStall(const MemAccessOutcome &outcome) const;
+
+    /** Visible stall cycles of an instruction fetch. */
+    double fetchStall(const MemAccessOutcome &outcome) const;
+
+    /** Visible stall cycles of a translation penalty. */
+    double xlatStall(Cycles penalty) const
+    {
+        return config_.xlat_visible * static_cast<double>(penalty);
+    }
+
+  private:
+    PenaltyConfig config_;
+
+    double loadVisibility(DataSource source) const;
+};
+
+} // namespace jasim
+
+#endif // JASIM_CPU_PENALTY_MODEL_H

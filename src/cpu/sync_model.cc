@@ -1,0 +1,58 @@
+#include "cpu/sync_model.h"
+
+#include <cassert>
+
+namespace jasim {
+
+double
+SyncModel::noteStore()
+{
+    if (outstanding_ < config_.srq_entries) {
+        ++outstanding_;
+        return 0.0;
+    }
+    // SRQ full: the store stalls dispatch until one entry drains.
+    return config_.drain_per_store;
+}
+
+void
+SyncModel::drainTick()
+{
+    // Roughly one store drains every couple of instructions; use a
+    // fractional credit so the drain rate is smooth.
+    drain_credit_ += 0.5;
+    while (drain_credit_ >= 1.0 && outstanding_ > 0) {
+        --outstanding_;
+        drain_credit_ -= 1.0;
+    }
+    if (outstanding_ == 0)
+        drain_credit_ = 0.0;
+}
+
+SyncOutcome
+SyncModel::issueSync(InstKind kind)
+{
+    SyncOutcome outcome;
+    const double drain =
+        config_.drain_per_store * static_cast<double>(outstanding_);
+    switch (kind) {
+      case InstKind::Sync:
+        outcome.stall_cycles = config_.sync_base_cost + drain;
+        outcome.srq_occupancy_cycles = outcome.stall_cycles;
+        outstanding_ = 0;
+        break;
+      case InstKind::Lwsync:
+        outcome.stall_cycles = config_.lwsync_base_cost + 0.25 * drain;
+        outcome.srq_occupancy_cycles = outcome.stall_cycles;
+        break;
+      case InstKind::Isync:
+        outcome.stall_cycles = config_.isync_base_cost;
+        // ISYNC does not place a request in the SRQ.
+        break;
+      default:
+        assert(false && "not a sync kind");
+    }
+    return outcome;
+}
+
+} // namespace jasim

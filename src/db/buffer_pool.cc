@@ -1,0 +1,54 @@
+#include "db/buffer_pool.h"
+
+#include <cassert>
+
+namespace jasim {
+
+BufferPool::BufferPool(std::size_t capacity_pages)
+    : capacity_(capacity_pages)
+{
+    assert(capacity_pages > 0);
+}
+
+PinResult
+BufferPool::pin(PageKey key, bool mark_dirty)
+{
+    PinResult result;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        result.hit = true;
+        ++hits_;
+        it->second->dirty |= mark_dirty;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return result;
+    }
+
+    ++misses_;
+    if (lru_.size() >= capacity_) {
+        const Frame &victim = lru_.back();
+        if (victim.dirty) {
+            result.writeback = true;
+            ++writebacks_;
+        }
+        index_.erase(victim.key);
+        lru_.pop_back();
+    }
+    lru_.push_front(Frame{key, mark_dirty});
+    index_[key] = lru_.begin();
+    return result;
+}
+
+bool
+BufferPool::resident(PageKey key) const
+{
+    return index_.count(key) != 0;
+}
+
+void
+BufferPool::clear()
+{
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace jasim

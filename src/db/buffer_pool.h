@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Page buffer pool with LRU replacement.
+ *
+ * Every page touch in the query engine goes through the pool; misses
+ * are charged as disk reads (RAM disk or spinning disk) by the layer
+ * above. The pool's hit rate is what decides whether the SUT can keep
+ * I/O wait near zero -- the tuning prerequisite of the whole study.
+ */
+
+#ifndef JASIM_DB_BUFFER_POOL_H
+#define JASIM_DB_BUFFER_POOL_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace jasim {
+
+/** Identity of a page: table id + page number. */
+struct PageKey
+{
+    std::uint32_t table = 0;
+    std::uint32_t page = 0;
+
+    bool operator==(const PageKey &other) const = default;
+};
+
+struct PageKeyHash
+{
+    std::size_t
+    operator()(const PageKey &key) const
+    {
+        return (static_cast<std::size_t>(key.table) << 32) ^ key.page;
+    }
+};
+
+/** Result of a pin. */
+struct PinResult
+{
+    bool hit = false;
+    /** A dirty page was evicted (costs a write-back). */
+    bool writeback = false;
+};
+
+/** LRU page cache (bookkeeping only; no page data is stored). */
+class BufferPool
+{
+  public:
+    explicit BufferPool(std::size_t capacity_pages);
+
+    /** Touch a page, faulting it in if absent. */
+    PinResult pin(PageKey key, bool mark_dirty = false);
+
+    /** Is a page resident (no LRU update)? */
+    bool resident(PageKey key) const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t residentPages() const { return lru_.size(); }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits_) / static_cast<double>(total);
+    }
+
+    /** Drop everything (cold-start experiments). */
+    void clear();
+
+  private:
+    struct Frame
+    {
+        PageKey key;
+        bool dirty = false;
+    };
+
+    std::size_t capacity_;
+    std::list<Frame> lru_; //!< front = most recent
+    std::unordered_map<PageKey, std::list<Frame>::iterator, PageKeyHash>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_DB_BUFFER_POOL_H

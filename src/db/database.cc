@@ -1,0 +1,328 @@
+#include "db/database.h"
+
+#include <cassert>
+
+namespace jasim {
+
+void
+DbCost::add(const DbCost &other)
+{
+    pages_hit += other.pages_hit;
+    pages_read += other.pages_read;
+    writebacks += other.writebacks;
+    rows += other.rows;
+    log_bytes_forced += other.log_bytes_forced;
+    cpu_us += other.cpu_us;
+}
+
+Database::Database(const DbConfig &config)
+    : config_(config), pool_(config.buffer_pool_pages)
+{
+}
+
+std::uint32_t
+Database::createTable(Schema schema)
+{
+    assert(!schema.columns.empty());
+    assert(schema.columns[0].type == ColumnType::Integer &&
+           "column 0 must be an integer primary key");
+    const std::uint32_t id = static_cast<std::uint32_t>(tables_.size());
+    table_names_[schema.table_name] = id;
+    TableState ts;
+    ts.table = std::make_unique<Table>(std::move(schema),
+                                       config_.rows_per_page);
+    tables_.push_back(std::move(ts));
+    return id;
+}
+
+void
+Database::createSecondaryIndex(std::uint32_t table_id,
+                               const std::string &column)
+{
+    TableState &ts = state(table_id);
+    const auto col = ts.table->schema().columnIndex(column);
+    assert(col && "unknown column");
+    MultiIndex &index = ts.secondary[column];
+    ts.table->scan([&](RowId id, const Row &row) {
+        index.insert(std::get<std::int64_t>(row[*col]), id);
+        return true;
+    });
+}
+
+std::optional<std::uint32_t>
+Database::tableId(const std::string &name) const
+{
+    const auto it = table_names_.find(name);
+    if (it == table_names_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const Table &
+Database::table(std::uint32_t table_id) const
+{
+    return *state(table_id).table;
+}
+
+Database::TableState &
+Database::state(std::uint32_t table_id)
+{
+    assert(table_id < tables_.size());
+    return tables_[table_id];
+}
+
+const Database::TableState &
+Database::state(std::uint32_t table_id) const
+{
+    assert(table_id < tables_.size());
+    return tables_[table_id];
+}
+
+void
+Database::touchPage(std::uint32_t table_id, std::uint32_t page,
+                    bool dirty, DbCost &cost)
+{
+    const PinResult pin = pool_.pin(PageKey{table_id, page}, dirty);
+    if (pin.hit)
+        ++cost.pages_hit;
+    else
+        ++cost.pages_read;
+    if (pin.writeback)
+        ++cost.writebacks;
+    cost.cpu_us += pin.hit ? 0.3 : 1.2;
+}
+
+std::uint32_t
+Database::rowBytes(const Row &row)
+{
+    std::uint32_t bytes = 0;
+    for (const auto &value : row) {
+        if (std::holds_alternative<std::int64_t>(value))
+            bytes += 8;
+        else
+            bytes += static_cast<std::uint32_t>(
+                std::get<std::string>(value).size()) + 4;
+    }
+    return bytes;
+}
+
+std::int64_t
+Database::keyOf(const Row &row)
+{
+    return std::get<std::int64_t>(row[0]);
+}
+
+void
+Database::indexRemove(TableState &ts, RowId id, const Row &row)
+{
+    for (auto &[column, index] : ts.secondary) {
+        const auto col = ts.table->schema().columnIndex(column);
+        index.erase(std::get<std::int64_t>(row[*col]), id);
+    }
+}
+
+void
+Database::indexAdd(TableState &ts, RowId id, const Row &row)
+{
+    for (auto &[column, index] : ts.secondary) {
+        const auto col = ts.table->schema().columnIndex(column);
+        index.insert(std::get<std::int64_t>(row[*col]), id);
+    }
+}
+
+TxnId
+Database::begin()
+{
+    const TxnId txn = next_txn_++;
+    active_[txn] = {};
+    wal_.append(txn, WalRecordType::Begin, 0);
+    return txn;
+}
+
+DbCost
+Database::commit(TxnId txn)
+{
+    DbCost cost;
+    const auto it = active_.find(txn);
+    assert(it != active_.end() && "commit of unknown transaction");
+    wal_.append(txn, WalRecordType::Commit, 0);
+    cost.log_bytes_forced = wal_.force();
+    cost.cpu_us += 4.0;
+    active_.erase(it);
+    return cost;
+}
+
+DbCost
+Database::abort(TxnId txn)
+{
+    DbCost cost;
+    const auto it = active_.find(txn);
+    assert(it != active_.end() && "abort of unknown transaction");
+    // Undo in reverse order.
+    for (auto undo = it->second.rbegin(); undo != it->second.rend();
+         ++undo) {
+        TableState &ts = state(undo->table_id);
+        const auto current = ts.table->fetch(undo->row_id);
+        if (current) {
+            indexRemove(ts, undo->row_id, *current);
+        }
+        if (undo->before) {
+            if (current)
+                ts.table->update(undo->row_id, *undo->before);
+            else {
+                // Row was erased in the txn; resurrecting tombstones
+                // is not supported by Table, so re-insert.
+                const RowId id = ts.table->insert(*undo->before);
+                ts.primary.erase(keyOf(*undo->before));
+                ts.primary.insert(keyOf(*undo->before), id);
+                indexAdd(ts, id, *undo->before);
+                touchPage(undo->table_id, id.page, true, cost);
+                continue;
+            }
+            indexAdd(ts, undo->row_id, *undo->before);
+        } else if (current) {
+            // Undo an insert.
+            ts.primary.erase(keyOf(*current));
+            ts.table->erase(undo->row_id);
+        }
+        touchPage(undo->table_id, undo->row_id.page, true, cost);
+        ++cost.rows;
+    }
+    wal_.append(txn, WalRecordType::Abort, 0);
+    cost.log_bytes_forced = wal_.force();
+    cost.cpu_us += 6.0;
+    active_.erase(it);
+    return cost;
+}
+
+DbCost
+Database::insert(TxnId txn, std::uint32_t table_id, Row row)
+{
+    DbCost cost;
+    TableState &ts = state(table_id);
+    const std::int64_t key = keyOf(row);
+    const std::uint32_t bytes = rowBytes(row);
+    const RowId id = ts.table->insert(std::move(row));
+    const bool unique = ts.primary.insert(key, id);
+    assert(unique && "duplicate primary key");
+    (void)unique;
+    const auto inserted = ts.table->fetch(id);
+    indexAdd(ts, id, *inserted);
+
+    touchPage(table_id, id.page, true, cost);
+    wal_.append(txn, WalRecordType::Insert, bytes);
+    active_[txn].push_back(UndoEntry{table_id, id, std::nullopt});
+    ++cost.rows;
+    cost.cpu_us += 2.0;
+    return cost;
+}
+
+std::optional<Row>
+Database::pointSelect(std::uint32_t table_id, std::int64_t key,
+                      DbCost &cost)
+{
+    TableState &ts = state(table_id);
+    cost.cpu_us += 0.8; // index probe
+    const auto id = ts.primary.find(key);
+    if (!id)
+        return std::nullopt;
+    touchPage(table_id, id->page, false, cost);
+    ++cost.rows;
+    return ts.table->fetch(*id);
+}
+
+DbCost
+Database::updateByKey(TxnId txn, std::uint32_t table_id,
+                      std::int64_t key, Row row)
+{
+    DbCost cost;
+    TableState &ts = state(table_id);
+    const auto id = ts.primary.find(key);
+    if (!id) {
+        cost.cpu_us += 0.8;
+        return cost;
+    }
+    const auto before = ts.table->fetch(*id);
+    assert(before);
+    indexRemove(ts, *id, *before);
+    const std::uint32_t bytes = rowBytes(row);
+    ts.table->update(*id, std::move(row));
+    const auto after = ts.table->fetch(*id);
+    indexAdd(ts, *id, *after);
+
+    touchPage(table_id, id->page, true, cost);
+    wal_.append(txn, WalRecordType::Update, bytes);
+    active_[txn].push_back(UndoEntry{table_id, *id, before});
+    ++cost.rows;
+    cost.cpu_us += 2.5;
+    return cost;
+}
+
+DbCost
+Database::eraseByKey(TxnId txn, std::uint32_t table_id, std::int64_t key)
+{
+    DbCost cost;
+    TableState &ts = state(table_id);
+    const auto id = ts.primary.find(key);
+    if (!id) {
+        cost.cpu_us += 0.8;
+        return cost;
+    }
+    const auto before = ts.table->fetch(*id);
+    assert(before);
+    indexRemove(ts, *id, *before);
+    ts.primary.erase(key);
+    ts.table->erase(*id);
+
+    touchPage(table_id, id->page, true, cost);
+    wal_.append(txn, WalRecordType::Erase, rowBytes(*before));
+    active_[txn].push_back(UndoEntry{table_id, *id, before});
+    ++cost.rows;
+    cost.cpu_us += 2.0;
+    return cost;
+}
+
+std::vector<Row>
+Database::selectBySecondary(std::uint32_t table_id,
+                            const std::string &column, std::int64_t key,
+                            DbCost &cost)
+{
+    TableState &ts = state(table_id);
+    const auto index = ts.secondary.find(column);
+    assert(index != ts.secondary.end() && "no such secondary index");
+    cost.cpu_us += 1.0;
+    std::vector<Row> rows;
+    for (const RowId id : index->second.find(key)) {
+        touchPage(table_id, id.page, false, cost);
+        const auto row = ts.table->fetch(id);
+        if (row) {
+            rows.push_back(*row);
+            ++cost.rows;
+        }
+    }
+    return rows;
+}
+
+std::vector<Row>
+Database::scanWhere(std::uint32_t table_id, std::size_t column,
+                    std::int64_t value, DbCost &cost)
+{
+    TableState &ts = state(table_id);
+    std::vector<Row> rows;
+    std::uint32_t last_page = ~0u;
+    ts.table->scan([&](RowId id, const Row &row) {
+        if (id.page != last_page) {
+            touchPage(table_id, id.page, false, cost);
+            last_page = id.page;
+        }
+        cost.cpu_us += 0.05;
+        if (std::get<std::int64_t>(row[column]) == value) {
+            rows.push_back(row);
+            ++cost.rows;
+        }
+        return true;
+    });
+    return rows;
+}
+
+} // namespace jasim

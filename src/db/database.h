@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The database facade: tables, indexes, buffer pool, WAL, transactions.
+ *
+ * A deliberately small but genuine relational engine standing in for
+ * DB2: operations return DbCost records (page hits/misses, forced log
+ * bytes, CPU estimate) that the system-level simulation converts into
+ * service time and disk traffic.
+ */
+
+#ifndef JASIM_DB_DATABASE_H
+#define JASIM_DB_DATABASE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/buffer_pool.h"
+#include "db/index.h"
+#include "db/table.h"
+#include "db/wal.h"
+
+namespace jasim {
+
+/** Engine sizing. */
+struct DbConfig
+{
+    std::size_t buffer_pool_pages = 32768; //!< 128 MB of 4 KB pages
+    std::uint16_t rows_per_page = 32;
+};
+
+/** Cost of one or more operations. */
+struct DbCost
+{
+    std::uint64_t pages_hit = 0;
+    std::uint64_t pages_read = 0;   //!< buffer pool misses
+    std::uint64_t writebacks = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t log_bytes_forced = 0;
+    double cpu_us = 0.0;
+
+    void add(const DbCost &other);
+};
+
+/** Transaction handle. */
+using TxnId = std::uint64_t;
+
+/**
+ * The engine. Not thread-safe: the system simulation serializes
+ * access, modelling DB2's latching at a coarser grain.
+ */
+class Database
+{
+  public:
+    explicit Database(const DbConfig &config);
+
+    /** Create a table; column 0 becomes the unique primary key. */
+    std::uint32_t createTable(Schema schema);
+
+    /** Create a non-unique secondary index on an integer column. */
+    void createSecondaryIndex(std::uint32_t table_id,
+                              const std::string &column);
+
+    std::optional<std::uint32_t> tableId(const std::string &name) const;
+    const Table &table(std::uint32_t table_id) const;
+
+    TxnId begin();
+    DbCost commit(TxnId txn);
+    DbCost abort(TxnId txn);
+
+    /** Insert a row (column 0 must be a unique integer key). */
+    DbCost insert(TxnId txn, std::uint32_t table_id, Row row);
+
+    /** Point select by primary key. */
+    std::optional<Row> pointSelect(std::uint32_t table_id,
+                                   std::int64_t key, DbCost &cost);
+
+    /** Update by primary key; cost reflects read + write + log. */
+    DbCost updateByKey(TxnId txn, std::uint32_t table_id,
+                       std::int64_t key, Row row);
+
+    /** Delete by primary key. */
+    DbCost eraseByKey(TxnId txn, std::uint32_t table_id,
+                      std::int64_t key);
+
+    /** Select via a secondary index. */
+    std::vector<Row> selectBySecondary(std::uint32_t table_id,
+                                       const std::string &column,
+                                       std::int64_t key, DbCost &cost);
+
+    /** Predicate full scan (no index). */
+    std::vector<Row> scanWhere(std::uint32_t table_id,
+                               std::size_t column, std::int64_t value,
+                               DbCost &cost);
+
+    const BufferPool &bufferPool() const { return pool_; }
+    const Wal &wal() const { return wal_; }
+
+  private:
+    struct TableState
+    {
+        std::unique_ptr<Table> table;
+        UniqueIndex primary;
+        std::map<std::string, MultiIndex> secondary;
+    };
+
+    struct UndoEntry
+    {
+        std::uint32_t table_id;
+        RowId row_id;
+        std::optional<Row> before; //!< nullopt for inserts
+    };
+
+    DbConfig config_;
+    std::vector<TableState> tables_;
+    std::unordered_map<std::string, std::uint32_t> table_names_;
+    BufferPool pool_;
+    Wal wal_;
+    TxnId next_txn_ = 1;
+    std::unordered_map<TxnId, std::vector<UndoEntry>> active_;
+
+    TableState &state(std::uint32_t table_id);
+    const TableState &state(std::uint32_t table_id) const;
+
+    /** Charge a page touch to the pool and the cost record. */
+    void touchPage(std::uint32_t table_id, std::uint32_t page,
+                   bool dirty, DbCost &cost);
+
+    static std::uint32_t rowBytes(const Row &row);
+    static std::int64_t keyOf(const Row &row);
+
+    /** Maintain secondary indexes around a row mutation. */
+    void indexRemove(TableState &ts, RowId id, const Row &row);
+    void indexAdd(TableState &ts, RowId id, const Row &row);
+};
+
+} // namespace jasim
+
+#endif // JASIM_DB_DATABASE_H

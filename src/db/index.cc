@@ -1,0 +1,59 @@
+#include "db/index.h"
+
+#include <algorithm>
+
+namespace jasim {
+
+bool
+UniqueIndex::insert(std::int64_t key, RowId id)
+{
+    return map_.emplace(key, id).second;
+}
+
+std::optional<RowId>
+UniqueIndex::find(std::int64_t key) const
+{
+    const auto it = map_.find(key);
+    if (it == map_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+UniqueIndex::erase(std::int64_t key)
+{
+    return map_.erase(key) != 0;
+}
+
+void
+MultiIndex::insert(std::int64_t key, RowId id)
+{
+    map_[key].push_back(id);
+    ++entries_;
+}
+
+std::vector<RowId>
+MultiIndex::find(std::int64_t key) const
+{
+    const auto it = map_.find(key);
+    return it == map_.end() ? std::vector<RowId>{} : it->second;
+}
+
+bool
+MultiIndex::erase(std::int64_t key, RowId id)
+{
+    const auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    auto &ids = it->second;
+    const auto pos = std::find(ids.begin(), ids.end(), id);
+    if (pos == ids.end())
+        return false;
+    ids.erase(pos);
+    --entries_;
+    if (ids.empty())
+        map_.erase(it);
+    return true;
+}
+
+} // namespace jasim

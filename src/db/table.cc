@@ -1,0 +1,75 @@
+#include "db/table.h"
+
+#include <cassert>
+
+namespace jasim {
+
+std::optional<std::size_t>
+Schema::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].name == name)
+            return i;
+    }
+    return std::nullopt;
+}
+
+Table::Table(Schema schema, std::uint16_t rows_per_page)
+    : schema_(std::move(schema)), rows_per_page_(rows_per_page)
+{
+    assert(rows_per_page_ > 0);
+    assert(!schema_.columns.empty());
+}
+
+RowId
+Table::insert(Row row)
+{
+    assert(row.size() == schema_.columns.size());
+    if (pages_.empty() || pages_.back().rows.size() >= rows_per_page_)
+        pages_.push_back(Page{});
+    Page &page = pages_.back();
+    page.rows.push_back(std::move(row));
+    page.live.push_back(true);
+    ++live_rows_;
+    return RowId{static_cast<std::uint32_t>(pages_.size() - 1),
+                 static_cast<std::uint16_t>(page.rows.size() - 1)};
+}
+
+std::optional<Row>
+Table::fetch(RowId id) const
+{
+    if (id.page >= pages_.size())
+        return std::nullopt;
+    const Page &page = pages_[id.page];
+    if (id.slot >= page.rows.size() || !page.live[id.slot])
+        return std::nullopt;
+    return page.rows[id.slot];
+}
+
+bool
+Table::update(RowId id, Row row)
+{
+    assert(row.size() == schema_.columns.size());
+    if (id.page >= pages_.size())
+        return false;
+    Page &page = pages_[id.page];
+    if (id.slot >= page.rows.size() || !page.live[id.slot])
+        return false;
+    page.rows[id.slot] = std::move(row);
+    return true;
+}
+
+bool
+Table::erase(RowId id)
+{
+    if (id.page >= pages_.size())
+        return false;
+    Page &page = pages_[id.page];
+    if (id.slot >= page.rows.size() || !page.live[id.slot])
+        return false;
+    page.live[id.slot] = false;
+    --live_rows_;
+    return true;
+}
+
+} // namespace jasim

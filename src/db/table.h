@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Relational storage: schemas, rows, pages, tables.
+ *
+ * The DB2 stand-in stores rows in fixed-capacity pages so that access
+ * costs are page-granular and flow through the buffer pool, which is
+ * what couples the database to the memory/disk behaviour the paper
+ * observes.
+ */
+
+#ifndef JASIM_DB_TABLE_H
+#define JASIM_DB_TABLE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace jasim {
+
+/** Column value: integer or string. */
+using Value = std::variant<std::int64_t, std::string>;
+
+/** Column types. */
+enum class ColumnType : std::uint8_t { Integer, Text };
+
+/** One column definition. */
+struct Column
+{
+    std::string name;
+    ColumnType type;
+};
+
+/** Table schema: ordered columns; column 0 is the primary key. */
+struct Schema
+{
+    std::string table_name;
+    std::vector<Column> columns;
+
+    std::optional<std::size_t> columnIndex(const std::string &name) const;
+};
+
+/** A row is one value per column. */
+using Row = std::vector<Value>;
+
+/** Location of a row: page number and slot within the page. */
+struct RowId
+{
+    std::uint32_t page = 0;
+    std::uint16_t slot = 0;
+
+    bool operator==(const RowId &other) const = default;
+};
+
+/**
+ * Heap-file table: pages of rows with tombstone deletion.
+ */
+class Table
+{
+  public:
+    Table(Schema schema, std::uint16_t rows_per_page = 32);
+
+    const Schema &schema() const { return schema_; }
+
+    /** Append a row; returns its location. */
+    RowId insert(Row row);
+
+    /** Fetch a row (nullopt when the slot is a tombstone). */
+    std::optional<Row> fetch(RowId id) const;
+
+    /** Overwrite a row in place; false if the slot is dead/absent. */
+    bool update(RowId id, Row row);
+
+    /** Tombstone a row; false if already dead/absent. */
+    bool erase(RowId id);
+
+    std::uint32_t pageCount() const
+    {
+        return static_cast<std::uint32_t>(pages_.size());
+    }
+
+    std::uint16_t rowsPerPage() const { return rows_per_page_; }
+
+    /** Live rows (excludes tombstones). */
+    std::uint64_t rowCount() const { return live_rows_; }
+
+    /**
+     * Visit every live row in page order; the visitor receives
+     * (RowId, const Row&) and returns false to stop early.
+     */
+    template <typename Visitor>
+    void
+    scan(Visitor &&visit) const
+    {
+        for (std::uint32_t p = 0; p < pages_.size(); ++p) {
+            const auto &page = pages_[p];
+            for (std::uint16_t s = 0; s < page.rows.size(); ++s) {
+                if (!page.live[s])
+                    continue;
+                if (!visit(RowId{p, s}, page.rows[s]))
+                    return;
+            }
+        }
+    }
+
+  private:
+    struct Page
+    {
+        std::vector<Row> rows;
+        std::vector<bool> live;
+    };
+
+    Schema schema_;
+    std::uint16_t rows_per_page_;
+    std::vector<Page> pages_;
+    std::uint64_t live_rows_ = 0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_DB_TABLE_H

@@ -1,0 +1,46 @@
+#include "db/wal.h"
+
+#include <algorithm>
+
+namespace jasim {
+
+std::uint64_t
+Wal::append(std::uint64_t txn, WalRecordType type,
+            std::uint32_t payload_bytes)
+{
+    WalRecord record;
+    record.lsn = next_lsn_++;
+    record.txn = txn;
+    record.type = type;
+    record.bytes = payload_bytes + headerBytes;
+    appended_bytes_ += record.bytes;
+    records_.push_back(record);
+    return record.lsn;
+}
+
+std::uint64_t
+Wal::force()
+{
+    const std::uint64_t pending = appended_bytes_ - forced_bytes_;
+    if (pending > 0) {
+        forced_bytes_ = appended_bytes_;
+        ++forces_;
+        // Forced records are durable; drop them so a long run's log
+        // memory stays flat (recovery is outside the model's scope).
+        records_.clear();
+    }
+    return pending;
+}
+
+void
+Wal::truncate(std::uint64_t up_to_lsn)
+{
+    records_.erase(
+        std::remove_if(records_.begin(), records_.end(),
+                       [up_to_lsn](const WalRecord &r) {
+                           return r.lsn <= up_to_lsn;
+                       }),
+        records_.end());
+}
+
+} // namespace jasim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Write-ahead log.
+ *
+ * Commits force the log; the forced bytes are what the disk model
+ * (RAM disk vs spinning disks) turns into I/O wait -- the effect that
+ * made the paper's 2-disk configuration fail its response-time SLA.
+ */
+
+#ifndef JASIM_DB_WAL_H
+#define JASIM_DB_WAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jasim {
+
+/** Kinds of log records. */
+enum class WalRecordType : std::uint8_t { Begin, Insert, Update, Erase,
+                                          Commit, Abort };
+
+/** One log record (payload sizes modelled, contents summarized). */
+struct WalRecord
+{
+    std::uint64_t lsn = 0;
+    std::uint64_t txn = 0;
+    WalRecordType type = WalRecordType::Begin;
+    std::uint32_t bytes = 0;
+};
+
+/** Append-only log with group-force semantics. */
+class Wal
+{
+  public:
+    /** Append a record; returns its LSN. */
+    std::uint64_t append(std::uint64_t txn, WalRecordType type,
+                         std::uint32_t payload_bytes);
+
+    /**
+     * Force the log up to the latest LSN. Forced records are dropped
+     * from memory (they are durable; recovery is out of scope).
+     * @return bytes newly forced to stable storage (0 if none).
+     */
+    std::uint64_t force();
+
+    std::uint64_t appendedBytes() const { return appended_bytes_; }
+    std::uint64_t forcedBytes() const { return forced_bytes_; }
+
+    /** Records appended over the log's lifetime. */
+    std::uint64_t recordCount() const { return next_lsn_ - 1; }
+
+    /** Records not yet forced. */
+    std::uint64_t pendingRecords() const { return records_.size(); }
+    std::uint64_t forceCount() const { return forces_; }
+
+    const std::vector<WalRecord> &records() const { return records_; }
+
+    /** Drop records older than the given LSN (checkpoint truncation). */
+    void truncate(std::uint64_t up_to_lsn);
+
+  private:
+    std::vector<WalRecord> records_;
+    std::uint64_t next_lsn_ = 1;
+    std::uint64_t appended_bytes_ = 0;
+    std::uint64_t forced_bytes_ = 0;
+    std::uint64_t forces_ = 0;
+
+    static constexpr std::uint32_t headerBytes = 24;
+};
+
+} // namespace jasim
+
+#endif // JASIM_DB_WAL_H

@@ -1,0 +1,68 @@
+#include "driver/driver.h"
+
+#include <cassert>
+
+#include "sim/distributions.h"
+
+namespace jasim {
+
+Driver::Driver(const DriverConfig &config, EventQueue &queue,
+               std::uint64_t seed, Sink sink)
+    : config_(config), queue_(queue), rng_(seed), sink_(std::move(sink))
+{
+    assert(sink_ != nullptr);
+    const double dealer =
+        config_.injection_rate * config_.dealer_per_ir;
+    rates_[static_cast<std::size_t>(RequestType::Browse)] =
+        dealer * config_.browse_share;
+    rates_[static_cast<std::size_t>(RequestType::Purchase)] =
+        dealer * config_.purchase_share;
+    rates_[static_cast<std::size_t>(RequestType::Manage)] =
+        dealer * config_.manage_share;
+    rates_[static_cast<std::size_t>(RequestType::CreateWorkOrder)] =
+        config_.injection_rate * config_.mfg_per_ir;
+}
+
+void
+Driver::start(SimTime start, SimTime end)
+{
+    end_ = end;
+    for (std::size_t t = 0; t < requestTypeCount; ++t) {
+        if (rates_[t] <= 0.0)
+            continue;
+        const auto type = static_cast<RequestType>(t);
+        const SimTime first = start + secs(
+            drawExponential(rng_, rates_[t]));
+        if (first < end_) {
+            queue_.scheduleAt(first, [this, type] {
+                scheduleNext(type);
+            });
+        }
+    }
+}
+
+void
+Driver::scheduleNext(RequestType type)
+{
+    // Linear thinning during the driver ramp-up.
+    const SimTime ramp = secs(config_.ramp_up_s);
+    const bool accept = ramp == 0 || queue_.now() >= ramp ||
+        rng_.uniform() < static_cast<double>(queue_.now()) /
+            static_cast<double>(ramp);
+    if (accept) {
+        Request request;
+        request.id = next_id_++;
+        request.type = type;
+        request.arrival = queue_.now();
+        ++injected_;
+        sink_(request);
+    }
+
+    const double rate = rates_[static_cast<std::size_t>(type)];
+    const SimTime next = queue_.now() + secs(drawExponential(rng_, rate));
+    if (next < end_) {
+        queue_.scheduleAt(next, [this, type] { scheduleNext(type); });
+    }
+}
+
+} // namespace jasim

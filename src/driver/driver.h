@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The load driver.
+ *
+ * Simulates the benchmark driver machine: open-loop Poisson arrivals
+ * at a configured Injection Rate (IR). Dealer (HTTP) requests arrive
+ * at IR per second, split 50/25/25 Browse/Purchase/Manage; the
+ * manufacturing (RMI) stream adds 0.6 x IR work orders per second, so
+ * a tuned system performs ~1.6 JOPS per unit of IR, as the paper
+ * states. The driver does not contend for SUT resources.
+ */
+
+#ifndef JASIM_DRIVER_DRIVER_H
+#define JASIM_DRIVER_DRIVER_H
+
+#include <array>
+#include <functional>
+
+#include "driver/request.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace jasim {
+
+/** Driver parameters. */
+struct DriverConfig
+{
+    double injection_rate = 40.0;
+
+    /**
+     * Driver-side ramp-up: the arrival rate scales linearly from 0 to
+     * the full IR over this many seconds, as the real driver does, so
+     * the SUT warms its JIT tiers without building an unbounded
+     * backlog.
+     */
+    double ramp_up_s = 120.0;
+
+    /** Dealer arrival rate multiplier per IR unit. */
+    double dealer_per_ir = 1.0;
+    /** Manufacturing (RMI) arrival rate multiplier per IR unit. */
+    double mfg_per_ir = 0.6;
+
+    double browse_share = 0.50;
+    double purchase_share = 0.25;
+    double manage_share = 0.25;
+
+    /** Nominal JOPS per IR on a tuned system. */
+    double
+    jopsPerIr() const
+    {
+        return dealer_per_ir + mfg_per_ir;
+    }
+};
+
+/**
+ * Generates arrivals onto an event queue and hands each request to a
+ * sink callback (the SUT).
+ */
+class Driver
+{
+  public:
+    using Sink = std::function<void(const Request &)>;
+
+    Driver(const DriverConfig &config, EventQueue &queue,
+           std::uint64_t seed, Sink sink);
+
+    /** Begin injecting at `start`, stop scheduling beyond `end`. */
+    void start(SimTime start, SimTime end);
+
+    std::uint64_t injectedCount() const { return injected_; }
+
+    const DriverConfig &config() const { return config_; }
+
+  private:
+    DriverConfig config_;
+    EventQueue &queue_;
+    Rng rng_;
+    Sink sink_;
+    SimTime end_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t next_id_ = 1;
+
+    /** Per-type arrival rates (requests per second). */
+    std::array<double, requestTypeCount> rates_{};
+
+    void scheduleNext(RequestType type);
+};
+
+} // namespace jasim
+
+#endif // JASIM_DRIVER_DRIVER_H

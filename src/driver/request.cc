@@ -1,0 +1,17 @@
+#include "driver/request.h"
+
+namespace jasim {
+
+const char *
+requestTypeName(RequestType type)
+{
+    switch (type) {
+      case RequestType::Purchase: return "Purchase";
+      case RequestType::Manage: return "Manage";
+      case RequestType::Browse: return "Browse";
+      case RequestType::CreateWorkOrder: return "CreateWorkOrder";
+    }
+    return "?";
+}
+
+} // namespace jasim

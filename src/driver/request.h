@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Request taxonomy of the jas2004-like workload.
+ *
+ * The Dealer domain issues HTTP requests (Purchase / Manage / Browse);
+ * the Manufacturing domain issues RMI work orders. These are the four
+ * transaction series of the paper's Figure 2, and the two SLA classes
+ * (90% of web requests < 2 s, 90% of RMI requests < 5 s).
+ */
+
+#ifndef JASIM_DRIVER_REQUEST_H
+#define JASIM_DRIVER_REQUEST_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** The four benchmark request types. */
+enum class RequestType : std::uint8_t
+{
+    Purchase,
+    Manage,
+    Browse,
+    CreateWorkOrder,
+};
+
+inline constexpr std::size_t requestTypeCount = 4;
+
+/** Printable request-type name. */
+const char *requestTypeName(RequestType type);
+
+/** True for HTTP (dealer) requests; false for RMI (manufacturing). */
+constexpr bool
+isWebRequest(RequestType type)
+{
+    return type != RequestType::CreateWorkOrder;
+}
+
+/** SLA bound for the 90th percentile response time, in seconds. */
+constexpr double
+slaSeconds(RequestType type)
+{
+    return isWebRequest(type) ? 2.0 : 5.0;
+}
+
+/** One injected request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    RequestType type = RequestType::Browse;
+    SimTime arrival = 0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_DRIVER_REQUEST_H

@@ -1,0 +1,105 @@
+#include "driver/response_tracker.h"
+
+#include <cassert>
+
+namespace jasim {
+
+ResponseTracker::ResponseTracker(double bucket_seconds)
+    : bucket_seconds_(bucket_seconds)
+{
+    assert(bucket_seconds > 0.0);
+}
+
+void
+ResponseTracker::complete(const Request &request, SimTime finish)
+{
+    assert(finish >= request.arrival);
+    PerType &pt = per_type_[idx(request.type)];
+    pt.responses.add(toSeconds(finish - request.arrival));
+    pt.completions.emplace_back(finish, 1);
+}
+
+std::uint64_t
+ResponseTracker::completedCount(RequestType type) const
+{
+    return per_type_[idx(type)].completions.size();
+}
+
+std::uint64_t
+ResponseTracker::totalCompleted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &pt : per_type_)
+        total += pt.completions.size();
+    return total;
+}
+
+TimeSeries
+ResponseTracker::throughputSeries(RequestType type, SimTime end) const
+{
+    TimeSeries series(std::string(requestTypeName(type)) + " (tx/s)");
+    const SimTime bucket = secs(bucket_seconds_);
+    if (bucket == 0 || end == 0)
+        return series;
+    const std::size_t buckets =
+        static_cast<std::size_t>((end + bucket - 1) / bucket);
+    std::vector<std::uint64_t> counts(buckets, 0);
+    for (const auto &[finish, n] : per_type_[idx(type)].completions) {
+        if (finish < end)
+            counts[static_cast<std::size_t>(finish / bucket)] += n;
+    }
+    for (std::size_t b = 0; b < buckets; ++b) {
+        series.append(static_cast<SimTime>(b) * bucket + bucket / 2,
+                      static_cast<double>(counts[b]) / bucket_seconds_);
+    }
+    return series;
+}
+
+double
+ResponseTracker::jops(SimTime from, SimTime to) const
+{
+    if (to <= from)
+        return 0.0;
+    std::uint64_t completed = 0;
+    for (const auto &pt : per_type_) {
+        for (const auto &[finish, n] : pt.completions) {
+            if (finish >= from && finish < to)
+                completed += n;
+        }
+    }
+    return static_cast<double>(completed) / toSeconds(to - from);
+}
+
+std::array<SlaVerdict, requestTypeCount>
+ResponseTracker::verdicts() const
+{
+    std::array<SlaVerdict, requestTypeCount> verdicts;
+    for (std::size_t t = 0; t < requestTypeCount; ++t) {
+        const auto type = static_cast<RequestType>(t);
+        SlaVerdict &v = verdicts[t];
+        v.type = type;
+        v.bound_seconds = slaSeconds(type);
+        v.completed = per_type_[t].completions.size();
+        v.p90_seconds = per_type_[t].responses.percentile(90.0);
+        v.pass = v.completed == 0 || v.p90_seconds <= v.bound_seconds;
+    }
+    return verdicts;
+}
+
+bool
+ResponseTracker::allPass() const
+{
+    for (const auto &v : verdicts()) {
+        if (!v.pass)
+            return false;
+    }
+    return true;
+}
+
+double
+ResponseTracker::meanResponseSeconds(RequestType type) const
+{
+    return per_type_[idx(type)].responses.mean();
+}
+
+} // namespace jasim

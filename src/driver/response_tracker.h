@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Response-time tracking, throughput series, and SLA adjudication.
+ *
+ * Produces Figure 2 (per-type transaction rate over time) and the
+ * pass/fail verdict (90% of web requests under 2 s, 90% of RMI
+ * requests under 5 s), plus the JOPS metric.
+ */
+
+#ifndef JASIM_DRIVER_RESPONSE_TRACKER_H
+#define JASIM_DRIVER_RESPONSE_TRACKER_H
+
+#include <array>
+
+#include "driver/request.h"
+#include "stats/percentile.h"
+#include "stats/time_series.h"
+
+namespace jasim {
+
+/** Verdict for one request class. */
+struct SlaVerdict
+{
+    RequestType type = RequestType::Browse;
+    double p90_seconds = 0.0;
+    double bound_seconds = 0.0;
+    bool pass = true;
+    std::uint64_t completed = 0;
+};
+
+/** Collects completions; emits series and verdicts. */
+class ResponseTracker
+{
+  public:
+    /** @param bucket seconds per throughput bucket (Figure 2 grain). */
+    explicit ResponseTracker(double bucket_seconds = 30.0);
+
+    /** Record a completed request. */
+    void complete(const Request &request, SimTime finish);
+
+    /** Completions of a type so far. */
+    std::uint64_t completedCount(RequestType type) const;
+
+    std::uint64_t totalCompleted() const;
+
+    /**
+     * Throughput series (transactions/s) for a type over [0, end).
+     * Buckets with no completions report zero.
+     */
+    TimeSeries throughputSeries(RequestType type, SimTime end) const;
+
+    /** Overall operations per second over [from, to). */
+    double jops(SimTime from, SimTime to) const;
+
+    /** SLA verdicts per type (only steady-state samples if sliced). */
+    std::array<SlaVerdict, requestTypeCount> verdicts() const;
+
+    /** True when every type passes its SLA. */
+    bool allPass() const;
+
+    /** Mean response time (seconds) for a type. */
+    double meanResponseSeconds(RequestType type) const;
+
+  private:
+    double bucket_seconds_;
+    struct PerType
+    {
+        PercentileTracker responses; //!< seconds
+        std::vector<std::pair<SimTime, std::uint64_t>> completions;
+    };
+    std::array<PerType, requestTypeCount> per_type_;
+
+    static std::size_t idx(RequestType t)
+    {
+        return static_cast<std::size_t>(t);
+    }
+};
+
+} // namespace jasim
+
+#endif // JASIM_DRIVER_RESPONSE_TRACKER_H

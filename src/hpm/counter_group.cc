@@ -1,0 +1,60 @@
+#include "hpm/counter_group.h"
+
+#include <cassert>
+
+#include "hpm/events.h"
+
+namespace jasim {
+
+std::vector<CounterGroupDef>
+power4Groups()
+{
+    using namespace event;
+    return {
+        {"basic",
+         {instDispatched, cyclesWithCompletion, loads, stores,
+          l1dLoadMiss, l1dStoreMiss}},
+        {"dsource",
+         {dataFromL2, dataFromL2_75Shr, dataFromL2_75Mod, dataFromL3,
+          dataFromL3_5, dataFromMem}},
+        {"ifetch",
+         {instFetchL1, instFetchL2, instFetchL3, instFetchMem, l1iMiss,
+          btbMiss}},
+        {"xlat", {ieratMiss, deratMiss, itlbMiss, dtlbMiss}},
+        {"branch",
+         {branches, condBranches, condMispredict, indirectBranches,
+          targetMispredict}},
+        {"prefetch", {l1dPrefetch, l2Prefetch, streamAlloc}},
+        {"sync",
+         {larx, stcx, stcxFail, syncs, srqSyncCycles, kernelSleeps}},
+    };
+}
+
+HpmFacility::HpmFacility(std::vector<CounterGroupDef> groups)
+    : groups_(std::move(groups))
+{
+    for ([[maybe_unused]] const auto &g : groups_)
+        assert(g.events.size() <= 6 && "8 counters: 6 events + cyc/inst");
+}
+
+std::optional<std::size_t>
+HpmFacility::groupOf(const std::string &event) const
+{
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        for (const auto &e : groups_[i].events) {
+            if (e == event)
+                return i;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+HpmFacility::sameGroup(const std::string &a, const std::string &b) const
+{
+    const auto ga = groupOf(a);
+    const auto gb = groupOf(b);
+    return ga && gb && *ga == *gb;
+}
+
+} // namespace jasim

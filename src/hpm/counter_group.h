@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hardware-performance-monitor counter groups.
+ *
+ * POWER4's HPM exposes eight physical counters; events are bundled
+ * into fixed groups and only one group can be active at a time, so
+ * data from different groups cannot be correlated sample-by-sample
+ * (paper Section 3.3). Cycles and completed instructions are counted
+ * in every group, which is what makes per-group CPI correlation
+ * possible (Section 4.3).
+ */
+
+#ifndef JASIM_HPM_COUNTER_GROUP_H
+#define JASIM_HPM_COUNTER_GROUP_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jasim {
+
+/** One multiplexed counter group. */
+struct CounterGroupDef
+{
+    std::string name;
+    /** Up to six events (cycles + instructions are implicit). */
+    std::vector<std::string> events;
+};
+
+/** The canonical group set covering every event jasim models. */
+std::vector<CounterGroupDef> power4Groups();
+
+/** Group-membership facility. */
+class HpmFacility
+{
+  public:
+    explicit HpmFacility(std::vector<CounterGroupDef> groups);
+
+    std::size_t groupCount() const { return groups_.size(); }
+    const CounterGroupDef &group(std::size_t i) const
+    {
+        return groups_[i];
+    }
+
+    /** Index of the group containing an event (nullopt if nowhere). */
+    std::optional<std::size_t> groupOf(const std::string &event) const;
+
+    /** True when two events can be correlated sample-by-sample. */
+    bool sameGroup(const std::string &a, const std::string &b) const;
+
+  private:
+    std::vector<CounterGroupDef> groups_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_HPM_COUNTER_GROUP_H

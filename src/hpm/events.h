@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Canonical hardware-performance-monitor event names.
+ *
+ * Every module that produces or consumes counter data uses these
+ * identifiers, mirroring (in spirit) the POWER4 PM_* event mnemonics
+ * the paper's hpmstat groups were built from.
+ */
+
+#ifndef JASIM_HPM_EVENTS_H
+#define JASIM_HPM_EVENTS_H
+
+namespace jasim::event {
+
+inline constexpr const char *cycles = "PM_CYC";
+inline constexpr const char *instCompleted = "PM_INST_CMPL";
+inline constexpr const char *instDispatched = "PM_INST_DISP";
+inline constexpr const char *cyclesWithCompletion = "PM_CYC_INST_CMPL";
+
+inline constexpr const char *loads = "PM_LD_REF_L1";
+inline constexpr const char *stores = "PM_ST_REF_L1";
+inline constexpr const char *l1dLoadMiss = "PM_LD_MISS_L1";
+inline constexpr const char *l1dStoreMiss = "PM_ST_MISS_L1";
+
+inline constexpr const char *dataFromL2 = "PM_DATA_FROM_L2";
+inline constexpr const char *dataFromL2_5 = "PM_DATA_FROM_L25";
+inline constexpr const char *dataFromL2_75Shr = "PM_DATA_FROM_L275_SHR";
+inline constexpr const char *dataFromL2_75Mod = "PM_DATA_FROM_L275_MOD";
+inline constexpr const char *dataFromL3 = "PM_DATA_FROM_L3";
+inline constexpr const char *dataFromL3_5 = "PM_DATA_FROM_L35";
+inline constexpr const char *dataFromMem = "PM_DATA_FROM_MEM";
+
+inline constexpr const char *instFetchL1 = "PM_INST_FROM_L1";
+inline constexpr const char *instFetchL2 = "PM_INST_FROM_L2";
+inline constexpr const char *instFetchL3 = "PM_INST_FROM_L3";
+inline constexpr const char *instFetchMem = "PM_INST_FROM_MEM";
+inline constexpr const char *l1iMiss = "PM_L1_ICACHE_MISS";
+
+inline constexpr const char *ieratMiss = "PM_IERAT_MISS";
+inline constexpr const char *deratMiss = "PM_DERAT_MISS";
+inline constexpr const char *itlbMiss = "PM_ITLB_MISS";
+inline constexpr const char *dtlbMiss = "PM_DTLB_MISS";
+
+inline constexpr const char *branches = "PM_BR_ISSUED";
+inline constexpr const char *condBranches = "PM_BR_Cond";
+inline constexpr const char *condMispredict = "PM_BR_MPRED_CR";
+inline constexpr const char *indirectBranches = "PM_BR_Indirect";
+inline constexpr const char *targetMispredict = "PM_BR_MPRED_TA";
+inline constexpr const char *btbMiss = "PM_BTB_MISS";
+
+inline constexpr const char *larx = "PM_LARX";
+inline constexpr const char *stcx = "PM_STCX";
+inline constexpr const char *stcxFail = "PM_STCX_FAIL";
+inline constexpr const char *syncs = "PM_SYNC";
+inline constexpr const char *srqSyncCycles = "PM_SRQ_SYNC_CYC";
+inline constexpr const char *kernelSleeps = "PM_LOCK_KERNEL_SLEEP";
+
+inline constexpr const char *l1dPrefetch = "PM_L1_PREF";
+inline constexpr const char *l2Prefetch = "PM_L2_PREF";
+inline constexpr const char *streamAlloc = "PM_STREAM_ALLOC";
+
+} // namespace jasim::event
+
+#endif // JASIM_HPM_EVENTS_H

@@ -1,0 +1,91 @@
+#include "hpm/hpmstat.h"
+
+#include <cassert>
+
+#include "hpm/events.h"
+#include "stats/correlation.h"
+
+namespace jasim {
+
+TimeSeries
+EventSamples::ratePerInst() const
+{
+    return count.ratio(insts, count.name() + "/inst");
+}
+
+TimeSeries
+EventSamples::cpi() const
+{
+    return cycles.ratio(insts, "CPI");
+}
+
+HpmStat::HpmStat(HpmFacility facility, std::size_t windows_per_group)
+    : facility_(std::move(facility)),
+      windows_per_group_(windows_per_group)
+{
+    assert(windows_per_group > 0);
+}
+
+std::size_t
+HpmStat::activeGroup(std::size_t window_index) const
+{
+    return (window_index / windows_per_group_) % facility_.groupCount();
+}
+
+void
+HpmStat::recordWindow(SimTime when,
+                      const std::map<std::string, std::uint64_t> &delta)
+{
+    const std::size_t group_index = activeGroup(windows_seen_++);
+    const CounterGroupDef &group = facility_.group(group_index);
+
+    const auto lookup = [&delta](const std::string &name) {
+        const auto it = delta.find(name);
+        return it == delta.end() ? std::uint64_t{0} : it->second;
+    };
+    const double cycles = static_cast<double>(lookup(event::cycles));
+    const double insts =
+        static_cast<double>(lookup(event::instCompleted));
+
+    for (const auto &name : group.events) {
+        EventSamples &s = samples_[name];
+        if (s.count.name().empty())
+            s.count.setName(name);
+        s.count.append(when, static_cast<double>(lookup(name)));
+        s.cycles.append(when, cycles);
+        s.insts.append(when, insts);
+    }
+}
+
+const EventSamples &
+HpmStat::samples(const std::string &event) const
+{
+    const auto it = samples_.find(event);
+    return it == samples_.end() ? empty_ : it->second;
+}
+
+double
+HpmStat::cpiCorrelation(const std::string &event, Basis basis) const
+{
+    const EventSamples &s = samples(event);
+    if (s.count.size() < 3)
+        return 0.0;
+    const TimeSeries x =
+        basis == Basis::PerInst ? s.ratePerInst() : s.count;
+    return pearson(x, s.cpi());
+}
+
+std::optional<double>
+HpmStat::crossCorrelation(const std::string &a,
+                          const std::string &b) const
+{
+    if (!facility_.sameGroup(a, b))
+        return std::nullopt;
+    const EventSamples &sa = samples(a);
+    const EventSamples &sb = samples(b);
+    if (sa.count.size() < 3 || sa.count.size() != sb.count.size())
+        return std::nullopt;
+    return pearson(sa.ratePerInst(), sb.ratePerInst());
+}
+
+} // namespace jasim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * hpmstat-style sampling with group multiplexing.
+ *
+ * Receives the full per-window counter deltas from the window
+ * simulator, but -- like the real tool -- only "sees" the events of
+ * the currently active group (plus cycles and instructions, counted
+ * in every group). Groups rotate every `windows_per_group` windows
+ * over one long run, matching the paper's methodology of collecting
+ * different groups at different times during a single execution.
+ */
+
+#ifndef JASIM_HPM_HPMSTAT_H
+#define JASIM_HPM_HPMSTAT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpm/counter_group.h"
+#include "stats/time_series.h"
+
+namespace jasim {
+
+/** Aligned samples of one event with its windows' cycles/insts. */
+struct EventSamples
+{
+    TimeSeries count;
+    TimeSeries cycles;
+    TimeSeries insts;
+
+    /** Event occurrences per completed instruction, per window. */
+    TimeSeries ratePerInst() const;
+
+    /** CPI series of the same windows. */
+    TimeSeries cpi() const;
+};
+
+/** The sampler. */
+class HpmStat
+{
+  public:
+    HpmStat(HpmFacility facility, std::size_t windows_per_group);
+
+    /** Feed one window's full counter delta. */
+    void recordWindow(SimTime when,
+                      const std::map<std::string, std::uint64_t> &delta);
+
+    /** Group active for a given window index. */
+    std::size_t activeGroup(std::size_t window_index) const;
+
+    /** Samples collected for an event (empty if never active). */
+    const EventSamples &samples(const std::string &event) const;
+
+    /** How an event is normalized before correlating with CPI. */
+    enum class Basis
+    {
+        PerInst,   //!< event count / completed instructions
+        PerWindow, //!< raw count per (fixed-length) sample window
+    };
+
+    /**
+     * Pearson correlation of an event with CPI over the windows where
+     * its group was active. Throughput-like events (cycles with
+     * completion, instructions fetched from L1I) use PerWindow, where
+     * the anti-correlation with CPI is the throughput effect itself.
+     */
+    double cpiCorrelation(const std::string &event,
+                          Basis basis = Basis::PerInst) const;
+
+    /**
+     * Correlation between two events' rates; only valid when they are
+     * multiplexed in the same group. Returns nullopt otherwise -- the
+     * same restriction the paper notes for the real hardware.
+     */
+    std::optional<double>
+    crossCorrelation(const std::string &a, const std::string &b) const;
+
+    std::size_t windowsSeen() const { return windows_seen_; }
+
+    const HpmFacility &facility() const { return facility_; }
+
+  private:
+    HpmFacility facility_;
+    std::size_t windows_per_group_;
+    std::size_t windows_seen_ = 0;
+    std::map<std::string, EventSamples> samples_;
+    EventSamples empty_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_HPM_HPMSTAT_H

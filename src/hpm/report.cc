@@ -1,0 +1,79 @@
+#include "hpm/report.h"
+
+#include <iomanip>
+
+#include "hpm/events.h"
+
+namespace jasim {
+
+namespace {
+
+std::uint64_t
+lookup(const std::map<std::string, std::uint64_t> &delta,
+       const std::string &name)
+{
+    const auto it = delta.find(name);
+    return it == delta.end() ? 0 : it->second;
+}
+
+} // namespace
+
+void
+printGroupReport(std::ostream &os, const HpmFacility &facility,
+                 std::size_t group_index,
+                 const std::map<std::string, std::uint64_t> &delta)
+{
+    const CounterGroupDef &group = facility.group(group_index);
+    const auto cycles = lookup(delta, event::cycles);
+    const auto insts = lookup(delta, event::instCompleted);
+
+    const auto flags = os.flags();
+    os << "Group #" << group_index << " (" << group.name << ")\n";
+    os << "  " << std::left << std::setw(26) << event::cycles
+       << std::right << std::setw(16) << cycles << "\n";
+    os << "  " << std::left << std::setw(26) << event::instCompleted
+       << std::right << std::setw(16) << insts;
+    if (insts > 0) {
+        os << "   CPI=" << std::fixed << std::setprecision(3)
+           << static_cast<double>(cycles) / static_cast<double>(insts);
+    }
+    os << "\n";
+    for (const auto &name : group.events) {
+        const auto value = lookup(delta, name);
+        os << "  " << std::left << std::setw(26) << name << std::right
+           << std::setw(16) << value;
+        if (insts > 0) {
+            os << "   " << std::scientific << std::setprecision(3)
+               << static_cast<double>(value) /
+                    static_cast<double>(insts)
+               << "/inst" << std::fixed;
+        }
+        os << "\n";
+    }
+    os.flags(flags);
+}
+
+void
+printRunReport(std::ostream &os, const HpmStat &hpm)
+{
+    const auto flags = os.flags();
+    os << std::left << std::setw(26) << "event" << std::right
+       << std::setw(10) << "windows" << std::setw(14) << "rate/inst"
+       << std::setw(10) << "r(CPI)" << "\n";
+    for (std::size_t g = 0; g < hpm.facility().groupCount(); ++g) {
+        for (const auto &name : hpm.facility().group(g).events) {
+            const EventSamples &samples = hpm.samples(name);
+            if (samples.count.empty())
+                continue;
+            os << std::left << std::setw(26) << name << std::right
+               << std::setw(10) << samples.count.size()
+               << std::setw(14) << std::scientific
+               << std::setprecision(3) << samples.ratePerInst().mean()
+               << std::fixed << std::setw(10) << std::setprecision(2)
+               << hpm.cpiCorrelation(name) << "\n";
+        }
+    }
+    os.flags(flags);
+}
+
+} // namespace jasim

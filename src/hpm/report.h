@@ -1,0 +1,37 @@
+/**
+ * @file
+ * hpmstat-style counter reports.
+ *
+ * Renders one counter group's totals and derived rates the way the
+ * AIX tool printed them, plus a per-event sample summary over a run.
+ */
+
+#ifndef JASIM_HPM_REPORT_H
+#define JASIM_HPM_REPORT_H
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "hpm/hpmstat.h"
+
+namespace jasim {
+
+/**
+ * Print one group's counters from a full delta map, hpmstat-style:
+ * the implicit cycles/instructions pair, each event's total, and its
+ * per-instruction rate.
+ */
+void printGroupReport(std::ostream &os, const HpmFacility &facility,
+                      std::size_t group_index,
+                      const std::map<std::string, std::uint64_t> &delta);
+
+/**
+ * Print every sampled event's mean per-instruction rate and its CPI
+ * correlation over an HpmStat capture.
+ */
+void printRunReport(std::ostream &os, const HpmStat &hpm);
+
+} // namespace jasim
+
+#endif // JASIM_HPM_REPORT_H

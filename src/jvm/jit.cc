@@ -1,0 +1,105 @@
+#include "jvm/jit.h"
+
+#include <cassert>
+
+namespace jasim {
+
+const char *
+compileTierName(CompileTier tier)
+{
+    switch (tier) {
+      case CompileTier::Interpreted: return "interpreted";
+      case CompileTier::Warm: return "warm";
+      case CompileTier::Hot: return "hot";
+      case CompileTier::Scorching: return "scorching";
+    }
+    return "?";
+}
+
+JitCompiler::JitCompiler(const JitConfig &config,
+                         const MethodRegistry &registry)
+    : config_(config), registry_(registry), state_(registry.size())
+{
+}
+
+double
+JitCompiler::compile(std::size_t method, CompileTier tier, SimTime now)
+{
+    const auto &info = registry_.method(method);
+    double us_per_byte = 0.0;
+    double expansion = 0.0;
+    switch (tier) {
+      case CompileTier::Warm:
+        us_per_byte = config_.warm_us_per_byte;
+        expansion = config_.warm_expansion;
+        break;
+      case CompileTier::Hot:
+        us_per_byte = config_.hot_us_per_byte;
+        expansion = config_.hot_expansion;
+        break;
+      case CompileTier::Scorching:
+        us_per_byte = config_.scorching_us_per_byte;
+        expansion = config_.scorching_expansion;
+        break;
+      case CompileTier::Interpreted:
+        assert(false && "cannot compile to interpreted");
+        return 0.0;
+    }
+    const double cost =
+        us_per_byte * static_cast<double>(info.bytecode_bytes);
+    state_[method].tier = tier;
+    code_cache_bytes_ += static_cast<std::uint64_t>(
+        expansion * static_cast<double>(info.bytecode_bytes));
+    total_compile_us_ += cost;
+    log_.push_back(CompileRecord{method, tier, cost, now});
+    return cost;
+}
+
+double
+JitCompiler::recordInvocations(std::size_t method, std::uint64_t count,
+                               SimTime now)
+{
+    assert(method < state_.size());
+    MethodState &state = state_[method];
+    state.invocations += count;
+
+    double compile_us = 0.0;
+    if (state.tier == CompileTier::Interpreted &&
+        state.invocations >= config_.warm_threshold) {
+        compile_us += compile(method, CompileTier::Warm, now);
+    }
+    if (state.tier == CompileTier::Warm &&
+        state.invocations >= config_.hot_threshold) {
+        compile_us += compile(method, CompileTier::Hot, now);
+    }
+    if (state.tier == CompileTier::Hot &&
+        state.invocations >= config_.scorching_threshold) {
+        compile_us += compile(method, CompileTier::Scorching, now);
+    }
+    return compile_us;
+}
+
+double
+JitCompiler::speedup(std::size_t method) const
+{
+    switch (state_[method].tier) {
+      case CompileTier::Interpreted: return 1.0;
+      case CompileTier::Warm: return config_.warm_speedup;
+      case CompileTier::Hot: return config_.hot_speedup;
+      case CompileTier::Scorching: return config_.scorching_speedup;
+    }
+    return 1.0;
+}
+
+std::size_t
+JitCompiler::methodsAtOrAbove(CompileTier tier) const
+{
+    std::size_t count = 0;
+    for (const auto &state : state_) {
+        if (state.tier >= tier)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace jasim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The JIT compilation framework model.
+ *
+ * Tiered, invocation-counter-driven compilation: methods start
+ * interpreted, are compiled at rising optimization levels as they
+ * prove hot, and the compiler itself consumes CPU time charged to the
+ * "WAS non-JITed" share of the profile. The paper's 60-minute runs
+ * exist precisely so the important methods reach the high tiers with
+ * aggressive inlining -- the model reproduces that warm-up dynamic.
+ */
+
+#ifndef JASIM_JVM_JIT_H
+#define JASIM_JVM_JIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "jvm/method_registry.h"
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Optimization tiers. */
+enum class CompileTier : std::uint8_t
+{
+    Interpreted,
+    Warm,       //!< quick compile, light opts
+    Hot,        //!< full opts
+    Scorching,  //!< aggressive inlining + profile-directed opts
+};
+
+const char *compileTierName(CompileTier tier);
+
+/** Thresholds and compile-cost parameters. */
+struct JitConfig
+{
+    std::uint64_t warm_threshold = 1000;
+    std::uint64_t hot_threshold = 50000;
+    std::uint64_t scorching_threshold = 1000000;
+
+    /** Compile cost in microseconds per bytecode byte, by tier. */
+    double warm_us_per_byte = 0.6;
+    double hot_us_per_byte = 3.0;
+    double scorching_us_per_byte = 9.0;
+
+    /** Machine-code expansion factor over bytecode, by tier. */
+    double warm_expansion = 4.0;
+    double hot_expansion = 6.0;
+    double scorching_expansion = 8.0; //!< inlining duplicates callees
+
+    /** Relative execution speed vs interpreted (1x). */
+    double warm_speedup = 5.0;
+    double hot_speedup = 9.0;
+    double scorching_speedup = 11.0;
+
+    /**
+     * Expected average speedup of the steady-state tier mixture;
+     * service-demand profiles are calibrated against this, so the
+     * warm-up factor is (reference / current average), settling to
+     * ~1.0 once the important methods are compiled.
+     */
+    double reference_speedup = 6.3;
+};
+
+/** One compilation performed by the JIT. */
+struct CompileRecord
+{
+    std::size_t method = 0;
+    CompileTier tier = CompileTier::Warm;
+    double compile_us = 0.0;
+    SimTime when = 0;
+};
+
+/** The JIT compiler state across a run. */
+class JitCompiler
+{
+  public:
+    JitCompiler(const JitConfig &config, const MethodRegistry &registry);
+
+    /**
+     * Record `count` invocations of `method` at time `now`; performs
+     * any threshold-crossing compilations.
+     * @return CPU microseconds spent compiling as a result.
+     */
+    double recordInvocations(std::size_t method, std::uint64_t count,
+                             SimTime now);
+
+    CompileTier tier(std::size_t method) const
+    {
+        return state_[method].tier;
+    }
+
+    std::uint64_t invocations(std::size_t method) const
+    {
+        return state_[method].invocations;
+    }
+
+    /** Relative execution speed of the method at its current tier. */
+    double speedup(std::size_t method) const;
+
+    /** Total CPU microseconds spent in the compiler so far. */
+    double totalCompileUs() const { return total_compile_us_; }
+
+    /** Machine code bytes emitted so far (code cache footprint). */
+    std::uint64_t codeCacheBytes() const { return code_cache_bytes_; }
+
+    /** Methods currently at or above the given tier. */
+    std::size_t methodsAtOrAbove(CompileTier tier) const;
+
+    const std::vector<CompileRecord> &compileLog() const { return log_; }
+
+    const JitConfig &config() const { return config_; }
+
+  private:
+    struct MethodState
+    {
+        std::uint64_t invocations = 0;
+        CompileTier tier = CompileTier::Interpreted;
+    };
+
+    JitConfig config_;
+    const MethodRegistry &registry_;
+    std::vector<MethodState> state_;
+    std::vector<CompileRecord> log_;
+    double total_compile_us_ = 0.0;
+    std::uint64_t code_cache_bytes_ = 0;
+
+    double compile(std::size_t method, CompileTier tier, SimTime now);
+};
+
+} // namespace jasim
+
+#endif // JASIM_JVM_JIT_H

@@ -1,0 +1,101 @@
+#include "jvm/method_registry.h"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/distributions.h"
+
+namespace jasim {
+
+const char *
+methodCategoryName(MethodCategory category)
+{
+    switch (category) {
+      case MethodCategory::WebSphere: return "WebSphere";
+      case MethodCategory::EnterpriseJavaServices:
+        return "Enterprise Java Services";
+      case MethodCategory::JavaLibrary: return "Java Library";
+      case MethodCategory::Benchmark: return "jas2004";
+      case MethodCategory::OtherLibrary: return "Other libraries";
+    }
+    return "?";
+}
+
+namespace {
+
+const char *const packageFor[] = {
+    "com.ibm.ws", "com.ibm.ejs", "java.util", "org.spec.jappserver",
+    "com.vendor.lib",
+};
+
+const char *const classStems[] = {
+    "Request",  "Session", "Transaction", "Connection", "Container",
+    "Order",    "Vehicle", "Inventory",   "Dispatcher", "Cache",
+    "Registry", "Buffer",  "Channel",     "Codec",      "Queue",
+};
+
+const char *const methodStems[] = {
+    "process",  "handle",  "invoke",  "dispatch", "lookup",
+    "convert",  "encode",  "decode",  "validate", "persist",
+    "resolve",  "acquire", "release", "copy",     "format",
+};
+
+/** Rank-bucketed category weights (hot -> tail). */
+struct BucketWeights
+{
+    std::size_t upto; //!< rank bound (exclusive)
+    std::array<double, methodCategoryCount> weights;
+};
+
+constexpr BucketWeights bucketTable[] = {
+    // WebSphere, EJS, JavaLib, Benchmark, Other
+    {250, {0.50, 0.26, 0.18, 0.02, 0.04}},
+    {2000, {0.45, 0.21, 0.12, 0.05, 0.17}},
+    {~std::size_t{0}, {0.40, 0.16, 0.10, 0.10, 0.24}},
+};
+
+} // namespace
+
+MethodRegistry::MethodRegistry(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    methods_.reserve(count);
+    for (std::size_t rank = 0; rank < count; ++rank) {
+        const BucketWeights *bucket = &bucketTable[0];
+        for (const auto &b : bucketTable) {
+            bucket = &b;
+            if (rank < b.upto)
+                break;
+        }
+        DiscreteSampler sampler(
+            {bucket->weights.begin(), bucket->weights.end()});
+        const auto category = static_cast<MethodCategory>(sampler(rng));
+
+        const char *pkg =
+            packageFor[static_cast<std::size_t>(category)];
+        const char *cls = classStems[rng.below(std::size(classStems))];
+        const char *stem =
+            methodStems[rng.below(std::size(methodStems))];
+
+        MethodInfo info;
+        info.name = std::string(pkg) + "." + cls + "Impl." + stem +
+            std::to_string(rank % 97);
+        info.category = category;
+        info.bytecode_bytes = static_cast<std::uint32_t>(
+            std::clamp(drawLogNormal(rng, 5.0, 0.9), 16.0, 8192.0));
+        methods_.push_back(std::move(info));
+    }
+}
+
+std::size_t
+MethodRegistry::categoryCount(MethodCategory category) const
+{
+    std::size_t count = 0;
+    for (const auto &m : methods_) {
+        if (m.category == category)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace jasim

@@ -1,0 +1,78 @@
+#include "jvm/verbose_gc.h"
+
+#include <algorithm>
+
+namespace jasim {
+
+GcSummary
+VerboseGcLog::summarize(SimTime elapsed) const
+{
+    GcSummary summary;
+    summary.collections = events_.size();
+    if (events_.empty())
+        return summary;
+
+    double total_pause = 0.0;
+    double total_mark = 0.0;
+    double total_sweep = 0.0;
+    summary.min_pause_ms = events_.front().pauseMs();
+    for (const auto &e : events_) {
+        if (e.compacted)
+            ++summary.compactions;
+        const double pause = e.pauseMs();
+        total_pause += pause;
+        total_mark += e.mark_ms;
+        total_sweep += e.sweep_ms;
+        summary.min_pause_ms = std::min(summary.min_pause_ms, pause);
+        summary.max_pause_ms = std::max(summary.max_pause_ms, pause);
+    }
+    summary.mean_pause_ms =
+        total_pause / static_cast<double>(events_.size());
+    if (total_pause > 0.0) {
+        summary.mark_fraction = total_mark / total_pause;
+        summary.sweep_fraction = total_sweep / total_pause;
+    }
+
+    if (events_.size() >= 2) {
+        double total_gap = 0.0;
+        double min_gap = 1e300, max_gap = 0.0;
+        for (std::size_t i = 1; i < events_.size(); ++i) {
+            const double gap =
+                toSeconds(events_[i].start - events_[i - 1].start);
+            total_gap += gap;
+            min_gap = std::min(min_gap, gap);
+            max_gap = std::max(max_gap, gap);
+        }
+        summary.mean_interval_s =
+            total_gap / static_cast<double>(events_.size() - 1);
+        summary.min_interval_s = min_gap;
+        summary.max_interval_s = max_gap;
+
+        // "Live"-heap growth: least-squares slope of used-after-GC
+        // (live + dark matter) over time -- the quantity the paper
+        // observes creeping up ~1 MB/min.
+        const std::size_t n = events_.size();
+        double mean_t = 0.0, mean_l = 0.0;
+        for (const auto &e : events_) {
+            mean_t += toSeconds(e.start);
+            mean_l += static_cast<double>(e.used_after);
+        }
+        mean_t /= static_cast<double>(n);
+        mean_l /= static_cast<double>(n);
+        double sxy = 0.0, sxx = 0.0;
+        for (const auto &e : events_) {
+            const double dt = toSeconds(e.start) - mean_t;
+            sxy += dt * (static_cast<double>(e.used_after) - mean_l);
+            sxx += dt * dt;
+        }
+        if (sxx > 0.0)
+            summary.live_growth_bytes_per_min = sxy / sxx * 60.0;
+    }
+
+    const double elapsed_s = toSeconds(elapsed);
+    if (elapsed_s > 0.0)
+        summary.gc_time_fraction = total_pause / 1000.0 / elapsed_s;
+    return summary;
+}
+
+} // namespace jasim

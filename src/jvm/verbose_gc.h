@@ -1,0 +1,81 @@
+/**
+ * @file
+ * verbosegc-style collection log.
+ *
+ * The studied JVM was run with -verbosegc; Figure 3 and the GC summary
+ * table are derived from that log. GcEvent captures one collection;
+ * VerboseGcLog accumulates events and computes the summary statistics
+ * the paper reports (interval, pause, share of runtime, phase split).
+ */
+
+#ifndef JASIM_JVM_VERBOSE_GC_H
+#define JASIM_JVM_VERBOSE_GC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Why a collection ran. */
+enum class GcCause : std::uint8_t { AllocationFailure, Explicit };
+
+/** One garbage collection. */
+struct GcEvent
+{
+    SimTime start = 0;
+    GcCause cause = GcCause::AllocationFailure;
+
+    double mark_ms = 0.0;
+    double sweep_ms = 0.0;
+    double compact_ms = 0.0;
+    bool compacted = false;
+
+    std::uint64_t used_before = 0; //!< heap bytes used before GC
+    std::uint64_t used_after = 0;  //!< after sweep (live + dark)
+    std::uint64_t live_bytes = 0;  //!< marked live bytes
+    std::uint64_t dark_bytes = 0;  //!< fragmentation after sweep
+    std::uint64_t freed_bytes = 0;
+    std::uint64_t live_cells = 0;
+    std::uint64_t reclaimed_cells = 0;
+
+    double pauseMs() const { return mark_ms + sweep_ms + compact_ms; }
+};
+
+/** Aggregate statistics over a run. */
+struct GcSummary
+{
+    std::size_t collections = 0;
+    std::size_t compactions = 0;
+    double mean_interval_s = 0.0;
+    double min_interval_s = 0.0;
+    double max_interval_s = 0.0;
+    double mean_pause_ms = 0.0;
+    double min_pause_ms = 0.0;
+    double max_pause_ms = 0.0;
+    double mark_fraction = 0.0;  //!< mark share of total GC time
+    double sweep_fraction = 0.0;
+    double gc_time_fraction = 0.0; //!< GC share of elapsed runtime
+    /** Live-heap growth rate estimated over the run (bytes/minute). */
+    double live_growth_bytes_per_min = 0.0;
+};
+
+/** Accumulates GcEvents and derives the summary. */
+class VerboseGcLog
+{
+  public:
+    void record(const GcEvent &event) { events_.push_back(event); }
+
+    const std::vector<GcEvent> &events() const { return events_; }
+
+    /** Summary over [0, elapsed). */
+    GcSummary summarize(SimTime elapsed) const;
+
+  private:
+    std::vector<GcEvent> events_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_JVM_VERBOSE_GC_H

@@ -1,0 +1,68 @@
+#include "jvm/verbose_gc_format.h"
+
+#include <iomanip>
+
+namespace jasim {
+
+namespace {
+
+double
+mb(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+} // namespace
+
+void
+printVerboseGcEvent(std::ostream &os, const GcEvent &event,
+                    std::size_t id, std::uint64_t heap_size_bytes)
+{
+    const auto flags = os.flags();
+    os << std::fixed;
+    os << "<gc type=\"global\" id=\"" << id << "\" time=\""
+       << std::setprecision(3) << toSeconds(event.start) << "s\""
+       << (event.cause == GcCause::Explicit ? " cause=\"explicit\""
+                                            : "")
+       << ">\n";
+    os << "  <mark ms=\"" << std::setprecision(1) << event.mark_ms
+       << "\"/> <sweep ms=\"" << event.sweep_ms << "\"/>";
+    if (event.compacted)
+        os << " <compact ms=\"" << event.compact_ms << "\"/>";
+    os << "\n";
+    os << "  <heap used=\"" << std::setprecision(1)
+       << mb(event.used_after) << "MB\" free=\""
+       << mb(heap_size_bytes - event.used_after) << "MB\" live=\""
+       << mb(event.live_bytes) << "MB\" dark=\""
+       << std::setprecision(2) << mb(event.dark_bytes) << "MB\"/>\n";
+    os << "  <reclaimed cells=\"" << event.reclaimed_cells
+       << "\" bytes=\"" << std::setprecision(1)
+       << mb(event.freed_bytes) << "MB\"/>\n";
+    os << "</gc>\n";
+    os.flags(flags);
+}
+
+void
+printVerboseGcLog(std::ostream &os, const VerboseGcLog &log,
+                  std::uint64_t heap_size_bytes, SimTime elapsed)
+{
+    std::size_t id = 0;
+    for (const auto &event : log.events())
+        printVerboseGcEvent(os, event, id++, heap_size_bytes);
+
+    const GcSummary summary = log.summarize(elapsed);
+    const auto flags = os.flags();
+    os << std::fixed << std::setprecision(2);
+    os << "<summary collections=\"" << summary.collections
+       << "\" interval=\"" << summary.mean_interval_s
+       << "s\" pause=\"" << std::setprecision(0)
+       << summary.mean_pause_ms << "ms\" gc=\""
+       << std::setprecision(2) << summary.gc_time_fraction * 100.0
+       << "%\" mark=\"" << summary.mark_fraction * 100.0
+       << "%\" growth=\""
+       << summary.live_growth_bytes_per_min / (1024.0 * 1024.0)
+       << "MB/min\"/>\n";
+    os.flags(flags);
+}
+
+} // namespace jasim

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * verbosegc-style textual output.
+ *
+ * The studied JVM's -verbosegc flag emitted per-collection records;
+ * this formatter renders GcEvents in that spirit so runs can be
+ * eyeballed (and diffed) the way the authors worked.
+ */
+
+#ifndef JASIM_JVM_VERBOSE_GC_FORMAT_H
+#define JASIM_JVM_VERBOSE_GC_FORMAT_H
+
+#include <ostream>
+
+#include "jvm/verbose_gc.h"
+
+namespace jasim {
+
+/** Render one collection as a verbosegc-style record. */
+void printVerboseGcEvent(std::ostream &os, const GcEvent &event,
+                         std::size_t id,
+                         std::uint64_t heap_size_bytes);
+
+/** Render a whole log plus its summary block. */
+void printVerboseGcLog(std::ostream &os, const VerboseGcLog &log,
+                       std::uint64_t heap_size_bytes, SimTime elapsed);
+
+} // namespace jasim
+
+#endif // JASIM_JVM_VERBOSE_GC_FORMAT_H

@@ -1,0 +1,193 @@
+#include "mem/cache.h"
+
+#include <cassert>
+
+namespace jasim {
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geometry,
+                             ReplacementPolicy policy, std::uint64_t seed)
+    : geometry_(geometry), policy_(policy), sets_(geometry.sets()),
+      lines_(sets_ * geometry.ways), rng_(seed)
+{
+    assert(sets_ > 0 && "geometry must yield at least one set");
+    assert((sets_ & (sets_ - 1)) == 0 && "set count must be a power of two");
+    assert((geometry.line_bytes & (geometry.line_bytes - 1)) == 0);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr / geometry_.line_bytes) & (sets_ - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr / geometry_.line_bytes;
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * geometry_.ways];
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (base[w].state != MesiState::Invalid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+MesiState
+SetAssocCache::state(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? line->state : MesiState::Invalid;
+}
+
+std::size_t
+SetAssocCache::victimWay(std::uint64_t set)
+{
+    Line *base = &lines_[set * geometry_.ways];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (base[w].state == MesiState::Invalid)
+            return w;
+    }
+    // Instruction-friendly mode: restrict victims to data lines when
+    // any exist, so instruction entries are evicted last.
+    bool restrict_to_data = false;
+    if (inst_friendly_) {
+        for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+            if (base[w].kind == LineKind::Data) {
+                restrict_to_data = true;
+                break;
+            }
+        }
+    }
+    auto eligible = [&](std::uint32_t w) {
+        return !restrict_to_data || base[w].kind == LineKind::Data;
+    };
+    if (policy_ == ReplacementPolicy::Random && !restrict_to_data)
+        return static_cast<std::size_t>(rng_.below(geometry_.ways));
+    // FIFO and LRU both evict the smallest stamp; the difference is
+    // whether hits refresh the stamp (LRU) or not (FIFO).
+    std::size_t victim = geometry_.ways;
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (!eligible(w))
+            continue;
+        if (victim == geometry_.ways ||
+            base[w].stamp < base[victim].stamp) {
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool allocate, MesiState fill_state,
+                      LineKind kind)
+{
+    CacheAccessResult result;
+    ++tick_;
+    if (Line *line = findLine(addr)) {
+        result.hit = true;
+        if (policy_ == ReplacementPolicy::LRU)
+            line->stamp = tick_;
+        return result;
+    }
+    if (!allocate)
+        return result;
+
+    const std::uint64_t set = setIndex(addr);
+    const std::size_t way = victimWay(set);
+    Line &line = lines_[set * geometry_.ways + way];
+    if (line.state != MesiState::Invalid) {
+        result.victim = line.tag * geometry_.line_bytes;
+        result.victim_state = line.state;
+    }
+    line.tag = tagOf(addr);
+    line.state = fill_state;
+    line.kind = kind;
+    line.stamp = tick_;
+    return result;
+}
+
+CacheAccessResult
+SetAssocCache::fill(Addr addr, MesiState fill_state, LineKind kind)
+{
+    CacheAccessResult result;
+    ++tick_;
+    if (Line *line = findLine(addr)) {
+        // Already resident: treat as a state refresh.
+        line->state = fill_state;
+        line->kind = kind;
+        result.hit = true;
+        return result;
+    }
+    const std::uint64_t set = setIndex(addr);
+    const std::size_t way = victimWay(set);
+    Line &line = lines_[set * geometry_.ways + way];
+    if (line.state != MesiState::Invalid) {
+        result.victim = line.tag * geometry_.line_bytes;
+        result.victim_state = line.state;
+    }
+    line.tag = tagOf(addr);
+    line.state = fill_state;
+    line.kind = kind;
+    line.stamp = tick_;
+    return result;
+}
+
+bool
+SetAssocCache::setState(Addr addr, MesiState new_state)
+{
+    if (Line *line = findLine(addr)) {
+        line->state = new_state;
+        return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->state = MesiState::Invalid;
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : lines_)
+        line.state = MesiState::Invalid;
+}
+
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t count = 0;
+    for (const auto &line : lines_) {
+        if (line.state != MesiState::Invalid)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace jasim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Generic set-associative cache model.
+ *
+ * One class serves every level of the hierarchy; POWER4-specific
+ * behaviour (write-through no-store-allocate L1D, FIFO replacement,
+ * MESI states at the L2 coherence point) is configured per instance
+ * by mem/hierarchy.cc.
+ */
+
+#ifndef JASIM_MEM_CACHE_H
+#define JASIM_MEM_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace jasim {
+
+/** MESI coherence states. Lines in non-coherent caches stay Exclusive. */
+enum class MesiState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** Replacement policies supported by SetAssocCache. */
+enum class ReplacementPolicy : std::uint8_t { FIFO, LRU, Random };
+
+/** What a cached line holds (for instruction-aware replacement). */
+enum class LineKind : std::uint8_t { Data, Instruction };
+
+/** Static shape of a cache. */
+struct CacheGeometry
+{
+    std::uint64_t size_bytes;
+    std::uint32_t line_bytes;
+    std::uint32_t ways;
+
+    std::uint64_t sets() const
+    {
+        return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+    }
+};
+
+/** Result of a filling access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Address of the line evicted to make room, if any. */
+    std::optional<Addr> victim;
+    /** Coherence state the victim held (meaningful when victim set). */
+    MesiState victim_state = MesiState::Invalid;
+};
+
+/**
+ * A set-associative cache with pluggable replacement.
+ *
+ * The cache tracks tags and MESI states only (no data), which is all
+ * the characterization study needs. Addresses are byte addresses; the
+ * cache computes line/set internally.
+ */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(const CacheGeometry &geometry, ReplacementPolicy policy,
+                  std::uint64_t seed = 0);
+
+    const CacheGeometry &geometry() const { return geometry_; }
+
+    /** Non-filling lookup. */
+    bool probe(Addr addr) const;
+
+    /** Coherence state of the line holding addr (Invalid if absent). */
+    MesiState state(Addr addr) const;
+
+    /**
+     * Filling access: on a miss (when allocate is true), install the
+     * line in fill_state, evicting per policy.
+     *
+     * On a hit the line's replacement metadata is updated (LRU only;
+     * FIFO ignores hits by definition) and the state is left unchanged.
+     */
+    CacheAccessResult access(Addr addr, bool allocate,
+                             MesiState fill_state = MesiState::Exclusive,
+                             LineKind kind = LineKind::Data);
+
+    /**
+     * Install a line without a demand access (prefetch/inclusion fill).
+     * Returns the victim if one was evicted.
+     */
+    CacheAccessResult fill(Addr addr, MesiState fill_state,
+                           LineKind kind = LineKind::Data);
+
+    /**
+     * Prefer evicting data lines over instruction lines (the paper's
+     * Section 4.3 suggestion for an instruction-friendly L2).
+     */
+    void setInstructionFriendly(bool on) { inst_friendly_ = on; }
+
+    /** Upgrade/downgrade the state of a resident line; false if absent. */
+    bool setState(Addr addr, MesiState new_state);
+
+    /** Remove a line; returns true if it was present. */
+    bool invalidate(Addr addr);
+
+    /** Drop every line (e.g. between experiment phases). */
+    void flush();
+
+    /** Number of valid lines (for inclusion checks in tests). */
+    std::uint64_t validLines() const;
+
+    std::uint32_t lineBytes() const { return geometry_.line_bytes; }
+
+    /** Line-aligned address for addr. */
+    Addr lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(geometry_.line_bytes - 1);
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        MesiState state = MesiState::Invalid;
+        LineKind kind = LineKind::Data;
+        std::uint64_t stamp = 0; //!< insertion (FIFO) or last-use (LRU)
+    };
+
+    CacheGeometry geometry_;
+    ReplacementPolicy policy_;
+    bool inst_friendly_ = false;
+    std::uint64_t sets_;
+    std::vector<Line> lines_; //!< sets_ * ways, row-major by set
+    std::uint64_t tick_ = 0;
+    Rng rng_;
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    std::size_t victimWay(std::uint64_t set);
+};
+
+} // namespace jasim
+
+#endif // JASIM_MEM_CACHE_H

@@ -1,0 +1,94 @@
+#include "mem/prefetcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jasim {
+
+StreamPrefetcher::StreamPrefetcher(std::uint32_t line_bytes,
+                                   std::size_t max_streams,
+                                   std::size_t candidate_entries)
+    : line_bytes_(line_bytes), max_streams_(max_streams),
+      candidate_entries_(candidate_entries)
+{
+    assert((line_bytes & (line_bytes - 1)) == 0);
+    candidates_.assign(candidate_entries_, ~Addr{0});
+}
+
+PrefetchDecision
+StreamPrefetcher::observe(Addr addr, bool was_miss)
+{
+    PrefetchDecision decision;
+    const Addr line = lineOf(addr);
+    ++tick_;
+
+    // Does this access advance an existing stream?
+    for (auto &stream : streams_) {
+        if (line == stream.next_line) {
+            stream.next_line = static_cast<Addr>(
+                static_cast<std::int64_t>(stream.next_line) + stream.step);
+            stream.last_use = tick_;
+            // Ramp: keep one line ahead near the core, one deeper in L2.
+            decision.l1_lines.push_back(stream.next_line);
+            decision.l2_lines.push_back(static_cast<Addr>(
+                static_cast<std::int64_t>(stream.next_line) + stream.step));
+            return decision;
+        }
+    }
+
+    if (!was_miss)
+        return decision;
+
+    // Detection: a miss adjacent to a recent miss allocates a stream.
+    const Addr up = line + line_bytes_;
+    const Addr down = line - line_bytes_;
+    std::int64_t step = 0;
+    for (const Addr prev : candidates_) {
+        if (prev == down) {
+            step = static_cast<std::int64_t>(line_bytes_);
+            break;
+        }
+        if (prev == up) {
+            step = -static_cast<std::int64_t>(line_bytes_);
+            break;
+        }
+    }
+
+    if (step != 0) {
+        if (streams_.size() >= max_streams_) {
+            // Replace the least recently used stream.
+            auto lru = std::min_element(
+                streams_.begin(), streams_.end(),
+                [](const Stream &a, const Stream &b) {
+                    return a.last_use < b.last_use;
+                });
+            *lru = Stream{static_cast<Addr>(
+                              static_cast<std::int64_t>(line) + step),
+                          step, tick_};
+        } else {
+            streams_.push_back(Stream{
+                static_cast<Addr>(static_cast<std::int64_t>(line) + step),
+                step, tick_});
+        }
+        decision.stream_allocated = true;
+        const Stream &s = streams_.back();
+        // Initial ramp covers two lines ahead.
+        decision.l1_lines.push_back(s.next_line);
+        decision.l2_lines.push_back(static_cast<Addr>(
+            static_cast<std::int64_t>(s.next_line) + step));
+    }
+
+    candidates_[candidate_head_] = line;
+    candidate_head_ = (candidate_head_ + 1) % candidate_entries_;
+    return decision;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    streams_.clear();
+    candidates_.assign(candidate_entries_, ~Addr{0});
+    candidate_head_ = 0;
+}
+
+} // namespace jasim

@@ -1,0 +1,73 @@
+#include "os/disk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jasim {
+
+DiskModel::DiskModel(const DiskConfig &config)
+    : config_(config), spindle_free_(config.spindles, 0)
+{
+    assert(config.spindles > 0);
+}
+
+SimTime
+DiskModel::serviceTime(std::uint64_t bytes) const
+{
+    if (config_.kind == DiskConfig::Kind::RamDisk) {
+        const std::uint64_t pages = (bytes + 4095) / 4096;
+        return static_cast<SimTime>(
+            config_.ram_us_per_page * static_cast<double>(pages));
+    }
+    const double transfer_us = static_cast<double>(bytes) /
+        (config_.transfer_mb_per_s * 1e6) * 1e6;
+    return millis(config_.seek_ms + config_.rotational_ms / 2.0) +
+        static_cast<SimTime>(transfer_us);
+}
+
+IoResult
+DiskModel::submit(SimTime now, SimTime service)
+{
+    // Least-loaded spindle (striped volume behaviour).
+    auto earliest =
+        std::min_element(spindle_free_.begin(), spindle_free_.end());
+    const SimTime start = std::max(now, *earliest);
+    IoResult result;
+    result.service = service;
+    result.queued = start - now;
+    result.completion = start + service;
+    *earliest = result.completion;
+    ++requests_;
+    busy_ += service;
+    queued_ += result.queued;
+    return result;
+}
+
+IoResult
+DiskModel::read(SimTime now, std::uint32_t pages)
+{
+    if (config_.kind == DiskConfig::Kind::Spinning && pages > 1) {
+        // Database point reads are random: each page pays a seek.
+        const SimTime per_page = serviceTime(4096);
+        return submit(now, per_page * pages);
+    }
+    return submit(now, serviceTime(static_cast<std::uint64_t>(pages) *
+                                   4096));
+}
+
+IoResult
+DiskModel::write(SimTime now, std::uint64_t bytes)
+{
+    return submit(now, serviceTime(bytes));
+}
+
+double
+DiskModel::utilization(SimTime now) const
+{
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(busy_) /
+        static_cast<double>(now * spindle_free_.size());
+}
+
+} // namespace jasim

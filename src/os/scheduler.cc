@@ -1,0 +1,58 @@
+#include "os/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jasim {
+
+CpuScheduler::CpuScheduler(std::size_t cpus) : free_(cpus, 0)
+{
+    assert(cpus > 0);
+}
+
+BurstResult
+CpuScheduler::run(SimTime now, double burst_us, Component component)
+{
+    assert(burst_us >= 0.0);
+    auto earliest = std::min_element(free_.begin(), free_.end());
+    BurstResult result;
+    result.cpu = static_cast<std::size_t>(earliest - free_.begin());
+    result.start = std::max(now, *earliest);
+    const SimTime burst = static_cast<SimTime>(burst_us);
+    result.completion = result.start + burst;
+    *earliest = result.completion;
+    busy_by_component_[static_cast<std::size_t>(component)] += burst;
+    total_busy_ += burst;
+    return result;
+}
+
+void
+CpuScheduler::blockAll(SimTime now, SimTime until, Component component)
+{
+    for (auto &next_free : free_) {
+        const SimTime start = std::max(now, next_free);
+        if (until > start) {
+            busy_by_component_[static_cast<std::size_t>(component)] +=
+                until - start;
+            total_busy_ += until - start;
+            next_free = until;
+        }
+    }
+}
+
+SimTime
+CpuScheduler::earliestFree() const
+{
+    return *std::min_element(free_.begin(), free_.end());
+}
+
+double
+CpuScheduler::utilization(SimTime now) const
+{
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(total_busy_) /
+        static_cast<double>(now * free_.size());
+}
+
+} // namespace jasim

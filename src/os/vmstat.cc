@@ -1,0 +1,37 @@
+#include "os/vmstat.h"
+
+namespace jasim {
+
+VmStatRow
+VmStat::mean() const
+{
+    return rows_.empty() ? VmStatRow{}
+                         : mean(0, rows_.back().time + 1);
+}
+
+VmStatRow
+VmStat::mean(SimTime from, SimTime to) const
+{
+    VmStatRow acc;
+    std::size_t count = 0;
+    for (const auto &row : rows_) {
+        if (row.time < from || row.time >= to)
+            continue;
+        acc.user_pct += row.user_pct;
+        acc.system_pct += row.system_pct;
+        acc.idle_pct += row.idle_pct;
+        acc.iowait_pct += row.iowait_pct;
+        ++count;
+    }
+    if (count > 0) {
+        const double n = static_cast<double>(count);
+        acc.user_pct /= n;
+        acc.system_pct /= n;
+        acc.idle_pct /= n;
+        acc.iowait_pct /= n;
+        acc.time = to;
+    }
+    return acc;
+}
+
+} // namespace jasim

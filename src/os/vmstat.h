@@ -1,0 +1,58 @@
+/**
+ * @file
+ * vmstat-style CPU accounting.
+ *
+ * Aggregates scheduler and disk state into the user / system / idle /
+ * iowait percentages the paper quotes ("80% of the CPU time spent in
+ * user-level code and 20% in the operating system"; hard-disk runs
+ * fail because iowait grows).
+ */
+
+#ifndef JASIM_OS_VMSTAT_H
+#define JASIM_OS_VMSTAT_H
+
+#include <vector>
+
+#include "sim/types.h"
+#include "synth/component_profiles.h"
+
+namespace jasim {
+
+/** One vmstat interval row. */
+struct VmStatRow
+{
+    SimTime time = 0;
+    double user_pct = 0.0;
+    double system_pct = 0.0;
+    double idle_pct = 0.0;
+    double iowait_pct = 0.0;
+};
+
+/** True when a component's cycles count as system (kernel) time. */
+constexpr bool
+isSystemComponent(Component component)
+{
+    return component == Component::Kernel;
+}
+
+/** Accumulates interval rows and computes run-level means. */
+class VmStat
+{
+  public:
+    void record(const VmStatRow &row) { rows_.push_back(row); }
+
+    const std::vector<VmStatRow> &rows() const { return rows_; }
+
+    /** Mean of each field over all recorded rows. */
+    VmStatRow mean() const;
+
+    /** Mean over rows with time in [from, to). */
+    VmStatRow mean(SimTime from, SimTime to) const;
+
+  private:
+    std::vector<VmStatRow> rows_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_OS_VMSTAT_H

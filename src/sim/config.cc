@@ -1,0 +1,68 @@
+#include "sim/config.h"
+
+#include <cstdlib>
+
+namespace jasim {
+
+Config
+Config::fromArgs(int argc, char **argv)
+{
+    Config config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0)
+            continue;
+        config.set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+    return config;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const std::string &v = it->second;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+} // namespace jasim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lightweight key=value configuration with typed accessors.
+ *
+ * Benches, tests and examples parse command-line arguments of the form
+ * `key=value` into a Config and hand it to experiment constructors, so
+ * every run parameter (seed, injection rate, heap size, ...) can be
+ * overridden without recompiling.
+ */
+
+#ifndef JASIM_SIM_CONFIG_H
+#define JASIM_SIM_CONFIG_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace jasim {
+
+/** String-keyed configuration map with typed, defaulted lookups. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv entries of the form key=value; others are ignored. */
+    static Config fromArgs(int argc, char **argv);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True if the key is present. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters; return the fallback when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    const std::map<std::string, std::string> &entries() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_SIM_CONFIG_H

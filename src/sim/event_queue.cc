@@ -1,0 +1,59 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace jasim {
+
+std::uint64_t
+EventQueue::scheduleAt(SimTime when, Action action)
+{
+    assert(when >= now_ && "cannot schedule in the past");
+    const std::uint64_t id = next_sequence_++;
+    queue_.push(Entry{when, id, std::move(action)});
+    return id;
+}
+
+std::uint64_t
+EventQueue::scheduleAfter(SimTime delay, Action action)
+{
+    return scheduleAt(now_ + delay, std::move(action));
+}
+
+std::uint64_t
+EventQueue::runUntil(SimTime horizon)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= horizon) {
+        // Copy out before pop: the action may schedule more events.
+        Entry entry = queue_.top();
+        queue_.pop();
+        now_ = entry.when;
+        entry.action();
+        ++executed;
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    while (!queue_.empty())
+        queue_.pop();
+}
+
+} // namespace jasim

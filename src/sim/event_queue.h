@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal but complete event queue: events are closures scheduled at
+ * absolute simulated times; ties are broken FIFO by insertion order so
+ * simulations are deterministic. The system-level tier of jasim (driver,
+ * app server, database, disks, GC scheduling) runs entirely on this
+ * kernel.
+ */
+
+#ifndef JASIM_SIM_EVENT_QUEUE_H
+#define JASIM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Not thread-safe; a simulation is single-threaded by design.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Schedule an action at an absolute time.
+     *
+     * @param when absolute simulated time; must be >= now().
+     * @return a monotonically increasing event id (usable for debugging).
+     */
+    std::uint64_t scheduleAt(SimTime when, Action action);
+
+    /** Schedule an action after a relative delay from now(). */
+    std::uint64_t scheduleAfter(SimTime delay, Action action);
+
+    /**
+     * Run events until the queue is empty or the horizon is reached.
+     *
+     * Events scheduled exactly at the horizon are executed. Returns the
+     * number of events executed. Time is left at the horizon (or at the
+     * last event if the queue drained earlier).
+     */
+    std::uint64_t runUntil(SimTime horizon);
+
+    /** Run a single event if one is pending; returns true if one ran. */
+    bool step();
+
+    /** Discard all pending events (used between experiment phases). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t sequence;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    SimTime now_ = 0;
+    std::uint64_t next_sequence_ = 0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_SIM_EVENT_QUEUE_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic subsystem in jasim draws from its own Rng instance
+ * seeded from a run-level master seed, so runs are reproducible and
+ * subsystems are statistically independent. The generator is
+ * xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+ */
+
+#ifndef JASIM_SIM_RNG_H
+#define JASIM_SIM_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace jasim {
+
+/** splitmix64 step; used for seeding and cheap hashing. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator so it can be
+ * used with standard distributions if ever needed, though jasim's own
+ * distributions (sim/distributions.h) are preferred for cross-platform
+ * determinism.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Derive an independent child generator, e.g.\ per subsystem. */
+    Rng fork(std::uint64_t stream_id);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit draw. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+  private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_SIM_RNG_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared across jasim.
+ *
+ * Simulated time is kept in integer microseconds to avoid floating
+ * point drift in the event queue; microarchitectural quantities use
+ * cycles and instruction counts as unsigned 64-bit integers.
+ */
+
+#ifndef JASIM_SIM_TYPES_H
+#define JASIM_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace jasim {
+
+/** Simulated wall-clock time in microseconds since run start. */
+using SimTime = std::uint64_t;
+
+/** Processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Instruction counts. */
+using InstCount = std::uint64_t;
+
+/** Byte addresses in a simulated address space. */
+using Addr = std::uint64_t;
+
+/** Convert seconds to SimTime. */
+constexpr SimTime
+secs(double s)
+{
+    return static_cast<SimTime>(s * 1e6);
+}
+
+/** Convert milliseconds to SimTime. */
+constexpr SimTime
+millis(double ms)
+{
+    return static_cast<SimTime>(ms * 1e3);
+}
+
+/** Convert SimTime to seconds. */
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+} // namespace jasim
+
+#endif // JASIM_SIM_TYPES_H

@@ -1,0 +1,55 @@
+#include "stats/counter.h"
+
+namespace jasim {
+
+Counter &
+CounterSet::get(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(name, Counter(name)).first;
+    return it->second;
+}
+
+std::uint64_t
+CounterSet::value(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+CounterSet::add(const std::string &name, std::uint64_t by)
+{
+    get(name).increment(by);
+}
+
+std::map<std::string, std::uint64_t>
+CounterSet::snapshot() const
+{
+    std::map<std::string, std::uint64_t> snap;
+    for (const auto &[name, counter] : counters_)
+        snap[name] = counter.value();
+    return snap;
+}
+
+std::map<std::string, std::uint64_t>
+CounterSet::deltaSince(const std::map<std::string, std::uint64_t> &snap) const
+{
+    std::map<std::string, std::uint64_t> delta;
+    for (const auto &[name, counter] : counters_) {
+        const auto it = snap.find(name);
+        const std::uint64_t base = it == snap.end() ? 0 : it->second;
+        delta[name] = counter.value() - base;
+    }
+    return delta;
+}
+
+void
+CounterSet::reset()
+{
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+}
+
+} // namespace jasim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Event counters and counter snapshots.
+ *
+ * A Counter is a named monotonically increasing count, the atom of the
+ * hardware-performance-monitor model. CounterDelta captures the change
+ * across a sample window.
+ */
+
+#ifndef JASIM_STATS_COUNTER_H
+#define JASIM_STATS_COUNTER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace jasim {
+
+/** A monotonically increasing named event count. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    std::uint64_t value() const { return value_; }
+
+    void increment(std::uint64_t by = 1) { value_ += by; }
+
+    /** Value change since the given snapshot. */
+    std::uint64_t deltaSince(std::uint64_t snapshot) const
+    {
+        return value_ - snapshot;
+    }
+
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A bag of named counters, supporting snapshot/delta for windowing.
+ *
+ * Lookup creates counters on first use so instrumentation sites stay
+ * terse; iteration order is deterministic (std::map).
+ */
+class CounterSet
+{
+  public:
+    /** Get-or-create a counter by name. */
+    Counter &get(const std::string &name);
+
+    /** Read a counter's value; 0 if it does not exist. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** Add a value to a counter (creating it if needed). */
+    void add(const std::string &name, std::uint64_t by);
+
+    /** Snapshot all current values. */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+    /** Per-counter deltas relative to a prior snapshot. */
+    std::map<std::string, std::uint64_t>
+    deltaSince(const std::map<std::string, std::uint64_t> &snap) const;
+
+    void reset();
+
+    const std::map<std::string, Counter> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_STATS_COUNTER_H

@@ -1,0 +1,84 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jasim {
+
+void
+PercentileTracker::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    assert(p > 0.0 && p <= 100.0);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const double n = static_cast<double>(samples_.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0)
+        rank = 1;
+    return samples_[rank - 1];
+}
+
+double
+PercentileTracker::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+PercentileTracker::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    assert(hi > lo && bins > 0);
+}
+
+void
+Histogram::add(double sample)
+{
+    double idx = (sample - lo_) / width_;
+    if (idx < 0.0)
+        idx = 0.0;
+    std::size_t bin = static_cast<std::size_t>(idx);
+    if (bin >= counts_.size())
+        bin = counts_.size() - 1;
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double
+Histogram::binHigh(std::size_t bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+} // namespace jasim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Percentile tracking for response-time SLAs.
+ *
+ * SPECjAppServer2004 passes a run only if 90% of web requests finish
+ * under 2 s and 90% of RMI requests under 5 s; the driver module uses
+ * this tracker to adjudicate runs.
+ */
+
+#ifndef JASIM_STATS_PERCENTILE_H
+#define JASIM_STATS_PERCENTILE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace jasim {
+
+/**
+ * Exact percentile tracker over accumulated samples.
+ *
+ * Keeps all samples; fine for the sample counts a benchmark run
+ * produces (O(10^5)). Percentile uses the nearest-rank method.
+ */
+class PercentileTracker
+{
+  public:
+    void
+    add(double sample)
+    {
+        samples_.push_back(sample);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+
+    /**
+     * Nearest-rank percentile, p in (0, 100]. Returns 0 when empty.
+     * Sorting is deferred and cached until the next add().
+     */
+    double percentile(double p) const;
+
+    double mean() const;
+    double max() const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+
+    void ensureSorted() const;
+};
+
+/** Histogram with fixed-width bins, used for pause-time summaries. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+
+    std::size_t binCount(std::size_t bin) const { return counts_[bin]; }
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+
+    double binLow(std::size_t bin) const;
+    double binHigh(std::size_t bin) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_STATS_PERCENTILE_H

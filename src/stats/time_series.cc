@@ -1,0 +1,81 @@
+#include "stats/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace jasim {
+
+void
+TimeSeries::append(SimTime t, double value)
+{
+    assert((times_.empty() || t >= times_.back()) &&
+           "samples must be appended in time order");
+    times_.push_back(t);
+    values_.push_back(value);
+}
+
+double
+TimeSeries::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum / static_cast<double>(values_.size());
+}
+
+double
+TimeSeries::stddev() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double sum_sq = 0.0;
+    for (double v : values_)
+        sum_sq += (v - m) * (v - m);
+    return std::sqrt(sum_sq / static_cast<double>(values_.size() - 1));
+}
+
+double
+TimeSeries::min() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+TimeSeries::max() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+TimeSeries
+TimeSeries::slice(SimTime from, SimTime to) const
+{
+    TimeSeries out(name_);
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (times_[i] >= from && times_[i] < to)
+            out.append(times_[i], values_[i]);
+    }
+    return out;
+}
+
+TimeSeries
+TimeSeries::ratio(const TimeSeries &other, std::string name) const
+{
+    assert(size() == other.size());
+    TimeSeries out(std::move(name));
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        const double denom = other.values_[i];
+        out.append(times_[i], denom == 0.0 ? 0.0 : values_[i] / denom);
+    }
+    return out;
+}
+
+} // namespace jasim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Time series of sampled values.
+ *
+ * Every figure in the reproduced paper is a time series of per-window
+ * counter-derived rates; TimeSeries is the common carrier between the
+ * window simulator, the correlation analysis, and the renderers.
+ */
+
+#ifndef JASIM_STATS_TIME_SERIES_H
+#define JASIM_STATS_TIME_SERIES_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** One named series of (time, value) samples with uniform windows. */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+    explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    void append(SimTime t, double value);
+
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    double value(std::size_t i) const { return values_[i]; }
+    SimTime time(std::size_t i) const { return times_[i]; }
+
+    const std::vector<double> &values() const { return values_; }
+    const std::vector<SimTime> &times() const { return times_; }
+
+    /** Arithmetic mean; 0 for an empty series. */
+    double mean() const;
+
+    /** Sample standard deviation; 0 when fewer than 2 samples. */
+    double stddev() const;
+
+    double min() const;
+    double max() const;
+
+    /**
+     * Restrict to samples with time in [from, to); returns a new series.
+     * Used to drop ramp-up / ramp-down and keep steady state only.
+     */
+    TimeSeries slice(SimTime from, SimTime to) const;
+
+    /** Element-wise ratio this/other (sizes must match; 0/0 -> 0). */
+    TimeSeries ratio(const TimeSeries &other, std::string name) const;
+
+  private:
+    std::string name_;
+    std::vector<SimTime> times_;
+    std::vector<double> values_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_STATS_TIME_SERIES_H

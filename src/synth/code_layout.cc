@@ -1,0 +1,54 @@
+#include "synth/code_layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jasim {
+
+CodeLayout::CodeLayout(std::string name, Addr base,
+                       std::uint64_t region_bytes, std::size_t count,
+                       std::uint32_t mean_bytes, double zipf_s,
+                       std::uint64_t seed, double zipf_shift)
+    : name_(std::move(name)), base_(base),
+      hotness_(count, zipf_s, zipf_shift)
+{
+    assert(count > 0);
+    Rng rng(seed);
+
+    // Log-normal sizes with sigma 0.8 around the requested mean.
+    const double sigma = 0.8;
+    const double mu = std::log(static_cast<double>(mean_bytes)) -
+        sigma * sigma / 2.0;
+
+    std::vector<std::uint32_t> sizes(count);
+    std::uint64_t total = 0;
+    for (auto &size : sizes) {
+        double draw = drawLogNormal(rng, mu, sigma);
+        draw = std::clamp(draw, 64.0, 16384.0);
+        size = static_cast<std::uint32_t>(draw) & ~3u;
+        total += size;
+    }
+    if (total > region_bytes) {
+        // Rescale to fit the region.
+        const double scale =
+            static_cast<double>(region_bytes) / static_cast<double>(total);
+        total = 0;
+        for (auto &size : sizes) {
+            size = std::max<std::uint32_t>(
+                64, static_cast<std::uint32_t>(size * scale)) & ~3u;
+            total += size;
+        }
+        assert(total <= region_bytes);
+    }
+
+    segments_.reserve(count);
+    Addr cursor = base;
+    for (const auto size : sizes) {
+        segments_.push_back(CodeSegment{cursor, size});
+        cursor += size;
+    }
+    footprint_ = cursor - base;
+}
+
+} // namespace jasim

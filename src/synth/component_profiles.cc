@@ -1,0 +1,454 @@
+#include "synth/component_profiles.h"
+
+#include <cassert>
+
+namespace jasim {
+
+const char *
+componentName(Component component)
+{
+    switch (component) {
+      case Component::WasJit: return "WAS JITed";
+      case Component::WasOther: return "WAS non-JITed";
+      case Component::Web: return "Web server";
+      case Component::Db2: return "DB2";
+      case Component::Kernel: return "Kernel";
+      case Component::GcMark: return "GC mark";
+      case Component::GcSweep: return "GC sweep";
+    }
+    return "?";
+}
+
+namespace {
+
+using memmap::javaHeap;
+using memmap::javaHeapSize;
+
+constexpr std::uint64_t kb = 1024;
+constexpr std::uint64_t mb = 1024 * 1024;
+
+/** Per-core private slice of the Java heap (TLAB-style). */
+Addr
+privateHeapBase(std::size_t core)
+{
+    return javaHeap + memmap::sharedHeapSize +
+        static_cast<Addr>(core) * 240ull * mb;
+}
+
+constexpr std::uint64_t privateHeapSize = 200ull * mb;
+
+Addr
+stackBase(std::size_t core)
+{
+    return memmap::stacks +
+        static_cast<Addr>(core) * memmap::stacksSizePerCore;
+}
+
+std::unique_ptr<DataAccessModel>
+makeWorkingSet(Addr base, std::uint64_t size, std::uint64_t hot_bytes,
+               double hot_fraction, double seq_fraction, double zipf_s,
+               std::uint64_t warm_bytes = 0)
+{
+    WorkingSetParams params;
+    params.base = base;
+    params.size = size;
+    params.hot_bytes = hot_bytes;
+    params.hot_fraction = hot_fraction;
+    params.warm_bytes = warm_bytes;
+    params.sequential_fraction = seq_fraction;
+    params.hot_zipf_s = zipf_s;
+    return std::make_unique<WorkingSetModel>(params);
+}
+
+std::unique_ptr<DataAccessModel>
+mixture(std::vector<std::unique_ptr<DataAccessModel>> models,
+        const std::vector<double> &weights)
+{
+    return std::make_unique<MixtureModel>(std::move(models), weights);
+}
+
+/** Wrap a shared structure so loads and stores see the same state. */
+std::unique_ptr<DataAccessModel>
+shared(const std::shared_ptr<DataAccessModel> &model)
+{
+    return std::make_unique<SharedModel>(model);
+}
+
+} // namespace
+
+WorkloadProfiles::WorkloadProfiles(std::uint64_t seed)
+{
+    Rng seeder(seed);
+    // The flat jas2004 profile: 8500 JITed methods; shifted Zipf keeps
+    // the hottest method under ~1% while ~224 methods cover ~half.
+    jit_layout_ = std::make_unique<CodeLayout>(
+        "jit-code", memmap::jitCode, memmap::jitCodeSize, 8500, 460,
+        1.03, seeder(), 30.0);
+    jvm_layout_ = std::make_unique<CodeLayout>(
+        "jvm-native", memmap::jvmCode, memmap::jvmCodeSize, 3000, 650,
+        0.95, seeder(), 4.0);
+    web_layout_ = std::make_unique<CodeLayout>(
+        "web-server", memmap::webCode, memmap::webCodeSize, 1200, 800,
+        0.95, seeder(), 2.0);
+    db_layout_ = std::make_unique<CodeLayout>(
+        "db2", memmap::dbCode, memmap::dbCodeSize, 4000, 700, 0.9,
+        seeder(), 3.0);
+    kernel_layout_ = std::make_unique<CodeLayout>(
+        "kernel", memmap::kernelCode, memmap::kernelCodeSize, 2500, 600,
+        0.9, seeder(), 2.0);
+    gc_layout_ = std::make_unique<CodeLayout>(
+        "gc", memmap::gcCode, memmap::gcCodeSize, 40, 900, 0.9,
+        seeder(), 0.0);
+}
+
+const CodeLayout &
+WorkloadProfiles::layout(Component component) const
+{
+    switch (component) {
+      case Component::WasJit: return *jit_layout_;
+      case Component::WasOther: return *jvm_layout_;
+      case Component::Web: return *web_layout_;
+      case Component::Db2: return *db_layout_;
+      case Component::Kernel: return *kernel_layout_;
+      case Component::GcMark:
+      case Component::GcSweep: return *gc_layout_;
+    }
+    return *jit_layout_;
+}
+
+std::unique_ptr<StreamGenerator>
+WorkloadProfiles::makeGenerator(Component component, std::size_t core,
+                                std::uint64_t seed) const
+{
+    assert(core < maxCores);
+    StreamMix mix;
+    std::unique_ptr<DataAccessModel> loads;
+    std::unique_ptr<DataAccessModel> stores;
+
+    switch (component) {
+      case Component::WasJit: {
+        mix.p_load = 0.29;
+        mix.p_store = 0.21;
+        mix.p_cond = 0.125;
+        mix.p_call = 0.022;
+        mix.p_virtual_call = 0.014;
+        mix.p_indirect = 0.002;
+        mix.p_larx = 1.0 / 455.0;
+        mix.p_sync = 0.0002;
+        mix.p_lwsync = 0.0020;
+        mix.p_isync = 0.0008;
+        mix.cond_noise = 0.03;
+        mix.virtual_fanout = 4;
+        mix.call_locality = 0.85;
+        mix.lock_region_base = memmap::sharedHeap;
+        mix.lock_count = 2048;
+
+        auto stack = std::make_shared<StackModel>(
+            stackBase(core), memmap::stacksSizePerCore);
+
+        std::vector<std::unique_ptr<DataAccessModel>> load_models;
+        load_models.push_back(makeWorkingSet(
+            privateHeapBase(core), privateHeapSize,
+            384 * kb, 0.96, 0.02, 1.30, 3 * mb));
+        load_models.push_back(makeWorkingSet(
+            memmap::sharedHeap, memmap::sharedHeapSize,
+            128 * kb, 0.95, 0.02, 1.30, 1 * mb));
+        load_models.push_back(shared(stack));
+        loads = mixture(std::move(load_models), {0.60, 0.08, 0.32});
+
+        std::vector<std::unique_ptr<DataAccessModel>> store_models;
+        store_models.push_back(std::make_unique<AllocationFrontierModel>(
+            privateHeapBase(core), privateHeapSize, 16));
+        store_models.push_back(makeWorkingSet(
+            privateHeapBase(core), privateHeapSize,
+            384 * kb, 0.96, 0.015, 1.30, 3 * mb));
+        store_models.push_back(shared(stack));
+        stores = mixture(std::move(store_models), {0.15, 0.48, 0.37});
+        break;
+      }
+
+      case Component::WasOther: {
+        mix.p_load = 0.30;
+        mix.p_store = 0.18;
+        mix.p_cond = 0.145;
+        mix.p_call = 0.02;
+        mix.p_virtual_call = 0.004;
+        mix.p_indirect = 0.010; // interpreter bytecode dispatch
+        mix.p_larx = 1.0 / 530.0;
+        mix.p_lwsync = 0.0015;
+        mix.p_isync = 0.0006;
+        mix.cond_noise = 0.03;
+        mix.virtual_fanout = 8;
+        mix.monomorphic_fraction = 0.45;
+        mix.bimorphic_fraction = 0.25;
+        mix.megamorphic_switch_prob = 0.40;
+        mix.call_locality = 0.8;
+        mix.lock_region_base = memmap::sharedHeap;
+        mix.lock_count = 1024;
+
+        auto stack = std::make_shared<StackModel>(
+            stackBase(core) + 8 * mb, 4 * mb);
+
+        std::vector<std::unique_ptr<DataAccessModel>> load_models;
+        load_models.push_back(makeWorkingSet(
+            privateHeapBase(core), privateHeapSize,
+            384 * kb, 0.95, 0.025, 1.30, 3 * mb));
+        load_models.push_back(makeWorkingSet(
+            memmap::sharedHeap, memmap::sharedHeapSize,
+            128 * kb, 0.95, 0.02, 1.30, 1 * mb));
+        load_models.push_back(shared(stack));
+        loads = mixture(std::move(load_models), {0.52, 0.12, 0.36});
+
+        std::vector<std::unique_ptr<DataAccessModel>> store_models;
+        store_models.push_back(makeWorkingSet(
+            privateHeapBase(core), privateHeapSize,
+            384 * kb, 0.96, 0.015, 1.30, 3 * mb));
+        store_models.push_back(shared(stack));
+        stores = mixture(std::move(store_models), {0.60, 0.40});
+        break;
+      }
+
+      case Component::Web: {
+        mix.p_load = 0.28;
+        mix.p_store = 0.19;
+        mix.p_cond = 0.15;
+        mix.p_call = 0.018;
+        mix.p_virtual_call = 0.0;
+        mix.p_indirect = 0.004;
+        mix.p_larx = 1.0 / 680.0;
+        mix.p_lwsync = 0.0008;
+        mix.cond_noise = 0.03;
+        mix.call_locality = 0.85;
+        mix.lock_region_base = memmap::webData;
+        mix.lock_count = 256;
+
+        const Addr web_slice = memmap::webData + core * 24ull * mb;
+        auto stack = std::make_shared<StackModel>(
+            stackBase(core) + 12 * mb, 2 * mb);
+
+        std::vector<std::unique_ptr<DataAccessModel>> load_models;
+        load_models.push_back(makeWorkingSet(
+            web_slice, 24ull * mb, 384 * kb, 0.95, 0.04, 1.30, 1 * mb));
+        load_models.push_back(shared(stack));
+        loads = mixture(std::move(load_models), {0.70, 0.30});
+
+        std::vector<std::unique_ptr<DataAccessModel>> store_models;
+        store_models.push_back(makeWorkingSet(
+            web_slice, 24ull * mb, 384 * kb, 0.96, 0.015, 1.30, 1 * mb));
+        store_models.push_back(shared(stack));
+        stores = mixture(std::move(store_models), {0.65, 0.35});
+        break;
+      }
+
+      case Component::Db2: {
+        mix.p_load = 0.32;
+        mix.p_store = 0.16;
+        mix.p_cond = 0.14;
+        mix.p_call = 0.018;
+        mix.p_virtual_call = 0.0;
+        mix.p_indirect = 0.005;
+        mix.p_larx = 1.0 / 380.0;
+        mix.p_sync = 0.0004;
+        mix.p_lwsync = 0.0025;
+        mix.cond_noise = 0.03;
+        mix.call_locality = 0.82;
+        mix.lock_region_base = memmap::dbBufferPool;
+        mix.lock_count = 1024;
+
+        // DB agents work mostly in private sort/work areas; the
+        // buffer pool itself is genuinely shared (read-mostly), which
+        // produces the modest L2.75-shared traffic of Figure 9.
+        const Addr private_pool =
+            memmap::dbBufferPool + (1 + core) * 96ull * mb;
+        auto stack = std::make_shared<StackModel>(
+            stackBase(core) + 14 * mb, 2 * mb);
+
+        std::vector<std::unique_ptr<DataAccessModel>> load_models;
+        load_models.push_back(makeWorkingSet(
+            private_pool, 64ull * mb,
+            384 * kb, 0.95, 0.03, 1.30, 1 * mb));
+        load_models.push_back(makeWorkingSet(
+            memmap::dbBufferPool, 64ull * mb,
+            384 * kb, 0.94, 0.02, 1.30, 1 * mb));
+        load_models.push_back(shared(stack));
+        loads = mixture(std::move(load_models), {0.52, 0.20, 0.28});
+
+        std::vector<std::unique_ptr<DataAccessModel>> store_models;
+        store_models.push_back(makeWorkingSet(
+            private_pool, 64ull * mb,
+            384 * kb, 0.95, 0.015, 1.30, 1 * mb));
+        store_models.push_back(std::make_unique<SequentialScanModel>(
+            memmap::dbLog, memmap::dbLogSize, 64)); // WAL appends
+        store_models.push_back(shared(stack));
+        stores = mixture(std::move(store_models), {0.50, 0.25, 0.25});
+        break;
+      }
+
+      case Component::Kernel: {
+        mix.p_load = 0.27;
+        mix.p_store = 0.20;
+        mix.p_cond = 0.15;
+        mix.p_call = 0.015;
+        mix.p_virtual_call = 0.0;
+        mix.p_indirect = 0.006;
+        mix.p_larx = 1.0 / 305.0;
+        mix.p_sync = 0.0040; // privileged code is SYNC-heavy
+        mix.p_lwsync = 0.0030;
+        mix.p_isync = 0.0015;
+        mix.cond_noise = 0.028;
+        mix.call_locality = 0.85;
+        mix.lock_region_base = memmap::kernelData;
+        mix.lock_count = 512;
+
+        const Addr kernel_slice =
+            memmap::kernelData + core * 48ull * mb;
+        auto stack = std::make_shared<StackModel>(
+            stackBase(core) + 10 * mb, 2 * mb);
+
+        std::vector<std::unique_ptr<DataAccessModel>> load_models;
+        load_models.push_back(makeWorkingSet(
+            kernel_slice, 48ull * mb,
+            384 * kb, 0.95, 0.05, 1.30, 1 * mb));
+        load_models.push_back(shared(stack));
+        loads = mixture(std::move(load_models), {0.75, 0.25});
+
+        std::vector<std::unique_ptr<DataAccessModel>> store_models;
+        store_models.push_back(makeWorkingSet(
+            kernel_slice, 48ull * mb,
+            384 * kb, 0.95, 0.04, 1.30, 1 * mb));
+        store_models.push_back(shared(stack));
+        stores = mixture(std::move(store_models), {0.70, 0.30});
+        break;
+      }
+
+      case Component::GcMark: {
+        mix.p_load = 0.35;
+        mix.p_store = 0.08;
+        mix.p_cond = 0.16;
+        mix.p_call = 0.004;
+        mix.p_virtual_call = 0.0;
+        mix.p_indirect = 0.0005;
+        mix.p_larx = 1.0 / 20000.0;
+        mix.p_sync = 0.00002;
+        mix.p_lwsync = 0.0001;
+        mix.cond_noise = 0.02; // tight, predictable loops
+        mix.loop_trips_fixed = 200;
+        mix.biased_strength = 0.97;
+        mix.taken_site_fraction = 0.75;
+        mix.call_locality = 0.95;
+        mix.lock_region_base = memmap::sharedHeap;
+        mix.lock_count = 64;
+
+        // Live prefix of the heap; updated per GC via setGcLiveBytes.
+        // Mark also reads the bitmap (test before set); the bitmap is
+        // one shared structure between the load and store streams.
+        WorkingSetParams bp;
+        bp.base = memmap::markBitmap;
+        bp.size = memmap::markBitmapSize;
+        bp.hot_bytes = 128 * kb;
+        bp.hot_fraction = 0.97;
+        bp.warm_bytes = 1 * mb;
+        bp.sequential_fraction = 0.04;
+        bp.hot_zipf_s = 1.3;
+        auto bitmap = std::make_shared<WorkingSetModel>(bp);
+
+        std::vector<std::unique_ptr<DataAccessModel>> load_models;
+        load_models.push_back(std::make_unique<PointerChaseModel>(
+            javaHeap, 190ull * mb, 0.99, 64 * kb));
+        load_models.push_back(shared(bitmap));
+        loads = mixture(std::move(load_models), {0.78, 0.22});
+        stores = shared(bitmap);
+        break;
+      }
+
+      case Component::GcSweep: {
+        mix.p_load = 0.30;
+        mix.p_store = 0.15;
+        mix.p_cond = 0.17;
+        mix.p_call = 0.003;
+        mix.p_virtual_call = 0.0;
+        mix.p_indirect = 0.0005;
+        mix.p_larx = 1.0 / 20000.0;
+        mix.p_sync = 0.00002;
+        mix.p_lwsync = 0.0001;
+        mix.cond_noise = 0.015;
+        mix.loop_trips_fixed = 400;
+        mix.biased_strength = 0.98;
+        mix.taken_site_fraction = 0.8;
+        mix.call_locality = 0.95;
+        mix.lock_region_base = memmap::sharedHeap;
+        mix.lock_count = 64;
+
+        // Sweep walks the whole heap linearly (prefetch heaven);
+        // free-list threading writes into the chunks just examined,
+        // so loads and stores share one scan stream.
+        auto scan = std::make_shared<SequentialScanModel>(
+            javaHeap, javaHeapSize, 32);
+        loads = shared(scan);
+        stores = shared(scan);
+        break;
+      }
+    }
+
+    return std::make_unique<StreamGenerator>(
+        componentName(component), mix, &layout(component),
+        std::move(loads), std::move(stores), seed);
+}
+
+AddressSpace
+WorkloadProfiles::makeAddressSpace(bool heap_large_pages,
+                                   bool code_large_pages) const
+{
+    AddressSpace space;
+    const std::uint64_t code_page =
+        code_large_pages ? largePageBytes : smallPageBytes;
+    const std::uint64_t heap_page =
+        heap_large_pages ? largePageBytes : smallPageBytes;
+
+    auto round_up = [](std::uint64_t size, std::uint64_t page) {
+        return (size + page - 1) / page * page;
+    };
+
+    space.addRegion("kernel-code", memmap::kernelCode,
+                    round_up(memmap::kernelCodeSize, code_page), code_page);
+    space.addRegion("web-code", memmap::webCode,
+                    round_up(memmap::webCodeSize, code_page), code_page);
+    space.addRegion("db-code", memmap::dbCode,
+                    round_up(memmap::dbCodeSize, code_page), code_page);
+    space.addRegion("jvm-code", memmap::jvmCode,
+                    round_up(memmap::jvmCodeSize, code_page), code_page);
+    space.addRegion("jit-code", memmap::jitCode,
+                    round_up(memmap::jitCodeSize, code_page), code_page);
+    space.addRegion("gc-code", memmap::gcCode,
+                    round_up(memmap::gcCodeSize, code_page), code_page);
+
+    space.addRegion("java-heap", memmap::javaHeap, memmap::javaHeapSize,
+                    heap_page);
+    // GC mark bitmap goes with the heap ("selected GC structures").
+    space.addRegion("mark-bitmap", memmap::markBitmap,
+                    round_up(memmap::markBitmapSize, heap_page), heap_page);
+
+    space.addRegion("db-buffer-pool", memmap::dbBufferPool,
+                    memmap::dbBufferPoolSize, smallPageBytes);
+    space.addRegion("db-log", memmap::dbLog, memmap::dbLogSize,
+                    smallPageBytes);
+    space.addRegion("stacks", memmap::stacks,
+                    memmap::stacksSizePerCore * maxCores, smallPageBytes);
+    space.addRegion("kernel-data", memmap::kernelData,
+                    memmap::kernelDataSize, smallPageBytes);
+    space.addRegion("web-data", memmap::webData, memmap::webDataSize,
+                    smallPageBytes);
+    return space;
+}
+
+void
+setGcLiveBytes(StreamGenerator &generator, std::uint64_t live_bytes)
+{
+    DataAccessModel *model = &generator.loadModel();
+    if (auto *mixture_model = dynamic_cast<MixtureModel *>(model))
+        model = &mixture_model->child(0);
+    if (auto *chase = dynamic_cast<PointerChaseModel *>(model))
+        chase->setLiveBytes(live_bytes);
+}
+
+} // namespace jasim

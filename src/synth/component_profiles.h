@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Calibrated per-component workload profiles.
+ *
+ * Defines the simulated memory map of the study system and builds the
+ * stream generators for each software component of the jas2004 stack:
+ * WAS JITed code, WAS non-JITed (JVM native / interpreter / JIT
+ * compiler / libraries), the web server, DB2, the AIX kernel, and the
+ * two garbage-collection phases (mark and sweep).
+ *
+ * The constants here are the calibration knobs behind every figure;
+ * DESIGN.md Section 5 lists the targets they were tuned against.
+ */
+
+#ifndef JASIM_SYNTH_COMPONENT_PROFILES_H
+#define JASIM_SYNTH_COMPONENT_PROFILES_H
+
+#include <array>
+#include <memory>
+
+#include "synth/code_layout.h"
+#include "synth/stream_generator.h"
+#include "xlat/address_space.h"
+
+namespace jasim {
+
+/** Software components with distinct execution character. */
+enum class Component : std::uint8_t
+{
+    WasJit,   //!< JIT-compiled WebSphere + EJS + Java library + jas2004
+    WasOther, //!< interpreter, JVM native, JIT compiler, client libs
+    Web,      //!< the web (HTTP) server process
+    Db2,      //!< the database engine
+    Kernel,   //!< AIX kernel code on behalf of everyone
+    GcMark,   //!< GC mark phase
+    GcSweep,  //!< GC sweep phase
+};
+
+inline constexpr std::size_t componentCount = 7;
+
+/** All components, for iteration. */
+inline constexpr std::array<Component, componentCount> allComponents = {
+    Component::WasJit, Component::WasOther, Component::Web,
+    Component::Db2,    Component::Kernel,   Component::GcMark,
+    Component::GcSweep,
+};
+
+/** Printable component name. */
+const char *componentName(Component component);
+
+/** The simulated memory map (bases are 16 MB aligned). */
+namespace memmap {
+
+inline constexpr Addr kernelCode = 0x1000'0000;
+inline constexpr std::uint64_t kernelCodeSize = 1536 * 1024;
+inline constexpr Addr webCode = 0x2000'0000;
+inline constexpr std::uint64_t webCodeSize = 1024 * 1024;
+inline constexpr Addr dbCode = 0x3000'0000;
+inline constexpr std::uint64_t dbCodeSize = 3 * 1024 * 1024;
+inline constexpr Addr jvmCode = 0x4000'0000;
+inline constexpr std::uint64_t jvmCodeSize = 2 * 1024 * 1024;
+inline constexpr Addr jitCode = 0x5000'0000;
+inline constexpr std::uint64_t jitCodeSize = 4 * 1024 * 1024;
+inline constexpr Addr gcCode = 0x6000'0000;
+inline constexpr std::uint64_t gcCodeSize = 64 * 1024;
+
+inline constexpr Addr javaHeap = 0x8000'0000;
+inline constexpr std::uint64_t javaHeapSize = 1024ull * 1024 * 1024;
+inline constexpr Addr markBitmap = 0xC100'0000;
+inline constexpr std::uint64_t markBitmapSize = 16 * 1024 * 1024;
+inline constexpr Addr dbBufferPool = 0x1'0000'0000;
+inline constexpr std::uint64_t dbBufferPoolSize = 512ull * 1024 * 1024;
+inline constexpr Addr dbLog = 0x1'4000'0000;
+inline constexpr std::uint64_t dbLogSize = 64 * 1024 * 1024;
+inline constexpr Addr stacks = 0x1'5000'0000;
+inline constexpr std::uint64_t stacksSizePerCore = 16 * 1024 * 1024;
+inline constexpr Addr kernelData = 0x1'6000'0000;
+inline constexpr std::uint64_t kernelDataSize = 256ull * 1024 * 1024;
+inline constexpr Addr webData = 0x1'7000'0000;
+inline constexpr std::uint64_t webDataSize = 128 * 1024 * 1024;
+
+/** Shared Java structures (session caches, class metadata, locks). */
+inline constexpr Addr sharedHeap = javaHeap;
+inline constexpr std::uint64_t sharedHeapSize = 16 * 1024 * 1024;
+
+} // namespace memmap
+
+/**
+ * Owns the code layouts and builds per-core generators.
+ *
+ * Layouts are shared across cores (same binary); data models are
+ * per-generator, with per-core private regions (stacks, allocation
+ * segments) and genuinely shared regions (DB buffer pool, shared heap
+ * structures, lock words) that produce the small cross-chip coherence
+ * traffic the paper measures.
+ */
+class WorkloadProfiles
+{
+  public:
+    explicit WorkloadProfiles(std::uint64_t seed);
+
+    /** Code layout of a component (WasJit maps to the JIT code cache). */
+    const CodeLayout &layout(Component component) const;
+
+    /**
+     * Build the generator for (component, core).
+     * GC live-set size can be updated later via setGcLiveBytes().
+     */
+    std::unique_ptr<StreamGenerator>
+    makeGenerator(Component component, std::size_t core,
+                  std::uint64_t seed) const;
+
+    /**
+     * Build the effective address space.
+     * @param heap_large_pages back the Java heap with 16 MB pages.
+     * @param code_large_pages back JIT/executable code with 16 MB pages.
+     */
+    AddressSpace makeAddressSpace(bool heap_large_pages,
+                                  bool code_large_pages) const;
+
+    /** Number of cores the private-region carve-outs assume. */
+    static constexpr std::size_t maxCores = 4;
+
+  private:
+    std::unique_ptr<CodeLayout> jit_layout_;
+    std::unique_ptr<CodeLayout> jvm_layout_;
+    std::unique_ptr<CodeLayout> web_layout_;
+    std::unique_ptr<CodeLayout> db_layout_;
+    std::unique_ptr<CodeLayout> kernel_layout_;
+    std::unique_ptr<CodeLayout> gc_layout_;
+};
+
+/**
+ * Update the live-heap size seen by a GC-mark generator.
+ * No-op for generators whose load model is not a PointerChaseModel.
+ */
+void setGcLiveBytes(StreamGenerator &generator, std::uint64_t live_bytes);
+
+} // namespace jasim
+
+#endif // JASIM_SYNTH_COMPONENT_PROFILES_H

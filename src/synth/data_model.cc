@@ -1,0 +1,185 @@
+#include "synth/data_model.h"
+
+#include <cassert>
+
+namespace jasim {
+
+WorkingSetModel::WorkingSetModel(const WorkingSetParams &params)
+    : params_(params),
+      hot_sampler_(std::max<std::uint64_t>(
+                       1, params.hot_bytes / params.hot_granule),
+                   params.hot_zipf_s)
+{
+    assert(params.size > 0);
+    assert(params.hot_bytes + params.warm_bytes <= params.size);
+}
+
+Addr
+WorkingSetModel::next(Rng &rng)
+{
+    // Continue an active sequential run first.
+    if (run_remaining_ > 0) {
+        --run_remaining_;
+        run_pos_ += params_.stride;
+        if (run_pos_ >= params_.base + params_.size)
+            run_pos_ = params_.base;
+        return run_pos_;
+    }
+    if (rng.chance(params_.sequential_fraction)) {
+        run_remaining_ = static_cast<std::uint32_t>(
+            1 + rng.below(2 * params_.run_length));
+        // Runs start within the hot+warm span (reused buffers), not
+        // anywhere in the region -- unbounded run starts would make
+        // every run a fresh page and wreck ERAT/TLB behaviour in a
+        // way real copy loops do not.
+        const std::uint64_t span =
+            params_.warm_bytes > 0
+                ? params_.hot_bytes + params_.warm_bytes
+                : params_.size;
+        run_pos_ = params_.base + rng.below(span);
+        return run_pos_;
+    }
+    if (rng.chance(params_.hot_fraction)) {
+        const std::size_t object = hot_sampler_(rng);
+        const Addr object_base = params_.base +
+            static_cast<Addr>(object) * params_.hot_granule;
+        return object_base + rng.below(params_.hot_granule);
+    }
+    if (params_.warm_bytes > 0 && rng.chance(params_.warm_fraction)) {
+        // Warm tier sits just past the hot bytes.
+        return params_.base + params_.hot_bytes +
+            rng.below(params_.warm_bytes);
+    }
+    // Cold tail: uniform over the whole region.
+    return params_.base + rng.below(params_.size);
+}
+
+AllocationFrontierModel::AllocationFrontierModel(Addr base,
+                                                 std::uint64_t size,
+                                                 std::uint32_t step)
+    : base_(base), size_(size), step_(step)
+{
+    assert(size > 0 && step > 0);
+}
+
+Addr
+AllocationFrontierModel::next(Rng &rng)
+{
+    (void)rng;
+    const Addr addr = base_ + offset_;
+    offset_ += step_;
+    if (offset_ >= size_)
+        offset_ = 0;
+    return addr;
+}
+
+void
+AllocationFrontierModel::resetTo(Addr offset)
+{
+    offset_ = offset % size_;
+}
+
+PointerChaseModel::PointerChaseModel(Addr base, std::uint64_t live_bytes,
+                                     double near_fraction,
+                                     std::uint64_t near_window)
+    : base_(base), live_bytes_(live_bytes),
+      near_fraction_(near_fraction), near_window_(near_window),
+      current_(base)
+{
+    assert(live_bytes > 0);
+}
+
+void
+PointerChaseModel::setLiveBytes(std::uint64_t live_bytes)
+{
+    assert(live_bytes > 0);
+    live_bytes_ = live_bytes;
+}
+
+Addr
+PointerChaseModel::next(Rng &rng)
+{
+    // Scan a few fields of the current object, then follow a "pointer":
+    // mostly to an object allocated nearby (allocation order gives
+    // real heaps that much locality), sometimes anywhere in the live
+    // set.
+    if (within_object_ > 0) {
+        --within_object_;
+        current_ += 8;
+        return current_;
+    }
+    within_object_ = 4 + static_cast<std::uint32_t>(rng.below(8));
+    if (rng.chance(near_fraction_)) {
+        const std::uint64_t offset = current_ - base_;
+        const std::uint64_t lo =
+            offset > near_window_ / 2 ? offset - near_window_ / 2 : 0;
+        const std::uint64_t hi =
+            std::min(live_bytes_, lo + near_window_);
+        current_ = base_ + ((lo + rng.below(hi - lo)) & ~Addr{7});
+    } else {
+        current_ = base_ + (rng.below(live_bytes_) & ~Addr{7});
+    }
+    return current_;
+}
+
+SequentialScanModel::SequentialScanModel(Addr base, std::uint64_t size,
+                                         std::uint32_t stride)
+    : base_(base), size_(size), stride_(stride)
+{
+    assert(size > 0 && stride > 0);
+}
+
+Addr
+SequentialScanModel::next(Rng &rng)
+{
+    (void)rng;
+    const Addr addr = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= size_)
+        offset_ = 0;
+    return addr;
+}
+
+StackModel::StackModel(Addr base, std::uint64_t size,
+                       std::uint32_t frame_bytes)
+    : base_(base), size_(size), frame_bytes_(frame_bytes)
+{
+    assert(size > frame_bytes * 8ull);
+}
+
+Addr
+StackModel::next(Rng &rng)
+{
+    // Wander the frame depth a little; accesses land within the
+    // current frame, giving high ERAT/L1 locality. Depth is bounded
+    // the way real call stacks are, so the active stack footprint
+    // stays a few KB and load/store streams overlap.
+    if (rng.chance(0.05)) {
+        if (rng.chance(0.5) && depth_ > 1)
+            --depth_;
+        else if (depth_ < maxActiveDepth &&
+                 depth_ < size_ / frame_bytes_ - 1) {
+            ++depth_;
+        }
+    }
+    const Addr frame = base_ + depth_ * frame_bytes_;
+    return frame + (rng.below(frame_bytes_) & ~Addr{7});
+}
+
+MixtureModel::MixtureModel(
+    std::vector<std::unique_ptr<DataAccessModel>> models,
+    const std::vector<double> &weights)
+    : models_(std::move(models)), sampler_(weights)
+{
+    assert(models_.size() == weights.size());
+    for ([[maybe_unused]] const auto &m : models_)
+        assert(m != nullptr);
+}
+
+Addr
+MixtureModel::next(Rng &rng)
+{
+    return models_[sampler_(rng)]->next(rng);
+}
+
+} // namespace jasim

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Data-access address generators.
+ *
+ * Each software component of the workload touches memory in a
+ * characteristic way; these models produce effective addresses with
+ * the right locality structure:
+ *
+ *  - WorkingSetModel: hot-set + sequential-run + cold-tail mixture
+ *    (application heap, DB buffer pool, kernel data);
+ *  - AllocationFrontierModel: the bump-allocator store stream that
+ *    makes Java store misses so frequent (fresh lines always miss);
+ *  - PointerChaseModel: GC mark-phase traversal (poor spatial
+ *    locality, but confined to the live portion of the heap);
+ *  - SequentialScanModel: GC sweep phase and table scans;
+ *  - StackModel: per-thread stack frames with near-perfect locality.
+ */
+
+#ifndef JASIM_SYNTH_DATA_MODEL_H
+#define JASIM_SYNTH_DATA_MODEL_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/distributions.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Interface: produce the next effective address. */
+class DataAccessModel
+{
+  public:
+    virtual ~DataAccessModel() = default;
+
+    /** Next effective address for a load or store. */
+    virtual Addr next(Rng &rng) = 0;
+};
+
+/**
+ * Parameters of the generic working-set mixture.
+ *
+ * Accesses draw from four tiers: sequential runs (copies, array
+ * walks), a Zipf-skewed hot set (L1-scale reuse), a uniform warm set
+ * (the L2/L3-scale working set the paper says cannot fit in L2), and
+ * a uniform cold tail over the whole region (the rare far touch that
+ * reaches memory and defeats the TLB).
+ */
+struct WorkingSetParams
+{
+    Addr base = 0;
+    std::uint64_t size = 0;          //!< full region size
+    std::uint64_t hot_bytes = 0;     //!< size of the hot subset
+    double hot_fraction = 0.9;       //!< P(hot | not sequential)
+    std::uint64_t warm_bytes = 0;    //!< warm subset (0 disables)
+    double warm_fraction = 0.85;     //!< P(warm | not seq, not hot)
+    double sequential_fraction = 0.1; //!< probability of run start
+    std::uint32_t run_length = 8;    //!< mean accesses per run
+    std::uint32_t stride = 8;        //!< bytes between run accesses
+    double hot_zipf_s = 1.3;         //!< skew inside the hot set
+    std::uint32_t hot_granule = 128; //!< bytes per hot "object"
+};
+
+/** Hot/cold/sequential mixture over one region. */
+class WorkingSetModel : public DataAccessModel
+{
+  public:
+    explicit WorkingSetModel(const WorkingSetParams &params);
+
+    Addr next(Rng &rng) override;
+
+    const WorkingSetParams &params() const { return params_; }
+
+  private:
+    WorkingSetParams params_;
+    ZipfSampler hot_sampler_;
+    Addr run_pos_ = 0;
+    std::uint32_t run_remaining_ = 0;
+};
+
+/** Bump-allocation store stream (object initialization writes). */
+class AllocationFrontierModel : public DataAccessModel
+{
+  public:
+    /**
+     * @param base/size heap region the frontier sweeps through.
+     * @param bytes_per_access how far the frontier advances per store.
+     */
+    AllocationFrontierModel(Addr base, std::uint64_t size,
+                            std::uint32_t bytes_per_access = 16);
+
+    Addr next(Rng &rng) override;
+
+    /** Restart the frontier (after a GC compacts free space). */
+    void resetTo(Addr offset);
+
+    Addr frontier() const { return base_ + offset_; }
+
+  private:
+    Addr base_;
+    std::uint64_t size_;
+    std::uint32_t step_;
+    std::uint64_t offset_ = 0;
+};
+
+/** GC mark-phase pointer chasing over the live heap prefix. */
+class PointerChaseModel : public DataAccessModel
+{
+  public:
+    /**
+     * @param near_fraction share of pointer follows landing near the
+     *        current object (allocation-order locality); the rest
+     *        jump anywhere in the live set.
+     */
+    PointerChaseModel(Addr base, std::uint64_t live_bytes,
+                      double near_fraction = 0.55,
+                      std::uint64_t near_window = 512 * 1024);
+
+    Addr next(Rng &rng) override;
+
+    /** The collector updates the live size every cycle. */
+    void setLiveBytes(std::uint64_t live_bytes);
+
+  private:
+    Addr base_;
+    std::uint64_t live_bytes_;
+    double near_fraction_;
+    std::uint64_t near_window_;
+    Addr current_ = 0;
+    std::uint32_t within_object_ = 0;
+};
+
+/** Linear scan with fixed stride (GC sweep, table scans). */
+class SequentialScanModel : public DataAccessModel
+{
+  public:
+    SequentialScanModel(Addr base, std::uint64_t size,
+                        std::uint32_t stride = 128);
+
+    Addr next(Rng &rng) override;
+
+  private:
+    Addr base_;
+    std::uint64_t size_;
+    std::uint32_t stride_;
+    std::uint64_t offset_ = 0;
+};
+
+/** Small, heavily reused stack frames. */
+class StackModel : public DataAccessModel
+{
+  public:
+    StackModel(Addr base, std::uint64_t size,
+               std::uint32_t frame_bytes = 192);
+
+    Addr next(Rng &rng) override;
+
+  private:
+    static constexpr std::uint64_t maxActiveDepth = 24;
+
+    Addr base_;
+    std::uint64_t size_;
+    std::uint32_t frame_bytes_;
+    std::uint64_t depth_ = 4;
+};
+
+/**
+ * Shares one underlying model between several mixtures.
+ *
+ * Load and store streams of the same structure (a thread's stack, the
+ * GC mark bitmap) must see the SAME evolving state -- two independent
+ * instances drift apart and stores land on lines the loads never
+ * touched, which breaks the no-store-allocate L1 behaviour badly.
+ */
+class SharedModel : public DataAccessModel
+{
+  public:
+    explicit SharedModel(std::shared_ptr<DataAccessModel> inner)
+        : inner_(std::move(inner)) {}
+
+    Addr next(Rng &rng) override { return inner_->next(rng); }
+
+  private:
+    std::shared_ptr<DataAccessModel> inner_;
+};
+
+/** Weighted mixture over child models. */
+class MixtureModel : public DataAccessModel
+{
+  public:
+    MixtureModel(std::vector<std::unique_ptr<DataAccessModel>> models,
+                 const std::vector<double> &weights);
+
+    Addr next(Rng &rng) override;
+
+    /** Access a child (for live-size updates etc.). */
+    DataAccessModel &child(std::size_t i) { return *models_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<DataAccessModel>> models_;
+    DiscreteSampler sampler_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_SYNTH_DATA_MODEL_H

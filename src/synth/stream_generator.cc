@@ -1,0 +1,444 @@
+#include "synth/stream_generator.h"
+
+#include <cassert>
+
+namespace jasim {
+
+namespace {
+
+/** Kind slots in kind_cdf_ order. */
+enum KindSlot : std::size_t
+{
+    slotLoad,
+    slotStore,
+    slotCond,
+    slotDirectJump,
+    slotCall,
+    slotVirtualCall,
+    slotIndirect,
+    slotReturn,
+    slotLarx,
+    slotStcx,
+    slotSync,
+    slotLwsync,
+    slotIsync, // Alu is the remainder above the last threshold
+};
+
+constexpr std::size_t kindSlotCount = 13;
+
+/** Cheap deterministic pc hash (salted). */
+std::uint64_t
+hashPc(Addr pc, std::uint64_t salt)
+{
+    std::uint64_t state = pc * 0x9e3779b97f4a7c15ull + salt;
+    return splitMix64(state);
+}
+
+/** Hash to uniform double in [0, 1). */
+double
+hashU(Addr pc, std::uint64_t salt)
+{
+    return static_cast<double>(hashPc(pc, salt) >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kindSalt = 0x11;
+constexpr std::uint64_t noiseSalt = 0x22;
+constexpr std::uint64_t biasDirSalt = 0x33;
+constexpr std::uint64_t loopSalt = 0x44;
+constexpr std::uint64_t targetSalt = 0x55;
+constexpr std::uint64_t calleeSalt = 0x66;
+constexpr std::uint64_t dynSalt = 0x77;
+constexpr std::uint64_t polySalt = 0x88;
+constexpr std::uint64_t devirtSalt = 0x99;
+
+/** Per-visit chance any call is redirected (inline-cache misses,
+ *  reflective dispatch). Keeps the deterministic call graph ergodic:
+ *  without it, a walk can fall into a cycle of static call edges that
+ *  contains no stochastic site and never leave. */
+constexpr double calleeEscapeProb = 0.03;
+
+} // namespace
+
+StreamGenerator::StreamGenerator(std::string name, const StreamMix &mix,
+                                 const CodeLayout *layout,
+                                 std::unique_ptr<DataAccessModel> load_model,
+                                 std::unique_ptr<DataAccessModel> store_model,
+                                 std::uint64_t seed)
+    : name_(std::move(name)), mix_(mix), layout_(layout),
+      load_model_(std::move(load_model)),
+      store_model_(std::move(store_model)), rng_(seed),
+      segment_samples_(layout->count(), 0)
+{
+    assert(layout_ != nullptr);
+    assert(load_model_ != nullptr && store_model_ != nullptr);
+
+    // Returns balance calls so the stack does a centred random walk.
+    const double p_return = mix_.p_call + mix_.p_virtual_call;
+    const std::array<double, kindSlotCount> probs = {
+        mix_.p_load,    mix_.p_store,        mix_.p_cond,
+        mix_.p_direct_jump, mix_.p_call,     mix_.p_virtual_call,
+        mix_.p_indirect, p_return,           mix_.p_larx,
+        mix_.p_larx,    mix_.p_sync,         mix_.p_lwsync,
+        mix_.p_isync,
+    };
+    double acc = 0.0;
+    for (std::size_t s = 0; s < kindSlotCount; ++s) {
+        acc += probs[s];
+        kind_cdf_[s] = acc;
+    }
+    assert(acc < 1.0 && "instruction mix probabilities must leave room");
+
+    enterMethod(layout_->sampleHot(rng_));
+}
+
+InstKind
+StreamGenerator::kindAt(Addr pc) const
+{
+    const double u = hashU(pc, kindSalt);
+    std::size_t slot = 0;
+    while (slot < kindSlotCount && u >= kind_cdf_[slot])
+        ++slot;
+    switch (slot) {
+      case slotLoad: return InstKind::Load;
+      case slotStore: return InstKind::Store;
+      case slotCond: return InstKind::BranchCond;
+      case slotDirectJump: return InstKind::BranchDirect;
+      case slotCall: return InstKind::Call;
+      case slotVirtualCall: return InstKind::VirtualCall;
+      case slotIndirect: return InstKind::BranchIndirect;
+      case slotReturn: return InstKind::Return;
+      case slotLarx: return InstKind::Larx;
+      case slotStcx: return InstKind::Stcx;
+      case slotSync: return InstKind::Sync;
+      case slotLwsync: return InstKind::Lwsync;
+      case slotIsync: return InstKind::Isync;
+      default: return InstKind::Alu;
+    }
+}
+
+void
+StreamGenerator::enterMethod(std::size_t method)
+{
+    cur_method_ = method;
+    pc_ = layout_->segment(method).entry;
+}
+
+void
+StreamGenerator::pushFrame(const Frame &frame)
+{
+    // Overflow drops the oldest frame, mirroring the hardware return
+    // stack, so software and RAS state stay aligned on deep chains.
+    if (stack_.size() >= maxStackDepth)
+        stack_.erase(stack_.begin());
+    stack_.push_back(frame);
+}
+
+std::size_t
+StreamGenerator::staticCallee(Addr pc)
+{
+    // Most call sites have a fixed callee, chosen so that the overall
+    // callee distribution follows the layout's hotness; a minority are
+    // data-dependent, and every site has a small per-visit escape.
+    std::size_t callee;
+    if (rng_.chance(calleeEscapeProb) ||
+        hashU(pc, dynSalt) < mix_.dynamic_callee_fraction) {
+        callee = rng_.chance(mix_.call_locality)
+            ? layout_->sampleHot(rng_)
+            : layout_->sampleUniform(rng_);
+    } else {
+        callee = layout_->hotnessSampleAt(hashU(pc, calleeSalt));
+    }
+    return avoidRecursion(callee);
+}
+
+std::size_t
+StreamGenerator::avoidRecursion(std::size_t callee)
+{
+    // Direct self-calls and parent cycles would trap the walk in an
+    // unbounded recursive descent (real recursion is data-bounded);
+    // redirect them to a fresh hot method.
+    const std::size_t parent =
+        stack_.empty() ? callee : stack_.back().method;
+    while (callee == cur_method_ || callee == parent)
+        callee = layout_->sampleHot(rng_);
+    return callee;
+}
+
+double
+StreamGenerator::siteSwitchProb(Addr site) const
+{
+    const double u = hashU(site, polySalt);
+    if (u < mix_.monomorphic_fraction)
+        return 0.0;
+    if (u < mix_.monomorphic_fraction + mix_.bimorphic_fraction)
+        return mix_.bimorphic_switch_prob;
+    return mix_.megamorphic_switch_prob;
+}
+
+std::size_t
+StreamGenerator::virtualCallee(Addr site)
+{
+    // Receiver polymorphism: mono/bi/megamorphic site classes; the
+    // active target rotates with the site's switch probability.
+    auto [it, inserted] = site_rotation_.try_emplace(site, 0u);
+    const double switch_prob = siteSwitchProb(site);
+    if (!inserted && switch_prob > 0.0 && rng_.chance(switch_prob)) {
+        const std::uint32_t fanout =
+            switch_prob >= mix_.megamorphic_switch_prob
+                ? mix_.virtual_fanout
+                : 2;
+        it->second = (it->second + 1) % fanout;
+    }
+    const double u = hashU(site + it->second * 4, calleeSalt);
+    return avoidRecursion(layout_->hotnessSampleAt(u));
+}
+
+Addr
+StreamGenerator::indirectTarget(Addr site)
+{
+    // Switch-style dispatch: case blocks live ahead of the dispatch
+    // point (forward-only, like BranchDirect, to avoid traps).
+    auto [it, inserted] = site_rotation_.try_emplace(site, 0u);
+    const double switch_prob = siteSwitchProb(site);
+    if (!inserted && switch_prob > 0.0 && rng_.chance(switch_prob))
+        it->second = (it->second + 1) % mix_.virtual_fanout;
+    const CodeSegment &seg = layout_->segment(cur_method_);
+    const Addr room = seg.end() > site + 12 ? seg.end() - site - 12 : 4;
+    const Addr target = site + 8 + (static_cast<Addr>(
+        hashU(site ^ 0x5a5au, targetSalt + it->second) *
+        static_cast<double>(room)) & ~Addr{3});
+    return target >= seg.end() ? site + 4 : target;
+}
+
+Addr
+StreamGenerator::lockAddr()
+{
+    if (mix_.lock_count == 0)
+        return 0;
+    return mix_.lock_region_base + rng_.below(mix_.lock_count) * 128;
+}
+
+Instr
+StreamGenerator::next()
+{
+    ++segment_samples_[cur_method_];
+
+    // Episode boundary: unwind to the dispatch loop and call into a
+    // fresh (hotness-sampled) entry point, like the EJB container
+    // returning to its work loop between bean invocations.
+    if (mix_.dispatch_episode_insts > 0 && --episode_left_ <= 0) {
+        episode_left_ = 1 + static_cast<std::int64_t>(
+            rng_.below(2ull * mix_.dispatch_episode_insts));
+        stack_.clear();
+        active_loop_ = 0;
+        const std::size_t method = layout_->sampleHot(rng_);
+        Instr inst;
+        inst.kind = InstKind::Call;
+        inst.pc = pc_;
+        inst.target = layout_->segment(method).entry;
+        inst.return_addr = pc_ + 4;
+        pushFrame(Frame{cur_method_, pc_ + 4, 0});
+        cur_method_ = method;
+        pc_ = inst.target;
+        return inst;
+    }
+
+    const CodeSegment &seg = layout_->segment(cur_method_);
+    InstKind kind;
+    if (pc_ + 8 >= seg.end()) {
+        // Method body exhausted: return (or tail-call onward).
+        kind = InstKind::Return;
+    } else {
+        kind = kindAt(pc_);
+    }
+    return realize(kind);
+}
+
+Instr
+StreamGenerator::realize(InstKind kind)
+{
+    Instr inst;
+    inst.kind = kind;
+    inst.pc = pc_;
+    const CodeSegment &seg = layout_->segment(cur_method_);
+    Addr next_pc = pc_ + 4;
+    if (next_pc >= seg.end())
+        next_pc = seg.entry; // defensive wrap; Return normally fires
+
+    switch (kind) {
+      case InstKind::Alu:
+      case InstKind::Sync:
+      case InstKind::Lwsync:
+      case InstKind::Isync:
+        break;
+
+      case InstKind::Load:
+        inst.ea = load_model_->next(rng_);
+        break;
+
+      case InstKind::Store:
+        inst.ea = store_model_->next(rng_);
+        break;
+
+      case InstKind::Larx:
+        current_lock_ = lockAddr();
+        inst.ea = current_lock_ != 0 ? current_lock_
+                                     : load_model_->next(rng_);
+        break;
+
+      case InstKind::Stcx:
+        inst.ea = current_lock_ != 0 ? current_lock_
+                                     : store_model_->next(rng_);
+        break;
+
+      case InstKind::BranchCond: {
+        // Static site properties.
+        const bool noisy = hashU(pc_, noiseSalt) < mix_.cond_noise;
+        const bool backward =
+            hashU(pc_, loopSalt) < mix_.loop_back_fraction &&
+            pc_ > seg.entry + 16;
+
+        if (noisy) {
+            inst.taken = rng_.chance(0.5);
+        } else if (backward) {
+            // Loop back edge: taken for a bounded trip count (static
+            // per site, drawn from a small power-of-two family), then
+            // falls through -- the pattern real loops give predictors.
+            // Only ONE loop is active per frame at a time; other back
+            // edges inside an active loop body behave as rarely-taken
+            // guards, which bounds the multiplicative blow-up that
+            // unconstrained nested re-walks would cause.
+            if (active_loop_ == 0 || active_loop_ == pc_) {
+                if (active_loop_ == 0 || active_loop_trips_ == 0) {
+                    active_loop_ = pc_;
+                    active_loop_trips_ = mix_.loop_trips_fixed > 0
+                        ? mix_.loop_trips_fixed
+                        : 2u + (2u << (hashPc(pc_, biasDirSalt) % 5));
+                }
+                inst.taken = --active_loop_trips_ > 0;
+                if (!inst.taken)
+                    active_loop_ = 0;
+            } else {
+                inst.taken = rng_.chance(0.05);
+            }
+        } else {
+            const bool taken_biased =
+                hashU(pc_, biasDirSalt) < mix_.taken_site_fraction;
+            const double p_taken = taken_biased
+                ? mix_.biased_strength
+                : 1.0 - mix_.biased_strength;
+            inst.taken = rng_.chance(p_taken);
+        }
+
+        if (backward) {
+            // Loop bodies are short (real Java loop bodies are); long
+            // backward spans would compound nested re-walks.
+            const Addr span =
+                std::min<Addr>(pc_ - seg.entry, 8 + static_cast<Addr>(
+                    hashU(pc_, targetSalt) * 88.0));
+            inst.target = pc_ - (span & ~Addr{3});
+        } else {
+            const Addr room =
+                seg.end() > pc_ + 12 ? seg.end() - pc_ - 12 : 4;
+            const Addr skip = static_cast<Addr>(
+                hashU(pc_, targetSalt) *
+                static_cast<double>(std::min<Addr>(room, 256))) &
+                ~Addr{3};
+            inst.target = pc_ + 8 + skip;
+            if (inst.target >= seg.end())
+                inst.target = seg.entry;
+        }
+        if (inst.taken)
+            next_pc = inst.target;
+        break;
+      }
+
+      case InstKind::BranchDirect: {
+        // Unconditional jumps go forward (goto-over / loop exits);
+        // backward control flow is carried by conditional back edges,
+        // whose trip counts are bounded. A backward unconditional
+        // jump would trap the walk in an inescapable cycle.
+        const Addr room =
+            seg.end() > pc_ + 12 ? seg.end() - pc_ - 12 : 4;
+        inst.target = pc_ + 8 + (static_cast<Addr>(
+            hashU(pc_, targetSalt) * static_cast<double>(room)) &
+            ~Addr{3});
+        if (inst.target >= seg.end())
+            inst.target = pc_ + 4;
+        next_pc = inst.target;
+        break;
+      }
+
+      case InstKind::Call: {
+        const std::size_t callee = staticCallee(pc_);
+        inst.target = layout_->segment(callee).entry;
+        inst.return_addr = pc_ + 4;
+        pushFrame(Frame{cur_method_, pc_ + 4, active_loop_});
+        active_loop_ = 0; // callee starts outside any loop
+        cur_method_ = callee;
+        next_pc = inst.target;
+        break;
+      }
+
+      case InstKind::VirtualCall: {
+        // Devirtualization: the compiler turned this site into a
+        // direct call with a fixed callee (count cache bypassed).
+        if (mix_.devirtualized_fraction > 0.0 &&
+            hashU(pc_, devirtSalt) < mix_.devirtualized_fraction) {
+            inst.kind = InstKind::Call;
+            const std::size_t callee = avoidRecursion(
+                layout_->hotnessSampleAt(hashU(pc_, calleeSalt)));
+            inst.target = layout_->segment(callee).entry;
+            inst.return_addr = pc_ + 4;
+            pushFrame(Frame{cur_method_, pc_ + 4, active_loop_});
+            active_loop_ = 0;
+            cur_method_ = callee;
+            next_pc = inst.target;
+            break;
+        }
+        const std::size_t callee = virtualCallee(pc_);
+        inst.target = layout_->segment(callee).entry;
+        inst.return_addr = pc_ + 4;
+        pushFrame(Frame{cur_method_, pc_ + 4, active_loop_});
+        active_loop_ = 0;
+        cur_method_ = callee;
+        next_pc = inst.target;
+        break;
+      }
+
+      case InstKind::BranchIndirect: {
+        inst.target = indirectTarget(pc_);
+        next_pc = inst.target;
+        break;
+      }
+
+      case InstKind::Return: {
+        if (!stack_.empty()) {
+            const Frame frame = stack_.back();
+            stack_.pop_back();
+            inst.target = frame.return_pc;
+            cur_method_ = frame.method;
+            active_loop_ = frame.active_loop;
+            active_loop_trips_ = 0; // re-drawn on next back-edge visit
+            next_pc = frame.return_pc;
+        } else {
+            // Bottom of the dispatch loop: move on to another hot
+            // method, emitted as a call so the RAS stays balanced.
+            inst.kind = InstKind::Call;
+            const std::size_t method = layout_->sampleHot(rng_);
+            inst.target = layout_->segment(method).entry;
+            inst.return_addr = pc_ + 4;
+            pushFrame(Frame{cur_method_, pc_ + 4, active_loop_});
+            active_loop_ = 0;
+            cur_method_ = method;
+            next_pc = inst.target;
+        }
+        break;
+      }
+    }
+
+    pc_ = next_pc;
+    return inst;
+}
+
+} // namespace jasim

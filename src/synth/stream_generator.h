@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Synthetic dynamic-instruction stream generator.
+ *
+ * One generator instance models one software component executing on
+ * one core. The *static program* is deterministic: every program
+ * counter has a fixed instruction kind, branch bias, branch target,
+ * and call destination, all derived by hashing the pc -- so branch
+ * predictors, BTBs and I-caches see the same stable structures real
+ * code exposes. Only genuinely dynamic quantities are drawn at run
+ * time: data addresses (from the component's data models), the
+ * per-visit outcome of biased branches, and the receiver rotation of
+ * polymorphic call sites.
+ *
+ * The statistics the paper reports (miss rates, misprediction rates)
+ * are *outputs* of running these streams through the core model, not
+ * inputs; the generator only controls behavioural primitives (noise
+ * levels, fanout, locality, mix).
+ */
+
+#ifndef JASIM_SYNTH_STREAM_GENERATOR_H
+#define JASIM_SYNTH_STREAM_GENERATOR_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/instr.h"
+#include "sim/rng.h"
+#include "synth/code_layout.h"
+#include "synth/data_model.h"
+
+namespace jasim {
+
+/** Behavioural parameters of one component's instruction stream. */
+struct StreamMix
+{
+    // Instruction-kind probabilities (remainder is Alu). Kinds are
+    // assigned statically per pc; these are the static frequencies.
+    double p_load = 0.28;
+    double p_store = 0.20;
+    double p_cond = 0.13;
+    double p_direct_jump = 0.008;
+    double p_call = 0.02;
+    double p_virtual_call = 0.012;
+    double p_indirect = 0.003;
+    double p_larx = 1.0 / 600.0; //!< stcx sites get the same frequency
+    double p_sync = 0.0004;
+    double p_lwsync = 0.0015;
+    double p_isync = 0.0008;
+
+    // Conditional branch behaviour.
+    /** Fraction of branch sites with data-dependent (random) outcome. */
+    double cond_noise = 0.115;
+    /** Strength of biased branch sites (P(taken) or P(not taken)). */
+    double biased_strength = 0.975;
+    /** Fraction of biased sites biased toward taken. */
+    double taken_site_fraction = 0.64;
+    /** Fraction of branch sites with backward (loop) targets. */
+    double loop_back_fraction = 0.25;
+    /** When nonzero, every loop runs exactly this many trips (GC's
+     *  long, regular scan loops); 0 draws a per-site static count. */
+    std::uint32_t loop_trips_fixed = 0;
+
+    // Virtual dispatch behaviour: receiver-polymorphism mix of call
+    // sites. Monomorphic sites never change targets; bimorphic sites
+    // flip occasionally; megamorphic sites churn across the fanout.
+    double monomorphic_fraction = 0.80;
+    double bimorphic_fraction = 0.14; //!< remainder is megamorphic
+    double bimorphic_switch_prob = 0.03;
+    double megamorphic_switch_prob = 0.12;
+    std::uint32_t virtual_fanout = 4;
+
+    // Call locality: probability a dynamic-dispatch (non-static) call
+    // target is drawn from the hot sampler rather than uniformly.
+    double call_locality = 0.85;
+    /** Fraction of call sites with data-dependent callees. */
+    double dynamic_callee_fraction = 0.15;
+
+    // Lock words live here (shared across cores -> coherence traffic).
+    Addr lock_region_base = 0;
+    std::uint32_t lock_count = 0;
+
+    /**
+     * Fraction of virtual-call sites devirtualized into direct calls
+     * (the Section 4.2.1 compiler optimization: convert indirect
+     * branches at monomorphic sites to relative branches).
+     */
+    double devirtualized_fraction = 0.0;
+
+    /**
+     * Mean instructions between full unwinds to the dispatch loop.
+     * Container-managed code returns to the dispatcher constantly;
+     * without this, cycles in the static call graph act as absorbing
+     * attractors and a handful of methods soak up all the samples.
+     */
+    std::uint32_t dispatch_episode_insts = 2200;
+};
+
+/** A component instruction stream bound to one core. */
+class StreamGenerator
+{
+  public:
+    /**
+     * @param name component name (reporting only).
+     * @param mix behavioural parameters.
+     * @param layout code layout walked by the stream (not owned).
+     * @param load_model address source for loads (owned).
+     * @param store_model address source for stores (owned).
+     * @param seed stream-private RNG seed.
+     */
+    StreamGenerator(std::string name, const StreamMix &mix,
+                    const CodeLayout *layout,
+                    std::unique_ptr<DataAccessModel> load_model,
+                    std::unique_ptr<DataAccessModel> store_model,
+                    std::uint64_t seed);
+
+    /** Produce the next dynamic instruction. */
+    Instr next();
+
+    /** Adjust the devirtualized-site fraction (ablations). */
+    void setDevirtualizedFraction(double fraction)
+    {
+        mix_.devirtualized_fraction = fraction;
+    }
+
+    const std::string &name() const { return name_; }
+    const StreamMix &mix() const { return mix_; }
+
+    /** Static kind at a pc (exposed for tests). */
+    InstKind kindAt(Addr pc) const;
+
+    /** Samples attributed to each segment so far (profile support). */
+    const std::vector<std::uint64_t> &segmentSamples() const
+    {
+        return segment_samples_;
+    }
+
+    /** Access the data models (e.g. to update GC live size). */
+    DataAccessModel &loadModel() { return *load_model_; }
+    DataAccessModel &storeModel() { return *store_model_; }
+
+  private:
+    struct Frame
+    {
+        std::size_t method;
+        Addr return_pc;
+        Addr active_loop = 0; //!< caller's active loop, restored on ret
+    };
+
+    std::string name_;
+    StreamMix mix_;
+    const CodeLayout *layout_;
+    std::unique_ptr<DataAccessModel> load_model_;
+    std::unique_ptr<DataAccessModel> store_model_;
+    Rng rng_;
+
+    /** Cumulative static-kind thresholds, indexed by kind slot. */
+    std::array<double, 13> kind_cdf_{};
+
+    std::size_t cur_method_ = 0;
+    Addr pc_ = 0;
+    std::vector<Frame> stack_;
+    Addr current_lock_ = 0;
+    std::unordered_map<Addr, std::uint32_t> site_rotation_;
+    /** Instructions left in the current dispatch episode. */
+    std::int64_t episode_left_ = 1;
+    /** The one active loop site (bounds loop nesting blow-up). */
+    Addr active_loop_ = 0;
+    /** Remaining trips of the active loop. */
+    std::uint32_t active_loop_trips_ = 0;
+    std::vector<std::uint64_t> segment_samples_;
+
+    /** Matches the hardware return-stack depth; deeper frames are
+     *  dropped, as real deep recursion defeats the RAS too. */
+    static constexpr std::size_t maxStackDepth = 16;
+
+    Instr realize(InstKind kind);
+    void enterMethod(std::size_t method);
+    void pushFrame(const Frame &frame);
+    double siteSwitchProb(Addr site) const;
+    std::size_t avoidRecursion(std::size_t callee);
+    std::size_t staticCallee(Addr pc);
+    std::size_t virtualCallee(Addr site);
+    Addr indirectTarget(Addr site);
+    Addr lockAddr();
+};
+
+} // namespace jasim
+
+#endif // JASIM_SYNTH_STREAM_GENERATOR_H

@@ -1,0 +1,125 @@
+#include "tprof/profiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jasim {
+
+Profiler::Profiler(std::shared_ptr<const MethodRegistry> registry)
+    : registry_(std::move(registry)),
+      method_ticks_(registry_->size(), 0)
+{
+}
+
+void
+Profiler::addComponentTime(Component component, SimTime us)
+{
+    component_us_[static_cast<std::size_t>(component)] += us;
+}
+
+void
+Profiler::addMethodSamples(const std::vector<std::uint64_t> &samples)
+{
+    assert(samples.size() == method_ticks_.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        method_ticks_[i] += samples[i];
+}
+
+std::array<double, componentCount>
+Profiler::componentShares() const
+{
+    std::array<double, componentCount> shares{};
+    SimTime total = 0;
+    for (const SimTime us : component_us_)
+        total += us;
+    if (total == 0)
+        return shares;
+    for (std::size_t i = 0; i < componentCount; ++i) {
+        shares[i] = static_cast<double>(component_us_[i]) /
+            static_cast<double>(total);
+    }
+    return shares;
+}
+
+std::array<double, componentCount>
+Profiler::componentSharesOfTotal() const
+{
+    std::array<double, componentCount> shares{};
+    SimTime total = idle_us_;
+    for (const SimTime us : component_us_)
+        total += us;
+    if (total == 0)
+        return shares;
+    for (std::size_t i = 0; i < componentCount; ++i) {
+        shares[i] = static_cast<double>(component_us_[i]) /
+            static_cast<double>(total);
+    }
+    return shares;
+}
+
+double
+Profiler::idleShare() const
+{
+    SimTime total = idle_us_;
+    for (const SimTime us : component_us_)
+        total += us;
+    return total == 0 ? 0.0
+                      : static_cast<double>(idle_us_) /
+            static_cast<double>(total);
+}
+
+FlatProfileStats
+Profiler::flatProfile() const
+{
+    FlatProfileStats stats;
+    for (const std::uint64_t t : method_ticks_) {
+        stats.total_ticks += t;
+        if (t > 0)
+            ++stats.methods_sampled;
+    }
+    if (stats.total_ticks == 0)
+        return stats;
+
+    std::vector<std::uint64_t> sorted = method_ticks_;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    stats.hottest_share = static_cast<double>(sorted.front()) /
+        static_cast<double>(stats.total_ticks);
+
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        running += sorted[i];
+        if (running * 2 >= stats.total_ticks) {
+            stats.methods_for_half = i + 1;
+            break;
+        }
+    }
+
+    for (std::size_t m = 0; m < method_ticks_.size(); ++m) {
+        const auto cat = static_cast<std::size_t>(
+            registry_->method(m).category);
+        stats.category_share[cat] +=
+            static_cast<double>(method_ticks_[m]) /
+            static_cast<double>(stats.total_ticks);
+    }
+    return stats;
+}
+
+std::vector<MethodTicks>
+Profiler::topMethods(std::size_t count) const
+{
+    std::vector<MethodTicks> all;
+    all.reserve(method_ticks_.size());
+    for (std::size_t m = 0; m < method_ticks_.size(); ++m) {
+        if (method_ticks_[m] > 0)
+            all.push_back(MethodTicks{m, method_ticks_[m]});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const MethodTicks &a, const MethodTicks &b) {
+                  return a.ticks > b.ticks;
+              });
+    if (all.size() > count)
+        all.resize(count);
+    return all;
+}
+
+} // namespace jasim

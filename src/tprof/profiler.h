@@ -1,0 +1,86 @@
+/**
+ * @file
+ * tprof-style sampling profiler.
+ *
+ * Attributes CPU time to software components (from scheduler busy
+ * accounting) and to individual Java methods (from the JIT-code
+ * stream generators' per-segment sample counts combined with the
+ * method registry). This is the machinery behind Figure 4 and the
+ * flat-profile statistics (hottest method < 1%, ~224 methods for 50%
+ * of JITed time).
+ */
+
+#ifndef JASIM_TPROF_PROFILER_H
+#define JASIM_TPROF_PROFILER_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jvm/method_registry.h"
+#include "sim/types.h"
+#include "synth/component_profiles.h"
+
+namespace jasim {
+
+/** One method's profile line. */
+struct MethodTicks
+{
+    std::size_t method = 0;
+    std::uint64_t ticks = 0;
+};
+
+/** Flat-profile statistics over the JITed-method ticks. */
+struct FlatProfileStats
+{
+    std::uint64_t total_ticks = 0;
+    double hottest_share = 0.0;       //!< share of the hottest method
+    std::size_t methods_for_half = 0; //!< methods covering 50% of ticks
+    std::size_t methods_sampled = 0;  //!< methods with >= 1 tick
+    /** Tick share per method category (JITed code only). */
+    std::array<double, methodCategoryCount> category_share{};
+};
+
+/** The profiler: accumulates component time and method ticks. */
+class Profiler
+{
+  public:
+    explicit Profiler(std::shared_ptr<const MethodRegistry> registry);
+
+    /** Add busy microseconds for a component. */
+    void addComponentTime(Component component, SimTime us);
+
+    /** Add idle microseconds (completes the Figure 4 pie). */
+    void addIdleTime(SimTime us) { idle_us_ += us; }
+
+    /** Merge per-method sample counts from a JIT-code generator. */
+    void addMethodSamples(const std::vector<std::uint64_t> &samples);
+
+    /** Share of non-idle time per component. */
+    std::array<double, componentCount> componentShares() const;
+
+    /** Share of total (incl. idle) time per component. */
+    std::array<double, componentCount> componentSharesOfTotal() const;
+
+    double idleShare() const;
+
+    /** Flat-profile statistics over the accumulated method ticks. */
+    FlatProfileStats flatProfile() const;
+
+    /** The `count` hottest methods by ticks. */
+    std::vector<MethodTicks> topMethods(std::size_t count) const;
+
+    const MethodRegistry &registry() const { return *registry_; }
+
+  private:
+    std::shared_ptr<const MethodRegistry> registry_;
+    std::array<SimTime, componentCount> component_us_{};
+    SimTime idle_us_ = 0;
+    std::vector<std::uint64_t> method_ticks_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_TPROF_PROFILER_H

@@ -1,0 +1,61 @@
+#include "tprof/report.h"
+
+#include "stats/render.h"
+
+namespace jasim {
+
+void
+printComponentBreakdown(std::ostream &os, const Profiler &profiler)
+{
+    const auto shares = profiler.componentShares();
+    TextTable table({"component", "% of busy time"});
+    for (const Component c : allComponents) {
+        table.addRow({componentName(c),
+                      TextTable::pct(
+                          shares[static_cast<std::size_t>(c)] * 100.0)});
+    }
+    table.print(os);
+
+    const double was = shares[static_cast<std::size_t>(
+                           Component::WasJit)] +
+        shares[static_cast<std::size_t>(Component::WasOther)];
+    const double web_db = shares[static_cast<std::size_t>(
+                              Component::Web)] +
+        shares[static_cast<std::size_t>(Component::Db2)];
+    os << "\nWAS total: " << TextTable::pct(was * 100.0)
+       << "  (web + DB2: " << TextTable::pct(web_db * 100.0)
+       << ", ratio " << TextTable::num(web_db > 0 ? was / web_db : 0.0, 2)
+       << "x)\n";
+}
+
+void
+printFlatProfile(std::ostream &os, const Profiler &profiler,
+                 std::size_t top_count)
+{
+    const FlatProfileStats stats = profiler.flatProfile();
+    os << "JITed-code flat profile:\n"
+       << "  methods sampled:        " << stats.methods_sampled << "\n"
+       << "  hottest method share:   "
+       << TextTable::pct(stats.hottest_share * 100.0, 2) << "\n"
+       << "  methods covering 50%:   " << stats.methods_for_half << "\n";
+
+    os << "  JITed time by owner:\n";
+    for (std::size_t c = 0; c < methodCategoryCount; ++c) {
+        os << "    "
+           << methodCategoryName(static_cast<MethodCategory>(c)) << ": "
+           << TextTable::pct(stats.category_share[c] * 100.0) << "\n";
+    }
+
+    os << "  hottest methods:\n";
+    for (const auto &mt : profiler.topMethods(top_count)) {
+        const auto &info = profiler.registry().method(mt.method);
+        os << "    "
+           << TextTable::pct(static_cast<double>(mt.ticks) /
+                                 static_cast<double>(stats.total_ticks) *
+                                 100.0,
+                             2)
+           << "  " << info.name << "\n";
+    }
+}
+
+} // namespace jasim

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Printable tprof reports (the Figure 4 artifact).
+ */
+
+#ifndef JASIM_TPROF_REPORT_H
+#define JASIM_TPROF_REPORT_H
+
+#include <ostream>
+
+#include "tprof/profiler.h"
+
+namespace jasim {
+
+/** Print the component breakdown (% of runtime) like Figure 4. */
+void printComponentBreakdown(std::ostream &os, const Profiler &profiler);
+
+/** Print the flat-profile statistics and the hottest methods. */
+void printFlatProfile(std::ostream &os, const Profiler &profiler,
+                      std::size_t top_count = 15);
+
+} // namespace jasim
+
+#endif // JASIM_TPROF_REPORT_H

@@ -1,0 +1,18 @@
+#include "was/ejb_container.h"
+
+namespace jasim {
+
+double
+EjbContainer::invoke(const BeanPlan &plan)
+{
+    const double cost = config_.txn_demarcation_us +
+        config_.session_call_us * plan.session_calls +
+        config_.entity_call_us * plan.entity_calls;
+    session_calls_ += plan.session_calls;
+    entity_calls_ += plan.entity_calls;
+    ++transactions_;
+    total_us_ += cost;
+    return cost;
+}
+
+} // namespace jasim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * EJB container cost and statistics model.
+ *
+ * jas2004 runs inside the application server's EJB container: every
+ * transaction is a workflow of session- and entity-bean invocations
+ * with container-managed transaction demarcation. The per-invocation
+ * overhead (interception, security, CMP state management) is the
+ * reason so much CPU lands in WebSphere code rather than benchmark
+ * code -- the effect behind Figure 4.
+ */
+
+#ifndef JASIM_WAS_EJB_CONTAINER_H
+#define JASIM_WAS_EJB_CONTAINER_H
+
+#include <cstdint>
+
+#include "driver/request.h"
+
+namespace jasim {
+
+/** EJB container parameters. */
+struct EjbContainerConfig
+{
+    double session_call_us = 110.0; //!< per session-bean invocation
+    double entity_call_us = 150.0;  //!< per entity-bean invocation (CMP)
+    double txn_demarcation_us = 260.0; //!< begin/commit interception
+};
+
+/** Bean-call plan of one transaction. */
+struct BeanPlan
+{
+    std::uint32_t session_calls = 0;
+    std::uint32_t entity_calls = 0;
+};
+
+/** Tracks invocations and computes container CPU demand. */
+class EjbContainer
+{
+  public:
+    explicit EjbContainer(const EjbContainerConfig &config)
+        : config_(config) {}
+
+    /** CPU microseconds of container overhead for one transaction. */
+    double invoke(const BeanPlan &plan);
+
+    std::uint64_t sessionCalls() const { return session_calls_; }
+    std::uint64_t entityCalls() const { return entity_calls_; }
+    std::uint64_t transactions() const { return transactions_; }
+    double totalUs() const { return total_us_; }
+
+    const EjbContainerConfig &config() const { return config_; }
+
+  private:
+    EjbContainerConfig config_;
+    std::uint64_t session_calls_ = 0;
+    std::uint64_t entity_calls_ = 0;
+    std::uint64_t transactions_ = 0;
+    double total_us_ = 0.0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_WAS_EJB_CONTAINER_H

@@ -1,0 +1,45 @@
+#include "was/thread_pool.h"
+
+#include <cassert>
+
+namespace jasim {
+
+ThreadPool::ThreadPool(EventQueue &queue, std::size_t threads,
+                       std::string name)
+    : queue_(queue), threads_(threads), name_(std::move(name))
+{
+    assert(threads > 0);
+}
+
+void
+ThreadPool::submit(Work work)
+{
+    if (busy_ < threads_) {
+        dispatch(std::move(work));
+    } else {
+        waiting_.push_back(std::move(work));
+        peak_queue_ = std::max(peak_queue_, waiting_.size());
+    }
+}
+
+void
+ThreadPool::dispatch(Work work)
+{
+    ++busy_;
+    ++dispatched_;
+    work(queue_.now(), [this] { release(); });
+}
+
+void
+ThreadPool::release()
+{
+    assert(busy_ > 0);
+    --busy_;
+    if (!waiting_.empty()) {
+        Work next = std::move(waiting_.front());
+        waiting_.pop_front();
+        dispatch(std::move(next));
+    }
+}
+
+} // namespace jasim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Application-server thread pool.
+ *
+ * WebSphere dispatches each request onto a bounded worker pool;
+ * saturation shows up as queueing here before it shows up anywhere
+ * else. Work items are asynchronous: they receive their start time
+ * and a completion callback to invoke (at the simulated time they
+ * finish), releasing the thread for the next queued request.
+ */
+
+#ifndef JASIM_WAS_THREAD_POOL_H
+#define JASIM_WAS_THREAD_POOL_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace jasim {
+
+/** Bounded pool of simulated worker threads. */
+class ThreadPool
+{
+  public:
+    /** Invoked by the work when it has finished (releases the thread). */
+    using Done = std::function<void()>;
+
+    /**
+     * A unit of work: receives its start time and the completion
+     * callback. The callback must be invoked exactly once, at the
+     * simulated time the work completes.
+     */
+    using Work = std::function<void(SimTime start, Done done)>;
+
+    ThreadPool(EventQueue &queue, std::size_t threads, std::string name);
+
+    /** Submit work; runs immediately if a thread is free. */
+    void submit(Work work);
+
+    std::size_t busy() const { return busy_; }
+    std::size_t queued() const { return waiting_.size(); }
+    std::size_t peakQueue() const { return peak_queue_; }
+    std::uint64_t dispatched() const { return dispatched_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    EventQueue &queue_;
+    std::size_t threads_;
+    std::string name_;
+    std::size_t busy_ = 0;
+    std::deque<Work> waiting_;
+    std::size_t peak_queue_ = 0;
+    std::uint64_t dispatched_ = 0;
+
+    void dispatch(Work work);
+    void release();
+};
+
+} // namespace jasim
+
+#endif // JASIM_WAS_THREAD_POOL_H

@@ -1,0 +1,19 @@
+#include "was/web_container.h"
+
+#include <cassert>
+
+namespace jasim {
+
+double
+WebContainer::handle(RequestType type, double response_kb)
+{
+    assert(isWebRequest(type));
+    (void)type;
+    const double cost = config_.parse_us + config_.respond_us +
+        config_.per_kb_us * response_kb;
+    ++handled_;
+    total_us_ += cost;
+    return cost;
+}
+
+} // namespace jasim

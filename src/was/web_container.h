@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Web container (HTTP front end) cost and statistics model.
+ */
+
+#ifndef JASIM_WAS_WEB_CONTAINER_H
+#define JASIM_WAS_WEB_CONTAINER_H
+
+#include <cstdint>
+
+#include "driver/request.h"
+
+namespace jasim {
+
+/** Web container parameters. */
+struct WebContainerConfig
+{
+    double parse_us = 180.0;      //!< request parsing + routing
+    double respond_us = 220.0;    //!< response assembly
+    double per_kb_us = 14.0;      //!< marshalling per KB of payload
+};
+
+/** Tracks request counts and computes HTTP-side CPU demand. */
+class WebContainer
+{
+  public:
+    explicit WebContainer(const WebContainerConfig &config)
+        : config_(config) {}
+
+    /**
+     * CPU microseconds for handling one HTTP request with the given
+     * response payload. RMI requests bypass the web container.
+     */
+    double handle(RequestType type, double response_kb);
+
+    std::uint64_t handledCount() const { return handled_; }
+    double totalUs() const { return total_us_; }
+
+    const WebContainerConfig &config() const { return config_; }
+
+  private:
+    WebContainerConfig config_;
+    std::uint64_t handled_ = 0;
+    double total_us_ = 0.0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_WAS_WEB_CONTAINER_H

@@ -1,0 +1,57 @@
+#include "xlat/address_space.h"
+
+#include <cassert>
+
+namespace jasim {
+
+void
+AddressSpace::addRegion(const std::string &name, Addr base,
+                        std::uint64_t size, std::uint64_t page_bytes)
+{
+    assert(page_bytes == smallPageBytes || page_bytes == largePageBytes);
+    assert(base % page_bytes == 0 && "region base must be page-aligned");
+    assert(size > 0);
+    for (const auto &r : regions_) {
+        const bool disjoint =
+            base + size <= r.base || r.base + r.size <= base;
+        assert(disjoint && "regions must not overlap");
+        (void)disjoint;
+    }
+    regions_.push_back(MemRegion{name, base, size, page_bytes});
+}
+
+const MemRegion *
+AddressSpace::findRegion(Addr addr) const
+{
+    for (const auto &r : regions_) {
+        if (r.contains(addr))
+            return &r;
+    }
+    return nullptr;
+}
+
+PageId
+AddressSpace::pageOf(Addr addr) const
+{
+    const MemRegion *region = findRegion(addr);
+    const std::uint64_t page_bytes =
+        region ? region->page_bytes : smallPageBytes;
+    return PageId{addr & ~(page_bytes - 1), page_bytes};
+}
+
+void
+AddressSpace::setRegionPageSize(const std::string &name,
+                                std::uint64_t page_bytes)
+{
+    assert(page_bytes == smallPageBytes || page_bytes == largePageBytes);
+    for (auto &r : regions_) {
+        if (r.name == name) {
+            assert(r.base % page_bytes == 0);
+            r.page_bytes = page_bytes;
+            return;
+        }
+    }
+    assert(false && "unknown region");
+}
+
+} // namespace jasim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulated effective address space with mixed page sizes.
+ *
+ * AIX on the study system backs the Java heap (and selected GC
+ * structures) with 16 MB large pages while everything else uses 4 KB
+ * pages. The address space is a set of named regions, each with its
+ * own page size; translation structures ask it which page an address
+ * belongs to.
+ */
+
+#ifndef JASIM_XLAT_ADDRESS_SPACE_H
+#define JASIM_XLAT_ADDRESS_SPACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Page sizes supported by the model. */
+constexpr std::uint64_t smallPageBytes = 4 * 1024;
+constexpr std::uint64_t largePageBytes = 16 * 1024 * 1024;
+
+/** A contiguous region of the effective address space. */
+struct MemRegion
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t size = 0;
+    std::uint64_t page_bytes = smallPageBytes;
+
+    bool contains(Addr addr) const
+    {
+        return addr >= base && addr < base + size;
+    }
+};
+
+/** Identity of one virtual page. */
+struct PageId
+{
+    Addr base = 0;
+    std::uint64_t bytes = smallPageBytes;
+
+    bool operator==(const PageId &other) const = default;
+};
+
+/**
+ * Region registry; answers page lookups for the translation machinery.
+ *
+ * Regions must not overlap. Addresses outside every region are treated
+ * as 4 KB-paged (anonymous) memory so the model never faults.
+ */
+class AddressSpace
+{
+  public:
+    /** Register a region; base and size must be page-aligned. */
+    void addRegion(const std::string &name, Addr base, std::uint64_t size,
+                   std::uint64_t page_bytes);
+
+    /** Region containing addr, or nullptr. */
+    const MemRegion *findRegion(Addr addr) const;
+
+    /** The page containing addr (anonymous 4 KB if unmapped). */
+    PageId pageOf(Addr addr) const;
+
+    /**
+     * Flip a region between small and large pages; used by the
+     * large-page ablation (paper Section 4.2.2).
+     */
+    void setRegionPageSize(const std::string &name,
+                           std::uint64_t page_bytes);
+
+    const std::vector<MemRegion> &regions() const { return regions_; }
+
+    /** Total pages needed to map a region (for capacity reasoning). */
+    static std::uint64_t pagesFor(const MemRegion &region)
+    {
+        return (region.size + region.page_bytes - 1) / region.page_bytes;
+    }
+
+  private:
+    std::vector<MemRegion> regions_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_XLAT_ADDRESS_SPACE_H

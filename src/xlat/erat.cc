@@ -1,0 +1,68 @@
+#include "xlat/erat.h"
+
+#include <cassert>
+
+namespace jasim {
+
+Erat::Erat(std::size_t entries, std::size_t ways,
+           std::uint64_t granule_bytes)
+    : sets_(entries / ways), ways_(ways), granule_bytes_(granule_bytes),
+      table_(entries)
+{
+    assert(entries % ways == 0);
+    assert((sets_ & (sets_ - 1)) == 0 && "sets must be a power of two");
+    assert((granule_bytes & (granule_bytes - 1)) == 0);
+}
+
+std::size_t
+Erat::setOf(Addr granule) const
+{
+    return static_cast<std::size_t>(granule & (sets_ - 1));
+}
+
+bool
+Erat::access(Addr addr)
+{
+    const Addr granule = addr / granule_bytes_;
+    Entry *base = &table_[setOf(granule) * ways_];
+    ++tick_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == granule) {
+            base[w].stamp = tick_;
+            return true;
+        }
+    }
+    // Miss: install with LRU replacement.
+    std::size_t victim = 0;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].stamp < base[victim].stamp)
+            victim = w;
+    }
+    base[victim] = Entry{granule, true, tick_};
+    return false;
+}
+
+bool
+Erat::probe(Addr addr) const
+{
+    const Addr granule = addr / granule_bytes_;
+    const Entry *base = &table_[setOf(granule) * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == granule)
+            return true;
+    }
+    return false;
+}
+
+void
+Erat::flush()
+{
+    for (auto &e : table_)
+        e.valid = false;
+}
+
+} // namespace jasim

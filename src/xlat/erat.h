@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Effective-to-real address translation table (ERAT).
+ *
+ * POWER4 keeps two ERATs (instruction and data) that are probed in
+ * parallel with the L1 caches. A crucial microarchitectural detail the
+ * paper leans on: ERAT entries are kept at 4 KB granularity regardless
+ * of the page size, so 16 MB heap pages relieve the TLB but not the
+ * ERAT -- which is why DERAT misses stay frequent even with large
+ * pages while TLB misses drop.
+ */
+
+#ifndef JASIM_XLAT_ERAT_H
+#define JASIM_XLAT_ERAT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/**
+ * Set-associative ERAT over fixed 4 KB granules, LRU replacement.
+ */
+class Erat
+{
+  public:
+    /**
+     * @param entries total entries (128 on POWER4).
+     * @param ways associativity.
+     * @param granule_bytes translation granule (4 KB on POWER4).
+     */
+    Erat(std::size_t entries, std::size_t ways,
+         std::uint64_t granule_bytes = 4096);
+
+    /** Probe-and-fill: true on hit; a miss installs the granule. */
+    bool access(Addr addr);
+
+    /** Probe only. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (context switch / page-size change). */
+    void flush();
+
+    std::size_t entries() const { return sets_ * ways_; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::uint64_t granule_bytes_;
+    std::vector<Entry> table_;
+    std::uint64_t tick_ = 0;
+
+    std::size_t setOf(Addr granule) const;
+};
+
+} // namespace jasim
+
+#endif // JASIM_XLAT_ERAT_H

@@ -1,0 +1,104 @@
+#include "xlat/tlb.h"
+
+#include <cassert>
+
+namespace jasim {
+
+Tlb::Tlb(std::size_t entries, std::size_t ways)
+    : sets_(entries / ways), ways_(ways), table_(entries)
+{
+    assert(entries % ways == 0);
+    assert((sets_ & (sets_ - 1)) == 0 && "sets must be a power of two");
+}
+
+std::size_t
+Tlb::setOf(const PageId &page) const
+{
+    // Index by page number so consecutive pages spread over sets; large
+    // pages have sparse page numbers, which is fine.
+    return static_cast<std::size_t>((page.base / page.bytes) & (sets_ - 1));
+}
+
+bool
+Tlb::access(const PageId &page)
+{
+    Entry *base = &table_[setOf(page) * ways_];
+    ++tick_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].base == page.base &&
+            base[w].bytes == page.bytes) {
+            base[w].stamp = tick_;
+            return true;
+        }
+    }
+    std::size_t victim = 0;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].stamp < base[victim].stamp)
+            victim = w;
+    }
+    base[victim] = Entry{page.base, page.bytes, true, tick_};
+    return false;
+}
+
+bool
+Tlb::probe(const PageId &page) const
+{
+    const Entry *base = &table_[setOf(page) * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].base == page.base &&
+            base[w].bytes == page.bytes) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : table_)
+        e.valid = false;
+}
+
+Slb::Slb(std::size_t entries) : table_(entries)
+{
+    assert(entries > 0);
+}
+
+bool
+Slb::access(Addr addr)
+{
+    const Addr segment = addr / segmentBytes;
+    ++tick_;
+    for (auto &e : table_) {
+        if (e.valid && e.segment == segment) {
+            e.stamp = tick_;
+            return true;
+        }
+    }
+    // Fully associative LRU fill.
+    auto *victim = &table_[0];
+    for (auto &e : table_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < victim->stamp)
+            victim = &e;
+    }
+    *victim = Entry{segment, true, tick_};
+    return false;
+}
+
+void
+Slb::flush()
+{
+    for (auto &e : table_)
+        e.valid = false;
+}
+
+} // namespace jasim

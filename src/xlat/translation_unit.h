@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-core address translation pipeline.
+ *
+ * Combines IERAT/DERAT, the unified TLB and the SLB into the POWER4
+ * translation flow:
+ *
+ *   ERAT hit             -> no penalty (parallel with L1);
+ *   ERAT miss, TLB hit   -> >= 14-cycle TLB read; loads are retried
+ *                           from dispatch every 7 cycles meanwhile
+ *                           (raising the speculation rate);
+ *   ERAT + TLB miss      -> hardware table walk.
+ */
+
+#ifndef JASIM_XLAT_TRANSLATION_UNIT_H
+#define JASIM_XLAT_TRANSLATION_UNIT_H
+
+#include <memory>
+
+#include "sim/types.h"
+#include "xlat/address_space.h"
+#include "xlat/erat.h"
+#include "xlat/tlb.h"
+
+namespace jasim {
+
+/** Translation structure parameters. */
+struct XlatConfig
+{
+    std::size_t ierat_entries = 128;
+    std::size_t ierat_ways = 4;
+    std::size_t derat_entries = 128;
+    std::size_t derat_ways = 4;
+    std::size_t tlb_entries = 1024;
+    std::size_t tlb_ways = 4;
+    std::size_t slb_entries = 64;
+
+    Cycles lat_tlb_read = 14;   //!< ERAT miss, TLB hit
+    Cycles lat_table_walk = 90; //!< TLB miss hardware walk
+    Cycles retry_interval = 7;  //!< load redispatch interval on DERAT miss
+};
+
+/** Outcome of translating one access. */
+struct XlatOutcome
+{
+    bool erat_hit = true;
+    bool tlb_hit = true;  //!< meaningful only when erat_hit is false
+    bool slb_hit = true;
+    Cycles penalty = 0;
+    /** Extra dispatches caused by retrying the access (loads only). */
+    std::uint32_t redispatches = 0;
+};
+
+/** One core's translation state (shared TLB between I and D sides). */
+class TranslationUnit
+{
+  public:
+    TranslationUnit(const XlatConfig &config, const AddressSpace &space);
+
+    /** Translate a data access. */
+    XlatOutcome translateData(Addr addr);
+
+    /** Translate an instruction fetch. */
+    XlatOutcome translateInst(Addr addr);
+
+    /** Drop all cached translations (page-size ablations do this). */
+    void flush();
+
+    const XlatConfig &config() const { return config_; }
+
+  private:
+    XlatConfig config_;
+    const AddressSpace &space_;
+    Erat ierat_;
+    Erat derat_;
+    Tlb tlb_;
+    Slb slb_;
+
+    XlatOutcome translate(Erat &erat, Addr addr, bool is_load);
+};
+
+} // namespace jasim
+
+#endif // JASIM_XLAT_TRANSLATION_UNIT_H

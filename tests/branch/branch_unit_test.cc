@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "branch/branch_unit.h"
+
+namespace jasim {
+namespace {
+
+TEST(BranchUnitTest, ConditionalTrainsToBias)
+{
+    BranchUnit unit{BranchConfig{}};
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto o = unit.conditional(0x1000, true, 0x1100);
+        if (i >= 20 && !o.direction_correct)
+            ++wrong;
+    }
+    EXPECT_EQ(wrong, 0);
+}
+
+TEST(BranchUnitTest, MispredictChargesPenalty)
+{
+    BranchConfig config;
+    BranchUnit unit(config);
+    for (int i = 0; i < 50; ++i)
+        unit.conditional(0x1000, true, 0x1100);
+    const auto o = unit.conditional(0x1000, false, 0x1100);
+    EXPECT_FALSE(o.direction_correct);
+    EXPECT_EQ(o.penalty, config.direction_mispredict_penalty);
+}
+
+TEST(BranchUnitTest, TakenBranchNeedsBtbTarget)
+{
+    BranchUnit unit{BranchConfig{}};
+    // First taken occurrence: direction may be wrong; by the second
+    // occurrence direction is right but the BTB has the target.
+    unit.conditional(0x2000, true, 0x2200);
+    unit.conditional(0x2000, true, 0x2200);
+    const auto o = unit.conditional(0x2000, true, 0x2200);
+    EXPECT_TRUE(o.direction_correct);
+    EXPECT_TRUE(o.target_correct);
+}
+
+TEST(BranchUnitTest, DirectJumpWarmsUp)
+{
+    BranchUnit unit{BranchConfig{}};
+    EXPECT_FALSE(unit.direct(0x3000, 0x3300).target_correct);
+    EXPECT_TRUE(unit.direct(0x3000, 0x3300).target_correct);
+}
+
+TEST(BranchUnitTest, CallReturnPairPredicted)
+{
+    BranchUnit unit{BranchConfig{}};
+    unit.call(0x4000, 0x8000, 0x4004);
+    const auto ret = unit.ret(0x8100, 0x4004);
+    EXPECT_TRUE(ret.target_correct);
+}
+
+TEST(BranchUnitTest, NestedCallsReturnInOrder)
+{
+    BranchUnit unit{BranchConfig{}};
+    unit.call(0x4000, 0x8000, 0x4004);
+    unit.call(0x8000, 0x9000, 0x8004);
+    EXPECT_TRUE(unit.ret(0x9100, 0x8004).target_correct);
+    EXPECT_TRUE(unit.ret(0x8100, 0x4004).target_correct);
+}
+
+TEST(BranchUnitTest, MismatchedReturnMispredicts)
+{
+    BranchConfig config;
+    BranchUnit unit(config);
+    unit.call(0x4000, 0x8000, 0x4004);
+    const auto ret = unit.ret(0x8100, 0xDEAD);
+    EXPECT_FALSE(ret.target_correct);
+    EXPECT_EQ(ret.penalty, config.target_mispredict_penalty);
+}
+
+TEST(BranchUnitTest, VirtualCallStableTargetLearned)
+{
+    BranchUnit unit{BranchConfig{}};
+    unit.virtualCall(0x5000, 0xA000, 0x5004);
+    const auto o = unit.virtualCall(0x5000, 0xA000, 0x5004);
+    EXPECT_TRUE(o.target_correct);
+}
+
+TEST(BranchUnitTest, IndirectTargetSwitchPenalized)
+{
+    BranchConfig config;
+    BranchUnit unit(config);
+    unit.indirect(0x6000, 0xA000);
+    unit.indirect(0x6000, 0xA000);
+    const auto o = unit.indirect(0x6000, 0xB000);
+    EXPECT_FALSE(o.target_correct);
+    EXPECT_EQ(o.penalty, config.target_mispredict_penalty);
+}
+
+} // namespace
+} // namespace jasim

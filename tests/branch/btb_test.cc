@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "branch/btb.h"
+
+namespace jasim {
+namespace {
+
+TEST(BtbTest, ColdLookupReturnsZero)
+{
+    Btb btb(256, 4);
+    EXPECT_EQ(btb.predict(0x1000), 0u);
+}
+
+TEST(BtbTest, StoresAndUpdatesTarget)
+{
+    Btb btb(256, 4);
+    btb.update(0x1000, 0x2000);
+    EXPECT_EQ(btb.predict(0x1000), 0x2000u);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(btb.predict(0x1000), 0x3000u);
+}
+
+TEST(BtbTest, CapacityEviction)
+{
+    Btb btb(16, 2); // 8 sets x 2 ways
+    for (Addr pc = 0; pc < 64 * 4; pc += 4)
+        btb.update(pc, pc + 0x100);
+    std::size_t resident = 0;
+    for (Addr pc = 0; pc < 64 * 4; pc += 4)
+        resident += btb.predict(pc) != 0;
+    EXPECT_LE(resident, 16u);
+}
+
+TEST(BtbTest, FlushClears)
+{
+    Btb btb(64, 4);
+    btb.update(0x1000, 0x2000);
+    btb.flush();
+    EXPECT_EQ(btb.predict(0x1000), 0u);
+}
+
+TEST(ReturnStackTest, LifoOrder)
+{
+    ReturnStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(ReturnStackTest, EmptyPopReturnsZero)
+{
+    ReturnStack ras(8);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(ReturnStackTest, OverflowDropsOldest)
+{
+    ReturnStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10);
+    // Pops yield the four most recent pushes.
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "branch/count_cache.h"
+
+namespace jasim {
+namespace {
+
+TEST(CountCacheTest, ColdFirstResolveIsWrong)
+{
+    CountCache cc(256, 4);
+    EXPECT_FALSE(cc.resolve(0x1000, 0x5000));
+    EXPECT_TRUE(cc.resolve(0x1000, 0x5000));
+}
+
+TEST(CountCacheTest, MonomorphicSitePerfectAfterWarmup)
+{
+    CountCache cc(256, 4);
+    cc.resolve(0x1000, 0x5000);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(cc.resolve(0x1000, 0x5000));
+}
+
+TEST(CountCacheTest, HysteresisKeepsTargetOnSingleDeviation)
+{
+    CountCache cc(256, 4);
+    cc.resolve(0x1000, 0x5000);
+    cc.resolve(0x1000, 0x5000);      // confident
+    EXPECT_FALSE(cc.resolve(0x1000, 0x6000)); // one deviation
+    // Target kept: the old target still predicts.
+    EXPECT_EQ(cc.predict(0x1000), 0x5000u);
+    EXPECT_TRUE(cc.resolve(0x1000, 0x5000));
+}
+
+TEST(CountCacheTest, TwoDeviationsReplaceTarget)
+{
+    CountCache cc(256, 4);
+    cc.resolve(0x1000, 0x5000);
+    cc.resolve(0x1000, 0x5000);
+    cc.resolve(0x1000, 0x6000); // deviation 1: keep
+    cc.resolve(0x1000, 0x6000); // deviation 2: replace
+    EXPECT_EQ(cc.predict(0x1000), 0x6000u);
+}
+
+TEST(CountCacheTest, PolymorphicSiteMispredictsOnSwitch)
+{
+    CountCache cc(256, 4);
+    int mispredicts = 0;
+    // Site alternating between two targets every 10 calls.
+    for (int i = 0; i < 200; ++i) {
+        const Addr target = ((i / 10) % 2) ? 0xA000 : 0xB000;
+        if (!cc.resolve(0x2000, target))
+            ++mispredicts;
+    }
+    EXPECT_GT(mispredicts, 10);
+    EXPECT_LT(mispredicts, 80);
+}
+
+TEST(CountCacheTest, CapacityBounded)
+{
+    CountCache cc(16, 2);
+    for (Addr pc = 0; pc < 64 * 4; pc += 4)
+        cc.resolve(pc, pc + 0x100);
+    std::size_t resident = 0;
+    for (Addr pc = 0; pc < 64 * 4; pc += 4)
+        resident += cc.predict(pc) != 0;
+    EXPECT_LE(resident, 16u);
+}
+
+TEST(CountCacheTest, FlushForgetsEverything)
+{
+    CountCache cc(64, 4);
+    cc.resolve(0x3000, 0x9000);
+    cc.flush();
+    EXPECT_EQ(cc.predict(0x3000), 0u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "branch/direction_predictor.h"
+#include "sim/rng.h"
+
+namespace jasim {
+namespace {
+
+TEST(SaturatingCounterTest, SaturatesBothEnds)
+{
+    SaturatingCounter c(0);
+    EXPECT_FALSE(c.taken());
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_TRUE(c.taken());
+    EXPECT_EQ(c.raw(), 3);
+    for (int i = 0; i < 10; ++i)
+        c.update(false);
+    EXPECT_FALSE(c.taken());
+    EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SaturatingCounterTest, HysteresisNeedsTwoFlips)
+{
+    SaturatingCounter c(3);
+    c.update(false);
+    EXPECT_TRUE(c.taken()); // still predicts taken after one miss
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(BimodalTest, LearnsStronglyBiasedBranch)
+{
+    BimodalPredictor predictor(1024);
+    const Addr pc = 0x4000;
+    for (int i = 0; i < 10; ++i)
+        predictor.update(pc, true);
+    EXPECT_TRUE(predictor.predict(pc));
+}
+
+TEST(GshareTest, LearnsAlternatingPattern)
+{
+    GsharePredictor predictor(4096, 8);
+    const Addr pc = 0x4000;
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool actual = (i % 2) == 0;
+        if (predictor.predict(pc) == actual && i >= 100)
+            ++correct;
+        predictor.update(pc, actual);
+    }
+    // History makes alternation almost perfectly predictable.
+    EXPECT_GT(correct, 280);
+}
+
+TEST(GshareTest, HistoryAdvances)
+{
+    GsharePredictor predictor(1024, 6);
+    const auto before = predictor.history();
+    predictor.update(0x100, true);
+    EXPECT_NE(predictor.history(), before);
+}
+
+TEST(TournamentTest, BeatsWorseComponentOnLoops)
+{
+    TournamentPredictor predictor(4096, 10);
+    const Addr pc = 0x8000;
+    // Loop with 8 trips: taken 7x, not-taken once, repeated.
+    int mispredicts = 0, total = 0;
+    for (int rep = 0; rep < 200; ++rep) {
+        for (int t = 0; t < 8; ++t) {
+            const bool taken = t != 7;
+            if (rep >= 50) {
+                ++total;
+                if (predictor.predict(pc) != taken)
+                    ++mispredicts;
+            }
+            predictor.predictAndUpdate(pc, taken);
+        }
+    }
+    // gshare should learn the exit; much better than 1/8 bimodal.
+    EXPECT_LT(static_cast<double>(mispredicts) / total, 0.06);
+}
+
+TEST(TournamentTest, RandomBranchNearFiftyPercent)
+{
+    TournamentPredictor predictor(4096, 10);
+    Rng rng(11);
+    const Addr pc = 0xC000;
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        correct += predictor.predictAndUpdate(pc, rng.chance(0.5));
+    EXPECT_NEAR(correct / double(n), 0.5, 0.03);
+}
+
+TEST(TournamentTest, BiasedBranchAccuracyTracksBias)
+{
+    TournamentPredictor predictor(4096, 10);
+    Rng rng(13);
+    const Addr pc = 0xD000;
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        correct += predictor.predictAndUpdate(pc, rng.chance(0.9));
+    EXPECT_GT(correct / double(n), 0.85);
+}
+
+} // namespace
+} // namespace jasim

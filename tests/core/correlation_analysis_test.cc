@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/correlation_analysis.h"
+#include "hpm/events.h"
+
+namespace jasim {
+namespace {
+
+TEST(CorrelationAnalysisTest, Figure10ListCoversPaperEvents)
+{
+    const auto entries = figure10Events();
+    EXPECT_GE(entries.size(), 14u);
+    HpmFacility facility(power4Groups());
+    for (const auto &entry : entries) {
+        EXPECT_TRUE(facility.groupOf(entry.event).has_value() ||
+                    entry.event == event::instDispatched ||
+                    entry.event == event::cyclesWithCompletion)
+            << entry.event;
+    }
+}
+
+TEST(CorrelationAnalysisTest, ThroughputEventsUsePerWindowBasis)
+{
+    for (const auto &entry : figure10Events()) {
+        if (entry.event == event::cyclesWithCompletion ||
+            entry.event == event::instFetchL1) {
+            EXPECT_EQ(entry.basis, HpmStat::Basis::PerWindow)
+                << entry.label;
+        }
+    }
+}
+
+TEST(CorrelationAnalysisTest, BarsWithinBounds)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    // Synthesize enough windows for every group.
+    for (int w = 0; w < 200; ++w) {
+        std::map<std::string, std::uint64_t> delta{
+            {event::cycles, 2000u + (w % 9) * 300u},
+            {event::instCompleted, 1000},
+            {event::l1dLoadMiss, 20u + (w % 9) * 5u},
+            {event::deratMiss, 10u + (w % 9) * 3u},
+            {event::condMispredict, 5u + (w % 9)},
+            {event::branches, 200},
+            {event::instDispatched, 2300},
+        };
+        hpm.recordWindow(static_cast<SimTime>(w), delta);
+    }
+    const auto bars = computeCpiCorrelations(hpm, figure10Events());
+    EXPECT_EQ(bars.size(), figure10Events().size());
+    for (const auto &bar : bars) {
+        EXPECT_GE(bar.r, -1.0) << bar.label;
+        EXPECT_LE(bar.r, 1.0) << bar.label;
+    }
+}
+
+TEST(CorrelationAnalysisTest, AuxCorrelationsComputable)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    for (int w = 0; w < 200; ++w) {
+        std::map<std::string, std::uint64_t> delta{
+            {event::cycles, 3000},
+            {event::instCompleted, 1000u + (w % 5) * 100u},
+            {event::branches, 200u + (w % 7) * 10u},
+            {event::targetMispredict, 5u + (w % 3)},
+            {event::condMispredict, 10u + (w % 7) * 2u},
+            {event::instDispatched, 2300},
+            {event::l1dLoadMiss, 25},
+        };
+        hpm.recordWindow(static_cast<SimTime>(w), delta);
+    }
+    const AuxCorrelations aux = computeAuxCorrelations(hpm);
+    EXPECT_GE(aux.branches_vs_target_mispredict, -1.0);
+    EXPECT_LE(aux.branches_vs_target_mispredict, 1.0);
+    // cond mispredicts co-vary with branches in this synthetic data.
+    EXPECT_GT(aux.cond_mispredict_vs_branches, 0.5);
+}
+
+} // namespace
+} // namespace jasim

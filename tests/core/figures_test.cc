@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace jasim {
+namespace {
+
+WindowRecord
+makeWindow(SimTime end, double cycles, std::uint64_t insts,
+           std::uint64_t loads, std::uint64_t load_miss,
+           bool gc = false)
+{
+    WindowRecord w;
+    w.end = end;
+    w.stats.cycles = cycles;
+    w.stats.completed = insts;
+    w.stats.dispatched = 2.0 * static_cast<double>(insts);
+    w.stats.loads = loads;
+    w.stats.l1d_load_miss = load_miss;
+    w.mix.gc_active = gc;
+    if (gc)
+        w.mix.fraction[static_cast<std::size_t>(Component::GcMark)] =
+            0.3;
+    return w;
+}
+
+TEST(FiguresTest, WindowSeriesExtractsMetric)
+{
+    std::vector<WindowRecord> windows{
+        makeWindow(secs(1), 3000, 1000, 300, 30),
+        makeWindow(secs(2), 4000, 1000, 300, 60),
+    };
+    const TimeSeries cpi = windowSeries(windows, WindowMetric::Cpi,
+                                        "CPI");
+    ASSERT_EQ(cpi.size(), 2u);
+    EXPECT_DOUBLE_EQ(cpi.value(0), 3.0);
+    EXPECT_DOUBLE_EQ(cpi.value(1), 4.0);
+    const TimeSeries miss = windowSeries(
+        windows, WindowMetric::L1LoadMissRate, "miss");
+    EXPECT_DOUBLE_EQ(miss.value(0), 0.1);
+    EXPECT_DOUBLE_EQ(miss.value(1), 0.2);
+}
+
+TEST(FiguresTest, WindowMeanAndConditionalMean)
+{
+    std::vector<WindowRecord> windows{
+        makeWindow(secs(1), 3000, 1000, 300, 30, false),
+        makeWindow(secs(2), 5000, 1000, 300, 30, true),
+    };
+    EXPECT_DOUBLE_EQ(windowMean(windows, WindowMetric::Cpi), 4.0);
+    EXPECT_DOUBLE_EQ(windowMeanIf(windows, WindowMetric::Cpi, true),
+                     5.0);
+    EXPECT_DOUBLE_EQ(windowMeanIf(windows, WindowMetric::Cpi, false),
+                     3.0);
+    EXPECT_DOUBLE_EQ(
+        windowMeanIf({}, WindowMetric::Cpi, true), 0.0);
+}
+
+TEST(FiguresTest, GcFractionMetric)
+{
+    std::vector<WindowRecord> windows{
+        makeWindow(secs(1), 3000, 1000, 300, 30, true)};
+    EXPECT_NEAR(windowMean(windows, WindowMetric::GcFraction), 0.3,
+                1e-12);
+}
+
+TEST(FiguresTest, ZeroDenominatorsSafe)
+{
+    std::vector<WindowRecord> windows{
+        makeWindow(secs(1), 0, 0, 0, 0)};
+    for (const auto metric :
+         {WindowMetric::Cpi, WindowMetric::L1LoadMissRate,
+          WindowMetric::CondMispredictRate,
+          WindowMetric::TargetMispredictRate,
+          WindowMetric::SrqSyncFraction}) {
+        EXPECT_DOUBLE_EQ(windowMean(windows, metric), 0.0);
+    }
+}
+
+TEST(FiguresTest, LoadSourceSharesExcludeL1)
+{
+    ExecStats total;
+    total.loads_from[static_cast<std::size_t>(DataSource::L2)] = 75;
+    total.loads_from[static_cast<std::size_t>(DataSource::L3)] = 20;
+    total.loads_from[static_cast<std::size_t>(DataSource::Memory)] = 5;
+    const auto shares = loadSourceShares(total);
+    EXPECT_DOUBLE_EQ(
+        shares[static_cast<std::size_t>(DataSource::L2)], 0.75);
+    EXPECT_DOUBLE_EQ(
+        shares[static_cast<std::size_t>(DataSource::Memory)], 0.05);
+    EXPECT_DOUBLE_EQ(
+        shares[static_cast<std::size_t>(DataSource::L1)], 0.0);
+}
+
+TEST(FiguresTest, EmptySourcesSafe)
+{
+    const auto shares = loadSourceShares(ExecStats{});
+    for (const double s : shares)
+        EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+} // namespace
+} // namespace jasim

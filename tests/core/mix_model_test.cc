@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/mix_model.h"
+
+namespace jasim {
+namespace {
+
+TEST(MixModelTest, FractionsFromDeltas)
+{
+    std::array<SimTime, componentCount> prev{};
+    std::array<SimTime, componentCount> cur{};
+    cur[static_cast<std::size_t>(Component::WasJit)] = 300;
+    cur[static_cast<std::size_t>(Component::Db2)] = 100;
+    const WindowMix mix = computeMix(prev, cur, 1000, 4);
+    EXPECT_NEAR(mix.fraction[static_cast<std::size_t>(
+                    Component::WasJit)],
+                0.75, 1e-12);
+    EXPECT_DOUBLE_EQ(mix.busy_us, 400.0);
+    EXPECT_NEAR(mix.idle_fraction, 0.9, 1e-12);
+    EXPECT_FALSE(mix.gc_active);
+}
+
+TEST(MixModelTest, GcActivityDetected)
+{
+    std::array<SimTime, componentCount> prev{};
+    std::array<SimTime, componentCount> cur{};
+    cur[static_cast<std::size_t>(Component::GcMark)] = 10;
+    const WindowMix mix = computeMix(prev, cur, 1000, 4);
+    EXPECT_TRUE(mix.gc_active);
+}
+
+TEST(MixModelTest, IdleWindowSafe)
+{
+    std::array<SimTime, componentCount> same{};
+    const WindowMix mix = computeMix(same, same, 1000, 4);
+    EXPECT_DOUBLE_EQ(mix.busy_us, 0.0);
+    EXPECT_DOUBLE_EQ(mix.idle_fraction, 1.0);
+}
+
+TEST(MixModelTest, FractionsSumToOneWhenBusy)
+{
+    std::array<SimTime, componentCount> prev{};
+    std::array<SimTime, componentCount> cur{};
+    for (std::size_t c = 0; c < componentCount; ++c)
+        cur[c] = 10 * (c + 1);
+    const WindowMix mix = computeMix(prev, cur, 1000, 4);
+    double sum = 0.0;
+    for (const double f : mix.fraction)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MixModelTest, OversubscribedClampsIdleAtZero)
+{
+    std::array<SimTime, componentCount> prev{};
+    std::array<SimTime, componentCount> cur{};
+    cur[0] = 10000; // more busy than window capacity
+    const WindowMix mix = computeMix(prev, cur, 1000, 4);
+    EXPECT_DOUBLE_EQ(mix.idle_fraction, 0.0);
+}
+
+} // namespace
+} // namespace jasim

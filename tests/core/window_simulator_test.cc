@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/window_simulator.h"
+
+namespace jasim {
+namespace {
+
+WindowMix
+uniformMix(double busy_us = 1e6)
+{
+    WindowMix mix;
+    for (std::size_t c = 0; c < componentCount; ++c)
+        mix.fraction[c] = 1.0 / componentCount;
+    mix.busy_us = busy_us;
+    mix.idle_fraction = 0.0;
+    return mix;
+}
+
+class WindowSimulatorTest : public ::testing::Test
+{
+  protected:
+    WindowSimulatorTest()
+        : profiles_(std::make_shared<const WorkloadProfiles>(3))
+    {
+        config_.sample_insts = 30000;
+    }
+
+    std::shared_ptr<const WorkloadProfiles> profiles_;
+    WindowSimConfig config_;
+};
+
+TEST_F(WindowSimulatorTest, BudgetApproximatelyHonored)
+{
+    WindowSimulator sim(config_, profiles_, 1);
+    const ExecStats stats = sim.simulateWindow(uniformMix(), 200 << 20);
+    EXPECT_NEAR(static_cast<double>(stats.completed),
+                static_cast<double>(config_.sample_insts), 2000.0);
+}
+
+TEST_F(WindowSimulatorTest, IdleWindowProducesNothing)
+{
+    WindowSimulator sim(config_, profiles_, 1);
+    WindowMix idle;
+    const ExecStats stats = sim.simulateWindow(idle, 200 << 20);
+    EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(WindowSimulatorTest, RatesInPlausibleBands)
+{
+    WindowSimulator sim(config_, profiles_, 1);
+    ExecStats total;
+    for (int w = 0; w < 6; ++w)
+        total.merge(sim.simulateWindow(uniformMix(), 200 << 20));
+    const double insts = static_cast<double>(total.completed);
+    // Memory instructions: roughly one per two instructions (paper).
+    const double mem_ops =
+        static_cast<double>(total.loads + total.stores) / insts;
+    EXPECT_GT(mem_ops, 0.30);
+    EXPECT_LT(mem_ops, 0.65);
+    EXPECT_GT(total.cpi(), 1.0);
+    EXPECT_LT(total.cpi(), 30.0);
+    EXPECT_GT(total.speculationRate(), 1.5);
+    EXPECT_LT(total.speculationRate(), 4.0);
+}
+
+TEST_F(WindowSimulatorTest, ScaleBlowsUpToNominalCycles)
+{
+    WindowSimulator sim(config_, profiles_, 1);
+    const ExecStats stats = sim.simulateWindow(uniformMix(2e6), 0);
+    const double scale = sim.scaleFor(stats, 2e6);
+    EXPECT_NEAR(scale * stats.cycles,
+                2e6 * config_.freq_ghz * 1e3, 1.0);
+}
+
+TEST_F(WindowSimulatorTest, JitSamplesAccumulate)
+{
+    WindowSimulator sim(config_, profiles_, 1);
+    sim.simulateWindow(uniformMix(), 200 << 20);
+    const auto samples = sim.jitMethodSamples();
+    EXPECT_EQ(samples.size(),
+              profiles_->layout(Component::WasJit).count());
+    std::uint64_t total = 0;
+    for (const auto s : samples)
+        total += s;
+    EXPECT_GT(total, 0u);
+}
+
+TEST_F(WindowSimulatorTest, GcWindowsChangeCharacter)
+{
+    WindowSimulator sim(config_, profiles_, 1);
+    // Warm with app-only windows.
+    WindowMix app;
+    app.fraction[static_cast<std::size_t>(Component::WasJit)] = 1.0;
+    app.busy_us = 1e6;
+    for (int w = 0; w < 4; ++w)
+        sim.simulateWindow(app, 200 << 20);
+    const ExecStats app_stats = sim.simulateWindow(app, 200 << 20);
+
+    WindowMix gc;
+    gc.fraction[static_cast<std::size_t>(Component::GcMark)] = 1.0;
+    gc.busy_us = 1e6;
+    gc.gc_active = true;
+    for (int w = 0; w < 2; ++w)
+        sim.simulateWindow(gc, 200 << 20);
+    const ExecStats gc_stats = sim.simulateWindow(gc, 200 << 20);
+
+    // Paper: during GC, 2-3 orders of magnitude fewer TLB misses
+    // (compare against the 4 KB-paged DB2 component, which carries
+    // the workload's DTLB pressure) and better-predicted branches.
+    WindowMix db;
+    db.fraction[static_cast<std::size_t>(Component::Db2)] = 1.0;
+    db.busy_us = 1e6;
+    for (int w = 0; w < 2; ++w)
+        sim.simulateWindow(db, 200 << 20);
+    const ExecStats db_stats = sim.simulateWindow(db, 200 << 20);
+    const double db_dtlb = static_cast<double>(db_stats.dtlb_miss) /
+        static_cast<double>(db_stats.completed);
+    const double gc_dtlb = static_cast<double>(gc_stats.dtlb_miss) /
+        static_cast<double>(gc_stats.completed);
+    EXPECT_LT(gc_dtlb, db_dtlb / 5.0 + 1e-9);
+
+    const double app_mispredict =
+        static_cast<double>(app_stats.cond_mispredict) /
+        static_cast<double>(app_stats.cond_branches);
+    const double gc_mispredict =
+        static_cast<double>(gc_stats.cond_mispredict) /
+        static_cast<double>(gc_stats.cond_branches);
+    EXPECT_LT(gc_mispredict, app_mispredict);
+}
+
+TEST_F(WindowSimulatorTest, DeterministicForSeed)
+{
+    WindowSimulator a(config_, profiles_, 9);
+    WindowSimulator b(config_, profiles_, 9);
+    const ExecStats sa = a.simulateWindow(uniformMix(), 100 << 20);
+    const ExecStats sb = b.simulateWindow(uniformMix(), 100 << 20);
+    EXPECT_EQ(sa.completed, sb.completed);
+    EXPECT_EQ(sa.l1d_load_miss, sb.l1d_load_miss);
+    EXPECT_DOUBLE_EQ(sa.cycles, sb.cycles);
+}
+
+} // namespace
+} // namespace jasim

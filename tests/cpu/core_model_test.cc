@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.h"
+
+namespace jasim {
+namespace {
+
+class CoreModelTest : public ::testing::Test
+{
+  protected:
+    CoreModelTest()
+    {
+        space_.addRegion("code", 0x10000000, 16 * 1024 * 1024,
+                         smallPageBytes);
+        space_.addRegion("heap", 0x40000000, 256ull * 1024 * 1024,
+                         largePageBytes);
+        HierarchyConfig hc;
+        hc.prefetch_enabled = false;
+        mem_ = std::make_unique<MemoryHierarchy>(hc);
+        core_ = std::make_unique<CoreModel>(0, CoreConfig{}, *mem_,
+                                            space_, 7);
+    }
+
+    Instr alu(Addr pc)
+    {
+        Instr i;
+        i.kind = InstKind::Alu;
+        i.pc = pc;
+        return i;
+    }
+
+    Instr load(Addr pc, Addr ea)
+    {
+        Instr i;
+        i.kind = InstKind::Load;
+        i.pc = pc;
+        i.ea = ea;
+        return i;
+    }
+
+    AddressSpace space_;
+    std::unique_ptr<MemoryHierarchy> mem_;
+    std::unique_ptr<CoreModel> core_;
+};
+
+TEST_F(CoreModelTest, EveryInstructionCompletes)
+{
+    ExecStats stats;
+    for (int i = 0; i < 100; ++i)
+        core_->execute(alu(0x10000000 + 4 * i), stats);
+    EXPECT_EQ(stats.completed, 100u);
+    EXPECT_GT(stats.cycles, 0.0);
+}
+
+TEST_F(CoreModelTest, SpeculationRateAtLeastBaseFactor)
+{
+    ExecStats stats;
+    for (int i = 0; i < 1000; ++i)
+        core_->execute(alu(0x10000000 + 4 * (i % 64)), stats);
+    EXPECT_GE(stats.speculationRate(),
+              CoreConfig{}.base_dispatch_factor - 1e-9);
+}
+
+TEST_F(CoreModelTest, LoadsCounted)
+{
+    ExecStats stats;
+    core_->execute(load(0x10000000, 0x40000000), stats);
+    EXPECT_EQ(stats.loads, 1u);
+    EXPECT_EQ(stats.l1d_load_miss, 1u); // cold
+    core_->execute(load(0x10000004, 0x40000000), stats);
+    EXPECT_EQ(stats.l1d_load_miss, 1u); // warm
+}
+
+TEST_F(CoreModelTest, LoadMissSourceRecorded)
+{
+    ExecStats stats;
+    core_->execute(load(0x10000000, 0x40000000), stats);
+    EXPECT_EQ(stats.loads_from[static_cast<std::size_t>(
+                  DataSource::Memory)],
+              1u);
+}
+
+TEST_F(CoreModelTest, DeratAndTlbCounted)
+{
+    ExecStats stats;
+    core_->execute(load(0x10000000, 0x40000000), stats);
+    EXPECT_EQ(stats.derat_miss, 1u);
+    EXPECT_EQ(stats.dtlb_miss, 1u);
+    // Same large page, new granule: DERAT miss but TLB hit.
+    core_->execute(load(0x10000004, 0x40001000), stats);
+    EXPECT_EQ(stats.derat_miss, 2u);
+    EXPECT_EQ(stats.dtlb_miss, 1u);
+}
+
+TEST_F(CoreModelTest, BranchStatsAccumulate)
+{
+    ExecStats stats;
+    Instr b;
+    b.kind = InstKind::BranchCond;
+    b.pc = 0x10000000;
+    b.target = 0x10000100;
+    b.taken = true;
+    for (int i = 0; i < 50; ++i)
+        core_->execute(b, stats);
+    EXPECT_EQ(stats.cond_branches, 50u);
+    EXPECT_LT(stats.cond_mispredict, 5u); // trains quickly
+}
+
+TEST_F(CoreModelTest, SyncAccountsSrqOccupancy)
+{
+    ExecStats stats;
+    Instr s;
+    s.kind = InstKind::Sync;
+    s.pc = 0x10000000;
+    core_->execute(s, stats);
+    EXPECT_EQ(stats.syncs, 1u);
+    EXPECT_GT(stats.srq_sync_cycles, 0.0);
+}
+
+TEST_F(CoreModelTest, LarxStcxCounted)
+{
+    ExecStats stats;
+    Instr larx;
+    larx.kind = InstKind::Larx;
+    larx.pc = 0x10000000;
+    larx.ea = 0x40000000;
+    core_->execute(larx, stats);
+    Instr stcx;
+    stcx.kind = InstKind::Stcx;
+    stcx.pc = 0x10000004;
+    stcx.ea = 0x40000000;
+    core_->execute(stcx, stats);
+    EXPECT_EQ(stats.larx, 1u);
+    EXPECT_EQ(stats.stcx, 1u);
+    EXPECT_EQ(stats.stores, 1u); // stcx is a store reference
+    EXPECT_EQ(stats.loads, 1u);  // larx is a load reference
+}
+
+TEST_F(CoreModelTest, MergeAddsFields)
+{
+    ExecStats a, b;
+    core_->execute(load(0x10000000, 0x40000000), a);
+    core_->execute(load(0x10000004, 0x50000000), b);
+    const auto loads_a = a.loads;
+    a.merge(b);
+    EXPECT_EQ(a.loads, loads_a + b.loads);
+    EXPECT_EQ(a.completed, 2u);
+}
+
+TEST_F(CoreModelTest, ExportProducesCanonicalCounters)
+{
+    ExecStats stats;
+    core_->execute(load(0x10000000, 0x40000000), stats);
+    CounterSet set;
+    stats.exportTo(set);
+    EXPECT_EQ(set.value("PM_LD_REF_L1"), 1u);
+    EXPECT_EQ(set.value("PM_INST_CMPL"), 1u);
+    EXPECT_GT(set.value("PM_CYC"), 0u);
+}
+
+TEST_F(CoreModelTest, ExportScalesCounts)
+{
+    ExecStats stats;
+    core_->execute(load(0x10000000, 0x40000000), stats);
+    CounterSet set;
+    stats.exportTo(set, 1000.0);
+    EXPECT_EQ(set.value("PM_LD_REF_L1"), 1000u);
+}
+
+} // namespace
+} // namespace jasim

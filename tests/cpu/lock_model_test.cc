@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "cpu/lock_model.h"
+
+namespace jasim {
+namespace {
+
+TEST(LockModelTest, LarxCounted)
+{
+    LockModel model(LockConfig{}, 1);
+    model.noteLarx();
+    model.noteLarx();
+    EXPECT_EQ(model.larxCount(), 2u);
+}
+
+TEST(LockModelTest, UncontendedStcxFreeAndSuccessful)
+{
+    LockConfig config;
+    config.stcx_fail_probability = 0.0;
+    LockModel model(config, 2);
+    for (int i = 0; i < 100; ++i) {
+        const auto o = model.resolveStcx();
+        EXPECT_TRUE(o.success);
+        EXPECT_EQ(o.retries, 0u);
+        EXPECT_DOUBLE_EQ(o.stall_cycles, 0.0);
+    }
+}
+
+TEST(LockModelTest, ContentionMatchesProbability)
+{
+    LockConfig config;
+    config.stcx_fail_probability = 0.2;
+    config.kernel_sleep_probability = 0.0;
+    LockModel model(config, 3);
+    std::uint64_t retries = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        retries += model.resolveStcx().retries;
+    // Expected retries per acquisition ~ p / (1 - p) = 0.25.
+    EXPECT_NEAR(retries / double(n), 0.25, 0.02);
+}
+
+TEST(LockModelTest, RetriesCostSpinCycles)
+{
+    LockConfig config;
+    config.stcx_fail_probability = 0.9;
+    config.kernel_sleep_probability = 0.0;
+    LockModel model(config, 4);
+    double total = 0.0;
+    for (int i = 0; i < 100; ++i)
+        total += model.resolveStcx().stall_cycles;
+    EXPECT_GT(total, 100 * config.spin_cost);
+}
+
+TEST(LockModelTest, KernelSleepsRareAndExpensive)
+{
+    LockConfig config; // defaults: mostly uncontended
+    LockModel model(config, 5);
+    int sleeps = 0;
+    double max_stall = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+        const auto o = model.resolveStcx();
+        if (o.kernel_sleep) {
+            ++sleeps;
+            max_stall = std::max(max_stall, o.stall_cycles);
+        }
+    }
+    EXPECT_GT(sleeps, 0);
+    EXPECT_LT(sleeps, 2000); // ~0.2% of acquisitions
+    EXPECT_GE(max_stall, config.kernel_sleep_cost);
+}
+
+TEST(LockModelTest, SpinBounded)
+{
+    LockConfig config;
+    config.stcx_fail_probability = 0.999;
+    config.kernel_sleep_probability = 0.0;
+    LockModel model(config, 6);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LE(model.resolveStcx().retries, 16u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "cpu/penalty_model.h"
+
+namespace jasim {
+namespace {
+
+MemAccessOutcome
+missFrom(DataSource source, Cycles latency)
+{
+    MemAccessOutcome o;
+    o.l1_hit = false;
+    o.source = source;
+    o.latency = latency;
+    return o;
+}
+
+TEST(PenaltyModelTest, L1HitsAreFree)
+{
+    PenaltyModel model{PenaltyConfig{}};
+    MemAccessOutcome hit;
+    hit.l1_hit = true;
+    EXPECT_DOUBLE_EQ(model.loadStall(hit, false), 0.0);
+    EXPECT_DOUBLE_EQ(model.storeStall(hit), 0.0);
+    EXPECT_DOUBLE_EQ(model.fetchStall(hit), 0.0);
+}
+
+TEST(PenaltyModelTest, L2MissesMostlyHidden)
+{
+    PenaltyConfig config;
+    PenaltyModel model(config);
+    const double stall =
+        model.loadStall(missFrom(DataSource::L2, 12), false);
+    EXPECT_NEAR(stall, 12.0 * config.load_l2_visible, 1e-12);
+    EXPECT_LT(stall, 12.0);
+}
+
+TEST(PenaltyModelTest, DeeperSourcesCostMore)
+{
+    PenaltyModel model{PenaltyConfig{}};
+    const double l2 = model.loadStall(missFrom(DataSource::L2, 12), false);
+    const double l3 =
+        model.loadStall(missFrom(DataSource::L3, 100), false);
+    const double mem =
+        model.loadStall(missFrom(DataSource::Memory, 350), false);
+    EXPECT_LT(l2, l3);
+    EXPECT_LT(l3, mem);
+}
+
+TEST(PenaltyModelTest, BurstsAmplifyLoadStalls)
+{
+    PenaltyConfig config;
+    PenaltyModel model(config);
+    const auto miss = missFrom(DataSource::L3, 100);
+    EXPECT_NEAR(model.loadStall(miss, true),
+                model.loadStall(miss, false) * config.burst_multiplier,
+                1e-9);
+}
+
+TEST(PenaltyModelTest, StoresNearlyFree)
+{
+    PenaltyModel model{PenaltyConfig{}};
+    const double store =
+        model.storeStall(missFrom(DataSource::Memory, 350));
+    const double load =
+        model.loadStall(missFrom(DataSource::Memory, 350), false);
+    EXPECT_LT(store, load / 5.0);
+}
+
+TEST(PenaltyModelTest, FetchStallsAreVisible)
+{
+    PenaltyConfig config;
+    PenaltyModel model(config);
+    const double fetch = model.fetchStall(missFrom(DataSource::L2, 12));
+    EXPECT_NEAR(fetch, 12.0 * config.ifetch_visible, 1e-12);
+}
+
+TEST(PenaltyModelTest, XlatScaled)
+{
+    PenaltyConfig config;
+    PenaltyModel model(config);
+    EXPECT_NEAR(model.xlatStall(14), 14.0 * config.xlat_visible, 1e-12);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "cpu/sync_model.h"
+
+namespace jasim {
+namespace {
+
+TEST(SyncModelTest, StoresAccumulateUntilDrained)
+{
+    SyncModel model{SyncConfig{}};
+    for (int i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(model.noteStore(), 0.0);
+    EXPECT_EQ(model.outstandingStores(), 5u);
+}
+
+TEST(SyncModelTest, FullSrqStallsStores)
+{
+    SyncConfig config;
+    config.srq_entries = 4;
+    SyncModel model(config);
+    for (int i = 0; i < 4; ++i)
+        model.noteStore();
+    EXPECT_GT(model.noteStore(), 0.0);
+}
+
+TEST(SyncModelTest, DrainTickReducesOccupancy)
+{
+    SyncModel model{SyncConfig{}};
+    for (int i = 0; i < 8; ++i)
+        model.noteStore();
+    for (int i = 0; i < 16; ++i)
+        model.drainTick();
+    EXPECT_EQ(model.outstandingStores(), 0u);
+}
+
+TEST(SyncModelTest, SyncCostGrowsWithOutstandingStores)
+{
+    SyncConfig config;
+    SyncModel empty(config);
+    const auto cheap = empty.issueSync(InstKind::Sync);
+
+    SyncModel full(config);
+    for (int i = 0; i < 20; ++i)
+        full.noteStore();
+    const auto costly = full.issueSync(InstKind::Sync);
+
+    EXPECT_GT(costly.stall_cycles, cheap.stall_cycles);
+    EXPECT_EQ(full.outstandingStores(), 0u); // sync drains the SRQ
+}
+
+TEST(SyncModelTest, SyncOccupiesSrq)
+{
+    SyncModel model{SyncConfig{}};
+    const auto outcome = model.issueSync(InstKind::Sync);
+    EXPECT_GT(outcome.srq_occupancy_cycles, 0.0);
+}
+
+TEST(SyncModelTest, LwsyncCheaperThanSync)
+{
+    SyncConfig config;
+    SyncModel a(config), b(config);
+    for (int i = 0; i < 10; ++i) {
+        a.noteStore();
+        b.noteStore();
+    }
+    EXPECT_LT(b.issueSync(InstKind::Lwsync).stall_cycles,
+              a.issueSync(InstKind::Sync).stall_cycles);
+}
+
+TEST(SyncModelTest, IsyncSkipsSrq)
+{
+    SyncModel model{SyncConfig{}};
+    const auto outcome = model.issueSync(InstKind::Isync);
+    EXPECT_DOUBLE_EQ(outcome.srq_occupancy_cycles, 0.0);
+    EXPECT_GT(outcome.stall_cycles, 0.0);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "db/buffer_pool.h"
+
+namespace jasim {
+namespace {
+
+TEST(BufferPoolTest, MissThenHit)
+{
+    BufferPool pool(4);
+    EXPECT_FALSE(pool.pin({0, 1}).hit);
+    EXPECT_TRUE(pool.pin({0, 1}).hit);
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, LruEviction)
+{
+    BufferPool pool(2);
+    pool.pin({0, 1});
+    pool.pin({0, 2});
+    pool.pin({0, 1}); // refresh 1
+    pool.pin({0, 3}); // evicts 2
+    EXPECT_TRUE(pool.resident({0, 1}));
+    EXPECT_FALSE(pool.resident({0, 2}));
+    EXPECT_TRUE(pool.resident({0, 3}));
+}
+
+TEST(BufferPoolTest, DirtyEvictionCountsWriteback)
+{
+    BufferPool pool(1);
+    pool.pin({0, 1}, true); // dirty
+    const PinResult result = pool.pin({0, 2});
+    EXPECT_TRUE(result.writeback);
+    EXPECT_EQ(pool.writebacks(), 1u);
+}
+
+TEST(BufferPoolTest, CleanEvictionNoWriteback)
+{
+    BufferPool pool(1);
+    pool.pin({0, 1}, false);
+    EXPECT_FALSE(pool.pin({0, 2}).writeback);
+}
+
+TEST(BufferPoolTest, DirtyStickyUntilEvicted)
+{
+    BufferPool pool(2);
+    pool.pin({0, 1}, true);
+    pool.pin({0, 1}, false); // re-pin clean does not clear dirty
+    pool.pin({0, 2});
+    const PinResult evicting = pool.pin({0, 3});
+    EXPECT_TRUE(evicting.writeback); // page 1 was still dirty
+}
+
+TEST(BufferPoolTest, TablesDistinguishedInKey)
+{
+    BufferPool pool(4);
+    pool.pin({1, 7});
+    EXPECT_FALSE(pool.pin({2, 7}).hit);
+}
+
+TEST(BufferPoolTest, HitRateAndCapacity)
+{
+    BufferPool pool(8);
+    for (int round = 0; round < 10; ++round)
+        for (std::uint32_t p = 0; p < 8; ++p)
+            pool.pin({0, p});
+    EXPECT_EQ(pool.residentPages(), 8u);
+    EXPECT_NEAR(pool.hitRate(), 72.0 / 80.0, 1e-9);
+}
+
+TEST(BufferPoolTest, ClearEmptiesPool)
+{
+    BufferPool pool(4);
+    pool.pin({0, 1});
+    pool.clear();
+    EXPECT_EQ(pool.residentPages(), 0u);
+    EXPECT_FALSE(pool.resident({0, 1}));
+}
+
+} // namespace
+} // namespace jasim

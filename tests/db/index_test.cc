@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "db/index.h"
+
+namespace jasim {
+namespace {
+
+TEST(UniqueIndexTest, InsertFindErase)
+{
+    UniqueIndex index;
+    EXPECT_TRUE(index.insert(5, RowId{1, 2}));
+    const auto found = index.find(5);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->page, 1u);
+    EXPECT_EQ(found->slot, 2u);
+    EXPECT_TRUE(index.erase(5));
+    EXPECT_FALSE(index.find(5).has_value());
+    EXPECT_FALSE(index.erase(5));
+}
+
+TEST(UniqueIndexTest, DuplicateRejected)
+{
+    UniqueIndex index;
+    EXPECT_TRUE(index.insert(1, RowId{0, 0}));
+    EXPECT_FALSE(index.insert(1, RowId{0, 1}));
+    EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(MultiIndexTest, MultipleRowsPerKey)
+{
+    MultiIndex index;
+    index.insert(7, RowId{0, 0});
+    index.insert(7, RowId{0, 1});
+    index.insert(8, RowId{1, 0});
+    EXPECT_EQ(index.find(7).size(), 2u);
+    EXPECT_EQ(index.find(8).size(), 1u);
+    EXPECT_TRUE(index.find(9).empty());
+    EXPECT_EQ(index.size(), 3u);
+}
+
+TEST(MultiIndexTest, EraseSpecificPairing)
+{
+    MultiIndex index;
+    index.insert(7, RowId{0, 0});
+    index.insert(7, RowId{0, 1});
+    EXPECT_TRUE(index.erase(7, RowId{0, 0}));
+    EXPECT_FALSE(index.erase(7, RowId{0, 0}));
+    ASSERT_EQ(index.find(7).size(), 1u);
+    EXPECT_EQ(index.find(7)[0].slot, 1u);
+}
+
+TEST(MultiIndexTest, KeyRemovedWhenEmpty)
+{
+    MultiIndex index;
+    index.insert(7, RowId{0, 0});
+    index.erase(7, RowId{0, 0});
+    EXPECT_TRUE(index.find(7).empty());
+    EXPECT_EQ(index.size(), 0u);
+}
+
+} // namespace
+} // namespace jasim

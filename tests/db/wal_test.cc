@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "db/wal.h"
+
+namespace jasim {
+namespace {
+
+TEST(WalTest, LsnsMonotonic)
+{
+    Wal wal;
+    const auto a = wal.append(1, WalRecordType::Begin, 0);
+    const auto b = wal.append(1, WalRecordType::Insert, 100);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(wal.recordCount(), 2u);
+}
+
+TEST(WalTest, ForceReturnsPendingBytesOnce)
+{
+    Wal wal;
+    wal.append(1, WalRecordType::Insert, 100);
+    wal.append(1, WalRecordType::Commit, 0);
+    const auto forced = wal.force();
+    EXPECT_GT(forced, 100u); // payload + headers
+    EXPECT_EQ(wal.force(), 0u); // nothing new
+    EXPECT_EQ(wal.forceCount(), 1u);
+}
+
+TEST(WalTest, AppendAfterForceAccumulatesAgain)
+{
+    Wal wal;
+    wal.append(1, WalRecordType::Insert, 50);
+    wal.force();
+    wal.append(2, WalRecordType::Insert, 70);
+    EXPECT_GT(wal.force(), 70u);
+    EXPECT_EQ(wal.forceCount(), 2u);
+}
+
+TEST(WalTest, ForcedRecordsDroppedFromMemory)
+{
+    Wal wal;
+    wal.append(1, WalRecordType::Insert, 50);
+    EXPECT_EQ(wal.pendingRecords(), 1u);
+    wal.force();
+    EXPECT_EQ(wal.pendingRecords(), 0u);
+    EXPECT_EQ(wal.recordCount(), 1u); // lifetime count preserved
+}
+
+TEST(WalTest, BytesIncludeHeaders)
+{
+    Wal wal;
+    wal.append(1, WalRecordType::Insert, 0);
+    EXPECT_GT(wal.appendedBytes(), 0u);
+}
+
+TEST(WalTest, TruncateDropsOldPending)
+{
+    Wal wal;
+    const auto lsn1 = wal.append(1, WalRecordType::Insert, 10);
+    wal.append(1, WalRecordType::Insert, 10);
+    wal.truncate(lsn1);
+    EXPECT_EQ(wal.pendingRecords(), 1u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "driver/driver.h"
+
+namespace jasim {
+namespace {
+
+TEST(DriverTest, ArrivalRateMatchesInjectionRate)
+{
+    EventQueue queue;
+    DriverConfig config;
+    config.injection_rate = 10.0;
+    config.ramp_up_s = 0.0;
+    std::uint64_t count = 0;
+    Driver driver(config, queue, 1,
+                  [&](const Request &) { ++count; });
+    driver.start(0, secs(100));
+    queue.runUntil(secs(100));
+    // Expected: (1.0 + 0.6) x 10 /s x 100 s = 1600 +- noise.
+    EXPECT_NEAR(static_cast<double>(count), 1600.0, 150.0);
+}
+
+TEST(DriverTest, MixMatchesConfiguredShares)
+{
+    EventQueue queue;
+    DriverConfig config;
+    config.injection_rate = 50.0;
+    config.ramp_up_s = 0.0;
+    std::map<RequestType, std::uint64_t> counts;
+    Driver driver(config, queue, 2,
+                  [&](const Request &r) { ++counts[r.type]; });
+    driver.start(0, secs(200));
+    queue.runUntil(secs(200));
+    const double dealer =
+        static_cast<double>(counts[RequestType::Browse] +
+                            counts[RequestType::Purchase] +
+                            counts[RequestType::Manage]);
+    EXPECT_NEAR(counts[RequestType::Browse] / dealer, 0.50, 0.03);
+    EXPECT_NEAR(counts[RequestType::Purchase] / dealer, 0.25, 0.03);
+    // RMI stream is 0.6x of the dealer stream.
+    EXPECT_NEAR(counts[RequestType::CreateWorkOrder] / dealer, 0.6,
+                0.05);
+}
+
+TEST(DriverTest, RampUpThinsEarlyArrivals)
+{
+    EventQueue queue;
+    DriverConfig config;
+    config.injection_rate = 50.0;
+    config.ramp_up_s = 100.0;
+    std::uint64_t early = 0, late = 0;
+    Driver driver(config, queue, 3, [&](const Request &r) {
+        (r.arrival < secs(50) ? early : late) += 1;
+    });
+    driver.start(0, secs(150));
+    queue.runUntil(secs(150));
+    // First 50 s run at < half rate; the 50 s after the ramp at full.
+    EXPECT_LT(early * 2, late);
+}
+
+TEST(DriverTest, UniqueMonotonicIds)
+{
+    EventQueue queue;
+    DriverConfig config;
+    config.ramp_up_s = 0.0;
+    std::uint64_t last = 0;
+    Driver driver(config, queue, 4, [&](const Request &r) {
+        EXPECT_GT(r.id, last);
+        last = r.id;
+    });
+    driver.start(0, secs(10));
+    queue.runUntil(secs(10));
+    EXPECT_GT(last, 0u);
+}
+
+TEST(DriverTest, NoArrivalsBeyondEnd)
+{
+    EventQueue queue;
+    DriverConfig config;
+    config.ramp_up_s = 0.0;
+    SimTime latest = 0;
+    Driver driver(config, queue, 5, [&](const Request &r) {
+        latest = std::max(latest, r.arrival);
+    });
+    driver.start(0, secs(5));
+    queue.runUntil(secs(60));
+    EXPECT_LT(latest, secs(5));
+}
+
+TEST(DriverTest, JopsPerIrConstant)
+{
+    const DriverConfig config;
+    EXPECT_NEAR(config.jopsPerIr(), 1.6, 1e-12);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "driver/response_tracker.h"
+
+namespace jasim {
+namespace {
+
+Request
+makeRequest(std::uint64_t id, RequestType type, SimTime arrival)
+{
+    Request r;
+    r.id = id;
+    r.type = type;
+    r.arrival = arrival;
+    return r;
+}
+
+TEST(ResponseTrackerTest, CountsPerType)
+{
+    ResponseTracker tracker;
+    tracker.complete(makeRequest(1, RequestType::Browse, 0), secs(1));
+    tracker.complete(makeRequest(2, RequestType::Browse, 0), secs(1));
+    tracker.complete(makeRequest(3, RequestType::Purchase, 0), secs(1));
+    EXPECT_EQ(tracker.completedCount(RequestType::Browse), 2u);
+    EXPECT_EQ(tracker.totalCompleted(), 3u);
+}
+
+TEST(ResponseTrackerTest, SlaPassAndFail)
+{
+    ResponseTracker tracker;
+    // 10 browses: 9 fast, 1 slow -> p90 = fast => pass.
+    for (int i = 0; i < 9; ++i)
+        tracker.complete(
+            makeRequest(static_cast<std::uint64_t>(i),
+                        RequestType::Browse, 0),
+            millis(500));
+    tracker.complete(makeRequest(99, RequestType::Browse, 0), secs(30));
+    const auto verdicts = tracker.verdicts();
+    const auto &browse =
+        verdicts[static_cast<std::size_t>(RequestType::Browse)];
+    EXPECT_TRUE(browse.pass);
+    EXPECT_NEAR(browse.p90_seconds, 0.5, 1e-9);
+
+    ResponseTracker failing;
+    for (int i = 0; i < 10; ++i)
+        failing.complete(
+            makeRequest(static_cast<std::uint64_t>(i),
+                        RequestType::Browse, 0),
+            secs(3));
+    EXPECT_FALSE(failing.allPass());
+}
+
+TEST(ResponseTrackerTest, RmiGetsLooserBound)
+{
+    ResponseTracker tracker;
+    for (int i = 0; i < 10; ++i)
+        tracker.complete(
+            makeRequest(static_cast<std::uint64_t>(i),
+                        RequestType::CreateWorkOrder, 0),
+            secs(4));
+    EXPECT_TRUE(tracker.allPass()); // 4 s < 5 s RMI bound
+}
+
+TEST(ResponseTrackerTest, EmptyTypePasses)
+{
+    ResponseTracker tracker;
+    EXPECT_TRUE(tracker.allPass());
+}
+
+TEST(ResponseTrackerTest, ThroughputSeriesBucketsCompletions)
+{
+    ResponseTracker tracker(10.0); // 10-second buckets
+    for (int i = 0; i < 40; ++i)
+        tracker.complete(
+            makeRequest(static_cast<std::uint64_t>(i),
+                        RequestType::Browse, 0),
+            secs(5)); // all in bucket 0
+    const TimeSeries series =
+        tracker.throughputSeries(RequestType::Browse, secs(30));
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series.value(0), 4.0); // 40 / 10 s
+    EXPECT_DOUBLE_EQ(series.value(1), 0.0);
+}
+
+TEST(ResponseTrackerTest, JopsOverWindow)
+{
+    ResponseTracker tracker;
+    for (int i = 0; i < 100; ++i)
+        tracker.complete(makeRequest(static_cast<std::uint64_t>(i),
+                                     RequestType::Manage, 0),
+                         secs(10) + i);
+    EXPECT_NEAR(tracker.jops(secs(10), secs(11)), 100.0, 1.0);
+    EXPECT_DOUBLE_EQ(tracker.jops(secs(20), secs(30)), 0.0);
+}
+
+TEST(ResponseTrackerTest, MeanResponse)
+{
+    ResponseTracker tracker;
+    tracker.complete(makeRequest(1, RequestType::Browse, 0), secs(1));
+    tracker.complete(makeRequest(2, RequestType::Browse, 0), secs(3));
+    EXPECT_DOUBLE_EQ(tracker.meanResponseSeconds(RequestType::Browse),
+                     2.0);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hpm/counter_group.h"
+#include "hpm/events.h"
+
+namespace jasim {
+namespace {
+
+TEST(CounterGroupTest, GroupsRespectCounterBudget)
+{
+    for (const auto &group : power4Groups())
+        EXPECT_LE(group.events.size(), 6u) << group.name;
+}
+
+TEST(CounterGroupTest, AllModelledEventsCovered)
+{
+    HpmFacility facility(power4Groups());
+    for (const char *event :
+         {event::l1dLoadMiss, event::dataFromL2, event::instFetchL1,
+          event::deratMiss, event::condMispredict, event::streamAlloc,
+          event::srqSyncCycles})
+        EXPECT_TRUE(facility.groupOf(event).has_value()) << event;
+}
+
+TEST(CounterGroupTest, CyclesAndInstsImplicitNotGrouped)
+{
+    HpmFacility facility(power4Groups());
+    EXPECT_FALSE(facility.groupOf(event::cycles).has_value());
+    EXPECT_FALSE(facility.groupOf(event::instCompleted).has_value());
+}
+
+TEST(CounterGroupTest, SameGroupSemantics)
+{
+    HpmFacility facility(power4Groups());
+    // The paper's three prose correlations need their pairs co-grouped.
+    EXPECT_TRUE(
+        facility.sameGroup(event::branches, event::targetMispredict));
+    EXPECT_TRUE(
+        facility.sameGroup(event::condMispredict, event::branches));
+    EXPECT_TRUE(
+        facility.sameGroup(event::instDispatched, event::l1dLoadMiss));
+    // Cross-group pairs cannot be correlated, as on real hardware.
+    EXPECT_FALSE(
+        facility.sameGroup(event::deratMiss, event::condMispredict));
+}
+
+TEST(CounterGroupTest, EventInOnlyOneGroup)
+{
+    const auto groups = power4Groups();
+    std::map<std::string, int> seen;
+    for (const auto &g : groups)
+        for (const auto &e : g.events)
+            ++seen[e];
+    for (const auto &[name, count] : seen)
+        EXPECT_EQ(count, 1) << name;
+}
+
+} // namespace
+} // namespace jasim

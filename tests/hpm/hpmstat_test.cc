@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "hpm/events.h"
+#include "hpm/hpmstat.h"
+
+namespace jasim {
+namespace {
+
+std::map<std::string, std::uint64_t>
+window(std::uint64_t cycles, std::uint64_t insts,
+       std::uint64_t derat_misses, std::uint64_t cond_misses)
+{
+    return {{event::cycles, cycles},
+            {event::instCompleted, insts},
+            {event::deratMiss, derat_misses},
+            {event::condMispredict, cond_misses}};
+}
+
+TEST(HpmStatTest, GroupRotation)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 3);
+    EXPECT_EQ(hpm.activeGroup(0), 0u);
+    EXPECT_EQ(hpm.activeGroup(2), 0u);
+    EXPECT_EQ(hpm.activeGroup(3), 1u);
+    EXPECT_EQ(hpm.activeGroup(3 * 7), 0u); // wraps over all groups
+}
+
+TEST(HpmStatTest, OnlyActiveGroupSampled)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    // Window 0 -> group 0 ("basic"); deratMiss is in group "xlat".
+    hpm.recordWindow(100, window(1000, 500, 7, 3));
+    EXPECT_EQ(hpm.samples(event::deratMiss).count.size(), 0u);
+    EXPECT_GT(hpm.samples(event::l1dLoadMiss).cycles.size(), 0u);
+}
+
+TEST(HpmStatTest, EventSamplesAlignedWithCyclesAndInsts)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    for (int w = 0; w < 21; ++w)
+        hpm.recordWindow(static_cast<SimTime>(w),
+                         window(3000, 1000, 10, 5));
+    const EventSamples &s = hpm.samples(event::deratMiss);
+    ASSERT_EQ(s.count.size(), 3u); // group "xlat" active 3 of 21
+    EXPECT_DOUBLE_EQ(s.cpi().value(0), 3.0);
+    EXPECT_DOUBLE_EQ(s.ratePerInst().value(0), 0.01);
+}
+
+TEST(HpmStatTest, CpiCorrelationDetectsRelationship)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    // Make derat rate proportional to CPI across its group's windows.
+    // Vary by w/7 so the signal is not aliased with group rotation.
+    for (int w = 0; w < 140; ++w) {
+        const std::uint64_t phase = (w / 7) % 5;
+        const std::uint64_t insts = 1000;
+        const std::uint64_t cycles = 2000 + phase * 500;
+        const std::uint64_t derat = 5 + phase * 10;
+        hpm.recordWindow(static_cast<SimTime>(w),
+                         window(cycles, insts, derat, 3));
+    }
+    EXPECT_GT(hpm.cpiCorrelation(event::deratMiss), 0.95);
+}
+
+TEST(HpmStatTest, PerWindowBasisUsesRawCounts)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    for (int w = 0; w < 140; ++w) {
+        // Constant per-inst rate; inst volume inversely follows CPI.
+        const std::uint64_t cycles = 10000;
+        const std::uint64_t insts = 1000 + ((w / 7) % 5) * 500;
+        std::map<std::string, std::uint64_t> delta{
+            {event::cycles, cycles},
+            {event::instCompleted, insts},
+            {event::cyclesWithCompletion, insts / 2}};
+        hpm.recordWindow(static_cast<SimTime>(w), delta);
+    }
+    // Per-inst basis: flat -> ~0. Per-window: tracks volume -> anti-CPI.
+    EXPECT_NEAR(hpm.cpiCorrelation(event::cyclesWithCompletion,
+                                   HpmStat::Basis::PerInst),
+                0.0, 0.1);
+    EXPECT_LT(hpm.cpiCorrelation(event::cyclesWithCompletion,
+                                 HpmStat::Basis::PerWindow),
+              -0.9);
+}
+
+TEST(HpmStatTest, CrossCorrelationRequiresSameGroup)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    for (int w = 0; w < 140; ++w)
+        hpm.recordWindow(static_cast<SimTime>(w),
+                         window(2000, 1000, 5, 3));
+    EXPECT_FALSE(
+        hpm.crossCorrelation(event::deratMiss, event::condMispredict)
+            .has_value());
+    EXPECT_TRUE(
+        hpm.crossCorrelation(event::condBranches, event::condMispredict)
+            .has_value());
+}
+
+TEST(HpmStatTest, TooFewSamplesGiveZero)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    hpm.recordWindow(0, window(1000, 500, 5, 2));
+    EXPECT_DOUBLE_EQ(hpm.cpiCorrelation(event::l1dLoadMiss), 0.0);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpm/events.h"
+#include "hpm/report.h"
+
+namespace jasim {
+namespace {
+
+TEST(HpmReportTest, GroupReportShowsCountersAndRates)
+{
+    HpmFacility facility(power4Groups());
+    std::map<std::string, std::uint64_t> delta{
+        {event::cycles, 300000},
+        {event::instCompleted, 100000},
+        {event::deratMiss, 1000},
+        {event::dtlbMiss, 50},
+    };
+    const auto group = facility.groupOf(event::deratMiss);
+    ASSERT_TRUE(group.has_value());
+    std::ostringstream os;
+    printGroupReport(os, facility, *group, delta);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("PM_DERAT_MISS"), std::string::npos);
+    EXPECT_NE(out.find("CPI=3.000"), std::string::npos);
+    EXPECT_NE(out.find("1.000e-02/inst"), std::string::npos);
+}
+
+TEST(HpmReportTest, RunReportListsSampledEvents)
+{
+    HpmStat hpm(HpmFacility(power4Groups()), 1);
+    for (int w = 0; w < 21; ++w) {
+        std::map<std::string, std::uint64_t> delta{
+            {event::cycles, 3000},
+            {event::instCompleted, 1000},
+            {event::deratMiss, 10},
+            {event::l1dLoadMiss, 20},
+        };
+        hpm.recordWindow(static_cast<SimTime>(w), delta);
+    }
+    std::ostringstream os;
+    printRunReport(os, hpm);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("PM_DERAT_MISS"), std::string::npos);
+    EXPECT_NE(out.find("PM_LD_MISS_L1"), std::string::npos);
+    EXPECT_NE(out.find("r(CPI)"), std::string::npos);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "jvm/jit.h"
+
+namespace jasim {
+namespace {
+
+class JitTest : public ::testing::Test
+{
+  protected:
+    JitTest() : registry_(100, 1), jit_(JitConfig{}, registry_) {}
+
+    MethodRegistry registry_;
+    JitCompiler jit_;
+};
+
+TEST_F(JitTest, StartsInterpreted)
+{
+    EXPECT_EQ(jit_.tier(0), CompileTier::Interpreted);
+    EXPECT_DOUBLE_EQ(jit_.speedup(0), 1.0);
+}
+
+TEST_F(JitTest, WarmThresholdTriggersCompile)
+{
+    const double cost = jit_.recordInvocations(0, 1000, secs(1));
+    EXPECT_GT(cost, 0.0);
+    EXPECT_EQ(jit_.tier(0), CompileTier::Warm);
+    EXPECT_GT(jit_.codeCacheBytes(), 0u);
+}
+
+TEST_F(JitTest, TiersEscalateWithInvocations)
+{
+    jit_.recordInvocations(1, 1000, secs(1));
+    EXPECT_EQ(jit_.tier(1), CompileTier::Warm);
+    jit_.recordInvocations(1, 49000, secs(2));
+    EXPECT_EQ(jit_.tier(1), CompileTier::Hot);
+    jit_.recordInvocations(1, 950000, secs(100));
+    EXPECT_EQ(jit_.tier(1), CompileTier::Scorching);
+    EXPECT_DOUBLE_EQ(jit_.speedup(1), JitConfig{}.scorching_speedup);
+}
+
+TEST_F(JitTest, BigJumpCrossesMultipleTiers)
+{
+    const double cost = jit_.recordInvocations(2, 10'000'000, secs(1));
+    EXPECT_EQ(jit_.tier(2), CompileTier::Scorching);
+    // All three compilations charged at once.
+    EXPECT_EQ(jit_.compileLog().size(), 3u);
+    EXPECT_GT(cost, 0.0);
+}
+
+TEST_F(JitTest, HigherTiersCostMore)
+{
+    jit_.recordInvocations(3, 1000, secs(1));
+    const double warm_cost = jit_.compileLog().back().compile_us;
+    jit_.recordInvocations(3, 100000, secs(2));
+    const double hot_cost = jit_.compileLog().back().compile_us;
+    EXPECT_GT(hot_cost, warm_cost);
+}
+
+TEST_F(JitTest, ColdMethodsStayInterpreted)
+{
+    jit_.recordInvocations(4, 10, secs(1));
+    EXPECT_EQ(jit_.tier(4), CompileTier::Interpreted);
+    EXPECT_EQ(jit_.methodsAtOrAbove(CompileTier::Warm), 0u);
+}
+
+TEST_F(JitTest, MethodsAtOrAboveCounts)
+{
+    jit_.recordInvocations(0, 2000, secs(1));
+    jit_.recordInvocations(1, 100000, secs(1));
+    EXPECT_EQ(jit_.methodsAtOrAbove(CompileTier::Warm), 2u);
+    EXPECT_EQ(jit_.methodsAtOrAbove(CompileTier::Hot), 1u);
+}
+
+TEST_F(JitTest, TotalCompileTimeAccumulates)
+{
+    jit_.recordInvocations(0, 2000, secs(1));
+    jit_.recordInvocations(1, 2000, secs(1));
+    double sum = 0.0;
+    for (const auto &record : jit_.compileLog())
+        sum += record.compile_us;
+    EXPECT_DOUBLE_EQ(jit_.totalCompileUs(), sum);
+}
+
+TEST_F(JitTest, TierNames)
+{
+    EXPECT_STREQ(compileTierName(CompileTier::Interpreted),
+                 "interpreted");
+    EXPECT_STREQ(compileTierName(CompileTier::Scorching), "scorching");
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "jvm/verbose_gc_format.h"
+
+namespace jasim {
+namespace {
+
+GcEvent
+sampleEvent()
+{
+    GcEvent e;
+    e.start = secs(26);
+    e.mark_ms = 320.0;
+    e.sweep_ms = 64.0;
+    e.used_before = 900ull << 20;
+    e.used_after = 216ull << 20;
+    e.live_bytes = 215ull << 20;
+    e.dark_bytes = 1ull << 20;
+    e.freed_bytes = 684ull << 20;
+    e.live_cells = 60000;
+    e.reclaimed_cells = 180000;
+    return e;
+}
+
+TEST(VerboseGcFormatTest, EventRecordFields)
+{
+    std::ostringstream os;
+    printVerboseGcEvent(os, sampleEvent(), 3, 1024ull << 20);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("id=\"3\""), std::string::npos);
+    EXPECT_NE(out.find("<mark ms=\"320.0\"/>"), std::string::npos);
+    EXPECT_NE(out.find("<sweep ms=\"64.0\"/>"), std::string::npos);
+    EXPECT_NE(out.find("used=\"216.0MB\""), std::string::npos);
+    EXPECT_NE(out.find("free=\"808.0MB\""), std::string::npos);
+    EXPECT_NE(out.find("reclaimed cells=\"180000\""),
+              std::string::npos);
+    EXPECT_EQ(out.find("<compact"), std::string::npos);
+}
+
+TEST(VerboseGcFormatTest, CompactionShownWhenPresent)
+{
+    GcEvent e = sampleEvent();
+    e.compacted = true;
+    e.compact_ms = 512.0;
+    std::ostringstream os;
+    printVerboseGcEvent(os, e, 0, 1024ull << 20);
+    EXPECT_NE(os.str().find("<compact ms=\"512.0\"/>"),
+              std::string::npos);
+}
+
+TEST(VerboseGcFormatTest, LogIncludesSummary)
+{
+    VerboseGcLog log;
+    GcEvent a = sampleEvent();
+    GcEvent b = sampleEvent();
+    b.start = secs(52);
+    log.record(a);
+    log.record(b);
+    std::ostringstream os;
+    printVerboseGcLog(os, log, 1024ull << 20, secs(60));
+    const std::string out = os.str();
+    EXPECT_NE(out.find("<summary collections=\"2\""),
+              std::string::npos);
+    EXPECT_NE(out.find("interval=\"26.00s\""), std::string::npos);
+    EXPECT_NE(out.find("pause=\"384ms\""), std::string::npos);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "jvm/verbose_gc.h"
+
+namespace jasim {
+namespace {
+
+GcEvent
+makeEvent(SimTime start, double mark_ms, double sweep_ms,
+          std::uint64_t used_after)
+{
+    GcEvent e;
+    e.start = start;
+    e.mark_ms = mark_ms;
+    e.sweep_ms = sweep_ms;
+    e.used_after = used_after;
+    e.live_bytes = used_after;
+    return e;
+}
+
+TEST(VerboseGcTest, EmptyLogSafe)
+{
+    VerboseGcLog log;
+    const GcSummary summary = log.summarize(secs(60));
+    EXPECT_EQ(summary.collections, 0u);
+    EXPECT_DOUBLE_EQ(summary.gc_time_fraction, 0.0);
+}
+
+TEST(VerboseGcTest, IntervalStatistics)
+{
+    VerboseGcLog log;
+    for (int i = 0; i < 10; ++i)
+        log.record(makeEvent(secs(26.0 * i), 300, 60, 200 << 20));
+    const GcSummary summary = log.summarize(secs(260));
+    EXPECT_EQ(summary.collections, 10u);
+    EXPECT_NEAR(summary.mean_interval_s, 26.0, 0.01);
+    EXPECT_NEAR(summary.min_interval_s, 26.0, 0.01);
+    EXPECT_NEAR(summary.max_interval_s, 26.0, 0.01);
+}
+
+TEST(VerboseGcTest, PauseAndPhaseShares)
+{
+    VerboseGcLog log;
+    log.record(makeEvent(secs(0), 320, 80, 100));
+    log.record(makeEvent(secs(26), 280, 120, 100));
+    const GcSummary summary = log.summarize(secs(52));
+    EXPECT_NEAR(summary.mean_pause_ms, 400.0, 1e-9);
+    EXPECT_NEAR(summary.mark_fraction, 600.0 / 800.0, 1e-9);
+    EXPECT_NEAR(summary.sweep_fraction, 200.0 / 800.0, 1e-9);
+}
+
+TEST(VerboseGcTest, GcTimeFraction)
+{
+    VerboseGcLog log;
+    // 10 GCs x 400 ms over 300 s => ~1.33%.
+    for (int i = 0; i < 10; ++i)
+        log.record(makeEvent(secs(30.0 * i), 340, 60, 100));
+    const GcSummary summary = log.summarize(secs(300));
+    EXPECT_NEAR(summary.gc_time_fraction, 4.0 / 300.0, 1e-6);
+}
+
+TEST(VerboseGcTest, LiveGrowthSlope)
+{
+    VerboseGcLog log;
+    // used-after grows 1 MB per minute.
+    for (int i = 0; i < 20; ++i) {
+        log.record(makeEvent(
+            secs(60.0 * i), 300, 60,
+            (200ull << 20) + static_cast<std::uint64_t>(i) * (1 << 20)));
+    }
+    const GcSummary summary = log.summarize(secs(1200));
+    EXPECT_NEAR(summary.live_growth_bytes_per_min, 1 << 20,
+                (1 << 20) / 100.0);
+}
+
+TEST(VerboseGcTest, CompactionsCounted)
+{
+    VerboseGcLog log;
+    GcEvent e = makeEvent(secs(0), 300, 60, 100);
+    e.compacted = true;
+    e.compact_ms = 500;
+    log.record(e);
+    log.record(makeEvent(secs(26), 300, 60, 100));
+    const GcSummary summary = log.summarize(secs(60));
+    EXPECT_EQ(summary.compactions, 1u);
+    EXPECT_NEAR(summary.max_pause_ms, 860.0, 1e-9);
+}
+
+} // namespace
+} // namespace jasim

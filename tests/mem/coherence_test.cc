@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mem/coherence.h"
+
+namespace jasim {
+namespace {
+
+class CoherenceTest : public ::testing::Test
+{
+  protected:
+    CoherenceTest()
+        : l2a_(geometry(), ReplacementPolicy::LRU),
+          l2b_(geometry(), ReplacementPolicy::LRU),
+          bus_({&l2a_, &l2b_})
+    {
+    }
+
+    static CacheGeometry geometry() { return {4096, 64, 4}; }
+
+    SetAssocCache l2a_;
+    SetAssocCache l2b_;
+    MesiBus bus_;
+};
+
+TEST_F(CoherenceTest, ReadSnoopFindsRemoteAndDowngrades)
+{
+    l2b_.fill(0x1000, MesiState::Exclusive);
+    const SnoopResult snoop = bus_.snoopRead(0, 0x1000);
+    EXPECT_TRUE(snoop.found);
+    EXPECT_EQ(snoop.supplier, 1u);
+    EXPECT_EQ(snoop.supplier_state, MesiState::Exclusive);
+    EXPECT_EQ(l2b_.state(0x1000), MesiState::Shared);
+}
+
+TEST_F(CoherenceTest, ModifiedSupplierReportsModified)
+{
+    l2b_.fill(0x2000, MesiState::Modified);
+    const SnoopResult snoop = bus_.snoopRead(0, 0x2000);
+    EXPECT_TRUE(snoop.found);
+    EXPECT_EQ(snoop.supplier_state, MesiState::Modified);
+    EXPECT_EQ(l2b_.state(0x2000), MesiState::Shared); // implied WB
+}
+
+TEST_F(CoherenceTest, ReadMissNowhereFound)
+{
+    const SnoopResult snoop = bus_.snoopRead(0, 0x3000);
+    EXPECT_FALSE(snoop.found);
+    EXPECT_EQ(MesiBus::fillStateAfterRead(snoop), MesiState::Exclusive);
+}
+
+TEST_F(CoherenceTest, FillStateSharedWhenRemoteCopyExists)
+{
+    l2b_.fill(0x4000, MesiState::Shared);
+    const SnoopResult snoop = bus_.snoopRead(0, 0x4000);
+    EXPECT_EQ(MesiBus::fillStateAfterRead(snoop), MesiState::Shared);
+    EXPECT_EQ(l2b_.state(0x4000), MesiState::Shared);
+}
+
+TEST_F(CoherenceTest, RfoInvalidatesRemoteCopies)
+{
+    l2b_.fill(0x5000, MesiState::Shared);
+    const SnoopResult snoop = bus_.snoopReadForOwnership(0, 0x5000);
+    EXPECT_TRUE(snoop.found);
+    EXPECT_EQ(l2b_.state(0x5000), MesiState::Invalid);
+}
+
+TEST_F(CoherenceTest, RequesterOwnCopyNotSnooped)
+{
+    l2a_.fill(0x6000, MesiState::Exclusive);
+    const SnoopResult snoop = bus_.snoopRead(0, 0x6000);
+    EXPECT_FALSE(snoop.found);
+    EXPECT_EQ(l2a_.state(0x6000), MesiState::Exclusive);
+}
+
+TEST_F(CoherenceTest, SingleWriterInvariantAfterRfo)
+{
+    // Both caches get the line shared, then cache 0 writes.
+    l2a_.fill(0x7000, MesiState::Shared);
+    l2b_.fill(0x7000, MesiState::Shared);
+    bus_.snoopReadForOwnership(0, 0x7000);
+    l2a_.setState(0x7000, MesiState::Modified);
+    // Invariant: at most one Modified copy; no other valid copies.
+    EXPECT_EQ(l2a_.state(0x7000), MesiState::Modified);
+    EXPECT_EQ(l2b_.state(0x7000), MesiState::Invalid);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "os/disk.h"
+
+namespace jasim {
+namespace {
+
+TEST(DiskTest, RamDiskIsMicroseconds)
+{
+    DiskConfig config; // RAM disk default
+    DiskModel disk(config);
+    const IoResult io = disk.read(0, 4);
+    EXPECT_LE(io.service, 20u);
+    EXPECT_EQ(io.queued, 0u);
+}
+
+TEST(DiskTest, SpinningDiskIsMilliseconds)
+{
+    DiskConfig config;
+    config.kind = DiskConfig::Kind::Spinning;
+    DiskModel disk(config);
+    const IoResult io = disk.read(0, 1);
+    EXPECT_GE(io.service, millis(4));
+}
+
+TEST(DiskTest, QueueingWhenBusy)
+{
+    DiskConfig config;
+    config.kind = DiskConfig::Kind::Spinning;
+    config.spindles = 1;
+    DiskModel disk(config);
+    const IoResult first = disk.read(0, 1);
+    const IoResult second = disk.read(0, 1);
+    EXPECT_GT(second.queued, 0u);
+    EXPECT_EQ(second.completion, first.completion + second.service);
+}
+
+TEST(DiskTest, MoreSpindlesReduceQueueing)
+{
+    DiskConfig one;
+    one.kind = DiskConfig::Kind::Spinning;
+    one.spindles = 1;
+    DiskConfig four = one;
+    four.spindles = 4;
+    DiskModel d1(one), d4(four);
+    SimTime q1 = 0, q4 = 0;
+    for (int i = 0; i < 8; ++i) {
+        q1 += d1.read(0, 1).queued;
+        q4 += d4.read(0, 1).queued;
+    }
+    EXPECT_GT(q1, q4);
+}
+
+TEST(DiskTest, TransferTimeScalesWithBytes)
+{
+    DiskConfig config;
+    config.kind = DiskConfig::Kind::Spinning;
+    DiskModel disk(config);
+    const IoResult small = disk.write(secs(10), 4096);
+    const IoResult large = disk.write(secs(20), 4 * 1024 * 1024);
+    EXPECT_GT(large.service, small.service);
+}
+
+TEST(DiskTest, UtilizationAccounting)
+{
+    DiskConfig config;
+    config.kind = DiskConfig::Kind::Spinning;
+    DiskModel disk(config);
+    disk.read(0, 1);
+    EXPECT_GT(disk.utilization(secs(1)), 0.0);
+    EXPECT_LE(disk.utilization(secs(1)), 1.0);
+    EXPECT_EQ(disk.requestCount(), 1u);
+}
+
+TEST(DiskTest, LaterArrivalsNoQueueWhenIdle)
+{
+    DiskConfig config;
+    config.kind = DiskConfig::Kind::Spinning;
+    DiskModel disk(config);
+    disk.read(0, 1);
+    const IoResult later = disk.read(secs(10), 1);
+    EXPECT_EQ(later.queued, 0u);
+}
+
+} // namespace
+} // namespace jasim

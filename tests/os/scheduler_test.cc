@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "os/scheduler.h"
+
+namespace jasim {
+namespace {
+
+TEST(SchedulerTest, IdleCpuRunsImmediately)
+{
+    CpuScheduler sched(4);
+    const BurstResult r = sched.run(100, 50.0, Component::WasJit);
+    EXPECT_EQ(r.start, 100u);
+    EXPECT_EQ(r.completion, 150u);
+}
+
+TEST(SchedulerTest, BurstsSpreadAcrossCpus)
+{
+    CpuScheduler sched(2);
+    const auto a = sched.run(0, 100.0, Component::WasJit);
+    const auto b = sched.run(0, 100.0, Component::WasJit);
+    EXPECT_NE(a.cpu, b.cpu);
+    EXPECT_EQ(b.start, 0u); // second CPU was free
+}
+
+TEST(SchedulerTest, QueueingWhenAllBusy)
+{
+    CpuScheduler sched(1);
+    sched.run(0, 100.0, Component::WasJit);
+    const auto b = sched.run(0, 100.0, Component::Db2);
+    EXPECT_EQ(b.start, 100u);
+    EXPECT_EQ(b.completion, 200u);
+}
+
+TEST(SchedulerTest, BusyAccountingPerComponent)
+{
+    CpuScheduler sched(4);
+    sched.run(0, 100.0, Component::WasJit);
+    sched.run(0, 50.0, Component::Db2);
+    sched.run(0, 25.0, Component::Db2);
+    EXPECT_EQ(sched.busyBy(Component::WasJit), 100u);
+    EXPECT_EQ(sched.busyBy(Component::Db2), 75u);
+    EXPECT_EQ(sched.totalBusy(), 175u);
+}
+
+TEST(SchedulerTest, UtilizationFractionOfCapacity)
+{
+    CpuScheduler sched(4);
+    sched.run(0, 1000.0, Component::WasJit);
+    EXPECT_NEAR(sched.utilization(1000), 0.25, 1e-9);
+}
+
+TEST(SchedulerTest, BlockAllReservesEveryCpu)
+{
+    CpuScheduler sched(2);
+    sched.blockAll(100, 200, Component::GcMark);
+    const auto r = sched.run(100, 10.0, Component::WasJit);
+    EXPECT_EQ(r.start, 200u);
+    EXPECT_EQ(sched.busyBy(Component::GcMark), 200u); // 100 us x 2 cpus
+}
+
+TEST(SchedulerTest, BlockAllAfterPartialBusy)
+{
+    CpuScheduler sched(2);
+    sched.run(0, 150.0, Component::WasJit); // cpu0 busy until 150
+    sched.blockAll(100, 200, Component::GcSweep);
+    // GC charged from each CPU's availability to 200.
+    EXPECT_EQ(sched.busyBy(Component::GcSweep), 50u + 100u);
+    EXPECT_EQ(sched.earliestFree(), 200u);
+}
+
+TEST(SchedulerTest, SnapshotMatchesAccessors)
+{
+    CpuScheduler sched(4);
+    sched.run(0, 42.0, Component::Kernel);
+    const auto snap = sched.busySnapshot();
+    EXPECT_EQ(snap[static_cast<std::size_t>(Component::Kernel)], 42u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "os/vmstat.h"
+
+namespace jasim {
+namespace {
+
+VmStatRow
+row(SimTime t, double user, double system, double idle, double iowait)
+{
+    return VmStatRow{t, user, system, idle, iowait};
+}
+
+TEST(VmStatTest, MeanOverAllRows)
+{
+    VmStat vm;
+    vm.record(row(secs(1), 80, 20, 0, 0));
+    vm.record(row(secs(2), 60, 20, 20, 0));
+    const VmStatRow mean = vm.mean();
+    EXPECT_DOUBLE_EQ(mean.user_pct, 70.0);
+    EXPECT_DOUBLE_EQ(mean.system_pct, 20.0);
+    EXPECT_DOUBLE_EQ(mean.idle_pct, 10.0);
+}
+
+TEST(VmStatTest, WindowedMean)
+{
+    VmStat vm;
+    vm.record(row(secs(1), 100, 0, 0, 0));
+    vm.record(row(secs(10), 50, 0, 50, 0));
+    vm.record(row(secs(20), 0, 0, 100, 0));
+    const VmStatRow mean = vm.mean(secs(5), secs(15));
+    EXPECT_DOUBLE_EQ(mean.user_pct, 50.0);
+}
+
+TEST(VmStatTest, EmptySafe)
+{
+    VmStat vm;
+    const VmStatRow mean = vm.mean();
+    EXPECT_DOUBLE_EQ(mean.user_pct, 0.0);
+}
+
+TEST(VmStatTest, KernelIsTheOnlySystemComponent)
+{
+    EXPECT_TRUE(isSystemComponent(Component::Kernel));
+    EXPECT_FALSE(isSystemComponent(Component::WasJit));
+    EXPECT_FALSE(isSystemComponent(Component::GcMark)); // JVM = user
+    EXPECT_FALSE(isSystemComponent(Component::Db2));
+}
+
+} // namespace
+} // namespace jasim

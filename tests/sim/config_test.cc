@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+
+namespace jasim {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValueArgs)
+{
+    const char *argv[] = {"prog", "ir=40", "seed=7", "disk=ramdisk"};
+    Config config =
+        Config::fromArgs(4, const_cast<char **>(argv));
+    EXPECT_EQ(config.getInt("ir", 0), 40);
+    EXPECT_EQ(config.getInt("seed", 0), 7);
+    EXPECT_EQ(config.getString("disk", ""), "ramdisk");
+}
+
+TEST(ConfigTest, IgnoresMalformedArgs)
+{
+    const char *argv[] = {"prog", "noequals", "=value", "ok=1"};
+    Config config =
+        Config::fromArgs(4, const_cast<char **>(argv));
+    EXPECT_FALSE(config.has("noequals"));
+    EXPECT_TRUE(config.has("ok"));
+}
+
+TEST(ConfigTest, FallbacksWhenAbsent)
+{
+    Config config;
+    EXPECT_EQ(config.getInt("x", 123), 123);
+    EXPECT_DOUBLE_EQ(config.getDouble("y", 4.5), 4.5);
+    EXPECT_EQ(config.getString("z", "dflt"), "dflt");
+    EXPECT_TRUE(config.getBool("b", true));
+}
+
+TEST(ConfigTest, BoolParsing)
+{
+    Config config;
+    config.set("a", "1");
+    config.set("b", "true");
+    config.set("c", "off");
+    config.set("d", "yes");
+    EXPECT_TRUE(config.getBool("a", false));
+    EXPECT_TRUE(config.getBool("b", false));
+    EXPECT_FALSE(config.getBool("c", true));
+    EXPECT_TRUE(config.getBool("d", false));
+}
+
+TEST(ConfigTest, DoubleAndHexInts)
+{
+    Config config;
+    config.set("f", "2.75");
+    config.set("h", "0x10");
+    EXPECT_DOUBLE_EQ(config.getDouble("f", 0.0), 2.75);
+    EXPECT_EQ(config.getInt("h", 0), 16);
+}
+
+TEST(ConfigTest, SetOverwrites)
+{
+    Config config;
+    config.set("k", "1");
+    config.set("k", "2");
+    EXPECT_EQ(config.getInt("k", 0), 2);
+    EXPECT_EQ(config.entries().size(), 1u);
+}
+
+} // namespace
+} // namespace jasim

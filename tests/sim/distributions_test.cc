@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/distributions.h"
+
+namespace jasim {
+namespace {
+
+TEST(DistributionsTest, ExponentialMeanMatchesRate)
+{
+    Rng rng(1);
+    const double rate = 4.0;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += drawExponential(rng, rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(DistributionsTest, ExponentialNonNegative)
+{
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(drawExponential(rng, 0.5), 0.0);
+}
+
+TEST(DistributionsTest, PoissonSmallMean)
+{
+    Rng rng(3);
+    const double mean = 3.5;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(drawPoisson(rng, mean));
+    EXPECT_NEAR(sum / n, mean, 0.05);
+}
+
+TEST(DistributionsTest, PoissonLargeMeanUsesApproximation)
+{
+    Rng rng(4);
+    const double mean = 200.0;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(drawPoisson(rng, mean));
+    EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(DistributionsTest, PoissonZeroMean)
+{
+    Rng rng(5);
+    EXPECT_EQ(drawPoisson(rng, 0.0), 0u);
+}
+
+TEST(DistributionsTest, NormalMoments)
+{
+    Rng rng(6);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = drawNormal(rng, 10.0, 2.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.03);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.03);
+}
+
+TEST(DistributionsTest, LogNormalPositive)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GT(drawLogNormal(rng, 0.0, 1.0), 0.0);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostProbable)
+{
+    ZipfSampler zipf(100, 1.0);
+    EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+    EXPECT_GT(zipf.pmf(1), zipf.pmf(50));
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne)
+{
+    ZipfSampler zipf(500, 0.8);
+    double total = 0.0;
+    for (std::size_t i = 0; i < zipf.size(); ++i)
+        total += zipf.pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, ShiftFlattensHead)
+{
+    ZipfSampler sharp(1000, 1.0, 0.0);
+    ZipfSampler flat(1000, 1.0, 20.0);
+    EXPECT_GT(sharp.pmf(0), flat.pmf(0));
+}
+
+TEST(ZipfSamplerTest, EmpiricalMatchesPmf)
+{
+    Rng rng(8);
+    ZipfSampler zipf(50, 1.2);
+    std::vector<int> counts(50, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf(rng)];
+    EXPECT_NEAR(counts[0] / double(n), zipf.pmf(0), 0.01);
+    EXPECT_NEAR(counts[5] / double(n), zipf.pmf(5), 0.01);
+}
+
+TEST(ZipfSamplerTest, SampleAtIsMonotone)
+{
+    ZipfSampler zipf(100, 1.0);
+    EXPECT_EQ(zipf.sampleAt(0.0), 0u);
+    EXPECT_LE(zipf.sampleAt(0.2), zipf.sampleAt(0.8));
+    EXPECT_LT(zipf.sampleAt(0.999999), 100u);
+}
+
+TEST(DiscreteSamplerTest, RespectsWeights)
+{
+    Rng rng(9);
+    DiscreteSampler sampler({1.0, 0.0, 3.0});
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[sampler(rng)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / double(n), 0.25, 0.01);
+    EXPECT_NEAR(counts[2] / double(n), 0.75, 0.01);
+}
+
+TEST(DiscreteSamplerTest, ProbabilityAccessor)
+{
+    DiscreteSampler sampler({2.0, 6.0});
+    EXPECT_NEAR(sampler.probability(0), 0.25, 1e-12);
+    EXPECT_NEAR(sampler.probability(1), 0.75, 1e-12);
+}
+
+/** Property sweep: zipf concentration increases with the exponent. */
+class ZipfExponentTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfExponentTest, HeadShareGrowsWithExponent)
+{
+    const double s = GetParam();
+    ZipfSampler a(1000, s);
+    ZipfSampler b(1000, s + 0.3);
+    double head_a = 0.0, head_b = 0.0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        head_a += a.pmf(i);
+        head_b += b.pmf(i);
+    }
+    EXPECT_LT(head_a, head_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5));
+
+} // namespace
+} // namespace jasim

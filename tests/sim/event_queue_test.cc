@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace jasim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleAt(300, [&] { order.push_back(3); });
+    queue.scheduleAt(100, [&] { order.push_back(1); });
+    queue.scheduleAt(200, [&] { order.push_back(2); });
+    queue.runUntil(1000);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        queue.scheduleAt(50, [&order, i] { order.push_back(i); });
+    queue.runUntil(100);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, HorizonIsInclusive)
+{
+    EventQueue queue;
+    bool ran = false;
+    queue.scheduleAt(100, [&] { ran = true; });
+    queue.runUntil(100);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, EventsBeyondHorizonStayPending)
+{
+    EventQueue queue;
+    bool ran = false;
+    queue.scheduleAt(101, [&] { ran = true; });
+    queue.runUntil(100);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(queue.pending(), 1u);
+    EXPECT_EQ(queue.now(), 100u);
+}
+
+TEST(EventQueueTest, NowAdvancesToEventTime)
+{
+    EventQueue queue;
+    SimTime seen = 0;
+    queue.scheduleAt(77, [&] { seen = queue.now(); });
+    queue.runUntil(200);
+    EXPECT_EQ(seen, 77u);
+    EXPECT_EQ(queue.now(), 200u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue queue;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        ++count;
+        if (count < 5)
+            queue.scheduleAfter(10, chain);
+    };
+    queue.scheduleAt(0, chain);
+    queue.runUntil(1000);
+    EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    SimTime when = 0;
+    queue.scheduleAt(40, [&] {
+        queue.scheduleAfter(5, [&] { when = queue.now(); });
+    });
+    queue.runUntil(100);
+    EXPECT_EQ(when, 45u);
+}
+
+TEST(EventQueueTest, StepRunsOneEvent)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.scheduleAt(1, [&] { ++count; });
+    queue.scheduleAt(2, [&] { ++count; });
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueueTest, ClearDropsPending)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.scheduleAt(10, [&] { ++count; });
+    queue.clear();
+    queue.runUntil(100);
+    EXPECT_EQ(count, 0);
+}
+
+TEST(EventQueueTest, RunUntilCountsExecutedEvents)
+{
+    EventQueue queue;
+    for (int i = 0; i < 7; ++i)
+        queue.scheduleAt(static_cast<SimTime>(i), [] {});
+    EXPECT_EQ(queue.runUntil(100), 7u);
+}
+
+} // namespace
+} // namespace jasim

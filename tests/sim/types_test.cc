@@ -1,0 +1,28 @@
+#include <gtest/gtest.h>
+
+#include "sim/types.h"
+
+namespace jasim {
+namespace {
+
+TEST(TypesTest, SecondConversionsRoundTrip)
+{
+    EXPECT_EQ(secs(1.0), 1000000u);
+    EXPECT_EQ(secs(0.5), 500000u);
+    EXPECT_DOUBLE_EQ(toSeconds(secs(42.0)), 42.0);
+}
+
+TEST(TypesTest, MillisecondConversion)
+{
+    EXPECT_EQ(millis(1.0), 1000u);
+    EXPECT_EQ(millis(350.0), 350000u);
+    EXPECT_EQ(secs(1.0), millis(1000.0));
+}
+
+TEST(TypesTest, FractionalMicrosecondsTruncate)
+{
+    EXPECT_EQ(millis(0.0005), 0u); // below 1 us resolution
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "stats/counter.h"
+
+namespace jasim {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates)
+{
+    Counter c("x");
+    c.increment();
+    c.increment(10);
+    EXPECT_EQ(c.value(), 11u);
+    EXPECT_EQ(c.name(), "x");
+}
+
+TEST(CounterTest, DeltaSinceSnapshot)
+{
+    Counter c("x");
+    c.increment(5);
+    const auto snap = c.value();
+    c.increment(7);
+    EXPECT_EQ(c.deltaSince(snap), 7u);
+}
+
+TEST(CounterSetTest, GetCreatesOnFirstUse)
+{
+    CounterSet set;
+    EXPECT_EQ(set.value("missing"), 0u);
+    set.get("a").increment(3);
+    EXPECT_EQ(set.value("a"), 3u);
+}
+
+TEST(CounterSetTest, AddConvenience)
+{
+    CounterSet set;
+    set.add("hits", 2);
+    set.add("hits", 3);
+    EXPECT_EQ(set.value("hits"), 5u);
+}
+
+TEST(CounterSetTest, SnapshotAndDelta)
+{
+    CounterSet set;
+    set.add("a", 10);
+    set.add("b", 20);
+    const auto snap = set.snapshot();
+    set.add("a", 1);
+    set.add("c", 5);
+    const auto delta = set.deltaSince(snap);
+    EXPECT_EQ(delta.at("a"), 1u);
+    EXPECT_EQ(delta.at("b"), 0u);
+    EXPECT_EQ(delta.at("c"), 5u);
+}
+
+TEST(CounterSetTest, ResetZeroesEverything)
+{
+    CounterSet set;
+    set.add("a", 4);
+    set.reset();
+    EXPECT_EQ(set.value("a"), 0u);
+}
+
+TEST(CounterSetTest, DeterministicIterationOrder)
+{
+    CounterSet set;
+    set.add("zebra", 1);
+    set.add("alpha", 1);
+    auto it = set.all().begin();
+    EXPECT_EQ(it->first, "alpha");
+}
+
+} // namespace
+} // namespace jasim

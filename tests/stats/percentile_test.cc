@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "stats/percentile.h"
+
+namespace jasim {
+namespace {
+
+TEST(PercentileTest, NearestRankSemantics)
+{
+    PercentileTracker t;
+    for (int i = 1; i <= 10; ++i)
+        t.add(i);
+    EXPECT_DOUBLE_EQ(t.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(t.percentile(90), 9.0);
+    EXPECT_DOUBLE_EQ(t.percentile(100), 10.0);
+    EXPECT_DOUBLE_EQ(t.percentile(10), 1.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero)
+{
+    PercentileTracker t;
+    EXPECT_DOUBLE_EQ(t.percentile(90), 0.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(t.max(), 0.0);
+}
+
+TEST(PercentileTest, AddAfterQueryResorts)
+{
+    PercentileTracker t;
+    t.add(5.0);
+    EXPECT_DOUBLE_EQ(t.percentile(50), 5.0);
+    t.add(1.0);
+    EXPECT_DOUBLE_EQ(t.percentile(50), 1.0);
+}
+
+TEST(PercentileTest, MeanAndMax)
+{
+    PercentileTracker t;
+    t.add(1.0);
+    t.add(2.0);
+    t.add(6.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(t.max(), 6.0);
+}
+
+TEST(HistogramTest, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(3.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(-5.0);  // clamped to bin 0
+    h.add(100.0); // clamped to bin 4
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, BinBounds)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 12.5);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 17.5);
+    EXPECT_DOUBLE_EQ(h.binHigh(3), 20.0);
+}
+
+} // namespace
+} // namespace jasim

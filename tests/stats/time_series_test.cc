@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "stats/time_series.h"
+
+namespace jasim {
+namespace {
+
+TimeSeries
+makeSeries(std::initializer_list<double> values)
+{
+    TimeSeries s("test");
+    SimTime t = 0;
+    for (double v : values)
+        s.append(t += 100, v);
+    return s;
+}
+
+TEST(TimeSeriesTest, AppendAndAccess)
+{
+    TimeSeries s = makeSeries({1.0, 2.0, 3.0});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.value(1), 2.0);
+    EXPECT_EQ(s.time(2), 300u);
+}
+
+TEST(TimeSeriesTest, MeanAndStddev)
+{
+    TimeSeries s = makeSeries({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(TimeSeriesTest, EmptySeriesSafeStats)
+{
+    TimeSeries s("empty");
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(TimeSeriesTest, MinMax)
+{
+    TimeSeries s = makeSeries({3.0, -1.0, 7.0});
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(TimeSeriesTest, SliceKeepsHalfOpenRange)
+{
+    TimeSeries s = makeSeries({1, 2, 3, 4, 5});
+    const TimeSeries sliced = s.slice(200, 400);
+    ASSERT_EQ(sliced.size(), 2u);
+    EXPECT_DOUBLE_EQ(sliced.value(0), 2.0);
+    EXPECT_DOUBLE_EQ(sliced.value(1), 3.0);
+}
+
+TEST(TimeSeriesTest, RatioElementwise)
+{
+    TimeSeries a = makeSeries({10, 20, 0});
+    TimeSeries b = makeSeries({2, 4, 0});
+    const TimeSeries r = a.ratio(b, "r");
+    EXPECT_DOUBLE_EQ(r.value(0), 5.0);
+    EXPECT_DOUBLE_EQ(r.value(1), 5.0);
+    EXPECT_DOUBLE_EQ(r.value(2), 0.0); // 0/0 -> 0
+}
+
+} // namespace
+} // namespace jasim

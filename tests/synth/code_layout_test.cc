@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "synth/code_layout.h"
+
+namespace jasim {
+namespace {
+
+TEST(CodeLayoutTest, SegmentsContiguousAndDisjoint)
+{
+    CodeLayout layout("t", 0x1000000, 1024 * 1024, 500, 800, 1.0, 1);
+    Addr cursor = 0x1000000;
+    for (std::size_t i = 0; i < layout.count(); ++i) {
+        const CodeSegment &seg = layout.segment(i);
+        EXPECT_EQ(seg.entry, cursor);
+        EXPECT_GE(seg.bytes, 64u);
+        cursor = seg.end();
+    }
+    EXPECT_EQ(layout.footprintBytes(), cursor - 0x1000000);
+}
+
+TEST(CodeLayoutTest, FitsRegionEvenWhenOversubscribed)
+{
+    // 2000 methods of mean 1 KB do not fit 512 KB; sizes rescale.
+    CodeLayout layout("t", 0, 512 * 1024, 2000, 1024, 1.0, 2);
+    EXPECT_LE(layout.footprintBytes(), 512u * 1024);
+    EXPECT_EQ(layout.count(), 2000u);
+}
+
+TEST(CodeLayoutTest, DeterministicForSeed)
+{
+    CodeLayout a("t", 0, 1024 * 1024, 100, 500, 1.0, 7);
+    CodeLayout b("t", 0, 1024 * 1024, 100, 500, 1.0, 7);
+    for (std::size_t i = 0; i < a.count(); ++i)
+        EXPECT_EQ(a.segment(i).bytes, b.segment(i).bytes);
+}
+
+TEST(CodeLayoutTest, HotnessDecreasesWithRank)
+{
+    CodeLayout layout("t", 0, 1024 * 1024, 1000, 500, 1.0, 3);
+    EXPECT_GT(layout.hotProbability(0), layout.hotProbability(100));
+    EXPECT_GT(layout.hotProbability(100), layout.hotProbability(900));
+}
+
+TEST(CodeLayoutTest, SampleHotFavorsLowRanks)
+{
+    CodeLayout layout("t", 0, 1024 * 1024, 1000, 500, 1.2, 4);
+    Rng rng(5);
+    std::uint64_t low = 0;
+    for (int i = 0; i < 10000; ++i)
+        low += layout.sampleHot(rng) < 100;
+    EXPECT_GT(low, 4000u);
+}
+
+TEST(CodeLayoutTest, FlatProfileCalibration)
+{
+    // The jas2004 calibration: shifted Zipf over 8500 methods with the
+    // hottest method under ~1.5% and a couple hundred covering half.
+    CodeLayout layout("jit", 0, 4 * 1024 * 1024, 8500, 460, 1.03, 6,
+                      30.0);
+    EXPECT_LT(layout.hotProbability(0), 0.015);
+    double head = 0.0;
+    std::size_t needed = 0;
+    while (head < 0.5 && needed < 8500)
+        head += layout.hotProbability(needed++);
+    EXPECT_GT(needed, 60u);
+    EXPECT_LT(needed, 600u);
+}
+
+TEST(CodeLayoutTest, HotnessSampleAtDeterministic)
+{
+    CodeLayout layout("t", 0, 1024 * 1024, 100, 500, 1.0, 8);
+    EXPECT_EQ(layout.hotnessSampleAt(0.3), layout.hotnessSampleAt(0.3));
+    EXPECT_EQ(layout.hotnessSampleAt(0.0), 0u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/component_profiles.h"
+
+namespace jasim {
+namespace {
+
+TEST(ComponentProfilesTest, LayoutsMatchPaperFootprints)
+{
+    WorkloadProfiles profiles(1);
+    EXPECT_EQ(profiles.layout(Component::WasJit).count(), 8500u);
+    // Multi-megabyte JIT code footprint (paper Section 4.1.2).
+    EXPECT_GT(profiles.layout(Component::WasJit).footprintBytes(),
+              3u * 1024 * 1024);
+    EXPECT_LT(profiles.layout(Component::GcMark).footprintBytes(),
+              64u * 1024); // GC code is tiny
+}
+
+TEST(ComponentProfilesTest, GeneratorsForEveryComponentAndCore)
+{
+    WorkloadProfiles profiles(2);
+    for (const Component c : allComponents) {
+        for (std::size_t core = 0; core < WorkloadProfiles::maxCores;
+             ++core) {
+            auto gen = profiles.makeGenerator(c, core, 17);
+            ASSERT_NE(gen, nullptr);
+            for (int i = 0; i < 2000; ++i)
+                gen->next();
+        }
+    }
+}
+
+TEST(ComponentProfilesTest, KernelIsSyncHeavy)
+{
+    WorkloadProfiles profiles(3);
+    auto kernel = profiles.makeGenerator(Component::Kernel, 0, 1);
+    auto app = profiles.makeGenerator(Component::WasJit, 0, 1);
+    EXPECT_GT(kernel->mix().p_sync, 5.0 * app->mix().p_sync);
+}
+
+TEST(ComponentProfilesTest, GcHasPredictableBranches)
+{
+    WorkloadProfiles profiles(4);
+    auto gc = profiles.makeGenerator(Component::GcMark, 0, 1);
+    auto app = profiles.makeGenerator(Component::WasJit, 0, 1);
+    EXPECT_LT(gc->mix().cond_noise, app->mix().cond_noise);
+    EXPECT_GT(gc->mix().p_cond, app->mix().p_cond); // more branches
+}
+
+TEST(ComponentProfilesTest, AddressSpacePageSizes)
+{
+    WorkloadProfiles profiles(5);
+    const AddressSpace space = profiles.makeAddressSpace(true, false);
+    EXPECT_EQ(space.pageOf(memmap::javaHeap + 123456).bytes,
+              largePageBytes);
+    EXPECT_EQ(space.pageOf(memmap::jitCode + 100).bytes,
+              smallPageBytes);
+
+    const AddressSpace code_large = profiles.makeAddressSpace(true, true);
+    EXPECT_EQ(code_large.pageOf(memmap::jitCode + 100).bytes,
+              largePageBytes);
+
+    const AddressSpace no_large =
+        profiles.makeAddressSpace(false, false);
+    EXPECT_EQ(no_large.pageOf(memmap::javaHeap + 123456).bytes,
+              smallPageBytes);
+}
+
+TEST(ComponentProfilesTest, SetGcLiveBytesReachesChaseModel)
+{
+    WorkloadProfiles profiles(6);
+    auto mark = profiles.makeGenerator(Component::GcMark, 0, 1);
+    // Must not crash, and must widen the chase range.
+    setGcLiveBytes(*mark, 400ull * 1024 * 1024);
+    Rng probe_rng(1);
+    Addr max_seen = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const Instr inst = mark->next();
+        if (inst.kind == InstKind::Load &&
+            inst.ea >= memmap::javaHeap &&
+            inst.ea < memmap::javaHeap + memmap::javaHeapSize)
+            max_seen = std::max(max_seen, inst.ea);
+    }
+    EXPECT_GT(max_seen, memmap::javaHeap + 200ull * 1024 * 1024);
+    // No-op on non-chase components.
+    auto app = profiles.makeGenerator(Component::WasJit, 0, 1);
+    setGcLiveBytes(*app, 1);
+}
+
+TEST(ComponentProfilesTest, ComponentNamesUnique)
+{
+    std::set<std::string> names;
+    for (const Component c : allComponents)
+        names.insert(componentName(c));
+    EXPECT_EQ(names.size(), componentCount);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/data_model.h"
+
+namespace jasim {
+namespace {
+
+WorkingSetParams
+params()
+{
+    WorkingSetParams p;
+    p.base = 0x1000000;
+    p.size = 64 * 1024 * 1024;
+    p.hot_bytes = 64 * 1024;
+    p.hot_fraction = 0.9;
+    p.warm_bytes = 1024 * 1024;
+    p.sequential_fraction = 0.05;
+    return p;
+}
+
+TEST(WorkingSetModelTest, AddressesStayInRegion)
+{
+    WorkingSetModel model(params());
+    Rng rng(1);
+    for (int i = 0; i < 50000; ++i) {
+        const Addr a = model.next(rng);
+        ASSERT_GE(a, 0x1000000u);
+        ASSERT_LT(a, 0x1000000u + 64 * 1024 * 1024);
+    }
+}
+
+TEST(WorkingSetModelTest, HotSetDominatesAccesses)
+{
+    WorkingSetModel model(params());
+    Rng rng(2);
+    int hot = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hot += model.next(rng) < 0x1000000 + 64 * 1024;
+    EXPECT_GT(hot / double(n), 0.55);
+}
+
+TEST(WorkingSetModelTest, SequentialRunsAdvanceByStride)
+{
+    WorkingSetParams p = params();
+    p.sequential_fraction = 1.0; // always in runs
+    WorkingSetModel model(p);
+    Rng rng(3);
+    model.next(rng); // run start
+    const Addr a = model.next(rng);
+    const Addr b = model.next(rng);
+    EXPECT_EQ(b - a, p.stride);
+}
+
+TEST(WorkingSetModelTest, ColdTailTouchesWholeRegion)
+{
+    WorkingSetParams p = params();
+    p.hot_fraction = 0.0;
+    p.warm_fraction = 0.0;
+    p.sequential_fraction = 0.0;
+    WorkingSetModel model(p);
+    Rng rng(4);
+    Addr max_seen = 0;
+    for (int i = 0; i < 20000; ++i)
+        max_seen = std::max(max_seen, model.next(rng));
+    EXPECT_GT(max_seen, 0x1000000u + 32 * 1024 * 1024);
+}
+
+TEST(AllocationFrontierTest, AdvancesLinearlyAndWraps)
+{
+    AllocationFrontierModel model(0x1000, 64, 16);
+    Rng rng(5);
+    EXPECT_EQ(model.next(rng), 0x1000u);
+    EXPECT_EQ(model.next(rng), 0x1010u);
+    EXPECT_EQ(model.next(rng), 0x1020u);
+    EXPECT_EQ(model.next(rng), 0x1030u);
+    EXPECT_EQ(model.next(rng), 0x1000u); // wrapped
+}
+
+TEST(AllocationFrontierTest, ResetMovesFrontier)
+{
+    AllocationFrontierModel model(0x1000, 1024, 16);
+    Rng rng(6);
+    model.next(rng);
+    model.resetTo(512);
+    EXPECT_EQ(model.next(rng), 0x1200u);
+}
+
+TEST(PointerChaseTest, StaysWithinLiveBytes)
+{
+    PointerChaseModel model(0x2000000, 1024 * 1024);
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = model.next(rng);
+        ASSERT_GE(a, 0x2000000u);
+        ASSERT_LT(a, 0x2000000u + 1024 * 1024 + 128);
+    }
+}
+
+TEST(PointerChaseTest, LiveBytesUpdateWidensRange)
+{
+    PointerChaseModel model(0x2000000, 4096, 0.0, 1024);
+    Rng rng(8);
+    Addr max_seen = 0;
+    for (int i = 0; i < 2000; ++i)
+        max_seen = std::max(max_seen, model.next(rng));
+    EXPECT_LT(max_seen, 0x2000000u + 8192);
+    model.setLiveBytes(64 * 1024 * 1024);
+    for (int i = 0; i < 2000; ++i)
+        max_seen = std::max(max_seen, model.next(rng));
+    EXPECT_GT(max_seen, 0x2000000u + 1024 * 1024);
+}
+
+TEST(SequentialScanTest, StridesAndWraps)
+{
+    SequentialScanModel model(0x100, 256, 128);
+    Rng rng(9);
+    EXPECT_EQ(model.next(rng), 0x100u);
+    EXPECT_EQ(model.next(rng), 0x180u);
+    EXPECT_EQ(model.next(rng), 0x100u);
+}
+
+TEST(StackModelTest, FootprintBoundedToActiveDepth)
+{
+    StackModel model(0x3000000, 16 * 1024 * 1024);
+    Rng rng(10);
+    Addr max_seen = 0;
+    for (int i = 0; i < 100000; ++i)
+        max_seen = std::max(max_seen, model.next(rng));
+    // Depth capped at ~24 frames of 192 B.
+    EXPECT_LT(max_seen, 0x3000000u + 32 * 192);
+}
+
+TEST(SharedModelTest, WrapsSameState)
+{
+    auto scan =
+        std::make_shared<SequentialScanModel>(0x100, 1024, 128);
+    SharedModel a(scan), b(scan);
+    Rng rng(11);
+    EXPECT_EQ(a.next(rng), 0x100u);
+    EXPECT_EQ(b.next(rng), 0x180u); // continues the same stream
+}
+
+TEST(MixtureModelTest, RespectsWeightsAndRanges)
+{
+    std::vector<std::unique_ptr<DataAccessModel>> models;
+    models.push_back(
+        std::make_unique<SequentialScanModel>(0x1000, 256, 64));
+    models.push_back(
+        std::make_unique<SequentialScanModel>(0x100000, 256, 64));
+    MixtureModel mixture(std::move(models), {0.8, 0.2});
+    Rng rng(12);
+    int first = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        first += mixture.next(rng) < 0x100000;
+    EXPECT_NEAR(first / double(n), 0.8, 0.02);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "tprof/profiler.h"
+
+namespace jasim {
+namespace {
+
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    ProfilerTest()
+        : registry_(std::make_shared<const MethodRegistry>(100, 1)),
+          profiler_(registry_)
+    {
+    }
+
+    std::shared_ptr<const MethodRegistry> registry_;
+    Profiler profiler_;
+};
+
+TEST_F(ProfilerTest, ComponentSharesNormalize)
+{
+    profiler_.addComponentTime(Component::WasJit, 300);
+    profiler_.addComponentTime(Component::Db2, 100);
+    const auto shares = profiler_.componentShares();
+    EXPECT_NEAR(shares[static_cast<std::size_t>(Component::WasJit)],
+                0.75, 1e-12);
+    EXPECT_NEAR(shares[static_cast<std::size_t>(Component::Db2)], 0.25,
+                1e-12);
+}
+
+TEST_F(ProfilerTest, IdleShareSeparate)
+{
+    profiler_.addComponentTime(Component::WasJit, 300);
+    profiler_.addIdleTime(100);
+    EXPECT_NEAR(profiler_.idleShare(), 0.25, 1e-12);
+    const auto of_total = profiler_.componentSharesOfTotal();
+    EXPECT_NEAR(of_total[static_cast<std::size_t>(Component::WasJit)],
+                0.75, 1e-12);
+    // Busy-only shares exclude idle.
+    const auto busy = profiler_.componentShares();
+    EXPECT_NEAR(busy[static_cast<std::size_t>(Component::WasJit)], 1.0,
+                1e-12);
+}
+
+TEST_F(ProfilerTest, FlatProfileStatistics)
+{
+    std::vector<std::uint64_t> samples(100, 0);
+    samples[0] = 50;
+    samples[1] = 30;
+    for (std::size_t i = 2; i < 22; ++i)
+        samples[i] = 1;
+    profiler_.addMethodSamples(samples);
+    const FlatProfileStats stats = profiler_.flatProfile();
+    EXPECT_EQ(stats.total_ticks, 100u);
+    EXPECT_NEAR(stats.hottest_share, 0.5, 1e-12);
+    EXPECT_EQ(stats.methods_for_half, 1u);
+    EXPECT_EQ(stats.methods_sampled, 22u);
+}
+
+TEST_F(ProfilerTest, CategorySharesSumToOne)
+{
+    std::vector<std::uint64_t> samples(100, 1);
+    profiler_.addMethodSamples(samples);
+    const FlatProfileStats stats = profiler_.flatProfile();
+    double sum = 0.0;
+    for (const double share : stats.category_share)
+        sum += share;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(ProfilerTest, TopMethodsSortedDescending)
+{
+    std::vector<std::uint64_t> samples(100, 0);
+    samples[10] = 5;
+    samples[20] = 50;
+    samples[30] = 20;
+    profiler_.addMethodSamples(samples);
+    const auto top = profiler_.topMethods(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].method, 20u);
+    EXPECT_EQ(top[1].method, 30u);
+}
+
+TEST_F(ProfilerTest, SamplesAccumulateAcrossCalls)
+{
+    std::vector<std::uint64_t> samples(100, 1);
+    profiler_.addMethodSamples(samples);
+    profiler_.addMethodSamples(samples);
+    EXPECT_EQ(profiler_.flatProfile().total_ticks, 200u);
+}
+
+TEST_F(ProfilerTest, EmptyProfileSafe)
+{
+    const FlatProfileStats stats = profiler_.flatProfile();
+    EXPECT_EQ(stats.total_ticks, 0u);
+    EXPECT_DOUBLE_EQ(stats.hottest_share, 0.0);
+    EXPECT_TRUE(profiler_.topMethods(5).empty());
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "was/ejb_container.h"
+#include "was/web_container.h"
+
+namespace jasim {
+namespace {
+
+TEST(WebContainerTest, CostScalesWithPayload)
+{
+    WebContainer web{WebContainerConfig{}};
+    const double small = web.handle(RequestType::Browse, 1.0);
+    const double large = web.handle(RequestType::Browse, 100.0);
+    EXPECT_GT(large, small);
+    EXPECT_EQ(web.handledCount(), 2u);
+    EXPECT_DOUBLE_EQ(web.totalUs(), small + large);
+}
+
+TEST(WebContainerTest, BaseCostWithoutPayload)
+{
+    WebContainerConfig config;
+    WebContainer web(config);
+    EXPECT_DOUBLE_EQ(web.handle(RequestType::Manage, 0.0),
+                     config.parse_us + config.respond_us);
+}
+
+TEST(EjbContainerTest, CostComposesBeanCalls)
+{
+    EjbContainerConfig config;
+    EjbContainer ejb(config);
+    const double cost = ejb.invoke(BeanPlan{2, 3});
+    EXPECT_DOUBLE_EQ(cost, config.txn_demarcation_us +
+                               2 * config.session_call_us +
+                               3 * config.entity_call_us);
+}
+
+TEST(EjbContainerTest, StatisticsAccumulate)
+{
+    EjbContainer ejb{EjbContainerConfig{}};
+    ejb.invoke(BeanPlan{1, 2});
+    ejb.invoke(BeanPlan{3, 4});
+    EXPECT_EQ(ejb.sessionCalls(), 4u);
+    EXPECT_EQ(ejb.entityCalls(), 6u);
+    EXPECT_EQ(ejb.transactions(), 2u);
+    EXPECT_GT(ejb.totalUs(), 0.0);
+}
+
+TEST(EjbContainerTest, EntityCallsCostMoreThanSession)
+{
+    const EjbContainerConfig config;
+    EXPECT_GT(config.entity_call_us, config.session_call_us);
+}
+
+TEST(RequestTypeTest, WebVsRmiClassification)
+{
+    EXPECT_TRUE(isWebRequest(RequestType::Purchase));
+    EXPECT_TRUE(isWebRequest(RequestType::Browse));
+    EXPECT_FALSE(isWebRequest(RequestType::CreateWorkOrder));
+    EXPECT_DOUBLE_EQ(slaSeconds(RequestType::Browse), 2.0);
+    EXPECT_DOUBLE_EQ(slaSeconds(RequestType::CreateWorkOrder), 5.0);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "was/thread_pool.h"
+
+namespace jasim {
+namespace {
+
+TEST(ThreadPoolTest, RunsImmediatelyWhenFree)
+{
+    EventQueue queue;
+    ThreadPool pool(queue, 2, "test");
+    bool ran = false;
+    pool.submit([&](SimTime start, ThreadPool::Done done) {
+        ran = true;
+        EXPECT_EQ(start, 0u);
+        done();
+    });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(pool.busy(), 0u);
+}
+
+TEST(ThreadPoolTest, QueuesBeyondCapacity)
+{
+    EventQueue queue;
+    ThreadPool pool(queue, 1, "test");
+    std::vector<ThreadPool::Done> pending;
+    pool.submit([&](SimTime, ThreadPool::Done done) {
+        pending.push_back(std::move(done));
+    });
+    bool second_ran = false;
+    pool.submit([&](SimTime, ThreadPool::Done done) {
+        second_ran = true;
+        done();
+    });
+    EXPECT_FALSE(second_ran);
+    EXPECT_EQ(pool.queued(), 1u);
+    pending[0](); // release the thread
+    EXPECT_TRUE(second_ran);
+    EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(ThreadPoolTest, AsyncCompletionViaEvents)
+{
+    EventQueue queue;
+    ThreadPool pool(queue, 1, "test");
+    int completed = 0;
+    for (int i = 0; i < 3; ++i) {
+        pool.submit([&](SimTime, ThreadPool::Done done) {
+            queue.scheduleAfter(100, [&completed, done] {
+                ++completed;
+                done();
+            });
+        });
+    }
+    queue.runUntil(secs(1));
+    EXPECT_EQ(completed, 3);
+    // Serial execution through one thread: 100, 200, 300.
+    EXPECT_EQ(pool.dispatched(), 3u);
+}
+
+TEST(ThreadPoolTest, PeakQueueTracked)
+{
+    EventQueue queue;
+    ThreadPool pool(queue, 1, "test");
+    std::vector<ThreadPool::Done> holds;
+    pool.submit([&](SimTime, ThreadPool::Done done) {
+        holds.push_back(std::move(done));
+    });
+    for (int i = 0; i < 5; ++i)
+        pool.submit([](SimTime, ThreadPool::Done done) { done(); });
+    EXPECT_EQ(pool.peakQueue(), 5u);
+    holds[0]();
+    EXPECT_EQ(pool.queued(), 0u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "xlat/address_space.h"
+
+namespace jasim {
+namespace {
+
+TEST(AddressSpaceTest, FindsRegionByAddress)
+{
+    AddressSpace space;
+    space.addRegion("heap", 0x10000000, 64 * 1024 * 1024,
+                    largePageBytes);
+    const MemRegion *region = space.findRegion(0x10000000 + 12345);
+    ASSERT_NE(region, nullptr);
+    EXPECT_EQ(region->name, "heap");
+    EXPECT_EQ(space.findRegion(0x0), nullptr);
+}
+
+TEST(AddressSpaceTest, PageOfRespectsRegionPageSize)
+{
+    AddressSpace space;
+    space.addRegion("heap", 0x10000000, 64 * 1024 * 1024,
+                    largePageBytes);
+    space.addRegion("data", 0x20000000, 1024 * 1024, smallPageBytes);
+
+    const PageId heap_page = space.pageOf(0x10000000 + 5 * 1024 * 1024);
+    EXPECT_EQ(heap_page.bytes, largePageBytes);
+    EXPECT_EQ(heap_page.base, 0x10000000u);
+
+    const PageId data_page = space.pageOf(0x20000000 + 10000);
+    EXPECT_EQ(data_page.bytes, smallPageBytes);
+    EXPECT_EQ(data_page.base, 0x20000000u + 8192);
+}
+
+TEST(AddressSpaceTest, UnmappedAddressesAreSmallPaged)
+{
+    AddressSpace space;
+    const PageId page = space.pageOf(0xDEAD0000);
+    EXPECT_EQ(page.bytes, smallPageBytes);
+    EXPECT_EQ(page.base, 0xDEAD0000u);
+}
+
+TEST(AddressSpaceTest, LargePageCovers4096SmallPages)
+{
+    AddressSpace space;
+    space.addRegion("heap", 0x40000000, largePageBytes, largePageBytes);
+    const PageId first = space.pageOf(0x40000000);
+    const PageId last = space.pageOf(0x40000000 + largePageBytes - 1);
+    EXPECT_EQ(first, last);
+    EXPECT_EQ(largePageBytes / smallPageBytes, 4096u);
+}
+
+TEST(AddressSpaceTest, SetRegionPageSizeFlips)
+{
+    AddressSpace space;
+    space.addRegion("heap", 0x40000000, largePageBytes, smallPageBytes);
+    EXPECT_EQ(space.pageOf(0x40001000).bytes, smallPageBytes);
+    space.setRegionPageSize("heap", largePageBytes);
+    EXPECT_EQ(space.pageOf(0x40001000).bytes, largePageBytes);
+}
+
+TEST(AddressSpaceTest, PagesForComputesCount)
+{
+    MemRegion region{"r", 0, 10 * smallPageBytes + 1, smallPageBytes};
+    EXPECT_EQ(AddressSpace::pagesFor(region), 11u);
+}
+
+} // namespace
+} // namespace jasim

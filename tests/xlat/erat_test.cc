@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "xlat/erat.h"
+
+namespace jasim {
+namespace {
+
+TEST(EratTest, MissThenHit)
+{
+    Erat erat(128, 4);
+    EXPECT_FALSE(erat.access(0x1000));
+    EXPECT_TRUE(erat.access(0x1000));
+    EXPECT_TRUE(erat.access(0x1FFF)); // same 4 KB granule
+    EXPECT_FALSE(erat.access(0x2000)); // next granule
+}
+
+TEST(EratTest, GranuleIs4KRegardlessOfPageSize)
+{
+    // The POWER4 detail: a large page still occupies many ERAT
+    // entries, one per 4 KB granule.
+    Erat erat(128, 4);
+    erat.access(0x0000);
+    EXPECT_FALSE(erat.access(0x1000));
+    EXPECT_FALSE(erat.access(0x2000));
+}
+
+TEST(EratTest, WorkingSetWithinCapacityAllHits)
+{
+    Erat erat(128, 4);
+    for (Addr a = 0; a < 128 * 4096; a += 4096)
+        erat.access(a);
+    for (Addr a = 0; a < 128 * 4096; a += 4096)
+        EXPECT_TRUE(erat.access(a));
+}
+
+TEST(EratTest, OverCapacityEvicts)
+{
+    Erat erat(128, 4);
+    for (Addr a = 0; a < 256 * 4096; a += 4096)
+        erat.access(a);
+    std::size_t hits = 0;
+    for (Addr a = 0; a < 256 * 4096; a += 4096)
+        hits += erat.probe(a);
+    EXPECT_LE(hits, 128u);
+}
+
+TEST(EratTest, LruKeepsRecentlyUsed)
+{
+    Erat erat(8, 2); // 4 sets x 2 ways
+    // Three granules mapping to set 0 (stride = 4 sets).
+    erat.access(0 * 4096);
+    erat.access(4 * 4096);
+    erat.access(0 * 4096);  // refresh
+    erat.access(8 * 4096);  // evicts granule 4
+    EXPECT_TRUE(erat.probe(0));
+    EXPECT_FALSE(erat.probe(4 * 4096));
+}
+
+TEST(EratTest, FlushInvalidatesAll)
+{
+    Erat erat(128, 4);
+    erat.access(0x5000);
+    erat.flush();
+    EXPECT_FALSE(erat.probe(0x5000));
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "xlat/tlb.h"
+
+namespace jasim {
+namespace {
+
+PageId
+smallPage(Addr base)
+{
+    return PageId{base & ~(smallPageBytes - 1), smallPageBytes};
+}
+
+PageId
+largePage(Addr base)
+{
+    return PageId{base & ~(largePageBytes - 1), largePageBytes};
+}
+
+TEST(TlbTest, MissThenHit)
+{
+    Tlb tlb(1024, 4);
+    EXPECT_FALSE(tlb.access(smallPage(0x1000)));
+    EXPECT_TRUE(tlb.access(smallPage(0x1000)));
+}
+
+TEST(TlbTest, OneEntryMapsWholeLargePage)
+{
+    Tlb tlb(1024, 4);
+    tlb.access(largePage(0x40000000));
+    EXPECT_TRUE(tlb.probe(largePage(0x40000000 + 8 * 1024 * 1024)));
+}
+
+TEST(TlbTest, LargePagesShrinkHeapFootprint)
+{
+    // A 1 GB heap: 262144 small pages (thrashes a 1024-entry TLB)
+    // versus 64 large pages (fits trivially).
+    Tlb small_tlb(1024, 4);
+    Tlb large_tlb(1024, 4);
+    const std::uint64_t heap = 1024ull * 1024 * 1024;
+
+    for (Addr a = 0; a < heap; a += smallPageBytes)
+        small_tlb.access(smallPage(a));
+    for (Addr a = 0; a < heap; a += largePageBytes)
+        large_tlb.access(largePage(a));
+
+    std::size_t small_hits = 0, large_hits = 0;
+    for (Addr a = 0; a < heap; a += largePageBytes) {
+        small_hits += small_tlb.probe(smallPage(a));
+        large_hits += large_tlb.probe(largePage(a));
+    }
+    EXPECT_EQ(large_hits, 64u);
+    EXPECT_LT(small_hits, 20u);
+}
+
+TEST(TlbTest, CapacityRespected)
+{
+    Tlb tlb(64, 4);
+    for (Addr a = 0; a < 256 * smallPageBytes; a += smallPageBytes)
+        tlb.access(smallPage(a));
+    std::size_t resident = 0;
+    for (Addr a = 0; a < 256 * smallPageBytes; a += smallPageBytes)
+        resident += tlb.probe(smallPage(a));
+    EXPECT_LE(resident, 64u);
+}
+
+TEST(TlbTest, FlushClears)
+{
+    Tlb tlb(64, 4);
+    tlb.access(smallPage(0x9000));
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(smallPage(0x9000)));
+}
+
+TEST(SlbTest, SegmentGranularity)
+{
+    Slb slb(4);
+    EXPECT_FALSE(slb.access(0x0));
+    EXPECT_TRUE(slb.access(Slb::segmentBytes - 1)); // same 256 MB seg
+    EXPECT_FALSE(slb.access(Slb::segmentBytes));    // next segment
+}
+
+TEST(SlbTest, LruReplacement)
+{
+    Slb slb(2);
+    slb.access(0 * Slb::segmentBytes);
+    slb.access(1 * Slb::segmentBytes);
+    slb.access(0 * Slb::segmentBytes); // refresh
+    slb.access(2 * Slb::segmentBytes); // evicts segment 1
+    EXPECT_TRUE(slb.access(0));
+    EXPECT_FALSE(slb.access(1 * Slb::segmentBytes));
+}
+
+} // namespace
+} // namespace jasim

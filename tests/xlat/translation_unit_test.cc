@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "xlat/translation_unit.h"
+
+namespace jasim {
+namespace {
+
+class TranslationUnitTest : public ::testing::Test
+{
+  protected:
+    TranslationUnitTest()
+    {
+        space_.addRegion("heap", 0x40000000, 256ull * 1024 * 1024,
+                         largePageBytes);
+        space_.addRegion("data", 0x10000000, 64ull * 1024 * 1024,
+                         smallPageBytes);
+        unit_ = std::make_unique<TranslationUnit>(XlatConfig{}, space_);
+    }
+
+    AddressSpace space_;
+    std::unique_ptr<TranslationUnit> unit_;
+};
+
+TEST_F(TranslationUnitTest, EratHitHasNoPenalty)
+{
+    unit_->translateData(0x10000000);
+    const XlatOutcome outcome = unit_->translateData(0x10000000);
+    EXPECT_TRUE(outcome.erat_hit);
+    EXPECT_EQ(outcome.penalty, 0u);
+    EXPECT_EQ(outcome.redispatches, 0u);
+}
+
+TEST_F(TranslationUnitTest, EratMissTlbHitCosts14Cycles)
+{
+    unit_->translateData(0x10000000); // fills TLB page + granule
+    // A different granule of the SAME small page would share the page;
+    // use a different page to populate the TLB, then flush only via a
+    // fresh granule of a now-resident page:
+    const XlatOutcome first = unit_->translateData(0x10000000 + 4096);
+    EXPECT_FALSE(first.erat_hit);
+    // The data region uses 4 KB pages, so a new granule is a new page.
+    EXPECT_FALSE(first.tlb_hit);
+
+    // Large-page region: one TLB entry serves all granules, so the
+    // second granule is an ERAT miss satisfied by the TLB at ~14 cyc.
+    unit_->translateData(0x40000000);
+    const XlatOutcome second = unit_->translateData(0x40000000 + 4096);
+    EXPECT_FALSE(second.erat_hit);
+    EXPECT_TRUE(second.tlb_hit);
+    EXPECT_EQ(second.penalty, XlatConfig{}.lat_tlb_read);
+}
+
+TEST_F(TranslationUnitTest, TlbMissCostsTableWalk)
+{
+    const XlatOutcome outcome = unit_->translateData(0x10500000);
+    EXPECT_FALSE(outcome.erat_hit);
+    EXPECT_FALSE(outcome.tlb_hit);
+    EXPECT_GE(outcome.penalty, XlatConfig{}.lat_table_walk);
+}
+
+TEST_F(TranslationUnitTest, LoadsRedispatchWhileWaiting)
+{
+    const XlatOutcome outcome = unit_->translateData(0x10600000);
+    // Retried every 7 cycles until translation resolves.
+    EXPECT_EQ(outcome.redispatches,
+              outcome.penalty / XlatConfig{}.retry_interval);
+    EXPECT_GT(outcome.redispatches, 0u);
+}
+
+TEST_F(TranslationUnitTest, InstSideSeparateFromDataSide)
+{
+    unit_->translateData(0x10000000);
+    const XlatOutcome inst = unit_->translateInst(0x10000000);
+    EXPECT_FALSE(inst.erat_hit); // IERAT does not share DERAT entries
+    EXPECT_TRUE(inst.tlb_hit);   // but the unified TLB is shared
+    EXPECT_EQ(inst.redispatches, 0u); // fetches are not load retries
+}
+
+TEST_F(TranslationUnitTest, FlushForcesFullWalk)
+{
+    unit_->translateData(0x10000000);
+    unit_->flush();
+    const XlatOutcome outcome = unit_->translateData(0x10000000);
+    EXPECT_FALSE(outcome.erat_hit);
+    EXPECT_FALSE(outcome.tlb_hit);
+}
+
+TEST_F(TranslationUnitTest, LargePagesReduceTlbMisses)
+{
+    // Walk 64 MB of the large-page heap vs 64 MB of 4 KB data pages.
+    std::uint64_t heap_tlb_misses = 0, data_tlb_misses = 0;
+    for (Addr offset = 0; offset < 64ull * 1024 * 1024;
+         offset += 4096) {
+        const auto heap = unit_->translateData(0x40000000 + offset);
+        if (!heap.erat_hit && !heap.tlb_hit)
+            ++heap_tlb_misses;
+        const auto data = unit_->translateData(0x10000000 + offset);
+        if (!data.erat_hit && !data.tlb_hit)
+            ++data_tlb_misses;
+    }
+    EXPECT_LT(heap_tlb_misses, 16u); // 4 large pages + noise
+    EXPECT_GT(data_tlb_misses, 10000u);
+}
+
+} // namespace
+} // namespace jasim
