@@ -1,0 +1,130 @@
+/** Extension (paper Section 7, future work): horizontal scaling.
+ *  N app-server nodes behind a load balancer share one database
+ *  tier over a simulated LAN; the sweep holds per-node IR fixed and
+ *  grows the cluster until the shared DB (or the balancer) is the
+ *  bottleneck and aggregate throughput bends. */
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+#include "core/cluster.h"
+
+using namespace jasim;
+
+namespace {
+
+ClusterConfig
+clusterConfig(const ExperimentConfig &base, const Config &args,
+              std::size_t nodes)
+{
+    ClusterConfig config;
+    config.nodes = nodes;
+    config.node = base.sut;
+    config.node.driver.ramp_up_s = base.ramp_up_s;
+
+    config.db_cpus =
+        static_cast<std::size_t>(args.getInt("db_cpus", 4));
+    config.db_pool.max_connections =
+        static_cast<std::size_t>(args.getInt("db_pool", 12));
+
+    const std::string policy = args.getString("lb", "lc");
+    if (policy == "rr")
+        config.lb.policy = LbPolicy::RoundRobin;
+    else if (policy == "wrr")
+        config.lb.policy = LbPolicy::Weighted;
+    else
+        config.lb.policy = LbPolicy::LeastConnections;
+    config.lb.forward_us = args.getDouble("lb_us", 30.0);
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(std::cout,
+                  "Ablation: Cluster Scaling (future work)",
+                  "Fixed per-node IR, growing node count: aggregate "
+                  "JOPS rises near-linearly until the shared DB tier "
+                  "(or balancer) saturates and queueing at the "
+                  "connection pools bends the curve.");
+    const Config args = Config::fromArgs(argc, argv);
+    ExperimentConfig base = bench::configFromArgs(argc, argv, 90.0);
+    base.ramp_up_s = args.getDouble("ramp", 30.0);
+
+    const std::size_t max_nodes = std::max<std::size_t>(
+        base.nodes > 1 ? base.nodes : 8, 1);
+    const double per_node_ir = base.sut.injection_rate;
+    const SimTime steady_from = secs(base.ramp_up_s);
+    const SimTime steady_to =
+        secs(base.ramp_up_s + base.steady_s);
+
+    auto profiles =
+        std::make_shared<const WorkloadProfiles>(base.seed ^ 0x9a0full);
+    auto registry = std::make_shared<const MethodRegistry>(
+        profiles->layout(Component::WasJit).count(),
+        base.seed ^ 0x3e9ull);
+
+    TextTable table({"nodes", "agg IR", "JOPS", "JOPS/node",
+                     "ideal", "DB util", "pool wait (ms)",
+                     "p99 web (s)", "SLA"});
+    TimeSeries curve("aggregate JOPS");
+    TimeSeries ideal_curve("ideal (linear)");
+    double jops_at_one = 0.0;
+
+    for (std::size_t nodes = 1; nodes <= max_nodes; ++nodes) {
+        ClusterConfig config = clusterConfig(base, args, nodes);
+        config.node.injection_rate = per_node_ir;
+        ClusterUnderTest cluster(config, profiles, registry,
+                                 base.seed);
+        cluster.start(steady_to);
+        cluster.advanceTo(steady_to);
+
+        const double jops = cluster.jops(steady_from, steady_to);
+        if (nodes == 1)
+            jops_at_one = jops;
+        const double ideal =
+            jops_at_one * static_cast<double>(nodes);
+
+        double pool_wait_us = 0.0;
+        for (std::size_t n = 0; n < nodes; ++n)
+            pool_wait_us += cluster.dbPool(n).meanWaitUs();
+        pool_wait_us /= static_cast<double>(nodes);
+
+        const auto verdicts = cluster.tracker().verdicts();
+        double p99_web = 0.0;
+        bool sla = true;
+        for (const SlaVerdict &v : verdicts) {
+            if (isWebRequest(v.type))
+                p99_web = std::max(p99_web, v.p99_seconds);
+            sla = sla && v.pass;
+        }
+
+        table.addRow(
+            {TextTable::num(static_cast<double>(nodes), 0),
+             TextTable::num(config.totalInjectionRate(), 0),
+             TextTable::num(jops, 1),
+             TextTable::num(jops / static_cast<double>(nodes), 1),
+             TextTable::num(ideal, 1),
+             TextTable::pct(cluster.dbUtilization() * 100.0),
+             TextTable::num(pool_wait_us / 1000.0, 2),
+             TextTable::num(p99_web, 2), sla ? "PASS" : "FAIL"});
+        curve.append(secs(static_cast<double>(nodes)), jops);
+        ideal_curve.append(secs(static_cast<double>(nodes)), ideal);
+    }
+    table.print(std::cout);
+
+    ChartOptions chart;
+    chart.zero_based = true;
+    chart.y_label = "aggregate JOPS vs node count (x axis = nodes)";
+    renderChart(std::cout, {curve, ideal_curve}, chart);
+
+    std::cout << "\nShape: near-linear aggregate JOPS at low node "
+                 "counts; once the shared DB tier saturates, "
+                 "connection-pool queueing grows, per-node JOPS "
+                 "falls, and the curve bends away from the ideal "
+                 "line.\n";
+    return 0;
+}

@@ -2,10 +2,14 @@
  * @file
  * Shared setup for the figure/table reproduction benches.
  *
- * Every bench accepts `key=value` arguments:
- *   ir=40 seed=42 ramp=90 steady=300 window=1 insts=150000
- *   disk=ramdisk|spinning spindles=2 heap_mb=1024
+ * Every bench accepts the same arguments, written either `key=value`
+ * or GNU-style (`--key value` / `--key=value`):
+ *   ir=40 --seed 42 --nodes 1 ramp=90 steady=300 window=1
+ *   insts=150000 disk=ramdisk|spinning spindles=2 heap_mb=1024
  *   heap_large=1 code_large=0
+ * `--seed N` pins every RNG stream; `--nodes N` sets the cluster
+ * width (or sweep ceiling) of cluster-aware benches and is ignored
+ * by single-box ones.
  */
 
 #ifndef JASIM_BENCH_BENCH_COMMON_H
@@ -27,6 +31,8 @@ configFromArgs(int argc, char **argv, double default_steady_s = 300.0)
     ExperimentConfig config;
     config.sut.injection_rate = args.getDouble("ir", 40.0);
     config.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    config.nodes =
+        static_cast<std::size_t>(args.getInt("nodes", 1));
     config.ramp_up_s = args.getDouble("ramp", 90.0);
     config.steady_s = args.getDouble("steady", default_steady_s);
     config.ramp_down_s = args.getDouble("rampdown", 10.0);

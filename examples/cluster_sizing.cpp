@@ -1,0 +1,94 @@
+/**
+ * Cluster sizing: how many app-server nodes does a target aggregate
+ * load need, and when does adding nodes stop helping because the
+ * shared database tier is saturated?
+ *
+ *   ./cluster_sizing [target=250] [ir=40] [nodes=8] [db_cpus=4]
+ *                    [steady=90] [seed=42]
+ *
+ * Grows the cluster one node at a time at a fixed per-node injection
+ * rate and reports the smallest cluster whose aggregate JOPS meets
+ * the target while still passing the response-time SLA. Past the DB
+ * knee, extra nodes only deepen connection-pool queueing.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/cluster.h"
+#include "sim/config.h"
+#include "stats/render.h"
+
+using namespace jasim;
+
+int
+main(int argc, char **argv)
+{
+    const Config args = Config::fromArgs(argc, argv);
+    const double target_jops = args.getDouble("target", 250.0);
+    const double per_node_ir = args.getDouble("ir", 40.0);
+    const std::size_t max_nodes =
+        static_cast<std::size_t>(args.getInt("nodes", 8));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 42));
+    const double ramp_s = args.getDouble("ramp", 30.0);
+    const double steady_s = args.getDouble("steady", 90.0);
+
+    auto profiles =
+        std::make_shared<const WorkloadProfiles>(seed ^ 0x9a0full);
+    auto registry = std::make_shared<const MethodRegistry>(
+        profiles->layout(Component::WasJit).count(), seed ^ 0x3e9ull);
+
+    std::cout << "Cluster sizing: target " << target_jops
+              << " JOPS at per-node IR " << per_node_ir << "\n\n";
+    TextTable table({"nodes", "JOPS", "DB util", "pool wait (ms)",
+                     "SLA", "meets target"});
+    std::size_t chosen = 0;
+    double best_jops = 0.0;
+
+    for (std::size_t nodes = 1; nodes <= max_nodes; ++nodes) {
+        ClusterConfig config;
+        config.nodes = nodes;
+        config.node.injection_rate = per_node_ir;
+        config.node.driver.ramp_up_s = ramp_s;
+        config.db_cpus =
+            static_cast<std::size_t>(args.getInt("db_cpus", 4));
+
+        ClusterUnderTest cluster(config, profiles, registry, seed);
+        const SimTime end = secs(ramp_s + steady_s);
+        cluster.start(end);
+        cluster.advanceTo(end);
+
+        const double jops = cluster.jops(secs(ramp_s), end);
+        best_jops = std::max(best_jops, jops);
+        double pool_wait_us = 0.0;
+        for (std::size_t n = 0; n < nodes; ++n)
+            pool_wait_us += cluster.dbPool(n).meanWaitUs();
+        pool_wait_us /= static_cast<double>(nodes);
+        const bool sla = cluster.tracker().allPass();
+        const bool meets = sla && jops >= target_jops;
+        if (meets && chosen == 0)
+            chosen = nodes;
+
+        table.addRow({TextTable::num(static_cast<double>(nodes), 0),
+                      TextTable::num(jops, 1),
+                      TextTable::pct(cluster.dbUtilization() * 100.0),
+                      TextTable::num(pool_wait_us / 1000.0, 2),
+                      sla ? "PASS" : "FAIL", meets ? "yes" : "no"});
+        if (meets)
+            break; // smallest sufficient cluster found
+    }
+    table.print(std::cout);
+
+    if (chosen > 0)
+        std::cout << "\nSmallest sufficient cluster: " << chosen
+                  << " node(s).\n";
+    else
+        std::cout << "\nNo cluster up to " << max_nodes
+                  << " nodes meets " << target_jops
+                  << " JOPS with a passing SLA (best "
+                  << TextTable::num(best_jops, 1)
+                  << "); the shared DB tier is the ceiling -- add DB "
+                     "CPUs (db_cpus=N) rather than nodes.\n";
+    return 0;
+}

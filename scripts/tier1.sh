@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: standard build + full test suite, then an
+# ASan+UBSan-instrumented build (-DJASIM_SANITIZE=ON) running the
+# net and core test binaries, which exercise the event-queue
+# closure graph and the cluster's cross-object callback wiring —
+# the code most likely to hide lifetime bugs.
+#
+# Usage: scripts/tier1.sh [build-dir] [sanitized-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SAN_BUILD="${2:-build-asan}"
+
+echo "== tier-1: standard build =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+echo "== tier-1: sanitized build (ASan + UBSan) =="
+cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
+cmake --build "$SAN_BUILD" -j --target test_net test_core
+"$SAN_BUILD/tests/test_net"
+"$SAN_BUILD/tests/test_core"
+
+echo "== tier-1: all green =="

@@ -1,0 +1,205 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jasim {
+
+ClusterUnderTest::ClusterUnderTest(
+    const ClusterConfig &config,
+    std::shared_ptr<const WorkloadProfiles> profiles,
+    std::shared_ptr<const MethodRegistry> registry, std::uint64_t seed)
+    : config_(config), profiles_(std::move(profiles)),
+      registry_(std::move(registry)),
+      fabric_(config.fabric, config.nodes, seed ^ 0x4e7ull),
+      lb_(config.lb, config.nodes), db_scheduler_(config.db_cpus),
+      db_disk_(config.db_disk), seed_(seed)
+{
+    assert(profiles_ && registry_ && config_.nodes > 0);
+
+    // The shared DB node is populated for the aggregate IR, as the
+    // real benchmark scales its initial database with load.
+    db_app_ = std::make_unique<Jas2004Application>(
+        config_.node.db, config_.totalInjectionRate(), seed ^ 0xdb0ull);
+
+    Rng seeder(seed ^ 0x5eedull);
+    pools_.reserve(config_.nodes);
+    nodes_.reserve(config_.nodes);
+    for (std::size_t n = 0; n < config_.nodes; ++n) {
+        pools_.push_back(std::make_unique<ConnectionPool>(
+            config_.db_pool, queue_, fabric_.nodeDb(n)));
+        nodes_.push_back(std::make_unique<SystemUnderTest>(
+            config_.node, profiles_, registry_, seeder(), &queue_));
+        SystemUnderTest &sut = *nodes_[n];
+        sut.setRemoteDbTier(
+            [this, n](RequestType type, double noise,
+                      SystemUnderTest::DbDone done) {
+                remoteDb(n, type, noise, std::move(done));
+            });
+        sut.setCompletionHook(
+            [this, n](const Request &request, SimTime finish) {
+                onNodeComplete(n, request, finish);
+            });
+    }
+}
+
+void
+ClusterUnderTest::start(SimTime end)
+{
+    DriverConfig driver_config = config_.node.driver;
+    driver_config.injection_rate = config_.totalInjectionRate();
+    // Same driver-seed derivation as SystemUnderTest::start, so a
+    // 1-node cluster sees the identical arrival stream as a
+    // single-box SUT run with the same master seed — which the
+    // cluster equivalence test exploits.
+    driver_ = std::make_unique<Driver>(
+        driver_config, queue_, Rng(seed_)() ^ 0xd21eull,
+        [this](const Request &request) { handleRequest(request); });
+    driver_->start(0, end);
+}
+
+void
+ClusterUnderTest::handleRequest(const Request &request)
+{
+    const SimTime at_lb = fabric_.clientLb().deliver(
+        queue_.now(),
+        static_cast<std::uint64_t>(config_.request_bytes));
+    queue_.scheduleAt(at_lb,
+                      [this, request] { routeToNode(request); });
+}
+
+void
+ClusterUnderTest::routeToNode(const Request &request)
+{
+    // The balancer is a single server: forwarding work serializes, so
+    // an undersized balancer is itself a possible cluster bottleneck.
+    const SimTime now = queue_.now();
+    const SimTime start = std::max(now, lb_free_);
+    lb_free_ = start + static_cast<SimTime>(
+        std::llround(config_.lb.forward_us));
+
+    const std::size_t node = lb_.route();
+    const SimTime at_node = fabric_.lbNode(node).deliver(
+        lb_free_, static_cast<std::uint64_t>(config_.request_bytes));
+    queue_.scheduleAt(at_node, [this, request, node] {
+        nodes_[node]->inject(request);
+    });
+}
+
+std::uint64_t
+ClusterUnderTest::responseBytes(std::size_t node,
+                                RequestType type) const
+{
+    const double kb =
+        nodes_[node]->application().profile(type).response_kb;
+    return std::max<std::uint64_t>(
+        256, static_cast<std::uint64_t>(kb * 1024.0));
+}
+
+void
+ClusterUnderTest::onNodeComplete(std::size_t node,
+                                 const Request &request,
+                                 SimTime finish)
+{
+    lb_.complete(node);
+    const std::uint64_t bytes = responseBytes(node, request.type);
+    const SimTime at_lb = fabric_.lbNode(node).deliver(
+        finish, bytes, NetworkLink::Direction::Reverse);
+    queue_.scheduleAt(at_lb, [this, request, node, bytes] {
+        const SimTime at_client = fabric_.clientLb().deliver(
+            queue_.now(), bytes, NetworkLink::Direction::Reverse);
+        queue_.scheduleAt(at_client, [this, request, node] {
+            tracker_.complete(request, queue_.now(),
+                              static_cast<std::uint32_t>(node));
+        });
+    });
+}
+
+void
+ClusterUnderTest::dbBurst(double burst_us, std::function<void()> then)
+{
+    const double quantum = config_.db_quantum_us;
+    const SimTime now = queue_.now();
+    if (burst_us <= quantum) {
+        queue_.scheduleAt(
+            db_scheduler_.run(now, burst_us, Component::Db2).completion,
+            std::move(then));
+        return;
+    }
+    const SimTime slice_end =
+        db_scheduler_.run(now, quantum, Component::Db2).completion;
+    const double remaining = burst_us - quantum;
+    queue_.scheduleAt(slice_end,
+                      [this, remaining, then = std::move(then)]() mutable {
+                          dbBurst(remaining, std::move(then));
+                      });
+}
+
+void
+ClusterUnderTest::remoteDb(std::size_t node, RequestType type,
+                           double noise,
+                           SystemUnderTest::DbDone done)
+{
+    // JDBC-style: hold a pooled connection for the whole round trip.
+    pools_[node]->acquire([this, node, type, noise,
+                           done = std::move(done)](SimTime ready) {
+        const SimTime at_db = fabric_.nodeDb(node).deliver(
+            ready, static_cast<std::uint64_t>(config_.query_bytes));
+        queue_.scheduleAt(at_db, [this, node, type, noise,
+                                  done = std::move(done)]() mutable {
+            auto outcome = std::make_shared<TxnDbOutcome>(
+                db_app_->runTransaction(type));
+            const TxnProfile &profile =
+                nodes_[node]->application().profile(type);
+            const double burst =
+                profile.db_us * noise + outcome->cost.cpu_us;
+            dbBurst(burst, [this, node, outcome,
+                            done = std::move(done)]() mutable {
+                finishDbTransaction(node, std::move(outcome),
+                                    std::move(done));
+            });
+        });
+    });
+}
+
+void
+ClusterUnderTest::finishDbTransaction(
+    std::size_t node, std::shared_ptr<TxnDbOutcome> outcome,
+    SystemUnderTest::DbDone done)
+{
+    const SimTime now = queue_.now();
+    SimTime io_done = now;
+
+    if (outcome->cost.pages_read > 0) {
+        const IoResult io = db_disk_.read(
+            now,
+            static_cast<std::uint32_t>(outcome->cost.pages_read));
+        db_disk_blocked_us_ += io.completion - now;
+        io_done = io.completion;
+    }
+    if (outcome->cost.writebacks > 0) {
+        // Asynchronous page cleaning: charge the disk, not the txn.
+        db_disk_.write(now, outcome->cost.writebacks * 4096);
+    }
+    if (outcome->cost.log_bytes_forced > 0) {
+        const IoResult io =
+            db_disk_.write(io_done, outcome->cost.log_bytes_forced);
+        db_disk_blocked_us_ += io.completion - io_done;
+        io_done = io.completion;
+    }
+
+    // Response crosses back to the node; the connection frees once
+    // the response has arrived and the EJB tier resumes.
+    const SimTime at_node = fabric_.nodeDb(node).deliver(
+        io_done,
+        static_cast<std::uint64_t>(config_.db_response_bytes),
+        NetworkLink::Direction::Reverse);
+    queue_.scheduleAt(at_node, [this, node, outcome,
+                                done = std::move(done)] {
+        pools_[node]->release();
+        done(*outcome);
+    });
+}
+
+} // namespace jasim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The cluster under test: N app-server nodes behind a load balancer,
+ * sharing one remote database tier over a simulated network fabric.
+ *
+ * Horizontal-scaling extension of the paper's single-box SUT (its §7
+ * leaves scaling as future work): every node is a full
+ * SystemUnderTest stack (scheduler, JVM heap/GC, JIT, thread pool,
+ * vmstat) driven through a front-end balancer, and every EJB->DB call
+ * leaves the node — it acquires a connection from the node's bounded
+ * pool, crosses the node-DB link, runs its CPU and I/O on the shared
+ * DB node, and returns. All of it shares one event queue, so cluster
+ * runs are exactly as deterministic as single-box runs. The shared DB
+ * tier (or an undersized balancer) is the emergent scaling bottleneck
+ * the abl_cluster_scaling bench sweeps for.
+ */
+
+#ifndef JASIM_CORE_CLUSTER_H
+#define JASIM_CORE_CLUSTER_H
+
+#include <memory>
+#include <vector>
+
+#include "core/sut.h"
+#include "net/connection_pool.h"
+#include "net/fabric.h"
+#include "net/load_balancer.h"
+
+namespace jasim {
+
+/** Everything configurable about the cluster. */
+struct ClusterConfig
+{
+    /** App-server node count. */
+    std::size_t nodes = 2;
+
+    /**
+     * Per-node stack configuration; `node.injection_rate` is the
+     * per-node IR (the cluster driver injects nodes x that).
+     */
+    SutConfig node;
+
+    LbConfig lb;
+    FabricConfig fabric;
+
+    /** Each node's connection pool to the DB tier. */
+    ConnectionPoolConfig db_pool;
+
+    /** The shared database node. */
+    std::size_t db_cpus = 4;
+    DiskConfig db_disk;          //!< RAM disk by default
+    double db_quantum_us = 2000.0;
+
+    /** Message sizes (bytes) on the wire. */
+    double request_bytes = 512.0;     //!< client -> LB -> node
+    double query_bytes = 384.0;       //!< node -> DB, per transaction
+    double db_response_bytes = 2048.0;
+
+    /** Aggregate injection rate the driver runs at. */
+    double totalInjectionRate() const
+    {
+        return node.injection_rate * static_cast<double>(nodes);
+    }
+};
+
+/** The assembled cluster. */
+class ClusterUnderTest
+{
+  public:
+    ClusterUnderTest(const ClusterConfig &config,
+                     std::shared_ptr<const WorkloadProfiles> profiles,
+                     std::shared_ptr<const MethodRegistry> registry,
+                     std::uint64_t seed);
+
+    /** Begin injecting load over [0, end). */
+    void start(SimTime end);
+
+    /** Advance the shared discrete-event simulation to `horizon`. */
+    void advanceTo(SimTime horizon) { queue_.runUntil(horizon); }
+
+    EventQueue &queue() { return queue_; }
+    const ClusterConfig &config() const { return config_; }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    SystemUnderTest &node(std::size_t i) { return *nodes_[i]; }
+    const SystemUnderTest &node(std::size_t i) const
+    {
+        return *nodes_[i];
+    }
+    LoadBalancer &loadBalancer() { return lb_; }
+    NetworkFabric &fabric() { return fabric_; }
+    ConnectionPool &dbPool(std::size_t node) { return *pools_[node]; }
+    CpuScheduler &dbScheduler() { return db_scheduler_; }
+    DiskModel &dbDisk() { return db_disk_; }
+    Jas2004Application &dbApplication() { return *db_app_; }
+
+    /**
+     * Aggregate tracker: completions are recorded when the response
+     * reaches the client, labelled with the serving node.
+     */
+    ResponseTracker &tracker() { return tracker_; }
+    const ResponseTracker &tracker() const { return tracker_; }
+
+    /** Aggregate operations per second over [from, to). */
+    double jops(SimTime from, SimTime to) const
+    {
+        return tracker_.jops(from, to);
+    }
+
+    /** DB-node CPU utilization over [0, now). */
+    double dbUtilization() const
+    {
+        return db_scheduler_.utilization(queue_.now());
+    }
+
+    /** Cumulative time transactions waited on DB-node disk I/O. */
+    SimTime dbDiskBlockedUs() const { return db_disk_blocked_us_; }
+
+  private:
+    ClusterConfig config_;
+    std::shared_ptr<const WorkloadProfiles> profiles_;
+    std::shared_ptr<const MethodRegistry> registry_;
+
+    EventQueue queue_;
+    NetworkFabric fabric_;
+    LoadBalancer lb_;
+    CpuScheduler db_scheduler_;
+    DiskModel db_disk_;
+    std::unique_ptr<Jas2004Application> db_app_;
+    std::vector<std::unique_ptr<ConnectionPool>> pools_;
+    std::vector<std::unique_ptr<SystemUnderTest>> nodes_;
+    ResponseTracker tracker_;
+    std::uint64_t seed_;
+    std::unique_ptr<Driver> driver_;
+    SimTime lb_free_ = 0; //!< balancer single-server serializer
+    SimTime db_disk_blocked_us_ = 0;
+
+    void handleRequest(const Request &request);
+    void routeToNode(const Request &request);
+    void onNodeComplete(std::size_t node, const Request &request,
+                        SimTime finish);
+    void remoteDb(std::size_t node, RequestType type, double noise,
+                  SystemUnderTest::DbDone done);
+    void finishDbTransaction(std::size_t node,
+                             std::shared_ptr<TxnDbOutcome> outcome,
+                             SystemUnderTest::DbDone done);
+
+    /** Run a DB-node CPU burst in scheduler quanta, then `then`. */
+    void dbBurst(double burst_us, std::function<void()> then);
+
+    std::uint64_t responseBytes(std::size_t node,
+                                RequestType type) const;
+};
+
+} // namespace jasim
+
+#endif // JASIM_CORE_CLUSTER_H

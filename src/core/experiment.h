@@ -37,6 +37,13 @@ struct ExperimentConfig
     std::size_t windows_per_group = 12;
     std::uint64_t seed = 42;
 
+    /**
+     * Cluster width requested on the command line (`--nodes N`).
+     * Single-box benches ignore it; cluster-aware benches use it as
+     * their node count (or sweep ceiling).
+     */
+    std::size_t nodes = 1;
+
     SimTime totalTime() const
     {
         return secs(ramp_up_s + steady_s + ramp_down_s);

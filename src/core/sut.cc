@@ -11,9 +11,14 @@ namespace jasim {
 SystemUnderTest::SystemUnderTest(
     const SutConfig &config,
     std::shared_ptr<const WorkloadProfiles> profiles,
-    std::shared_ptr<const MethodRegistry> registry, std::uint64_t seed)
+    std::shared_ptr<const MethodRegistry> registry, std::uint64_t seed,
+    EventQueue *external_queue)
     : config_(config), profiles_(std::move(profiles)),
-      registry_(std::move(registry)), scheduler_(config.cpus),
+      registry_(std::move(registry)),
+      owned_queue_(external_queue ? nullptr
+                                  : std::make_unique<EventQueue>()),
+      queue_(external_queue ? *external_queue : *owned_queue_),
+      scheduler_(config.cpus),
       disk_(config.disk), gc_(config.gc, seed ^ 0x6cull),
       jit_(config.jit, *registry_),
       app_(config.db, config.injection_rate, seed ^ 0xdbull),
@@ -179,6 +184,18 @@ SystemUnderTest::advanceJob(const std::shared_ptr<Job> &job)
       }
 
       case 5: { // data tier CPU
+        if (remote_db_) {
+            // Remote data tier: the fabric/pool/DB-node machinery
+            // owns stages 5-7; resume at the outbound kernel stage
+            // when the response returns.
+            job->stage = 8;
+            remote_db_(type, noise,
+                       [this, job](const TxnDbOutcome &outcome) {
+                           job->db = outcome;
+                           advanceJob(job);
+                       });
+            return;
+        }
         job->db = app_.runTransaction(type);
         const double burst =
             profile.db_us * noise + job->db.cost.cpu_us;
@@ -232,6 +249,8 @@ SystemUnderTest::advanceJob(const std::shared_ptr<Job> &job)
 
       default: { // complete
         tracker_.complete(job->request, now);
+        if (completion_hook_)
+            completion_hook_(job->request, now);
         job->done();
         return;
       }

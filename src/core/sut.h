@@ -73,17 +73,55 @@ struct SutConfig
 class SystemUnderTest
 {
   public:
+    /** Completion signal for an externally run data tier. */
+    using DbDone = std::function<void(const TxnDbOutcome &)>;
+
+    /**
+     * An external data tier: performs the whole DB stage for one
+     * transaction (connection acquisition, round trips, remote CPU
+     * and I/O) and invokes `done` at the simulated completion time.
+     * When installed, the local DB stages (5-7) are skipped.
+     */
+    using RemoteDbTier =
+        std::function<void(RequestType type, double noise, DbDone done)>;
+
+    /** Observer invoked when a request finishes on this node. */
+    using CompletionHook =
+        std::function<void(const Request &request, SimTime finish)>;
+
     /**
      * @param profiles shared workload profiles (code layouts).
      * @param registry shared method registry (aligned with profiles).
+     * @param external_queue when non-null, run on this event queue
+     *        instead of an internally owned one, so several nodes and
+     *        a network fabric share one simulated clock.
      */
     SystemUnderTest(const SutConfig &config,
                     std::shared_ptr<const WorkloadProfiles> profiles,
                     std::shared_ptr<const MethodRegistry> registry,
-                    std::uint64_t seed);
+                    std::uint64_t seed,
+                    EventQueue *external_queue = nullptr);
 
     /** Begin injecting load over [0, end). */
     void start(SimTime end);
+
+    /**
+     * Feed one request directly (cluster mode: the balancer routes
+     * requests here instead of this node running its own driver).
+     */
+    void inject(const Request &request) { handleRequest(request); }
+
+    /** Install an external data tier (cluster mode). */
+    void setRemoteDbTier(RemoteDbTier tier)
+    {
+        remote_db_ = std::move(tier);
+    }
+
+    /** Install a completion observer (cluster roll-up). */
+    void setCompletionHook(CompletionHook hook)
+    {
+        completion_hook_ = std::move(hook);
+    }
 
     /** Advance the discrete-event simulation to `horizon`. */
     void advanceTo(SimTime horizon) { queue_.runUntil(horizon); }
@@ -124,7 +162,8 @@ class SystemUnderTest
     std::shared_ptr<const WorkloadProfiles> profiles_;
     std::shared_ptr<const MethodRegistry> registry_;
 
-    EventQueue queue_;
+    std::unique_ptr<EventQueue> owned_queue_; //!< null in cluster mode
+    EventQueue &queue_;
     CpuScheduler scheduler_;
     DiskModel disk_;
     GarbageCollector gc_;
@@ -138,6 +177,8 @@ class SystemUnderTest
     Rng rng_;
     std::unique_ptr<Driver> driver_;
     SimTime disk_blocked_us_ = 0;
+    RemoteDbTier remote_db_;
+    CompletionHook completion_hook_;
 
     /** In-flight request state for the stage machine. */
     struct Job

@@ -11,12 +11,13 @@ ResponseTracker::ResponseTracker(double bucket_seconds)
 }
 
 void
-ResponseTracker::complete(const Request &request, SimTime finish)
+ResponseTracker::complete(const Request &request, SimTime finish,
+                          std::uint32_t node)
 {
     assert(finish >= request.arrival);
     PerType &pt = per_type_[idx(request.type)];
     pt.responses.add(toSeconds(finish - request.arrival));
-    pt.completions.emplace_back(finish, 1);
+    pt.completions.push_back(Completion{finish, node});
 }
 
 std::uint64_t
@@ -44,9 +45,9 @@ ResponseTracker::throughputSeries(RequestType type, SimTime end) const
     const std::size_t buckets =
         static_cast<std::size_t>((end + bucket - 1) / bucket);
     std::vector<std::uint64_t> counts(buckets, 0);
-    for (const auto &[finish, n] : per_type_[idx(type)].completions) {
-        if (finish < end)
-            counts[static_cast<std::size_t>(finish / bucket)] += n;
+    for (const Completion &c : per_type_[idx(type)].completions) {
+        if (c.finish < end)
+            counts[static_cast<std::size_t>(c.finish / bucket)] += 1;
     }
     for (std::size_t b = 0; b < buckets; ++b) {
         series.append(static_cast<SimTime>(b) * bucket + bucket / 2,
@@ -62,9 +63,38 @@ ResponseTracker::jops(SimTime from, SimTime to) const
         return 0.0;
     std::uint64_t completed = 0;
     for (const auto &pt : per_type_) {
-        for (const auto &[finish, n] : pt.completions) {
-            if (finish >= from && finish < to)
-                completed += n;
+        for (const Completion &c : pt.completions) {
+            if (c.finish >= from && c.finish < to)
+                completed += 1;
+        }
+    }
+    return static_cast<double>(completed) / toSeconds(to - from);
+}
+
+std::uint64_t
+ResponseTracker::completedOnNode(std::uint32_t node) const
+{
+    std::uint64_t total = 0;
+    for (const auto &pt : per_type_) {
+        for (const Completion &c : pt.completions) {
+            if (c.node == node)
+                total += 1;
+        }
+    }
+    return total;
+}
+
+double
+ResponseTracker::nodeJops(std::uint32_t node, SimTime from,
+                          SimTime to) const
+{
+    if (to <= from)
+        return 0.0;
+    std::uint64_t completed = 0;
+    for (const auto &pt : per_type_) {
+        for (const Completion &c : pt.completions) {
+            if (c.node == node && c.finish >= from && c.finish < to)
+                completed += 1;
         }
     }
     return static_cast<double>(completed) / toSeconds(to - from);
@@ -81,6 +111,7 @@ ResponseTracker::verdicts() const
         v.bound_seconds = slaSeconds(type);
         v.completed = per_type_[t].completions.size();
         v.p90_seconds = per_type_[t].responses.percentile(90.0);
+        v.p99_seconds = per_type_[t].responses.percentile(99.0);
         v.pass = v.completed == 0 || v.p90_seconds <= v.bound_seconds;
     }
     return verdicts;
@@ -100,6 +131,12 @@ double
 ResponseTracker::meanResponseSeconds(RequestType type) const
 {
     return per_type_[idx(type)].responses.mean();
+}
+
+double
+ResponseTracker::p99ResponseSeconds(RequestType type) const
+{
+    return per_type_[idx(type)].responses.percentile(99.0);
 }
 
 } // namespace jasim

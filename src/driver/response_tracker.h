@@ -23,6 +23,7 @@ struct SlaVerdict
 {
     RequestType type = RequestType::Browse;
     double p90_seconds = 0.0;
+    double p99_seconds = 0.0; //!< tail beyond the SLA's own percentile
     double bound_seconds = 0.0;
     bool pass = true;
     std::uint64_t completed = 0;
@@ -35,13 +36,24 @@ class ResponseTracker
     /** @param bucket seconds per throughput bucket (Figure 2 grain). */
     explicit ResponseTracker(double bucket_seconds = 30.0);
 
-    /** Record a completed request. */
-    void complete(const Request &request, SimTime finish);
+    /**
+     * Record a completed request. `node` labels which cluster node
+     * served it (0 for a single-box SUT), making cluster roll-ups
+     * attributable per node.
+     */
+    void complete(const Request &request, SimTime finish,
+                  std::uint32_t node = 0);
 
     /** Completions of a type so far. */
     std::uint64_t completedCount(RequestType type) const;
 
     std::uint64_t totalCompleted() const;
+
+    /** Completions served by a given cluster node (any type). */
+    std::uint64_t completedOnNode(std::uint32_t node) const;
+
+    /** Operations per second served by one node over [from, to). */
+    double nodeJops(std::uint32_t node, SimTime from, SimTime to) const;
 
     /**
      * Throughput series (transactions/s) for a type over [0, end).
@@ -61,12 +73,20 @@ class ResponseTracker
     /** Mean response time (seconds) for a type. */
     double meanResponseSeconds(RequestType type) const;
 
+    /** 99th-percentile response time (seconds) for a type. */
+    double p99ResponseSeconds(RequestType type) const;
+
   private:
     double bucket_seconds_;
+    struct Completion
+    {
+        SimTime finish;
+        std::uint32_t node;
+    };
     struct PerType
     {
         PercentileTracker responses; //!< seconds
-        std::vector<std::pair<SimTime, std::uint64_t>> completions;
+        std::vector<Completion> completions;
     };
     std::array<PerType, requestTypeCount> per_type_;
 

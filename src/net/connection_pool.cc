@@ -1,0 +1,94 @@
+#include "net/connection_pool.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace jasim {
+
+ConnectionPool::ConnectionPool(const ConnectionPoolConfig &config,
+                               EventQueue &queue, NetworkLink &link)
+    : config_(config), queue_(queue), link_(link)
+{
+    assert(config_.max_connections > 0);
+}
+
+double
+ConnectionPool::connectCostUs() const
+{
+    return config_.handshake_rtts * link_.rttUs() + config_.connect_us;
+}
+
+void
+ConnectionPool::grant(Acquired on_acquired, SimTime ready)
+{
+    queue_.scheduleAt(ready, [cb = std::move(on_acquired), ready] {
+        cb(ready);
+    });
+}
+
+void
+ConnectionPool::acquire(Acquired on_acquired)
+{
+    const SimTime now = queue_.now();
+    ++stats_.acquires;
+
+    // Reap expired idle connections (stale keep-alives reconnect).
+    if (config_.idle_timeout_s > 0.0) {
+        const SimTime ttl = secs(config_.idle_timeout_s);
+        while (!idle_.empty() && idle_.front() + ttl < now) {
+            idle_.pop_front();
+            --open_;
+            ++stats_.expirations;
+        }
+    }
+
+    if (!idle_.empty()) {
+        idle_.pop_front();
+        ++stats_.reuses;
+        grant(std::move(on_acquired), now);
+        return;
+    }
+    if (open_ < config_.max_connections) {
+        ++open_;
+        ++stats_.fresh_connects;
+        const SimTime ready = now +
+            static_cast<SimTime>(std::llround(connectCostUs()));
+        grant(std::move(on_acquired), ready);
+        return;
+    }
+    ++stats_.waits;
+    waiters_.push_back(Waiter{std::move(on_acquired), now});
+    stats_.peak_waiting = std::max(stats_.peak_waiting, waiters_.size());
+}
+
+void
+ConnectionPool::release()
+{
+    const SimTime now = queue_.now();
+    assert(open_ > 0 && open_ > idle_.size());
+
+    if (!waiters_.empty()) {
+        // Hand the hot connection straight to the longest waiter.
+        Waiter waiter = std::move(waiters_.front());
+        waiters_.pop_front();
+        stats_.total_wait_us += now - waiter.since;
+        grant(std::move(waiter.on_acquired), now);
+        return;
+    }
+    if (config_.keep_alive) {
+        idle_.push_back(now);
+        return;
+    }
+    --open_;
+}
+
+double
+ConnectionPool::meanWaitUs() const
+{
+    if (stats_.waits == 0)
+        return 0.0;
+    return static_cast<double>(stats_.total_wait_us) /
+        static_cast<double>(stats_.waits);
+}
+
+} // namespace jasim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bounded per-endpoint connection pool.
+ *
+ * Models the app server's JDBC-style pool: a fixed maximum number of
+ * TCP-ish connections to one endpoint. Fresh connections pay a
+ * handshake (a configurable number of link round trips plus CPU);
+ * released connections are kept alive and reused for free until an
+ * idle timeout. When every connection is checked out, acquirers queue
+ * FIFO — they are never dropped — which is the classic saturation
+ * mode of a real app-server tier and the knee the cluster bench
+ * looks for.
+ */
+
+#ifndef JASIM_NET_CONNECTION_POOL_H
+#define JASIM_NET_CONNECTION_POOL_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/link.h"
+#include "sim/event_queue.h"
+
+namespace jasim {
+
+/** Pool sizing and connection-establishment costs. */
+struct ConnectionPoolConfig
+{
+    /** Maximum simultaneously open connections. */
+    std::size_t max_connections = 8;
+
+    /** Round trips a fresh connect costs (SYN/SYN-ACK + auth). */
+    double handshake_rtts = 1.5;
+
+    /** CPU/stack cost of establishing a connection (us). */
+    double connect_us = 120.0;
+
+    /** Keep released connections for reuse. */
+    bool keep_alive = true;
+
+    /**
+     * Idle connections older than this are re-established on the next
+     * acquire (<= 0 disables expiry).
+     */
+    double idle_timeout_s = 0.0;
+};
+
+/** Counters the pool accumulates. */
+struct ConnectionPoolStats
+{
+    std::uint64_t acquires = 0;
+    std::uint64_t fresh_connects = 0; //!< paid the handshake
+    std::uint64_t reuses = 0;         //!< free keep-alive reuse
+    std::uint64_t waits = 0;          //!< queued on an exhausted pool
+    std::uint64_t expirations = 0;    //!< idle connections re-established
+    SimTime total_wait_us = 0;
+    std::size_t peak_waiting = 0;
+};
+
+/**
+ * The pool. Acquisition is asynchronous: the callback fires on the
+ * event queue at the simulated time the connection is usable.
+ */
+class ConnectionPool
+{
+  public:
+    /** Receives the absolute time the connection became available. */
+    using Acquired = std::function<void(SimTime ready)>;
+
+    /**
+     * @param link the link to the endpoint (handshake RTT source).
+     */
+    ConnectionPool(const ConnectionPoolConfig &config, EventQueue &queue,
+                   NetworkLink &link);
+
+    /**
+     * Request a connection; `on_acquired` runs at the time it is
+     * usable (immediately for an idle keep-alive connection, after
+     * the handshake for a fresh one, or whenever a connection frees
+     * up if the pool is exhausted). Never drops.
+     */
+    void acquire(Acquired on_acquired);
+
+    /** Return a connection to the pool at the current queue time. */
+    void release();
+
+    std::size_t open() const { return open_; }
+    std::size_t idle() const { return idle_.size(); }
+    std::size_t waiting() const { return waiters_.size(); }
+    const ConnectionPoolConfig &config() const { return config_; }
+    const ConnectionPoolStats &stats() const { return stats_; }
+
+    /** Mean time an acquire spent queued (us). */
+    double meanWaitUs() const;
+
+  private:
+    ConnectionPoolConfig config_;
+    EventQueue &queue_;
+    NetworkLink &link_;
+    std::size_t open_ = 0;
+    std::deque<SimTime> idle_; //!< release times of idle connections
+    struct Waiter
+    {
+        Acquired on_acquired;
+        SimTime since;
+    };
+    std::deque<Waiter> waiters_;
+    ConnectionPoolStats stats_;
+
+    double connectCostUs() const;
+    void grant(Acquired on_acquired, SimTime ready);
+};
+
+} // namespace jasim
+
+#endif // JASIM_NET_CONNECTION_POOL_H

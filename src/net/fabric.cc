@@ -1,0 +1,31 @@
+#include "net/fabric.h"
+
+namespace jasim {
+
+NetworkFabric::NetworkFabric(const FabricConfig &config,
+                             std::size_t nodes, std::uint64_t seed)
+    : client_lb_(config.client_lb, seed ^ 0xfab0ull)
+{
+    Rng seeder(seed ^ 0xfab1ull);
+    lb_node_.reserve(nodes);
+    node_db_.reserve(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) {
+        lb_node_.push_back(
+            std::make_unique<NetworkLink>(config.lb_node, seeder()));
+        node_db_.push_back(
+            std::make_unique<NetworkLink>(config.node_db, seeder()));
+    }
+}
+
+std::uint64_t
+NetworkFabric::totalBytes() const
+{
+    std::uint64_t total = client_lb_.stats().bytes;
+    for (const auto &link : lb_node_)
+        total += link->stats().bytes;
+    for (const auto &link : node_db_)
+        total += link->stats().bytes;
+    return total;
+}
+
+} // namespace jasim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The cluster's network fabric: every link in one place.
+ *
+ * Topology is the classic three-tier star: the driver (clients)
+ * reaches the load balancer over one front link; the balancer fans
+ * out to N app-server nodes; each node has its own link to the shared
+ * database tier. Per-link RNG streams are forked from one fabric
+ * seed, so a fabric is deterministic as a whole while links jitter
+ * independently.
+ */
+
+#ifndef JASIM_NET_FABRIC_H
+#define JASIM_NET_FABRIC_H
+
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+
+namespace jasim {
+
+/** Link characteristics per tier. */
+struct FabricConfig
+{
+    LinkConfig client_lb = LinkConfig::lan();
+    LinkConfig lb_node = LinkConfig::lan();
+    LinkConfig node_db = LinkConfig::lan();
+
+    /** A fabric where every hop is free (single-box equivalence). */
+    static FabricConfig zeroCost()
+    {
+        FabricConfig config;
+        config.client_lb = LinkConfig::zeroCost();
+        config.lb_node = LinkConfig::zeroCost();
+        config.node_db = LinkConfig::zeroCost();
+        return config;
+    }
+};
+
+/** The instantiated star topology. */
+class NetworkFabric
+{
+  public:
+    NetworkFabric(const FabricConfig &config, std::size_t nodes,
+                  std::uint64_t seed);
+
+    NetworkLink &clientLb() { return client_lb_; }
+    NetworkLink &lbNode(std::size_t node) { return *lb_node_[node]; }
+    NetworkLink &nodeDb(std::size_t node) { return *node_db_[node]; }
+
+    std::size_t nodeCount() const { return lb_node_.size(); }
+
+    /** Total bytes that crossed any link. */
+    std::uint64_t totalBytes() const;
+
+  private:
+    NetworkLink client_lb_;
+    std::vector<std::unique_ptr<NetworkLink>> lb_node_;
+    std::vector<std::unique_ptr<NetworkLink>> node_db_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_NET_FABRIC_H

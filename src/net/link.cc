@@ -1,0 +1,50 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/distributions.h"
+
+namespace jasim {
+
+NetworkLink::NetworkLink(const LinkConfig &config, std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+}
+
+SimTime
+NetworkLink::propagation()
+{
+    if (config_.latency_us <= 0.0)
+        return 0;
+    double latency = config_.latency_us;
+    if (config_.jitter_sigma > 0.0) {
+        const double sigma = config_.jitter_sigma;
+        // Mean-1 multiplier: E[lognormal(-s^2/2, s)] = 1.
+        latency *= drawLogNormal(rng_, -sigma * sigma / 2.0, sigma);
+    }
+    return static_cast<SimTime>(std::llround(latency));
+}
+
+SimTime
+NetworkLink::deliver(SimTime now, std::uint64_t bytes,
+                     Direction direction)
+{
+    SimTime &tx_free = tx_free_[static_cast<std::size_t>(direction)];
+    SimTime tx_us = 0;
+    if (config_.bytes_per_us > 0.0) {
+        tx_us = static_cast<SimTime>(std::llround(
+            static_cast<double>(bytes) / config_.bytes_per_us));
+    }
+    const SimTime start = std::max(now, tx_free);
+    tx_free = start + tx_us;
+
+    stats_.messages += 1;
+    stats_.bytes += bytes;
+    stats_.tx_busy_us += tx_us;
+    stats_.tx_queued_us += start - now;
+
+    return tx_free + propagation();
+}
+
+} // namespace jasim

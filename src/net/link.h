@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Point-to-point network link model.
+ *
+ * A link is a FIFO serializer plus a propagation delay: a message
+ * occupies the transmitter for bytes/bandwidth microseconds (so
+ * back-to-back messages queue behind each other) and then propagates
+ * for one one-way latency, stretched by a seeded log-normal jitter
+ * multiplier so delivery times vary run-to-run only with the seed.
+ * A default-constructed LinkConfig with latency_us = 0 and
+ * jitter_sigma = 0 is a zero-cost link, which the cluster equivalence
+ * tests rely on.
+ */
+
+#ifndef JASIM_NET_LINK_H
+#define JASIM_NET_LINK_H
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace jasim {
+
+/** One link's fixed characteristics. */
+struct LinkConfig
+{
+    /** One-way propagation latency (us). */
+    double latency_us = 0.0;
+
+    /**
+     * Transmit bandwidth in bytes per microsecond (1 Gb/s = 125).
+     * Zero or negative means infinite bandwidth (no serialization).
+     */
+    double bytes_per_us = 125.0;
+
+    /**
+     * Sigma of the log-normal latency jitter; the multiplier has mean
+     * 1 so the configured latency is also the expected latency. Zero
+     * disables jitter (and draws nothing from the RNG).
+     */
+    double jitter_sigma = 0.0;
+
+    /** A LAN-ish link: 100 us one way, 1 Gb/s, mild jitter. */
+    static LinkConfig lan()
+    {
+        return LinkConfig{100.0, 125.0, 0.15};
+    }
+
+    /** Free, instantaneous transfer (loopback / test fabric). */
+    static LinkConfig zeroCost() { return LinkConfig{0.0, 0.0, 0.0}; }
+};
+
+/** Statistics a link accumulates. */
+struct LinkStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    SimTime tx_busy_us = 0;     //!< serialization time accumulated
+    SimTime tx_queued_us = 0;   //!< time messages waited for the wire
+};
+
+/**
+ * A full-duplex link: each direction has its own serializer, so
+ * request and response traffic do not contend with each other (as on
+ * real twisted-pair Ethernet).
+ */
+class NetworkLink
+{
+  public:
+    enum class Direction : std::uint8_t { Forward, Reverse };
+
+    NetworkLink(const LinkConfig &config, std::uint64_t seed);
+
+    /**
+     * Send `bytes` at time `now`; returns the absolute arrival time
+     * at the far end. FIFO per direction: a message queues behind the
+     * previous message's serialization.
+     */
+    SimTime deliver(SimTime now, std::uint64_t bytes,
+                    Direction direction = Direction::Forward);
+
+    /** Expected round-trip time, jitter-free (us). */
+    double rttUs() const { return 2.0 * config_.latency_us; }
+
+    const LinkConfig &config() const { return config_; }
+    const LinkStats &stats() const { return stats_; }
+
+  private:
+    LinkConfig config_;
+    Rng rng_;
+    SimTime tx_free_[2] = {0, 0}; //!< per-direction next-free time
+    LinkStats stats_;
+
+    SimTime propagation();
+};
+
+} // namespace jasim
+
+#endif // JASIM_NET_LINK_H

@@ -1,0 +1,87 @@
+#include "net/load_balancer.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace jasim {
+
+const char *
+lbPolicyName(LbPolicy policy)
+{
+    switch (policy) {
+      case LbPolicy::RoundRobin: return "round-robin";
+      case LbPolicy::LeastConnections: return "least-connections";
+      case LbPolicy::Weighted: return "weighted";
+    }
+    return "?";
+}
+
+LoadBalancer::LoadBalancer(const LbConfig &config, std::size_t nodes)
+    : config_(config), in_flight_(nodes, 0), routed_(nodes, 0),
+      current_weight_(nodes, 0.0)
+{
+    assert(nodes > 0);
+    config_.weights.resize(nodes, 1.0);
+    for (double &w : config_.weights) {
+        if (w <= 0.0)
+            w = 1.0;
+    }
+}
+
+std::size_t
+LoadBalancer::pick()
+{
+    switch (config_.policy) {
+      case LbPolicy::RoundRobin: {
+        const std::size_t node = next_;
+        next_ = (next_ + 1) % in_flight_.size();
+        return node;
+      }
+      case LbPolicy::LeastConnections: {
+        std::size_t best = 0;
+        for (std::size_t n = 1; n < in_flight_.size(); ++n) {
+            if (in_flight_[n] < in_flight_[best])
+                best = n;
+        }
+        return best;
+      }
+      case LbPolicy::Weighted: {
+        // Smooth weighted round-robin: raise every node by its
+        // weight, pick the highest, then drop it by the total.
+        const double total = std::accumulate(
+            config_.weights.begin(), config_.weights.end(), 0.0);
+        std::size_t best = 0;
+        for (std::size_t n = 0; n < current_weight_.size(); ++n) {
+            current_weight_[n] += config_.weights[n];
+            if (current_weight_[n] > current_weight_[best])
+                best = n;
+        }
+        current_weight_[best] -= total;
+        return best;
+      }
+    }
+    return 0;
+}
+
+std::size_t
+LoadBalancer::route()
+{
+    const std::size_t node = pick();
+    ++in_flight_[node];
+    ++routed_[node];
+    ++total_routed_;
+    std::size_t flying = 0;
+    for (const std::size_t f : in_flight_)
+        flying += f;
+    peak_in_flight_ = std::max(peak_in_flight_, flying);
+    return node;
+}
+
+void
+LoadBalancer::complete(std::size_t node)
+{
+    assert(node < in_flight_.size() && in_flight_[node] > 0);
+    --in_flight_[node];
+}
+
+} // namespace jasim

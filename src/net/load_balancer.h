@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Front-end load balancer with pluggable routing policies.
+ *
+ * Routes driver requests across the app-server nodes. Policies:
+ * round-robin (exact rotation), least-connections (fewest in-flight,
+ * lowest index on ties), and weighted (smooth weighted round-robin,
+ * the nginx algorithm, so a {5,1} weighting interleaves rather than
+ * bursts). All policies are deterministic: given the same assignment
+ * and completion sequence they produce the same routing, which the
+ * tests pin.
+ */
+
+#ifndef JASIM_NET_LOAD_BALANCER_H
+#define JASIM_NET_LOAD_BALANCER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace jasim {
+
+/** Routing policy. */
+enum class LbPolicy : std::uint8_t
+{
+    RoundRobin,
+    LeastConnections,
+    Weighted,
+};
+
+const char *lbPolicyName(LbPolicy policy);
+
+/** Balancer configuration. */
+struct LbConfig
+{
+    LbPolicy policy = LbPolicy::LeastConnections;
+
+    /** Per-node weights (Weighted policy; resized/defaulted to 1). */
+    std::vector<double> weights;
+
+    /** CPU cost the balancer adds per forwarded request (us). */
+    double forward_us = 30.0;
+};
+
+/** Routing decisions + in-flight bookkeeping. */
+class LoadBalancer
+{
+  public:
+    LoadBalancer(const LbConfig &config, std::size_t nodes);
+
+    /**
+     * Pick a backend for the next request and record it in flight.
+     * Returns the node index.
+     */
+    std::size_t route();
+
+    /** Record a request leaving a node (response sent). */
+    void complete(std::size_t node);
+
+    std::size_t nodeCount() const { return in_flight_.size(); }
+    std::size_t inFlight(std::size_t node) const
+    {
+        return in_flight_[node];
+    }
+    std::uint64_t routedTo(std::size_t node) const
+    {
+        return routed_[node];
+    }
+    std::uint64_t totalRouted() const { return total_routed_; }
+    std::size_t peakInFlight() const { return peak_in_flight_; }
+    const LbConfig &config() const { return config_; }
+
+  private:
+    LbConfig config_;
+    std::vector<std::size_t> in_flight_;
+    std::vector<std::uint64_t> routed_;
+    std::vector<double> current_weight_; //!< smooth-WRR state
+    std::size_t next_ = 0;               //!< round-robin cursor
+    std::uint64_t total_routed_ = 0;
+    std::size_t peak_in_flight_ = 0;
+
+    std::size_t pick();
+};
+
+} // namespace jasim
+
+#endif // JASIM_NET_LOAD_BALANCER_H

@@ -9,7 +9,25 @@ Config::fromArgs(int argc, char **argv)
 {
     Config config;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+
+        // GNU-style flags normalize to the same keys: `--seed 42`
+        // and `--seed=42` both mean `seed=42`; a bare `--flag` with
+        // no value is a boolean `flag=1`.
+        if (arg.rfind("--", 0) == 0) {
+            arg = arg.substr(2);
+            if (arg.empty())
+                continue;
+            if (arg.find('=') == std::string::npos) {
+                const bool next_is_value = i + 1 < argc &&
+                    std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+                    std::string(argv[i + 1]).find('=') ==
+                        std::string::npos;
+                config.set(arg, next_is_value ? argv[++i] : "1");
+                continue;
+            }
+        }
+
         const auto eq = arg.find('=');
         if (eq == std::string::npos || eq == 0)
             continue;

@@ -23,7 +23,11 @@ class Config
   public:
     Config() = default;
 
-    /** Parse argv entries of the form key=value; others are ignored. */
+    /**
+     * Parse argv entries. Accepted forms, all equivalent:
+     * `key=value`, `--key=value`, `--key value`; a bare `--key`
+     * becomes the boolean `key=1`. Anything else is ignored.
+     */
     static Config fromArgs(int argc, char **argv);
 
     /** Set (or overwrite) a key. */

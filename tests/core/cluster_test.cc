@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace jasim {
+namespace {
+
+struct Shared
+{
+    std::shared_ptr<const WorkloadProfiles> profiles;
+    std::shared_ptr<const MethodRegistry> registry;
+
+    explicit Shared(std::uint64_t seed = 11)
+        : profiles(std::make_shared<const WorkloadProfiles>(seed)),
+          registry(std::make_shared<const MethodRegistry>(
+              profiles->layout(Component::WasJit).count(), seed))
+    {
+    }
+};
+
+SutConfig
+lightNode(double per_node_ir)
+{
+    SutConfig config;
+    config.injection_rate = per_node_ir;
+    config.driver.ramp_up_s = 1.0;
+    return config;
+}
+
+/** Cluster whose fabric, pool and balancer add no cost at all. */
+ClusterConfig
+zeroCostCluster(std::size_t nodes, double per_node_ir)
+{
+    ClusterConfig config;
+    config.nodes = nodes;
+    config.node = lightNode(per_node_ir);
+    config.fabric = FabricConfig::zeroCost();
+    config.db_pool.max_connections = 64;
+    config.db_pool.connect_us = 0.0;
+    config.lb.forward_us = 0.0;
+    return config;
+}
+
+TEST(ClusterTest, OneNodeZeroCostFabricMatchesSingleSutJops)
+{
+    const std::uint64_t seed = 11;
+    const double ir = 10.0;
+    const SimTime end = secs(120);
+    Shared shared(seed);
+
+    SystemUnderTest sut(lightNode(ir), shared.profiles,
+                        shared.registry, seed);
+    sut.start(end);
+    sut.advanceTo(end + secs(10));
+
+    ClusterUnderTest cluster(zeroCostCluster(1, ir), shared.profiles,
+                             shared.registry, seed);
+    cluster.start(end);
+    cluster.advanceTo(end + secs(10));
+
+    // Identical seed => identical arrival stream; a free fabric must
+    // not perturb throughput. Acceptance bound is 5%.
+    const double sut_jops = sut.tracker().jops(secs(10), end);
+    const double cluster_jops = cluster.jops(secs(10), end);
+    EXPECT_GT(sut_jops, 0.0);
+    EXPECT_NEAR(cluster_jops, sut_jops, sut_jops * 0.05);
+    EXPECT_NEAR(
+        static_cast<double>(cluster.tracker().totalCompleted()),
+        static_cast<double>(sut.tracker().totalCompleted()),
+        static_cast<double>(sut.tracker().totalCompleted()) * 0.05);
+}
+
+TEST(ClusterTest, RunsAreDeterministicUnderPinnedSeed)
+{
+    Shared shared;
+    ClusterConfig config = zeroCostCluster(2, 5.0);
+    config.fabric = FabricConfig{}; // real LAN links, jittered
+    config.fabric.node_db.jitter_sigma = 0.2;
+
+    ClusterUnderTest a(config, shared.profiles, shared.registry, 99);
+    ClusterUnderTest b(config, shared.profiles, shared.registry, 99);
+    a.start(secs(40));
+    b.start(secs(40));
+    a.advanceTo(secs(50));
+    b.advanceTo(secs(50));
+
+    EXPECT_GT(a.tracker().totalCompleted(), 100u);
+    EXPECT_EQ(a.tracker().totalCompleted(),
+              b.tracker().totalCompleted());
+    EXPECT_DOUBLE_EQ(a.jops(secs(5), secs(40)),
+                     b.jops(secs(5), secs(40)));
+    EXPECT_EQ(a.fabric().totalBytes(), b.fabric().totalBytes());
+}
+
+TEST(ClusterTest, PerNodeCompletionsSumToTotal)
+{
+    Shared shared;
+    ClusterConfig config = zeroCostCluster(3, 4.0);
+    config.lb.policy = LbPolicy::RoundRobin;
+    ClusterUnderTest cluster(config, shared.profiles,
+                             shared.registry, 7);
+    cluster.start(secs(40));
+    cluster.advanceTo(secs(50));
+
+    const std::uint64_t total = cluster.tracker().totalCompleted();
+    EXPECT_GT(total, 100u);
+    std::uint64_t sum = 0;
+    for (std::uint32_t n = 0; n < 3; ++n) {
+        const std::uint64_t on_node =
+            cluster.tracker().completedOnNode(n);
+        EXPECT_GT(on_node, 0u);
+        sum += on_node;
+    }
+    EXPECT_EQ(sum, total);
+    // Round-robin: no node serves more than a slight majority.
+    for (std::uint32_t n = 0; n < 3; ++n)
+        EXPECT_LT(cluster.tracker().completedOnNode(n),
+                  total / 2);
+}
+
+TEST(ClusterTest, EveryNodeStackRunsItsOwnJvmAndScheduler)
+{
+    Shared shared;
+    ClusterUnderTest cluster(zeroCostCluster(2, 5.0), shared.profiles,
+                             shared.registry, 7);
+    cluster.start(secs(30));
+    cluster.advanceTo(secs(30));
+    for (std::size_t n = 0; n < 2; ++n) {
+        EXPECT_GT(cluster.node(n).scheduler().totalBusy(), 0u);
+        EXPECT_GT(cluster.node(n).jit().totalCompileUs(), 0.0);
+        // DB CPU runs on the DB node, not on app-server nodes.
+        EXPECT_EQ(cluster.node(n).scheduler().busyBy(Component::Db2),
+                  0u);
+    }
+    EXPECT_GT(cluster.dbScheduler().busyBy(Component::Db2), 0u);
+    EXPECT_GT(cluster.dbApplication().rowsLoaded(), 0u);
+}
+
+TEST(ClusterTest, TinyDbPoolQueuesButLosesNothing)
+{
+    Shared shared;
+    ClusterConfig config = zeroCostCluster(1, 8.0);
+    config.db_pool.max_connections = 1;
+    config.fabric.node_db = LinkConfig::lan(); // real RTTs to the DB
+    ClusterUnderTest cluster(config, shared.profiles,
+                             shared.registry, 13);
+    cluster.start(secs(40));
+    cluster.advanceTo(secs(60)); // drain
+
+    const ConnectionPoolStats &stats = cluster.dbPool(0).stats();
+    EXPECT_GT(stats.waits, 0u);
+    EXPECT_EQ(cluster.dbPool(0).waiting(), 0u);
+    // Every injected DB transaction eventually ran.
+    EXPECT_GT(cluster.tracker().totalCompleted(), 200u);
+    EXPECT_NEAR(
+        static_cast<double>(cluster.tracker().totalCompleted()),
+        8.0 * 1.6 * 39.0, // IR x jops/IR x injected seconds
+        8.0 * 1.6 * 39.0 * 0.2);
+}
+
+TEST(ClusterTest, TwoNodesCarryTwiceTheLoadOfOne)
+{
+    Shared shared;
+    ClusterUnderTest one(zeroCostCluster(1, 5.0), shared.profiles,
+                         shared.registry, 3);
+    ClusterUnderTest two(zeroCostCluster(2, 5.0), shared.profiles,
+                         shared.registry, 3);
+    one.start(secs(60));
+    two.start(secs(60));
+    one.advanceTo(secs(70));
+    two.advanceTo(secs(70));
+    const double jops_one = one.jops(secs(10), secs(60));
+    const double jops_two = two.jops(secs(10), secs(60));
+    EXPECT_NEAR(jops_two, 2.0 * jops_one, 0.15 * jops_two);
+}
+
+} // namespace
+} // namespace jasim

@@ -93,6 +93,43 @@ TEST(ResponseTrackerTest, JopsOverWindow)
     EXPECT_DOUBLE_EQ(tracker.jops(secs(20), secs(30)), 0.0);
 }
 
+TEST(ResponseTrackerTest, P99SitsAtTheTail)
+{
+    ResponseTracker tracker;
+    // 99 fast completions and one 30 s straggler: p90 stays fast,
+    // p99 (nearest-rank over 100 samples) still reads fast, and the
+    // straggler only shows at p100-equivalent ranks.
+    for (int i = 0; i < 99; ++i)
+        tracker.complete(makeRequest(static_cast<std::uint64_t>(i),
+                                     RequestType::Browse, 0),
+                         millis(500));
+    tracker.complete(makeRequest(99, RequestType::Browse, 0), secs(30));
+    const auto verdicts = tracker.verdicts();
+    const auto &browse =
+        verdicts[static_cast<std::size_t>(RequestType::Browse)];
+    EXPECT_NEAR(browse.p90_seconds, 0.5, 1e-9);
+    EXPECT_NEAR(browse.p99_seconds, 0.5, 1e-9);
+    EXPECT_GE(browse.p99_seconds, browse.p90_seconds);
+    EXPECT_NEAR(tracker.p99ResponseSeconds(RequestType::Browse), 0.5,
+                1e-9);
+}
+
+TEST(ResponseTrackerTest, NodeLabelsAttributeCompletions)
+{
+    ResponseTracker tracker;
+    tracker.complete(makeRequest(1, RequestType::Browse, 0), secs(1),
+                     0);
+    tracker.complete(makeRequest(2, RequestType::Browse, 0), secs(2),
+                     1);
+    tracker.complete(makeRequest(3, RequestType::Manage, 0), secs(2),
+                     1);
+    EXPECT_EQ(tracker.completedOnNode(0), 1u);
+    EXPECT_EQ(tracker.completedOnNode(1), 2u);
+    EXPECT_EQ(tracker.completedOnNode(2), 0u);
+    EXPECT_NEAR(tracker.nodeJops(1, 0, secs(4)), 0.5, 1e-9);
+    EXPECT_EQ(tracker.totalCompleted(), 3u);
+}
+
 TEST(ResponseTrackerTest, MeanResponse)
 {
     ResponseTracker tracker;

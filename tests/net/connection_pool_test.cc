@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/connection_pool.h"
+
+namespace jasim {
+namespace {
+
+struct PoolFixture
+{
+    EventQueue queue;
+    NetworkLink link;
+    ConnectionPool pool;
+
+    explicit PoolFixture(ConnectionPoolConfig config,
+                         LinkConfig link_config = LinkConfig::lan())
+        : link(link_config, 5), pool(config, queue, link)
+    {
+    }
+};
+
+ConnectionPoolConfig
+smallPool(std::size_t max)
+{
+    ConnectionPoolConfig config;
+    config.max_connections = max;
+    config.handshake_rtts = 1.5;
+    config.connect_us = 100.0;
+    return config;
+}
+
+TEST(ConnectionPoolTest, FreshConnectPaysHandshake)
+{
+    PoolFixture f(smallPool(2));
+    SimTime got = 0;
+    f.pool.acquire([&](SimTime ready) { got = ready; });
+    f.queue.runUntil(secs(1));
+    // 1.5 RTTs x 200 us + 100 us CPU = 400 us.
+    EXPECT_EQ(got, 400u);
+    EXPECT_EQ(f.pool.stats().fresh_connects, 1u);
+}
+
+TEST(ConnectionPoolTest, KeepAliveReuseIsFree)
+{
+    PoolFixture f(smallPool(2));
+    f.pool.acquire([&](SimTime) { f.pool.release(); });
+    f.queue.runUntil(secs(1));
+
+    SimTime got = 0;
+    f.pool.acquire([&](SimTime ready) { got = ready; });
+    const SimTime asked = f.queue.now();
+    f.queue.runUntil(secs(2));
+    EXPECT_EQ(got, asked);
+    EXPECT_EQ(f.pool.stats().reuses, 1u);
+    EXPECT_EQ(f.pool.stats().fresh_connects, 1u);
+}
+
+TEST(ConnectionPoolTest, ExhaustionQueuesRatherThanDrops)
+{
+    PoolFixture f(smallPool(2));
+    std::vector<SimTime> ready_times;
+    const int requested = 6;
+    for (int i = 0; i < requested; ++i) {
+        f.pool.acquire([&, i](SimTime ready) {
+            ready_times.push_back(ready);
+            // Hold each connection for 10 ms of simulated work.
+            f.queue.scheduleAfter(millis(10),
+                                  [&] { f.pool.release(); });
+        });
+    }
+    EXPECT_EQ(f.pool.waiting(), 4u);
+    EXPECT_EQ(f.pool.stats().peak_waiting, 4u);
+
+    f.queue.runUntil(secs(5));
+    // Every acquire was eventually served — nothing dropped.
+    EXPECT_EQ(ready_times.size(),
+              static_cast<std::size_t>(requested));
+    EXPECT_EQ(f.pool.stats().waits, 4u);
+    EXPECT_GT(f.pool.stats().total_wait_us, 0u);
+    EXPECT_EQ(f.pool.waiting(), 0u);
+    // FIFO: ready times are non-decreasing.
+    for (std::size_t i = 1; i < ready_times.size(); ++i)
+        EXPECT_GE(ready_times[i], ready_times[i - 1]);
+}
+
+TEST(ConnectionPoolTest, WaiterGetsHotConnectionWithoutHandshake)
+{
+    PoolFixture f(smallPool(1));
+    f.pool.acquire([&](SimTime) {
+        f.queue.scheduleAfter(millis(5), [&] { f.pool.release(); });
+    });
+    SimTime got = 0;
+    f.pool.acquire([&](SimTime ready) { got = ready; });
+    f.queue.runUntil(secs(1));
+    // Served exactly when the holder released: no reconnect cost.
+    EXPECT_EQ(got, 400u + millis(5));
+    EXPECT_EQ(f.pool.stats().fresh_connects, 1u);
+}
+
+TEST(ConnectionPoolTest, IdleTimeoutForcesReconnect)
+{
+    ConnectionPoolConfig config = smallPool(2);
+    config.idle_timeout_s = 1.0;
+    PoolFixture f(config);
+    f.pool.acquire([&](SimTime) { f.pool.release(); });
+    f.queue.runUntil(secs(10)); // idle far beyond the timeout
+
+    SimTime asked = f.queue.now();
+    SimTime got = 0;
+    f.pool.acquire([&](SimTime ready) { got = ready; });
+    f.queue.runUntil(secs(20));
+    EXPECT_EQ(f.pool.stats().expirations, 1u);
+    EXPECT_EQ(f.pool.stats().fresh_connects, 2u);
+    EXPECT_EQ(got, asked + 400u);
+}
+
+TEST(ConnectionPoolTest, NoKeepAliveClosesOnRelease)
+{
+    ConnectionPoolConfig config = smallPool(2);
+    config.keep_alive = false;
+    PoolFixture f(config);
+    f.pool.acquire([&](SimTime) { f.pool.release(); });
+    f.queue.runUntil(secs(1));
+    EXPECT_EQ(f.pool.open(), 0u);
+    EXPECT_EQ(f.pool.idle(), 0u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+
+namespace jasim {
+namespace {
+
+TEST(FabricTest, BuildsStarTopology)
+{
+    NetworkFabric fabric(FabricConfig{}, 4, 9);
+    EXPECT_EQ(fabric.nodeCount(), 4u);
+    fabric.clientLb().deliver(0, 100);
+    fabric.lbNode(3).deliver(0, 100);
+    fabric.nodeDb(0).deliver(0, 100);
+    EXPECT_EQ(fabric.totalBytes(), 300u);
+}
+
+TEST(FabricTest, ZeroCostFabricDeliversInstantly)
+{
+    NetworkFabric fabric(FabricConfig::zeroCost(), 2, 9);
+    EXPECT_EQ(fabric.clientLb().deliver(123, 1 << 20), 123u);
+    EXPECT_EQ(fabric.nodeDb(1).deliver(456, 1 << 20), 456u);
+}
+
+TEST(FabricTest, SameSeedSameDeliveries)
+{
+    FabricConfig config; // LAN links with jitter
+    config.node_db.jitter_sigma = 0.3;
+    NetworkFabric a(config, 3, 77), b(config, 3, 77);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(a.nodeDb(1).deliver(0, 1000),
+                  b.nodeDb(1).deliver(0, 1000));
+        EXPECT_EQ(a.lbNode(2).deliver(0, 1000),
+                  b.lbNode(2).deliver(0, 1000));
+    }
+}
+
+TEST(FabricTest, LinksJitterIndependently)
+{
+    FabricConfig config;
+    config.node_db.jitter_sigma = 0.3;
+    NetworkFabric fabric(FabricConfig(config), 2, 77);
+    bool differ = false;
+    for (int i = 0; i < 32; ++i) {
+        differ |= fabric.nodeDb(0).deliver(0, 1) !=
+            fabric.nodeDb(1).deliver(0, 1);
+    }
+    EXPECT_TRUE(differ);
+}
+
+} // namespace
+} // namespace jasim

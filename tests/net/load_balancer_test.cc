@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/load_balancer.h"
+
+namespace jasim {
+namespace {
+
+TEST(LoadBalancerTest, RoundRobinIsExact)
+{
+    LbConfig config;
+    config.policy = LbPolicy::RoundRobin;
+    LoadBalancer lb(config, 3);
+    for (int i = 0; i < 3 * 40; ++i)
+        lb.complete(lb.route()); // immediate completion
+    EXPECT_EQ(lb.routedTo(0), 40u);
+    EXPECT_EQ(lb.routedTo(1), 40u);
+    EXPECT_EQ(lb.routedTo(2), 40u);
+    EXPECT_EQ(lb.totalRouted(), 120u);
+}
+
+TEST(LoadBalancerTest, RoundRobinRotatesInOrder)
+{
+    LbConfig config;
+    config.policy = LbPolicy::RoundRobin;
+    LoadBalancer lb(config, 4);
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(lb.route(), i % 4);
+}
+
+TEST(LoadBalancerTest, LeastConnectionsPrefersIdleNode)
+{
+    LbConfig config;
+    config.policy = LbPolicy::LeastConnections;
+    LoadBalancer lb(config, 3);
+    // Nodes 0 and 1 each have a request in flight; 2 is idle.
+    EXPECT_EQ(lb.route(), 0u);
+    EXPECT_EQ(lb.route(), 1u);
+    EXPECT_EQ(lb.route(), 2u);
+    // All tied at 1 -> lowest index wins.
+    EXPECT_EQ(lb.route(), 0u);
+    // Node 1 finishes its request: it is now least loaded.
+    lb.complete(1);
+    EXPECT_EQ(lb.route(), 1u);
+}
+
+TEST(LoadBalancerTest, LeastConnectionsBalancesSkewedServiceTimes)
+{
+    // Node 0 is "slow" (8 rounds per request); nodes 1 and 2 are
+    // fast (2 rounds). One arrival per round. Least-connections
+    // should throttle the slow node to roughly its drain rate while
+    // the fast nodes absorb the rest.
+    LbConfig config;
+    config.policy = LbPolicy::LeastConnections;
+    LoadBalancer lb(config, 3);
+    std::multimap<int, std::size_t> completions; // round -> node
+    const int rounds = 400;
+    for (int round = 0; round < rounds; ++round) {
+        for (auto it = completions.begin();
+             it != completions.end() && it->first <= round;
+             it = completions.erase(it)) {
+            lb.complete(it->second);
+        }
+        const std::size_t node = lb.route();
+        completions.emplace(round + (node == 0 ? 8 : 2), node);
+    }
+    // The slow node serves ~1/8 of the rounds, the fast ones split
+    // the remainder.
+    EXPECT_LT(lb.routedTo(0), lb.routedTo(1));
+    EXPECT_LT(lb.routedTo(0), lb.routedTo(2));
+    EXPECT_LE(lb.routedTo(0), rounds / 8 + 16u);
+    EXPECT_GT(lb.routedTo(0), 0u);
+}
+
+TEST(LoadBalancerTest, WeightedHonoursWeights)
+{
+    LbConfig config;
+    config.policy = LbPolicy::Weighted;
+    config.weights = {3.0, 1.0};
+    LoadBalancer lb(config, 2);
+    for (int i = 0; i < 400; ++i)
+        lb.complete(lb.route());
+    EXPECT_EQ(lb.routedTo(0), 300u);
+    EXPECT_EQ(lb.routedTo(1), 100u);
+}
+
+TEST(LoadBalancerTest, WeightedInterleavesRatherThanBursts)
+{
+    // Smooth WRR with {2,1} yields 0,1,0 repeating, not 0,0,1.
+    LbConfig config;
+    config.policy = LbPolicy::Weighted;
+    config.weights = {2.0, 1.0};
+    LoadBalancer lb(config, 2);
+    EXPECT_EQ(lb.route(), 0u);
+    EXPECT_EQ(lb.route(), 1u);
+    EXPECT_EQ(lb.route(), 0u);
+    EXPECT_EQ(lb.route(), 0u);
+    EXPECT_EQ(lb.route(), 1u);
+    EXPECT_EQ(lb.route(), 0u);
+}
+
+TEST(LoadBalancerTest, MissingWeightsDefaultToOne)
+{
+    LbConfig config;
+    config.policy = LbPolicy::Weighted;
+    config.weights = {2.0}; // second node unspecified
+    LoadBalancer lb(config, 2);
+    for (int i = 0; i < 300; ++i)
+        lb.complete(lb.route());
+    EXPECT_EQ(lb.routedTo(0), 200u);
+    EXPECT_EQ(lb.routedTo(1), 100u);
+}
+
+TEST(LoadBalancerTest, TracksInFlightAndPeak)
+{
+    LbConfig config;
+    config.policy = LbPolicy::RoundRobin;
+    LoadBalancer lb(config, 2);
+    lb.route();
+    lb.route();
+    lb.route();
+    EXPECT_EQ(lb.inFlight(0), 2u);
+    EXPECT_EQ(lb.inFlight(1), 1u);
+    EXPECT_EQ(lb.peakInFlight(), 3u);
+    lb.complete(0);
+    EXPECT_EQ(lb.inFlight(0), 1u);
+}
+
+} // namespace
+} // namespace jasim

@@ -15,6 +15,32 @@ TEST(ConfigTest, ParsesKeyValueArgs)
     EXPECT_EQ(config.getString("disk", ""), "ramdisk");
 }
 
+TEST(ConfigTest, ParsesGnuStyleFlags)
+{
+    const char *argv[] = {"prog", "--seed", "7", "--nodes=4",
+                          "--micro", "ir=40"};
+    Config config = Config::fromArgs(6, const_cast<char **>(argv));
+    EXPECT_EQ(config.getInt("seed", 0), 7);
+    EXPECT_EQ(config.getInt("nodes", 0), 4);
+    EXPECT_TRUE(config.getBool("micro", false));
+    EXPECT_EQ(config.getInt("ir", 0), 40);
+}
+
+TEST(ConfigTest, BareTrailingFlagIsBoolean)
+{
+    const char *argv[] = {"prog", "--verbose"};
+    Config config = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_TRUE(config.getBool("verbose", false));
+}
+
+TEST(ConfigTest, FlagFollowedByFlagIsBoolean)
+{
+    const char *argv[] = {"prog", "--micro", "--seed", "9"};
+    Config config = Config::fromArgs(4, const_cast<char **>(argv));
+    EXPECT_TRUE(config.getBool("micro", false));
+    EXPECT_EQ(config.getInt("seed", 0), 9);
+}
+
 TEST(ConfigTest, IgnoresMalformedArgs)
 {
     const char *argv[] = {"prog", "noequals", "=value", "ok=1"};
