@@ -9,6 +9,7 @@
 #include "bench_common.h"
 
 #include "core/cluster.h"
+#include "par/sweep.h"
 
 using namespace jasim;
 
@@ -39,6 +40,18 @@ clusterConfig(const ExperimentConfig &base, const Config &args,
     return config;
 }
 
+/** Everything one sweep point contributes to the table and curves. */
+struct ScalePoint
+{
+    double agg_ir = 0.0;
+    double jops = 0.0;
+    double db_util = 0.0;
+    double pool_wait_us = 0.0;
+    double p99_web = 0.0;
+    bool sla = true;
+    std::uint64_t events = 0;
+};
+
 } // namespace
 
 int
@@ -53,6 +66,7 @@ main(int argc, char **argv)
     const Config args = Config::fromArgs(argc, argv);
     ExperimentConfig base = bench::configFromArgs(argc, argv, 90.0);
     base.ramp_up_s = args.getDouble("ramp", 30.0);
+    bench::PerfReport perf("abl_cluster_scaling");
 
     const std::size_t max_nodes = std::max<std::size_t>(
         base.nodes > 1 ? base.nodes : 8, 1);
@@ -67,51 +81,58 @@ main(int argc, char **argv)
         profiles->layout(Component::WasJit).count(),
         base.seed ^ 0x3e9ull);
 
+    // Each point simulates its own independent cluster; the shared
+    // profiles/registry are immutable, so points parallelize cleanly.
+    const auto points =
+        par::runSweep(max_nodes, base.jobs, [&](std::size_t i) {
+            const std::size_t nodes = i + 1;
+            ClusterConfig config = clusterConfig(base, args, nodes);
+            config.node.injection_rate = per_node_ir;
+            ClusterUnderTest cluster(config, profiles, registry,
+                                     base.seed);
+            cluster.start(steady_to);
+            cluster.advanceTo(steady_to);
+
+            ScalePoint p;
+            p.agg_ir = config.totalInjectionRate();
+            p.jops = cluster.jops(steady_from, steady_to);
+            p.db_util = cluster.dbUtilization();
+            for (std::size_t n = 0; n < nodes; ++n)
+                p.pool_wait_us += cluster.dbPool(n).meanWaitUs();
+            p.pool_wait_us /= static_cast<double>(nodes);
+
+            for (const SlaVerdict &v : cluster.tracker().verdicts()) {
+                if (isWebRequest(v.type))
+                    p.p99_web = std::max(p.p99_web, v.p99_seconds);
+                p.sla = p.sla && v.pass;
+            }
+            p.events = cluster.queue().executed();
+            return p;
+        });
+
     TextTable table({"nodes", "agg IR", "JOPS", "JOPS/node",
                      "ideal", "DB util", "pool wait (ms)",
                      "p99 web (s)", "SLA"});
     TimeSeries curve("aggregate JOPS");
     TimeSeries ideal_curve("ideal (linear)");
-    double jops_at_one = 0.0;
+    const double jops_at_one = points.empty() ? 0.0 : points[0].jops;
 
-    for (std::size_t nodes = 1; nodes <= max_nodes; ++nodes) {
-        ClusterConfig config = clusterConfig(base, args, nodes);
-        config.node.injection_rate = per_node_ir;
-        ClusterUnderTest cluster(config, profiles, registry,
-                                 base.seed);
-        cluster.start(steady_to);
-        cluster.advanceTo(steady_to);
-
-        const double jops = cluster.jops(steady_from, steady_to);
-        if (nodes == 1)
-            jops_at_one = jops;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::size_t nodes = i + 1;
+        const ScalePoint &p = points[i];
+        perf.addEvents(p.events);
         const double ideal =
             jops_at_one * static_cast<double>(nodes);
-
-        double pool_wait_us = 0.0;
-        for (std::size_t n = 0; n < nodes; ++n)
-            pool_wait_us += cluster.dbPool(n).meanWaitUs();
-        pool_wait_us /= static_cast<double>(nodes);
-
-        const auto verdicts = cluster.tracker().verdicts();
-        double p99_web = 0.0;
-        bool sla = true;
-        for (const SlaVerdict &v : verdicts) {
-            if (isWebRequest(v.type))
-                p99_web = std::max(p99_web, v.p99_seconds);
-            sla = sla && v.pass;
-        }
-
         table.addRow(
             {TextTable::num(static_cast<double>(nodes), 0),
-             TextTable::num(config.totalInjectionRate(), 0),
-             TextTable::num(jops, 1),
-             TextTable::num(jops / static_cast<double>(nodes), 1),
+             TextTable::num(p.agg_ir, 0),
+             TextTable::num(p.jops, 1),
+             TextTable::num(p.jops / static_cast<double>(nodes), 1),
              TextTable::num(ideal, 1),
-             TextTable::pct(cluster.dbUtilization() * 100.0),
-             TextTable::num(pool_wait_us / 1000.0, 2),
-             TextTable::num(p99_web, 2), sla ? "PASS" : "FAIL"});
-        curve.append(secs(static_cast<double>(nodes)), jops);
+             TextTable::pct(p.db_util * 100.0),
+             TextTable::num(p.pool_wait_us / 1000.0, 2),
+             TextTable::num(p.p99_web, 2), p.sla ? "PASS" : "FAIL"});
+        curve.append(secs(static_cast<double>(nodes)), p.jops);
         ideal_curve.append(secs(static_cast<double>(nodes)), ideal);
     }
     table.print(std::cout);
@@ -126,5 +147,6 @@ main(int argc, char **argv)
                  "connection-pool queueing grows, per-node JOPS "
                  "falls, and the curve bends away from the ideal "
                  "line.\n";
+    perf.write(base.jobs);
     return 0;
 }

@@ -1,6 +1,10 @@
 /** Ablation A3 (Section 4.1.1): heap size vs GC overhead. */
 
+#include <vector>
+
 #include "bench_common.h"
+
+#include "par/sweep.h"
 
 using namespace jasim;
 
@@ -13,16 +17,24 @@ main(int argc, char **argv)
                   "because their heaps were small.");
     const ExperimentConfig base =
         bench::configFromArgs(argc, argv, 240.0);
+    bench::PerfReport perf("abl_heapsize");
+
+    const std::vector<std::uint64_t> heap_mb{320, 512, 1024, 2048};
+    const auto runs =
+        par::runSweep(heap_mb.size(), base.jobs, [&](std::size_t i) {
+            ExperimentConfig config = base;
+            config.micro_enabled = false;
+            config.sut.gc.heap.size_bytes = heap_mb[i] << 20;
+            Experiment experiment(config);
+            return experiment.run();
+        });
 
     TextTable table({"heap", "GC interval (s)", "pause (ms)",
                      "GC % of runtime", "collections"});
-    for (const std::uint64_t mb : {320, 512, 1024, 2048}) {
-        ExperimentConfig config = base;
-        config.micro_enabled = false;
-        config.sut.gc.heap.size_bytes = mb << 20;
-        Experiment experiment(config);
-        const ExperimentResult r = experiment.run();
-        table.addRow({std::to_string(mb) + " MB",
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const ExperimentResult &r = runs[i];
+        perf.addEvents(r.events_executed);
+        table.addRow({std::to_string(heap_mb[i]) + " MB",
                       TextTable::num(r.gc.mean_interval_s, 1),
                       TextTable::num(r.gc.mean_pause_ms, 0),
                       TextTable::pct(r.gc.gc_time_fraction * 100.0, 2),
@@ -31,5 +43,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\nShape: smaller heaps collect far more often; the "
                  "1 GB study configuration keeps GC near ~1%.\n";
+    perf.write(base.jobs);
     return 0;
 }

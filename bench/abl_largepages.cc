@@ -2,20 +2,9 @@
 
 #include "bench_common.h"
 
+#include "par/sweep.h"
+
 using namespace jasim;
-
-namespace {
-
-ExperimentResult
-runWith(ExperimentConfig config, bool heap_large, bool code_large)
-{
-    config.window.heap_large_pages = heap_large;
-    config.window.code_large_pages = code_large;
-    Experiment experiment(config);
-    return experiment.run();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,6 +16,7 @@ main(int argc, char **argv)
                   "cut translation misses further.");
     const ExperimentConfig base =
         bench::configFromArgs(argc, argv, 180.0);
+    bench::PerfReport perf("abl_largepages");
 
     struct Case
     {
@@ -37,13 +27,25 @@ main(int argc, char **argv)
     const Case cases[] = {{"4K everywhere", false, false},
                           {"16M heap (study system)", true, false},
                           {"16M heap + code", true, true}};
+    const std::size_t points = std::size(cases);
+
+    const auto runs =
+        par::runSweep(points, base.jobs, [&](std::size_t i) {
+            ExperimentConfig config = base;
+            config.window.heap_large_pages = cases[i].heap;
+            config.window.code_large_pages = cases[i].code;
+            Experiment experiment(config);
+            return experiment.run();
+        });
 
     TextTable table({"config", "DERAT/inst", "DTLB/inst", "ITLB/inst",
                      "IERAT/inst", "CPI"});
     double dtlb_small = 0.0, dtlb_large = 0.0;
     double itlb_small = 0.0, itlb_large = 0.0;
-    for (const Case &c : cases) {
-        const ExperimentResult r = runWith(base, c.heap, c.code);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Case &c = cases[i];
+        const ExperimentResult &r = runs[i];
+        perf.addEvents(r.events_executed);
         const double derat =
             windowMean(r.windows, WindowMetric::DeratMissPerInst);
         const double dtlb =
@@ -81,5 +83,6 @@ main(int argc, char **argv)
                          ? (1.0 - itlb_large / itlb_small) * 100.0
                          : 0.0)
               << "  (paper: DTLB hits +25%, ITLB hits +15%)\n";
+    perf.write(base.jobs);
     return 0;
 }

@@ -2,9 +2,12 @@
  *  proposes — devirtualizing indirect call sites (Section 4.2.1) and
  *  an instruction-friendly L2 replacement policy (Section 4.3). */
 
+#include <vector>
+
 #include "bench_common.h"
 
 #include "hpm/events.h"
+#include "par/sweep.h"
 
 using namespace jasim;
 
@@ -15,6 +18,7 @@ struct OptResult
     double cpi = 0.0;
     double mispredicts_per_kinst = 0.0; //!< indirect-target mispredicts
     double ifetch_beyond_l2 = 0.0;      //!< I-fetches from L3/memory
+    std::uint64_t events = 0;           //!< kernel events executed
 };
 
 OptResult
@@ -24,6 +28,7 @@ runWith(ExperimentConfig config)
     const ExperimentResult r = experiment.run();
     OptResult out;
     out.cpi = windowMean(r.windows, WindowMetric::Cpi);
+    out.events = r.events_executed;
     const ExecStats &t = r.total;
     out.mispredicts_per_kinst =
         static_cast<double>(t.target_mispredict) /
@@ -53,29 +58,38 @@ main(int argc, char **argv)
                   "in the L2.");
     const ExperimentConfig base =
         bench::configFromArgs(argc, argv, 180.0);
-
-    TextTable table({"configuration", "CPI",
-                     "target mispred / 1k inst", "I-fetch from L3/mem"});
-    auto row = [&](const char *name, const OptResult &r) {
-        table.addRow({name, TextTable::num(r.cpi, 2),
-                      TextTable::num(r.mispredicts_per_kinst, 2),
-                      TextTable::pct(r.ifetch_beyond_l2 * 100.0, 3)});
-    };
-
-    row("baseline", runWith(base));
+    bench::PerfReport perf("abl_optimizations");
 
     ExperimentConfig devirt = base;
     devirt.window.devirtualized_fraction = 0.7;
-    row("devirtualize 70% of sites", runWith(devirt));
 
     ExperimentConfig inst_friendly = base;
     inst_friendly.window.hierarchy.l2_instruction_friendly = true;
-    row("instruction-friendly L2", runWith(inst_friendly));
 
     ExperimentConfig both = base;
     both.window.devirtualized_fraction = 0.7;
     both.window.hierarchy.l2_instruction_friendly = true;
-    row("both", runWith(both));
+
+    const std::vector<std::pair<const char *, ExperimentConfig>>
+        points{{"baseline", base},
+               {"devirtualize 70% of sites", devirt},
+               {"instruction-friendly L2", inst_friendly},
+               {"both", both}};
+
+    const auto runs =
+        par::runSweep(points.size(), base.jobs, [&](std::size_t i) {
+            return runWith(points[i].second);
+        });
+
+    TextTable table({"configuration", "CPI",
+                     "target mispred / 1k inst", "I-fetch from L3/mem"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const OptResult &r = runs[i];
+        perf.addEvents(r.events);
+        table.addRow({points[i].first, TextTable::num(r.cpi, 2),
+                      TextTable::num(r.mispredicts_per_kinst, 2),
+                      TextTable::pct(r.ifetch_beyond_l2 * 100.0, 3)});
+    }
 
     table.print(std::cout);
     std::cout << "\nReading: devirtualization removes indirect-target "
@@ -88,5 +102,6 @@ main(int argc, char **argv)
                  "policy as a question ('may be interesting to "
                  "evaluate'), and the model answers it for this "
                  "workload shape.\n";
+    perf.write(base.jobs);
     return 0;
 }

@@ -3,6 +3,8 @@
 
 #include "bench_common.h"
 
+#include "par/sweep.h"
+
 using namespace jasim;
 
 int
@@ -14,6 +16,7 @@ main(int argc, char **argv)
                   "SUT + hierarchy topologies.");
     const ExperimentConfig base =
         bench::configFromArgs(argc, argv, 180.0);
+    bench::PerfReport perf("abl_scaling");
 
     struct Topo
     {
@@ -28,17 +31,26 @@ main(int argc, char **argv)
         {"2 cores / 1 chip", 2, 2, 20.0},
         {"4 cores / 2 chips (study)", 4, 2, 40.0},
     };
+    const std::size_t points = std::size(topologies);
+
+    const auto runs =
+        par::runSweep(points, base.jobs, [&](std::size_t i) {
+            const Topo &topo = topologies[i];
+            ExperimentConfig config = base;
+            config.sut.cpus = topo.cores;
+            config.sut.injection_rate = topo.ir;
+            config.window.hierarchy.cores = topo.cores;
+            config.window.hierarchy.cores_per_chip = topo.per_chip;
+            Experiment experiment(config);
+            return experiment.run();
+        });
 
     TextTable table({"topology", "IR", "JOPS", "util", "CPI",
                      "L2.75 share", "SLA"});
-    for (const Topo &topo : topologies) {
-        ExperimentConfig config = base;
-        config.sut.cpus = topo.cores;
-        config.sut.injection_rate = topo.ir;
-        config.window.hierarchy.cores = topo.cores;
-        config.window.hierarchy.cores_per_chip = topo.per_chip;
-        Experiment experiment(config);
-        const ExperimentResult r = experiment.run();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Topo &topo = topologies[i];
+        const ExperimentResult &r = runs[i];
+        perf.addEvents(r.events_executed);
         const auto shares = loadSourceShares(r.total);
         const double remote =
             shares[static_cast<std::size_t>(
@@ -58,5 +70,6 @@ main(int argc, char **argv)
     std::cout << "\nShape: throughput scales near-linearly with cores "
                  "at matched load; cross-MCM traffic only appears "
                  "once a second chip exists.\n";
+    perf.write(base.jobs);
     return 0;
 }

@@ -9,13 +9,26 @@
  *   heap_large=1 code_large=0
  * `--seed N` pins every RNG stream; `--nodes N` sets the cluster
  * width (or sweep ceiling) of cluster-aware benches and is ignored
- * by single-box ones.
+ * by single-box ones; `--jobs N` runs sweep points on N workers
+ * (results stay bit-identical to serial — see src/par/sweep.h).
+ *
+ * Every bench also writes a machine-readable perf record to
+ * `out/BENCH_<name>.json` (schema documented on PerfReport below) so
+ * the repo's perf trajectory is tracked run over run; the summary
+ * line goes to stderr so stdout stays bit-comparable across runs.
  */
 
 #ifndef JASIM_BENCH_BENCH_COMMON_H
 #define JASIM_BENCH_BENCH_COMMON_H
 
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/figures.h"
@@ -33,6 +46,7 @@ configFromArgs(int argc, char **argv, double default_steady_s = 300.0)
     config.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
     config.nodes =
         static_cast<std::size_t>(args.getInt("nodes", 1));
+    config.jobs = args.jobs();
     config.ramp_up_s = args.getDouble("ramp", 90.0);
     config.steady_s = args.getDouble("steady", default_steady_s);
     config.ramp_down_s = args.getDouble("rampdown", 10.0);
@@ -62,6 +76,93 @@ banner(std::ostream &os, const char *figure, const char *claim)
        << figure << "\n" << claim << "\n"
        << "==============================================================\n";
 }
+
+/**
+ * Wall-clock + simulated-event accounting for one bench process.
+ *
+ * Construct at the top of main (starts the clock), feed it each run's
+ * `events_executed`, and call write() last: it emits
+ * `out/BENCH_<name>.json` —
+ *
+ *   {
+ *     "bench": "<name>",
+ *     "jobs": <worker count>,
+ *     "wall_seconds": <process wall clock>,
+ *     "events_executed": <kernel events summed over all runs>,
+ *     "events_per_sec": <events_executed / wall_seconds>,
+ *     "metrics": { "<key>": <double>, ... }   // bench-specific
+ *   }
+ *
+ * — and a one-line summary on stderr (stderr so that stdout remains
+ * bit-identical between serial and parallel runs of the same seed,
+ * which scripts/perf_smoke.sh diffs).
+ */
+class PerfReport
+{
+  public:
+    explicit PerfReport(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Account one simulation run's executed kernel events. */
+    void addEvents(std::uint64_t events) { events_ += events; }
+
+    /** Attach a bench-specific metric to the JSON record. */
+    void note(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Write out/BENCH_<name>.json and the stderr summary line. */
+    void
+    write(std::size_t jobs) const
+    {
+        const double wall = elapsedSeconds();
+        const double eps =
+            wall > 0.0 ? static_cast<double>(events_) / wall : 0.0;
+
+        std::error_code ec;
+        std::filesystem::create_directories("out", ec);
+        const std::string path = "out/BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        out.precision(6);
+        out << std::fixed;
+        out << "{\n"
+            << "  \"bench\": \"" << name_ << "\",\n"
+            << "  \"jobs\": " << jobs << ",\n"
+            << "  \"wall_seconds\": " << wall << ",\n"
+            << "  \"events_executed\": " << events_ << ",\n"
+            << "  \"events_per_sec\": " << eps << ",\n"
+            << "  \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            out << (i ? ",\n    \"" : "\n    \"") << metrics_[i].first
+                << "\": " << metrics_[i].second;
+        }
+        out << (metrics_.empty() ? "}\n" : "\n  }\n") << "}\n";
+
+        std::cerr << "[perf] " << name_ << ": "
+                  << TextTable::num(wall, 2) << " s wall, " << events_
+                  << " events, " << TextTable::num(eps, 0)
+                  << " events/s (jobs=" << jobs << ") -> " << path
+                  << "\n";
+    }
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t events_ = 0;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 } // namespace jasim::bench
 

@@ -2,6 +2,8 @@
 
 #include "bench_common.h"
 
+#include "par/sweep.h"
+
 using namespace jasim;
 
 int
@@ -12,9 +14,17 @@ main(int argc, char **argv)
                   "minutes and stay flat for the rest of the run.");
     ExperimentConfig config = bench::configFromArgs(argc, argv, 600.0);
     config.micro_enabled = false; // system level only
+    bench::PerfReport perf("fig02_throughput");
 
-    Experiment experiment(config);
-    const ExperimentResult result = experiment.run();
+    // A single point: routed through the sweep runner anyway so this
+    // bench shares the --jobs plumbing and perf accounting with the
+    // real sweeps (jobs > 1 simply has nothing extra to do).
+    const auto runs = par::runSweep(1, config.jobs, [&](std::size_t) {
+        Experiment experiment(config);
+        return experiment.run();
+    });
+    const ExperimentResult &result = runs[0];
+    perf.addEvents(result.events_executed);
 
     std::vector<TimeSeries> series(result.throughput.begin(),
                                    result.throughput.end());
@@ -55,5 +65,6 @@ main(int argc, char **argv)
                          3)
                   << "\n";
     }
+    perf.write(config.jobs);
     return 0;
 }

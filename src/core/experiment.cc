@@ -109,6 +109,7 @@ Experiment::run()
     result.jops_per_ir = result.jops / sut_->config().injection_rate;
     result.verdicts = sut_->tracker().verdicts();
     result.sla_pass = sut_->tracker().allPass();
+    result.events_executed = sut_->queue().executed();
     for (std::size_t r = 0; r < requestTypeCount; ++r) {
         result.throughput[r] = sut_->tracker().throughputSeries(
             static_cast<RequestType>(r), total);

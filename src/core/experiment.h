@@ -44,6 +44,14 @@ struct ExperimentConfig
      */
     std::size_t nodes = 1;
 
+    /**
+     * Sweep worker count requested on the command line (`--jobs N`,
+     * default 1 = serial). A single run ignores it; sweep-style
+     * benches hand it to `jasim::par::runSweep` to run their points
+     * concurrently.
+     */
+    std::size_t jobs = 1;
+
     SimTime totalTime() const
     {
         return secs(ramp_up_s + steady_s + ramp_down_s);
@@ -76,6 +84,9 @@ struct ExperimentResult
     std::array<TimeSeries, requestTypeCount> throughput;
 
     ExecStats total;             //!< merged micro stats (steady state)
+
+    /** Kernel events executed by the run (perf accounting). */
+    std::uint64_t events_executed = 0;
 
     std::shared_ptr<HpmStat> hpm;
     std::shared_ptr<Profiler> profiler;

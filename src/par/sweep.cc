@@ -1,0 +1,61 @@
+#include "par/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace jasim::par {
+
+void
+WorkerPool::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t)> &body) const
+{
+    if (count == 0)
+        return;
+
+    // Serial path: same order, same thread, no synchronization.
+    if (jobs_ <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                // Keep draining indices so siblings are not left
+                // waiting on work this worker claimed; remaining
+                // points still run (their results are discarded by
+                // the rethrow below).
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    const std::size_t spawned = jobs_ < count ? jobs_ : count;
+    workers.reserve(spawned);
+    for (std::size_t w = 0; w < spawned; ++w)
+        workers.emplace_back(worker);
+    for (std::thread &t : workers)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace jasim::par

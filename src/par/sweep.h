@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic parallel sweep runner.
+ *
+ * The figure/ablation benches re-run a full simulation per sweep
+ * point (L2 size, heap size, node count, ...). Each point is an
+ * independent simulation — its own event queue, RNG streams, and
+ * model state, all derived from the point's config and seed — so the
+ * points can run on worker threads with no shared mutable state, and
+ * the results are merged back in submission order. The output is
+ * therefore bit-identical to a serial run: parallelism changes only
+ * which wall-clock instant each point computes on, never what it
+ * computes. `tests/par/determinism_test.cc` pins this property.
+ */
+
+#ifndef JASIM_PAR_SWEEP_H
+#define JASIM_PAR_SWEEP_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace jasim::par {
+
+/**
+ * Fixed-size pool of worker threads for one sweep.
+ *
+ * Workers pull point indices from a shared cursor, so long and short
+ * points load-balance automatically. With `jobs <= 1` everything runs
+ * inline on the calling thread — the serial path is the parallel path
+ * with zero workers, not separate code with separate behavior.
+ */
+class WorkerPool
+{
+  public:
+    /** @param jobs worker count; 0 or 1 mean "run inline, serially". */
+    explicit WorkerPool(std::size_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+    std::size_t jobs() const { return jobs_; }
+
+    /**
+     * Run `body(i)` for every i in [0, count), using up to jobs()
+     * concurrent workers. Blocks until all points finish. If any body
+     * throws, the first exception (in completion order) is rethrown
+     * after all workers have stopped.
+     *
+     * `body` must be safe to invoke concurrently from different
+     * threads for different indices.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body) const;
+
+  private:
+    std::size_t jobs_;
+};
+
+/**
+ * Run `fn(i)` for i in [0, count) on up to `jobs` workers and return
+ * the results indexed by submission order (results[i] == fn(i), as if
+ * run serially). The result type must be default-constructible and
+ * move-assignable.
+ */
+template <typename Fn>
+auto
+runSweep(std::size_t count, std::size_t jobs, Fn &&fn)
+{
+    using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<Result> results(count);
+    WorkerPool pool(jobs);
+    pool.parallelFor(count,
+                     [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+}
+
+} // namespace jasim::par
+
+#endif // JASIM_PAR_SWEEP_H

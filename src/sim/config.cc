@@ -1,6 +1,7 @@
 #include "sim/config.h"
 
 #include <cstdlib>
+#include <thread>
 
 namespace jasim {
 
@@ -71,6 +72,23 @@ Config::getDouble(const std::string &key, double fallback) const
     if (it == values_.end())
         return fallback;
     return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::size_t
+Config::jobs() const
+{
+    const std::string text = getString("jobs", "1");
+    char *end = nullptr;
+    const std::int64_t raw = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || raw < 0)
+        return 1; // unparsable or negative: serial
+
+    std::size_t jobs = static_cast<std::size_t>(raw);
+    if (jobs == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? hw : 1;
+    }
+    return jobs > 256 ? 256 : jobs;
 }
 
 bool

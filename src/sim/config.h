@@ -43,6 +43,15 @@ class Config
     double getDouble(const std::string &key, double fallback) const;
     bool getBool(const std::string &key, bool fallback) const;
 
+    /**
+     * Validated sweep worker count from `--jobs N`.
+     *
+     * Absent, negative, or unparsable values mean 1 (serial); 0 means
+     * "one worker per hardware thread"; anything above 256 is clamped
+     * to 256 so a typo cannot fork a thread bomb.
+     */
+    std::size_t jobs() const;
+
     const std::map<std::string, std::string> &entries() const
     {
         return values_;

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only `void()` callable.
+ *
+ * The event kernel schedules millions of closures per run; with
+ * `std::function` every capture larger than the library's tiny SSO
+ * buffer (16 bytes on libstdc++) costs a heap allocation per event.
+ * The simulation's dispatch closures routinely capture `this` plus a
+ * handful of values or a continuation, so nearly every event paid
+ * that allocation. `InlineFunction` stores captures up to
+ * `InlineBytes` directly inside the object and only falls back to
+ * the heap beyond that; it is move-only, which also lets events own
+ * move-only state (`std::unique_ptr`, pooled buffers) that
+ * `std::function` rejects outright.
+ */
+
+#ifndef JASIM_SIM_INLINE_FUNCTION_H
+#define JASIM_SIM_INLINE_FUNCTION_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace jasim {
+
+/**
+ * Move-only `void()` wrapper with `InlineBytes` of inline storage.
+ *
+ * A callable is stored inline when it fits, is no more aligned than
+ * `std::max_align_t`, and is nothrow-move-constructible (so moves of
+ * the wrapper stay noexcept); anything else lives on the heap behind
+ * a single pointer. Invoking an empty wrapper is undefined (asserted
+ * in debug builds).
+ */
+template <std::size_t InlineBytes>
+class BasicInlineFunction
+{
+  public:
+    BasicInlineFunction() noexcept = default;
+    BasicInlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename Fn = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<Fn, BasicInlineFunction> &&
+                  std::is_invocable_r_v<void, Fn &>>>
+    BasicInlineFunction(F &&f)
+    {
+        if constexpr (fitsInline<Fn>()) {
+            ::new (storagePtr()) Fn(std::forward<F>(f));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            // Trivially-copyable closures (the common case: `this`
+            // plus scalars) need no manager: moves are a memcpy of
+            // the buffer and destruction is a no-op.
+            if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                            std::is_trivially_destructible_v<Fn>)) {
+                manage_ = [](Op op, void *self, void *dest) {
+                    Fn *fn = static_cast<Fn *>(self);
+                    if (op == Op::MoveTo)
+                        ::new (dest) Fn(std::move(*fn));
+                    fn->~Fn();
+                };
+            }
+        } else {
+            ::new (storagePtr()) Fn *(new Fn(std::forward<F>(f)));
+            invoke_ = [](void *p) { (**static_cast<Fn **>(p))(); };
+            manage_ = [](Op op, void *self, void *dest) {
+                Fn **slot = static_cast<Fn **>(self);
+                if (op == Op::MoveTo)
+                    ::new (dest) Fn *(*slot);
+                else
+                    delete *slot;
+            };
+            on_heap_ = true;
+        }
+    }
+
+    BasicInlineFunction(BasicInlineFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    BasicInlineFunction &
+    operator=(BasicInlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    BasicInlineFunction(const BasicInlineFunction &) = delete;
+    BasicInlineFunction &operator=(const BasicInlineFunction &) = delete;
+
+    ~BasicInlineFunction() { reset(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    /** Invoke the stored callable; must not be empty. */
+    void
+    operator()()
+    {
+        assert(invoke_ && "invoking an empty InlineFunction");
+        invoke_(storagePtr());
+    }
+
+    /** Drop the stored callable (becomes empty). */
+    void
+    reset() noexcept
+    {
+        if (manage_)
+            manage_(Op::Destroy, storagePtr(), nullptr);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+        on_heap_ = false;
+    }
+
+    /** True if the callable lives in the inline buffer (not empty). */
+    bool isInline() const noexcept { return invoke_ && !on_heap_; }
+
+    /** Compile-time check: would `Fn` be stored inline? */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= InlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    enum class Op { MoveTo, Destroy };
+    using InvokeFn = void (*)(void *);
+    using ManageFn = void (*)(Op, void *self, void *dest);
+
+    void *storagePtr() noexcept { return static_cast<void *>(storage_); }
+
+    void
+    moveFrom(BasicInlineFunction &other) noexcept
+    {
+        if (!other.invoke_)
+            return;
+        if (other.manage_) {
+            // MoveTo relocates the callable into our buffer and ends
+            // its life in the source; the source then only clears its
+            // pointers.
+            other.manage_(Op::MoveTo, other.storagePtr(),
+                          storagePtr());
+        } else {
+            // Trivial inline closure: bytes are the whole state.
+            std::memcpy(storage_, other.storage_, InlineBytes);
+        }
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        on_heap_ = other.on_heap_;
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+        other.on_heap_ = false;
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+    InvokeFn invoke_ = nullptr;
+    ManageFn manage_ = nullptr;
+    bool on_heap_ = false;
+};
+
+/**
+ * The event kernel's callback type. 48 bytes of inline storage covers
+ * the simulation's dispatch closures (`this` + a few scalars + a
+ * continuation) without a heap allocation.
+ */
+using InlineFunction = BasicInlineFunction<48>;
+
+} // namespace jasim
+
+#endif // JASIM_SIM_INLINE_FUNCTION_H

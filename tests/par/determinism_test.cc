@@ -1,0 +1,144 @@
+/**
+ * Pins the jasim::par contract: a sweep run on 4 workers produces
+ * bit-identical aggregate statistics to the same sweep run serially.
+ * The two sweeps below are scaled-down replicas of the converted
+ * benches' core loops (abl_l2size and abl_heapsize).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/figures.h"
+#include "par/sweep.h"
+
+namespace jasim {
+namespace {
+
+ExperimentConfig
+quickBase()
+{
+    ExperimentConfig config;
+    config.sut.injection_rate = 6.0;
+    config.sut.driver.ramp_up_s = 4.0;
+    config.ramp_up_s = 8.0;
+    config.steady_s = 20.0;
+    config.ramp_down_s = 2.0;
+    config.window_s = 1.0;
+    config.window.sample_insts = 15000;
+    config.windows_per_group = 2;
+    config.seed = 1234;
+    return config;
+}
+
+/** FNV-1a over the raw bits of a double — exact, not approximate. */
+std::uint64_t
+mix(std::uint64_t h, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+        h ^= (bits >> (8 * i)) & 0xffu;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    return mix(h, static_cast<double>(v));
+}
+
+/** Digest of everything the l2-size bench table consumes. */
+std::uint64_t
+l2Digest(const ExperimentResult &r)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, windowMean(r.windows, WindowMetric::Cpi));
+    const auto shares = loadSourceShares(r.total);
+    for (const double s : shares)
+        h = mix(h, s);
+    h = mix(h, r.jops);
+    h = mix(h, r.total.completed);
+    h = mix(h, r.events_executed);
+    return h;
+}
+
+/** Digest of everything the heap-size bench table consumes. */
+std::uint64_t
+gcDigest(const ExperimentResult &r)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, r.gc.mean_interval_s);
+    h = mix(h, r.gc.mean_pause_ms);
+    h = mix(h, r.gc.gc_time_fraction);
+    h = mix(h, static_cast<std::uint64_t>(r.gc.collections));
+    h = mix(h, r.jops);
+    h = mix(h, r.events_executed);
+    return h;
+}
+
+std::vector<std::uint64_t>
+l2Sweep(std::size_t jobs)
+{
+    const ExperimentConfig base = quickBase();
+    const std::vector<std::uint64_t> l2_kb{768, 1536, 3072};
+    const auto runs =
+        par::runSweep(l2_kb.size(), jobs, [&](std::size_t i) {
+            ExperimentConfig config = base;
+            config.window.hierarchy.l2 =
+                CacheGeometry{l2_kb[i] * 1024, 128, 12};
+            Experiment experiment(config);
+            return l2Digest(experiment.run());
+        });
+    return runs;
+}
+
+std::vector<std::uint64_t>
+heapSweep(std::size_t jobs)
+{
+    const ExperimentConfig base = quickBase();
+    const std::vector<std::uint64_t> heap_mb{320, 512, 1024, 2048};
+    const auto runs =
+        par::runSweep(heap_mb.size(), jobs, [&](std::size_t i) {
+            ExperimentConfig config = base;
+            config.micro_enabled = false;
+            config.sut.gc.heap.size_bytes = heap_mb[i] << 20;
+            Experiment experiment(config);
+            return gcDigest(experiment.run());
+        });
+    return runs;
+}
+
+TEST(SweepDeterminismTest, L2SizeSweepBitIdenticalAcrossJobs)
+{
+    const auto serial = l2Sweep(1);
+    const auto parallel = l2Sweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+}
+
+TEST(SweepDeterminismTest, HeapSizeSweepBitIdenticalAcrossJobs)
+{
+    const auto serial = heapSweep(1);
+    const auto parallel = heapSweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+}
+
+TEST(SweepDeterminismTest, RepeatedParallelRunsAgree)
+{
+    // Not just serial==parallel: parallel runs must agree with each
+    // other across executions (no dependence on scheduling order).
+    const auto a = heapSweep(4);
+    const auto b = heapSweep(4);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "par/sweep.h"
+
+namespace jasim::par {
+namespace {
+
+TEST(SweepTest, ResultsComeBackInSubmissionOrder)
+{
+    const auto results = runSweep(16, 4, [](std::size_t i) {
+        // Stagger completion so out-of-order finishes are likely.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((16 - i) % 5));
+        return i * i;
+    });
+    ASSERT_EQ(results.size(), 16u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(SweepTest, EveryIndexRunsExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(32);
+    WorkerPool pool(4);
+    pool.parallelFor(32, [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepTest, ConcurrencyNeverExceedsJobs)
+{
+    std::atomic<int> active{0};
+    std::atomic<int> peak{0};
+    WorkerPool pool(3);
+    pool.parallelFor(24, [&](std::size_t) {
+        const int now = ++active;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        --active;
+    });
+    EXPECT_LE(peak.load(), 3);
+    EXPECT_GE(peak.load(), 1);
+}
+
+TEST(SweepTest, SerialModeRunsOnCallingThreadInOrder)
+{
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    WorkerPool pool(1);
+    pool.parallelFor(8, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepTest, ZeroJobsMeansSerial)
+{
+    WorkerPool pool(0);
+    EXPECT_EQ(pool.jobs(), 1u);
+}
+
+TEST(SweepTest, EmptySweepReturnsEmpty)
+{
+    const auto results =
+        runSweep(0, 4, [](std::size_t i) { return i; });
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(SweepTest, MoreJobsThanPointsStillCoversAll)
+{
+    const auto results =
+        runSweep(3, 16, [](std::size_t i) { return i + 10; });
+    ASSERT_EQ(results.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(results[i], i + 10);
+}
+
+TEST(SweepTest, FirstExceptionPropagates)
+{
+    EXPECT_THROW(
+        runSweep(8, 4,
+                 [](std::size_t i) {
+                     if (i == 5)
+                         throw std::runtime_error("point failed");
+                     return i;
+                 }),
+        std::runtime_error);
+}
+
+TEST(SweepTest, SerialExceptionPropagatesToo)
+{
+    WorkerPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     4,
+                     [](std::size_t i) {
+                         if (i == 2)
+                             throw std::logic_error("bad point");
+                     }),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace jasim::par

@@ -81,6 +81,51 @@ TEST(ConfigTest, DoubleAndHexInts)
     EXPECT_EQ(config.getInt("h", 0), 16);
 }
 
+TEST(ConfigTest, JobsDefaultsToSerial)
+{
+    const char *argv[] = {"prog", "ir=40"};
+    Config config = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_EQ(config.jobs(), 1u);
+}
+
+TEST(ConfigTest, JobsParsesGnuStyleFlag)
+{
+    const char *argv[] = {"prog", "--jobs", "4"};
+    Config config = Config::fromArgs(3, const_cast<char **>(argv));
+    EXPECT_EQ(config.jobs(), 4u);
+
+    const char *argv2[] = {"prog", "--jobs=7"};
+    Config config2 = Config::fromArgs(2, const_cast<char **>(argv2));
+    EXPECT_EQ(config2.jobs(), 7u);
+
+    const char *argv3[] = {"prog", "jobs=2"};
+    Config config3 = Config::fromArgs(2, const_cast<char **>(argv3));
+    EXPECT_EQ(config3.jobs(), 2u);
+}
+
+TEST(ConfigTest, JobsRejectsNegativeAndGarbage)
+{
+    Config config;
+    config.set("jobs", "-3");
+    EXPECT_EQ(config.jobs(), 1u);
+    config.set("jobs", "many");
+    EXPECT_EQ(config.jobs(), 1u);
+}
+
+TEST(ConfigTest, JobsZeroMeansHardwareConcurrency)
+{
+    Config config;
+    config.set("jobs", "0");
+    EXPECT_GE(config.jobs(), 1u); // at least one worker, always
+}
+
+TEST(ConfigTest, JobsClampedToSaneCeiling)
+{
+    Config config;
+    config.set("jobs", "100000");
+    EXPECT_EQ(config.jobs(), 256u);
+}
+
 TEST(ConfigTest, SetOverwrites)
 {
     Config config;

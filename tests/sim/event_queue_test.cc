@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -113,6 +115,78 @@ TEST(EventQueueTest, RunUntilCountsExecutedEvents)
     for (int i = 0; i < 7; ++i)
         queue.scheduleAt(static_cast<SimTime>(i), [] {});
     EXPECT_EQ(queue.runUntil(100), 7u);
+}
+
+TEST(EventQueueTest, ExecutedAccumulatesAcrossRunsAndSteps)
+{
+    EventQueue queue;
+    for (int i = 0; i < 5; ++i)
+        queue.scheduleAt(static_cast<SimTime>(i * 10), [] {});
+    EXPECT_EQ(queue.executed(), 0u);
+    queue.runUntil(20); // events at 0, 10, 20
+    EXPECT_EQ(queue.executed(), 3u);
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(queue.executed(), 4u);
+    queue.runUntil(1000);
+    EXPECT_EQ(queue.executed(), 5u);
+}
+
+TEST(EventQueueTest, MoveOnlyActionsSupported)
+{
+    // std::function rejects move-only closures; the kernel's
+    // InlineFunction must not.
+    EventQueue queue;
+    int seen = 0;
+    auto owned = std::make_unique<int>(41);
+    queue.scheduleAt(10, [p = std::move(owned), &seen] {
+        seen = *p + 1;
+    });
+    queue.runUntil(100);
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, LargeCapturesRunViaHeapPath)
+{
+    EventQueue queue;
+    std::array<std::uint64_t, 32> big{}; // 256 bytes: beyond inline
+    big[0] = 7;
+    std::uint64_t seen = 0;
+    auto action = [big, &seen] { seen = big[0]; };
+    static_assert(
+        !EventQueue::Action::fitsInline<decltype(action)>());
+    queue.scheduleAt(5, std::move(action));
+    queue.runUntil(10);
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueueTest, FifoTiesHoldAcrossInlineAndHeapActions)
+{
+    // Alternate small (inline) and large (heap) captures at one
+    // timestamp: insertion order must still win the tie-break.
+    EventQueue queue;
+    std::vector<int> order;
+    std::array<char, 100> pad{};
+    for (int i = 0; i < 8; ++i) {
+        if (i % 2 == 0)
+            queue.scheduleAt(50, [&order, i] { order.push_back(i); });
+        else
+            queue.scheduleAt(50, [&order, i, pad] {
+                order.push_back(i + pad[0]);
+            });
+    }
+    queue.runUntil(100);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ClearDestroysPendingActions)
+{
+    EventQueue queue;
+    auto held = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = held;
+    queue.scheduleAt(10, [h = std::move(held)] { (void)*h; });
+    queue.clear();
+    EXPECT_TRUE(watch.expired());
 }
 
 } // namespace

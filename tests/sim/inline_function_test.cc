@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_function.h"
+
+namespace jasim {
+namespace {
+
+TEST(InlineFunctionTest, DefaultIsEmpty)
+{
+    InlineFunction fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_FALSE(fn.isInline());
+}
+
+TEST(InlineFunctionTest, InvokesStoredLambda)
+{
+    int hits = 0;
+    InlineFunction fn([&] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, SmallCaptureIsStoredInline)
+{
+    int target = 0;
+    int *p = &target;
+    std::uint64_t a = 1, b = 2, c = 3;
+    InlineFunction fn([p, a, b, c] {
+        *p = static_cast<int>(a + b + c);
+    });
+    EXPECT_TRUE(fn.isInline());
+    fn();
+    EXPECT_EQ(target, 6);
+}
+
+TEST(InlineFunctionTest, LargeCaptureFallsBackToHeap)
+{
+    std::array<char, 200> big{};
+    big[0] = 7;
+    int seen = 0;
+    InlineFunction fn([big, &seen] { seen = big[0]; });
+    EXPECT_TRUE(static_cast<bool>(fn));
+    EXPECT_FALSE(fn.isInline());
+    fn();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineFunctionTest, OverAlignedCaptureFallsBackToHeap)
+{
+    struct alignas(64) Wide
+    {
+        double v = 1.5;
+    };
+    Wide w;
+    double seen = 0.0;
+    InlineFunction fn([w, &seen] { seen = w.v; });
+    EXPECT_FALSE(fn.isInline());
+    fn();
+    EXPECT_DOUBLE_EQ(seen, 1.5);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureInline)
+{
+    auto owned = std::make_unique<int>(41);
+    int seen = 0;
+    InlineFunction fn(
+        [p = std::move(owned), &seen] { seen = *p + 1; });
+    EXPECT_TRUE(fn.isInline());
+    fn();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureOnHeap)
+{
+    auto owned = std::make_unique<int>(9);
+    std::array<char, 100> pad{};
+    int seen = 0;
+    InlineFunction fn([p = std::move(owned), pad, &seen] {
+        seen = *p + pad[0];
+    });
+    EXPECT_FALSE(fn.isInline());
+    fn();
+    EXPECT_EQ(seen, 9);
+}
+
+TEST(InlineFunctionTest, MoveTransfersCallableAndEmptiesSource)
+{
+    int hits = 0;
+    InlineFunction a([&] { ++hits; });
+    InlineFunction b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InlineFunction c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, MovePreservesHeapStorage)
+{
+    std::array<char, 128> big{};
+    big[1] = 3;
+    int seen = 0;
+    InlineFunction a([big, &seen] { seen = big[1]; });
+    InlineFunction b(std::move(a));
+    EXPECT_FALSE(b.isInline());
+    b();
+    EXPECT_EQ(seen, 3);
+}
+
+TEST(InlineFunctionTest, DestructionReleasesCapturedState)
+{
+    auto tracked = std::make_shared<int>(5);
+    std::weak_ptr<int> watch = tracked;
+    {
+        InlineFunction fn([held = std::move(tracked)] { (void)*held; });
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, HeapDestructionReleasesCapturedState)
+{
+    auto tracked = std::make_shared<int>(5);
+    std::weak_ptr<int> watch = tracked;
+    {
+        std::array<char, 150> pad{};
+        InlineFunction fn([held = std::move(tracked), pad] {
+            (void)*held;
+            (void)pad;
+        });
+        EXPECT_FALSE(fn.isInline());
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, AssignmentDestroysPreviousCallable)
+{
+    auto first = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = first;
+    InlineFunction fn([held = std::move(first)] { (void)*held; });
+    EXPECT_FALSE(watch.expired());
+    fn = InlineFunction([] {});
+    EXPECT_TRUE(watch.expired());
+    fn();
+}
+
+TEST(InlineFunctionTest, ResetEmptiesAndReleases)
+{
+    auto held = std::make_shared<int>(2);
+    std::weak_ptr<int> watch = held;
+    InlineFunction fn([h = std::move(held)] { (void)*h; });
+    fn.reset();
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, FitsInlineMatchesStorageDecision)
+{
+    // Compile-time predicate agrees with the runtime flag.
+    auto small = [] {};
+    EXPECT_TRUE(InlineFunction::fitsInline<decltype(small)>());
+
+    std::array<char, 64> big{};
+    auto large = [big] { (void)big; };
+    EXPECT_FALSE(InlineFunction::fitsInline<decltype(large)>());
+}
+
+} // namespace
+} // namespace jasim
