@@ -66,6 +66,9 @@ configFromArgs(int argc, char **argv, double default_steady_s = 300.0)
         args.getInt("heap_mb", 1024)) << 20;
     config.window.heap_large_pages = args.getBool("heap_large", true);
     config.window.code_large_pages = args.getBool("code_large", false);
+    // Exact fast path (`--fastpath`, default on; `--fastpath=0` for
+    // A/B runs -- stdout must not change either way).
+    config.window.fastpath = args.fastpath();
     return config;
 }
 
@@ -100,8 +103,15 @@ banner(std::ostream &os, const char *figure, const char *claim)
 class PerfReport
 {
   public:
-    explicit PerfReport(std::string name)
-        : name_(std::move(name)),
+    /**
+     * @param tracked also write the record to `BENCH_<name>.json` in
+     *        the current directory. `out/` is gitignored, so tracked
+     *        benches (the micro A/B benches) use this to keep the
+     *        repo-level perf trajectory in version control; run them
+     *        from the repo root.
+     */
+    explicit PerfReport(std::string name, bool tracked = false)
+        : name_(std::move(name)), tracked_(tracked),
           start_(std::chrono::steady_clock::now())
     {
     }
@@ -134,7 +144,27 @@ class PerfReport
         std::error_code ec;
         std::filesystem::create_directories("out", ec);
         const std::string path = "out/BENCH_" + name_ + ".json";
-        std::ofstream out(path);
+        {
+            std::ofstream out(path);
+            emit(out, jobs, wall, eps);
+        }
+        if (tracked_) {
+            std::ofstream canon("BENCH_" + name_ + ".json");
+            emit(canon, jobs, wall, eps);
+        }
+
+        std::cerr << "[perf] " << name_ << ": "
+                  << TextTable::num(wall, 2) << " s wall, " << events_
+                  << " events, " << TextTable::num(eps, 0)
+                  << " events/s (jobs=" << jobs << ") -> " << path
+                  << "\n";
+    }
+
+  private:
+    void
+    emit(std::ostream &out, std::size_t jobs, double wall,
+         double eps) const
+    {
         out.precision(6);
         out << std::fixed;
         out << "{\n"
@@ -149,16 +179,10 @@ class PerfReport
                 << "\": " << metrics_[i].second;
         }
         out << (metrics_.empty() ? "}\n" : "\n  }\n") << "}\n";
-
-        std::cerr << "[perf] " << name_ << ": "
-                  << TextTable::num(wall, 2) << " s wall, " << events_
-                  << " events, " << TextTable::num(eps, 0)
-                  << " events/s (jobs=" << jobs << ") -> " << path
-                  << "\n";
     }
 
-  private:
     std::string name_;
+    bool tracked_ = false;
     std::chrono::steady_clock::time_point start_;
     std::uint64_t events_ = 0;
     std::vector<std::pair<std::string, double>> metrics_;

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Perf smoke: Release build, the event-kernel microbenchmark, and a
-# serial-vs-parallel sweep of abl_l2size.
+# Perf smoke: Release build, the event-kernel and memory-path
+# microbenchmarks, and a serial-vs-parallel sweep of abl_l2size.
 #
-# Hard gate (exit 1): `--jobs 4` must produce BIT-IDENTICAL stdout to
-# `--jobs 1` for the same seed — jasim::par's whole contract.
+# Hard gates (exit 1):
+#  - `--jobs 4` must produce BIT-IDENTICAL stdout to `--jobs 1` for
+#    the same seed — jasim::par's whole contract;
+#  - `--fastpath=0` must produce BIT-IDENTICAL stdout to `--fastpath`
+#    on a memory-bound bench — the fast path's whole contract (and
+#    micro_memwalk itself exits 1 if its arms' checksums diverge).
 #
 # Soft gate (warning only): the microbench speedup target (>= 1.5x
 # over the std::function baseline) and the parallel wall-clock win
@@ -20,10 +24,15 @@ BUILD="${1:-build-perf}"
 
 echo "== perf-smoke: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" -j --target micro_eventqueue abl_l2size
+cmake --build "$BUILD" -j --target micro_eventqueue micro_memwalk \
+    fig08_l1d abl_l2size
 
 echo "== perf-smoke: event-kernel microbenchmark =="
 "$BUILD/bench/micro_eventqueue"
+
+echo "== perf-smoke: memory-path microbenchmark (A/B fastpath) =="
+# Exits nonzero on its own if the two arms' checksums diverge.
+"$BUILD/bench/micro_memwalk"
 
 echo "== perf-smoke: abl_l2size serial vs --jobs 4 =="
 tmp="$(mktemp -d)"
@@ -40,17 +49,33 @@ if ! cmp -s "$tmp/serial.txt" "$tmp/par.txt"; then
 fi
 echo "determinism: --jobs 4 output is bit-identical to --jobs 1"
 
+echo "== perf-smoke: fig08_l1d --fastpath vs --fastpath=0 =="
+fp_args=(steady=30 ramp=10 seed=99)
+"$BUILD/bench/fig08_l1d" "${fp_args[@]}" --fastpath >"$tmp/fp_on.txt"
+"$BUILD/bench/fig08_l1d" "${fp_args[@]}" --fastpath=0 >"$tmp/fp_off.txt"
+if ! cmp -s "$tmp/fp_on.txt" "$tmp/fp_off.txt"; then
+    echo "FAIL: --fastpath output differs from --fastpath=0 (exactness broken):" >&2
+    diff "$tmp/fp_on.txt" "$tmp/fp_off.txt" >&2 || true
+    exit 1
+fi
+echo "exactness: --fastpath output is bit-identical to --fastpath=0"
+
 python3 - out/BENCH_abl_l2size_serial.json out/BENCH_abl_l2size.json <<'EOF'
 import json, sys
 serial = json.load(open(sys.argv[1]))
 par = json.load(open(sys.argv[2]))
 micro = json.load(open("out/BENCH_micro_eventqueue.json"))
+memwalk = json.load(open("out/BENCH_micro_memwalk.json"))
 kernel = micro["metrics"]["speedup"]
+mem = memwalk["metrics"]["speedup"]
 sweep = serial["wall_seconds"] / par["wall_seconds"] if par["wall_seconds"] else 0.0
 print(f"microbench kernel speedup: {kernel:.2f}x (target >= 1.5x)")
+print(f"memory-path fastpath speedup: {mem:.2f}x (target >= 1.5x)")
 print(f"sweep wall-clock speedup (--jobs 4 vs 1): {sweep:.2f}x (target >= 2x on >= 4 cores)")
 if kernel < 1.5:
     print("WARNING: kernel speedup below target (noisy/loaded machine?)")
+if mem < 1.5:
+    print("WARNING: memory-path speedup below target (noisy/loaded machine?)")
 if sweep < 2.0:
     print("WARNING: sweep speedup below target (needs >= 4 idle cores)")
 EOF

@@ -96,9 +96,15 @@ Experiment::run()
     }
 
     // --- summaries ---------------------------------------------------
-    if (config_.micro_enabled)
+    if (config_.micro_enabled) {
         result.profiler->addMethodSamples(
             window_sim_->jitMethodSamples());
+        const MemoryHierarchy &mem = window_sim_->hierarchy();
+        mem.hotCounters().foldInto(result.mem_hot);
+        result.mru_data_hits = mem.hotCounters().mruDataHits();
+        result.mru_inst_hits = mem.hotCounters().mruInstHits();
+        result.snoop_filter_skips = mem.snoopFilterSkips();
+    }
 
     result.gc_events = sut_->collector().log().events();
     result.gc = sut_->collector().log().summarize(total);

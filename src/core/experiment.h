@@ -19,6 +19,7 @@
 #include "core/sut.h"
 #include "core/window_simulator.h"
 #include "hpm/hpmstat.h"
+#include "stats/counter.h"
 #include "tprof/profiler.h"
 
 namespace jasim {
@@ -87,6 +88,19 @@ struct ExperimentResult
 
     /** Kernel events executed by the run (perf accounting). */
     std::uint64_t events_executed = 0;
+
+    /**
+     * Memory-path flat counters (PM_MEM_LD_SRC_* / PM_MEM_IF_SRC_*),
+     * folded from the hierarchy's hot-loop arrays once at the end of
+     * the run. Identical with `--fastpath` on or off, so equivalence
+     * digests include them.
+     */
+    CounterSet mem_hot;
+
+    /** Fast-path telemetry; differs across modes by design. */
+    std::uint64_t mru_data_hits = 0;
+    std::uint64_t mru_inst_hits = 0;
+    std::uint64_t snoop_filter_skips = 0;
 
     std::shared_ptr<HpmStat> hpm;
     std::shared_ptr<Profiler> profiler;

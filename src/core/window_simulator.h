@@ -42,6 +42,13 @@ struct WindowSimConfig
 
     /** Fraction of virtual-call sites the JIT devirtualizes. */
     double devirtualized_fraction = 0.0;
+
+    /**
+     * One switch for the exact memory + translation fast paths
+     * (`--fastpath`, default on); propagated into hierarchy.fastpath
+     * and core.xlat.fastpath by the constructor.
+     */
+    bool fastpath = true;
 };
 
 /** The simulator. */

@@ -59,6 +59,25 @@ inline constexpr const char *l1dPrefetch = "PM_L1_PREF";
 inline constexpr const char *l2Prefetch = "PM_L2_PREF";
 inline constexpr const char *streamAlloc = "PM_STREAM_ALLOC";
 
+/**
+ * Memory-path flat counters (mem/hot_counters.h), indexed by the
+ * DataSource enum value. Unlike the PM_DATA_FROM_* events above these
+ * count *every* access by where it was satisfied (L1 hits included),
+ * and are folded into counter sets only at sample boundaries.
+ */
+inline constexpr const char *memLoadFromSrc[8] = {
+    "PM_MEM_LD_SRC_L1",      "PM_MEM_LD_SRC_L2",
+    "PM_MEM_LD_SRC_L25",     "PM_MEM_LD_SRC_L275_SHR",
+    "PM_MEM_LD_SRC_L275_MOD", "PM_MEM_LD_SRC_L3",
+    "PM_MEM_LD_SRC_L35",     "PM_MEM_LD_SRC_MEM",
+};
+inline constexpr const char *memInstFromSrc[8] = {
+    "PM_MEM_IF_SRC_L1",      "PM_MEM_IF_SRC_L2",
+    "PM_MEM_IF_SRC_L25",     "PM_MEM_IF_SRC_L275_SHR",
+    "PM_MEM_IF_SRC_L275_MOD", "PM_MEM_IF_SRC_L3",
+    "PM_MEM_IF_SRC_L35",     "PM_MEM_IF_SRC_MEM",
+};
+
 } // namespace jasim::event
 
 #endif // JASIM_HPM_EVENTS_H

@@ -6,6 +6,18 @@
  * behaviour (write-through no-store-allocate L1D, FIFO replacement,
  * MESI states at the L2 coherence point) is configured per instance
  * by mem/hierarchy.cc.
+ *
+ * Two facilities support the memory-path fast path (mem/hierarchy.cc):
+ *
+ *  - an epoch counter, bumped on every install, eviction, state change,
+ *    invalidation and flush (never on a plain hit), so an MRU filter in
+ *    front of the cache can prove "the line I answered for last time is
+ *    untouched" with one comparison;
+ *  - an optional counting presence filter (a per-bucket resident-line
+ *    count over a hash of the tag) giving exact "definitely absent"
+ *    answers, so coherence snoops can skip caches that provably hold
+ *    nothing. Counts are maintained on install/evict/invalidate, so
+ *    there are no false negatives and behaviour is bit-identical.
  */
 
 #ifndef JASIM_MEM_CACHE_H
@@ -117,6 +129,33 @@ class SetAssocCache
         return addr & ~static_cast<Addr>(geometry_.line_bytes - 1);
     }
 
+    /**
+     * Contents-change epoch: advances whenever a line is installed,
+     * evicted, invalidated, changes state, or the cache is flushed.
+     * Plain hits (including LRU refreshes) leave it untouched, so
+     * `epoch() == snapshot` proves a previously-hit line still hits
+     * with the same state.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /**
+     * Turn on the counting presence filter with `buckets` counters
+     * (rounded up to a power of two). Must be called while the cache
+     * is empty; intended for the snooped levels (L2/L3).
+     */
+    void enablePresenceFilter(std::size_t buckets);
+
+    /**
+     * Exact-negative membership summary: false means the line is
+     * definitely absent; true means "maybe present, probe the ways".
+     * Always true when the filter is disabled.
+     */
+    bool mayContain(Addr addr) const
+    {
+        return presence_.empty() ||
+               presence_[presenceBucket(tagOf(addr))] != 0;
+    }
+
   private:
     struct Line
     {
@@ -130,15 +169,53 @@ class SetAssocCache
     ReplacementPolicy policy_;
     bool inst_friendly_ = false;
     std::uint64_t sets_;
+    /** Cached shape: line_bytes == 1 << line_shift_, set index mask. */
+    std::uint32_t line_shift_;
+    std::uint64_t set_mask_;
     std::vector<Line> lines_; //!< sets_ * ways, row-major by set
+    /**
+     * Per-set last-hit way, probed first by findLine. Purely a search
+     * accelerator: tags are unique within a set and the scan mutates
+     * nothing, so probe order cannot change any outcome or stamp.
+     */
+    mutable std::vector<std::uint16_t> way_hint_;
     std::uint64_t tick_ = 0;
+    std::uint64_t epoch_ = 0;
+    std::vector<std::uint16_t> presence_;
+    std::uint64_t presence_mask_ = 0;
     Rng rng_;
 
-    std::uint64_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    Line *findLine(Addr addr);
+    std::uint64_t setIndex(Addr addr) const
+    {
+        return (addr >> line_shift_) & set_mask_;
+    }
+    Addr tagOf(Addr addr) const { return addr >> line_shift_; }
     const Line *findLine(Addr addr) const;
+    Line *findLine(Addr addr)
+    {
+        return const_cast<Line *>(
+            static_cast<const SetAssocCache *>(this)->findLine(addr));
+    }
     std::size_t victimWay(std::uint64_t set);
+
+    std::size_t presenceBucket(Addr tag) const
+    {
+        return static_cast<std::size_t>(
+            (tag * 0x9e3779b97f4a7c15ull >> 32) & presence_mask_);
+    }
+    void presenceAdd(Addr tag)
+    {
+        if (!presence_.empty())
+            ++presence_[presenceBucket(tag)];
+    }
+    void presenceRemove(Addr tag)
+    {
+        if (!presence_.empty())
+            --presence_[presenceBucket(tag)];
+    }
+    /** Shared install path for access(allocate) and fill(). */
+    void installLine(Addr addr, MesiState fill_state, LineKind kind,
+                     CacheAccessResult &result);
 };
 
 } // namespace jasim

@@ -7,8 +7,10 @@ namespace jasim {
 MesiBus::MesiBus(std::vector<SetAssocCache *> l2_caches)
     : l2s_(std::move(l2_caches))
 {
-    for (const auto *l2 : l2s_)
+    for (const auto *l2 : l2s_) {
+        (void)l2;
         assert(l2 != nullptr);
+    }
 }
 
 SnoopResult
@@ -18,6 +20,10 @@ MesiBus::snoopRead(std::size_t requester, Addr addr)
     for (std::size_t i = 0; i < l2s_.size(); ++i) {
         if (i == requester)
             continue;
+        if (use_filter_ && !l2s_[i]->mayContain(addr)) {
+            ++filter_skips_;
+            continue;
+        }
         const MesiState s = l2s_[i]->state(addr);
         if (s == MesiState::Invalid)
             continue;
@@ -41,6 +47,10 @@ MesiBus::snoopReadForOwnership(std::size_t requester, Addr addr)
     for (std::size_t i = 0; i < l2s_.size(); ++i) {
         if (i == requester)
             continue;
+        if (use_filter_ && !l2s_[i]->mayContain(addr)) {
+            ++filter_skips_;
+            continue;
+        }
         const MesiState s = l2s_[i]->state(addr);
         if (s == MesiState::Invalid)
             continue;

@@ -47,6 +47,17 @@ class MesiBus
     explicit MesiBus(std::vector<SetAssocCache *> l2_caches);
 
     /**
+     * Consult each L2's counting presence filter before walking its
+     * ways: a cache whose filter proves the line absent is skipped
+     * outright. Exact (the filter has no false negatives), so snoop
+     * results are bit-identical with the filter on or off.
+     */
+    void setUseFilter(bool on) { use_filter_ = on; }
+
+    /** Remote-cache probes skipped thanks to the presence filter. */
+    std::uint64_t filterSkips() const { return filter_skips_; }
+
+    /**
      * Snoop for a read by `requester`. Applies downgrades to remote
      * caches and returns where (if anywhere) the line was found.
      */
@@ -69,6 +80,8 @@ class MesiBus
 
   private:
     std::vector<SetAssocCache *> l2s_;
+    bool use_filter_ = false;
+    std::uint64_t filter_skips_ = 0;
 };
 
 } // namespace jasim

@@ -22,7 +22,7 @@ dataSourceName(DataSource source)
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
                                  std::uint64_t seed)
-    : config_(config)
+    : config_(config), hot_(config.cores)
 {
     assert(config.cores % config.cores_per_chip == 0);
     assert(config.chips() % config.chips_per_mcm == 0);
@@ -49,6 +49,20 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
             config.l3, ReplacementPolicy::LRU, seeder()));
     }
     bus_ = std::make_unique<MesiBus>(std::move(l2_raw));
+
+    mru_l1d_.resize(config.cores);
+    mru_l1i_.resize(config.cores);
+    if (config.fastpath) {
+        // Exact counting filters over the snooped levels; the bus and
+        // probeBeyondL2 use them to skip provably-empty caches.
+        for (auto &l2 : l2_)
+            l2->enablePresenceFilter(config.snoop_filter_buckets);
+        for (auto &l3 : l3_)
+            l3->enablePresenceFilter(config.snoop_filter_buckets);
+        bus_->setUseFilter(true);
+        for (auto &p : prefetcher_)
+            p->setFastpath(true);
+    }
 }
 
 void
@@ -74,10 +88,17 @@ MemoryHierarchy::LineFetch
 MemoryHierarchy::probeBeyondL2(std::size_t chip, Addr addr)
 {
     const std::size_t own_mcm = mcmOf(chip);
-    if (l3_[own_mcm]->access(addr, false).hit)
+    // With the fast path on, a presence-filter miss skips the L3 walk
+    // outright; the slow path's probe would miss without touching any
+    // replacement state, so outcomes are identical.
+    if ((!config_.fastpath || l3_[own_mcm]->mayContain(addr)) &&
+        l3_[own_mcm]->access(addr, false).hit) {
         return {DataSource::L3, config_.lat_l3};
+    }
     for (std::size_t m = 0; m < l3_.size(); ++m) {
         if (m == own_mcm)
+            continue;
+        if (config_.fastpath && !l3_[m]->mayContain(addr))
             continue;
         if (l3_[m]->access(addr, false).hit)
             return {DataSource::L3_5, config_.lat_l3_5};
@@ -167,31 +188,39 @@ MemoryHierarchy::applyPrefetch(std::size_t core,
 }
 
 MemAccessOutcome
-MemoryHierarchy::load(std::size_t core, Addr addr)
+MemoryHierarchy::loadSlow(std::size_t core, Addr addr)
 {
     assert(core < config_.cores);
     MemAccessOutcome outcome;
     const std::size_t chip = chipOf(core);
+    SetAssocCache &l1d = *l1d_[core];
+    const Addr line = l1d.lineAddr(addr);
 
-    const bool l1_hit = l1d_[core]->access(addr, false).hit;
-    outcome.l1_hit = l1_hit;
-    if (l1_hit) {
-        outcome.source = DataSource::L1;
-        outcome.latency = config_.lat_l1;
-    } else {
+    const bool l1_hit = l1d.access(addr, false).hit;
+    if (!l1_hit) {
         const LineFetch fetch = fetchLineForRead(chip, addr);
         outcome.source = fetch.source;
         outcome.latency = fetch.latency;
         // Fill L1D; write-through L1 lines carry no dirty state.
-        const auto fill = l1d_[core]->fill(
-            l1d_[core]->lineAddr(addr), MesiState::Shared);
-        (void)fill;
+        l1d.fill(line, MesiState::Shared);
     }
+    outcome.l1_hit = l1_hit;
+    if (l1_hit) {
+        outcome.source = DataSource::L1;
+        outcome.latency = config_.lat_l1;
+    }
+    hot_.noteLoad(core, static_cast<std::size_t>(outcome.source));
 
     if (config_.prefetch_enabled) {
         const auto decision = prefetcher_[core]->observe(addr, !l1_hit);
-        applyPrefetch(core, decision, outcome);
+        if (!decision.isEmpty())
+            applyPrefetch(core, decision, outcome);
     }
+    // Memoize after the prefetch fills so a stream advance does not
+    // immediately kill the memo (fills bump the epoch); the probe
+    // re-proves residency in case a prefetch fill evicted this line.
+    if (config_.fastpath && l1d.probe(line))
+        mru_l1d_[core].arm(line, l1d);
     return outcome;
 }
 
@@ -201,36 +230,58 @@ MemoryHierarchy::store(std::size_t core, Addr addr)
     assert(core < config_.cores);
     MemAccessOutcome outcome;
     const std::size_t chip = chipOf(core);
+    SetAssocCache &l1d = *l1d_[core];
+    const Addr line = l1d.lineAddr(addr);
 
     // Write-through: the store always writes the L2; an L1 miss does
     // not allocate in L1 (store misses do not evict useful L1 lines).
-    outcome.l1_hit = l1d_[core]->access(addr, false).hit;
+    bool mru_hit = false;
+    if (config_.fastpath && mru_l1d_[core].matches(line, l1d)) {
+        outcome.l1_hit = true;
+        mru_hit = true;
+        hot_.noteMruData(core);
+    } else {
+        outcome.l1_hit = l1d.access(addr, false).hit;
+    }
     const LineFetch fetch = fetchLineForWrite(chip, addr);
+    // Re-arm after the L2 side: its back-invalidations can only evict
+    // *other* L1 lines (the victim of a fill for this very line), so
+    // the stored-to line is still resident when it hit above.
+    if (config_.fastpath && outcome.l1_hit && !mru_hit)
+        mru_l1d_[core].arm(line, l1d);
     outcome.source = outcome.l1_hit ? DataSource::L1 : fetch.source;
     outcome.latency = fetch.latency;
     return outcome;
 }
 
 MemAccessOutcome
-MemoryHierarchy::fetch(std::size_t core, Addr addr)
+MemoryHierarchy::fetchSlow(std::size_t core, Addr addr)
 {
     assert(core < config_.cores);
     MemAccessOutcome outcome;
     const std::size_t chip = chipOf(core);
+    SetAssocCache &l1i = *l1i_[core];
+    const Addr line = l1i.lineAddr(addr);
 
-    const bool l1_hit = l1i_[core]->access(addr, false).hit;
+    const bool l1_hit = l1i.access(addr, false).hit;
     outcome.l1_hit = l1_hit;
     if (l1_hit) {
         outcome.source = DataSource::L1;
         outcome.latency = config_.lat_l1;
+        if (config_.fastpath)
+            mru_l1i_[core].arm(line, l1i);
+        hot_.noteIfetch(core,
+                        static_cast<std::size_t>(DataSource::L1));
         return outcome;
     }
     const LineFetch fetch =
         fetchLineForRead(chip, addr, LineKind::Instruction);
     outcome.source = fetch.source;
     outcome.latency = fetch.latency;
-    l1i_[core]->fill(l1i_[core]->lineAddr(addr), MesiState::Shared,
-                     LineKind::Instruction);
+    l1i.fill(line, MesiState::Shared, LineKind::Instruction);
+    if (config_.fastpath)
+        mru_l1i_[core].arm(line, l1i);
+    hot_.noteIfetch(core, static_cast<std::size_t>(fetch.source));
     return outcome;
 }
 
@@ -247,6 +298,12 @@ MemoryHierarchy::flushAll()
         c->flush();
     for (auto &p : prefetcher_)
         p->reset();
+    // flush() bumped every epoch, so the MRU memos are already dead;
+    // clearing keeps them from matching a recycled epoch value.
+    for (auto &m : mru_l1d_)
+        m.valid = false;
+    for (auto &m : mru_l1i_)
+        m.valid = false;
 }
 
 } // namespace jasim

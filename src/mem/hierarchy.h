@@ -25,6 +25,7 @@
 
 #include "mem/cache.h"
 #include "mem/coherence.h"
+#include "mem/hot_counters.h"
 #include "mem/prefetcher.h"
 #include "sim/types.h"
 
@@ -73,6 +74,17 @@ struct HierarchyConfig
      *  instruction lines. */
     bool l2_instruction_friendly = false;
 
+    /**
+     * Memory-path fast path (`--fastpath`, default on): per-core MRU
+     * line filters in front of L1I/L1D and presence-filtered snoops.
+     * Bit-identical outcomes and counters either way; off exists for
+     * A/B verification (bench/micro_memwalk, the golden-digest test).
+     */
+    bool fastpath = true;
+
+    /** Counting-filter buckets per snooped cache (power of two). */
+    std::size_t snoop_filter_buckets = 1 << 14;
+
     std::size_t chips() const { return cores / cores_per_chip; }
     std::size_t mcms() const { return chips() / chips_per_mcm; }
 };
@@ -100,13 +112,60 @@ class MemoryHierarchy
     const HierarchyConfig &config() const { return config_; }
 
     /** Demand data load by a core. */
-    MemAccessOutcome load(std::size_t core, Addr addr);
+    MemAccessOutcome load(std::size_t core, Addr addr)
+    {
+        // Inline MRU short-circuit: same line, cache contents
+        // untouched since the memo was armed, so this is the same L1
+        // hit the slow path would report (L1D is FIFO: a hit mutates
+        // nothing). The full walk lives in hierarchy.cc.
+        if (config_.fastpath) {
+            const SetAssocCache &l1d = *l1d_[core];
+            const Addr line = l1d.lineAddr(addr);
+            if (mru_l1d_[core].matches(line, l1d)) {
+                hot_.noteMruData(core);
+                hot_.noteLoad(core, 0); // DataSource::L1
+                MemAccessOutcome outcome;
+                outcome.l1_hit = true;
+                outcome.latency = config_.lat_l1;
+                // The prefetcher must still observe the access: its
+                // stream state is not idempotent under repeats.
+                if (config_.prefetch_enabled) {
+                    const PrefetchDecision decision =
+                        prefetcher_[core]->observe(addr, false);
+                    if (!decision.isEmpty())
+                        applyPrefetch(core, decision, outcome);
+                }
+                return outcome;
+            }
+        }
+        return loadSlow(core, addr);
+    }
 
     /** Demand data store by a core (write-through, no L1 allocate). */
     MemAccessOutcome store(std::size_t core, Addr addr);
 
     /** Instruction fetch by a core. */
-    MemAccessOutcome fetch(std::size_t core, Addr addr);
+    MemAccessOutcome fetch(std::size_t core, Addr addr)
+    {
+        // Repeat fetch from the MRU line: skipping the walk also
+        // skips an LRU stamp refresh, but the memoized line already
+        // carries the newest stamp in its set (nothing else in this
+        // private cache was touched since), so victim choices cannot
+        // change.
+        if (config_.fastpath) {
+            const SetAssocCache &l1i = *l1i_[core];
+            const Addr line = l1i.lineAddr(addr);
+            if (mru_l1i_[core].matches(line, l1i)) {
+                hot_.noteMruInst(core);
+                hot_.noteIfetch(core, 0); // DataSource::L1
+                MemAccessOutcome outcome;
+                outcome.l1_hit = true;
+                outcome.latency = config_.lat_l1;
+                return outcome;
+            }
+        }
+        return fetchSlow(core, addr);
+    }
 
     /** Topology helpers. */
     std::size_t chipOf(std::size_t core) const
@@ -126,6 +185,12 @@ class MemoryHierarchy
 
     void flushAll();
 
+    /** Flat hot-loop counters (always maintained, fast path or not). */
+    const MemHotCounters &hotCounters() const { return hot_; }
+
+    /** Remote probes skipped by the coherence presence filter. */
+    std::uint64_t snoopFilterSkips() const { return bus_->filterSkips(); }
+
   private:
     HierarchyConfig config_;
     std::vector<std::unique_ptr<SetAssocCache>> l1i_;
@@ -134,6 +199,35 @@ class MemoryHierarchy
     std::vector<std::unique_ptr<SetAssocCache>> l3_;
     std::vector<std::unique_ptr<StreamPrefetcher>> prefetcher_;
     std::unique_ptr<MesiBus> bus_;
+    MemHotCounters hot_;
+
+    /**
+     * One MRU memo: the last line a cache answered a hit for, plus the
+     * cache's epoch at that moment. A repeat access to the same line
+     * while the epoch is unchanged is provably still a hit with the
+     * same state, so the set walk (and, for LRU caches, the redundant
+     * stamp refresh of an already-newest line) can be skipped without
+     * changing any outcome, counter, or future replacement decision.
+     */
+    struct MruRef
+    {
+        Addr line = 0;
+        std::uint64_t epoch = 0;
+        bool valid = false;
+
+        bool matches(Addr l, const SetAssocCache &cache) const
+        {
+            return valid && line == l && epoch == cache.epoch();
+        }
+        void arm(Addr l, const SetAssocCache &cache)
+        {
+            line = l;
+            epoch = cache.epoch();
+            valid = true;
+        }
+    };
+    std::vector<MruRef> mru_l1d_;
+    std::vector<MruRef> mru_l1i_;
 
     struct LineFetch
     {
@@ -150,6 +244,10 @@ class MemoryHierarchy
 
     /** Probe all L3s starting with the requester's MCM. */
     LineFetch probeBeyondL2(std::size_t chip, Addr addr);
+
+    /** Out-of-line halves of load()/fetch() (MRU memo missed). */
+    MemAccessOutcome loadSlow(std::size_t core, Addr addr);
+    MemAccessOutcome fetchSlow(std::size_t core, Addr addr);
 
     /** Install a line in a chip's L2 and maintain L1 inclusion. */
     void fillL2(std::size_t chip, Addr addr, MesiState state,

@@ -16,10 +16,9 @@ StreamPrefetcher::StreamPrefetcher(std::uint32_t line_bytes,
 }
 
 PrefetchDecision
-StreamPrefetcher::observe(Addr addr, bool was_miss)
+StreamPrefetcher::observeSlow(Addr line, bool was_miss)
 {
     PrefetchDecision decision;
-    const Addr line = lineOf(addr);
     ++tick_;
 
     // Does this access advance an existing stream?
@@ -32,9 +31,13 @@ StreamPrefetcher::observe(Addr addr, bool was_miss)
             decision.l1_lines.push_back(stream.next_line);
             decision.l2_lines.push_back(static_cast<Addr>(
                 static_cast<std::int64_t>(stream.next_line) + stream.step));
+            last_line_ = line;
+            last_advanced_ = true;
             return decision;
         }
     }
+    last_line_ = line;
+    last_advanced_ = false;
 
     if (!was_miss)
         return decision;
@@ -89,6 +92,8 @@ StreamPrefetcher::reset()
     streams_.clear();
     candidates_.assign(candidate_entries_, ~Addr{0});
     candidate_head_ = 0;
+    last_line_ = ~Addr{0};
+    last_advanced_ = false;
 }
 
 } // namespace jasim

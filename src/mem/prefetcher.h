@@ -13,6 +13,8 @@
 #ifndef JASIM_MEM_PREFETCHER_H
 #define JASIM_MEM_PREFETCHER_H
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -20,14 +22,46 @@
 
 namespace jasim {
 
+/**
+ * Tiny fixed-capacity line list. A decision carries at most one line
+ * per level (see observe()), and decisions are created on every
+ * demand load, so this must not heap-allocate like std::vector did.
+ */
+template <std::size_t Capacity>
+class LineList
+{
+  public:
+    void push_back(Addr line)
+    {
+        assert(size_ < Capacity);
+        lines_[size_++] = line;
+    }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    Addr operator[](std::size_t i) const { return lines_[i]; }
+    const Addr *begin() const { return lines_.data(); }
+    const Addr *end() const { return lines_.data() + size_; }
+
+  private:
+    std::array<Addr, Capacity> lines_{};
+    std::size_t size_ = 0;
+};
+
 /** What a prefetcher decided in response to one observed access. */
 struct PrefetchDecision
 {
     bool stream_allocated = false;
     /** Lines to preload near the core (counted as L1D prefetches). */
-    std::vector<Addr> l1_lines;
+    LineList<2> l1_lines;
     /** Lines to preload into L2 (counted as L2 prefetches). */
-    std::vector<Addr> l2_lines;
+    LineList<2> l2_lines;
+
+    /** True when applying the decision would do nothing. */
+    bool isEmpty() const
+    {
+        return !stream_allocated && l1_lines.empty() &&
+               l2_lines.empty();
+    }
 };
 
 /** Sequential stream detector and generator. */
@@ -48,7 +82,25 @@ class StreamPrefetcher
      * @param addr the accessed byte address.
      * @param was_miss whether the access missed L1D.
      */
-    PrefetchDecision observe(Addr addr, bool was_miss);
+    PrefetchDecision observe(Addr addr, bool was_miss)
+    {
+        // Exact repeat short-circuit (`--fastpath`): a hit on the same
+        // line as the immediately preceding observe is a provable
+        // no-op when that observe advanced no stream -- the stream set
+        // is unchanged, so the scan would miss again, and the skipped
+        // tick only renames (never reorders) the LRU stamps. If the
+        // previous observe *did* advance a stream, a second stream
+        // could still match this line, so the full scan runs.
+        const Addr line = lineOf(addr);
+        if (fastpath_ && !was_miss && line == last_line_ &&
+            !last_advanced_) {
+            return PrefetchDecision{};
+        }
+        return observeSlow(line, was_miss);
+    }
+
+    /** Enable the exact repeat short-circuit (off = seed behaviour). */
+    void setFastpath(bool on) { fastpath_ = on; }
 
     /** Active stream count (for tests). */
     std::size_t activeStreams() const { return streams_.size(); }
@@ -63,6 +115,8 @@ class StreamPrefetcher
         std::uint64_t last_use;
     };
 
+    PrefetchDecision observeSlow(Addr line, bool was_miss);
+
     std::uint32_t line_bytes_;
     std::size_t max_streams_;
     std::size_t candidate_entries_;
@@ -70,6 +124,10 @@ class StreamPrefetcher
     std::size_t candidate_head_ = 0;
     std::vector<Stream> streams_;
     std::uint64_t tick_ = 0;
+
+    bool fastpath_ = false;
+    Addr last_line_ = ~Addr{0};  //!< line of the previous observe
+    bool last_advanced_ = false; //!< did it advance a stream?
 
     Addr lineOf(Addr addr) const
     {

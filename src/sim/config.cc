@@ -92,6 +92,12 @@ Config::jobs() const
 }
 
 bool
+Config::fastpath() const
+{
+    return getBool("fastpath", true);
+}
+
+bool
 Config::getBool(const std::string &key, bool fallback) const
 {
     const auto it = values_.find(key);

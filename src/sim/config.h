@@ -52,6 +52,16 @@ class Config
      */
     std::size_t jobs() const;
 
+    /**
+     * Memory/translation fast path from `--fastpath` (default on).
+     *
+     * `--fastpath` or `--fastpath=1|true|yes|on` enables it; any other
+     * value (`--fastpath=0`, `=off`, ...) disables. The fast path is
+     * exact -- identical stdout and counters either way -- so the flag
+     * exists for A/B verification and perf measurement only.
+     */
+    bool fastpath() const;
+
     const std::map<std::string, std::string> &entries() const
     {
         return values_;

@@ -7,11 +7,13 @@ namespace jasim {
 Erat::Erat(std::size_t entries, std::size_t ways,
            std::uint64_t granule_bytes)
     : sets_(entries / ways), ways_(ways), granule_bytes_(granule_bytes),
-      table_(entries)
+      granule_shift_(0), table_(entries)
 {
     assert(entries % ways == 0);
     assert((sets_ & (sets_ - 1)) == 0 && "sets must be a power of two");
     assert((granule_bytes & (granule_bytes - 1)) == 0);
+    while ((granule_bytes_ >> granule_shift_) > 1)
+        ++granule_shift_;
 }
 
 std::size_t
@@ -23,7 +25,7 @@ Erat::setOf(Addr granule) const
 bool
 Erat::access(Addr addr)
 {
-    const Addr granule = addr / granule_bytes_;
+    const Addr granule = granuleOf(addr);
     Entry *base = &table_[setOf(granule) * ways_];
     ++tick_;
     for (std::size_t w = 0; w < ways_; ++w) {
@@ -43,13 +45,14 @@ Erat::access(Addr addr)
             victim = w;
     }
     base[victim] = Entry{granule, true, tick_};
+    ++epoch_;
     return false;
 }
 
 bool
 Erat::probe(Addr addr) const
 {
-    const Addr granule = addr / granule_bytes_;
+    const Addr granule = granuleOf(addr);
     const Entry *base = &table_[setOf(granule) * ways_];
     for (std::size_t w = 0; w < ways_; ++w) {
         if (base[w].valid && base[w].tag == granule)
@@ -63,6 +66,7 @@ Erat::flush()
 {
     for (auto &e : table_)
         e.valid = false;
+    ++epoch_;
 }
 
 } // namespace jasim

@@ -45,6 +45,17 @@ class Erat
 
     std::size_t entries() const { return sets_ * ways_; }
 
+    /** Translation granule an address falls in. */
+    Addr granuleOf(Addr addr) const { return addr >> granule_shift_; }
+
+    /**
+     * Casualty epoch: bumped on every install (an entry was replaced)
+     * and on flush, never on a plain hit. A granule that hit while the
+     * epoch is unchanged is provably still resident, which lets callers
+     * memoize consecutive repeat translations (translation_unit.cc).
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
   private:
     struct Entry
     {
@@ -56,8 +67,10 @@ class Erat
     std::size_t sets_;
     std::size_t ways_;
     std::uint64_t granule_bytes_;
+    unsigned granule_shift_; //!< log2(granule_bytes_), hot-path shift
     std::vector<Entry> table_;
     std::uint64_t tick_ = 0;
+    std::uint64_t epoch_ = 0;
 
     std::size_t setOf(Addr granule) const;
 };

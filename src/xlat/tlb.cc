@@ -41,6 +41,7 @@ Tlb::access(const PageId &page)
             victim = w;
     }
     base[victim] = Entry{page.base, page.bytes, true, tick_};
+    ++epoch_;
     return false;
 }
 
@@ -62,6 +63,7 @@ Tlb::flush()
 {
     for (auto &e : table_)
         e.valid = false;
+    ++epoch_;
 }
 
 Slb::Slb(std::size_t entries) : table_(entries)

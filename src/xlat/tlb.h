@@ -34,6 +34,9 @@ class Tlb
 
     std::size_t entries() const { return sets_ * ways_; }
 
+    /** Casualty epoch: bumped on installs and flush (see Erat). */
+    std::uint64_t epoch() const { return epoch_; }
+
   private:
     struct Entry
     {
@@ -47,6 +50,7 @@ class Tlb
     std::size_t ways_;
     std::vector<Entry> table_;
     std::uint64_t tick_ = 0;
+    std::uint64_t epoch_ = 0;
 
     std::size_t setOf(const PageId &page) const;
 };

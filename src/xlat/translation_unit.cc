@@ -12,16 +12,36 @@ TranslationUnit::TranslationUnit(const XlatConfig &config,
 }
 
 XlatOutcome
-TranslationUnit::translate(Erat &erat, Addr addr, bool is_load)
+TranslationUnit::translate(Erat &erat, EratMru &mru, Addr addr,
+                           bool is_load)
 {
+    // The header already short-circuited a memoized repeat: a repeat
+    // of the immediately preceding granule with no casualty since is
+    // still the same ERAT hit, and the skipped stamp refresh is
+    // redundant (the granule already carries its set's newest stamp --
+    // nothing else was accessed in between).
     XlatOutcome outcome;
-    if (erat.access(addr))
+    const Addr granule = erat.granuleOf(addr);
+    const bool erat_hit = erat.access(addr);
+    // Hit or freshly installed, the granule is now resident with the
+    // newest stamp; memoize against the post-access epoch.
+    mru = EratMru{granule, erat.epoch(), config_.fastpath};
+    if (erat_hit)
         return outcome;
 
     outcome.erat_hit = false;
     outcome.slb_hit = slb_.access(addr);
     const PageId page = space_.pageOf(addr);
-    outcome.tlb_hit = tlb_.access(page);
+    if (config_.fastpath && tlb_mru_.valid &&
+        tlb_mru_.page.base == page.base &&
+        tlb_mru_.page.bytes == page.bytes &&
+        tlb_mru_.epoch == tlb_.epoch()) {
+        outcome.tlb_hit = true;
+        ++mru_tlb_hits_;
+    } else {
+        outcome.tlb_hit = tlb_.access(page);
+        tlb_mru_ = TlbMru{page, tlb_.epoch(), config_.fastpath};
+    }
     outcome.penalty =
         outcome.tlb_hit ? config_.lat_tlb_read : config_.lat_table_walk;
     if (!outcome.slb_hit)
@@ -31,18 +51,6 @@ TranslationUnit::translate(Erat &erat, Addr addr, bool is_load)
             outcome.penalty / config_.retry_interval);
     }
     return outcome;
-}
-
-XlatOutcome
-TranslationUnit::translateData(Addr addr)
-{
-    return translate(derat_, addr, true);
-}
-
-XlatOutcome
-TranslationUnit::translateInst(Addr addr)
-{
-    return translate(ierat_, addr, false);
 }
 
 void

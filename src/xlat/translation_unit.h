@@ -38,6 +38,14 @@ struct XlatConfig
     Cycles lat_tlb_read = 14;   //!< ERAT miss, TLB hit
     Cycles lat_table_walk = 90; //!< TLB miss hardware walk
     Cycles retry_interval = 7;  //!< load redispatch interval on DERAT miss
+
+    /**
+     * Memoize consecutive repeat translations (`--fastpath`): a repeat
+     * of the immediately preceding granule/page skips the LRU walk
+     * when the structure's casualty epoch is unchanged. Bit-identical
+     * outcomes either way (see translation_unit.cc).
+     */
+    bool fastpath = true;
 };
 
 /** Outcome of translating one access. */
@@ -58,15 +66,39 @@ class TranslationUnit
     TranslationUnit(const XlatConfig &config, const AddressSpace &space);
 
     /** Translate a data access. */
-    XlatOutcome translateData(Addr addr);
+    XlatOutcome translateData(Addr addr)
+    {
+        // Inline memoized repeat check (the common case by far); the
+        // full walk lives out of line in translation_unit.cc.
+        if (config_.fastpath && derat_mru_.valid &&
+            derat_mru_.granule == derat_.granuleOf(addr) &&
+            derat_mru_.epoch == derat_.epoch()) {
+            ++mru_erat_hits_;
+            return XlatOutcome{};
+        }
+        return translate(derat_, derat_mru_, addr, true);
+    }
 
     /** Translate an instruction fetch. */
-    XlatOutcome translateInst(Addr addr);
+    XlatOutcome translateInst(Addr addr)
+    {
+        if (config_.fastpath && ierat_mru_.valid &&
+            ierat_mru_.granule == ierat_.granuleOf(addr) &&
+            ierat_mru_.epoch == ierat_.epoch()) {
+            ++mru_erat_hits_;
+            return XlatOutcome{};
+        }
+        return translate(ierat_, ierat_mru_, addr, false);
+    }
 
     /** Drop all cached translations (page-size ablations do this). */
     void flush();
 
     const XlatConfig &config() const { return config_; }
+
+    /** Fast-path telemetry: memoized repeat ERAT / TLB hits. */
+    std::uint64_t mruEratHits() const { return mru_erat_hits_; }
+    std::uint64_t mruTlbHits() const { return mru_tlb_hits_; }
 
   private:
     XlatConfig config_;
@@ -76,7 +108,34 @@ class TranslationUnit
     Tlb tlb_;
     Slb slb_;
 
-    XlatOutcome translate(Erat &erat, Addr addr, bool is_load);
+    /**
+     * Memo of the most recent translation through one structure. It is
+     * overwritten on *every* non-memoized access, so a match means the
+     * repeats were consecutive -- no other entry in the structure was
+     * touched in between -- and the epoch check rules out casualties
+     * (installs, flushes). Under those two conditions skipping the LRU
+     * walk cannot change any outcome or future victim choice.
+     */
+    struct EratMru
+    {
+        Addr granule = 0;
+        std::uint64_t epoch = 0;
+        bool valid = false;
+    };
+    struct TlbMru
+    {
+        PageId page{};
+        std::uint64_t epoch = 0;
+        bool valid = false;
+    };
+    EratMru ierat_mru_;
+    EratMru derat_mru_;
+    TlbMru tlb_mru_;
+    std::uint64_t mru_erat_hits_ = 0;
+    std::uint64_t mru_tlb_hits_ = 0;
+
+    XlatOutcome translate(Erat &erat, EratMru &mru, Addr addr,
+                          bool is_load);
 };
 
 } // namespace jasim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Golden-digest equivalence test for `--fastpath`.
+ *
+ * Runs the same short experiment -- the exact loop the fig/tab benches
+ * drive -- once with the memory fast path on and once off, folds every
+ * steady-state window's counters and the end-of-run memory counters
+ * into a digest, and requires the two digests to be bit-identical.
+ * This is the test that licenses shipping the fast path enabled by
+ * default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/experiment.h"
+#include "stats/digest.h"
+
+namespace jasim {
+namespace {
+
+ExperimentConfig
+digestConfig(bool fastpath)
+{
+    ExperimentConfig config;
+    config.sut.injection_rate = 6.0;
+    config.sut.driver.ramp_up_s = 5.0;
+    config.ramp_up_s = 8.0;
+    config.steady_s = 20.0;
+    config.ramp_down_s = 2.0;
+    config.window_s = 1.0;
+    config.window.sample_insts = 20000;
+    config.windows_per_group = 2;
+    config.seed = 11;
+    config.window.fastpath = fastpath;
+    return config;
+}
+
+void
+mixDouble(Digest &digest, double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    digest.mix(bits);
+}
+
+void
+mixStats(Digest &digest, const ExecStats &stats)
+{
+    mixDouble(digest, stats.cycles);
+    mixDouble(digest, stats.dispatched);
+    digest.mix(stats.completed);
+    mixDouble(digest, stats.completion_cycles);
+    digest.mix(stats.loads);
+    digest.mix(stats.stores);
+    digest.mix(stats.l1d_load_miss);
+    digest.mix(stats.l1d_store_miss);
+    for (const std::uint64_t v : stats.loads_from)
+        digest.mix(v);
+    digest.mix(stats.l1i_miss);
+    for (const std::uint64_t v : stats.ifetch_from)
+        digest.mix(v);
+    digest.mix(stats.ierat_miss);
+    digest.mix(stats.derat_miss);
+    digest.mix(stats.itlb_miss);
+    digest.mix(stats.dtlb_miss);
+    digest.mix(stats.branches);
+    digest.mix(stats.cond_branches);
+    digest.mix(stats.cond_mispredict);
+    digest.mix(stats.indirect_branches);
+    digest.mix(stats.returns);
+    digest.mix(stats.return_mispredict);
+    digest.mix(stats.target_mispredict);
+    digest.mix(stats.btb_miss);
+    digest.mix(stats.larx);
+    digest.mix(stats.stcx);
+    digest.mix(stats.stcx_fail);
+    digest.mix(stats.syncs);
+    mixDouble(digest, stats.srq_sync_cycles);
+    digest.mix(stats.kernel_sleeps);
+    digest.mix(stats.l1d_prefetch);
+    digest.mix(stats.l2_prefetch);
+    digest.mix(stats.stream_alloc);
+}
+
+std::uint64_t
+goldenDigest(const ExperimentResult &result)
+{
+    Digest digest;
+    digest.mix(result.windows.size());
+    for (const WindowRecord &window : result.windows) {
+        digest.mix(static_cast<std::uint64_t>(window.end));
+        mixStats(digest, window.stats);
+        mixDouble(digest, window.mix.busy_us);
+        mixDouble(digest, window.mix.idle_fraction);
+        digest.mix(static_cast<std::uint64_t>(window.mix.gc_active));
+        for (const double f : window.mix.fraction)
+            mixDouble(digest, f);
+    }
+    mixStats(digest, result.total);
+    digest.mix(result.mem_hot.snapshot());
+    mixDouble(digest, result.jops);
+    mixDouble(digest, result.cpu_utilization);
+    return digest.value();
+}
+
+TEST(FastpathGoldenDigestTest, ExperimentBitIdenticalOnVsOff)
+{
+    Experiment fast(digestConfig(true));
+    const ExperimentResult on = fast.run();
+    Experiment slow(digestConfig(false));
+    const ExperimentResult off = slow.run();
+
+    EXPECT_EQ(goldenDigest(on), goldenDigest(off));
+
+    // Window-by-window counter snapshots match exactly, not just in
+    // aggregate.
+    ASSERT_EQ(on.windows.size(), off.windows.size());
+    for (std::size_t i = 0; i < on.windows.size(); ++i) {
+        Digest a, b;
+        mixStats(a, on.windows[i].stats);
+        mixStats(b, off.windows[i].stats);
+        ASSERT_EQ(a.value(), b.value()) << "window " << i;
+    }
+
+    // The fast path engaged: its telemetry is nonzero with the flag on
+    // and exactly zero with it off.
+    EXPECT_GT(on.mru_data_hits + on.mru_inst_hits, 0u);
+    EXPECT_EQ(off.mru_data_hits, 0u);
+    EXPECT_EQ(off.mru_inst_hits, 0u);
+    EXPECT_EQ(off.snoop_filter_skips, 0u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Exactness tests for the memory-path fast path (`--fastpath`).
+ *
+ * The fast path is only allowed to exist because it is provably
+ * invisible: every counter, outcome and replacement decision must be
+ * bit-identical with it on or off. These tests pin the mechanisms that
+ * proof rests on -- epoch invalidation on every contents change, the
+ * presence filter's exact negatives, and end-to-end outcome
+ * equivalence over an adversarial access stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache.h"
+#include "mem/coherence.h"
+#include "mem/hierarchy.h"
+#include "mem/prefetcher.h"
+#include "stats/counter.h"
+
+namespace jasim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Epoch invalidation: every event that can change a future outcome
+// must advance the epoch; plain hits must not.
+
+TEST(CacheEpochTest, FillAdvancesEpoch)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    const std::uint64_t before = cache.epoch();
+    cache.fill(0x1000, MesiState::Exclusive);
+    EXPECT_GT(cache.epoch(), before);
+}
+
+TEST(CacheEpochTest, HitLeavesEpochUntouched)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.fill(0x1000, MesiState::Exclusive);
+    const std::uint64_t armed = cache.epoch();
+    cache.access(0x1000, true);
+    cache.access(0x1040, true); // same line, different offset
+    EXPECT_EQ(cache.epoch(), armed);
+}
+
+TEST(CacheEpochTest, RedundantFillLeavesEpochUntouched)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.fill(0x1000, MesiState::Shared);
+    const std::uint64_t armed = cache.epoch();
+    cache.fill(0x1000, MesiState::Shared); // same state, same kind
+    EXPECT_EQ(cache.epoch(), armed);
+}
+
+TEST(CacheEpochTest, EvictionAdvancesEpoch)
+{
+    // 2 ways, 128 B lines, 4096 B => 16 sets; three lines mapping to
+    // set 0 force an eviction on the third fill.
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.fill(0x0000, MesiState::Exclusive);
+    cache.fill(0x0800, MesiState::Exclusive);
+    const std::uint64_t armed = cache.epoch();
+    const auto result = cache.fill(0x1000, MesiState::Exclusive);
+    ASSERT_TRUE(result.victim.has_value());
+    EXPECT_GT(cache.epoch(), armed);
+}
+
+TEST(CacheEpochTest, CoherenceDowngradeAdvancesEpoch)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.fill(0x1000, MesiState::Modified);
+    const std::uint64_t armed = cache.epoch();
+    cache.setState(0x1000, MesiState::Shared); // snoop downgrade
+    EXPECT_GT(cache.epoch(), armed);
+    // A no-op state write is not a contents change.
+    const std::uint64_t again = cache.epoch();
+    cache.setState(0x1000, MesiState::Shared);
+    EXPECT_EQ(cache.epoch(), again);
+}
+
+TEST(CacheEpochTest, InvalidateAndFlushAdvanceEpoch)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.fill(0x1000, MesiState::Exclusive);
+    std::uint64_t armed = cache.epoch();
+    EXPECT_TRUE(cache.invalidate(0x1000));
+    EXPECT_GT(cache.epoch(), armed);
+    // Invalidating an absent line changes nothing.
+    armed = cache.epoch();
+    EXPECT_FALSE(cache.invalidate(0x1000));
+    EXPECT_EQ(cache.epoch(), armed);
+    cache.fill(0x2000, MesiState::Exclusive);
+    armed = cache.epoch();
+    cache.flush();
+    EXPECT_GT(cache.epoch(), armed);
+}
+
+// ---------------------------------------------------------------------
+// Presence filter: exact negatives, no false negatives ever.
+
+TEST(PresenceFilterTest, EmptyCacheMayContainNothing)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.enablePresenceFilter(64);
+    EXPECT_FALSE(cache.mayContain(0x1000));
+    EXPECT_FALSE(cache.mayContain(0xdeadbe00));
+}
+
+TEST(PresenceFilterTest, DisabledFilterAlwaysSaysMaybe)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    EXPECT_TRUE(cache.mayContain(0x1000));
+}
+
+TEST(PresenceFilterTest, NoFalseNegativesUnderChurn)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.enablePresenceFilter(16); // tiny: force bucket collisions
+    // Fill far more lines than the cache holds so installs and
+    // evictions churn the counters.
+    std::vector<Addr> lines;
+    for (Addr a = 0; a < 64; ++a)
+        lines.push_back(a * 128);
+    for (const Addr line : lines)
+        cache.fill(line, MesiState::Exclusive);
+    // Every line still resident must report "maybe present".
+    for (const Addr line : lines) {
+        if (cache.probe(line))
+            EXPECT_TRUE(cache.mayContain(line)) << std::hex << line;
+    }
+}
+
+TEST(PresenceFilterTest, CountReturnsToZeroAfterInvalidate)
+{
+    SetAssocCache cache({4096, 128, 2}, ReplacementPolicy::LRU);
+    cache.enablePresenceFilter(64);
+    cache.fill(0x1000, MesiState::Exclusive);
+    EXPECT_TRUE(cache.mayContain(0x1000));
+    cache.invalidate(0x1000);
+    EXPECT_FALSE(cache.mayContain(0x1000));
+    cache.fill(0x1000, MesiState::Exclusive);
+    cache.setState(0x1000, MesiState::Invalid); // coherence removal
+    EXPECT_FALSE(cache.mayContain(0x1000));
+    cache.fill(0x1000, MesiState::Exclusive);
+    cache.flush();
+    EXPECT_FALSE(cache.mayContain(0x1000));
+}
+
+// ---------------------------------------------------------------------
+// Snoop filter at the bus: skips are counted, and a filtered snoop
+// returns exactly what an unfiltered one would.
+
+TEST(SnoopFilterTest, SkipsEmptyRemoteAndFindsResidentLine)
+{
+    SetAssocCache l2a({4096, 128, 2}, ReplacementPolicy::LRU);
+    SetAssocCache l2b({4096, 128, 2}, ReplacementPolicy::LRU);
+    l2a.enablePresenceFilter(64);
+    l2b.enablePresenceFilter(64);
+    MesiBus bus({&l2a, &l2b});
+    bus.setUseFilter(true);
+
+    // Remote (l2b) holds nothing: the walk is skipped outright.
+    SnoopResult miss = bus.snoopRead(0, 0x1000);
+    EXPECT_FALSE(miss.found);
+    EXPECT_EQ(bus.filterSkips(), 1u);
+
+    // Once the remote holds the line, the filter must let the snoop
+    // through and the usual downgrade must happen.
+    l2b.fill(0x1000, MesiState::Exclusive);
+    SnoopResult hit = bus.snoopRead(0, 0x1000);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.supplier, 1u);
+    EXPECT_EQ(bus.filterSkips(), 1u); // unchanged
+    EXPECT_EQ(l2b.state(0x1000), MesiState::Shared);
+}
+
+// ---------------------------------------------------------------------
+// Prefetcher repeat memo: decisions identical with the memo on/off.
+
+TEST(PrefetcherFastpathTest, RepeatMemoMatchesSlowDecisions)
+{
+    StreamPrefetcher plain(128);
+    StreamPrefetcher memo(128);
+    memo.setFastpath(true);
+
+    // Sequence with misses (stream detection), sequential advances,
+    // and long same-line hit repeats (the memoized case).
+    std::vector<std::pair<Addr, bool>> trace;
+    for (Addr line = 0x1000; line < 0x3000; line += 128) {
+        trace.push_back({line, true}); // advancing miss
+        for (int r = 0; r < 4; ++r)
+            trace.push_back({line + 16, false}); // same-line hits
+    }
+    for (const auto &[addr, was_miss] : trace) {
+        const auto a = plain.observe(addr, was_miss);
+        const auto b = memo.observe(addr, was_miss);
+        ASSERT_EQ(a.stream_allocated, b.stream_allocated);
+        ASSERT_EQ(a.l1_lines.size(), b.l1_lines.size());
+        ASSERT_EQ(a.l2_lines.size(), b.l2_lines.size());
+        for (std::size_t i = 0; i < a.l1_lines.size(); ++i)
+            ASSERT_EQ(a.l1_lines[i], b.l1_lines[i]);
+        for (std::size_t i = 0; i < a.l2_lines.size(); ++i)
+            ASSERT_EQ(a.l2_lines[i], b.l2_lines[i]);
+    }
+    ASSERT_EQ(plain.activeStreams(), memo.activeStreams());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: an adversarial stream produces identical outcomes and
+// identical folded counters with the fast path on and off.
+
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 16;
+}
+
+TEST(HierarchyFastpathTest, OutcomesBitIdenticalOnVsOff)
+{
+    HierarchyConfig on;
+    on.fastpath = true;
+    HierarchyConfig off;
+    off.fastpath = false;
+    MemoryHierarchy fast(on, /*seed=*/7);
+    MemoryHierarchy slow(off, /*seed=*/7);
+
+    // Tight working set with repeats (memo hits), cross-core sharing
+    // (coherence invalidations behind the memos), stores (ownership
+    // churn) and enough lines to force evictions.
+    std::uint64_t rng = 99;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t r = nextRand(rng);
+        const std::size_t core = r & 3;
+        const Addr addr = ((r >> 2) & 0x3fff) * 64; // 1 MB, line-straddling
+        const int kind = (r >> 20) % 10;
+        MemAccessOutcome a, b;
+        if (kind < 5) {
+            a = fast.load(core, addr);
+            b = slow.load(core, addr);
+        } else if (kind < 8) {
+            a = fast.fetch(core, addr);
+            b = slow.fetch(core, addr);
+        } else {
+            a = fast.store(core, addr);
+            b = slow.store(core, addr);
+        }
+        ASSERT_EQ(a.l1_hit, b.l1_hit) << "op " << i;
+        ASSERT_EQ(a.source, b.source) << "op " << i;
+        ASSERT_EQ(a.latency, b.latency) << "op " << i;
+        ASSERT_EQ(a.stream_allocated, b.stream_allocated) << "op " << i;
+        ASSERT_EQ(a.l1_prefetches, b.l1_prefetches) << "op " << i;
+        ASSERT_EQ(a.l2_prefetches, b.l2_prefetches) << "op " << i;
+    }
+
+    // Folded DataSource counters are part of the equivalence contract.
+    CounterSet fa, sa;
+    fast.hotCounters().foldInto(fa);
+    slow.hotCounters().foldInto(sa);
+    EXPECT_EQ(fa.snapshot(), sa.snapshot());
+
+    // The fast path actually engaged (otherwise this test proves
+    // nothing) and the slow path never does.
+    EXPECT_GT(fast.hotCounters().mruDataHits() +
+                  fast.hotCounters().mruInstHits(),
+              0u);
+    EXPECT_EQ(slow.hotCounters().mruDataHits(), 0u);
+    EXPECT_EQ(slow.snoopFilterSkips(), 0u);
+}
+
+TEST(HierarchyFastpathTest, FlushAllKillsMemos)
+{
+    HierarchyConfig config;
+    config.fastpath = true;
+    MemoryHierarchy mem(config);
+    mem.load(0, 0x1000);
+    mem.load(0, 0x1000); // memo hit
+    const std::uint64_t hits = mem.hotCounters().mruDataHits();
+    EXPECT_GT(hits, 0u);
+    mem.flushAll();
+    // After a flush the next access must take the slow path (cold).
+    const auto outcome = mem.load(0, 0x1000);
+    EXPECT_FALSE(outcome.l1_hit);
+    EXPECT_EQ(mem.hotCounters().mruDataHits(), hits);
+}
+
+} // namespace
+} // namespace jasim

@@ -126,6 +126,37 @@ TEST(ConfigTest, JobsClampedToSaneCeiling)
     EXPECT_EQ(config.jobs(), 256u);
 }
 
+TEST(ConfigTest, FastpathDefaultsOn)
+{
+    const char *argv[] = {"prog", "ir=40"};
+    Config config = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_TRUE(config.fastpath());
+}
+
+TEST(ConfigTest, FastpathParsesGnuStyleFlag)
+{
+    const char *argv[] = {"prog", "--fastpath"};
+    Config config = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_TRUE(config.fastpath());
+
+    const char *argv2[] = {"prog", "--fastpath=0"};
+    Config config2 = Config::fromArgs(2, const_cast<char **>(argv2));
+    EXPECT_FALSE(config2.fastpath());
+
+    const char *argv3[] = {"prog", "fastpath=off"};
+    Config config3 = Config::fromArgs(2, const_cast<char **>(argv3));
+    EXPECT_FALSE(config3.fastpath());
+}
+
+TEST(ConfigTest, FastpathAcceptsWordySpellings)
+{
+    Config config;
+    config.set("fastpath", "yes");
+    EXPECT_TRUE(config.fastpath());
+    config.set("fastpath", "false");
+    EXPECT_FALSE(config.fastpath());
+}
+
 TEST(ConfigTest, SetOverwrites)
 {
     Config config;

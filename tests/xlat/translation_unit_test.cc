@@ -102,5 +102,101 @@ TEST_F(TranslationUnitTest, LargePagesReduceTlbMisses)
     EXPECT_GT(data_tlb_misses, 10000u);
 }
 
+// ---------------------------------------------------------------------
+// Fast-path memo exactness (`--fastpath`): translations must be
+// bit-identical with the memo on or off.
+
+class XlatFastpathTest : public ::testing::Test
+{
+  protected:
+    XlatFastpathTest()
+    {
+        space_.addRegion("heap", 0x40000000, 256ull * 1024 * 1024,
+                         largePageBytes);
+        space_.addRegion("data", 0x10000000, 64ull * 1024 * 1024,
+                         smallPageBytes);
+        XlatConfig on;
+        on.fastpath = true;
+        XlatConfig off;
+        off.fastpath = false;
+        fast_ = std::make_unique<TranslationUnit>(on, space_);
+        slow_ = std::make_unique<TranslationUnit>(off, space_);
+    }
+
+    void expectSame(Addr addr, bool is_load)
+    {
+        const XlatOutcome a = is_load ? fast_->translateData(addr)
+                                      : fast_->translateInst(addr);
+        const XlatOutcome b = is_load ? slow_->translateData(addr)
+                                      : slow_->translateInst(addr);
+        ASSERT_EQ(a.erat_hit, b.erat_hit) << std::hex << addr;
+        ASSERT_EQ(a.tlb_hit, b.tlb_hit) << std::hex << addr;
+        ASSERT_EQ(a.slb_hit, b.slb_hit) << std::hex << addr;
+        ASSERT_EQ(a.penalty, b.penalty) << std::hex << addr;
+        ASSERT_EQ(a.redispatches, b.redispatches) << std::hex << addr;
+    }
+
+    AddressSpace space_;
+    std::unique_ptr<TranslationUnit> fast_;
+    std::unique_ptr<TranslationUnit> slow_;
+};
+
+TEST_F(XlatFastpathTest, RepeatTranslationsUseMemoAndMatch)
+{
+    for (int i = 0; i < 8; ++i)
+        expectSame(0x10000000 + i * 8, true); // same granule repeats
+    EXPECT_GT(fast_->mruEratHits(), 0u);
+    EXPECT_EQ(slow_->mruEratHits(), 0u);
+}
+
+TEST_F(XlatFastpathTest, MemoOnlyCoversConsecutiveRepeats)
+{
+    // Alternating granules: each access displaces the memo, so the
+    // memo never fires -- and outcomes still match exactly (this is
+    // the counterexample that forbids a longer-lived memo: skipping a
+    // non-consecutive repeat would miss the interleaved LRU touches).
+    for (int i = 0; i < 16; ++i)
+        expectSame(0x10000000 + (i & 1) * 4096, true);
+    EXPECT_EQ(fast_->mruEratHits(), 0u);
+}
+
+TEST_F(XlatFastpathTest, FlushCasualtyKillsMemo)
+{
+    expectSame(0x10000000, true);
+    expectSame(0x10000000, true); // memo armed and hit
+    const std::uint64_t hits = fast_->mruEratHits();
+    EXPECT_GT(hits, 0u);
+    fast_->flush();
+    slow_->flush();
+    // The post-flush repeat must be a cold walk in both units.
+    expectSame(0x10000000, true);
+    EXPECT_EQ(fast_->mruEratHits(), hits);
+}
+
+TEST_F(XlatFastpathTest, RandomStreamBitIdentical)
+{
+    std::uint64_t rng = 12345;
+    for (int i = 0; i < 30000; ++i) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::uint64_t r = rng >> 16;
+        // Mix small-page data, large-page heap, instruction fetches,
+        // bursts of repeats, and occasional flush casualties.
+        const bool heap = (r & 1) != 0;
+        const Addr base = heap ? 0x40000000 : 0x10000000;
+        const Addr addr =
+            base + ((r >> 1) & 0xffffff); // 16 MB span
+        const bool is_load = ((r >> 25) & 3) != 0;
+        const int repeats = 1 + ((r >> 27) & 3);
+        for (int j = 0; j < repeats; ++j)
+            expectSame(addr + j * 4, is_load);
+        if ((r >> 30) % 997 == 0) {
+            fast_->flush();
+            slow_->flush();
+        }
+    }
+    EXPECT_GT(fast_->mruEratHits(), 0u);
+    EXPECT_GT(fast_->mruTlbHits(), 0u);
+}
+
 } // namespace
 } // namespace jasim
