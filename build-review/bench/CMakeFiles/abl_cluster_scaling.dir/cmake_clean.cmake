@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cluster_scaling.dir/abl_cluster_scaling.cc.o"
+  "CMakeFiles/abl_cluster_scaling.dir/abl_cluster_scaling.cc.o.d"
+  "abl_cluster_scaling"
+  "abl_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cosched.dir/abl_cosched.cc.o"
+  "CMakeFiles/abl_cosched.dir/abl_cosched.cc.o.d"
+  "abl_cosched"
+  "abl_cosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

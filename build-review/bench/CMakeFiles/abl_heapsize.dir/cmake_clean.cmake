@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_heapsize.dir/abl_heapsize.cc.o"
+  "CMakeFiles/abl_heapsize.dir/abl_heapsize.cc.o.d"
+  "abl_heapsize"
+  "abl_heapsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_heapsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_l2size.dir/abl_l2size.cc.o"
+  "CMakeFiles/abl_l2size.dir/abl_l2size.cc.o.d"
+  "abl_l2size"
+  "abl_l2size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_l2size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_largepages.dir/abl_largepages.cc.o"
+  "CMakeFiles/abl_largepages.dir/abl_largepages.cc.o.d"
+  "abl_largepages"
+  "abl_largepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_largepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

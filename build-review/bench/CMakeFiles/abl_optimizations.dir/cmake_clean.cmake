@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_optimizations.dir/abl_optimizations.cc.o"
+  "CMakeFiles/abl_optimizations.dir/abl_optimizations.cc.o.d"
+  "abl_optimizations"
+  "abl_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scaling.dir/abl_scaling.cc.o"
+  "CMakeFiles/abl_scaling.dir/abl_scaling.cc.o.d"
+  "abl_scaling"
+  "abl_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_throughput.dir/fig02_throughput.cc.o"
+  "CMakeFiles/fig02_throughput.dir/fig02_throughput.cc.o.d"
+  "fig02_throughput"
+  "fig02_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_gc.dir/fig03_gc.cc.o"
+  "CMakeFiles/fig03_gc.dir/fig03_gc.cc.o.d"
+  "fig03_gc"
+  "fig03_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_profile.dir/fig04_profile.cc.o"
+  "CMakeFiles/fig04_profile.dir/fig04_profile.cc.o.d"
+  "fig04_profile"
+  "fig04_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

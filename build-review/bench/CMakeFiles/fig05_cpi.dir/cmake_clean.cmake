@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cpi.dir/fig05_cpi.cc.o"
+  "CMakeFiles/fig05_cpi.dir/fig05_cpi.cc.o.d"
+  "fig05_cpi"
+  "fig05_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

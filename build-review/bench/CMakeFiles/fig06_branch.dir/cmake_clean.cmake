@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_branch.dir/fig06_branch.cc.o"
+  "CMakeFiles/fig06_branch.dir/fig06_branch.cc.o.d"
+  "fig06_branch"
+  "fig06_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tlb.dir/fig07_tlb.cc.o"
+  "CMakeFiles/fig07_tlb.dir/fig07_tlb.cc.o.d"
+  "fig07_tlb"
+  "fig07_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

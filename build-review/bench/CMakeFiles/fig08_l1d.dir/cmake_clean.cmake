@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_l1d.dir/fig08_l1d.cc.o"
+  "CMakeFiles/fig08_l1d.dir/fig08_l1d.cc.o.d"
+  "fig08_l1d"
+  "fig08_l1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_l1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_l1d.
+# This may be replaced when dependencies are built.

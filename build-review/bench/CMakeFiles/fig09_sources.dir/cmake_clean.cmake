@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sources.dir/fig09_sources.cc.o"
+  "CMakeFiles/fig09_sources.dir/fig09_sources.cc.o.d"
+  "fig09_sources"
+  "fig09_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_eventqueue.dir/micro_eventqueue.cc.o"
+  "CMakeFiles/micro_eventqueue.dir/micro_eventqueue.cc.o.d"
+  "micro_eventqueue"
+  "micro_eventqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_eventqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_memwalk.dir/micro_memwalk.cc.o"
+  "CMakeFiles/micro_memwalk.dir/micro_memwalk.cc.o.d"
+  "micro_memwalk"
+  "micro_memwalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_memwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_highlevel.dir/tab_highlevel.cc.o"
+  "CMakeFiles/tab_highlevel.dir/tab_highlevel.cc.o.d"
+  "tab_highlevel"
+  "tab_highlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_highlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_locking.dir/tab_locking.cc.o"
+  "CMakeFiles/tab_locking.dir/tab_locking.cc.o.d"
+  "tab_locking"
+  "tab_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

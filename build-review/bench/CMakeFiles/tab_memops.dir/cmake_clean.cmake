@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_memops.dir/tab_memops.cc.o"
+  "CMakeFiles/tab_memops.dir/tab_memops.cc.o.d"
+  "tab_memops"
+  "tab_memops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_memops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

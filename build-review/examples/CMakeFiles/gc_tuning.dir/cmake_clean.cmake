@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_tuning.dir/gc_tuning.cpp.o"
+  "CMakeFiles/gc_tuning.dir/gc_tuning.cpp.o.d"
+  "gc_tuning"
+  "gc_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_whatif.dir/hardware_whatif.cpp.o"
+  "CMakeFiles/hardware_whatif.dir/hardware_whatif.cpp.o.d"
+  "hardware_whatif"
+  "hardware_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

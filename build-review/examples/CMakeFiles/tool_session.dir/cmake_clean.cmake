@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_session.dir/tool_session.cpp.o"
+  "CMakeFiles/tool_session.dir/tool_session.cpp.o.d"
+  "tool_session"
+  "tool_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

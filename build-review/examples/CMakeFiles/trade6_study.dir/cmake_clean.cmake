@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trade6_study.dir/trade6_study.cpp.o"
+  "CMakeFiles/trade6_study.dir/trade6_study.cpp.o.d"
+  "trade6_study"
+  "trade6_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trade6_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_profiling.dir/vertical_profiling.cpp.o"
+  "CMakeFiles/vertical_profiling.dir/vertical_profiling.cpp.o.d"
+  "vertical_profiling"
+  "vertical_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/branch_unit.cc" "src/CMakeFiles/jasim.dir/branch/branch_unit.cc.o" "gcc" "src/CMakeFiles/jasim.dir/branch/branch_unit.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/jasim.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/jasim.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/count_cache.cc" "src/CMakeFiles/jasim.dir/branch/count_cache.cc.o" "gcc" "src/CMakeFiles/jasim.dir/branch/count_cache.cc.o.d"
+  "/root/repo/src/branch/direction_predictor.cc" "src/CMakeFiles/jasim.dir/branch/direction_predictor.cc.o" "gcc" "src/CMakeFiles/jasim.dir/branch/direction_predictor.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/jasim.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/jasim.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/correlation_analysis.cc" "src/CMakeFiles/jasim.dir/core/correlation_analysis.cc.o" "gcc" "src/CMakeFiles/jasim.dir/core/correlation_analysis.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/jasim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/jasim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/figures.cc" "src/CMakeFiles/jasim.dir/core/figures.cc.o" "gcc" "src/CMakeFiles/jasim.dir/core/figures.cc.o.d"
+  "/root/repo/src/core/mix_model.cc" "src/CMakeFiles/jasim.dir/core/mix_model.cc.o" "gcc" "src/CMakeFiles/jasim.dir/core/mix_model.cc.o.d"
+  "/root/repo/src/core/sut.cc" "src/CMakeFiles/jasim.dir/core/sut.cc.o" "gcc" "src/CMakeFiles/jasim.dir/core/sut.cc.o.d"
+  "/root/repo/src/core/window_simulator.cc" "src/CMakeFiles/jasim.dir/core/window_simulator.cc.o" "gcc" "src/CMakeFiles/jasim.dir/core/window_simulator.cc.o.d"
+  "/root/repo/src/cpu/core_model.cc" "src/CMakeFiles/jasim.dir/cpu/core_model.cc.o" "gcc" "src/CMakeFiles/jasim.dir/cpu/core_model.cc.o.d"
+  "/root/repo/src/cpu/lock_model.cc" "src/CMakeFiles/jasim.dir/cpu/lock_model.cc.o" "gcc" "src/CMakeFiles/jasim.dir/cpu/lock_model.cc.o.d"
+  "/root/repo/src/cpu/penalty_model.cc" "src/CMakeFiles/jasim.dir/cpu/penalty_model.cc.o" "gcc" "src/CMakeFiles/jasim.dir/cpu/penalty_model.cc.o.d"
+  "/root/repo/src/cpu/sync_model.cc" "src/CMakeFiles/jasim.dir/cpu/sync_model.cc.o" "gcc" "src/CMakeFiles/jasim.dir/cpu/sync_model.cc.o.d"
+  "/root/repo/src/db/buffer_pool.cc" "src/CMakeFiles/jasim.dir/db/buffer_pool.cc.o" "gcc" "src/CMakeFiles/jasim.dir/db/buffer_pool.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/jasim.dir/db/database.cc.o" "gcc" "src/CMakeFiles/jasim.dir/db/database.cc.o.d"
+  "/root/repo/src/db/index.cc" "src/CMakeFiles/jasim.dir/db/index.cc.o" "gcc" "src/CMakeFiles/jasim.dir/db/index.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/jasim.dir/db/table.cc.o" "gcc" "src/CMakeFiles/jasim.dir/db/table.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/CMakeFiles/jasim.dir/db/wal.cc.o" "gcc" "src/CMakeFiles/jasim.dir/db/wal.cc.o.d"
+  "/root/repo/src/driver/driver.cc" "src/CMakeFiles/jasim.dir/driver/driver.cc.o" "gcc" "src/CMakeFiles/jasim.dir/driver/driver.cc.o.d"
+  "/root/repo/src/driver/request.cc" "src/CMakeFiles/jasim.dir/driver/request.cc.o" "gcc" "src/CMakeFiles/jasim.dir/driver/request.cc.o.d"
+  "/root/repo/src/driver/response_tracker.cc" "src/CMakeFiles/jasim.dir/driver/response_tracker.cc.o" "gcc" "src/CMakeFiles/jasim.dir/driver/response_tracker.cc.o.d"
+  "/root/repo/src/hpm/counter_group.cc" "src/CMakeFiles/jasim.dir/hpm/counter_group.cc.o" "gcc" "src/CMakeFiles/jasim.dir/hpm/counter_group.cc.o.d"
+  "/root/repo/src/hpm/hpmstat.cc" "src/CMakeFiles/jasim.dir/hpm/hpmstat.cc.o" "gcc" "src/CMakeFiles/jasim.dir/hpm/hpmstat.cc.o.d"
+  "/root/repo/src/hpm/report.cc" "src/CMakeFiles/jasim.dir/hpm/report.cc.o" "gcc" "src/CMakeFiles/jasim.dir/hpm/report.cc.o.d"
+  "/root/repo/src/jvm/gc.cc" "src/CMakeFiles/jasim.dir/jvm/gc.cc.o" "gcc" "src/CMakeFiles/jasim.dir/jvm/gc.cc.o.d"
+  "/root/repo/src/jvm/heap.cc" "src/CMakeFiles/jasim.dir/jvm/heap.cc.o" "gcc" "src/CMakeFiles/jasim.dir/jvm/heap.cc.o.d"
+  "/root/repo/src/jvm/jit.cc" "src/CMakeFiles/jasim.dir/jvm/jit.cc.o" "gcc" "src/CMakeFiles/jasim.dir/jvm/jit.cc.o.d"
+  "/root/repo/src/jvm/method_registry.cc" "src/CMakeFiles/jasim.dir/jvm/method_registry.cc.o" "gcc" "src/CMakeFiles/jasim.dir/jvm/method_registry.cc.o.d"
+  "/root/repo/src/jvm/object_graph.cc" "src/CMakeFiles/jasim.dir/jvm/object_graph.cc.o" "gcc" "src/CMakeFiles/jasim.dir/jvm/object_graph.cc.o.d"
+  "/root/repo/src/jvm/verbose_gc.cc" "src/CMakeFiles/jasim.dir/jvm/verbose_gc.cc.o" "gcc" "src/CMakeFiles/jasim.dir/jvm/verbose_gc.cc.o.d"
+  "/root/repo/src/jvm/verbose_gc_format.cc" "src/CMakeFiles/jasim.dir/jvm/verbose_gc_format.cc.o" "gcc" "src/CMakeFiles/jasim.dir/jvm/verbose_gc_format.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/jasim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/jasim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coherence.cc" "src/CMakeFiles/jasim.dir/mem/coherence.cc.o" "gcc" "src/CMakeFiles/jasim.dir/mem/coherence.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/jasim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/jasim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/CMakeFiles/jasim.dir/mem/prefetcher.cc.o" "gcc" "src/CMakeFiles/jasim.dir/mem/prefetcher.cc.o.d"
+  "/root/repo/src/net/connection_pool.cc" "src/CMakeFiles/jasim.dir/net/connection_pool.cc.o" "gcc" "src/CMakeFiles/jasim.dir/net/connection_pool.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/jasim.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/jasim.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/jasim.dir/net/link.cc.o" "gcc" "src/CMakeFiles/jasim.dir/net/link.cc.o.d"
+  "/root/repo/src/net/load_balancer.cc" "src/CMakeFiles/jasim.dir/net/load_balancer.cc.o" "gcc" "src/CMakeFiles/jasim.dir/net/load_balancer.cc.o.d"
+  "/root/repo/src/os/disk.cc" "src/CMakeFiles/jasim.dir/os/disk.cc.o" "gcc" "src/CMakeFiles/jasim.dir/os/disk.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/jasim.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/jasim.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/os/vmstat.cc" "src/CMakeFiles/jasim.dir/os/vmstat.cc.o" "gcc" "src/CMakeFiles/jasim.dir/os/vmstat.cc.o.d"
+  "/root/repo/src/par/sweep.cc" "src/CMakeFiles/jasim.dir/par/sweep.cc.o" "gcc" "src/CMakeFiles/jasim.dir/par/sweep.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/jasim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/jasim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/distributions.cc" "src/CMakeFiles/jasim.dir/sim/distributions.cc.o" "gcc" "src/CMakeFiles/jasim.dir/sim/distributions.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/jasim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/jasim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/jasim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/jasim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/CMakeFiles/jasim.dir/stats/correlation.cc.o" "gcc" "src/CMakeFiles/jasim.dir/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/counter.cc" "src/CMakeFiles/jasim.dir/stats/counter.cc.o" "gcc" "src/CMakeFiles/jasim.dir/stats/counter.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/CMakeFiles/jasim.dir/stats/percentile.cc.o" "gcc" "src/CMakeFiles/jasim.dir/stats/percentile.cc.o.d"
+  "/root/repo/src/stats/render.cc" "src/CMakeFiles/jasim.dir/stats/render.cc.o" "gcc" "src/CMakeFiles/jasim.dir/stats/render.cc.o.d"
+  "/root/repo/src/stats/smoothing.cc" "src/CMakeFiles/jasim.dir/stats/smoothing.cc.o" "gcc" "src/CMakeFiles/jasim.dir/stats/smoothing.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/CMakeFiles/jasim.dir/stats/time_series.cc.o" "gcc" "src/CMakeFiles/jasim.dir/stats/time_series.cc.o.d"
+  "/root/repo/src/synth/code_layout.cc" "src/CMakeFiles/jasim.dir/synth/code_layout.cc.o" "gcc" "src/CMakeFiles/jasim.dir/synth/code_layout.cc.o.d"
+  "/root/repo/src/synth/component_profiles.cc" "src/CMakeFiles/jasim.dir/synth/component_profiles.cc.o" "gcc" "src/CMakeFiles/jasim.dir/synth/component_profiles.cc.o.d"
+  "/root/repo/src/synth/data_model.cc" "src/CMakeFiles/jasim.dir/synth/data_model.cc.o" "gcc" "src/CMakeFiles/jasim.dir/synth/data_model.cc.o.d"
+  "/root/repo/src/synth/stream_generator.cc" "src/CMakeFiles/jasim.dir/synth/stream_generator.cc.o" "gcc" "src/CMakeFiles/jasim.dir/synth/stream_generator.cc.o.d"
+  "/root/repo/src/tprof/profiler.cc" "src/CMakeFiles/jasim.dir/tprof/profiler.cc.o" "gcc" "src/CMakeFiles/jasim.dir/tprof/profiler.cc.o.d"
+  "/root/repo/src/tprof/report.cc" "src/CMakeFiles/jasim.dir/tprof/report.cc.o" "gcc" "src/CMakeFiles/jasim.dir/tprof/report.cc.o.d"
+  "/root/repo/src/was/application.cc" "src/CMakeFiles/jasim.dir/was/application.cc.o" "gcc" "src/CMakeFiles/jasim.dir/was/application.cc.o.d"
+  "/root/repo/src/was/ejb_container.cc" "src/CMakeFiles/jasim.dir/was/ejb_container.cc.o" "gcc" "src/CMakeFiles/jasim.dir/was/ejb_container.cc.o.d"
+  "/root/repo/src/was/thread_pool.cc" "src/CMakeFiles/jasim.dir/was/thread_pool.cc.o" "gcc" "src/CMakeFiles/jasim.dir/was/thread_pool.cc.o.d"
+  "/root/repo/src/was/web_container.cc" "src/CMakeFiles/jasim.dir/was/web_container.cc.o" "gcc" "src/CMakeFiles/jasim.dir/was/web_container.cc.o.d"
+  "/root/repo/src/xlat/address_space.cc" "src/CMakeFiles/jasim.dir/xlat/address_space.cc.o" "gcc" "src/CMakeFiles/jasim.dir/xlat/address_space.cc.o.d"
+  "/root/repo/src/xlat/erat.cc" "src/CMakeFiles/jasim.dir/xlat/erat.cc.o" "gcc" "src/CMakeFiles/jasim.dir/xlat/erat.cc.o.d"
+  "/root/repo/src/xlat/tlb.cc" "src/CMakeFiles/jasim.dir/xlat/tlb.cc.o" "gcc" "src/CMakeFiles/jasim.dir/xlat/tlb.cc.o.d"
+  "/root/repo/src/xlat/translation_unit.cc" "src/CMakeFiles/jasim.dir/xlat/translation_unit.cc.o" "gcc" "src/CMakeFiles/jasim.dir/xlat/translation_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/branch/branch_unit_test.cc" "tests/CMakeFiles/test_branch.dir/branch/branch_unit_test.cc.o" "gcc" "tests/CMakeFiles/test_branch.dir/branch/branch_unit_test.cc.o.d"
+  "/root/repo/tests/branch/btb_test.cc" "tests/CMakeFiles/test_branch.dir/branch/btb_test.cc.o" "gcc" "tests/CMakeFiles/test_branch.dir/branch/btb_test.cc.o.d"
+  "/root/repo/tests/branch/count_cache_test.cc" "tests/CMakeFiles/test_branch.dir/branch/count_cache_test.cc.o" "gcc" "tests/CMakeFiles/test_branch.dir/branch/count_cache_test.cc.o.d"
+  "/root/repo/tests/branch/direction_predictor_test.cc" "tests/CMakeFiles/test_branch.dir/branch/direction_predictor_test.cc.o" "gcc" "tests/CMakeFiles/test_branch.dir/branch/direction_predictor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

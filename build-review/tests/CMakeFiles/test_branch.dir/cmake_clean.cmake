@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch.dir/branch/branch_unit_test.cc.o"
+  "CMakeFiles/test_branch.dir/branch/branch_unit_test.cc.o.d"
+  "CMakeFiles/test_branch.dir/branch/btb_test.cc.o"
+  "CMakeFiles/test_branch.dir/branch/btb_test.cc.o.d"
+  "CMakeFiles/test_branch.dir/branch/count_cache_test.cc.o"
+  "CMakeFiles/test_branch.dir/branch/count_cache_test.cc.o.d"
+  "CMakeFiles/test_branch.dir/branch/direction_predictor_test.cc.o"
+  "CMakeFiles/test_branch.dir/branch/direction_predictor_test.cc.o.d"
+  "test_branch"
+  "test_branch.pdb"
+  "test_branch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

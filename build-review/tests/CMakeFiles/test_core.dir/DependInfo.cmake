@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/calibration_test.cc" "tests/CMakeFiles/test_core.dir/core/calibration_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/calibration_test.cc.o.d"
+  "/root/repo/tests/core/cluster_test.cc" "tests/CMakeFiles/test_core.dir/core/cluster_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cluster_test.cc.o.d"
+  "/root/repo/tests/core/correlation_analysis_test.cc" "tests/CMakeFiles/test_core.dir/core/correlation_analysis_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/correlation_analysis_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/fastpath_digest_test.cc" "tests/CMakeFiles/test_core.dir/core/fastpath_digest_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/fastpath_digest_test.cc.o.d"
+  "/root/repo/tests/core/figures_test.cc" "tests/CMakeFiles/test_core.dir/core/figures_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/figures_test.cc.o.d"
+  "/root/repo/tests/core/mix_model_test.cc" "tests/CMakeFiles/test_core.dir/core/mix_model_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mix_model_test.cc.o.d"
+  "/root/repo/tests/core/sut_test.cc" "tests/CMakeFiles/test_core.dir/core/sut_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sut_test.cc.o.d"
+  "/root/repo/tests/core/window_simulator_test.cc" "tests/CMakeFiles/test_core.dir/core/window_simulator_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/window_simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/calibration_test.cc.o"
+  "CMakeFiles/test_core.dir/core/calibration_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/cluster_test.cc.o"
+  "CMakeFiles/test_core.dir/core/cluster_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/correlation_analysis_test.cc.o"
+  "CMakeFiles/test_core.dir/core/correlation_analysis_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/experiment_test.cc.o"
+  "CMakeFiles/test_core.dir/core/experiment_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/fastpath_digest_test.cc.o"
+  "CMakeFiles/test_core.dir/core/fastpath_digest_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/figures_test.cc.o"
+  "CMakeFiles/test_core.dir/core/figures_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/mix_model_test.cc.o"
+  "CMakeFiles/test_core.dir/core/mix_model_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/sut_test.cc.o"
+  "CMakeFiles/test_core.dir/core/sut_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/window_simulator_test.cc.o"
+  "CMakeFiles/test_core.dir/core/window_simulator_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/core_model_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/core_model_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/lock_model_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/lock_model_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/penalty_model_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/penalty_model_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/sync_model_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/sync_model_test.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db.dir/db/buffer_pool_test.cc.o"
+  "CMakeFiles/test_db.dir/db/buffer_pool_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/database_test.cc.o"
+  "CMakeFiles/test_db.dir/db/database_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/index_test.cc.o"
+  "CMakeFiles/test_db.dir/db/index_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/table_test.cc.o"
+  "CMakeFiles/test_db.dir/db/table_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/wal_test.cc.o"
+  "CMakeFiles/test_db.dir/db/wal_test.cc.o.d"
+  "test_db"
+  "test_db.pdb"
+  "test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver.dir/driver/driver_test.cc.o"
+  "CMakeFiles/test_driver.dir/driver/driver_test.cc.o.d"
+  "CMakeFiles/test_driver.dir/driver/response_tracker_test.cc.o"
+  "CMakeFiles/test_driver.dir/driver/response_tracker_test.cc.o.d"
+  "test_driver"
+  "test_driver.pdb"
+  "test_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpm.dir/hpm/counter_group_test.cc.o"
+  "CMakeFiles/test_hpm.dir/hpm/counter_group_test.cc.o.d"
+  "CMakeFiles/test_hpm.dir/hpm/hpmstat_test.cc.o"
+  "CMakeFiles/test_hpm.dir/hpm/hpmstat_test.cc.o.d"
+  "CMakeFiles/test_hpm.dir/hpm/report_test.cc.o"
+  "CMakeFiles/test_hpm.dir/hpm/report_test.cc.o.d"
+  "test_hpm"
+  "test_hpm.pdb"
+  "test_hpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

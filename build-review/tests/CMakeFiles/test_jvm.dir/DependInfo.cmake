@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jvm/gc_test.cc" "tests/CMakeFiles/test_jvm.dir/jvm/gc_test.cc.o" "gcc" "tests/CMakeFiles/test_jvm.dir/jvm/gc_test.cc.o.d"
+  "/root/repo/tests/jvm/heap_test.cc" "tests/CMakeFiles/test_jvm.dir/jvm/heap_test.cc.o" "gcc" "tests/CMakeFiles/test_jvm.dir/jvm/heap_test.cc.o.d"
+  "/root/repo/tests/jvm/jit_test.cc" "tests/CMakeFiles/test_jvm.dir/jvm/jit_test.cc.o" "gcc" "tests/CMakeFiles/test_jvm.dir/jvm/jit_test.cc.o.d"
+  "/root/repo/tests/jvm/method_registry_test.cc" "tests/CMakeFiles/test_jvm.dir/jvm/method_registry_test.cc.o" "gcc" "tests/CMakeFiles/test_jvm.dir/jvm/method_registry_test.cc.o.d"
+  "/root/repo/tests/jvm/object_graph_test.cc" "tests/CMakeFiles/test_jvm.dir/jvm/object_graph_test.cc.o" "gcc" "tests/CMakeFiles/test_jvm.dir/jvm/object_graph_test.cc.o.d"
+  "/root/repo/tests/jvm/verbose_gc_format_test.cc" "tests/CMakeFiles/test_jvm.dir/jvm/verbose_gc_format_test.cc.o" "gcc" "tests/CMakeFiles/test_jvm.dir/jvm/verbose_gc_format_test.cc.o.d"
+  "/root/repo/tests/jvm/verbose_gc_test.cc" "tests/CMakeFiles/test_jvm.dir/jvm/verbose_gc_test.cc.o" "gcc" "tests/CMakeFiles/test_jvm.dir/jvm/verbose_gc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jvm.dir/jvm/gc_test.cc.o"
+  "CMakeFiles/test_jvm.dir/jvm/gc_test.cc.o.d"
+  "CMakeFiles/test_jvm.dir/jvm/heap_test.cc.o"
+  "CMakeFiles/test_jvm.dir/jvm/heap_test.cc.o.d"
+  "CMakeFiles/test_jvm.dir/jvm/jit_test.cc.o"
+  "CMakeFiles/test_jvm.dir/jvm/jit_test.cc.o.d"
+  "CMakeFiles/test_jvm.dir/jvm/method_registry_test.cc.o"
+  "CMakeFiles/test_jvm.dir/jvm/method_registry_test.cc.o.d"
+  "CMakeFiles/test_jvm.dir/jvm/object_graph_test.cc.o"
+  "CMakeFiles/test_jvm.dir/jvm/object_graph_test.cc.o.d"
+  "CMakeFiles/test_jvm.dir/jvm/verbose_gc_format_test.cc.o"
+  "CMakeFiles/test_jvm.dir/jvm/verbose_gc_format_test.cc.o.d"
+  "CMakeFiles/test_jvm.dir/jvm/verbose_gc_test.cc.o"
+  "CMakeFiles/test_jvm.dir/jvm/verbose_gc_test.cc.o.d"
+  "test_jvm"
+  "test_jvm.pdb"
+  "test_jvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

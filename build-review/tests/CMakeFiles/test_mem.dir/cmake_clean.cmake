@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/cache_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/cache_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/coherence_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/coherence_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/fastpath_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/fastpath_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/hierarchy_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/hierarchy_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/prefetcher_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/prefetcher_test.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

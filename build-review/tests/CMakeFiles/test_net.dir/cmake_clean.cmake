@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/connection_pool_test.cc.o"
+  "CMakeFiles/test_net.dir/net/connection_pool_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/fabric_test.cc.o"
+  "CMakeFiles/test_net.dir/net/fabric_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/link_test.cc.o"
+  "CMakeFiles/test_net.dir/net/link_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/load_balancer_test.cc.o"
+  "CMakeFiles/test_net.dir/net/load_balancer_test.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

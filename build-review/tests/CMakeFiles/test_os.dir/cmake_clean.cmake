@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/disk_test.cc.o"
+  "CMakeFiles/test_os.dir/os/disk_test.cc.o.d"
+  "CMakeFiles/test_os.dir/os/scheduler_test.cc.o"
+  "CMakeFiles/test_os.dir/os/scheduler_test.cc.o.d"
+  "CMakeFiles/test_os.dir/os/vmstat_test.cc.o"
+  "CMakeFiles/test_os.dir/os/vmstat_test.cc.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

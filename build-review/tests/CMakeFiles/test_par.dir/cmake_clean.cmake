@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par.dir/par/determinism_test.cc.o"
+  "CMakeFiles/test_par.dir/par/determinism_test.cc.o.d"
+  "CMakeFiles/test_par.dir/par/sweep_test.cc.o"
+  "CMakeFiles/test_par.dir/par/sweep_test.cc.o.d"
+  "test_par"
+  "test_par.pdb"
+  "test_par[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

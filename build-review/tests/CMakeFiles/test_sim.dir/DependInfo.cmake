@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/config_test.cc" "tests/CMakeFiles/test_sim.dir/sim/config_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/config_test.cc.o.d"
+  "/root/repo/tests/sim/distributions_test.cc" "tests/CMakeFiles/test_sim.dir/sim/distributions_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/distributions_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/inline_function_test.cc" "tests/CMakeFiles/test_sim.dir/sim/inline_function_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/inline_function_test.cc.o.d"
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cc.o.d"
+  "/root/repo/tests/sim/types_test.cc" "tests/CMakeFiles/test_sim.dir/sim/types_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/synth/code_layout_test.cc.o"
+  "CMakeFiles/test_synth.dir/synth/code_layout_test.cc.o.d"
+  "CMakeFiles/test_synth.dir/synth/component_profiles_test.cc.o"
+  "CMakeFiles/test_synth.dir/synth/component_profiles_test.cc.o.d"
+  "CMakeFiles/test_synth.dir/synth/data_model_test.cc.o"
+  "CMakeFiles/test_synth.dir/synth/data_model_test.cc.o.d"
+  "CMakeFiles/test_synth.dir/synth/stream_generator_test.cc.o"
+  "CMakeFiles/test_synth.dir/synth/stream_generator_test.cc.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tprof.dir/tprof/profiler_test.cc.o"
+  "CMakeFiles/test_tprof.dir/tprof/profiler_test.cc.o.d"
+  "test_tprof"
+  "test_tprof.pdb"
+  "test_tprof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_was.dir/was/application_test.cc.o"
+  "CMakeFiles/test_was.dir/was/application_test.cc.o.d"
+  "CMakeFiles/test_was.dir/was/containers_test.cc.o"
+  "CMakeFiles/test_was.dir/was/containers_test.cc.o.d"
+  "CMakeFiles/test_was.dir/was/thread_pool_test.cc.o"
+  "CMakeFiles/test_was.dir/was/thread_pool_test.cc.o.d"
+  "test_was"
+  "test_was.pdb"
+  "test_was[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_was.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

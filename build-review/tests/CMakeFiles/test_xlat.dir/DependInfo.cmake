@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xlat/address_space_test.cc" "tests/CMakeFiles/test_xlat.dir/xlat/address_space_test.cc.o" "gcc" "tests/CMakeFiles/test_xlat.dir/xlat/address_space_test.cc.o.d"
+  "/root/repo/tests/xlat/erat_test.cc" "tests/CMakeFiles/test_xlat.dir/xlat/erat_test.cc.o" "gcc" "tests/CMakeFiles/test_xlat.dir/xlat/erat_test.cc.o.d"
+  "/root/repo/tests/xlat/tlb_test.cc" "tests/CMakeFiles/test_xlat.dir/xlat/tlb_test.cc.o" "gcc" "tests/CMakeFiles/test_xlat.dir/xlat/tlb_test.cc.o.d"
+  "/root/repo/tests/xlat/translation_unit_test.cc" "tests/CMakeFiles/test_xlat.dir/xlat/translation_unit_test.cc.o" "gcc" "tests/CMakeFiles/test_xlat.dir/xlat/translation_unit_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xlat.dir/xlat/address_space_test.cc.o"
+  "CMakeFiles/test_xlat.dir/xlat/address_space_test.cc.o.d"
+  "CMakeFiles/test_xlat.dir/xlat/erat_test.cc.o"
+  "CMakeFiles/test_xlat.dir/xlat/erat_test.cc.o.d"
+  "CMakeFiles/test_xlat.dir/xlat/tlb_test.cc.o"
+  "CMakeFiles/test_xlat.dir/xlat/tlb_test.cc.o.d"
+  "CMakeFiles/test_xlat.dir/xlat/translation_unit_test.cc.o"
+  "CMakeFiles/test_xlat.dir/xlat/translation_unit_test.cc.o.d"
+  "test_xlat"
+  "test_xlat.pdb"
+  "test_xlat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

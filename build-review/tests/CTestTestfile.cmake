@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_par[1]_include.cmake")
+include("/root/repo/build-review/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-review/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-review/tests/test_xlat[1]_include.cmake")
+include("/root/repo/build-review/tests/test_branch[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build-review/tests/test_synth[1]_include.cmake")
+include("/root/repo/build-review/tests/test_jvm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_db[1]_include.cmake")
+include("/root/repo/build-review/tests/test_os[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_was[1]_include.cmake")
+include("/root/repo/build-review/tests/test_driver[1]_include.cmake")
+include("/root/repo/build-review/tests/test_hpm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tprof[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
