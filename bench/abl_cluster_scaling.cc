@@ -5,6 +5,7 @@
  *  bottleneck and aggregate throughput bends. */
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "bench_common.h"
 
@@ -17,12 +18,13 @@ namespace {
 
 ClusterConfig
 clusterConfig(const ExperimentConfig &base, const Config &args,
-              std::size_t nodes)
+              std::size_t nodes, const FaultSchedule &faults)
 {
     ClusterConfig config;
     config.nodes = nodes;
     config.node = base.sut;
     config.node.driver.ramp_up_s = base.ramp_up_s;
+    config.faults = faults;
 
     config.db_cpus =
         static_cast<std::size_t>(args.getInt("db_cpus", 4));
@@ -50,6 +52,12 @@ struct ScalePoint
     double p99_web = 0.0;
     bool sla = true;
     std::uint64_t events = 0;
+
+    // populated only on --faults runs
+    std::uint64_t errors = 0;
+    std::uint64_t retries = 0;
+    double error_rate = 0.0;
+    double min_availability = 1.0;
 };
 
 } // namespace
@@ -67,6 +75,15 @@ main(int argc, char **argv)
     ExperimentConfig base = bench::configFromArgs(argc, argv, 90.0);
     base.ramp_up_s = args.getDouble("ramp", 30.0);
     bench::PerfReport perf("abl_cluster_scaling");
+
+    FaultSchedule faults;
+    try {
+        faults = FaultSchedule::parse(args.faults());
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "abl_cluster_scaling: bad --faults spec: "
+                  << e.what() << "\n";
+        return 2;
+    }
 
     const std::size_t max_nodes = std::max<std::size_t>(
         base.nodes > 1 ? base.nodes : 8, 1);
@@ -86,7 +103,8 @@ main(int argc, char **argv)
     const auto points =
         par::runSweep(max_nodes, base.jobs, [&](std::size_t i) {
             const std::size_t nodes = i + 1;
-            ClusterConfig config = clusterConfig(base, args, nodes);
+            ClusterConfig config =
+                clusterConfig(base, args, nodes, faults);
             config.node.injection_rate = per_node_ir;
             ClusterUnderTest cluster(config, profiles, registry,
                                      base.seed);
@@ -107,6 +125,18 @@ main(int argc, char **argv)
                 p.sla = p.sla && v.pass;
             }
             p.events = cluster.queue().executed();
+            if (!faults.empty()) {
+                const ResponseTracker &t = cluster.tracker();
+                p.errors = t.errorCount();
+                p.retries = t.retryCount();
+                p.error_rate = t.errorRate();
+                for (std::size_t n = 0; n < nodes; ++n) {
+                    p.min_availability = std::min(
+                        p.min_availability,
+                        t.availability(static_cast<std::uint32_t>(n),
+                                       steady_to));
+                }
+            }
             return p;
         });
 
@@ -147,6 +177,22 @@ main(int argc, char **argv)
                  "connection-pool queueing grows, per-node JOPS "
                  "falls, and the curve bends away from the ideal "
                  "line.\n";
+
+    if (!faults.empty()) {
+        std::cout << "\nFault schedule: " << faults.summary() << "\n";
+        TextTable chaos({"nodes", "errors", "error rate", "retries",
+                         "min availability"});
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const ScalePoint &p = points[i];
+            chaos.addRow(
+                {TextTable::num(static_cast<double>(i + 1), 0),
+                 TextTable::num(static_cast<double>(p.errors), 0),
+                 TextTable::pct(p.error_rate * 100.0),
+                 TextTable::num(static_cast<double>(p.retries), 0),
+                 TextTable::pct(p.min_availability * 100.0)});
+        }
+        chaos.print(std::cout);
+    }
     perf.write(base.jobs);
     return 0;
 }

@@ -25,7 +25,7 @@ BUILD="${1:-build-perf}"
 echo "== perf-smoke: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target micro_eventqueue micro_memwalk \
-    fig08_l1d abl_l2size
+    fig08_l1d abl_l2size abl_cluster_scaling
 
 echo "== perf-smoke: event-kernel microbenchmark =="
 "$BUILD/bench/micro_eventqueue"
@@ -59,6 +59,20 @@ if ! cmp -s "$tmp/fp_on.txt" "$tmp/fp_off.txt"; then
     exit 1
 fi
 echo "exactness: --fastpath output is bit-identical to --fastpath=0"
+
+echo "== perf-smoke: cluster with no --faults vs empty --faults =="
+# The fault machinery's whole contract: an empty schedule arms
+# nothing, so a healthy cluster run must be BIT-IDENTICAL whether the
+# flag is absent or explicitly empty.
+cl_args=(nodes=2 steady=20 ramp=5 seed=7)
+"$BUILD/bench/abl_cluster_scaling" "${cl_args[@]}" >"$tmp/nofaults.txt"
+"$BUILD/bench/abl_cluster_scaling" "${cl_args[@]}" --faults= >"$tmp/emptyfaults.txt"
+if ! cmp -s "$tmp/nofaults.txt" "$tmp/emptyfaults.txt"; then
+    echo "FAIL: empty --faults output differs from no --faults (healthy-run identity broken):" >&2
+    diff "$tmp/nofaults.txt" "$tmp/emptyfaults.txt" >&2 || true
+    exit 1
+fi
+echo "fault gating: empty --faults output is bit-identical to no --faults"
 
 python3 - out/BENCH_abl_l2size_serial.json out/BENCH_abl_l2size.json <<'EOF'
 import json, sys

@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 gate: standard build + full test suite, then an
 # ASan+UBSan-instrumented build (-DJASIM_SANITIZE=ON) running the
-# net and core test binaries, which exercise the event-queue
+# net, fault, and core test binaries, which exercise the event-queue
 # closure graph and the cluster's cross-object callback wiring —
 # the code most likely to hide lifetime bugs.
 #
-# Usage: scripts/tier1.sh [build-dir] [sanitized-build-dir]
+# `--san` widens the sanitized stage to the FULL suite (JASIM_SANITIZE=ON
+# + ctest): slower, but every test runs instrumented. Use it when
+# touching lifetime-sensitive code (event closures, fault injection,
+# connection pools).
+#
+# Usage: scripts/tier1.sh [--san] [build-dir] [sanitized-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+SAN_FULL=0
+if [[ "${1:-}" == "--san" ]]; then
+    SAN_FULL=1
+    shift
+fi
 BUILD="${1:-build}"
 SAN_BUILD="${2:-build-asan}"
 
@@ -17,10 +28,18 @@ cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
-echo "== tier-1: sanitized build (ASan + UBSan) =="
-cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
-cmake --build "$SAN_BUILD" -j --target test_net test_core
-"$SAN_BUILD/tests/test_net"
-"$SAN_BUILD/tests/test_core"
+if [[ "$SAN_FULL" == 1 ]]; then
+    echo "== tier-1: sanitized build (ASan + UBSan, full suite) =="
+    cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
+    cmake --build "$SAN_BUILD" -j
+    ctest --test-dir "$SAN_BUILD" --output-on-failure -j"$(nproc)"
+else
+    echo "== tier-1: sanitized build (ASan + UBSan) =="
+    cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
+    cmake --build "$SAN_BUILD" -j --target test_net test_fault test_core
+    "$SAN_BUILD/tests/test_net"
+    "$SAN_BUILD/tests/test_fault"
+    "$SAN_BUILD/tests/test_core"
+fi
 
 echo "== tier-1: all green =="

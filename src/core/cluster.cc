@@ -14,7 +14,8 @@ ClusterUnderTest::ClusterUnderTest(
       registry_(std::move(registry)),
       fabric_(config.fabric, config.nodes, seed ^ 0x4e7ull),
       lb_(config.lb, config.nodes), db_scheduler_(config.db_cpus),
-      db_disk_(config.db_disk), seed_(seed)
+      db_disk_(config.db_disk), seed_(seed),
+      retry_(config.resilience.retry), retry_rng_(seed ^ 0x7e7a1ull)
 {
     assert(profiles_ && registry_ && config_.nodes > 0);
 
@@ -23,12 +24,36 @@ ClusterUnderTest::ClusterUnderTest(
     db_app_ = std::make_unique<Jas2004Application>(
         config_.node.db, config_.totalInjectionRate(), seed ^ 0xdb0ull);
 
+    resilience_on_ = !config_.faults.empty() ||
+        config_.resilience.force_enabled;
+    ConnectionPoolConfig pool_config = config_.db_pool;
+    if (resilience_on_) {
+        double timeout_s = config_.resilience.db_timeout_s;
+        if (timeout_s <= 0.0)
+            timeout_s = 2.0;
+        db_timeout_us_ = secs(timeout_s);
+        if (pool_config.acquire_timeout_us <= 0.0 &&
+            config_.resilience.pool_acquire_timeout_s > 0.0) {
+            pool_config.acquire_timeout_us =
+                config_.resilience.pool_acquire_timeout_s * 1e6;
+        }
+        health_ = std::make_unique<HealthChecker>(
+            config_.resilience.health, config_.nodes);
+        breaker_ = std::make_unique<CircuitBreaker>(
+            config_.resilience.breaker);
+    }
+    if (!config_.faults.empty()) {
+        injector_ = std::make_unique<FaultInjector>(
+            config_.faults, queue_,
+            [this](const FaultEvent &event) { applyFault(event); });
+    }
+
     Rng seeder(seed ^ 0x5eedull);
     pools_.reserve(config_.nodes);
     nodes_.reserve(config_.nodes);
     for (std::size_t n = 0; n < config_.nodes; ++n) {
         pools_.push_back(std::make_unique<ConnectionPool>(
-            config_.db_pool, queue_, fabric_.nodeDb(n)));
+            pool_config, queue_, fabric_.nodeDb(n)));
         nodes_.push_back(std::make_unique<SystemUnderTest>(
             config_.node, profiles_, registry_, seeder(), &queue_));
         SystemUnderTest &sut = *nodes_[n];
@@ -40,6 +65,11 @@ ClusterUnderTest::ClusterUnderTest(
         sut.setCompletionHook(
             [this, n](const Request &request, SimTime finish) {
                 onNodeComplete(n, request, finish);
+            });
+        sut.setFailureHook(
+            [this, n](const Request &request, SimTime at,
+                      ErrorKind kind) {
+                onNodeFailure(n, request, at, kind);
             });
     }
 }
@@ -57,6 +87,18 @@ ClusterUnderTest::start(SimTime end)
         driver_config, queue_, Rng(seed_)() ^ 0xd21eull,
         [this](const Request &request) { handleRequest(request); });
     driver_->start(0, end);
+
+    if (injector_)
+        injector_->arm();
+    if (resilience_on_) {
+        // Health probes ride the LB->node links, so detection latency
+        // is part of the simulation. None of this exists on a healthy
+        // run: the first probe is the first extra event.
+        const SimTime interval =
+            secs(config_.resilience.health.interval_s);
+        for (std::size_t n = 0; n < nodes_.size(); ++n)
+            queue_.scheduleAfter(interval, [this, n] { probeNode(n); });
+    }
 }
 
 void
@@ -80,6 +122,12 @@ ClusterUnderTest::routeToNode(const Request &request)
         std::llround(config_.lb.forward_us));
 
     const std::size_t node = lb_.route();
+    if (node == LoadBalancer::kNoNode) {
+        // Every backend is ejected: the balancer fails the request.
+        tracker_.error(request, now, ResponseTracker::kNoNode,
+                       ErrorKind::NoBackend);
+        return;
+    }
     const SimTime at_node = fabric_.lbNode(node).deliver(
         lb_free_, static_cast<std::uint64_t>(config_.request_bytes));
     queue_.scheduleAt(at_node, [this, request, node] {
@@ -137,10 +185,31 @@ ClusterUnderTest::dbBurst(double burst_us, std::function<void()> then)
 }
 
 void
+ClusterUnderTest::onNodeFailure(std::size_t node,
+                                const Request &request, SimTime at,
+                                ErrorKind kind)
+{
+    // Failures are fail-fast: the client sees a reset, not a
+    // response, so no reverse traffic crosses the fabric.
+    lb_.complete(node);
+    tracker_.error(request, at, static_cast<std::uint32_t>(node),
+                   kind);
+}
+
+void
 ClusterUnderTest::remoteDb(std::size_t node, RequestType type,
                            double noise,
                            SystemUnderTest::DbDone done)
 {
+    if (resilience_on_) {
+        auto call = std::make_shared<DbCall>();
+        call->node = node;
+        call->type = type;
+        call->noise = noise;
+        call->done = std::move(done);
+        startDbAttempt(call);
+        return;
+    }
     // JDBC-style: hold a pooled connection for the whole round trip.
     pools_[node]->acquire([this, node, type, noise,
                            done = std::move(done)](SimTime ready) {
@@ -163,31 +232,35 @@ ClusterUnderTest::remoteDb(std::size_t node, RequestType type,
     });
 }
 
+SimTime
+ClusterUnderTest::dbDiskIo(const TxnDbOutcome &outcome, SimTime now)
+{
+    SimTime io_done = now;
+    if (outcome.cost.pages_read > 0) {
+        const IoResult io = db_disk_.read(
+            now, static_cast<std::uint32_t>(outcome.cost.pages_read));
+        db_disk_blocked_us_ += io.completion - now;
+        io_done = io.completion;
+    }
+    if (outcome.cost.writebacks > 0) {
+        // Asynchronous page cleaning: charge the disk, not the txn.
+        db_disk_.write(now, outcome.cost.writebacks * 4096);
+    }
+    if (outcome.cost.log_bytes_forced > 0) {
+        const IoResult io =
+            db_disk_.write(io_done, outcome.cost.log_bytes_forced);
+        db_disk_blocked_us_ += io.completion - io_done;
+        io_done = io.completion;
+    }
+    return io_done;
+}
+
 void
 ClusterUnderTest::finishDbTransaction(
     std::size_t node, std::shared_ptr<TxnDbOutcome> outcome,
     SystemUnderTest::DbDone done)
 {
-    const SimTime now = queue_.now();
-    SimTime io_done = now;
-
-    if (outcome->cost.pages_read > 0) {
-        const IoResult io = db_disk_.read(
-            now,
-            static_cast<std::uint32_t>(outcome->cost.pages_read));
-        db_disk_blocked_us_ += io.completion - now;
-        io_done = io.completion;
-    }
-    if (outcome->cost.writebacks > 0) {
-        // Asynchronous page cleaning: charge the disk, not the txn.
-        db_disk_.write(now, outcome->cost.writebacks * 4096);
-    }
-    if (outcome->cost.log_bytes_forced > 0) {
-        const IoResult io =
-            db_disk_.write(io_done, outcome->cost.log_bytes_forced);
-        db_disk_blocked_us_ += io.completion - io_done;
-        io_done = io.completion;
-    }
+    const SimTime io_done = dbDiskIo(*outcome, queue_.now());
 
     // Response crosses back to the node; the connection frees once
     // the response has arrived and the EJB tier resumes.
@@ -198,8 +271,228 @@ ClusterUnderTest::finishDbTransaction(
     queue_.scheduleAt(at_node, [this, node, outcome,
                                 done = std::move(done)] {
         pools_[node]->release();
-        done(*outcome);
+        done(*outcome, ErrorKind::None);
     });
+}
+
+// ---- resilient EJB->DB path ----------------------------------------
+//
+// Only reached when resilience_on_: attempts pass the circuit
+// breaker, bound their pool wait, arm a per-attempt deadline from the
+// moment the connection is granted (which also reclaims connections
+// whose query or response was lost on a degraded link), and retry
+// with deterministic exponential backoff until the budget runs out.
+
+void
+ClusterUnderTest::startDbAttempt(const std::shared_ptr<DbCall> &call)
+{
+    if (!breaker_->allowRequest(queue_.now())) {
+        settleDbFailure(call, ErrorKind::DbCircuitOpen,
+                        /*breaker_failure=*/false);
+        return;
+    }
+    // Every allowed attempt settles the breaker exactly once: a pool
+    // timeout counts as a failure (an exhausted pool usually means
+    // the DB tier is the thing that is slow).
+    pools_[call->node]->acquire(
+        [this, call](SimTime ready) { runDbAttempt(call, ready); },
+        [this, call](SimTime) {
+            settleDbFailure(call, ErrorKind::PoolTimeout,
+                            /*breaker_failure=*/true);
+        });
+}
+
+void
+ClusterUnderTest::runDbAttempt(const std::shared_ptr<DbCall> &call,
+                               SimTime ready)
+{
+    const std::size_t node = call->node;
+    auto settled = std::make_shared<bool>(false);
+
+    // Per-attempt deadline, measured from connection grant. Firing
+    // first means the query or its response is lost or late: tear
+    // the connection down (freeing the slot) and fail the attempt.
+    queue_.scheduleAt(ready + db_timeout_us_, [this, call, settled] {
+        if (*settled)
+            return;
+        *settled = true;
+        pools_[call->node]->release();
+        settleDbFailure(call, ErrorKind::DbTimeout,
+                        /*breaker_failure=*/true);
+    });
+
+    NetworkLink &link = fabric_.nodeDb(node);
+    const bool lost = link.drawDrop();
+    const SimTime at_db = link.deliver(
+        ready, static_cast<std::uint64_t>(config_.query_bytes));
+    if (lost)
+        return; // query vanished on the wire; the deadline cleans up
+    queue_.scheduleAt(at_db, [this, call, settled] {
+        auto outcome = std::make_shared<TxnDbOutcome>(
+            db_app_->runTransaction(call->type));
+        const TxnProfile &profile =
+            nodes_[call->node]->application().profile(call->type);
+        const double burst =
+            profile.db_us * call->noise + outcome->cost.cpu_us;
+        dbBurst(burst, [this, call, settled, outcome] {
+            finishDbAttempt(call, settled, outcome);
+        });
+    });
+}
+
+void
+ClusterUnderTest::finishDbAttempt(
+    const std::shared_ptr<DbCall> &call,
+    const std::shared_ptr<bool> &settled,
+    const std::shared_ptr<TxnDbOutcome> &outcome)
+{
+    const SimTime io_done = dbDiskIo(*outcome, queue_.now());
+
+    NetworkLink &link = fabric_.nodeDb(call->node);
+    const bool lost = link.drawDrop();
+    const SimTime at_node = link.deliver(
+        io_done,
+        static_cast<std::uint64_t>(config_.db_response_bytes),
+        NetworkLink::Direction::Reverse);
+    if (lost)
+        return; // response vanished; the deadline cleans up
+    queue_.scheduleAt(at_node, [this, call, settled, outcome] {
+        if (*settled)
+            return; // deadline already reclaimed the connection
+        *settled = true;
+        pools_[call->node]->release();
+        breaker_->recordSuccess(queue_.now());
+        call->done(*outcome, ErrorKind::None);
+    });
+}
+
+void
+ClusterUnderTest::settleDbFailure(const std::shared_ptr<DbCall> &call,
+                                  ErrorKind kind, bool breaker_failure)
+{
+    if (breaker_failure)
+        breaker_->recordFailure(queue_.now());
+    if (retry_.shouldRetry(call->attempt)) {
+        tracker_.recordRetry(kind);
+        const SimTime backoff =
+            retry_.backoffUs(call->attempt, retry_rng_);
+        ++call->attempt;
+        queue_.scheduleAfter(backoff,
+                             [this, call] { startDbAttempt(call); });
+        return;
+    }
+    call->done(TxnDbOutcome{}, call->attempt > 1
+                                   ? ErrorKind::DbRetriesExhausted
+                                   : kind);
+}
+
+// ---- fault application ---------------------------------------------
+
+void
+ClusterUnderTest::degradeLinks(const FaultEvent &event, bool restore)
+{
+    const auto apply = [&](std::size_t n) {
+        if (restore)
+            fabric_.nodeDb(n).clearDegradation();
+        else
+            fabric_.nodeDb(n).setDegradation(event.latency_mult,
+                                             event.drop_probability);
+    };
+    if (event.node == FaultEvent::kAllNodes) {
+        for (std::size_t n = 0; n < nodes_.size(); ++n)
+            apply(n);
+    } else {
+        apply(event.node);
+    }
+}
+
+void
+ClusterUnderTest::applyFault(const FaultEvent &event)
+{
+    if (event.node != FaultEvent::kAllNodes &&
+        event.node >= nodes_.size() && event.kind != FaultKind::DbSlow)
+        return; // targets a node this cluster doesn't have
+
+    const SimTime now = queue_.now();
+    switch (event.kind) {
+      case FaultKind::NodeCrash: {
+        const std::size_t node = event.node;
+        nodes_[node]->crash();
+        tracker_.noteNodeDown(static_cast<std::uint32_t>(node), now);
+        if (event.restart_after > 0) {
+            queue_.scheduleAfter(event.restart_after, [this, node] {
+                nodes_[node]->restart();
+                tracker_.noteNodeUp(static_cast<std::uint32_t>(node),
+                                    queue_.now());
+            });
+        }
+        return;
+      }
+      case FaultKind::LinkDegrade: {
+        degradeLinks(event, /*restore=*/false);
+        tracker_.noteDegraded(
+            now, event.duration > 0 ? now + event.duration : 0);
+        if (event.duration > 0) {
+            queue_.scheduleAfter(event.duration, [this, event] {
+                degradeLinks(event, /*restore=*/true);
+            });
+        }
+        return;
+      }
+      case FaultKind::DbSlow: {
+        db_disk_.setServiceMultiplier(event.disk_mult);
+        tracker_.noteDegraded(
+            now, event.duration > 0 ? now + event.duration : 0);
+        if (event.duration > 0) {
+            queue_.scheduleAfter(event.duration, [this] {
+                db_disk_.setServiceMultiplier(1.0);
+            });
+        }
+        return;
+      }
+      case FaultKind::PoolKill: {
+        pools_[event.node]->killIdle();
+        return;
+      }
+    }
+}
+
+// ---- health probes --------------------------------------------------
+
+void
+ClusterUnderTest::probeNode(std::size_t node)
+{
+    const HealthConfig &health = config_.resilience.health;
+    // The probe rides the LB->node link both ways; a crashed node's
+    // "response" is the connection refusal the balancer observes.
+    const SimTime at_node =
+        fabric_.lbNode(node).deliver(queue_.now(), health.probe_bytes);
+    queue_.scheduleAt(at_node, [this, node] {
+        const bool healthy = !nodes_[node]->isDown();
+        const SimTime back = fabric_.lbNode(node).deliver(
+            queue_.now(), config_.resilience.health.probe_bytes,
+            NetworkLink::Direction::Reverse);
+        queue_.scheduleAt(back, [this, node, healthy] {
+            applyProbeResult(node, healthy);
+        });
+    });
+    queue_.scheduleAfter(secs(health.interval_s),
+                         [this, node] { probeNode(node); });
+}
+
+void
+ClusterUnderTest::applyProbeResult(std::size_t node, bool healthy)
+{
+    switch (health_->onProbeResult(node, healthy, queue_.now())) {
+      case HealthChecker::Transition::Eject:
+        lb_.setNodeDown(node);
+        break;
+      case HealthChecker::Transition::Readmit:
+        lb_.setNodeUp(node);
+        break;
+      case HealthChecker::Transition::None:
+        break;
+    }
 }
 
 } // namespace jasim

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/sut.h"
+#include "fault/injector.h"
+#include "fault/resilience.h"
 #include "net/connection_pool.h"
 #include "net/fabric.h"
 #include "net/load_balancer.h"
@@ -55,6 +57,16 @@ struct ClusterConfig
     double request_bytes = 512.0;     //!< client -> LB -> node
     double query_bytes = 384.0;       //!< node -> DB, per transaction
     double db_response_bytes = 2048.0;
+
+    /**
+     * Scripted chaos (empty = healthy run). A non-empty schedule also
+     * arms the resilience machinery below; an empty one leaves the
+     * cluster byte-identical to a build without fault support.
+     */
+    FaultSchedule faults;
+
+    /** Health checks, retries, breaker, timeouts. */
+    ResilienceConfig resilience;
 
     /** Aggregate injection rate the driver runs at. */
     double totalInjectionRate() const
@@ -115,6 +127,18 @@ class ClusterUnderTest
     /** Cumulative time transactions waited on DB-node disk I/O. */
     SimTime dbDiskBlockedUs() const { return db_disk_blocked_us_; }
 
+    // ---- fault injection & resilience ----
+
+    /** True when the schedule (or force_enabled) armed the machinery. */
+    bool resilienceEnabled() const { return resilience_on_; }
+
+    /** Null on healthy runs. */
+    const FaultInjector *injector() const { return injector_.get(); }
+    CircuitBreaker *breaker() { return breaker_.get(); }
+    const CircuitBreaker *breaker() const { return breaker_.get(); }
+    HealthChecker *healthChecker() { return health_.get(); }
+    const HealthChecker *healthChecker() const { return health_.get(); }
+
   private:
     ClusterConfig config_;
     std::shared_ptr<const WorkloadProfiles> profiles_;
@@ -134,10 +158,30 @@ class ClusterUnderTest
     SimTime lb_free_ = 0; //!< balancer single-server serializer
     SimTime db_disk_blocked_us_ = 0;
 
+    bool resilience_on_ = false;
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<HealthChecker> health_;
+    std::unique_ptr<CircuitBreaker> breaker_;
+    RetryPolicy retry_;
+    Rng retry_rng_;           //!< backoff jitter (own forked stream)
+    SimTime db_timeout_us_ = 0;
+
+    /** One EJB->DB call, across its (possibly retried) attempts. */
+    struct DbCall
+    {
+        std::size_t node = 0;
+        RequestType type = RequestType::Browse;
+        double noise = 1.0;
+        std::size_t attempt = 1;
+        SystemUnderTest::DbDone done;
+    };
+
     void handleRequest(const Request &request);
     void routeToNode(const Request &request);
     void onNodeComplete(std::size_t node, const Request &request,
                         SimTime finish);
+    void onNodeFailure(std::size_t node, const Request &request,
+                       SimTime at, ErrorKind kind);
     void remoteDb(std::size_t node, RequestType type, double noise,
                   SystemUnderTest::DbDone done);
     void finishDbTransaction(std::size_t node,
@@ -146,6 +190,24 @@ class ClusterUnderTest
 
     /** Run a DB-node CPU burst in scheduler quanta, then `then`. */
     void dbBurst(double burst_us, std::function<void()> then);
+
+    /** Charge the DB node's disk for one txn; returns I/O-done time. */
+    SimTime dbDiskIo(const TxnDbOutcome &outcome, SimTime now);
+
+    // resilient EJB->DB path (only reached when resilience_on_)
+    void startDbAttempt(const std::shared_ptr<DbCall> &call);
+    void runDbAttempt(const std::shared_ptr<DbCall> &call,
+                      SimTime ready);
+    void finishDbAttempt(const std::shared_ptr<DbCall> &call,
+                         const std::shared_ptr<bool> &settled,
+                         const std::shared_ptr<TxnDbOutcome> &outcome);
+    void settleDbFailure(const std::shared_ptr<DbCall> &call,
+                         ErrorKind kind, bool breaker_failure);
+
+    void applyFault(const FaultEvent &event);
+    void degradeLinks(const FaultEvent &event, bool restore);
+    void probeNode(std::size_t node);
+    void applyProbeResult(std::size_t node, bool healthy);
 
     std::uint64_t responseBytes(std::size_t node,
                                 RequestType type) const;

@@ -41,14 +41,46 @@ SystemUnderTest::start(SimTime end)
 }
 
 void
+SystemUnderTest::crash()
+{
+    down_ = true;
+    ++crash_epoch_;
+}
+
+void
+SystemUnderTest::failJob(const std::shared_ptr<Job> &job,
+                         ErrorKind kind)
+{
+    if (job->failed)
+        return;
+    job->failed = true;
+    const SimTime now = queue_.now();
+    if (failure_hook_)
+        failure_hook_(job->request, now, kind);
+    else
+        tracker_.error(job->request, now, 0, kind);
+    job->done();
+}
+
+void
 SystemUnderTest::handleRequest(const Request &request)
 {
+    if (down_) {
+        // Connection refused: fail fast, no WAS thread consumed.
+        const SimTime now = queue_.now();
+        if (failure_hook_)
+            failure_hook_(request, now, ErrorKind::NodeDown);
+        else
+            tracker_.error(request, now, 0, ErrorKind::NodeDown);
+        return;
+    }
     pool_.submit([this, request](SimTime, ThreadPool::Done done) {
         auto job = std::make_shared<Job>();
         job->request = request;
         job->profile = &app_.profile(request.type);
         job->noise = demandNoise();
         job->done = std::move(done);
+        job->epoch = crash_epoch_;
         advanceJob(job);
     });
 }
@@ -64,6 +96,10 @@ void
 SystemUnderTest::runBurst(const std::shared_ptr<Job> &job,
                           double burst_us, Component component)
 {
+    if (jobAborted(*job)) {
+        failJob(job, ErrorKind::NodeDown);
+        return;
+    }
     const double quantum = config_.cpu_quantum_us;
     const SimTime now = queue_.now();
     if (burst_us <= quantum) {
@@ -124,6 +160,10 @@ SystemUnderTest::runGc(SimTime now)
 void
 SystemUnderTest::advanceJob(const std::shared_ptr<Job> &job)
 {
+    if (jobAborted(*job)) {
+        failJob(job, ErrorKind::NodeDown);
+        return;
+    }
     const SimTime now = queue_.now();
     const TxnProfile &profile = *job->profile;
     const double noise = job->noise;
@@ -190,7 +230,12 @@ SystemUnderTest::advanceJob(const std::shared_ptr<Job> &job)
             // when the response returns.
             job->stage = 8;
             remote_db_(type, noise,
-                       [this, job](const TxnDbOutcome &outcome) {
+                       [this, job](const TxnDbOutcome &outcome,
+                                   ErrorKind error) {
+                           if (error != ErrorKind::None) {
+                               failJob(job, error);
+                               return;
+                           }
                            job->db = outcome;
                            advanceJob(job);
                        });

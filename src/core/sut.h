@@ -73,8 +73,13 @@ struct SutConfig
 class SystemUnderTest
 {
   public:
-    /** Completion signal for an externally run data tier. */
-    using DbDone = std::function<void(const TxnDbOutcome &)>;
+    /**
+     * Completion signal for an externally run data tier. `error` is
+     * ErrorKind::None on success; any other value fails the request
+     * (the outcome is ignored and the failure hook fires).
+     */
+    using DbDone =
+        std::function<void(const TxnDbOutcome &, ErrorKind error)>;
 
     /**
      * An external data tier: performs the whole DB stage for one
@@ -88,6 +93,10 @@ class SystemUnderTest
     /** Observer invoked when a request finishes on this node. */
     using CompletionHook =
         std::function<void(const Request &request, SimTime finish)>;
+
+    /** Observer invoked when a request errors on this node. */
+    using FailureHook = std::function<void(
+        const Request &request, SimTime at, ErrorKind kind)>;
 
     /**
      * @param profiles shared workload profiles (code layouts).
@@ -108,6 +117,7 @@ class SystemUnderTest
     /**
      * Feed one request directly (cluster mode: the balancer routes
      * requests here instead of this node running its own driver).
+     * Requests injected while the node is down fail immediately.
      */
     void inject(const Request &request) { handleRequest(request); }
 
@@ -122,6 +132,32 @@ class SystemUnderTest
     {
         completion_hook_ = std::move(hook);
     }
+
+    /** Install a failure observer (cluster error roll-up). */
+    void setFailureHook(FailureHook hook)
+    {
+        failure_hook_ = std::move(hook);
+    }
+
+    // ---- fault injection ----
+
+    /**
+     * Crash the node: every in-flight request errors at its next
+     * simulation step, and injected requests fail until restart().
+     */
+    void crash();
+
+    /**
+     * Bring a crashed node back. The process state (JIT tiers, pool
+     * threads, heap) is modelled as surviving — a fast restart from
+     * a warmed standby rather than a cold boot.
+     */
+    void restart() { down_ = false; }
+
+    bool isDown() const { return down_; }
+
+    /** Times crash() has been called. */
+    std::uint64_t crashCount() const { return crash_epoch_; }
 
     /** Advance the discrete-event simulation to `horizon`. */
     void advanceTo(SimTime horizon) { queue_.runUntil(horizon); }
@@ -179,6 +215,9 @@ class SystemUnderTest
     SimTime disk_blocked_us_ = 0;
     RemoteDbTier remote_db_;
     CompletionHook completion_hook_;
+    FailureHook failure_hook_;
+    bool down_ = false;
+    std::uint64_t crash_epoch_ = 0;
 
     /** In-flight request state for the stage machine. */
     struct Job
@@ -190,11 +229,22 @@ class SystemUnderTest
         ThreadPool::Done done;
         TxnDbOutcome db;
         double compile_us = 0.0;
+        std::uint64_t epoch = 0; //!< crash epoch at admission
+        bool failed = false;
     };
 
     void handleRequest(const Request &request);
     void advanceJob(const std::shared_ptr<Job> &job);
     void scheduleAdvance(const std::shared_ptr<Job> &job, SimTime when);
+
+    /** True once a crash has invalidated this job. */
+    bool jobAborted(const Job &job) const
+    {
+        return job.failed || down_ || job.epoch != crash_epoch_;
+    }
+
+    /** Error the job out (idempotent) and release its WAS thread. */
+    void failJob(const std::shared_ptr<Job> &job, ErrorKind kind);
 
     /** Run a burst in scheduler quanta, then advance the job. */
     void runBurst(const std::shared_ptr<Job> &job, double burst_us,

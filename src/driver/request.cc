@@ -14,4 +14,19 @@ requestTypeName(RequestType type)
     return "?";
 }
 
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::None: return "none";
+      case ErrorKind::NodeDown: return "node-down";
+      case ErrorKind::NoBackend: return "no-backend";
+      case ErrorKind::DbTimeout: return "db-timeout";
+      case ErrorKind::DbCircuitOpen: return "db-circuit-open";
+      case ErrorKind::PoolTimeout: return "pool-timeout";
+      case ErrorKind::DbRetriesExhausted: return "db-retries-exhausted";
+    }
+    return "?";
+}
+
 } // namespace jasim

@@ -53,6 +53,27 @@ struct Request
     SimTime arrival = 0;
 };
 
+/**
+ * Why a request (or one DB attempt of a request) failed. `None` is
+ * the success sentinel so completion callbacks can carry a single
+ * status value.
+ */
+enum class ErrorKind : std::uint8_t
+{
+    None,                //!< success
+    NodeDown,            //!< serving node crashed (in-flight or routed-to-dead)
+    NoBackend,           //!< balancer had no healthy node to route to
+    DbTimeout,           //!< EJB->DB attempt missed its deadline
+    DbCircuitOpen,       //!< DB circuit breaker refused the attempt
+    PoolTimeout,         //!< connection-pool acquire timed out
+    DbRetriesExhausted,  //!< every DB attempt failed
+};
+
+inline constexpr std::size_t errorKindCount = 7;
+
+/** Printable error-kind name. */
+const char *errorKindName(ErrorKind kind);
+
 } // namespace jasim
 
 #endif // JASIM_DRIVER_REQUEST_H

@@ -1,6 +1,8 @@
 #include "driver/response_tracker.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace jasim {
 
@@ -130,13 +132,156 @@ ResponseTracker::allPass() const
 double
 ResponseTracker::meanResponseSeconds(RequestType type) const
 {
-    return per_type_[idx(type)].responses.mean();
+    const PercentileTracker &responses = per_type_[idx(type)].responses;
+    if (responses.count() == 0)
+        return kNoSamples;
+    return responses.mean();
 }
 
 double
 ResponseTracker::p99ResponseSeconds(RequestType type) const
 {
-    return per_type_[idx(type)].responses.percentile(99.0);
+    const PercentileTracker &responses = per_type_[idx(type)].responses;
+    if (responses.count() == 0)
+        return kNoSamples;
+    return responses.percentile(99.0);
+}
+
+void
+ResponseTracker::error(const Request &request, SimTime finish,
+                       std::uint32_t node, ErrorKind kind)
+{
+    assert(finish >= request.arrival);
+    assert(kind != ErrorKind::None);
+    (void)finish;
+    ++total_errors_;
+    ++errors_by_kind_[static_cast<std::size_t>(kind)];
+    ++errors_by_node_[node];
+}
+
+void
+ResponseTracker::recordRetry(ErrorKind cause)
+{
+    ++retries_;
+    ++retry_causes_[static_cast<std::size_t>(cause)];
+}
+
+std::uint64_t
+ResponseTracker::errorsOnNode(std::uint32_t node) const
+{
+    const auto it = errors_by_node_.find(node);
+    return it == errors_by_node_.end() ? 0 : it->second;
+}
+
+double
+ResponseTracker::errorRate() const
+{
+    const std::uint64_t finished = total_errors_ + totalCompleted();
+    if (finished == 0)
+        return 0.0;
+    return static_cast<double>(total_errors_) /
+        static_cast<double>(finished);
+}
+
+void
+ResponseTracker::noteNodeDown(std::uint32_t node, SimTime at)
+{
+    std::vector<Interval> &intervals = down_intervals_[node];
+    // Ignore a second "down" while already down.
+    if (!intervals.empty() && intervals.back().to == 0)
+        return;
+    intervals.push_back(Interval{at, 0});
+}
+
+void
+ResponseTracker::noteNodeUp(std::uint32_t node, SimTime at)
+{
+    const auto it = down_intervals_.find(node);
+    if (it == down_intervals_.end() || it->second.empty() ||
+        it->second.back().to != 0)
+        return;
+    it->second.back().to = at;
+}
+
+SimTime
+ResponseTracker::clippedOverlap(const Interval &interval,
+                                SimTime horizon)
+{
+    const SimTime from = std::min(interval.from, horizon);
+    const SimTime to =
+        interval.to == 0 ? horizon : std::min(interval.to, horizon);
+    return to > from ? to - from : 0;
+}
+
+double
+ResponseTracker::availability(std::uint32_t node,
+                              SimTime horizon) const
+{
+    if (horizon == 0)
+        return 1.0;
+    const auto it = down_intervals_.find(node);
+    if (it == down_intervals_.end())
+        return 1.0;
+    SimTime down = 0;
+    for (const Interval &interval : it->second)
+        down += clippedOverlap(interval, horizon);
+    return 1.0 -
+        static_cast<double>(down) / static_cast<double>(horizon);
+}
+
+void
+ResponseTracker::noteDegraded(SimTime from, SimTime to)
+{
+    assert(to == 0 || to >= from);
+    degraded_.push_back(Interval{from, to});
+}
+
+DegradedSummary
+ResponseTracker::degradedSummary(SimTime horizon) const
+{
+    std::vector<Interval> all = degraded_;
+    for (const auto &[node, intervals] : down_intervals_) {
+        (void)node;
+        all.insert(all.end(), intervals.begin(), intervals.end());
+    }
+    std::vector<std::pair<SimTime, SimTime>> windows;
+    windows.reserve(all.size());
+    for (const Interval &interval : all) {
+        const SimTime from = std::min(interval.from, horizon);
+        const SimTime to = interval.to == 0
+                               ? horizon
+                               : std::min(interval.to, horizon);
+        if (to > from)
+            windows.emplace_back(from, to);
+    }
+    std::sort(windows.begin(), windows.end());
+
+    DegradedSummary summary;
+    SimTime open_from = 0, open_to = 0;
+    bool open = false;
+    for (const auto &[from, to] : windows) {
+        if (open && from <= open_to) {
+            open_to = std::max(open_to, to);
+            continue;
+        }
+        if (open) {
+            ++summary.intervals;
+            summary.degraded_us += open_to - open_from;
+        }
+        open_from = from;
+        open_to = to;
+        open = true;
+    }
+    if (open) {
+        ++summary.intervals;
+        summary.degraded_us += open_to - open_from;
+    }
+    if (horizon > 0) {
+        summary.degraded_fraction =
+            static_cast<double>(summary.degraded_us) /
+            static_cast<double>(horizon);
+    }
+    return summary;
 }
 
 } // namespace jasim

@@ -5,12 +5,21 @@
  * Produces Figure 2 (per-type transaction rate over time) and the
  * pass/fail verdict (90% of web requests under 2 s, 90% of RMI
  * requests under 5 s), plus the JOPS metric.
+ *
+ * Fault-injection runs additionally record failures (per error kind
+ * and per node), DB retries, per-node down intervals (availability),
+ * and degraded windows (breaker-open / link-degrade / node-down), so
+ * chaos benches can report error rate and availability next to
+ * throughput. Errors are kept out of the response-time percentiles:
+ * a fast failure must not flatter the latency distribution.
  */
 
 #ifndef JASIM_DRIVER_RESPONSE_TRACKER_H
 #define JASIM_DRIVER_RESPONSE_TRACKER_H
 
 #include <array>
+#include <map>
+#include <vector>
 
 #include "driver/request.h"
 #include "stats/percentile.h"
@@ -29,10 +38,25 @@ struct SlaVerdict
     std::uint64_t completed = 0;
 };
 
+/** Availability roll-up of a fault run. */
+struct DegradedSummary
+{
+    std::size_t intervals = 0; //!< merged degraded windows
+    SimTime degraded_us = 0;   //!< total time inside those windows
+    double degraded_fraction = 0.0; //!< degraded_us / horizon
+};
+
 /** Collects completions; emits series and verdicts. */
 class ResponseTracker
 {
   public:
+    /** Returned by mean/percentile queries with no samples yet. */
+    static constexpr double kNoSamples = -1.0;
+
+    /** Node label for failures not attributable to any node. */
+    static constexpr std::uint32_t kNoNode =
+        static_cast<std::uint32_t>(-1);
+
     /** @param bucket seconds per throughput bucket (Figure 2 grain). */
     explicit ResponseTracker(double bucket_seconds = 30.0);
 
@@ -70,11 +94,65 @@ class ResponseTracker
     /** True when every type passes its SLA. */
     bool allPass() const;
 
-    /** Mean response time (seconds) for a type. */
+    /**
+     * Mean response time (seconds) for a type; kNoSamples before the
+     * first completion of that type.
+     */
     double meanResponseSeconds(RequestType type) const;
 
-    /** 99th-percentile response time (seconds) for a type. */
+    /**
+     * 99th-percentile response time (seconds) for a type; kNoSamples
+     * before the first completion of that type.
+     */
     double p99ResponseSeconds(RequestType type) const;
+
+    // ---- failure accounting (fault-injection runs) ----
+
+    /**
+     * Record a failed request. `node` is the serving node, or
+     * kNoNode for balancer-level failures (no healthy backend).
+     */
+    void error(const Request &request, SimTime finish,
+               std::uint32_t node, ErrorKind kind);
+
+    /** Record one DB retry attempt and its proximate cause. */
+    void recordRetry(ErrorKind cause);
+
+    std::uint64_t errorCount() const { return total_errors_; }
+    std::uint64_t errorCount(ErrorKind kind) const
+    {
+        return errors_by_kind_[static_cast<std::size_t>(kind)];
+    }
+    std::uint64_t errorsOnNode(std::uint32_t node) const;
+    std::uint64_t retryCount() const { return retries_; }
+    std::uint64_t retryCount(ErrorKind cause) const
+    {
+        return retry_causes_[static_cast<std::size_t>(cause)];
+    }
+
+    /** errors / (errors + completions); 0 when nothing finished. */
+    double errorRate() const;
+
+    // ---- availability ----
+
+    /** Mark a node down/up at `at` (crash / restart observations). */
+    void noteNodeDown(std::uint32_t node, SimTime at);
+    void noteNodeUp(std::uint32_t node, SimTime at);
+
+    /**
+     * Fraction of [0, horizon) the node was up. Nodes never marked
+     * down report 1.0.
+     */
+    double availability(std::uint32_t node, SimTime horizon) const;
+
+    /** Mark a degraded window (breaker open, link degrade, ...). */
+    void noteDegraded(SimTime from, SimTime to);
+
+    /**
+     * Merged union of degraded windows and node-down intervals over
+     * [0, horizon).
+     */
+    DegradedSummary degradedSummary(SimTime horizon) const;
 
   private:
     double bucket_seconds_;
@@ -90,10 +168,28 @@ class ResponseTracker
     };
     std::array<PerType, requestTypeCount> per_type_;
 
+    /** Half-open [from, to) time window; to == 0 means still open. */
+    struct Interval
+    {
+        SimTime from = 0;
+        SimTime to = 0;
+    };
+
+    std::uint64_t total_errors_ = 0;
+    std::array<std::uint64_t, errorKindCount> errors_by_kind_{};
+    std::map<std::uint32_t, std::uint64_t> errors_by_node_;
+    std::uint64_t retries_ = 0;
+    std::array<std::uint64_t, errorKindCount> retry_causes_{};
+    std::map<std::uint32_t, std::vector<Interval>> down_intervals_;
+    std::vector<Interval> degraded_;
+
     static std::size_t idx(RequestType t)
     {
         return static_cast<std::size_t>(t);
     }
+
+    static SimTime clippedOverlap(const Interval &interval,
+                                  SimTime horizon);
 };
 
 } // namespace jasim

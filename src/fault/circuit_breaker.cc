@@ -1,0 +1,104 @@
+#include "fault/circuit_breaker.h"
+
+#include <cassert>
+
+namespace jasim {
+
+const char *
+circuitStateName(CircuitBreaker::State state)
+{
+    switch (state) {
+      case CircuitBreaker::State::Closed: return "closed";
+      case CircuitBreaker::State::Open: return "open";
+      case CircuitBreaker::State::HalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig &config)
+    : config_(config)
+{
+    assert(config_.failure_threshold > 0);
+    assert(config_.half_open_successes > 0);
+}
+
+void
+CircuitBreaker::trip(SimTime now)
+{
+    if (state_ == State::Closed)
+        not_closed_since_ = now;
+    state_ = State::Open;
+    opened_at_ = now;
+    probe_in_flight_ = false;
+    half_open_streak_ = 0;
+    ++stats_.opens;
+}
+
+void
+CircuitBreaker::close(SimTime now)
+{
+    state_ = State::Closed;
+    consecutive_failures_ = 0;
+    half_open_streak_ = 0;
+    probe_in_flight_ = false;
+    stats_.open_us += now - not_closed_since_;
+    ++stats_.closes;
+}
+
+CircuitBreaker::State
+CircuitBreaker::state(SimTime now) const
+{
+    if (state_ == State::Open &&
+        now >= opened_at_ + secs(config_.open_s))
+        return State::HalfOpen;
+    return state_;
+}
+
+bool
+CircuitBreaker::allowRequest(SimTime now)
+{
+    if (state_ == State::Open) {
+        if (now < opened_at_ + secs(config_.open_s)) {
+            ++stats_.rejected;
+            return false;
+        }
+        state_ = State::HalfOpen;
+    }
+    if (state_ == State::HalfOpen) {
+        if (probe_in_flight_) {
+            ++stats_.rejected;
+            return false;
+        }
+        probe_in_flight_ = true;
+        return true;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::recordSuccess(SimTime now)
+{
+    ++stats_.successes;
+    if (state_ == State::HalfOpen) {
+        probe_in_flight_ = false;
+        if (++half_open_streak_ >= config_.half_open_successes)
+            close(now);
+        return;
+    }
+    consecutive_failures_ = 0;
+}
+
+void
+CircuitBreaker::recordFailure(SimTime now)
+{
+    ++stats_.failures;
+    if (state_ == State::HalfOpen) {
+        trip(now);
+        return;
+    }
+    if (state_ == State::Closed &&
+        ++consecutive_failures_ >= config_.failure_threshold)
+        trip(now);
+}
+
+} // namespace jasim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Circuit breaker for the shared database tier.
+ *
+ * Classic three-state breaker driven entirely by simulated time, so
+ * its behaviour is a pure function of the call sequence: Closed
+ * trips to Open after `failure_threshold` consecutive failures; Open
+ * rejects everything until `open_s` has elapsed, then admits one
+ * half-open probe at a time; `half_open_successes` consecutive
+ * successful probes close it again, and any half-open failure snaps
+ * it back to Open. Rejecting at the breaker is what keeps a dying DB
+ * tier from also drowning in retries — the fail-fast half of the
+ * resilience story.
+ */
+
+#ifndef JASIM_FAULT_CIRCUIT_BREAKER_H
+#define JASIM_FAULT_CIRCUIT_BREAKER_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Breaker thresholds and timing. */
+struct CircuitBreakerConfig
+{
+    /** Consecutive failures that trip Closed -> Open. */
+    std::size_t failure_threshold = 5;
+
+    /** Seconds Open rejects before allowing half-open probes. */
+    double open_s = 5.0;
+
+    /** Consecutive half-open successes that close the breaker. */
+    std::size_t half_open_successes = 2;
+};
+
+/** Counters the breaker accumulates. */
+struct CircuitBreakerStats
+{
+    std::uint64_t opens = 0;     //!< Closed/HalfOpen -> Open trips
+    std::uint64_t closes = 0;    //!< HalfOpen -> Closed recoveries
+    std::uint64_t rejected = 0;  //!< requests refused while Open
+    std::uint64_t failures = 0;  //!< recordFailure() calls
+    std::uint64_t successes = 0; //!< recordSuccess() calls
+    SimTime open_us = 0;         //!< total time spent not Closed
+};
+
+/** The breaker state machine. */
+class CircuitBreaker
+{
+  public:
+    enum class State : std::uint8_t { Closed, Open, HalfOpen };
+
+    explicit CircuitBreaker(const CircuitBreakerConfig &config);
+
+    /**
+     * May a request proceed at `now`? Open transitions to HalfOpen
+     * once the hold-off has elapsed; HalfOpen admits one in-flight
+     * probe at a time (callers must settle it with recordSuccess or
+     * recordFailure).
+     */
+    bool allowRequest(SimTime now);
+
+    /** A permitted request finished cleanly. */
+    void recordSuccess(SimTime now);
+
+    /** A permitted request failed (timeout, error). */
+    void recordFailure(SimTime now);
+
+    /** Effective state at `now` (Open reads as HalfOpen once due). */
+    State state(SimTime now) const;
+
+    const CircuitBreakerStats &stats() const { return stats_; }
+    const CircuitBreakerConfig &config() const { return config_; }
+
+  private:
+    CircuitBreakerConfig config_;
+    State state_ = State::Closed;
+    std::size_t consecutive_failures_ = 0;
+    std::size_t half_open_streak_ = 0;
+    bool probe_in_flight_ = false;
+    SimTime opened_at_ = 0;
+    SimTime not_closed_since_ = 0;
+    CircuitBreakerStats stats_;
+
+    void trip(SimTime now);
+    void close(SimTime now);
+};
+
+const char *circuitStateName(CircuitBreaker::State state);
+
+} // namespace jasim
+
+#endif // JASIM_FAULT_CIRCUIT_BREAKER_H

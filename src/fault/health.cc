@@ -1,0 +1,52 @@
+#include "fault/health.h"
+
+#include <cassert>
+
+namespace jasim {
+
+HealthChecker::HealthChecker(const HealthConfig &config,
+                             std::size_t nodes)
+    : config_(config), nodes_(nodes)
+{
+    assert(nodes > 0);
+    assert(config_.fail_threshold > 0);
+    assert(config_.readmit_threshold > 0);
+}
+
+HealthChecker::Transition
+HealthChecker::onProbeResult(std::size_t node, bool healthy,
+                             SimTime now)
+{
+    (void)now; // probes are timestamped by the caller's transport
+    assert(node < nodes_.size());
+    NodeState &state = nodes_[node];
+    ++stats_.probes;
+
+    if (healthy) {
+        state.consecutive_failures = 0;
+        if (!state.ejected)
+            return Transition::None;
+        if (++state.consecutive_successes >=
+            config_.readmit_threshold) {
+            state.ejected = false;
+            state.consecutive_successes = 0;
+            ++stats_.readmissions;
+            return Transition::Readmit;
+        }
+        return Transition::None;
+    }
+
+    ++stats_.failed_probes;
+    state.consecutive_successes = 0;
+    if (state.ejected)
+        return Transition::None;
+    if (++state.consecutive_failures >= config_.fail_threshold) {
+        state.ejected = true;
+        state.consecutive_failures = 0;
+        ++stats_.ejections;
+        return Transition::Eject;
+    }
+    return Transition::None;
+}
+
+} // namespace jasim

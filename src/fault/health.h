@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Health-check state machine for load-balancer node ejection.
+ *
+ * The balancer probes every backend on a fixed cadence; this class
+ * holds the per-node verdict logic: `fail_threshold` *consecutive*
+ * probe failures eject a node (the balancer stops routing to it),
+ * and `readmit_threshold` consecutive successful probes while
+ * ejected readmit it. Keeping the thresholds separate models real
+ * balancers' asymmetric confidence: one good probe after a crash
+ * should not instantly restore full traffic.
+ *
+ * The class is a pure state machine — the cluster owns the probe
+ * transport (probes ride the LB->node links so detection latency is
+ * part of the simulation) and feeds results in; the returned
+ * Transition tells it exactly when to flip the balancer.
+ */
+
+#ifndef JASIM_FAULT_HEALTH_H
+#define JASIM_FAULT_HEALTH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Probe cadence and hysteresis thresholds. */
+struct HealthConfig
+{
+    /** Seconds between probes of one node. */
+    double interval_s = 1.0;
+
+    /** Consecutive failed probes that eject a node. */
+    std::size_t fail_threshold = 3;
+
+    /** Consecutive successful probes that readmit an ejected node. */
+    std::size_t readmit_threshold = 2;
+
+    /** Probe message size on the wire. */
+    std::uint64_t probe_bytes = 64;
+};
+
+/** Counters the checker accumulates. */
+struct HealthStats
+{
+    std::uint64_t probes = 0;
+    std::uint64_t failed_probes = 0;
+    std::uint64_t ejections = 0;
+    std::uint64_t readmissions = 0;
+};
+
+/** Per-node consecutive-outcome tracking. */
+class HealthChecker
+{
+  public:
+    /** What the caller must do after feeding one probe result. */
+    enum class Transition : std::uint8_t
+    {
+        None,    //!< no state change
+        Eject,   //!< stop routing to this node
+        Readmit, //!< resume routing to this node
+    };
+
+    HealthChecker(const HealthConfig &config, std::size_t nodes);
+
+    /**
+     * Feed one probe outcome for `node` observed at `now`; returns
+     * the transition (if any) the balancer must apply.
+     */
+    Transition onProbeResult(std::size_t node, bool healthy,
+                             SimTime now);
+
+    bool ejected(std::size_t node) const
+    {
+        return nodes_[node].ejected;
+    }
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    const HealthConfig &config() const { return config_; }
+    const HealthStats &stats() const { return stats_; }
+
+  private:
+    struct NodeState
+    {
+        std::size_t consecutive_failures = 0;
+        std::size_t consecutive_successes = 0;
+        bool ejected = false;
+    };
+
+    HealthConfig config_;
+    std::vector<NodeState> nodes_;
+    HealthStats stats_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_FAULT_HEALTH_H

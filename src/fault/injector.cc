@@ -1,0 +1,33 @@
+#include "fault/injector.h"
+
+#include <cassert>
+
+namespace jasim {
+
+FaultInjector::FaultInjector(const FaultSchedule &schedule,
+                             EventQueue &queue, Apply apply)
+    : schedule_(schedule), queue_(queue), apply_(std::move(apply))
+{
+    assert(apply_);
+}
+
+void
+FaultInjector::arm()
+{
+    for (const FaultEvent &event : schedule_.events()) {
+        if (event.at < queue_.now()) {
+            ++skipped_;
+            continue;
+        }
+        ++armed_;
+        // Index-free capture: the event is copied into the closure so
+        // the injector may outlive schedule mutations (there are none
+        // today, but the copy is 64 bytes and removes the hazard).
+        queue_.scheduleAt(event.at, [this, event] {
+            ++fired_;
+            apply_(event);
+        });
+    }
+}
+
+} // namespace jasim

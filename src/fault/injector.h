@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Binds a FaultSchedule to a running simulation.
+ *
+ * The injector is transport-agnostic: it schedules one event-queue
+ * action per FaultEvent at the event's absolute time and hands the
+ * event to an `Apply` callback (the cluster) to actually perform.
+ * Because the only inputs are the schedule's fixed times and the
+ * shared queue's deterministic ordering, the same (seed, schedule)
+ * pair always produces the same chaos run.
+ */
+
+#ifndef JASIM_FAULT_INJECTOR_H
+#define JASIM_FAULT_INJECTOR_H
+
+#include <functional>
+
+#include "fault/schedule.h"
+#include "sim/event_queue.h"
+
+namespace jasim {
+
+/** Schedules fault events onto an event queue. */
+class FaultInjector
+{
+  public:
+    /** Performs one fault event against the system under test. */
+    using Apply = std::function<void(const FaultEvent &)>;
+
+    FaultInjector(const FaultSchedule &schedule, EventQueue &queue,
+                  Apply apply);
+
+    /**
+     * Schedule every event whose time is >= now. Call once, after
+     * the target system exists; events in the past are skipped (and
+     * counted) rather than fired late, keeping replays exact.
+     */
+    void arm();
+
+    /** Events scheduled by arm(). */
+    std::size_t armed() const { return armed_; }
+
+    /** Events skipped by arm() because their time had passed. */
+    std::size_t skipped() const { return skipped_; }
+
+    /** Events whose apply callback has run so far. */
+    std::size_t fired() const { return fired_; }
+
+    const FaultSchedule &schedule() const { return schedule_; }
+
+  private:
+    FaultSchedule schedule_;
+    EventQueue &queue_;
+    Apply apply_;
+    std::size_t armed_ = 0;
+    std::size_t skipped_ = 0;
+    std::size_t fired_ = 0;
+};
+
+} // namespace jasim
+
+#endif // JASIM_FAULT_INJECTOR_H

@@ -1,0 +1,24 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jasim {
+
+SimTime
+RetryPolicy::backoffUs(std::size_t attempt, Rng &rng) const
+{
+    assert(attempt >= 1);
+    double backoff = config_.base_backoff_us;
+    for (std::size_t i = 1; i < attempt; ++i)
+        backoff *= config_.multiplier;
+    backoff = std::min(backoff, config_.max_backoff_us);
+    if (config_.jitter > 0.0) {
+        backoff *= rng.uniform(1.0 - config_.jitter,
+                               1.0 + config_.jitter);
+    }
+    return static_cast<SimTime>(std::llround(std::max(backoff, 0.0)));
+}
+
+} // namespace jasim

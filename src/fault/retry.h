@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Retry policy with deterministic exponential backoff + jitter.
+ *
+ * The EJB->DB path retries failed attempts (pool timeout, circuit
+ * rejection, per-request timeout) up to a budget, waiting
+ * base * multiplier^(attempt-1) microseconds between attempts,
+ * clamped to a ceiling and spread by a symmetric jitter factor drawn
+ * from a *seeded* RNG — so the whole retry storm is reproducible
+ * from the run seed, unlike wall-clock jitter in real stacks.
+ */
+
+#ifndef JASIM_FAULT_RETRY_H
+#define JASIM_FAULT_RETRY_H
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace jasim {
+
+/** Backoff shape and budget. */
+struct RetryConfig
+{
+    /** Total attempts including the first (1 = no retries). */
+    std::size_t max_attempts = 3;
+
+    /** Backoff before the first retry (us). */
+    double base_backoff_us = 50000.0;
+
+    /** Geometric growth per further retry. */
+    double multiplier = 2.0;
+
+    /** Backoff ceiling (us). */
+    double max_backoff_us = 1.0e6;
+
+    /**
+     * Jitter fraction j: the backoff is scaled by a uniform draw
+     * from [1-j, 1+j]. Zero draws nothing from the RNG.
+     */
+    double jitter = 0.25;
+};
+
+/** Pure policy object: answers "again?" and "after how long?". */
+class RetryPolicy
+{
+  public:
+    explicit RetryPolicy(const RetryConfig &config) : config_(config) {}
+
+    /** May attempt `attempt`+1 follow a failed attempt `attempt` (1-based)? */
+    bool shouldRetry(std::size_t attempt) const
+    {
+        return attempt < config_.max_attempts;
+    }
+
+    /**
+     * Backoff to wait after failed attempt `attempt` (1-based),
+     * in integer microseconds. Draws at most one uniform from `rng`.
+     */
+    SimTime backoffUs(std::size_t attempt, Rng &rng) const;
+
+    const RetryConfig &config() const { return config_; }
+
+  private:
+    RetryConfig config_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_FAULT_RETRY_H

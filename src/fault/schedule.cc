@@ -1,0 +1,224 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace jasim {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::NodeCrash: return "crash";
+      case FaultKind::LinkDegrade: return "degrade";
+      case FaultKind::DbSlow: return "dbslow";
+      case FaultKind::PoolKill: return "poolkill";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::describe() const
+{
+    std::ostringstream os;
+    os << faultKindName(kind) << "@" << toSeconds(at) << "s";
+    switch (kind) {
+      case FaultKind::NodeCrash:
+        os << " node=" << node;
+        if (restart_after > 0)
+            os << " restart=" << toSeconds(restart_after) << "s";
+        break;
+      case FaultKind::LinkDegrade:
+        if (node == kAllNodes)
+            os << " node=all";
+        else
+            os << " node=" << node;
+        os << " lat=" << latency_mult << "x drop=" << drop_probability;
+        if (duration > 0)
+            os << " dur=" << toSeconds(duration) << "s";
+        break;
+      case FaultKind::DbSlow:
+        os << " mult=" << disk_mult << "x";
+        if (duration > 0)
+            os << " dur=" << toSeconds(duration) << "s";
+        break;
+      case FaultKind::PoolKill:
+        os << " node=" << node;
+        break;
+    }
+    return os.str();
+}
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what, const std::string &token)
+{
+    throw std::invalid_argument("--faults: " + what + " in \"" +
+                                token + "\"");
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\n\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\n\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+double
+parseNumber(const std::string &value, const std::string &token)
+{
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+        parsed = std::stod(value, &used);
+    } catch (const std::exception &) {
+        fail("malformed number \"" + value + "\"", token);
+    }
+    if (used != value.size() || !std::isfinite(parsed))
+        fail("malformed number \"" + value + "\"", token);
+    return parsed;
+}
+
+double
+parseNonNegative(const std::string &value, const std::string &token)
+{
+    const double parsed = parseNumber(value, token);
+    if (parsed < 0.0)
+        fail("negative value \"" + value + "\"", token);
+    return parsed;
+}
+
+FaultEvent
+parseEvent(const std::string &raw)
+{
+    const std::string token = trim(raw);
+    const auto at_pos = token.find('@');
+    if (at_pos == std::string::npos)
+        fail("missing '@<time>'", token);
+
+    const std::string kind_name = trim(token.substr(0, at_pos));
+    FaultEvent event;
+    if (kind_name == "crash")
+        event.kind = FaultKind::NodeCrash;
+    else if (kind_name == "degrade")
+        event.kind = FaultKind::LinkDegrade;
+    else if (kind_name == "dbslow")
+        event.kind = FaultKind::DbSlow;
+    else if (kind_name == "poolkill")
+        event.kind = FaultKind::PoolKill;
+    else
+        fail("unknown fault kind \"" + kind_name + "\"", token);
+
+    const auto colon = token.find(':', at_pos);
+    const std::string time_str = trim(
+        token.substr(at_pos + 1, colon == std::string::npos
+                                     ? std::string::npos
+                                     : colon - at_pos - 1));
+    event.at = secs(parseNonNegative(time_str, token));
+
+    bool saw_node = false;
+    std::string params = colon == std::string::npos
+                             ? ""
+                             : token.substr(colon + 1);
+    std::istringstream split(params);
+    std::string kv;
+    while (std::getline(split, kv, ',')) {
+        kv = trim(kv);
+        if (kv.empty())
+            continue;
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            fail("parameter \"" + kv + "\" is not key=value", token);
+        const std::string key = trim(kv.substr(0, eq));
+        const std::string value = trim(kv.substr(eq + 1));
+
+        if (key == "node") {
+            if (value == "all") {
+                event.node = FaultEvent::kAllNodes;
+            } else {
+                event.node = static_cast<std::size_t>(
+                    parseNonNegative(value, token));
+            }
+            saw_node = true;
+        } else if (key == "restart" &&
+                   event.kind == FaultKind::NodeCrash) {
+            event.restart_after =
+                secs(parseNonNegative(value, token));
+        } else if (key == "dur" &&
+                   (event.kind == FaultKind::LinkDegrade ||
+                    event.kind == FaultKind::DbSlow)) {
+            event.duration = secs(parseNonNegative(value, token));
+        } else if (key == "lat" &&
+                   event.kind == FaultKind::LinkDegrade) {
+            event.latency_mult = parseNonNegative(value, token);
+            if (event.latency_mult < 1.0)
+                fail("lat multiplier must be >= 1", token);
+        } else if (key == "drop" &&
+                   event.kind == FaultKind::LinkDegrade) {
+            event.drop_probability = parseNonNegative(value, token);
+            if (event.drop_probability > 1.0)
+                fail("drop probability must be <= 1", token);
+        } else if (key == "mult" && event.kind == FaultKind::DbSlow) {
+            event.disk_mult = parseNonNegative(value, token);
+            if (event.disk_mult < 1.0)
+                fail("disk multiplier must be >= 1", token);
+        } else {
+            fail("unknown key \"" + key + "\" for " + kind_name,
+                 token);
+        }
+    }
+
+    if (!saw_node && (event.kind == FaultKind::NodeCrash ||
+                      event.kind == FaultKind::PoolKill))
+        fail("missing node=<n>", token);
+    return event;
+}
+
+} // namespace
+
+FaultSchedule
+FaultSchedule::parse(const std::string &spec)
+{
+    FaultSchedule schedule;
+    std::istringstream split(spec);
+    std::string token;
+    while (std::getline(split, token, ';')) {
+        if (trim(token).empty())
+            continue;
+        schedule.add(parseEvent(token));
+    }
+    return schedule;
+}
+
+void
+FaultSchedule::add(const FaultEvent &event)
+{
+    // Stable insertion keeps same-time events in spec order, which
+    // makes the injector's firing order reproducible.
+    auto pos = std::upper_bound(
+        events_.begin(), events_.end(), event,
+        [](const FaultEvent &a, const FaultEvent &b) {
+            return a.at < b.at;
+        });
+    events_.insert(pos, event);
+}
+
+std::string
+FaultSchedule::summary() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (i)
+            out += "; ";
+        out += events_[i].describe();
+    }
+    return out;
+}
+
+} // namespace jasim

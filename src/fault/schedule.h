@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic fault schedules.
+ *
+ * A FaultSchedule is a scripted list of chaos events — node crash
+ * (with optional restart), link degradation (latency multiplier and
+ * drop probability), database disk slowdown, and connection-pool
+ * kill — each pinned to an absolute simulated time. Schedules come
+ * from a compact `--faults` spec string or are built
+ * programmatically; either way the events land on the shared event
+ * queue at fixed times, so a chaos run is bit-reproducible from
+ * `(seed, schedule)` alone.
+ *
+ * Spec grammar (semicolon-separated events):
+ *
+ *   crash@60:node=0,restart=30       crash node 0 at t=60 s, restart
+ *                                    it 30 s later (omit restart to
+ *                                    keep it down)
+ *   degrade@90:node=1,lat=4,drop=0.05,dur=20
+ *                                    node 1's DB link: 4x latency and
+ *                                    5% message loss for 20 s (omit
+ *                                    node to degrade every DB link;
+ *                                    omit dur to make it permanent)
+ *   dbslow@120:mult=8,dur=30         DB disk service times 8x for 30 s
+ *   poolkill@150:node=0              drop node 0's idle DB connections
+ *
+ * Times and durations are seconds (fractions allowed). Unknown kinds,
+ * malformed numbers, and unknown keys throw std::invalid_argument
+ * with a message naming the offending token.
+ */
+
+#ifndef JASIM_FAULT_SCHEDULE_H
+#define JASIM_FAULT_SCHEDULE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace jasim {
+
+/** What a scripted fault does. */
+enum class FaultKind : std::uint8_t
+{
+    NodeCrash,   //!< node dies; in-flight requests error
+    LinkDegrade, //!< DB link latency multiplier + drop probability
+    DbSlow,      //!< DB disk service-time multiplier
+    PoolKill,    //!< drop a node's idle DB connections
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One scripted event. */
+struct FaultEvent
+{
+    /** Target "every node" (LinkDegrade only). */
+    static constexpr std::size_t kAllNodes =
+        static_cast<std::size_t>(-1);
+
+    FaultKind kind = FaultKind::NodeCrash;
+    SimTime at = 0;                 //!< absolute injection time
+    std::size_t node = kAllNodes;   //!< target node
+    SimTime duration = 0;           //!< degrade/dbslow window (0 = forever)
+    SimTime restart_after = 0;      //!< crash: restart delay (0 = never)
+    double latency_mult = 1.0;      //!< degrade: propagation multiplier
+    double drop_probability = 0.0;  //!< degrade: per-message loss
+    double disk_mult = 1.0;         //!< dbslow: service multiplier
+
+    /** One-line human-readable form (used by summaries and tests). */
+    std::string describe() const;
+};
+
+/**
+ * An ordered list of fault events. Events are kept sorted by
+ * injection time (stable for ties, so the spec's order is the
+ * tie-break), which the injector relies on.
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /**
+     * Parse a `--faults` spec (see file header for the grammar).
+     * An empty or all-whitespace spec yields an empty schedule.
+     * @throws std::invalid_argument on any malformed token.
+     */
+    static FaultSchedule parse(const std::string &spec);
+
+    /** Append one event (keeps the list time-sorted, stable). */
+    void add(const FaultEvent &event);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Semicolon-joined describe() of every event. */
+    std::string summary() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace jasim
+
+#endif // JASIM_FAULT_SCHEDULE_H

@@ -29,6 +29,12 @@ ConnectionPool::grant(Acquired on_acquired, SimTime ready)
 void
 ConnectionPool::acquire(Acquired on_acquired)
 {
+    acquire(std::move(on_acquired), nullptr);
+}
+
+void
+ConnectionPool::acquire(Acquired on_acquired, TimedOut on_timeout)
+{
     const SimTime now = queue_.now();
     ++stats_.acquires;
 
@@ -57,8 +63,32 @@ ConnectionPool::acquire(Acquired on_acquired)
         return;
     }
     ++stats_.waits;
-    waiters_.push_back(Waiter{std::move(on_acquired), now});
+    const std::uint64_t id = next_waiter_id_++;
+    const bool bounded =
+        config_.acquire_timeout_us > 0.0 && on_timeout != nullptr;
+    waiters_.push_back(
+        Waiter{std::move(on_acquired), std::move(on_timeout), now, id});
     stats_.peak_waiting = std::max(stats_.peak_waiting, waiters_.size());
+
+    if (bounded) {
+        const SimTime deadline = now +
+            static_cast<SimTime>(
+                std::llround(config_.acquire_timeout_us));
+        queue_.scheduleAt(deadline, [this, id, deadline] {
+            for (auto it = waiters_.begin(); it != waiters_.end();
+                 ++it) {
+                if (it->id != id)
+                    continue;
+                TimedOut on_timeout = std::move(it->on_timeout);
+                stats_.total_wait_us += deadline - it->since;
+                waiters_.erase(it);
+                ++stats_.timeouts;
+                on_timeout(deadline);
+                return;
+            }
+            // Not found: the waiter was granted before the deadline.
+        });
+    }
 }
 
 void
@@ -80,6 +110,17 @@ ConnectionPool::release()
         return;
     }
     --open_;
+}
+
+std::size_t
+ConnectionPool::killIdle()
+{
+    const std::size_t killed = idle_.size();
+    assert(open_ >= killed);
+    idle_.clear();
+    open_ -= killed;
+    stats_.killed += killed;
+    return killed;
 }
 
 double

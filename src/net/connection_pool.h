@@ -7,9 +7,12 @@
  * handshake (a configurable number of link round trips plus CPU);
  * released connections are kept alive and reused for free until an
  * idle timeout. When every connection is checked out, acquirers queue
- * FIFO — they are never dropped — which is the classic saturation
- * mode of a real app-server tier and the knee the cluster bench
- * looks for.
+ * FIFO. By default they wait forever — the classic saturation mode of
+ * a real app-server tier and the knee the cluster bench looks for —
+ * but an acquire timeout bounds the queueing: a waiter still queued
+ * at its deadline is dropped and its timeout callback runs instead,
+ * which is what lets a fault-injected cluster shed load rather than
+ * build an unbounded backlog behind a dead database.
  */
 
 #ifndef JASIM_NET_CONNECTION_POOL_H
@@ -44,6 +47,13 @@ struct ConnectionPoolConfig
      * acquire (<= 0 disables expiry).
      */
     double idle_timeout_s = 0.0;
+
+    /**
+     * Bound on acquire queueing (us). A waiter still queued this long
+     * after acquire() is dropped and its timeout callback fires.
+     * <= 0 (the default) waits forever — the pre-fault behaviour.
+     */
+    double acquire_timeout_us = 0.0;
 };
 
 /** Counters the pool accumulates. */
@@ -54,6 +64,8 @@ struct ConnectionPoolStats
     std::uint64_t reuses = 0;         //!< free keep-alive reuse
     std::uint64_t waits = 0;          //!< queued on an exhausted pool
     std::uint64_t expirations = 0;    //!< idle connections re-established
+    std::uint64_t timeouts = 0;       //!< waiters dropped at the deadline
+    std::uint64_t killed = 0;         //!< idle connections killed by faults
     SimTime total_wait_us = 0;
     std::size_t peak_waiting = 0;
 };
@@ -67,6 +79,9 @@ class ConnectionPool
   public:
     /** Receives the absolute time the connection became available. */
     using Acquired = std::function<void(SimTime ready)>;
+
+    /** Receives the absolute time the acquire gave up. */
+    using TimedOut = std::function<void(SimTime at)>;
 
     /**
      * @param link the link to the endpoint (handshake RTT source).
@@ -82,8 +97,23 @@ class ConnectionPool
      */
     void acquire(Acquired on_acquired);
 
+    /**
+     * As above, but when `acquire_timeout_us` is configured and the
+     * acquire is still queued at the deadline, the waiter is removed
+     * and `on_timeout` fires instead (exactly one of the callbacks
+     * runs). A null `on_timeout` waits forever.
+     */
+    void acquire(Acquired on_acquired, TimedOut on_timeout);
+
     /** Return a connection to the pool at the current queue time. */
     void release();
+
+    /**
+     * Fault injection: drop every idle keep-alive connection (the
+     * next acquires pay fresh handshakes). Checked-out connections
+     * and queued waiters are untouched. Returns connections killed.
+     */
+    std::size_t killIdle();
 
     std::size_t open() const { return open_; }
     std::size_t idle() const { return idle_.size(); }
@@ -103,9 +133,12 @@ class ConnectionPool
     struct Waiter
     {
         Acquired on_acquired;
+        TimedOut on_timeout;
         SimTime since;
+        std::uint64_t id;
     };
     std::deque<Waiter> waiters_;
+    std::uint64_t next_waiter_id_ = 0;
     ConnectionPoolStats stats_;
 
     double connectCostUs() const;

@@ -17,13 +17,33 @@ NetworkLink::propagation()
 {
     if (config_.latency_us <= 0.0)
         return 0;
-    double latency = config_.latency_us;
+    double latency = config_.latency_us * latency_mult_;
     if (config_.jitter_sigma > 0.0) {
         const double sigma = config_.jitter_sigma;
         // Mean-1 multiplier: E[lognormal(-s^2/2, s)] = 1.
         latency *= drawLogNormal(rng_, -sigma * sigma / 2.0, sigma);
     }
     return static_cast<SimTime>(std::llround(latency));
+}
+
+void
+NetworkLink::setDegradation(double latency_mult,
+                            double drop_probability)
+{
+    latency_mult_ = std::max(latency_mult, 1.0);
+    drop_probability_ =
+        std::min(std::max(drop_probability, 0.0), 1.0);
+}
+
+bool
+NetworkLink::drawDrop()
+{
+    if (drop_probability_ <= 0.0)
+        return false;
+    if (!rng_.chance(drop_probability_))
+        return false;
+    ++dropped_;
+    return true;
 }
 
 SimTime

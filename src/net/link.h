@@ -80,17 +80,47 @@ class NetworkLink
     SimTime deliver(SimTime now, std::uint64_t bytes,
                     Direction direction = Direction::Forward);
 
+    /**
+     * Fault injection: stretch propagation by `latency_mult` and
+     * lose each message with probability `drop_probability` (as
+     * polled by drawDrop()). A multiplier of 1 and probability of 0
+     * restore healthy behaviour exactly.
+     */
+    void setDegradation(double latency_mult, double drop_probability);
+
+    /** Undo setDegradation(). */
+    void clearDegradation() { setDegradation(1.0, 0.0); }
+
+    bool degraded() const
+    {
+        return latency_mult_ != 1.0 || drop_probability_ > 0.0;
+    }
+    double dropProbability() const { return drop_probability_; }
+
+    /**
+     * Draw whether the next message is lost. Consumes RNG state only
+     * while a drop probability is set, so healthy runs see the exact
+     * jitter stream they always did.
+     */
+    bool drawDrop();
+
     /** Expected round-trip time, jitter-free (us). */
     double rttUs() const { return 2.0 * config_.latency_us; }
 
     const LinkConfig &config() const { return config_; }
     const LinkStats &stats() const { return stats_; }
 
+    /** Messages the degraded link has dropped (via drawDrop). */
+    std::uint64_t dropped() const { return dropped_; }
+
   private:
     LinkConfig config_;
     Rng rng_;
     SimTime tx_free_[2] = {0, 0}; //!< per-direction next-free time
     LinkStats stats_;
+    double latency_mult_ = 1.0;
+    double drop_probability_ = 0.0;
+    std::uint64_t dropped_ = 0;
 
     SimTime propagation();
 };

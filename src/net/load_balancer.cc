@@ -1,7 +1,8 @@
 #include "net/load_balancer.h"
 
 #include <cassert>
-#include <numeric>
+#include <cmath>
+#include <stdexcept>
 
 namespace jasim {
 
@@ -18,12 +19,22 @@ lbPolicyName(LbPolicy policy)
 
 LoadBalancer::LoadBalancer(const LbConfig &config, std::size_t nodes)
     : config_(config), in_flight_(nodes, 0), routed_(nodes, 0),
-      current_weight_(nodes, 0.0)
+      current_weight_(nodes, 0.0), up_(nodes, 1), up_count_(nodes)
 {
     assert(nodes > 0);
+    for (const double w : config_.weights) {
+        if (!std::isfinite(w) || w < 0.0) {
+            throw std::invalid_argument(
+                "LbConfig::weights must be finite and >= 0");
+        }
+    }
     config_.weights.resize(nodes, 1.0);
-    for (double &w : config_.weights) {
-        if (w <= 0.0)
+    bool any_positive = false;
+    for (const double w : config_.weights)
+        any_positive = any_positive || w > 0.0;
+    if (!any_positive) {
+        // All-zero means "no preference", i.e. uniform.
+        for (double &w : config_.weights)
             w = 1.0;
     }
 }
@@ -31,42 +42,66 @@ LoadBalancer::LoadBalancer(const LbConfig &config, std::size_t nodes)
 std::size_t
 LoadBalancer::pick()
 {
+    if (up_count_ == 0)
+        return kNoNode;
     switch (config_.policy) {
       case LbPolicy::RoundRobin: {
+        // Advance the cursor past down nodes; up_count_ > 0 bounds
+        // the scan.
+        while (!up_[next_])
+            next_ = (next_ + 1) % in_flight_.size();
         const std::size_t node = next_;
         next_ = (next_ + 1) % in_flight_.size();
         return node;
       }
       case LbPolicy::LeastConnections: {
-        std::size_t best = 0;
-        for (std::size_t n = 1; n < in_flight_.size(); ++n) {
-            if (in_flight_[n] < in_flight_[best])
+        std::size_t best = kNoNode;
+        for (std::size_t n = 0; n < in_flight_.size(); ++n) {
+            if (!up_[n])
+                continue;
+            if (best == kNoNode || in_flight_[n] < in_flight_[best])
                 best = n;
         }
         return best;
       }
       case LbPolicy::Weighted: {
-        // Smooth weighted round-robin: raise every node by its
-        // weight, pick the highest, then drop it by the total.
-        const double total = std::accumulate(
-            config_.weights.begin(), config_.weights.end(), 0.0);
-        std::size_t best = 0;
+        // Smooth weighted round-robin among up nodes: raise each by
+        // its weight, pick the highest, then drop it by the up total.
+        double total = 0.0;
+        std::size_t best = kNoNode;
         for (std::size_t n = 0; n < current_weight_.size(); ++n) {
+            if (!up_[n])
+                continue;
+            total += config_.weights[n];
             current_weight_[n] += config_.weights[n];
-            if (current_weight_[n] > current_weight_[best])
+            if (best == kNoNode ||
+                current_weight_[n] > current_weight_[best])
                 best = n;
+        }
+        if (total <= 0.0) {
+            // Every up node has weight 0 (the positive-weight nodes
+            // are all down): degrade to least index rather than
+            // blackholing traffic.
+            for (std::size_t n = 0; n < up_.size(); ++n) {
+                if (up_[n])
+                    return n;
+            }
         }
         current_weight_[best] -= total;
         return best;
       }
     }
-    return 0;
+    return kNoNode;
 }
 
 std::size_t
 LoadBalancer::route()
 {
     const std::size_t node = pick();
+    if (node == kNoNode) {
+        ++unroutable_;
+        return kNoNode;
+    }
     ++in_flight_[node];
     ++routed_[node];
     ++total_routed_;
@@ -82,6 +117,31 @@ LoadBalancer::complete(std::size_t node)
 {
     assert(node < in_flight_.size() && in_flight_[node] > 0);
     --in_flight_[node];
+}
+
+void
+LoadBalancer::setNodeDown(std::size_t node)
+{
+    assert(node < up_.size());
+    if (!up_[node])
+        return;
+    up_[node] = 0;
+    --up_count_;
+    ++ejections_;
+}
+
+void
+LoadBalancer::setNodeUp(std::size_t node)
+{
+    assert(node < up_.size());
+    if (up_[node])
+        return;
+    up_[node] = 1;
+    ++up_count_;
+    ++readmissions_;
+    // Re-entering smooth-WRR with stale credit would burst traffic at
+    // the readmitted node; start it from neutral.
+    current_weight_[node] = 0.0;
 }
 
 } // namespace jasim

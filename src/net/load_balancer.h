@@ -9,6 +9,13 @@
  * bursts). All policies are deterministic: given the same assignment
  * and completion sequence they produce the same routing, which the
  * tests pin.
+ *
+ * Health: nodes can be marked down (health-check ejection) and up
+ * (probe readmission). Every policy routes only among up nodes; when
+ * none is up, route() returns kNoNode and the caller fails the
+ * request. Weights are validated at construction — negative or
+ * non-finite weights throw, an all-zero vector is treated as uniform
+ * — instead of being silently coerced.
  */
 
 #ifndef JASIM_NET_LOAD_BALANCER_H
@@ -34,27 +41,52 @@ struct LbConfig
 {
     LbPolicy policy = LbPolicy::LeastConnections;
 
-    /** Per-node weights (Weighted policy; resized/defaulted to 1). */
+    /**
+     * Per-node weights (Weighted policy; resized/defaulted to 1).
+     * Must be finite and non-negative; a node with weight 0 receives
+     * no traffic while any positive-weight node is up. An all-zero
+     * vector is treated as uniform.
+     */
     std::vector<double> weights;
 
     /** CPU cost the balancer adds per forwarded request (us). */
     double forward_us = 30.0;
 };
 
-/** Routing decisions + in-flight bookkeeping. */
+/** Routing decisions + in-flight and health bookkeeping. */
 class LoadBalancer
 {
   public:
+    /** route() result when no healthy node exists. */
+    static constexpr std::size_t kNoNode =
+        static_cast<std::size_t>(-1);
+
+    /**
+     * @throws std::invalid_argument on negative or non-finite
+     *         weights.
+     */
     LoadBalancer(const LbConfig &config, std::size_t nodes);
 
     /**
-     * Pick a backend for the next request and record it in flight.
-     * Returns the node index.
+     * Pick a healthy backend for the next request and record it in
+     * flight. Returns the node index, or kNoNode when every node is
+     * down (the request must be failed by the caller).
      */
     std::size_t route();
 
-    /** Record a request leaving a node (response sent). */
+    /** Record a request leaving a node (response sent or errored). */
     void complete(std::size_t node);
+
+    /** Health-check ejection: stop routing new requests to `node`. */
+    void setNodeDown(std::size_t node);
+
+    /** Probe readmission: resume routing to `node`. */
+    void setNodeUp(std::size_t node);
+
+    bool nodeUp(std::size_t node) const { return up_[node]; }
+
+    /** Number of nodes currently routable. */
+    std::size_t upCount() const { return up_count_; }
 
     std::size_t nodeCount() const { return in_flight_.size(); }
     std::size_t inFlight(std::size_t node) const
@@ -67,6 +99,14 @@ class LoadBalancer
     }
     std::uint64_t totalRouted() const { return total_routed_; }
     std::size_t peakInFlight() const { return peak_in_flight_; }
+
+    /** Requests refused because no node was up. */
+    std::uint64_t unroutable() const { return unroutable_; }
+
+    /** Ejections / readmissions applied so far. */
+    std::uint64_t ejections() const { return ejections_; }
+    std::uint64_t readmissions() const { return readmissions_; }
+
     const LbConfig &config() const { return config_; }
 
   private:
@@ -74,9 +114,14 @@ class LoadBalancer
     std::vector<std::size_t> in_flight_;
     std::vector<std::uint64_t> routed_;
     std::vector<double> current_weight_; //!< smooth-WRR state
+    std::vector<std::uint8_t> up_;       //!< health per node
+    std::size_t up_count_ = 0;
     std::size_t next_ = 0;               //!< round-robin cursor
     std::uint64_t total_routed_ = 0;
     std::size_t peak_in_flight_ = 0;
+    std::uint64_t unroutable_ = 0;
+    std::uint64_t ejections_ = 0;
+    std::uint64_t readmissions_ = 0;
 
     std::size_t pick();
 };

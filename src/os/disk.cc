@@ -25,9 +25,19 @@ DiskModel::serviceTime(std::uint64_t bytes) const
         static_cast<SimTime>(transfer_us);
 }
 
+void
+DiskModel::setServiceMultiplier(double mult)
+{
+    service_mult_ = std::max(mult, 1.0);
+}
+
 IoResult
 DiskModel::submit(SimTime now, SimTime service)
 {
+    if (service_mult_ != 1.0) {
+        service = static_cast<SimTime>(
+            static_cast<double>(service) * service_mult_);
+    }
     // Least-loaded spindle (striped volume behaviour).
     auto earliest =
         std::min_element(spindle_free_.begin(), spindle_free_.end());

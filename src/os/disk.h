@@ -57,6 +57,15 @@ class DiskModel
     /** Submit a write of `bytes` at time `now`. */
     IoResult write(SimTime now, std::uint64_t bytes);
 
+    /**
+     * Fault injection: scale every subsequent service time by `mult`
+     * (>= 1; 1 restores healthy behaviour exactly). Models a
+     * saturated or failing storage tier under the database.
+     */
+    void setServiceMultiplier(double mult);
+
+    double serviceMultiplier() const { return service_mult_; }
+
     const DiskConfig &config() const { return config_; }
 
     std::uint64_t requestCount() const { return requests_; }
@@ -72,6 +81,7 @@ class DiskModel
     std::uint64_t requests_ = 0;
     SimTime busy_ = 0;
     SimTime queued_ = 0;
+    double service_mult_ = 1.0;
 
     IoResult submit(SimTime now, SimTime service);
     SimTime serviceTime(std::uint64_t bytes) const;

@@ -14,16 +14,24 @@ Config::fromArgs(int argc, char **argv)
 
         // GNU-style flags normalize to the same keys: `--seed 42`
         // and `--seed=42` both mean `seed=42`; a bare `--flag` with
-        // no value is a boolean `flag=1`.
+        // no value is a boolean `flag=1`. A following token that is
+        // itself a `key=value` positional stays positional — but keys
+        // are plain identifiers, so when punctuation like '@' or ':'
+        // precedes the first '=' (a `--faults` spec, say) the token
+        // is this flag's value.
         if (arg.rfind("--", 0) == 0) {
             arg = arg.substr(2);
             if (arg.empty())
                 continue;
             if (arg.find('=') == std::string::npos) {
-                const bool next_is_value = i + 1 < argc &&
-                    std::string(argv[i + 1]).rfind("--", 0) != 0 &&
-                    std::string(argv[i + 1]).find('=') ==
-                        std::string::npos;
+                bool next_is_value = false;
+                if (i + 1 < argc) {
+                    const std::string next = argv[i + 1];
+                    const auto next_eq = next.find('=');
+                    next_is_value = next.rfind("--", 0) != 0 &&
+                        (next_eq == std::string::npos ||
+                         next.find_first_of("@:;") < next_eq);
+                }
                 config.set(arg, next_is_value ? argv[++i] : "1");
                 continue;
             }

@@ -62,6 +62,13 @@ class Config
      */
     bool fastpath() const;
 
+    /**
+     * Fault-schedule spec from `--faults <spec>` (see
+     * fault/schedule.h for the grammar). Empty — the default — means
+     * a healthy run; benches pass it to FaultSchedule::parse.
+     */
+    std::string faults() const { return getString("faults", ""); }
+
     const std::map<std::string, std::string> &entries() const
     {
         return values_;

@@ -139,5 +139,108 @@ TEST(ResponseTrackerTest, MeanResponse)
                      2.0);
 }
 
+TEST(ResponseTrackerTest, EmptyPercentilesReportSentinelNotZero)
+{
+    ResponseTracker tracker;
+    EXPECT_DOUBLE_EQ(tracker.meanResponseSeconds(RequestType::Browse),
+                     ResponseTracker::kNoSamples);
+    EXPECT_DOUBLE_EQ(tracker.p99ResponseSeconds(RequestType::Browse),
+                     ResponseTracker::kNoSamples);
+    // One completion of another type must not unstick Browse.
+    tracker.complete(makeRequest(1, RequestType::Manage, 0), secs(1));
+    EXPECT_DOUBLE_EQ(tracker.p99ResponseSeconds(RequestType::Browse),
+                     ResponseTracker::kNoSamples);
+    EXPECT_GE(tracker.p99ResponseSeconds(RequestType::Manage), 0.0);
+}
+
+TEST(ResponseTrackerTest, ErrorsCountPerKindAndNode)
+{
+    ResponseTracker tracker;
+    tracker.error(makeRequest(1, RequestType::Browse, 0), secs(1), 0,
+                  ErrorKind::NodeDown);
+    tracker.error(makeRequest(2, RequestType::Manage, 0), secs(2), 0,
+                  ErrorKind::DbTimeout);
+    tracker.error(makeRequest(3, RequestType::Browse, 0), secs(2),
+                  ResponseTracker::kNoNode, ErrorKind::NoBackend);
+    EXPECT_EQ(tracker.errorCount(), 3u);
+    EXPECT_EQ(tracker.errorCount(ErrorKind::NodeDown), 1u);
+    EXPECT_EQ(tracker.errorCount(ErrorKind::DbTimeout), 1u);
+    EXPECT_EQ(tracker.errorCount(ErrorKind::PoolTimeout), 0u);
+    EXPECT_EQ(tracker.errorsOnNode(0), 2u);
+    EXPECT_EQ(tracker.errorsOnNode(ResponseTracker::kNoNode), 1u);
+    EXPECT_EQ(tracker.errorsOnNode(5), 0u);
+    // Errors stay out of completions and percentiles.
+    EXPECT_EQ(tracker.totalCompleted(), 0u);
+    EXPECT_DOUBLE_EQ(tracker.p99ResponseSeconds(RequestType::Browse),
+                     ResponseTracker::kNoSamples);
+}
+
+TEST(ResponseTrackerTest, ErrorRateMixesErrorsAndCompletions)
+{
+    ResponseTracker tracker;
+    EXPECT_DOUBLE_EQ(tracker.errorRate(), 0.0);
+    for (int i = 0; i < 3; ++i)
+        tracker.complete(makeRequest(static_cast<std::uint64_t>(i),
+                                     RequestType::Browse, 0),
+                         secs(1));
+    tracker.error(makeRequest(9, RequestType::Browse, 0), secs(1), 0,
+                  ErrorKind::NodeDown);
+    EXPECT_DOUBLE_EQ(tracker.errorRate(), 0.25);
+}
+
+TEST(ResponseTrackerTest, RetriesCountPerCause)
+{
+    ResponseTracker tracker;
+    tracker.recordRetry(ErrorKind::DbTimeout);
+    tracker.recordRetry(ErrorKind::DbTimeout);
+    tracker.recordRetry(ErrorKind::PoolTimeout);
+    EXPECT_EQ(tracker.retryCount(), 3u);
+    EXPECT_EQ(tracker.retryCount(ErrorKind::DbTimeout), 2u);
+    EXPECT_EQ(tracker.retryCount(ErrorKind::PoolTimeout), 1u);
+    EXPECT_EQ(tracker.retryCount(ErrorKind::DbCircuitOpen), 0u);
+}
+
+TEST(ResponseTrackerTest, AvailabilityClipsDownIntervals)
+{
+    ResponseTracker tracker;
+    EXPECT_DOUBLE_EQ(tracker.availability(0, secs(100)), 1.0);
+    tracker.noteNodeDown(0, secs(10));
+    tracker.noteNodeUp(0, secs(30));
+    EXPECT_DOUBLE_EQ(tracker.availability(0, secs(100)), 0.8);
+    // A still-open outage counts up to the horizon.
+    tracker.noteNodeDown(1, secs(90));
+    EXPECT_DOUBLE_EQ(tracker.availability(1, secs(100)), 0.9);
+    // Horizon before the outage started: fully up.
+    EXPECT_DOUBLE_EQ(tracker.availability(1, secs(50)), 1.0);
+}
+
+TEST(ResponseTrackerTest, DegradedSummaryMergesOverlappingWindows)
+{
+    ResponseTracker tracker;
+    EXPECT_EQ(tracker.degradedSummary(secs(100)).intervals, 0u);
+    tracker.noteDegraded(secs(10), secs(30));
+    tracker.noteDegraded(secs(20), secs(40)); // overlaps the first
+    tracker.noteNodeDown(0, secs(70));
+    tracker.noteNodeUp(0, secs(80));
+    const DegradedSummary summary = tracker.degradedSummary(secs(100));
+    EXPECT_EQ(summary.intervals, 2u); // [10,40) and [70,80)
+    EXPECT_EQ(summary.degraded_us, secs(40));
+    EXPECT_DOUBLE_EQ(summary.degraded_fraction, 0.4);
+}
+
+TEST(ResponseTrackerTest, ErrorKindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::None), "none");
+    EXPECT_STREQ(errorKindName(ErrorKind::NodeDown), "node-down");
+    EXPECT_STREQ(errorKindName(ErrorKind::NoBackend), "no-backend");
+    EXPECT_STREQ(errorKindName(ErrorKind::DbTimeout), "db-timeout");
+    EXPECT_STREQ(errorKindName(ErrorKind::DbCircuitOpen),
+                 "db-circuit-open");
+    EXPECT_STREQ(errorKindName(ErrorKind::PoolTimeout),
+                 "pool-timeout");
+    EXPECT_STREQ(errorKindName(ErrorKind::DbRetriesExhausted),
+                 "db-retries-exhausted");
+}
+
 } // namespace
 } // namespace jasim

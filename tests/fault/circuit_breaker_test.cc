@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "fault/circuit_breaker.h"
+
+namespace jasim {
+namespace {
+
+CircuitBreakerConfig
+smallBreaker()
+{
+    CircuitBreakerConfig config;
+    config.failure_threshold = 3;
+    config.open_s = 1.0;
+    config.half_open_successes = 2;
+    return config;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold)
+{
+    CircuitBreaker breaker(smallBreaker());
+    EXPECT_TRUE(breaker.allowRequest(0));
+    breaker.recordFailure(0);
+    breaker.recordFailure(1);
+    EXPECT_EQ(breaker.state(2), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(breaker.allowRequest(2));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak)
+{
+    CircuitBreaker breaker(smallBreaker());
+    breaker.recordFailure(0);
+    breaker.recordFailure(1);
+    breaker.recordSuccess(2);
+    breaker.recordFailure(3);
+    breaker.recordFailure(4);
+    EXPECT_EQ(breaker.state(5), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures)
+{
+    CircuitBreaker breaker(smallBreaker());
+    breaker.recordFailure(0);
+    breaker.recordFailure(1);
+    breaker.recordFailure(2);
+    EXPECT_EQ(breaker.state(3), CircuitBreaker::State::Open);
+    EXPECT_FALSE(breaker.allowRequest(3));
+    EXPECT_EQ(breaker.stats().opens, 1u);
+    EXPECT_EQ(breaker.stats().rejected, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAfterHoldoffAdmitsOneProbe)
+{
+    CircuitBreaker breaker(smallBreaker());
+    for (int i = 0; i < 3; ++i)
+        breaker.recordFailure(0);
+    EXPECT_FALSE(breaker.allowRequest(secs(0.5)));
+    EXPECT_EQ(breaker.state(secs(1.5)),
+              CircuitBreaker::State::HalfOpen);
+    EXPECT_TRUE(breaker.allowRequest(secs(1.5)));  // the probe
+    EXPECT_FALSE(breaker.allowRequest(secs(1.6))); // probe in flight
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopens)
+{
+    CircuitBreaker breaker(smallBreaker());
+    for (int i = 0; i < 3; ++i)
+        breaker.recordFailure(0);
+    ASSERT_TRUE(breaker.allowRequest(secs(1.5)));
+    breaker.recordFailure(secs(1.6));
+    EXPECT_EQ(breaker.state(secs(1.7)), CircuitBreaker::State::Open);
+    EXPECT_FALSE(breaker.allowRequest(secs(2.0)));
+    // The hold-off restarts from the re-trip.
+    EXPECT_TRUE(breaker.allowRequest(secs(2.7)));
+    EXPECT_EQ(breaker.stats().opens, 2u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenSuccessStreakCloses)
+{
+    CircuitBreaker breaker(smallBreaker());
+    for (int i = 0; i < 3; ++i)
+        breaker.recordFailure(0);
+    ASSERT_TRUE(breaker.allowRequest(secs(1.5)));
+    breaker.recordSuccess(secs(1.6));
+    EXPECT_EQ(breaker.state(secs(1.6)),
+              CircuitBreaker::State::HalfOpen);
+    ASSERT_TRUE(breaker.allowRequest(secs(1.7)));
+    breaker.recordSuccess(secs(1.8));
+    EXPECT_EQ(breaker.state(secs(1.8)), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(breaker.allowRequest(secs(1.9)));
+    EXPECT_EQ(breaker.stats().closes, 1u);
+    // Not-closed time covers trip (t=0) to close (t=1.8).
+    EXPECT_EQ(breaker.stats().open_us, secs(1.8));
+}
+
+TEST(CircuitBreakerTest, ReTripDoesNotRestartOpenAccounting)
+{
+    CircuitBreaker breaker(smallBreaker());
+    for (int i = 0; i < 3; ++i)
+        breaker.recordFailure(secs(1.0));
+    ASSERT_TRUE(breaker.allowRequest(secs(2.5)));
+    breaker.recordFailure(secs(2.5)); // half-open probe fails
+    ASSERT_TRUE(breaker.allowRequest(secs(4.0)));
+    breaker.recordSuccess(secs(4.0));
+    ASSERT_TRUE(breaker.allowRequest(secs(4.5)));
+    breaker.recordSuccess(secs(4.5));
+    // One continuous not-closed window: 1.0 .. 4.5.
+    EXPECT_EQ(breaker.stats().open_us, secs(3.5));
+    EXPECT_EQ(breaker.stats().opens, 2u);
+    EXPECT_EQ(breaker.stats().closes, 1u);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable)
+{
+    EXPECT_STREQ(circuitStateName(CircuitBreaker::State::Closed),
+                 "closed");
+    EXPECT_STREQ(circuitStateName(CircuitBreaker::State::Open),
+                 "open");
+    EXPECT_STREQ(circuitStateName(CircuitBreaker::State::HalfOpen),
+                 "half-open");
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "fault/health.h"
+
+namespace jasim {
+namespace {
+
+HealthConfig
+twoOfThree()
+{
+    HealthConfig config;
+    config.fail_threshold = 3;
+    config.readmit_threshold = 2;
+    return config;
+}
+
+TEST(HealthCheckerTest, EjectsAfterConsecutiveFailures)
+{
+    HealthChecker checker(twoOfThree(), 2);
+    EXPECT_EQ(checker.onProbeResult(0, false, 1),
+              HealthChecker::Transition::None);
+    EXPECT_EQ(checker.onProbeResult(0, false, 2),
+              HealthChecker::Transition::None);
+    EXPECT_EQ(checker.onProbeResult(0, false, 3),
+              HealthChecker::Transition::Eject);
+    EXPECT_TRUE(checker.ejected(0));
+    EXPECT_FALSE(checker.ejected(1));
+    EXPECT_EQ(checker.stats().ejections, 1u);
+    EXPECT_EQ(checker.stats().probes, 3u);
+    EXPECT_EQ(checker.stats().failed_probes, 3u);
+}
+
+TEST(HealthCheckerTest, SuccessResetsFailureStreak)
+{
+    HealthChecker checker(twoOfThree(), 1);
+    checker.onProbeResult(0, false, 1);
+    checker.onProbeResult(0, false, 2);
+    checker.onProbeResult(0, true, 3);
+    checker.onProbeResult(0, false, 4);
+    EXPECT_EQ(checker.onProbeResult(0, false, 5),
+              HealthChecker::Transition::None);
+    EXPECT_FALSE(checker.ejected(0));
+}
+
+TEST(HealthCheckerTest, ReadmitsAfterConsecutiveSuccesses)
+{
+    HealthChecker checker(twoOfThree(), 1);
+    for (int i = 0; i < 3; ++i)
+        checker.onProbeResult(0, false, i);
+    ASSERT_TRUE(checker.ejected(0));
+    EXPECT_EQ(checker.onProbeResult(0, true, 4),
+              HealthChecker::Transition::None);
+    EXPECT_EQ(checker.onProbeResult(0, true, 5),
+              HealthChecker::Transition::Readmit);
+    EXPECT_FALSE(checker.ejected(0));
+    EXPECT_EQ(checker.stats().readmissions, 1u);
+}
+
+TEST(HealthCheckerTest, FailureWhileEjectedResetsReadmitStreak)
+{
+    HealthChecker checker(twoOfThree(), 1);
+    for (int i = 0; i < 3; ++i)
+        checker.onProbeResult(0, false, i);
+    checker.onProbeResult(0, true, 4);
+    checker.onProbeResult(0, false, 5); // streak broken
+    checker.onProbeResult(0, true, 6);
+    EXPECT_EQ(checker.onProbeResult(0, true, 7),
+              HealthChecker::Transition::Readmit);
+}
+
+TEST(HealthCheckerTest, EjectAndReadmitCycleRepeats)
+{
+    HealthChecker checker(twoOfThree(), 1);
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 3; ++i)
+            checker.onProbeResult(0, false, i);
+        EXPECT_TRUE(checker.ejected(0));
+        checker.onProbeResult(0, true, 10);
+        checker.onProbeResult(0, true, 11);
+        EXPECT_FALSE(checker.ejected(0));
+    }
+    EXPECT_EQ(checker.stats().ejections, 3u);
+    EXPECT_EQ(checker.stats().readmissions, 3u);
+}
+
+TEST(HealthCheckerTest, NodesAreIndependent)
+{
+    HealthChecker checker(twoOfThree(), 3);
+    for (int i = 0; i < 3; ++i) {
+        checker.onProbeResult(1, false, i);
+        checker.onProbeResult(2, true, i);
+    }
+    EXPECT_FALSE(checker.ejected(0));
+    EXPECT_TRUE(checker.ejected(1));
+    EXPECT_FALSE(checker.ejected(2));
+    EXPECT_EQ(checker.nodeCount(), 3u);
+}
+
+} // namespace
+} // namespace jasim

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/retry.h"
+#include "sim/rng.h"
+
+namespace jasim {
+namespace {
+
+RetryConfig
+noJitter()
+{
+    RetryConfig config;
+    config.max_attempts = 4;
+    config.base_backoff_us = 1000.0;
+    config.multiplier = 2.0;
+    config.max_backoff_us = 3000.0;
+    config.jitter = 0.0;
+    return config;
+}
+
+TEST(RetryPolicyTest, BudgetIsTotalAttempts)
+{
+    RetryPolicy policy(noJitter());
+    EXPECT_TRUE(policy.shouldRetry(1));
+    EXPECT_TRUE(policy.shouldRetry(3));
+    EXPECT_FALSE(policy.shouldRetry(4));
+
+    RetryConfig one = noJitter();
+    one.max_attempts = 1;
+    EXPECT_FALSE(RetryPolicy(one).shouldRetry(1));
+}
+
+TEST(RetryPolicyTest, GeometricBackoffClampedToCeiling)
+{
+    RetryPolicy policy(noJitter());
+    Rng rng(1);
+    EXPECT_EQ(policy.backoffUs(1, rng), 1000u);
+    EXPECT_EQ(policy.backoffUs(2, rng), 2000u);
+    EXPECT_EQ(policy.backoffUs(3, rng), 3000u); // 4000 clamped
+    EXPECT_EQ(policy.backoffUs(7, rng), 3000u);
+}
+
+TEST(RetryPolicyTest, ZeroJitterDrawsNothingFromRng)
+{
+    RetryPolicy policy(noJitter());
+    Rng a(99);
+    Rng b(99);
+    policy.backoffUs(1, a);
+    policy.backoffUs(2, a);
+    // `a` must be in the same state as the untouched `b`.
+    EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBoundsAndIsSeeded)
+{
+    RetryConfig config = noJitter();
+    config.jitter = 0.25;
+    config.max_backoff_us = 1.0e9; // no clamp in this test
+    RetryPolicy policy(config);
+
+    Rng a(7);
+    Rng b(7);
+    for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+        const SimTime us = policy.backoffUs(attempt, a);
+        const double nominal = 1000.0 * std::pow(2.0, attempt - 1.0);
+        EXPECT_GE(us, static_cast<SimTime>(0.75 * nominal) - 1);
+        EXPECT_LE(us, static_cast<SimTime>(1.25 * nominal) + 1);
+        // Same seed, same attempt -> same jittered backoff.
+        EXPECT_EQ(us, policy.backoffUs(attempt, b));
+    }
+}
+
+TEST(RetryPolicyTest, JitteredBackoffVariesAcrossDraws)
+{
+    RetryConfig config = noJitter();
+    config.jitter = 0.5;
+    RetryPolicy policy(config);
+    Rng rng(11);
+    bool varied = false;
+    SimTime first = policy.backoffUs(1, rng);
+    for (int i = 0; i < 16 && !varied; ++i)
+        varied = policy.backoffUs(1, rng) != first;
+    EXPECT_TRUE(varied);
+}
+
+} // namespace
+} // namespace jasim

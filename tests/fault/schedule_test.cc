@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/schedule.h"
+
+namespace jasim {
+namespace {
+
+TEST(FaultScheduleTest, EmptySpecYieldsEmptySchedule)
+{
+    EXPECT_TRUE(FaultSchedule::parse("").empty());
+    EXPECT_TRUE(FaultSchedule::parse("   \t ").empty());
+    EXPECT_TRUE(FaultSchedule::parse(" ; ; ").empty());
+}
+
+TEST(FaultScheduleTest, ParsesCrashWithRestart)
+{
+    const FaultSchedule s =
+        FaultSchedule::parse("crash@60:node=0,restart=30");
+    ASSERT_EQ(s.size(), 1u);
+    const FaultEvent &e = s.events()[0];
+    EXPECT_EQ(e.kind, FaultKind::NodeCrash);
+    EXPECT_EQ(e.at, secs(60.0));
+    EXPECT_EQ(e.node, 0u);
+    EXPECT_EQ(e.restart_after, secs(30.0));
+}
+
+TEST(FaultScheduleTest, CrashWithoutRestartStaysDown)
+{
+    const FaultSchedule s = FaultSchedule::parse("crash@5:node=2");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].restart_after, 0u);
+}
+
+TEST(FaultScheduleTest, ParsesDegradeWithAllFields)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "degrade@90:node=1,lat=4,drop=0.05,dur=20");
+    ASSERT_EQ(s.size(), 1u);
+    const FaultEvent &e = s.events()[0];
+    EXPECT_EQ(e.kind, FaultKind::LinkDegrade);
+    EXPECT_EQ(e.at, secs(90.0));
+    EXPECT_EQ(e.node, 1u);
+    EXPECT_DOUBLE_EQ(e.latency_mult, 4.0);
+    EXPECT_DOUBLE_EQ(e.drop_probability, 0.05);
+    EXPECT_EQ(e.duration, secs(20.0));
+}
+
+TEST(FaultScheduleTest, DegradeDefaultsToAllNodesAndForever)
+{
+    const FaultSchedule s = FaultSchedule::parse("degrade@1:lat=2");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].node, FaultEvent::kAllNodes);
+    EXPECT_EQ(s.events()[0].duration, 0u);
+    EXPECT_EQ(FaultSchedule::parse("degrade@1:node=all,lat=2")
+                  .events()[0]
+                  .node,
+              FaultEvent::kAllNodes);
+}
+
+TEST(FaultScheduleTest, ParsesDbSlowAndPoolKill)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "dbslow@120:mult=8,dur=30;poolkill@150:node=0");
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.events()[0].kind, FaultKind::DbSlow);
+    EXPECT_DOUBLE_EQ(s.events()[0].disk_mult, 8.0);
+    EXPECT_EQ(s.events()[0].duration, secs(30.0));
+    EXPECT_EQ(s.events()[1].kind, FaultKind::PoolKill);
+    EXPECT_EQ(s.events()[1].node, 0u);
+}
+
+TEST(FaultScheduleTest, EventsSortByTimeStableOnTies)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "dbslow@30:mult=2;crash@10:node=0;poolkill@30:node=1");
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.events()[0].kind, FaultKind::NodeCrash);
+    // Same-time events keep spec order: dbslow was written first.
+    EXPECT_EQ(s.events()[1].kind, FaultKind::DbSlow);
+    EXPECT_EQ(s.events()[2].kind, FaultKind::PoolKill);
+}
+
+TEST(FaultScheduleTest, FractionalTimesAndWhitespaceAccepted)
+{
+    const FaultSchedule s =
+        FaultSchedule::parse(" crash@0.5 : node=1 , restart=0.25 ");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].at, secs(0.5));
+    EXPECT_EQ(s.events()[0].restart_after, secs(0.25));
+}
+
+TEST(FaultScheduleTest, SummaryJoinsDescriptions)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "crash@60:node=0,restart=30;dbslow@120:mult=8");
+    EXPECT_EQ(s.summary(),
+              "crash@60s node=0 restart=30s; dbslow@120s mult=8x");
+}
+
+TEST(FaultScheduleTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(FaultSchedule::parse("explode@10:node=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("crash:node=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("crash@abc:node=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("crash@-5:node=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("crash@10"), // missing node
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("poolkill@10"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("crash@10:node=0,bogus=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("crash@10:node"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("degrade@10:lat=0.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("degrade@10:drop=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("dbslow@10:mult=0.5"),
+                 std::invalid_argument);
+    // Keys are kind-scoped: restart only applies to crash.
+    EXPECT_THROW(FaultSchedule::parse("dbslow@10:restart=5"),
+                 std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, DescribeNamesEveryKind)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::NodeCrash), "crash");
+    EXPECT_STREQ(faultKindName(FaultKind::LinkDegrade), "degrade");
+    EXPECT_STREQ(faultKindName(FaultKind::DbSlow), "dbslow");
+    EXPECT_STREQ(faultKindName(FaultKind::PoolKill), "poolkill");
+}
+
+} // namespace
+} // namespace jasim

@@ -115,6 +115,98 @@ TEST(ConnectionPoolTest, IdleTimeoutForcesReconnect)
     EXPECT_EQ(got, asked + 400u);
 }
 
+TEST(ConnectionPoolTest, AcquireTimeoutDropsStaleWaiters)
+{
+    ConnectionPoolConfig config = smallPool(1);
+    config.acquire_timeout_us = millis(20);
+    PoolFixture f(config);
+    // Holder keeps the only connection for 100 ms.
+    f.pool.acquire([&](SimTime) {
+        f.queue.scheduleAfter(millis(100), [&] { f.pool.release(); });
+    });
+    bool acquired = false;
+    SimTime timed_out_at = 0;
+    f.pool.acquire([&](SimTime) { acquired = true; },
+                   [&](SimTime at) { timed_out_at = at; });
+    f.queue.runUntil(secs(1));
+    EXPECT_FALSE(acquired);
+    // Deadline runs from the acquire() call itself.
+    EXPECT_EQ(timed_out_at, millis(20));
+    EXPECT_EQ(f.pool.stats().timeouts, 1u);
+    EXPECT_EQ(f.pool.waiting(), 0u);
+}
+
+TEST(ConnectionPoolTest, WaiterServedBeforeDeadlineNeverTimesOut)
+{
+    ConnectionPoolConfig config = smallPool(1);
+    config.acquire_timeout_us = millis(50);
+    PoolFixture f(config);
+    f.pool.acquire([&](SimTime) {
+        f.queue.scheduleAfter(millis(5), [&] { f.pool.release(); });
+    });
+    int acquired = 0;
+    int timeouts = 0;
+    f.pool.acquire([&](SimTime) { ++acquired; },
+                   [&](SimTime) { ++timeouts; });
+    f.queue.runUntil(secs(1));
+    // Exactly one of the callbacks ran.
+    EXPECT_EQ(acquired, 1);
+    EXPECT_EQ(timeouts, 0);
+    EXPECT_EQ(f.pool.stats().timeouts, 0u);
+}
+
+TEST(ConnectionPoolTest, NullTimeoutCallbackWaitsForever)
+{
+    ConnectionPoolConfig config = smallPool(1);
+    config.acquire_timeout_us = millis(1);
+    PoolFixture f(config);
+    f.pool.acquire([&](SimTime) {
+        f.queue.scheduleAfter(secs(2), [&] { f.pool.release(); });
+    });
+    bool acquired = false;
+    f.pool.acquire([&](SimTime) { acquired = true; },
+                   ConnectionPool::TimedOut{});
+    f.queue.runUntil(secs(5));
+    EXPECT_TRUE(acquired);
+    EXPECT_EQ(f.pool.stats().timeouts, 0u);
+}
+
+TEST(ConnectionPoolTest, KillIdleForcesFreshHandshakes)
+{
+    PoolFixture f(smallPool(2));
+    // Open two connections, release both back to the idle set.
+    int held = 0;
+    f.pool.acquire([&](SimTime) { ++held; });
+    f.pool.acquire([&](SimTime) { ++held; });
+    f.queue.runUntil(secs(1));
+    ASSERT_EQ(held, 2);
+    f.pool.release();
+    f.pool.release();
+    ASSERT_EQ(f.pool.idle(), 2u);
+
+    EXPECT_EQ(f.pool.killIdle(), 2u);
+    EXPECT_EQ(f.pool.idle(), 0u);
+    EXPECT_EQ(f.pool.open(), 0u);
+    EXPECT_EQ(f.pool.stats().killed, 2u);
+
+    // The next acquire pays the full handshake again.
+    const SimTime asked = f.queue.now();
+    SimTime got = 0;
+    f.pool.acquire([&](SimTime ready) { got = ready; });
+    f.queue.runUntil(secs(2));
+    EXPECT_EQ(got, asked + 400u);
+    EXPECT_EQ(f.pool.stats().fresh_connects, 3u);
+}
+
+TEST(ConnectionPoolTest, KillIdleSparesCheckedOutConnections)
+{
+    PoolFixture f(smallPool(2));
+    f.pool.acquire([](SimTime) {}); // held, never released
+    f.queue.runUntil(secs(1));
+    EXPECT_EQ(f.pool.killIdle(), 0u);
+    EXPECT_EQ(f.pool.open(), 1u);
+}
+
 TEST(ConnectionPoolTest, NoKeepAliveClosesOnRelease)
 {
     ConnectionPoolConfig config = smallPool(2);

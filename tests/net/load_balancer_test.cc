@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
+#include <stdexcept>
 
 #include "net/load_balancer.h"
 
@@ -110,6 +112,86 @@ TEST(LoadBalancerTest, MissingWeightsDefaultToOne)
         lb.complete(lb.route());
     EXPECT_EQ(lb.routedTo(0), 200u);
     EXPECT_EQ(lb.routedTo(1), 100u);
+}
+
+TEST(LoadBalancerTest, RejectsInvalidWeights)
+{
+    LbConfig config;
+    config.policy = LbPolicy::Weighted;
+    config.weights = {1.0, -2.0};
+    EXPECT_THROW(LoadBalancer(config, 2), std::invalid_argument);
+    config.weights = {1.0, std::numeric_limits<double>::quiet_NaN()};
+    EXPECT_THROW(LoadBalancer(config, 2), std::invalid_argument);
+    config.weights = {1.0, std::numeric_limits<double>::infinity()};
+    EXPECT_THROW(LoadBalancer(config, 2), std::invalid_argument);
+}
+
+TEST(LoadBalancerTest, AllZeroWeightsFallBackToUniform)
+{
+    LbConfig config;
+    config.policy = LbPolicy::Weighted;
+    config.weights = {0.0, 0.0};
+    LoadBalancer lb(config, 2);
+    for (int i = 0; i < 100; ++i)
+        lb.complete(lb.route());
+    EXPECT_EQ(lb.routedTo(0), 50u);
+    EXPECT_EQ(lb.routedTo(1), 50u);
+}
+
+TEST(LoadBalancerTest, ZeroWeightNodeIsSkippedWhileOthersUp)
+{
+    LbConfig config;
+    config.policy = LbPolicy::Weighted;
+    config.weights = {1.0, 0.0};
+    LoadBalancer lb(config, 2);
+    for (int i = 0; i < 50; ++i)
+        lb.complete(lb.route());
+    EXPECT_EQ(lb.routedTo(0), 50u);
+    EXPECT_EQ(lb.routedTo(1), 0u);
+}
+
+TEST(LoadBalancerTest, DownNodesReceiveNoTraffic)
+{
+    LbConfig config;
+    config.policy = LbPolicy::RoundRobin;
+    LoadBalancer lb(config, 3);
+    lb.setNodeDown(1);
+    EXPECT_FALSE(lb.nodeUp(1));
+    EXPECT_EQ(lb.upCount(), 2u);
+    for (int i = 0; i < 40; ++i)
+        lb.complete(lb.route());
+    EXPECT_EQ(lb.routedTo(1), 0u);
+    EXPECT_EQ(lb.routedTo(0) + lb.routedTo(2), 40u);
+    EXPECT_EQ(lb.ejections(), 1u);
+
+    lb.setNodeUp(1);
+    EXPECT_EQ(lb.upCount(), 3u);
+    EXPECT_EQ(lb.readmissions(), 1u);
+    bool routed_to_1 = false;
+    for (int i = 0; i < 6 && !routed_to_1; ++i) {
+        const std::size_t node = lb.route();
+        routed_to_1 = node == 1;
+        lb.complete(node);
+    }
+    EXPECT_TRUE(routed_to_1);
+}
+
+TEST(LoadBalancerTest, AllNodesDownRoutesToNoNode)
+{
+    LbConfig config;
+    config.policy = LbPolicy::LeastConnections;
+    LoadBalancer lb(config, 2);
+    lb.setNodeDown(0);
+    lb.setNodeDown(1);
+    EXPECT_EQ(lb.route(), LoadBalancer::kNoNode);
+    EXPECT_EQ(lb.route(), LoadBalancer::kNoNode);
+    EXPECT_EQ(lb.unroutable(), 2u);
+    EXPECT_EQ(lb.totalRouted(), 0u);
+    // Redundant down/up calls are idempotent.
+    lb.setNodeDown(0);
+    EXPECT_EQ(lb.ejections(), 2u);
+    lb.setNodeUp(0);
+    EXPECT_NE(lb.route(), LoadBalancer::kNoNode);
 }
 
 TEST(LoadBalancerTest, TracksInFlightAndPeak)

@@ -157,6 +157,43 @@ TEST(ConfigTest, FastpathAcceptsWordySpellings)
     EXPECT_FALSE(config.fastpath());
 }
 
+TEST(ConfigTest, FaultsDefaultsEmpty)
+{
+    const char *argv[] = {"prog", "ir=40"};
+    Config config = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_EQ(config.faults(), "");
+}
+
+TEST(ConfigTest, FaultsSpecSurvivesEveryFlagSpelling)
+{
+    const char *spec = "crash@60:node=0,restart=30;dbslow@120:mult=8";
+    const std::string flag_eq = std::string("--faults=") + spec;
+    const char *argv[] = {"prog", flag_eq.c_str()};
+    Config config = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_EQ(config.faults(), spec);
+
+    // Space-separated form: the spec contains '=' but is clearly not
+    // a positional key=value ('@' precedes the first '='), so the
+    // flag must consume it.
+    const char *argv2[] = {"prog", "--faults", spec, "ir=40"};
+    Config config2 = Config::fromArgs(4, const_cast<char **>(argv2));
+    EXPECT_EQ(config2.faults(), spec);
+    EXPECT_EQ(config2.getDouble("ir", 0.0), 40.0);
+
+    const std::string positional = std::string("faults=") + spec;
+    const char *argv3[] = {"prog", positional.c_str()};
+    Config config3 = Config::fromArgs(2, const_cast<char **>(argv3));
+    EXPECT_EQ(config3.faults(), spec);
+}
+
+TEST(ConfigTest, FlagStillBooleanBeforePositionalKeyValue)
+{
+    const char *argv[] = {"prog", "--fastpath", "heap_mb=512"};
+    Config config = Config::fromArgs(3, const_cast<char **>(argv));
+    EXPECT_TRUE(config.fastpath());
+    EXPECT_EQ(config.getInt("heap_mb", 0), 512);
+}
+
 TEST(ConfigTest, SetOverwrites)
 {
     Config config;
