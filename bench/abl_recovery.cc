@@ -1,0 +1,212 @@
+/** Extension (robustness): crash-consistent DB tier. A fixed cluster
+ *  takes a scripted DB-tier power-off plus a later torn-write crash,
+ *  with ARIES-style recovery armed, and the sweep varies the fuzzy
+ *  checkpoint interval on both a RAM-disk and a spinning-disk WAL
+ *  device. Reported per point: throughput, time spent in recovery
+ *  (the WAL replay the paper's disk model now has to pay for),
+ *  redo/undo volume, RecoveryWait errors, and the durability audit
+ *  (no acked commit lost, no aborted effect resurrected). The claim
+ *  under test: recovery time shrinks monotonically with the
+ *  checkpoint interval, trading steady-state checkpoint I/O for a
+ *  shorter outage. */
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+
+#include "core/cluster.h"
+#include "par/sweep.h"
+
+using namespace jasim;
+
+namespace {
+
+/** One sweep point: a WAL device and a checkpoint cadence. */
+struct Point
+{
+    std::string disk;
+    double interval_s = 0.0; //!< 0 = armed healthy baseline
+    std::string spec;
+};
+
+/** Everything one point contributes to the report. */
+struct RecoveryPoint
+{
+    double jops = 0.0;
+    std::uint64_t errors = 0;
+    std::uint64_t recovery_wait = 0;
+    double recovery_s = 0.0;
+    double replay_s = 0.0;
+    std::uint64_t crashes = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t replay_bytes = 0;
+    std::uint64_t redo = 0;
+    std::uint64_t undo = 0;
+    std::uint64_t losers = 0;
+    std::uint64_t lost_acked = 0;
+    std::uint64_t resurrected = 0;
+    std::uint64_t duplicates = 0;
+    bool audit_pass = true;
+    std::uint64_t events = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(std::cout,
+                  "Ablation: Crash Recovery (robustness)",
+                  "DB-tier power-off and torn-write crashes against "
+                  "ARIES-style WAL recovery: the checkpoint interval "
+                  "trades steady-state flush I/O for replay time, and "
+                  "the durability audit proves no acked commit is "
+                  "lost and no aborted effect resurrected.");
+    const Config args = Config::fromArgs(argc, argv);
+    ExperimentConfig base = bench::configFromArgs(argc, argv, 60.0);
+    base.ramp_up_s = args.getDouble("ramp", 15.0);
+    bench::PerfReport perf("abl_recovery");
+
+    const std::size_t nodes = base.nodes > 1 ? base.nodes : 2;
+    const SimTime steady_from = secs(base.ramp_up_s);
+    const SimTime steady_to = secs(base.ramp_up_s + base.steady_s);
+
+    // Crash times sit just before a common multiple of every swept
+    // interval, so the replay window (time since the last fuzzy
+    // checkpoint) is ~interval for each point: 47.9 s and 63.9 s
+    // under the default ramp=15 steady=60.
+    const double t_crash = base.ramp_up_s + 0.55 * base.steady_s - 0.1;
+    const double t_torn = base.ramp_up_s + 0.815 * base.steady_s;
+    std::ostringstream chaos;
+    chaos << "dbcrash@" << t_crash << ":restart=1;tornwrite@" << t_torn
+          << ":restart=1";
+    const std::string spec = args.getString("faults", chaos.str());
+
+    const std::vector<double> intervals = {2.0, 4.0, 8.0, 16.0};
+    std::vector<Point> points;
+    for (const char *disk : {"ramdisk", "spinning"}) {
+        points.push_back({disk, 0.0, ""}); // armed healthy baseline
+        for (const double interval : intervals)
+            points.push_back({disk, interval, spec});
+    }
+
+    auto profiles =
+        std::make_shared<const WorkloadProfiles>(base.seed ^ 0x9a0full);
+    auto registry = std::make_shared<const MethodRegistry>(
+        profiles->layout(Component::WasJit).count(),
+        base.seed ^ 0x3e9ull);
+
+    const auto results =
+        par::runSweep(points.size(), base.jobs, [&](std::size_t i) {
+            const Point &point = points[i];
+            ClusterConfig config;
+            config.nodes = nodes;
+            config.node = base.sut;
+            config.node.driver.ramp_up_s = base.ramp_up_s;
+            config.db_pool.max_connections =
+                static_cast<std::size_t>(args.getInt("db_pool", 12));
+            if (point.disk == "spinning") {
+                config.db_disk.kind = DiskConfig::Kind::Spinning;
+                config.db_disk.spindles = static_cast<std::size_t>(
+                    args.getInt("spindles", 2));
+            }
+            config.faults = FaultSchedule::parse(point.spec);
+            config.db_recovery.force_enabled = true;
+            config.db_recovery.checkpoint_interval_s =
+                point.interval_s > 0.0 ? point.interval_s : 8.0;
+
+            ClusterUnderTest cluster(config, profiles, registry,
+                                     base.seed);
+            cluster.start(steady_to);
+            cluster.advanceTo(steady_to);
+
+            const ResponseTracker &t = cluster.tracker();
+            RecoveryPoint r;
+            r.jops = cluster.jops(steady_from, steady_to);
+            r.errors = t.errorCount();
+            r.recovery_wait = t.errorCount(ErrorKind::RecoveryWait);
+            r.recovery_s = toSeconds(t.dbRecoveryUs());
+            r.replay_s = toSeconds(cluster.dbReplayUs());
+            r.crashes = cluster.dbCrashCount();
+            r.checkpoints = cluster.checkpointCount();
+            r.replay_bytes = cluster.lastRecovery().replay_bytes;
+            r.redo = cluster.lastRecovery().redo_records;
+            r.undo = cluster.lastRecovery().undo_records;
+            r.losers = cluster.lastRecovery().loser_txns;
+            const AuditReport audit = cluster.auditNow();
+            r.lost_acked = audit.lost_acked + audit.lost_durable;
+            r.resurrected = audit.resurrected;
+            r.duplicates = audit.duplicates;
+            r.audit_pass = audit.pass();
+            r.events = cluster.queue().executed();
+            return r;
+        });
+
+    TextTable table({"disk", "ckpt (s)", "JOPS", "vs armed", "errors",
+                     "rec-wait", "recovery (s)", "replay (s)",
+                     "replay KB", "redo", "undo", "ckpts", "audit"});
+    double armed_jops = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &point = points[i];
+        const RecoveryPoint &r = results[i];
+        perf.addEvents(r.events);
+        if (point.interval_s == 0.0)
+            armed_jops = r.jops;
+        const double vs =
+            armed_jops > 0.0 ? r.jops / armed_jops * 100.0 : 0.0;
+        table.addRow(
+            {point.disk,
+             point.interval_s > 0.0
+                 ? TextTable::num(point.interval_s, 0)
+                 : "none",
+             TextTable::num(r.jops, 1), TextTable::pct(vs),
+             TextTable::num(static_cast<double>(r.errors), 0),
+             TextTable::num(static_cast<double>(r.recovery_wait), 0),
+             TextTable::num(r.recovery_s, 3),
+             TextTable::num(r.replay_s, 4),
+             TextTable::num(static_cast<double>(r.replay_bytes) /
+                                1024.0,
+                            1),
+             TextTable::num(static_cast<double>(r.redo), 0),
+             TextTable::num(static_cast<double>(r.undo), 0),
+             TextTable::num(static_cast<double>(r.checkpoints), 0),
+             r.audit_pass ? "PASS" : "FAIL"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSchedule: " << spec << "\n";
+
+    bool monotone = true;
+    bool audits = true;
+    for (const char *disk : {"ramdisk", "spinning"}) {
+        double prev = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].disk != disk || points[i].interval_s == 0.0)
+                continue;
+            if (prev >= 0.0 && results[i].replay_s < prev)
+                monotone = false;
+            prev = results[i].replay_s;
+        }
+    }
+    for (const RecoveryPoint &r : results)
+        audits = audits && r.audit_pass;
+
+    std::cout
+        << "\nShape: a longer checkpoint interval leaves more WAL to "
+           "replay, so the post-crash outage grows monotonically with "
+           "it -- and a spinning WAL device pays seek+rotation per "
+           "replayed batch where the RAM disk pays microseconds. "
+           "RecoveryWait errors are the requests the cluster failed "
+           "fast while the tier replayed.\n"
+        << "Recovery-time monotone in interval: "
+        << (monotone ? "yes" : "NO") << "; durability audits: "
+        << (audits ? "all PASS" : "FAILURES") << "\n";
+
+    perf.note("armed_jops", armed_jops);
+    perf.note("monotone", monotone ? 1.0 : 0.0);
+    perf.note("audits_pass", audits ? 1.0 : 0.0);
+    perf.write(base.jobs);
+    return audits ? 0 : 1;
+}

@@ -25,7 +25,7 @@ BUILD="${1:-build-perf}"
 echo "== perf-smoke: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target micro_eventqueue micro_memwalk \
-    fig08_l1d abl_l2size abl_cluster_scaling
+    fig08_l1d abl_l2size abl_cluster_scaling abl_recovery
 
 echo "== perf-smoke: event-kernel microbenchmark =="
 "$BUILD/bench/micro_eventqueue"
@@ -73,6 +73,46 @@ if ! cmp -s "$tmp/nofaults.txt" "$tmp/emptyfaults.txt"; then
     exit 1
 fi
 echo "fault gating: empty --faults output is bit-identical to no --faults"
+
+echo "== perf-smoke: healthy-run goldens (recovery compiled in) =="
+# Pinned pre-recovery-PR digests: arming crash recovery must cost a
+# healthy run NOTHING — not one byte of output may move. Regenerate
+# deliberately (and re-pin) only when a PR intends to change healthy
+# behaviour.
+FIG08_GOLDEN=dc1c0cb762998eecd0bd75fb426090fb1206c4ec1a29fedd195ad6ff02535e97
+CLUSTER_GOLDEN=5b4aa806dadaad0f4ba939292d3dd8bc78ec43708a08c8a92c03cd08ce5e2cdc
+fig08_sha="$(sha256sum "$tmp/fp_on.txt" | cut -d' ' -f1)"
+cluster_sha="$(sha256sum "$tmp/nofaults.txt" | cut -d' ' -f1)"
+if [[ "$fig08_sha" != "$FIG08_GOLDEN" ]]; then
+    echo "FAIL: fig08_l1d output drifted from the pinned golden digest:" >&2
+    echo "  got $fig08_sha want $FIG08_GOLDEN" >&2
+    exit 1
+fi
+if [[ "$cluster_sha" != "$CLUSTER_GOLDEN" ]]; then
+    echo "FAIL: abl_cluster_scaling output drifted from the pinned golden digest:" >&2
+    echo "  got $cluster_sha want $CLUSTER_GOLDEN" >&2
+    exit 1
+fi
+echo "goldens: fig08_l1d and abl_cluster_scaling match the pre-recovery digests"
+
+echo "== perf-smoke: abl_recovery determinism + audit gate =="
+# Same seed + schedule must give byte-identical stdout regardless of
+# worker count; the bench itself exits 1 if any durability audit
+# fails, and at default ramp/steady the recovery time must be
+# monotone in the checkpoint interval.
+rec_args=(seed=11)
+"$BUILD/bench/abl_recovery" "${rec_args[@]}" --jobs 4 >"$tmp/rec_a.txt" 2>/dev/null
+"$BUILD/bench/abl_recovery" "${rec_args[@]}" --jobs 2 >"$tmp/rec_b.txt" 2>/dev/null
+if ! cmp -s "$tmp/rec_a.txt" "$tmp/rec_b.txt"; then
+    echo "FAIL: abl_recovery output differs across job counts (recovery determinism broken):" >&2
+    diff "$tmp/rec_a.txt" "$tmp/rec_b.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "monotone in interval: yes" "$tmp/rec_a.txt"; then
+    echo "FAIL: abl_recovery recovery time not monotone in checkpoint interval" >&2
+    exit 1
+fi
+echo "recovery: byte-identical across job counts, audits pass, monotone in interval"
 
 python3 - out/BENCH_abl_l2size_serial.json out/BENCH_abl_l2size.json <<'EOF'
 import json, sys

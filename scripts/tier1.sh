@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: standard build + full test suite, then an
 # ASan+UBSan-instrumented build (-DJASIM_SANITIZE=ON) running the
-# net, fault, and core test binaries, which exercise the event-queue
-# closure graph and the cluster's cross-object callback wiring —
-# the code most likely to hide lifetime bugs.
+# net, fault, db, and core test binaries, which exercise the
+# event-queue closure graph, the cluster's cross-object callback
+# wiring, and the WAL-replay/recovery paths — the code most likely
+# to hide lifetime bugs.
 #
 # `--san` widens the sanitized stage to the FULL suite (JASIM_SANITIZE=ON
 # + ctest): slower, but every test runs instrumented. Use it when
@@ -36,9 +37,10 @@ if [[ "$SAN_FULL" == 1 ]]; then
 else
     echo "== tier-1: sanitized build (ASan + UBSan) =="
     cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
-    cmake --build "$SAN_BUILD" -j --target test_net test_fault test_core
+    cmake --build "$SAN_BUILD" -j --target test_net test_fault test_db test_core
     "$SAN_BUILD/tests/test_net"
     "$SAN_BUILD/tests/test_fault"
+    "$SAN_BUILD/tests/test_db"
     "$SAN_BUILD/tests/test_core"
 fi
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_set>
 
 namespace jasim {
 
@@ -24,8 +25,17 @@ ClusterUnderTest::ClusterUnderTest(
     db_app_ = std::make_unique<Jas2004Application>(
         config_.node.db, config_.totalInjectionRate(), seed ^ 0xdb0ull);
 
+    db_recovery_on_ = config_.faults.hasDbFault() ||
+        config_.db_recovery.force_enabled;
+    // A DB fault needs the resilient EJB->DB path (fail-fast checks,
+    // per-attempt deadlines) to survive the outage.
     resilience_on_ = !config_.faults.empty() ||
-        config_.resilience.force_enabled;
+        config_.resilience.force_enabled || db_recovery_on_;
+    if (db_recovery_on_) {
+        if (config_.db_recovery.audit)
+            db_app_->enableAudit();
+        db_app_->database().enableRecovery();
+    }
     ConnectionPoolConfig pool_config = config_.db_pool;
     if (resilience_on_) {
         double timeout_s = config_.resilience.db_timeout_s;
@@ -98,6 +108,12 @@ ClusterUnderTest::start(SimTime end)
             secs(config_.resilience.health.interval_s);
         for (std::size_t n = 0; n < nodes_.size(); ++n)
             queue_.scheduleAfter(interval, [this, n] { probeNode(n); });
+    }
+    if (db_recovery_on_ &&
+        config_.db_recovery.checkpoint_interval_s > 0.0) {
+        queue_.scheduleAfter(
+            secs(config_.db_recovery.checkpoint_interval_s),
+            [this] { checkpointTick(); });
     }
 }
 
@@ -252,6 +268,17 @@ ClusterUnderTest::dbDiskIo(const TxnDbOutcome &outcome, SimTime now)
         db_disk_blocked_us_ += io.completion - io_done;
         io_done = io.completion;
     }
+    if (db_recovery_on_ && outcome.wal_issued_lsn > 0) {
+        // The force becomes durable when its write completes; a crash
+        // before then loses the tail. The epoch guard drops confirms
+        // that were in flight when the DB died.
+        const std::uint64_t issued = outcome.wal_issued_lsn;
+        const std::uint64_t epoch = db_epoch_;
+        queue_.scheduleAt(io_done, [this, issued, epoch] {
+            if (epoch == db_epoch_ && !db_down_)
+                db_app_->database().confirmWalDurable(issued);
+        });
+    }
     return io_done;
 }
 
@@ -286,6 +313,15 @@ ClusterUnderTest::finishDbTransaction(
 void
 ClusterUnderTest::startDbAttempt(const std::shared_ptr<DbCall> &call)
 {
+    if (db_down_ || db_recovering_) {
+        // Fail fast: the cluster knows the DB tier is off. Not a
+        // breaker failure -- this is a known outage, not a timeout.
+        settleDbFailure(call,
+                        db_recovering_ ? ErrorKind::RecoveryWait
+                                       : ErrorKind::NodeDown,
+                        /*breaker_failure=*/false);
+        return;
+    }
     if (!breaker_->allowRequest(queue_.now())) {
         settleDbFailure(call, ErrorKind::DbCircuitOpen,
                         /*breaker_failure=*/false);
@@ -328,8 +364,24 @@ ClusterUnderTest::runDbAttempt(const std::shared_ptr<DbCall> &call,
     if (lost)
         return; // query vanished on the wire; the deadline cleans up
     queue_.scheduleAt(at_db, [this, call, settled] {
+        if (*settled)
+            return;
+        if (db_down_ || db_recovering_) {
+            // The DB died while the query was on the wire.
+            *settled = true;
+            pools_[call->node]->release();
+            settleDbFailure(call,
+                            db_recovering_ ? ErrorKind::RecoveryWait
+                                           : ErrorKind::NodeDown,
+                            /*breaker_failure=*/false);
+            return;
+        }
+        call->epoch = db_epoch_;
         auto outcome = std::make_shared<TxnDbOutcome>(
             db_app_->runTransaction(call->type));
+        if (db_recovery_on_ && outcome->audit_token != 0)
+            auditor_.noteCommitted(outcome->audit_token,
+                                   outcome->commit_lsn);
         const TxnProfile &profile =
             nodes_[call->node]->application().profile(call->type);
         const double burst =
@@ -359,9 +411,14 @@ ClusterUnderTest::finishDbAttempt(
     queue_.scheduleAt(at_node, [this, call, settled, outcome] {
         if (*settled)
             return; // deadline already reclaimed the connection
+        if (db_recovery_on_ && call->epoch != db_epoch_)
+            return; // DB crashed under this txn; never ack it --
+                    // the per-attempt deadline reclaims the slot
         *settled = true;
         pools_[call->node]->release();
         breaker_->recordSuccess(queue_.now());
+        if (db_recovery_on_ && outcome->audit_token != 0)
+            auditor_.noteAcked(outcome->audit_token);
         call->done(*outcome, ErrorKind::None);
     });
 }
@@ -381,9 +438,13 @@ ClusterUnderTest::settleDbFailure(const std::shared_ptr<DbCall> &call,
                              [this, call] { startDbAttempt(call); });
         return;
     }
-    call->done(TxnDbOutcome{}, call->attempt > 1
-                                   ? ErrorKind::DbRetriesExhausted
-                                   : kind);
+    // RecoveryWait stays visible through retries: the error table
+    // should attribute the failure to recovery, not to the retry
+    // budget.
+    call->done(TxnDbOutcome{},
+               call->attempt > 1 && kind != ErrorKind::RecoveryWait
+                   ? ErrorKind::DbRetriesExhausted
+                   : kind);
 }
 
 // ---- fault application ---------------------------------------------
@@ -454,6 +515,129 @@ ClusterUnderTest::applyFault(const FaultEvent &event)
         pools_[event.node]->killIdle();
         return;
       }
+      case FaultKind::DbCrash:
+      case FaultKind::DbTornWrite: {
+        crashDbTier(event);
+        return;
+      }
+    }
+}
+
+// ---- DB crash consistency -------------------------------------------
+
+void
+ClusterUnderTest::checkpointTick()
+{
+    if (db_recovery_on_ && !db_down_ && !db_recovering_) {
+        const CheckpointStats stats = db_app_->database().checkpoint();
+        ++checkpoints_;
+        checkpoint_pages_ += stats.pages_flushed;
+        const std::uint64_t bytes =
+            stats.pages_flushed * 4096 + stats.log_bytes_forced;
+        if (bytes > 0) {
+            // The checkpoint's force becomes durable when its write
+            // lands (epoch-guarded like every confirm).
+            const std::uint64_t issued =
+                db_app_->database().wal().issuedLsn();
+            const std::uint64_t epoch = db_epoch_;
+            const IoResult io = db_disk_.write(queue_.now(), bytes);
+            queue_.scheduleAt(io.completion, [this, issued, epoch] {
+                if (epoch == db_epoch_ && !db_down_)
+                    db_app_->database().confirmWalDurable(issued);
+            });
+        }
+    }
+    queue_.scheduleAfter(
+        secs(config_.db_recovery.checkpoint_interval_s),
+        [this] { checkpointTick(); });
+}
+
+void
+ClusterUnderTest::crashDbTier(const FaultEvent &event)
+{
+    if (!db_recovery_on_ || db_down_ || db_recovering_)
+        return; // already down; a second crash is a no-op
+    ++db_epoch_;
+    ++db_crashes_;
+    db_down_ = true;
+    db_crash_at_ = queue_.now();
+    db_app_->database().crash(event.kind == FaultKind::DbTornWrite);
+
+    // Tell the auditor which Commit records the crash preserved:
+    // those still retained plus everything a checkpoint already
+    // truncated as durable.
+    std::unordered_set<std::uint64_t> surviving;
+    for (const WalRecord &rec : db_app_->database().wal().records()) {
+        if (rec.type == WalRecordType::Commit)
+            surviving.insert(rec.lsn);
+    }
+    auditor_.noteCrash(surviving,
+                       db_app_->database().wal().truncatedUpTo());
+
+    if (event.restart_after > 0) {
+        queue_.scheduleAfter(event.restart_after,
+                             [this] { beginDbRecovery(); });
+    }
+}
+
+void
+ClusterUnderTest::beginDbRecovery()
+{
+    assert(db_down_ && !db_recovering_);
+    db_down_ = false;
+    db_recovering_ = true;
+    last_recovery_ = db_app_->database().recover();
+
+    // Recovery takes simulated time: scan the retained WAL (one
+    // sequential read), fetch every touched stable page (random
+    // reads -- a seek each on a spinning device), write the recovery
+    // checkpoint, then burn DB CPU replaying. The tier stays out of
+    // rotation (RecoveryWait) until all of it ends.
+    const SimTime now = queue_.now();
+    db_restart_at_ = now;
+    SimTime io_done = now;
+    if (last_recovery_.replay_bytes > 0) {
+        io_done =
+            db_disk_.readSequential(now, last_recovery_.replay_bytes)
+                .completion;
+    }
+    if (last_recovery_.pages_flushed > 0) {
+        io_done = db_disk_
+                      .read(io_done, static_cast<std::uint32_t>(
+                                         last_recovery_.pages_flushed))
+                      .completion;
+    }
+    const std::uint64_t ckpt_bytes =
+        last_recovery_.pages_flushed * 4096 +
+        last_recovery_.checkpoint_bytes;
+    if (ckpt_bytes > 0)
+        io_done = db_disk_.write(io_done, ckpt_bytes).completion;
+
+    const double replay_cpu = 1.0 +
+        static_cast<double>(last_recovery_.redo_records) * 1.2 +
+        static_cast<double>(last_recovery_.undo_records) * 2.0;
+    queue_.scheduleAt(io_done, [this, replay_cpu] {
+        dbBurst(replay_cpu, [this] { finishDbRecovery(); });
+    });
+}
+
+void
+ClusterUnderTest::finishDbRecovery()
+{
+    assert(db_recovering_);
+    db_recovering_ = false;
+    const SimTime now = queue_.now();
+    db_replay_us_ += now - db_restart_at_;
+    tracker_.noteDegraded(db_crash_at_, now);
+    tracker_.noteDbRecovery(db_crash_at_, now);
+    // The recovery checkpoint's write is covered by the I/O recovery
+    // just charged, so its force is durable by construction here.
+    db_app_->database().confirmWalDurable(
+        db_app_->database().wal().issuedLsn());
+    if (db_app_->auditEnabled()) {
+        last_audit_ =
+            auditor_.audit(db_app_->database(), db_app_->auditTable());
+        audited_ = true;
     }
 }
 

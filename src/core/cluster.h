@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/sut.h"
+#include "db/durability_audit.h"
 #include "fault/injector.h"
 #include "fault/resilience.h"
 #include "net/connection_pool.h"
@@ -29,6 +30,23 @@
 #include "net/load_balancer.h"
 
 namespace jasim {
+
+/** Crash-consistency knobs for the shared DB tier. */
+struct DbRecoveryConfig
+{
+    /** Fuzzy-checkpoint cadence (0 disables checkpointing). */
+    double checkpoint_interval_s = 30.0;
+
+    /** Stamp write txns with audit tokens and reconcile post-crash. */
+    bool audit = true;
+
+    /**
+     * Arm recovery even with no dbcrash/tornwrite in the schedule
+     * (for armed-baseline overhead measurements). A schedule
+     * containing a DB fault arms it implicitly.
+     */
+    bool force_enabled = false;
+};
 
 /** Everything configurable about the cluster. */
 struct ClusterConfig
@@ -67,6 +85,9 @@ struct ClusterConfig
 
     /** Health checks, retries, breaker, timeouts. */
     ResilienceConfig resilience;
+
+    /** DB-tier crash consistency (armed by dbcrash/tornwrite verbs). */
+    DbRecoveryConfig db_recovery;
 
     /** Aggregate injection rate the driver runs at. */
     double totalInjectionRate() const
@@ -139,6 +160,38 @@ class ClusterUnderTest
     HealthChecker *healthChecker() { return health_.get(); }
     const HealthChecker *healthChecker() const { return health_.get(); }
 
+    // ---- DB crash consistency ----
+
+    /** True when a DB fault verb (or force_enabled) armed recovery. */
+    bool dbRecoveryEnabled() const { return db_recovery_on_; }
+
+    /** True from a DB crash until its recovery completes. */
+    bool dbDown() const { return db_down_ || db_recovering_; }
+
+    std::uint64_t dbCrashCount() const { return db_crashes_; }
+    std::uint64_t checkpointCount() const { return checkpoints_; }
+    std::uint64_t checkpointPagesFlushed() const
+    {
+        return checkpoint_pages_;
+    }
+
+    /** Stats of the most recent completed recovery. */
+    const RecoveryStats &lastRecovery() const { return last_recovery_; }
+
+    /** Time spent replaying (restart -> back in rotation), summed. */
+    SimTime dbReplayUs() const { return db_replay_us_; }
+
+    /** Audit result published at the end of each recovery. */
+    const AuditReport &lastAudit() const { return last_audit_; }
+    bool audited() const { return audited_; }
+
+    /** Reconcile the audit table right now (e.g. at end of run). */
+    AuditReport auditNow() const
+    {
+        return auditor_.audit(db_app_->database(),
+                              db_app_->auditTable());
+    }
+
   private:
     ClusterConfig config_;
     std::shared_ptr<const WorkloadProfiles> profiles_;
@@ -166,6 +219,21 @@ class ClusterUnderTest
     Rng retry_rng_;           //!< backoff jitter (own forked stream)
     SimTime db_timeout_us_ = 0;
 
+    bool db_recovery_on_ = false;
+    bool db_down_ = false;       //!< crashed, restart not yet begun
+    bool db_recovering_ = false; //!< restarted, replaying the WAL
+    std::uint64_t db_epoch_ = 0; //!< bumped at each DB crash
+    SimTime db_crash_at_ = 0;
+    SimTime db_restart_at_ = 0;
+    SimTime db_replay_us_ = 0;
+    std::uint64_t db_crashes_ = 0;
+    std::uint64_t checkpoints_ = 0;
+    std::uint64_t checkpoint_pages_ = 0;
+    RecoveryStats last_recovery_;
+    DurabilityAuditor auditor_;
+    AuditReport last_audit_;
+    bool audited_ = false;
+
     /** One EJB->DB call, across its (possibly retried) attempts. */
     struct DbCall
     {
@@ -173,6 +241,7 @@ class ClusterUnderTest
         RequestType type = RequestType::Browse;
         double noise = 1.0;
         std::size_t attempt = 1;
+        std::uint64_t epoch = 0; //!< DB epoch when the txn executed
         SystemUnderTest::DbDone done;
     };
 
@@ -208,6 +277,12 @@ class ClusterUnderTest
     void degradeLinks(const FaultEvent &event, bool restore);
     void probeNode(std::size_t node);
     void applyProbeResult(std::size_t node, bool healthy);
+
+    // DB crash consistency (only reached when db_recovery_on_)
+    void checkpointTick();
+    void crashDbTier(const FaultEvent &event);
+    void beginDbRecovery();
+    void finishDbRecovery();
 
     std::uint64_t responseBytes(std::size_t node,
                                 RequestType type) const;

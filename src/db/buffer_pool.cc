@@ -1,5 +1,6 @@
 #include "db/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace jasim {
@@ -11,9 +12,14 @@ BufferPool::BufferPool(std::size_t capacity_pages)
 }
 
 PinResult
-BufferPool::pin(PageKey key, bool mark_dirty)
+BufferPool::pin(PageKey key, bool mark_dirty, std::uint64_t recovery_lsn)
 {
     PinResult result;
+    if (mark_dirty && recovery_lsn != 0) {
+        // First dirtier wins: redo must start at the oldest change
+        // that might not be on disk yet.
+        dpt_.emplace(key, recovery_lsn);
+    }
     const auto it = index_.find(key);
     if (it != index_.end()) {
         result.hit = true;
@@ -26,10 +32,13 @@ BufferPool::pin(PageKey key, bool mark_dirty)
     ++misses_;
     if (lru_.size() >= capacity_) {
         const Frame &victim = lru_.back();
+        result.evicted = true;
+        result.victim = victim.key;
         if (victim.dirty) {
             result.writeback = true;
             ++writebacks_;
         }
+        dpt_.erase(victim.key);
         index_.erase(victim.key);
         lru_.pop_back();
     }
@@ -45,10 +54,40 @@ BufferPool::resident(PageKey key) const
 }
 
 void
+BufferPool::markClean(PageKey key)
+{
+    const auto it = index_.find(key);
+    if (it != index_.end())
+        it->second->dirty = false;
+    dpt_.erase(key);
+}
+
+void
+BufferPool::markAllClean()
+{
+    for (Frame &frame : lru_)
+        frame.dirty = false;
+    dpt_.clear();
+}
+
+std::uint64_t
+BufferPool::minRecoveryLsn() const
+{
+    std::uint64_t min_lsn = 0;
+    for (const auto &[key, lsn] : dpt_) {
+        (void)key;
+        if (min_lsn == 0 || lsn < min_lsn)
+            min_lsn = lsn;
+    }
+    return min_lsn;
+}
+
+void
 BufferPool::clear()
 {
     lru_.clear();
     index_.clear();
+    dpt_.clear();
 }
 
 } // namespace jasim

@@ -6,6 +6,13 @@
  * are charged as disk reads (RAM disk or spinning disk) by the layer
  * above. The pool's hit rate is what decides whether the SUT can keep
  * I/O wait near zero -- the tuning prerequisite of the whole study.
+ *
+ * For crash recovery the pool also keeps an ARIES-style dirty-page
+ * table: the first log record that dirtied each resident page
+ * (its recoveryLSN). The minimum recoveryLSN over the table bounds
+ * how far back redo must start, which is what lets fuzzy checkpoints
+ * truncate the WAL. Healthy runs pass recovery LSN 0 and the table
+ * stays empty -- zero behaviour change.
  */
 
 #ifndef JASIM_DB_BUFFER_POOL_H
@@ -41,16 +48,28 @@ struct PinResult
     bool hit = false;
     /** A dirty page was evicted (costs a write-back). */
     bool writeback = false;
+    /** A page was evicted to make room. */
+    bool evicted = false;
+    /** The evicted page (valid when `evicted`). */
+    PageKey victim{};
 };
 
 /** LRU page cache (bookkeeping only; no page data is stored). */
 class BufferPool
 {
   public:
+    using DirtyPageTable =
+        std::unordered_map<PageKey, std::uint64_t, PageKeyHash>;
+
     explicit BufferPool(std::size_t capacity_pages);
 
-    /** Touch a page, faulting it in if absent. */
-    PinResult pin(PageKey key, bool mark_dirty = false);
+    /**
+     * Touch a page, faulting it in if absent. A non-zero
+     * `recovery_lsn` on a dirtying pin enters the page into the
+     * dirty-page table (first dirtier wins).
+     */
+    PinResult pin(PageKey key, bool mark_dirty = false,
+                  std::uint64_t recovery_lsn = 0);
 
     /** Is a page resident (no LRU update)? */
     bool resident(PageKey key) const;
@@ -71,7 +90,19 @@ class BufferPool
             : static_cast<double>(hits_) / static_cast<double>(total);
     }
 
-    /** Drop everything (cold-start experiments). */
+    /** Mark one page clean (checkpoint flushed it). */
+    void markClean(PageKey key);
+
+    /** Mark every resident page clean (recovery baseline). */
+    void markAllClean();
+
+    /** Resident pages dirtied since their last flush, by recoveryLSN. */
+    const DirtyPageTable &dirtyPages() const { return dpt_; }
+
+    /** Oldest recoveryLSN over the dirty-page table (0 when empty). */
+    std::uint64_t minRecoveryLsn() const;
+
+    /** Drop everything (cold-start experiments, crash). */
     void clear();
 
   private:
@@ -85,6 +116,7 @@ class BufferPool
     std::list<Frame> lru_; //!< front = most recent
     std::unordered_map<PageKey, std::list<Frame>::iterator, PageKeyHash>
         index_;
+    DirtyPageTable dpt_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;

@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <cassert>
+#include <unordered_set>
 
 namespace jasim {
 
@@ -32,6 +33,8 @@ Database::createTable(Schema schema)
     ts.table = std::make_unique<Table>(std::move(schema),
                                        config_.rows_per_page);
     tables_.push_back(std::move(ts));
+    if (recovery_on_)
+        stable_.resize(tables_.size());
     return id;
 }
 
@@ -80,9 +83,11 @@ Database::state(std::uint32_t table_id) const
 
 void
 Database::touchPage(std::uint32_t table_id, std::uint32_t page,
-                    bool dirty, DbCost &cost)
+                    bool dirty, DbCost &cost,
+                    std::uint64_t recovery_lsn)
 {
-    const PinResult pin = pool_.pin(PageKey{table_id, page}, dirty);
+    const PinResult pin =
+        pool_.pin(PageKey{table_id, page}, dirty, recovery_lsn);
     if (pin.hit)
         ++cost.pages_hit;
     else
@@ -90,6 +95,49 @@ Database::touchPage(std::uint32_t table_id, std::uint32_t page,
     if (pin.writeback)
         ++cost.writebacks;
     cost.cpu_us += pin.hit ? 0.3 : 1.2;
+    if (recovery_on_ && pin.evicted && pin.writeback)
+        flushPageToStable(pin.victim, &cost);
+}
+
+std::uint64_t
+Database::logMutation(TxnId txn, WalRecordType type,
+                      std::uint32_t payload_bytes,
+                      std::uint32_t table_id, RowId rid,
+                      std::optional<Row> redo, std::optional<Row> undo)
+{
+    if (!recovery_on_) {
+        wal_.append(txn, type, payload_bytes);
+        return 0;
+    }
+    const std::uint64_t lsn =
+        wal_.appendLogical(txn, type, payload_bytes, table_id, rid,
+                           std::move(redo), std::move(undo));
+    page_lsn_[PageKey{table_id, rid.page}] = lsn;
+    return lsn;
+}
+
+void
+Database::flushPageToStable(PageKey key, DbCost *cost)
+{
+    const auto it = page_lsn_.find(key);
+    const std::uint64_t lsn = it == page_lsn_.end() ? 0 : it->second;
+    if (lsn > wal_.issuedLsn()) {
+        // WAL protocol: the log describing the page must reach stable
+        // storage before the page image does.
+        const std::uint64_t forced = wal_.force();
+        if (cost)
+            cost->log_bytes_forced += forced;
+    }
+    if (stable_.size() <= key.table)
+        stable_.resize(key.table + 1);
+    auto &images = stable_[key.table];
+    if (images.size() <= key.page)
+        images.resize(key.page + 1);
+    images[key.page] = tables_[key.table].table->pageImage(key.page);
+    if (lsn != 0) {
+        stable_page_lsn_[key] = lsn;
+        wal_.protect(lsn);
+    }
 }
 
 std::uint32_t
@@ -134,8 +182,10 @@ TxnId
 Database::begin()
 {
     const TxnId txn = next_txn_++;
-    active_[txn] = {};
-    wal_.append(txn, WalRecordType::Begin, 0);
+    TxnState &st = active_[txn];
+    const std::uint64_t lsn = wal_.append(txn, WalRecordType::Begin, 0);
+    if (recovery_on_)
+        st.first_lsn = lsn;
     return txn;
 }
 
@@ -145,7 +195,9 @@ Database::commit(TxnId txn)
     DbCost cost;
     const auto it = active_.find(txn);
     assert(it != active_.end() && "commit of unknown transaction");
-    wal_.append(txn, WalRecordType::Commit, 0);
+    const std::uint64_t lsn = wal_.append(txn, WalRecordType::Commit, 0);
+    if (recovery_on_)
+        last_commit_lsn_ = lsn;
     cost.log_bytes_forced = wal_.force();
     cost.cpu_us += 4.0;
     active_.erase(it);
@@ -158,9 +210,11 @@ Database::abort(TxnId txn)
     DbCost cost;
     const auto it = active_.find(txn);
     assert(it != active_.end() && "abort of unknown transaction");
-    // Undo in reverse order.
-    for (auto undo = it->second.rbegin(); undo != it->second.rend();
-         ++undo) {
+    // Undo in reverse order. In recovery mode every undo step logs a
+    // compensation record (redo-only), so a crash after the abort
+    // replays the rollback instead of resurrecting the transaction.
+    for (auto undo = it->second.undo.rbegin();
+         undo != it->second.undo.rend(); ++undo) {
         TableState &ts = state(undo->table_id);
         const auto current = ts.table->fetch(undo->row_id);
         if (current) {
@@ -176,7 +230,14 @@ Database::abort(TxnId txn)
                 ts.primary.erase(keyOf(*undo->before));
                 ts.primary.insert(keyOf(*undo->before), id);
                 indexAdd(ts, id, *undo->before);
-                touchPage(undo->table_id, id.page, true, cost);
+                std::uint64_t clr = 0;
+                if (recovery_on_) {
+                    clr = logMutation(txn, WalRecordType::Insert,
+                                      rowBytes(*undo->before),
+                                      undo->table_id, id,
+                                      *undo->before, std::nullopt);
+                }
+                touchPage(undo->table_id, id.page, true, cost, clr);
                 continue;
             }
             indexAdd(ts, undo->row_id, *undo->before);
@@ -185,7 +246,18 @@ Database::abort(TxnId txn)
             ts.primary.erase(keyOf(*current));
             ts.table->erase(undo->row_id);
         }
-        touchPage(undo->table_id, undo->row_id.page, true, cost);
+        std::uint64_t clr = 0;
+        if (recovery_on_) {
+            clr = undo->before
+                ? logMutation(txn, WalRecordType::Update,
+                              rowBytes(*undo->before), undo->table_id,
+                              undo->row_id, *undo->before, std::nullopt)
+                : logMutation(txn, WalRecordType::Erase,
+                              current ? rowBytes(*current) : 0,
+                              undo->table_id, undo->row_id,
+                              std::nullopt, std::nullopt);
+        }
+        touchPage(undo->table_id, undo->row_id.page, true, cost, clr);
         ++cost.rows;
     }
     wal_.append(txn, WalRecordType::Abort, 0);
@@ -209,9 +281,12 @@ Database::insert(TxnId txn, std::uint32_t table_id, Row row)
     const auto inserted = ts.table->fetch(id);
     indexAdd(ts, id, *inserted);
 
-    touchPage(table_id, id.page, true, cost);
-    wal_.append(txn, WalRecordType::Insert, bytes);
-    active_[txn].push_back(UndoEntry{table_id, id, std::nullopt});
+    const std::uint64_t lsn =
+        logMutation(txn, WalRecordType::Insert, bytes, table_id, id,
+                    recovery_on_ ? inserted : std::nullopt,
+                    std::nullopt);
+    touchPage(table_id, id.page, true, cost, lsn);
+    active_[txn].undo.push_back(UndoEntry{table_id, id, std::nullopt});
     ++cost.rows;
     cost.cpu_us += 2.0;
     return cost;
@@ -250,9 +325,12 @@ Database::updateByKey(TxnId txn, std::uint32_t table_id,
     const auto after = ts.table->fetch(*id);
     indexAdd(ts, *id, *after);
 
-    touchPage(table_id, id->page, true, cost);
-    wal_.append(txn, WalRecordType::Update, bytes);
-    active_[txn].push_back(UndoEntry{table_id, *id, before});
+    const std::uint64_t lsn =
+        logMutation(txn, WalRecordType::Update, bytes, table_id, *id,
+                    recovery_on_ ? after : std::nullopt,
+                    recovery_on_ ? before : std::nullopt);
+    touchPage(table_id, id->page, true, cost, lsn);
+    active_[txn].undo.push_back(UndoEntry{table_id, *id, before});
     ++cost.rows;
     cost.cpu_us += 2.5;
     return cost;
@@ -274,9 +352,12 @@ Database::eraseByKey(TxnId txn, std::uint32_t table_id, std::int64_t key)
     ts.primary.erase(key);
     ts.table->erase(*id);
 
-    touchPage(table_id, id->page, true, cost);
-    wal_.append(txn, WalRecordType::Erase, rowBytes(*before));
-    active_[txn].push_back(UndoEntry{table_id, *id, before});
+    const std::uint64_t lsn =
+        logMutation(txn, WalRecordType::Erase, rowBytes(*before),
+                    table_id, *id, std::nullopt,
+                    recovery_on_ ? before : std::nullopt);
+    touchPage(table_id, id->page, true, cost, lsn);
+    active_[txn].undo.push_back(UndoEntry{table_id, *id, before});
     ++cost.rows;
     cost.cpu_us += 2.0;
     return cost;
@@ -323,6 +404,198 @@ Database::scanWhere(std::uint32_t table_id, std::size_t column,
         return true;
     });
     return rows;
+}
+
+// ---- crash recovery -------------------------------------------------
+
+void
+Database::enableRecovery()
+{
+    assert(!recovery_on_ && "recovery already enabled");
+    assert(active_.empty() && "enableRecovery with a txn in flight");
+    // The populated state is the recovery baseline: force what is
+    // pending, snapshot every table into the stable store, and start
+    // retaining logical records from here.
+    wal_.force();
+    wal_.setRetention(true);
+    wal_.confirmDurable(wal_.lastLsn());
+
+    stable_.clear();
+    stable_.resize(tables_.size());
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const Table &tbl = *tables_[t].table;
+        stable_[t].reserve(tbl.pageCount());
+        for (std::uint32_t p = 0; p < tbl.pageCount(); ++p)
+            stable_[t].push_back(tbl.pageImage(p));
+    }
+    page_lsn_.clear();
+    stable_page_lsn_.clear();
+    pool_.markAllClean();
+    recovery_on_ = true;
+}
+
+void
+Database::confirmWalDurable(std::uint64_t lsn)
+{
+    wal_.confirmDurable(lsn);
+}
+
+CheckpointStats
+Database::checkpoint()
+{
+    assert(recovery_on_ && !crashed_);
+    CheckpointStats s;
+    s.begin_lsn = wal_.append(0, WalRecordType::BeginCheckpoint, 8);
+    // The end record carries the dirty-page and active-txn tables.
+    const BufferPool::DirtyPageTable dirty = pool_.dirtyPages();
+    s.end_lsn = wal_.append(
+        0, WalRecordType::EndCheckpoint,
+        static_cast<std::uint32_t>(8 + 12 * dirty.size() +
+                                   12 * active_.size()));
+    s.log_bytes_forced = wal_.force();
+    for (const auto &[key, rec_lsn] : dirty) {
+        (void)rec_lsn;
+        flushPageToStable(key, nullptr);
+        pool_.markClean(key);
+        ++s.pages_flushed;
+    }
+    // Redo point: with the dirty-page table drained, nothing below
+    // the oldest live transaction's first record (capped by this
+    // checkpoint) is ever replayed again.
+    std::uint64_t redo_point = s.end_lsn;
+    for (const auto &[txn, st] : active_) {
+        (void)txn;
+        if (st.first_lsn != 0 && st.first_lsn < redo_point)
+            redo_point = st.first_lsn;
+    }
+    const std::size_t before = wal_.records().size();
+    wal_.truncate(redo_point - 1);
+    s.truncated_records = before - wal_.records().size();
+    return s;
+}
+
+CrashStats
+Database::crash(bool torn)
+{
+    assert(recovery_on_ && !crashed_);
+    CrashStats s;
+    const WalCrashLoss loss = wal_.crashDiscard(torn);
+    s.wal_records_lost = loss.unforced_records;
+    s.torn_records = loss.torn_records;
+    s.dirty_pages_discarded = pool_.dirtyPages().size();
+
+    if (stable_.size() < tables_.size())
+        stable_.resize(tables_.size());
+    for (std::size_t t = 0; t < tables_.size(); ++t)
+        tables_[t].table->restoreAll(stable_[t]);
+    page_lsn_ = stable_page_lsn_;
+    pool_.clear();
+    active_.clear();
+    crashed_ = true;
+    return s;
+}
+
+RecoveryStats
+Database::recover()
+{
+    assert(crashed_ && "recover without a crash");
+    RecoveryStats s;
+    s.replay_bytes = wal_.retainedBytes();
+
+    // Analysis: a transaction with a terminal record is a winner
+    // (Abort wrote compensation records, so its retained log already
+    // describes the rollback). Everything else is a loser.
+    std::unordered_set<TxnId> seen;
+    std::unordered_set<TxnId> winners;
+    for (const WalRecord &rec : wal_.records()) {
+        if (rec.txn == 0)
+            continue; // checkpoint bookkeeping
+        seen.insert(rec.txn);
+        if (rec.type == WalRecordType::Commit ||
+            rec.type == WalRecordType::Abort)
+            winners.insert(rec.txn);
+    }
+    s.winner_txns = winners.size();
+    s.loser_txns = seen.size() - winners.size();
+
+    const auto logical = [](const WalRecord &rec) {
+        return rec.type == WalRecordType::Insert ||
+            rec.type == WalRecordType::Update ||
+            rec.type == WalRecordType::Erase;
+    };
+
+    // Redo: repeat history. Every retained record replays unless the
+    // stable page image already carries it (pageLSN guard).
+    std::unordered_set<PageKey, PageKeyHash> touched;
+    for (const WalRecord &rec : wal_.records()) {
+        if (!logical(rec))
+            continue;
+        ++s.redo_records;
+        const PageKey key{rec.table, rec.rid.page};
+        std::uint64_t &plsn = page_lsn_[key];
+        if (rec.lsn <= plsn)
+            continue;
+        Table &tbl = *tables_[rec.table].table;
+        if (rec.type == WalRecordType::Erase)
+            tbl.eraseAt(rec.rid);
+        else if (rec.redo)
+            tbl.setRowAt(rec.rid, *rec.redo);
+        plsn = rec.lsn;
+        touched.insert(key);
+        ++s.redo_applied;
+    }
+
+    // Undo losers in reverse LSN order from their before-images.
+    const std::vector<WalRecord> &recs = wal_.records();
+    for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+        const WalRecord &rec = *it;
+        if (!logical(rec) || rec.txn == 0 ||
+            winners.count(rec.txn) != 0)
+            continue;
+        ++s.undo_records;
+        Table &tbl = *tables_[rec.table].table;
+        if (rec.type == WalRecordType::Insert)
+            tbl.eraseAt(rec.rid);
+        else if (rec.undo)
+            tbl.setRowAt(rec.rid, *rec.undo);
+        touched.insert(PageKey{rec.table, rec.rid.page});
+    }
+
+    rebuildIndexes();
+
+    // Recovery checkpoint: flush every page recovery touched, log an
+    // empty checkpoint, and truncate -- the next crash replays only
+    // what happens after this point.
+    for (const PageKey &key : touched)
+        flushPageToStable(key, nullptr);
+    s.pages_flushed = touched.size();
+    wal_.append(0, WalRecordType::BeginCheckpoint, 8);
+    const std::uint64_t end_lsn =
+        wal_.append(0, WalRecordType::EndCheckpoint, 8);
+    s.checkpoint_bytes = wal_.force();
+    wal_.truncate(end_lsn);
+    crashed_ = false;
+    return s;
+}
+
+void
+Database::rebuildIndexes()
+{
+    for (TableState &ts : tables_) {
+        ts.primary = UniqueIndex{};
+        for (auto &[column, index] : ts.secondary) {
+            (void)column;
+            index = MultiIndex{};
+        }
+        ts.table->scan([&ts](RowId id, const Row &row) {
+            ts.primary.insert(keyOf(row), id);
+            for (auto &[column, index] : ts.secondary) {
+                const auto col = ts.table->schema().columnIndex(column);
+                index.insert(std::get<std::int64_t>(row[*col]), id);
+            }
+            return true;
+        });
+    }
 }
 
 } // namespace jasim

@@ -6,6 +6,17 @@
  * DB2: operations return DbCost records (page hits/misses, forced log
  * bytes, CPU estimate) that the system-level simulation converts into
  * service time and disk traffic.
+ *
+ * Crash recovery (opt-in via enableRecovery()) follows ARIES:
+ * mutations log logical redo/undo records, the buffer pool tracks
+ * dirty pages with recovery LSNs, fuzzy checkpoints flush dirty pages
+ * and truncate the durable WAL prefix, and crash()/recover() discard
+ * the volatile state then repeat history (pageLSN-guarded redo of
+ * every retained record) before undoing loser transactions. Aborts
+ * write compensation records, so an aborted transaction is a winner
+ * whose log fully describes its rollback. Healthy runs that never
+ * call enableRecovery() are byte-identical to a build without any of
+ * this machinery.
  */
 
 #ifndef JASIM_DB_DATABASE_H
@@ -44,6 +55,37 @@ struct DbCost
     double cpu_us = 0.0;
 
     void add(const DbCost &other);
+};
+
+/** One fuzzy checkpoint's work. */
+struct CheckpointStats
+{
+    std::uint64_t begin_lsn = 0;
+    std::uint64_t end_lsn = 0;
+    std::uint64_t pages_flushed = 0;
+    std::uint64_t log_bytes_forced = 0;
+    std::uint64_t truncated_records = 0;
+};
+
+/** What a crash destroyed. */
+struct CrashStats
+{
+    std::uint64_t wal_records_lost = 0;  //!< unforced tail
+    std::uint64_t torn_records = 0;      //!< torn off a partial force
+    std::uint64_t dirty_pages_discarded = 0;
+};
+
+/** One recovery pass (redo + undo + recovery checkpoint). */
+struct RecoveryStats
+{
+    std::uint64_t replay_bytes = 0;   //!< retained WAL read back
+    std::uint64_t redo_records = 0;   //!< logical records scanned
+    std::uint64_t redo_applied = 0;   //!< passed the pageLSN guard
+    std::uint64_t undo_records = 0;   //!< loser records rolled back
+    std::uint64_t loser_txns = 0;
+    std::uint64_t winner_txns = 0;
+    std::uint64_t pages_flushed = 0;  //!< recovery checkpoint flush
+    std::uint64_t checkpoint_bytes = 0;
 };
 
 /** Transaction handle. */
@@ -100,6 +142,50 @@ class Database
     const BufferPool &bufferPool() const { return pool_; }
     const Wal &wal() const { return wal_; }
 
+    // ---- crash recovery ----
+
+    /**
+     * Arm recovery: snapshot every table into the stable store,
+     * switch the WAL to retention mode, and start logging logical
+     * redo/undo payloads. Call once, after schema + population and
+     * with no transaction in flight.
+     */
+    void enableRecovery();
+    bool recoveryEnabled() const { return recovery_on_; }
+
+    /** LSN of the most recent Commit record (recovery mode). */
+    std::uint64_t lastCommitLsn() const { return last_commit_lsn_; }
+
+    /** The simulated disk completed the WAL force up to `lsn`. */
+    void confirmWalDurable(std::uint64_t lsn);
+
+    /**
+     * Fuzzy checkpoint: BeginCheckpoint record, flush every dirty
+     * page to the stable store, EndCheckpoint record, force, then
+     * truncate the WAL below the redo point (min active-txn firstLSN,
+     * capped by the checkpoint itself). The caller charges the
+     * returned flush/force bytes to the disk model.
+     */
+    CheckpointStats checkpoint();
+
+    /**
+     * Power off: lose the unforced WAL tail (plus, for a torn write,
+     * the second half of the in-flight force window), every buffered
+     * page, and all in-flight transactions. Tables revert to their
+     * stable images. Queries are invalid until recover().
+     */
+    CrashStats crash(bool torn);
+
+    /**
+     * ARIES restart: redo every retained record whose LSN beats the
+     * stable page's LSN, undo loser transactions in reverse, rebuild
+     * the hash indexes, and cut a recovery checkpoint. The caller
+     * charges replay_bytes (reads) and the checkpoint (writes) to the
+     * disk model so recovery takes simulated time.
+     */
+    RecoveryStats recover();
+    bool crashed() const { return crashed_; }
+
   private:
     struct TableState
     {
@@ -115,20 +201,47 @@ class Database
         std::optional<Row> before; //!< nullopt for inserts
     };
 
+    struct TxnState
+    {
+        std::vector<UndoEntry> undo;
+        std::uint64_t first_lsn = 0; //!< Begin record (recovery mode)
+    };
+
     DbConfig config_;
     std::vector<TableState> tables_;
     std::unordered_map<std::string, std::uint32_t> table_names_;
     BufferPool pool_;
     Wal wal_;
     TxnId next_txn_ = 1;
-    std::unordered_map<TxnId, std::vector<UndoEntry>> active_;
+    std::unordered_map<TxnId, TxnState> active_;
+
+    bool recovery_on_ = false;
+    bool crashed_ = false;
+    std::uint64_t last_commit_lsn_ = 0;
+    /** pageLSN of buffered pages / their stable images. */
+    std::unordered_map<PageKey, std::uint64_t, PageKeyHash> page_lsn_;
+    std::unordered_map<PageKey, std::uint64_t, PageKeyHash>
+        stable_page_lsn_;
+    /** Per-table stable page images (what survives a crash). */
+    std::vector<std::vector<Table::PageImage>> stable_;
 
     TableState &state(std::uint32_t table_id);
     const TableState &state(std::uint32_t table_id) const;
 
     /** Charge a page touch to the pool and the cost record. */
     void touchPage(std::uint32_t table_id, std::uint32_t page,
-                   bool dirty, DbCost &cost);
+                   bool dirty, DbCost &cost,
+                   std::uint64_t recovery_lsn = 0);
+
+    /** Log a logical mutation; returns its LSN (0 when not armed). */
+    std::uint64_t logMutation(TxnId txn, WalRecordType type,
+                              std::uint32_t payload_bytes,
+                              std::uint32_t table_id, RowId rid,
+                              std::optional<Row> redo,
+                              std::optional<Row> undo);
+
+    /** Flush one page's image to the stable store (WAL first). */
+    void flushPageToStable(PageKey key, DbCost *cost);
 
     static std::uint32_t rowBytes(const Row &row);
     static std::int64_t keyOf(const Row &row);
@@ -136,6 +249,8 @@ class Database
     /** Maintain secondary indexes around a row mutation. */
     void indexRemove(TableState &ts, RowId id, const Row &row);
     void indexAdd(TableState &ts, RowId id, const Row &row);
+
+    void rebuildIndexes();
 };
 
 } // namespace jasim

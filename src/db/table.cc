@@ -72,4 +72,53 @@ Table::erase(RowId id)
     return true;
 }
 
+Table::PageImage
+Table::pageImage(std::uint32_t page) const
+{
+    if (page >= pages_.size())
+        return {};
+    return PageImage{pages_[page].rows, pages_[page].live};
+}
+
+void
+Table::setRowAt(RowId id, Row row)
+{
+    while (pages_.size() <= id.page)
+        pages_.push_back(Page{});
+    Page &page = pages_[id.page];
+    while (page.rows.size() <= id.slot) {
+        // Dead placeholder slots: never fetched (not live), and they
+        // count toward page fullness exactly like tombstones do.
+        page.rows.push_back(Row{});
+        page.live.push_back(false);
+    }
+    if (!page.live[id.slot]) {
+        page.live[id.slot] = true;
+        ++live_rows_;
+    }
+    page.rows[id.slot] = std::move(row);
+}
+
+bool
+Table::eraseAt(RowId id)
+{
+    return erase(id);
+}
+
+void
+Table::restoreAll(const std::vector<PageImage> &images)
+{
+    pages_.clear();
+    pages_.reserve(images.size());
+    live_rows_ = 0;
+    for (const PageImage &image : images) {
+        assert(image.rows.size() == image.live.size());
+        pages_.push_back(Page{image.rows, image.live});
+        for (const bool live : image.live) {
+            if (live)
+                ++live_rows_;
+        }
+    }
+}
+
 } // namespace jasim

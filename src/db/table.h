@@ -55,10 +55,23 @@ struct RowId
 
 /**
  * Heap-file table: pages of rows with tombstone deletion.
+ *
+ * Recovery support: pages can be snapshotted (`pageImage`) into a
+ * stable store and put back wholesale (`restoreAll`), and individual
+ * slots can be written or tombstoned at an exact RowId
+ * (`setRowAt` / `eraseAt`) so WAL redo/undo replays land where the
+ * original operations did.
  */
 class Table
 {
   public:
+    /** Full copy of one page (the stable-storage image). */
+    struct PageImage
+    {
+        std::vector<Row> rows;
+        std::vector<bool> live;
+    };
+
     Table(Schema schema, std::uint16_t rows_per_page = 32);
 
     const Schema &schema() const { return schema_; }
@@ -74,6 +87,23 @@ class Table
 
     /** Tombstone a row; false if already dead/absent. */
     bool erase(RowId id);
+
+    // ---- recovery (physical replay at exact locations) ----
+
+    /** Copy of one page's rows and liveness (empty when absent). */
+    PageImage pageImage(std::uint32_t page) const;
+
+    /**
+     * Write a row at an exact location, reviving a tombstone or
+     * growing pages/slots (dead placeholders) as needed.
+     */
+    void setRowAt(RowId id, Row row);
+
+    /** Tombstone a slot; tolerant of dead/absent (returns false). */
+    bool eraseAt(RowId id);
+
+    /** Replace the whole heap with stable page images. */
+    void restoreAll(const std::vector<PageImage> &images);
 
     std::uint32_t pageCount() const
     {

@@ -1,46 +1,164 @@
 #include "db/wal.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace jasim {
+
+std::uint64_t
+Wal::appendRecord(WalRecord record, std::uint32_t payload_bytes)
+{
+    record.lsn = next_lsn_++;
+    record.bytes = payload_bytes + headerBytes;
+    appended_bytes_ += record.bytes;
+    pending_bytes_ += record.bytes;
+    retained_bytes_ += record.bytes;
+    records_.push_back(std::move(record));
+    return next_lsn_ - 1;
+}
 
 std::uint64_t
 Wal::append(std::uint64_t txn, WalRecordType type,
             std::uint32_t payload_bytes)
 {
     WalRecord record;
-    record.lsn = next_lsn_++;
     record.txn = txn;
     record.type = type;
-    record.bytes = payload_bytes + headerBytes;
-    appended_bytes_ += record.bytes;
-    records_.push_back(record);
-    return record.lsn;
+    return appendRecord(std::move(record), payload_bytes);
+}
+
+std::uint64_t
+Wal::appendLogical(std::uint64_t txn, WalRecordType type,
+                   std::uint32_t payload_bytes, std::uint32_t table,
+                   RowId rid, std::optional<Row> redo,
+                   std::optional<Row> undo)
+{
+    WalRecord record;
+    record.txn = txn;
+    record.type = type;
+    record.table = table;
+    record.rid = rid;
+    record.redo = std::move(redo);
+    record.undo = std::move(undo);
+    return appendRecord(std::move(record), payload_bytes);
 }
 
 std::uint64_t
 Wal::force()
 {
-    const std::uint64_t pending = appended_bytes_ - forced_bytes_;
+    const std::uint64_t pending = pending_bytes_;
     if (pending > 0) {
-        forced_bytes_ = appended_bytes_;
+        forced_bytes_ += pending;
+        pending_bytes_ = 0;
         ++forces_;
-        // Forced records are durable; drop them so a long run's log
-        // memory stays flat (recovery is outside the model's scope).
-        records_.clear();
+        issued_lsn_ = lastLsn();
+        if (!retention_) {
+            // Forced records are durable and never replayed in legacy
+            // mode; drop them so a long run's log memory stays flat.
+            records_.clear();
+            retained_bytes_ = 0;
+        }
     }
     return pending;
+}
+
+std::uint64_t
+Wal::pendingRecords() const
+{
+    if (!retention_)
+        return records_.size();
+    // records_ is LSN-sorted; the unforced tail starts past issued_lsn_.
+    const auto first_pending = std::partition_point(
+        records_.begin(), records_.end(),
+        [this](const WalRecord &r) { return r.lsn <= issued_lsn_; });
+    return static_cast<std::uint64_t>(records_.end() - first_pending);
+}
+
+void
+Wal::confirmDurable(std::uint64_t lsn)
+{
+    durable_lsn_ = std::max(durable_lsn_, std::min(lsn, issued_lsn_));
+}
+
+void
+Wal::protect(std::uint64_t lsn)
+{
+    protected_lsn_ =
+        std::max(protected_lsn_, std::min(lsn, issued_lsn_));
+}
+
+WalCrashLoss
+Wal::crashDiscard(bool torn)
+{
+    WalCrashLoss loss;
+
+    // Records never force()d existed only in log buffers: always lost.
+    const auto first_unforced = std::partition_point(
+        records_.begin(), records_.end(),
+        [this](const WalRecord &r) { return r.lsn <= issued_lsn_; });
+    for (auto it = first_unforced; it != records_.end(); ++it)
+        retained_bytes_ -= it->bytes;
+    loss.unforced_records =
+        static_cast<std::uint64_t>(records_.end() - first_unforced);
+    records_.erase(first_unforced, records_.end());
+
+    if (torn) {
+        // Forces whose disk I/O had not completed (and whose effects
+        // no stable page flush carries) were mid-write: the device
+        // kept only a prefix of the window.
+        const std::uint64_t safe =
+            std::max(durable_lsn_, protected_lsn_);
+        const auto window_begin = std::partition_point(
+            records_.begin(), records_.end(),
+            [safe](const WalRecord &r) { return r.lsn <= safe; });
+        const auto window =
+            static_cast<std::size_t>(records_.end() - window_begin);
+        const auto kept = window / 2;
+        const auto tear = window_begin + static_cast<std::ptrdiff_t>(kept);
+        for (auto it = tear; it != records_.end(); ++it)
+            retained_bytes_ -= it->bytes;
+        loss.torn_records =
+            static_cast<std::uint64_t>(records_.end() - tear);
+        records_.erase(tear, records_.end());
+    }
+
+    // Whatever survived the crash is on stable storage by definition.
+    const std::uint64_t survivor = records_.empty()
+        ? std::max(durable_lsn_, protected_lsn_)
+        : records_.back().lsn;
+    issued_lsn_ = std::max(issued_lsn_, survivor);
+    if (torn)
+        issued_lsn_ = survivor;
+    durable_lsn_ = issued_lsn_;
+    // Nothing is pending any more; discarded records cannot be forced.
+    pending_bytes_ = 0;
+    forced_bytes_ = appended_bytes_;
+    return loss;
 }
 
 void
 Wal::truncate(std::uint64_t up_to_lsn)
 {
-    records_.erase(
-        std::remove_if(records_.begin(), records_.end(),
-                       [up_to_lsn](const WalRecord &r) {
-                           return r.lsn <= up_to_lsn;
-                       }),
-        records_.end());
+    // Clamp: only forced (retention) / appended (legacy) records can
+    // be on stable storage to truncate, and LSN assignment must never
+    // move backwards because of an over-eager bound.
+    const std::uint64_t bound =
+        std::min(up_to_lsn, retention_ ? issued_lsn_ : lastLsn());
+    const auto keep_from = std::partition_point(
+        records_.begin(), records_.end(),
+        [bound](const WalRecord &r) { return r.lsn <= bound; });
+    for (auto it = records_.begin(); it != keep_from; ++it) {
+        retained_bytes_ -= it->bytes;
+        if (!retention_) {
+            // Legacy pending records die with the truncation: the
+            // next force() must not bill bytes for records that no
+            // longer exist.
+            pending_bytes_ -= it->bytes;
+        }
+    }
+    if (keep_from != records_.begin())
+        truncated_up_to_ = std::max(truncated_up_to_, bound);
+    records_.erase(records_.begin(), keep_from);
 }
 
 } // namespace jasim

@@ -1,32 +1,70 @@
 /**
  * @file
- * Write-ahead log.
+ * Write-ahead log with ARIES-style retention and crash semantics.
  *
  * Commits force the log; the forced bytes are what the disk model
  * (RAM disk vs spinning disks) turns into I/O wait -- the effect that
  * made the paper's 2-disk configuration fail its response-time SLA.
+ *
+ * Two operating modes:
+ *
+ *  - Legacy (default): forced records are dropped from memory so a
+ *    long run's log footprint stays flat. Good enough when nothing
+ *    ever crashes.
+ *
+ *  - Retention (`setRetention(true)`, armed by Database's recovery
+ *    support): records survive force() and carry logical redo/undo
+ *    payloads, three durability watermarks track what a crash can
+ *    take (`issuedLsn` = force() called, `durableLsn` = the simulated
+ *    disk I/O for that force completed, `protectedLsn` = a stable
+ *    page flush implies log durability up to its pageLSN), and
+ *    `crashDiscard()` models losing the volatile tail -- including a
+ *    torn write that keeps only a prefix of the in-flight window.
+ *    Checkpoints reclaim the durable prefix via truncate().
  */
 
 #ifndef JASIM_DB_WAL_H
 #define JASIM_DB_WAL_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "db/table.h"
 
 namespace jasim {
 
 /** Kinds of log records. */
 enum class WalRecordType : std::uint8_t { Begin, Insert, Update, Erase,
-                                          Commit, Abort };
+                                          Commit, Abort,
+                                          BeginCheckpoint,
+                                          EndCheckpoint };
 
-/** One log record (payload sizes modelled, contents summarized). */
+/**
+ * One log record. Payload sizes are always modelled; the logical
+ * redo/undo images are only populated in retention mode (appendLogical),
+ * where recovery replays them.
+ */
 struct WalRecord
 {
     std::uint64_t lsn = 0;
     std::uint64_t txn = 0;
     WalRecordType type = WalRecordType::Begin;
     std::uint32_t bytes = 0;
+
+    // Logical payload (retention mode only).
+    std::uint32_t table = 0;
+    RowId rid{};
+    std::optional<Row> redo; //!< after-image (Insert/Update)
+    std::optional<Row> undo; //!< before-image (Update/Erase)
+};
+
+/** What a crash took from the log. */
+struct WalCrashLoss
+{
+    std::uint64_t unforced_records = 0; //!< never force()d: always lost
+    std::uint64_t torn_records = 0;     //!< forced but not durable, torn off
 };
 
 /** Append-only log with group-force semantics. */
@@ -37,12 +75,24 @@ class Wal
     std::uint64_t append(std::uint64_t txn, WalRecordType type,
                          std::uint32_t payload_bytes);
 
+    /** Append a record carrying a logical redo/undo payload. */
+    std::uint64_t appendLogical(std::uint64_t txn, WalRecordType type,
+                                std::uint32_t payload_bytes,
+                                std::uint32_t table, RowId rid,
+                                std::optional<Row> redo,
+                                std::optional<Row> undo);
+
     /**
-     * Force the log up to the latest LSN. Forced records are dropped
-     * from memory (they are durable; recovery is out of scope).
+     * Force the log up to the latest LSN. In legacy mode forced
+     * records are dropped from memory; in retention mode they are
+     * kept for recovery and `issuedLsn()` advances.
      * @return bytes newly forced to stable storage (0 if none).
      */
     std::uint64_t force();
+
+    /** Keep records after force() so recovery can replay them. */
+    void setRetention(bool on) { retention_ = on; }
+    bool retention() const { return retention_; }
 
     std::uint64_t appendedBytes() const { return appended_bytes_; }
     std::uint64_t forcedBytes() const { return forced_bytes_; }
@@ -50,21 +100,73 @@ class Wal
     /** Records appended over the log's lifetime. */
     std::uint64_t recordCount() const { return next_lsn_ - 1; }
 
+    /** Highest LSN handed out so far (0 when nothing appended). */
+    std::uint64_t lastLsn() const { return next_lsn_ - 1; }
+
     /** Records not yet forced. */
-    std::uint64_t pendingRecords() const { return records_.size(); }
+    std::uint64_t pendingRecords() const;
     std::uint64_t forceCount() const { return forces_; }
 
     const std::vector<WalRecord> &records() const { return records_; }
 
-    /** Drop records older than the given LSN (checkpoint truncation). */
+    /** Bytes currently retained in the log (replay cost of a crash). */
+    std::uint64_t retainedBytes() const { return retained_bytes_; }
+
+    // ---- durability watermarks (retention mode) ----
+
+    /** Highest LSN a force() has been called for. */
+    std::uint64_t issuedLsn() const { return issued_lsn_; }
+
+    /** Highest LSN whose force I/O has completed on the disk model. */
+    std::uint64_t durableLsn() const { return durable_lsn_; }
+
+    /** Highest LSN protected by a stable page flush (WAL protocol). */
+    std::uint64_t protectedLsn() const { return protected_lsn_; }
+
+    /** Highest LSN ever removed by truncate() (durable by then). */
+    std::uint64_t truncatedUpTo() const { return truncated_up_to_; }
+
+    /** The simulated disk finished the force I/O up to `lsn`. */
+    void confirmDurable(std::uint64_t lsn);
+
+    /**
+     * A stable page flush carried effects up to `lsn`: those records
+     * can no longer be torn away (their effects are on disk).
+     */
+    void protect(std::uint64_t lsn);
+
+    /**
+     * Model a crash: drop every record never force()d, and -- for a
+     * torn write -- the second half of the in-flight window
+     * (durable/protected, issued]: force I/O that was still in the
+     * device when power failed. Everything surviving is durable.
+     */
+    WalCrashLoss crashDiscard(bool torn);
+
+    /**
+     * Drop records up to the given LSN (checkpoint truncation). The
+     * bound is clamped to what has actually been forced (retention
+     * mode) or appended (legacy), so truncating "past the end" is
+     * safe and never disturbs LSN assignment.
+     */
     void truncate(std::uint64_t up_to_lsn);
 
   private:
-    std::vector<WalRecord> records_;
+    std::uint64_t appendRecord(WalRecord record,
+                               std::uint32_t payload_bytes);
+
+    std::vector<WalRecord> records_; //!< always sorted by LSN
     std::uint64_t next_lsn_ = 1;
     std::uint64_t appended_bytes_ = 0;
     std::uint64_t forced_bytes_ = 0;
+    std::uint64_t pending_bytes_ = 0;
+    std::uint64_t retained_bytes_ = 0;
     std::uint64_t forces_ = 0;
+    bool retention_ = false;
+    std::uint64_t issued_lsn_ = 0;
+    std::uint64_t durable_lsn_ = 0;
+    std::uint64_t protected_lsn_ = 0;
+    std::uint64_t truncated_up_to_ = 0;
 
     static constexpr std::uint32_t headerBytes = 24;
 };

@@ -25,6 +25,7 @@ errorKindName(ErrorKind kind)
       case ErrorKind::DbCircuitOpen: return "db-circuit-open";
       case ErrorKind::PoolTimeout: return "pool-timeout";
       case ErrorKind::DbRetriesExhausted: return "db-retries-exhausted";
+      case ErrorKind::RecoveryWait: return "recovery-wait";
     }
     return "?";
 }

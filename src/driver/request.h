@@ -67,9 +67,10 @@ enum class ErrorKind : std::uint8_t
     DbCircuitOpen,       //!< DB circuit breaker refused the attempt
     PoolTimeout,         //!< connection-pool acquire timed out
     DbRetriesExhausted,  //!< every DB attempt failed
+    RecoveryWait,        //!< DB tier is replaying its WAL after a crash
 };
 
-inline constexpr std::size_t errorKindCount = 7;
+inline constexpr std::size_t errorKindCount = 8;
 
 /** Printable error-kind name. */
 const char *errorKindName(ErrorKind kind);

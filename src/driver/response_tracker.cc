@@ -236,6 +236,22 @@ ResponseTracker::noteDegraded(SimTime from, SimTime to)
     degraded_.push_back(Interval{from, to});
 }
 
+void
+ResponseTracker::noteDbRecovery(SimTime from, SimTime to)
+{
+    assert(to >= from);
+    recoveries_.push_back(Interval{from, to});
+}
+
+SimTime
+ResponseTracker::dbRecoveryUs() const
+{
+    SimTime total = 0;
+    for (const Interval &interval : recoveries_)
+        total += interval.to - interval.from;
+    return total;
+}
+
 DegradedSummary
 ResponseTracker::degradedSummary(SimTime horizon) const
 {

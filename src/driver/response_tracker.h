@@ -148,6 +148,14 @@ class ResponseTracker
     /** Mark a degraded window (breaker open, link degrade, ...). */
     void noteDegraded(SimTime from, SimTime to);
 
+    /** Record one DB crash->recovery-complete window. */
+    void noteDbRecovery(SimTime from, SimTime to);
+
+    std::size_t dbRecoveryCount() const { return recoveries_.size(); }
+
+    /** Total time spent inside DB recovery windows. */
+    SimTime dbRecoveryUs() const;
+
     /**
      * Merged union of degraded windows and node-down intervals over
      * [0, horizon).
@@ -182,6 +190,7 @@ class ResponseTracker
     std::array<std::uint64_t, errorKindCount> retry_causes_{};
     std::map<std::uint32_t, std::vector<Interval>> down_intervals_;
     std::vector<Interval> degraded_;
+    std::vector<Interval> recoveries_;
 
     static std::size_t idx(RequestType t)
     {

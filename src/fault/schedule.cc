@@ -15,6 +15,8 @@ faultKindName(FaultKind kind)
       case FaultKind::LinkDegrade: return "degrade";
       case FaultKind::DbSlow: return "dbslow";
       case FaultKind::PoolKill: return "poolkill";
+      case FaultKind::DbCrash: return "dbcrash";
+      case FaultKind::DbTornWrite: return "tornwrite";
     }
     return "?";
 }
@@ -46,6 +48,11 @@ FaultEvent::describe() const
         break;
       case FaultKind::PoolKill:
         os << " node=" << node;
+        break;
+      case FaultKind::DbCrash:
+      case FaultKind::DbTornWrite:
+        if (restart_after > 0)
+            os << " restart=" << toSeconds(restart_after) << "s";
         break;
     }
     return os.str();
@@ -112,6 +119,10 @@ parseEvent(const std::string &raw)
         event.kind = FaultKind::DbSlow;
     else if (kind_name == "poolkill")
         event.kind = FaultKind::PoolKill;
+    else if (kind_name == "dbcrash")
+        event.kind = FaultKind::DbCrash;
+    else if (kind_name == "tornwrite")
+        event.kind = FaultKind::DbTornWrite;
     else
         fail("unknown fault kind \"" + kind_name + "\"", token);
 
@@ -138,7 +149,10 @@ parseEvent(const std::string &raw)
         const std::string key = trim(kv.substr(0, eq));
         const std::string value = trim(kv.substr(eq + 1));
 
-        if (key == "node") {
+        if (key == "node" &&
+            (event.kind == FaultKind::NodeCrash ||
+             event.kind == FaultKind::LinkDegrade ||
+             event.kind == FaultKind::PoolKill)) {
             if (value == "all") {
                 event.node = FaultEvent::kAllNodes;
             } else {
@@ -147,7 +161,9 @@ parseEvent(const std::string &raw)
             }
             saw_node = true;
         } else if (key == "restart" &&
-                   event.kind == FaultKind::NodeCrash) {
+                   (event.kind == FaultKind::NodeCrash ||
+                    event.kind == FaultKind::DbCrash ||
+                    event.kind == FaultKind::DbTornWrite)) {
             event.restart_after =
                 secs(parseNonNegative(value, token));
         } else if (key == "dur" &&
@@ -194,6 +210,16 @@ FaultSchedule::parse(const std::string &spec)
         schedule.add(parseEvent(token));
     }
     return schedule;
+}
+
+bool
+FaultSchedule::hasDbFault() const
+{
+    return std::any_of(events_.begin(), events_.end(),
+                       [](const FaultEvent &event) {
+                           return event.kind == FaultKind::DbCrash ||
+                               event.kind == FaultKind::DbTornWrite;
+                       });
 }
 
 void

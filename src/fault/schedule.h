@@ -23,6 +23,13 @@
  *                                    omit dur to make it permanent)
  *   dbslow@120:mult=8,dur=30         DB disk service times 8x for 30 s
  *   poolkill@150:node=0              drop node 0's idle DB connections
+ *   dbcrash@60:restart=2             power off the DB tier at t=60 s,
+ *                                    begin restart+ARIES recovery 2 s
+ *                                    later (the DB stays out of
+ *                                    rotation until redo/undo finish)
+ *   tornwrite@80:restart=2           same, but the in-flight WAL force
+ *                                    is torn mid-record: half the
+ *                                    unconfirmed window is lost
  *
  * Times and durations are seconds (fractions allowed). Unknown kinds,
  * malformed numbers, and unknown keys throw std::invalid_argument
@@ -47,6 +54,8 @@ enum class FaultKind : std::uint8_t
     LinkDegrade, //!< DB link latency multiplier + drop probability
     DbSlow,      //!< DB disk service-time multiplier
     PoolKill,    //!< drop a node's idle DB connections
+    DbCrash,     //!< DB tier powers off; ARIES recovery on restart
+    DbTornWrite, //!< DB crash with a torn in-flight WAL force
 };
 
 const char *faultKindName(FaultKind kind);
@@ -93,6 +102,9 @@ class FaultSchedule
 
     bool empty() const { return events_.empty(); }
     std::size_t size() const { return events_.size(); }
+
+    /** True if any event crashes the DB tier (recovery must arm). */
+    bool hasDbFault() const;
     const std::vector<FaultEvent> &events() const { return events_; }
 
     /** Semicolon-joined describe() of every event. */

@@ -71,6 +71,12 @@ DiskModel::write(SimTime now, std::uint64_t bytes)
     return submit(now, serviceTime(bytes));
 }
 
+IoResult
+DiskModel::readSequential(SimTime now, std::uint64_t bytes)
+{
+    return submit(now, serviceTime(bytes));
+}
+
 double
 DiskModel::utilization(SimTime now) const
 {

@@ -58,6 +58,13 @@ class DiskModel
     IoResult write(SimTime now, std::uint64_t bytes);
 
     /**
+     * Submit a sequential read of `bytes` at time `now`: one seek
+     * plus transfer, however large (a WAL replay scan, not the random
+     * point reads `read` models).
+     */
+    IoResult readSequential(SimTime now, std::uint64_t bytes);
+
+    /**
      * Fault injection: scale every subsequent service time by `mult`
      * (>= 1; 1 restores healthy behaviour exactly). Models a
      * saturated or failing storage tier under the database.

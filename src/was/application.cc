@@ -187,6 +187,39 @@ Jas2004Application::buildProfiles()
     workorder.method_invocations = 3200;
 }
 
+void
+Jas2004Application::enableAudit()
+{
+    assert(!audit_on_);
+    audit_table_ = db_.createTable(
+        Schema{"audit",
+               {{"token", ColumnType::Integer},
+                {"request_type", ColumnType::Integer}}});
+    audit_on_ = true;
+}
+
+void
+Jas2004Application::stampAudit(TxnId txn, RequestType type,
+                               TxnDbOutcome &outcome)
+{
+    if (!audit_on_)
+        return;
+    outcome.audit_token = static_cast<std::uint64_t>(++next_audit_token_);
+    outcome.cost.add(db_.insert(
+        txn, audit_table_,
+        Row{next_audit_token_,
+            std::int64_t(static_cast<std::uint8_t>(type))}));
+}
+
+void
+Jas2004Application::finishAudit(TxnDbOutcome &outcome)
+{
+    if (!audit_on_)
+        return;
+    outcome.commit_lsn = db_.lastCommitLsn();
+    outcome.wal_issued_lsn = db_.wal().issuedLsn();
+}
+
 std::int64_t
 Jas2004Application::pickCustomer()
 {
@@ -268,7 +301,9 @@ Jas2004Application::runPurchase()
         outcome.cost.add(
             db_.updateByKey(txn, inventory_t, inv, std::move(updated)));
     }
+    stampAudit(txn, RequestType::Purchase, outcome);
     outcome.cost.add(db_.commit(txn));
+    finishAudit(outcome);
     return outcome;
 }
 
@@ -295,7 +330,9 @@ Jas2004Application::runManage()
             db_.updateByKey(txn, orders_t, order_id, std::move(row)));
         ++updated;
     }
+    stampAudit(txn, RequestType::Manage, outcome);
     outcome.cost.add(db_.commit(txn));
+    finishAudit(outcome);
     return outcome;
 }
 
@@ -326,7 +363,9 @@ Jas2004Application::runCreateWorkOrder()
                                              std::move(updated)));
         }
     }
+    stampAudit(txn, RequestType::CreateWorkOrder, outcome);
     outcome.cost.add(db_.commit(txn));
+    finishAudit(outcome);
     return outcome;
 }
 

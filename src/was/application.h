@@ -45,6 +45,12 @@ struct TxnDbOutcome
 {
     DbCost cost;
     bool ok = true;
+
+    // Durability-audit fields, populated only when the application's
+    // audit is enabled and the transaction wrote (0 otherwise).
+    std::uint64_t audit_token = 0;   //!< unique per committed write txn
+    std::uint64_t commit_lsn = 0;    //!< this txn's Commit record
+    std::uint64_t wal_issued_lsn = 0; //!< force issued at commit time
 };
 
 /** The application: schema, data, recipes. */
@@ -72,6 +78,16 @@ class Jas2004Application
 
     std::uint64_t rowsLoaded() const { return rows_loaded_; }
 
+    /**
+     * Create the audit table and start stamping every write
+     * transaction with a unique token (one extra audit-row insert per
+     * write txn). Call before Database::enableRecovery() so the empty
+     * audit table is part of the stable baseline.
+     */
+    void enableAudit();
+    bool auditEnabled() const { return audit_on_; }
+    std::uint32_t auditTable() const { return audit_table_; }
+
   private:
     Database db_;
     Rng rng_;
@@ -86,6 +102,10 @@ class Jas2004Application
     std::int64_t next_order_id_ = 0;
     std::int64_t next_workorder_id_ = 0;
     std::uint64_t rows_loaded_ = 0;
+
+    bool audit_on_ = false;
+    std::uint32_t audit_table_ = 0;
+    std::int64_t next_audit_token_ = 0;
 
     ZipfSampler customer_keys_;
     ZipfSampler vehicle_keys_;
@@ -103,6 +123,11 @@ class Jas2004Application
     std::int64_t pickCustomer();
     std::int64_t pickVehicle();
     std::int64_t pickInventory();
+
+    /** Insert the audit row for a write txn (no-op when audit off). */
+    void stampAudit(TxnId txn, RequestType type, TxnDbOutcome &outcome);
+    /** Capture commit/force LSNs after commit (no-op when audit off). */
+    void finishAudit(TxnDbOutcome &outcome);
 };
 
 } // namespace jasim

@@ -78,5 +78,63 @@ TEST(BufferPoolTest, ClearEmptiesPool)
     EXPECT_FALSE(pool.resident({0, 1}));
 }
 
+TEST(BufferPoolTest, HealthyPinsKeepDirtyPageTableEmpty)
+{
+    BufferPool pool(4);
+    pool.pin({0, 1}, true); // recovery LSN 0: not tracked
+    EXPECT_TRUE(pool.dirtyPages().empty());
+    EXPECT_EQ(pool.minRecoveryLsn(), 0u);
+}
+
+TEST(BufferPoolTest, DirtyPageTableFirstDirtierWins)
+{
+    BufferPool pool(4);
+    pool.pin({0, 1}, true, 7);
+    pool.pin({0, 1}, true, 3); // later dirtier must not lower it
+    ASSERT_EQ(pool.dirtyPages().size(), 1u);
+    EXPECT_EQ(pool.dirtyPages().at({0, 1}), 7u);
+    pool.pin({0, 2}, true, 5);
+    EXPECT_EQ(pool.minRecoveryLsn(), 5u);
+}
+
+TEST(BufferPoolTest, MarkCleanDropsDptEntry)
+{
+    BufferPool pool(4);
+    pool.pin({0, 1}, true, 7);
+    pool.markClean({0, 1});
+    EXPECT_TRUE(pool.dirtyPages().empty());
+    EXPECT_TRUE(pool.resident({0, 1})); // still cached, just clean
+    // And re-dirtying after a flush records the new recovery LSN.
+    pool.pin({0, 1}, true, 12);
+    EXPECT_EQ(pool.dirtyPages().at({0, 1}), 12u);
+}
+
+TEST(BufferPoolTest, MarkAllCleanResetsEveryFrame)
+{
+    BufferPool pool(4);
+    pool.pin({0, 1}, true, 7);
+    pool.pin({0, 2}, true, 9);
+    pool.markAllClean();
+    EXPECT_TRUE(pool.dirtyPages().empty());
+    pool.pin({0, 3});
+    pool.pin({0, 4});
+    // Frames were marked clean, so filling the pool evicts without
+    // write-backs.
+    pool.pin({0, 5});
+    EXPECT_EQ(pool.writebacks(), 0u);
+}
+
+TEST(BufferPoolTest, EvictionRemovesVictimFromDpt)
+{
+    BufferPool pool(1);
+    pool.pin({0, 1}, true, 7);
+    const PinResult result = pool.pin({0, 2}, true, 9);
+    EXPECT_TRUE(result.evicted);
+    EXPECT_EQ(result.victim, (PageKey{0, 1}));
+    EXPECT_TRUE(result.writeback);
+    ASSERT_EQ(pool.dirtyPages().size(), 1u);
+    EXPECT_EQ(pool.dirtyPages().count({0, 1}), 0u);
+}
+
 } // namespace
 } // namespace jasim

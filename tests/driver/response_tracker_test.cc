@@ -240,6 +240,28 @@ TEST(ResponseTrackerTest, ErrorKindNamesAreStable)
                  "pool-timeout");
     EXPECT_STREQ(errorKindName(ErrorKind::DbRetriesExhausted),
                  "db-retries-exhausted");
+    EXPECT_STREQ(errorKindName(ErrorKind::RecoveryWait),
+                 "recovery-wait");
+}
+
+TEST(ResponseTrackerTest, RecoveryWaitErrorsCountLikeAnyKind)
+{
+    ResponseTracker tracker;
+    tracker.error(makeRequest(1, RequestType::Purchase, 0), secs(1), 0,
+                  ErrorKind::RecoveryWait);
+    EXPECT_EQ(tracker.errorCount(ErrorKind::RecoveryWait), 1u);
+    EXPECT_EQ(tracker.errorCount(), 1u);
+}
+
+TEST(ResponseTrackerTest, DbRecoveryIntervalsSummed)
+{
+    ResponseTracker tracker;
+    EXPECT_EQ(tracker.dbRecoveryCount(), 0u);
+    EXPECT_EQ(tracker.dbRecoveryUs(), 0u);
+    tracker.noteDbRecovery(secs(10), secs(13));
+    tracker.noteDbRecovery(secs(20), secs(22));
+    EXPECT_EQ(tracker.dbRecoveryCount(), 2u);
+    EXPECT_EQ(tracker.dbRecoveryUs(), secs(5));
 }
 
 } // namespace

@@ -134,6 +134,66 @@ TEST(FaultScheduleTest, DescribeNamesEveryKind)
     EXPECT_STREQ(faultKindName(FaultKind::LinkDegrade), "degrade");
     EXPECT_STREQ(faultKindName(FaultKind::DbSlow), "dbslow");
     EXPECT_STREQ(faultKindName(FaultKind::PoolKill), "poolkill");
+    EXPECT_STREQ(faultKindName(FaultKind::DbCrash), "dbcrash");
+    EXPECT_STREQ(faultKindName(FaultKind::DbTornWrite), "tornwrite");
+}
+
+TEST(FaultScheduleTest, ParsesDbCrashAndTornWrite)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "dbcrash@60:restart=2;tornwrite@80:restart=1.5");
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.events()[0].kind, FaultKind::DbCrash);
+    EXPECT_EQ(s.events()[0].at, secs(60.0));
+    EXPECT_EQ(s.events()[0].restart_after, secs(2.0));
+    EXPECT_EQ(s.events()[1].kind, FaultKind::DbTornWrite);
+    EXPECT_EQ(s.events()[1].restart_after, secs(1.5));
+    EXPECT_TRUE(s.hasDbFault());
+}
+
+TEST(FaultScheduleTest, DbVerbsNeedNoNode)
+{
+    // The DB tier is shared: the verbs take no node= key.
+    const FaultSchedule s = FaultSchedule::parse("dbcrash@10");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].restart_after, 0u); // stays down
+}
+
+TEST(FaultScheduleTest, HasDbFaultFalseWithoutDbVerbs)
+{
+    EXPECT_FALSE(FaultSchedule::parse("").hasDbFault());
+    EXPECT_FALSE(FaultSchedule::parse("crash@10:node=0,restart=5")
+                     .hasDbFault());
+    EXPECT_FALSE(
+        FaultSchedule::parse("dbslow@10:mult=4").hasDbFault());
+}
+
+TEST(FaultScheduleTest, RejectsMalformedDbVerbs)
+{
+    EXPECT_THROW(FaultSchedule::parse("dbcrash@10:restart=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("tornwrite@10:restart="),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("dbcrash@abc:restart=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("dbcrash@-3"),
+                 std::invalid_argument);
+    // Keys are kind-scoped: dbcrash has no duration or node.
+    EXPECT_THROW(FaultSchedule::parse("dbcrash@10:dur=5"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("tornwrite@10:node=0"),
+                 std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, MixedVerbsSortStablyByTime)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "tornwrite@30:restart=1;crash@10:node=0;dbcrash@30:restart=1");
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.events()[0].kind, FaultKind::NodeCrash);
+    // Same-time events keep spec order: tornwrite was written first.
+    EXPECT_EQ(s.events()[1].kind, FaultKind::DbTornWrite);
+    EXPECT_EQ(s.events()[2].kind, FaultKind::DbCrash);
 }
 
 } // namespace
