@@ -31,6 +31,9 @@ clusterConfig(const ExperimentConfig &base, const Config &args,
     config.db_pool.max_connections =
         static_cast<std::size_t>(args.getInt("db_pool", 12));
 
+    // Replication axis (defaults disabled: byte-identical output).
+    config.repl = bench::replFromArgs(args);
+
     const std::string policy = args.getString("lb", "lc");
     if (policy == "rr")
         config.lb.policy = LbPolicy::RoundRobin;

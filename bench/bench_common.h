@@ -12,6 +12,11 @@
  * by single-box ones; `--jobs N` runs sweep points on N workers
  * (results stay bit-identical to serial — see src/par/sweep.h).
  *
+ * Cluster-aware benches additionally accept the replication axis
+ * (see replFromArgs): `--shards N --replicas R --sync-mode
+ * {sync,async}`. The defaults (1/0/async) leave the replicated tier
+ * disabled and the cluster byte-identical to a pre-repl build.
+ *
  * Every bench also writes a machine-readable perf record to
  * `out/BENCH_<name>.json` (schema documented on PerfReport below) so
  * the repo's perf trajectory is tracked run over run; the summary
@@ -32,10 +37,26 @@
 
 #include "core/experiment.h"
 #include "core/figures.h"
+#include "repl/replicated_db.h"
 #include "sim/config.h"
 #include "stats/render.h"
 
 namespace jasim::bench {
+
+/**
+ * The uniform replication axis: `--shards N --replicas R --sync-mode
+ * {sync,async}` (validated/clamped by the Config accessors). Assign
+ * the result to ClusterConfig::repl; the defaults leave it disabled.
+ */
+inline repl::ReplConfig
+replFromArgs(const Config &args)
+{
+    repl::ReplConfig repl;
+    repl.shards = args.shards();
+    repl.replicas = args.replicas();
+    repl.sync = args.syncReplication();
+    return repl;
+}
 
 inline ExperimentConfig
 configFromArgs(int argc, char **argv, double default_steady_s = 300.0)

@@ -25,7 +25,7 @@ BUILD="${1:-build-perf}"
 echo "== perf-smoke: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target micro_eventqueue micro_memwalk \
-    fig08_l1d abl_l2size abl_cluster_scaling abl_recovery
+    fig08_l1d abl_l2size abl_cluster_scaling abl_recovery abl_replication
 
 echo "== perf-smoke: event-kernel microbenchmark =="
 "$BUILD/bench/micro_eventqueue"
@@ -74,6 +74,19 @@ if ! cmp -s "$tmp/nofaults.txt" "$tmp/emptyfaults.txt"; then
 fi
 echo "fault gating: empty --faults output is bit-identical to no --faults"
 
+echo "== perf-smoke: cluster with replication disabled vs absent =="
+# The replicated tier's gating contract: with jasim::repl compiled in,
+# an explicit `--shards 1 --replicas 0` takes the legacy single-box
+# path and must be BIT-IDENTICAL to a run with no replication flags
+# at all (and therefore to the pinned pre-replication golden below).
+"$BUILD/bench/abl_cluster_scaling" "${cl_args[@]}" --shards 1 --replicas 0 >"$tmp/replofF.txt"
+if ! cmp -s "$tmp/nofaults.txt" "$tmp/replofF.txt"; then
+    echo "FAIL: --shards 1 --replicas 0 output differs from no replication flags (legacy identity broken):" >&2
+    diff "$tmp/nofaults.txt" "$tmp/replofF.txt" >&2 || true
+    exit 1
+fi
+echo "repl gating: --shards 1 --replicas 0 output is bit-identical to no replication flags"
+
 echo "== perf-smoke: healthy-run goldens (recovery compiled in) =="
 # Pinned pre-recovery-PR digests: arming crash recovery must cost a
 # healthy run NOTHING — not one byte of output may move. Regenerate
@@ -113,6 +126,32 @@ if ! grep -q "monotone in interval: yes" "$tmp/rec_a.txt"; then
     exit 1
 fi
 echo "recovery: byte-identical across job counts, audits pass, monotone in interval"
+
+echo "== perf-smoke: abl_replication determinism + failover audit gate =="
+# Scaled-down sweep (the full default takes minutes on one core): the
+# bench itself exits 1 unless sync-mode points lose ZERO acked
+# commits across the scripted primary crash + failover, every
+# replicated point reports a nonzero bounded blackout, no point
+# resurrects or duplicates an effect, and its in-band same-seed
+# re-run point is bit-identical. On top of that, stdout must be
+# byte-identical across worker counts.
+repl_args=(steady=4 ramp=2 ir=60 nodes=2 seed=11)
+"$BUILD/bench/abl_replication" "${repl_args[@]}" --jobs 2 >"$tmp/repl_a.txt"
+"$BUILD/bench/abl_replication" "${repl_args[@]}" --jobs 1 >"$tmp/repl_b.txt"
+if ! cmp -s "$tmp/repl_a.txt" "$tmp/repl_b.txt"; then
+    echo "FAIL: abl_replication output differs across job counts (replication determinism broken):" >&2
+    diff "$tmp/repl_a.txt" "$tmp/repl_b.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "sync zero-loss: yes" "$tmp/repl_a.txt"; then
+    echo "FAIL: abl_replication lost a sync-acked commit across failover" >&2
+    exit 1
+fi
+if ! grep -q "blackouts nonzero+bounded: yes" "$tmp/repl_a.txt"; then
+    echo "FAIL: abl_replication failover blackout missing or unbounded" >&2
+    exit 1
+fi
+echo "replication: byte-identical across job counts, sync acks survive failover, blackouts bounded"
 
 python3 - out/BENCH_abl_l2size_serial.json out/BENCH_abl_l2size.json <<'EOF'
 import json, sys

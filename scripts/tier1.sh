@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: standard build + full test suite, then an
 # ASan+UBSan-instrumented build (-DJASIM_SANITIZE=ON) running the
-# net, fault, db, and core test binaries, which exercise the
+# net, fault, db, repl, and core test binaries, which exercise the
 # event-queue closure graph, the cluster's cross-object callback
-# wiring, and the WAL-replay/recovery paths — the code most likely
-# to hide lifetime bugs.
+# wiring, the WAL-replay/recovery paths, and the log-shipping /
+# failover machinery — the code most likely to hide lifetime bugs.
 #
 # `--san` widens the sanitized stage to the FULL suite (JASIM_SANITIZE=ON
 # + ctest): slower, but every test runs instrumented. Use it when
@@ -37,10 +37,11 @@ if [[ "$SAN_FULL" == 1 ]]; then
 else
     echo "== tier-1: sanitized build (ASan + UBSan) =="
     cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
-    cmake --build "$SAN_BUILD" -j --target test_net test_fault test_db test_core
+    cmake --build "$SAN_BUILD" -j --target test_net test_fault test_db test_repl test_core
     "$SAN_BUILD/tests/test_net"
     "$SAN_BUILD/tests/test_fault"
     "$SAN_BUILD/tests/test_db"
+    "$SAN_BUILD/tests/test_repl"
     "$SAN_BUILD/tests/test_core"
 fi
 

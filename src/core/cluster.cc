@@ -16,17 +16,48 @@ ClusterUnderTest::ClusterUnderTest(
       fabric_(config.fabric, config.nodes, seed ^ 0x4e7ull),
       lb_(config.lb, config.nodes), db_scheduler_(config.db_cpus),
       db_disk_(config.db_disk), seed_(seed),
-      retry_(config.resilience.retry), retry_rng_(seed ^ 0x7e7a1ull)
+      retry_(config.resilience.retry), retry_rng_(seed ^ 0x7e7a1ull),
+      route_rng_(seed ^ 0x5a4dull)
 {
     assert(profiles_ && registry_ && config_.nodes > 0);
 
-    // The shared DB node is populated for the aggregate IR, as the
-    // real benchmark scales its initial database with load.
-    db_app_ = std::make_unique<Jas2004Application>(
-        config_.node.db, config_.totalInjectionRate(), seed ^ 0xdb0ull);
+    repl_on_ = config_.repl.enabled();
+    if (repl_on_) {
+        // Sharded/replicated tier: the key space splits across shard
+        // groups, each populated for its share of the aggregate IR.
+        // The legacy single shared box (db_app_) is never built.
+        shard_map_ =
+            std::make_unique<repl::ShardMap>(config_.repl.shards);
+        failover_ = std::make_unique<repl::FailoverController>(
+            queue_, config_.repl.failover);
+        shard_outages_.resize(shard_map_->shardCount());
+        Rng shard_seeder(seed ^ 0xdb0ull);
+        for (std::size_t s = 0; s < shard_map_->shardCount(); ++s) {
+            repl::ShardGroupConfig sc;
+            sc.db = config_.node.db;
+            sc.injection_rate = config_.totalInjectionRate() /
+                static_cast<double>(shard_map_->shardCount());
+            sc.cpus = config_.db_cpus;
+            sc.disk = config_.db_disk;
+            sc.replicas = config_.repl.replicas;
+            sc.replica = config_.repl.replica;
+            sc.sync = config_.repl.sync;
+            shards_.push_back(std::make_unique<repl::ShardGroup>(
+                queue_, sc, shard_seeder()));
+        }
+    } else {
+        // The shared DB node is populated for the aggregate IR, as the
+        // real benchmark scales its initial database with load.
+        db_app_ = std::make_unique<Jas2004Application>(
+            config_.node.db, config_.totalInjectionRate(),
+            seed ^ 0xdb0ull);
+    }
 
-    db_recovery_on_ = config_.faults.hasDbFault() ||
-        config_.db_recovery.force_enabled;
+    // In repl mode the per-shard machinery (group auditors, failover,
+    // per-shard ARIES fallback) replaces the legacy single-box one.
+    db_recovery_on_ = !repl_on_ &&
+        (config_.faults.hasDbFault() ||
+         config_.db_recovery.force_enabled);
     // A DB fault needs the resilient EJB->DB path (fail-fast checks,
     // per-attempt deadlines) to survive the outage.
     resilience_on_ = !config_.faults.empty() ||
@@ -37,7 +68,10 @@ ClusterUnderTest::ClusterUnderTest(
         db_app_->database().enableRecovery();
     }
     ConnectionPoolConfig pool_config = config_.db_pool;
-    if (resilience_on_) {
+    if (resilience_on_ || repl_on_) {
+        // The sharded path always runs with attempt deadlines and a
+        // bounded pool wait: a failover blackout must shed load, not
+        // wedge connections.
         double timeout_s = config_.resilience.db_timeout_s;
         if (timeout_s <= 0.0)
             timeout_s = 2.0;
@@ -47,6 +81,8 @@ ClusterUnderTest::ClusterUnderTest(
             pool_config.acquire_timeout_us =
                 config_.resilience.pool_acquire_timeout_s * 1e6;
         }
+    }
+    if (resilience_on_) {
         health_ = std::make_unique<HealthChecker>(
             config_.resilience.health, config_.nodes);
         breaker_ = std::make_unique<CircuitBreaker>(
@@ -114,6 +150,13 @@ ClusterUnderTest::start(SimTime end)
         queue_.scheduleAfter(
             secs(config_.db_recovery.checkpoint_interval_s),
             [this] { checkpointTick(); });
+    }
+    if (repl_on_ && config_.db_recovery.checkpoint_interval_s > 0.0) {
+        // Shards always checkpoint: retention-mode WALs need the
+        // truncation pressure, and the floor keeps standbys safe.
+        queue_.scheduleAfter(
+            secs(config_.db_recovery.checkpoint_interval_s),
+            [this] { replCheckpointTick(); });
     }
 }
 
@@ -217,6 +260,10 @@ ClusterUnderTest::remoteDb(std::size_t node, RequestType type,
                            double noise,
                            SystemUnderTest::DbDone done)
 {
+    if (repl_on_) {
+        startShardCall(node, type, noise, std::move(done));
+        return;
+    }
     if (resilience_on_) {
         auto call = std::make_shared<DbCall>();
         call->node = node;
@@ -501,12 +548,22 @@ ClusterUnderTest::applyFault(const FaultEvent &event)
         return;
       }
       case FaultKind::DbSlow: {
-        db_disk_.setServiceMultiplier(event.disk_mult);
+        if (repl_on_) {
+            for (auto &group : shards_)
+                group->disk().setServiceMultiplier(event.disk_mult);
+        } else {
+            db_disk_.setServiceMultiplier(event.disk_mult);
+        }
         tracker_.noteDegraded(
             now, event.duration > 0 ? now + event.duration : 0);
         if (event.duration > 0) {
             queue_.scheduleAfter(event.duration, [this] {
-                db_disk_.setServiceMultiplier(1.0);
+                if (repl_on_) {
+                    for (auto &group : shards_)
+                        group->disk().setServiceMultiplier(1.0);
+                } else {
+                    db_disk_.setServiceMultiplier(1.0);
+                }
             });
         }
         return;
@@ -517,6 +574,10 @@ ClusterUnderTest::applyFault(const FaultEvent &event)
       }
       case FaultKind::DbCrash:
       case FaultKind::DbTornWrite: {
+        if (repl_on_) {
+            applyShardFault(event);
+            return;
+        }
         crashDbTier(event);
         return;
       }
@@ -639,6 +700,420 @@ ClusterUnderTest::finishDbRecovery()
             auditor_.audit(db_app_->database(), db_app_->auditTable());
         audited_ = true;
     }
+}
+
+// ---- sharded / replicated DB tier (jasim::repl) ---------------------
+//
+// Only reached when repl_on_: every EJB->DB call draws a routing key,
+// lands on the owning shard group, and runs with the resilient-path
+// discipline (bounded pool wait, per-attempt deadline, deterministic
+// retry backoff). A blacked-out shard fails fast with FailoverWait;
+// in-flight completions are dropped by the generation guard, exactly
+// like the legacy path's epoch guard.
+
+void
+ClusterUnderTest::startShardCall(std::size_t node, RequestType type,
+                                 double noise,
+                                 SystemUnderTest::DbDone done)
+{
+    auto call = std::make_shared<DbCall>();
+    call->node = node;
+    call->type = type;
+    call->noise = noise;
+    call->shard = shard_map_->shardOf(route_rng_());
+    call->done = std::move(done);
+    startShardAttempt(call);
+}
+
+void
+ClusterUnderTest::startShardAttempt(
+    const std::shared_ptr<DbCall> &call)
+{
+    if (shards_[call->shard]->down()) {
+        // Fail fast: the shard is blacked out (failing over, or down
+        // replaying its WAL on the unreplicated fallback).
+        settleShardFailure(call, ErrorKind::FailoverWait);
+        return;
+    }
+    pools_[call->node]->acquire(
+        [this, call](SimTime ready) { runShardAttempt(call, ready); },
+        [this, call](SimTime) {
+            settleShardFailure(call, ErrorKind::PoolTimeout);
+        });
+}
+
+void
+ClusterUnderTest::runShardAttempt(const std::shared_ptr<DbCall> &call,
+                                  SimTime ready)
+{
+    auto settled = std::make_shared<bool>(false);
+
+    // Per-attempt deadline from connection grant; it also reclaims
+    // connections orphaned by a mid-flight blackout or a lost packet.
+    queue_.scheduleAt(ready + db_timeout_us_, [this, call, settled] {
+        if (*settled)
+            return;
+        *settled = true;
+        pools_[call->node]->release();
+        settleShardFailure(call, ErrorKind::DbTimeout);
+    });
+
+    NetworkLink &link = fabric_.nodeDb(call->node);
+    const bool lost = link.drawDrop();
+    const SimTime at_db = link.deliver(
+        ready, static_cast<std::uint64_t>(config_.query_bytes));
+    if (lost)
+        return; // query vanished on the wire; the deadline cleans up
+    queue_.scheduleAt(at_db, [this, call, settled] {
+        if (*settled)
+            return;
+        repl::ShardGroup &group = *shards_[call->shard];
+        if (group.down()) {
+            // The primary died while the query was on the wire.
+            *settled = true;
+            pools_[call->node]->release();
+            settleShardFailure(call, ErrorKind::FailoverWait);
+            return;
+        }
+        call->generation = group.generation();
+        auto outcome = std::make_shared<TxnDbOutcome>(
+            group.application().runTransaction(call->type));
+        if (outcome->audit_token != 0)
+            group.auditor().noteCommitted(outcome->audit_token,
+                                          outcome->commit_lsn);
+        const TxnProfile &profile =
+            nodes_[call->node]->application().profile(call->type);
+        const double burst =
+            profile.db_us * call->noise + outcome->cost.cpu_us;
+        shardBurst(call->shard, burst, [this, call, settled, outcome] {
+            finishShardAttempt(call, settled, outcome);
+        });
+    });
+}
+
+void
+ClusterUnderTest::shardBurst(std::size_t shard, double burst_us,
+                             std::function<void()> then)
+{
+    const double quantum = config_.db_quantum_us;
+    const SimTime now = queue_.now();
+    CpuScheduler &sched = shards_[shard]->scheduler();
+    if (burst_us <= quantum) {
+        queue_.scheduleAt(
+            sched.run(now, burst_us, Component::Db2).completion,
+            std::move(then));
+        return;
+    }
+    const SimTime slice_end =
+        sched.run(now, quantum, Component::Db2).completion;
+    const double remaining = burst_us - quantum;
+    queue_.scheduleAt(
+        slice_end,
+        [this, shard, remaining, then = std::move(then)]() mutable {
+            shardBurst(shard, remaining, std::move(then));
+        });
+}
+
+void
+ClusterUnderTest::finishShardAttempt(
+    const std::shared_ptr<DbCall> &call,
+    const std::shared_ptr<bool> &settled,
+    const std::shared_ptr<TxnDbOutcome> &outcome)
+{
+    repl::ShardGroup &group = *shards_[call->shard];
+    if (call->generation != group.generation())
+        return; // shard blacked out under this txn; never ack it --
+                // the per-attempt deadline reclaims the slot
+
+    // Charge the shard's own disk: reads, async page cleaning, and
+    // the commit's log force.
+    const SimTime now = queue_.now();
+    SimTime io_done = now;
+    if (outcome->cost.pages_read > 0) {
+        const IoResult io = group.disk().read(
+            now, static_cast<std::uint32_t>(outcome->cost.pages_read));
+        db_disk_blocked_us_ += io.completion - now;
+        io_done = io.completion;
+    }
+    if (outcome->cost.writebacks > 0)
+        group.disk().write(now, outcome->cost.writebacks * 4096);
+    if (outcome->cost.log_bytes_forced > 0) {
+        const IoResult io =
+            group.disk().write(io_done, outcome->cost.log_bytes_forced);
+        db_disk_blocked_us_ += io.completion - io_done;
+        io_done = io.completion;
+    }
+
+    if (outcome->wal_issued_lsn > 0) {
+        // The force is durable when its write lands; that same moment
+        // the window ships to every replica stream.
+        const std::uint64_t issued = outcome->wal_issued_lsn;
+        const std::uint64_t bytes = outcome->cost.log_bytes_forced;
+        const std::uint64_t gen = call->generation;
+        const std::size_t shard = call->shard;
+        queue_.scheduleAt(io_done, [this, shard, issued, bytes, gen] {
+            repl::ShardGroup &g = *shards_[shard];
+            if (gen != g.generation() || g.down())
+                return;
+            g.database().confirmWalDurable(issued);
+            g.shipForced(issued, bytes);
+        });
+    }
+
+    if (group.syncMode() && group.replicaCount() > 0 &&
+        outcome->wal_issued_lsn > 0) {
+        // Sync replication: the response leaves only once a replica
+        // holds the commit durably. Registered after the ship event
+        // above (FIFO at io_done), so the waiter sees the pre-ship
+        // watermark and fires on the replica's force completion.
+        queue_.scheduleAt(io_done, [this, call, settled, outcome] {
+            repl::ShardGroup &g = *shards_[call->shard];
+            if (*settled || call->generation != g.generation())
+                return;
+            g.whenAckDurable(outcome->wal_issued_lsn,
+                             [this, call, settled, outcome] {
+                                 sendShardResponse(call, settled,
+                                                   outcome);
+                             });
+        });
+        return;
+    }
+    queue_.scheduleAt(io_done, [this, call, settled, outcome] {
+        sendShardResponse(call, settled, outcome);
+    });
+}
+
+void
+ClusterUnderTest::sendShardResponse(
+    const std::shared_ptr<DbCall> &call,
+    const std::shared_ptr<bool> &settled,
+    const std::shared_ptr<TxnDbOutcome> &outcome)
+{
+    if (*settled)
+        return;
+    if (call->generation != shards_[call->shard]->generation())
+        return;
+    NetworkLink &link = fabric_.nodeDb(call->node);
+    const bool lost = link.drawDrop();
+    const SimTime at_node = link.deliver(
+        queue_.now(),
+        static_cast<std::uint64_t>(config_.db_response_bytes),
+        NetworkLink::Direction::Reverse);
+    if (lost)
+        return; // response vanished; the deadline cleans up
+    queue_.scheduleAt(at_node, [this, call, settled, outcome] {
+        if (*settled)
+            return;
+        repl::ShardGroup &group = *shards_[call->shard];
+        if (call->generation != group.generation())
+            return;
+        *settled = true;
+        pools_[call->node]->release();
+        if (outcome->audit_token != 0)
+            group.auditor().noteAcked(outcome->audit_token);
+        call->done(*outcome, ErrorKind::None);
+    });
+}
+
+void
+ClusterUnderTest::settleShardFailure(
+    const std::shared_ptr<DbCall> &call, ErrorKind kind)
+{
+    if (retry_.shouldRetry(call->attempt)) {
+        tracker_.recordRetry(kind);
+        const SimTime backoff =
+            retry_.backoffUs(call->attempt, retry_rng_);
+        ++call->attempt;
+        queue_.scheduleAfter(
+            backoff, [this, call] { startShardAttempt(call); });
+        return;
+    }
+    // FailoverWait stays visible through retries, like RecoveryWait
+    // on the legacy path: attribute the failure to the blackout.
+    call->done(TxnDbOutcome{},
+               call->attempt > 1 && kind != ErrorKind::FailoverWait
+                   ? ErrorKind::DbRetriesExhausted
+                   : kind);
+}
+
+// ---- repl-mode faults & checkpoints ---------------------------------
+
+void
+ClusterUnderTest::applyShardFault(const FaultEvent &event)
+{
+    const std::size_t shard =
+        event.shard == FaultEvent::kNoTarget ? 0 : event.shard;
+    if (shard >= shards_.size())
+        return; // targets a shard this cluster doesn't have
+    repl::ShardGroup &group = *shards_[shard];
+
+    if (event.replica != FaultEvent::kNoTarget) {
+        // Replica-scoped dbcrash: the standby's stream dies (its
+        // watermarks reset -- a restart resilvers from the next
+        // shipped window). The primary keeps serving.
+        if (event.replica >= group.replicaCount())
+            return;
+        group.replica(event.replica).crash();
+        if (event.restart_after > 0) {
+            const std::size_t replica = event.replica;
+            queue_.scheduleAfter(
+                event.restart_after, [this, shard, replica] {
+                    shards_[shard]->replica(replica).restart();
+                });
+        }
+        return;
+    }
+
+    // Primary fault. With a live replica the shard fails over -- for
+    // a torn write too: the tear hits the primary's WAL device, and
+    // everything above the promotion watermark is discarded anyway.
+    if (failover_->primaryCrashed(
+            shard, group, [this, shard](const repl::FailoverOutcome &o) {
+                tracker_.noteFailoverBlackout(
+                    static_cast<std::uint32_t>(shard), o.crash_at,
+                    o.promoted_at);
+            }))
+        return;
+    // No replica to promote: blocking crash + ARIES recovery, scoped
+    // to this shard. The other shards keep serving.
+    crashShardTier(shard, event.kind == FaultKind::DbTornWrite,
+                   event.restart_after);
+}
+
+void
+ClusterUnderTest::crashShardTier(std::size_t shard, bool torn,
+                                 SimTime restart_after)
+{
+    repl::ShardGroup &group = *shards_[shard];
+    if (group.down())
+        return; // already down; a second crash is a no-op
+    ++db_crashes_;
+    group.beginBlackout();
+    shard_outages_[shard].crash_at = queue_.now();
+    group.database().crash(torn);
+
+    std::unordered_set<std::uint64_t> surviving;
+    for (const WalRecord &rec : group.database().wal().records()) {
+        if (rec.type == WalRecordType::Commit)
+            surviving.insert(rec.lsn);
+    }
+    group.auditor().noteCrash(surviving,
+                              group.database().wal().truncatedUpTo());
+
+    if (restart_after > 0) {
+        queue_.scheduleAfter(restart_after, [this, shard] {
+            beginShardRecovery(shard);
+        });
+    }
+}
+
+void
+ClusterUnderTest::beginShardRecovery(std::size_t shard)
+{
+    repl::ShardGroup &group = *shards_[shard];
+    ShardOutage &outage = shard_outages_[shard];
+    outage.last = group.database().recover();
+    last_recovery_ = outage.last;
+
+    // Same recovery cost model as the legacy path, on the shard's own
+    // disk and CPUs: scan the retained WAL, fetch touched stable
+    // pages, write the recovery checkpoint, replay on CPU.
+    const SimTime now = queue_.now();
+    outage.restart_at = now;
+    SimTime io_done = now;
+    if (outage.last.replay_bytes > 0) {
+        io_done = group.disk()
+                      .readSequential(now, outage.last.replay_bytes)
+                      .completion;
+    }
+    if (outage.last.pages_flushed > 0) {
+        io_done = group.disk()
+                      .read(io_done, static_cast<std::uint32_t>(
+                                         outage.last.pages_flushed))
+                      .completion;
+    }
+    const std::uint64_t ckpt_bytes =
+        outage.last.pages_flushed * 4096 + outage.last.checkpoint_bytes;
+    if (ckpt_bytes > 0)
+        io_done = group.disk().write(io_done, ckpt_bytes).completion;
+
+    const double replay_cpu = 1.0 +
+        static_cast<double>(outage.last.redo_records) * 1.2 +
+        static_cast<double>(outage.last.undo_records) * 2.0;
+    queue_.scheduleAt(io_done, [this, shard, replay_cpu] {
+        shardBurst(shard, replay_cpu,
+                   [this, shard] { finishShardRecovery(shard); });
+    });
+}
+
+void
+ClusterUnderTest::finishShardRecovery(std::size_t shard)
+{
+    repl::ShardGroup &group = *shards_[shard];
+    ShardOutage &outage = shard_outages_[shard];
+    const SimTime now = queue_.now();
+    db_replay_us_ += now - outage.restart_at;
+    tracker_.noteDegraded(outage.crash_at, now);
+    tracker_.noteDbRecovery(outage.crash_at, now);
+    // The recovery checkpoint's write is covered by the I/O just
+    // charged, so its force is durable by construction here. Standby
+    // streams (if any) resilver from the next shipped window.
+    group.database().confirmWalDurable(
+        group.database().wal().issuedLsn());
+    last_audit_ = group.auditNow();
+    audited_ = true;
+    group.endBlackout();
+}
+
+void
+ClusterUnderTest::replCheckpointTick()
+{
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        repl::ShardGroup &group = *shards_[s];
+        if (group.down())
+            continue;
+        const CheckpointStats stats = group.database().checkpoint();
+        ++checkpoints_;
+        checkpoint_pages_ += stats.pages_flushed;
+        const std::uint64_t bytes =
+            stats.pages_flushed * 4096 + stats.log_bytes_forced;
+        if (bytes == 0)
+            continue;
+        // The checkpoint's force becomes durable when its write lands
+        // and ships like any other forced window, so idle standbys
+        // still advance their watermarks.
+        const std::uint64_t issued = group.database().wal().issuedLsn();
+        const std::uint64_t forced = stats.log_bytes_forced;
+        const std::uint64_t gen = group.generation();
+        const IoResult io = group.disk().write(queue_.now(), bytes);
+        queue_.scheduleAt(io.completion, [this, s, issued, forced,
+                                          gen] {
+            repl::ShardGroup &g = *shards_[s];
+            if (gen != g.generation() || g.down())
+                return;
+            g.database().confirmWalDurable(issued);
+            g.shipForced(issued, forced);
+        });
+    }
+    queue_.scheduleAfter(
+        secs(config_.db_recovery.checkpoint_interval_s),
+        [this] { replCheckpointTick(); });
+}
+
+AuditReport
+ClusterUnderTest::clusterAuditNow() const
+{
+    AuditReport total;
+    for (const auto &group : shards_) {
+        const AuditReport r = group->auditNow();
+        total.surviving += r.surviving;
+        total.acked_total += r.acked_total;
+        total.lost_acked += r.lost_acked;
+        total.lost_durable += r.lost_durable;
+        total.resurrected += r.resurrected;
+        total.duplicates += r.duplicates;
+    }
+    return total;
 }
 
 // ---- health probes --------------------------------------------------

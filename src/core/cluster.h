@@ -28,6 +28,8 @@
 #include "net/connection_pool.h"
 #include "net/fabric.h"
 #include "net/load_balancer.h"
+#include "repl/replicated_db.h"
+#include "repl/shard_map.h"
 
 namespace jasim {
 
@@ -89,6 +91,13 @@ struct ClusterConfig
     /** DB-tier crash consistency (armed by dbcrash/tornwrite verbs). */
     DbRecoveryConfig db_recovery;
 
+    /**
+     * Sharded/replicated DB tier (jasim::repl). The default --
+     * shards=1, replicas=0 -- leaves the legacy single shared DB box
+     * byte-identical to a build without replication support.
+     */
+    repl::ReplConfig repl;
+
     /** Aggregate injection rate the driver runs at. */
     double totalInjectionRate() const
     {
@@ -139,10 +148,15 @@ class ClusterUnderTest
         return tracker_.jops(from, to);
     }
 
-    /** DB-node CPU utilization over [0, now). */
+    /** DB-node CPU utilization over [0, now); shard mean in repl mode. */
     double dbUtilization() const
     {
-        return db_scheduler_.utilization(queue_.now());
+        if (!repl_on_)
+            return db_scheduler_.utilization(queue_.now());
+        double sum = 0.0;
+        for (const auto &group : shards_)
+            sum += group->scheduler().utilization(queue_.now());
+        return sum / static_cast<double>(shards_.size());
     }
 
     /** Cumulative time transactions waited on DB-node disk I/O. */
@@ -188,9 +202,33 @@ class ClusterUnderTest
     /** Reconcile the audit table right now (e.g. at end of run). */
     AuditReport auditNow() const
     {
+        if (repl_on_)
+            return clusterAuditNow();
         return auditor_.audit(db_app_->database(),
                               db_app_->auditTable());
     }
+
+    // ---- sharded / replicated DB tier (jasim::repl) ----
+
+    /** True when config.repl asked for >1 shard or >=1 replica. */
+    bool replicationEnabled() const { return repl_on_; }
+
+    std::size_t shardCount() const { return shards_.size(); }
+    repl::ShardGroup &shard(std::size_t s) { return *shards_[s]; }
+    const repl::ShardGroup &shard(std::size_t s) const
+    {
+        return *shards_[s];
+    }
+    const repl::ShardMap &shardMap() const { return *shard_map_; }
+
+    /** Null outside repl mode. */
+    const repl::FailoverController *failoverController() const
+    {
+        return failover_.get();
+    }
+
+    /** Field-wise sum of every shard's audit (repl mode only). */
+    AuditReport clusterAuditNow() const;
 
   private:
     ClusterConfig config_;
@@ -234,6 +272,22 @@ class ClusterUnderTest
     AuditReport last_audit_;
     bool audited_ = false;
 
+    // ---- replicated DB tier state (only used when repl_on_) ----
+    bool repl_on_ = false;
+    std::unique_ptr<repl::ShardMap> shard_map_;
+    std::vector<std::unique_ptr<repl::ShardGroup>> shards_;
+    std::unique_ptr<repl::FailoverController> failover_;
+    Rng route_rng_; //!< shard-routing key draws (own forked stream)
+
+    /** Per-shard outage bookkeeping for the replicas==0 fallback. */
+    struct ShardOutage
+    {
+        SimTime crash_at = 0;
+        SimTime restart_at = 0;
+        RecoveryStats last;
+    };
+    std::vector<ShardOutage> shard_outages_;
+
     /** One EJB->DB call, across its (possibly retried) attempts. */
     struct DbCall
     {
@@ -242,6 +296,8 @@ class ClusterUnderTest
         double noise = 1.0;
         std::size_t attempt = 1;
         std::uint64_t epoch = 0; //!< DB epoch when the txn executed
+        std::size_t shard = 0;   //!< owning shard (repl mode)
+        std::uint64_t generation = 0; //!< shard generation at execute
         SystemUnderTest::DbDone done;
     };
 
@@ -283,6 +339,34 @@ class ClusterUnderTest
     void crashDbTier(const FaultEvent &event);
     void beginDbRecovery();
     void finishDbRecovery();
+
+    // sharded EJB->DB path (only reached when repl_on_)
+    void startShardCall(std::size_t node, RequestType type,
+                        double noise, SystemUnderTest::DbDone done);
+    void startShardAttempt(const std::shared_ptr<DbCall> &call);
+    void runShardAttempt(const std::shared_ptr<DbCall> &call,
+                         SimTime ready);
+    void finishShardAttempt(
+        const std::shared_ptr<DbCall> &call,
+        const std::shared_ptr<bool> &settled,
+        const std::shared_ptr<TxnDbOutcome> &outcome);
+    void sendShardResponse(
+        const std::shared_ptr<DbCall> &call,
+        const std::shared_ptr<bool> &settled,
+        const std::shared_ptr<TxnDbOutcome> &outcome);
+    void settleShardFailure(const std::shared_ptr<DbCall> &call,
+                            ErrorKind kind);
+    void shardBurst(std::size_t shard, double burst_us,
+                    std::function<void()> then);
+
+    // repl-mode fault handling: replica-scoped crash/restart, primary
+    // failover, and the unreplicated per-shard crash+recover fallback
+    void applyShardFault(const FaultEvent &event);
+    void crashShardTier(std::size_t shard, bool torn,
+                        SimTime restart_after);
+    void beginShardRecovery(std::size_t shard);
+    void finishShardRecovery(std::size_t shard);
+    void replCheckpointTick();
 
     std::uint64_t responseBytes(std::size_t node,
                                 RequestType type) const;

@@ -468,8 +468,24 @@ Database::checkpoint()
         if (st.first_lsn != 0 && st.first_lsn < redo_point)
             redo_point = st.first_lsn;
     }
+    std::uint64_t bound = redo_point - 1;
+    if (floor_on_) {
+        // Replication: never truncate what a replica still needs,
+        // and keep every record of a transaction spanning the floor
+        // (a failover at the floor must be able to undo it from its
+        // first record).
+        bound = std::min(bound, floor_);
+        std::unordered_map<TxnId, std::uint64_t> first_lsn;
+        for (const WalRecord &rec : wal_.records()) {
+            if (rec.txn == 0)
+                continue;
+            first_lsn.emplace(rec.txn, rec.lsn);
+            if (rec.lsn > floor_)
+                bound = std::min(bound, first_lsn[rec.txn] - 1);
+        }
+    }
     const std::size_t before = wal_.records().size();
-    wal_.truncate(redo_point - 1);
+    wal_.truncate(bound);
     s.truncated_records = before - wal_.records().size();
     return s;
 }
@@ -575,6 +591,136 @@ Database::recover()
     s.checkpoint_bytes = wal_.force();
     wal_.truncate(end_lsn);
     crashed_ = false;
+    return s;
+}
+
+FailoverStats
+Database::failoverTo(std::uint64_t watermark)
+{
+    assert(recovery_on_ && !crashed_);
+    FailoverStats s;
+    s.watermark = watermark;
+
+    const auto logical = [](const WalRecord &rec) {
+        return rec.type == WalRecordType::Insert ||
+            rec.type == WalRecordType::Update ||
+            rec.type == WalRecordType::Erase;
+    };
+
+    // Reverse history above the watermark, newest first: each record
+    // is undone from its own images, so afterwards every table holds
+    // exactly the state the promoted replica's log describes.
+    const std::vector<WalRecord> &recs = wal_.records();
+    std::unordered_set<PageKey, PageKeyHash> touched;
+    for (auto it = recs.rbegin();
+         it != recs.rend() && it->lsn > watermark; ++it) {
+        const WalRecord &rec = *it;
+        if (!logical(rec))
+            continue;
+        ++s.reversed_records;
+        Table &tbl = *tables_[rec.table].table;
+        touched.insert(PageKey{rec.table, rec.rid.page});
+        if (rec.undo) {
+            tbl.setRowAt(rec.rid, *rec.undo);
+            continue;
+        }
+        if (rec.type == WalRecordType::Insert) {
+            tbl.eraseAt(rec.rid);
+            continue;
+        }
+        // Redo-only erase (a compensation record): the row's state
+        // before it is whatever the most recent earlier record of the
+        // same row left behind; with no earlier record retained the
+        // row did not exist.
+        bool restored = false;
+        for (auto back = it + 1; back != recs.rend(); ++back) {
+            if (!logical(*back) || back->table != rec.table ||
+                !(back->rid == rec.rid))
+                continue;
+            if (back->type == WalRecordType::Erase)
+                tbl.eraseAt(rec.rid);
+            else if (back->redo)
+                tbl.setRowAt(rec.rid, *back->redo);
+            restored = true;
+            break;
+        }
+        if (!restored)
+            tbl.eraseAt(rec.rid);
+    }
+
+    // Transactions still open at the watermark are losers on the
+    // promoted timeline: undo their retained records in reverse.
+    std::unordered_set<TxnId> seen;
+    std::unordered_set<TxnId> winners;
+    for (const WalRecord &rec : recs) {
+        if (rec.lsn > watermark)
+            break;
+        if (rec.txn == 0)
+            continue;
+        seen.insert(rec.txn);
+        if (rec.type == WalRecordType::Commit ||
+            rec.type == WalRecordType::Abort)
+            winners.insert(rec.txn);
+    }
+    s.loser_txns = seen.size() - winners.size();
+    for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+        const WalRecord &rec = *it;
+        if (rec.lsn > watermark || !logical(rec) || rec.txn == 0 ||
+            winners.count(rec.txn) != 0)
+            continue;
+        ++s.undo_records;
+        Table &tbl = *tables_[rec.table].table;
+        if (rec.type == WalRecordType::Insert)
+            tbl.eraseAt(rec.rid);
+        else if (rec.undo)
+            tbl.setRowAt(rec.rid, *rec.undo);
+        touched.insert(PageKey{rec.table, rec.rid.page});
+    }
+
+    // The unshipped tail never happened on the promoted timeline.
+    s.discarded_records = wal_.discardAbove(watermark);
+    s.replay_bytes = wal_.retainedBytes();
+
+    rebuildIndexes();
+
+    // Promotion checkpoint: flush every page whose content or stable
+    // image differs from the at-W state -- pages the rewind touched,
+    // dirty pages (committed effects <= W not yet in their stable
+    // images), and stable images that ran ahead of W (a later crash
+    // would resurrect unshipped effects from them).
+    for (const auto &[key, rec_lsn] : pool_.dirtyPages()) {
+        (void)rec_lsn;
+        touched.insert(key);
+    }
+    for (const auto &[key, lsn] : stable_page_lsn_) {
+        if (lsn > watermark)
+            touched.insert(key);
+    }
+    for (const PageKey &key : touched) {
+        page_lsn_[key] = watermark;
+        flushPageToStable(key, nullptr);
+    }
+    s.pages_flushed = touched.size();
+    for (auto &[key, lsn] : page_lsn_) {
+        (void)key;
+        lsn = std::min(lsn, watermark);
+    }
+    for (auto &[key, lsn] : stable_page_lsn_) {
+        (void)key;
+        lsn = std::min(lsn, watermark);
+    }
+
+    // In-flight transactions and the buffer cache die with the old
+    // primary; the promoted replica starts cold.
+    active_.clear();
+    pool_.clear();
+
+    wal_.append(0, WalRecordType::BeginCheckpoint, 8);
+    const std::uint64_t end_lsn =
+        wal_.append(0, WalRecordType::EndCheckpoint, 8);
+    s.checkpoint_bytes = wal_.force();
+    wal_.truncate(end_lsn);
+    last_commit_lsn_ = std::min(last_commit_lsn_, watermark);
     return s;
 }
 

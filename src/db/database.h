@@ -75,6 +75,22 @@ struct CrashStats
     std::uint64_t dirty_pages_discarded = 0;
 };
 
+/**
+ * One failover promotion: the database rewound to a replica's durable
+ * watermark (failoverTo()).
+ */
+struct FailoverStats
+{
+    std::uint64_t watermark = 0;         //!< promoted durable LSN
+    std::uint64_t reversed_records = 0;  //!< mutations above W rolled back
+    std::uint64_t discarded_records = 0; //!< WAL tail records dropped
+    std::uint64_t loser_txns = 0;        //!< open txns at W undone
+    std::uint64_t undo_records = 0;      //!< loser mutations <= W undone
+    std::uint64_t pages_flushed = 0;     //!< promotion checkpoint flush
+    std::uint64_t replay_bytes = 0;      //!< retained WAL at W
+    std::uint64_t checkpoint_bytes = 0;  //!< promotion checkpoint force
+};
+
 /** One recovery pass (redo + undo + recovery checkpoint). */
 struct RecoveryStats
 {
@@ -186,6 +202,36 @@ class Database
     RecoveryStats recover();
     bool crashed() const { return crashed_; }
 
+    // ---- replication support (jasim::repl) ----
+
+    /**
+     * Replication floor: the lowest LSN any replica still needs
+     * (min replica durable watermark). Fuzzy checkpoints never
+     * truncate above it -- nor above the first record of any
+     * transaction that spans it, since a failover at the floor must
+     * still be able to undo that transaction. Maintained by the
+     * cluster as replica watermarks advance.
+     */
+    void setTruncationFloor(std::uint64_t lsn)
+    {
+        floor_on_ = true;
+        floor_ = lsn;
+    }
+    void clearTruncationFloor() { floor_on_ = false; }
+
+    /**
+     * Failover: rewind this (live, not crashed) database to the
+     * promoted replica's durable watermark W. Every mutation above W
+     * is reversed from its log record, transactions still open at W
+     * are undone, the unshipped WAL tail is discarded, and a
+     * promotion checkpoint is cut so the promoted history starts from
+     * a clean stable image. Afterwards the database serves the shard
+     * exactly as the promoted replica would: acked-at-W state only.
+     * The caller charges replay_bytes / pages_flushed /
+     * checkpoint_bytes to the disk model.
+     */
+    FailoverStats failoverTo(std::uint64_t watermark);
+
   private:
     struct TableState
     {
@@ -218,6 +264,8 @@ class Database
     bool recovery_on_ = false;
     bool crashed_ = false;
     std::uint64_t last_commit_lsn_ = 0;
+    bool floor_on_ = false;
+    std::uint64_t floor_ = 0;
     /** pageLSN of buffered pages / their stable images. */
     std::unordered_map<PageKey, std::uint64_t, PageKeyHash> page_lsn_;
     std::unordered_map<PageKey, std::uint64_t, PageKeyHash>

@@ -136,6 +136,29 @@ Wal::crashDiscard(bool torn)
     return loss;
 }
 
+std::uint64_t
+Wal::discardAbove(std::uint64_t watermark)
+{
+    assert(retention_);
+    const auto first_dropped = std::partition_point(
+        records_.begin(), records_.end(),
+        [watermark](const WalRecord &r) { return r.lsn <= watermark; });
+    const auto dropped =
+        static_cast<std::uint64_t>(records_.end() - first_dropped);
+    for (auto it = first_dropped; it != records_.end(); ++it)
+        retained_bytes_ -= it->bytes;
+    records_.erase(first_dropped, records_.end());
+
+    // The surviving prefix is exactly what the promoted replica holds
+    // durably; nothing above it was ever issued on this timeline.
+    issued_lsn_ = std::min(issued_lsn_, watermark);
+    durable_lsn_ = issued_lsn_;
+    protected_lsn_ = std::min(protected_lsn_, issued_lsn_);
+    pending_bytes_ = 0;
+    forced_bytes_ = appended_bytes_;
+    return dropped;
+}
+
 void
 Wal::truncate(std::uint64_t up_to_lsn)
 {

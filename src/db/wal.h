@@ -151,6 +151,17 @@ class Wal
      */
     void truncate(std::uint64_t up_to_lsn);
 
+    /**
+     * Failover truncation (retention mode): drop every record above
+     * `watermark` -- the tail a promoted replica never received --
+     * and settle all watermarks at the surviving prefix. LSN
+     * assignment is NOT rewound; the promoted history simply has a
+     * gap, which ARIES tolerates (LSNs only ever need to be
+     * monotone).
+     * @return number of records discarded.
+     */
+    std::uint64_t discardAbove(std::uint64_t watermark);
+
   private:
     std::uint64_t appendRecord(WalRecord record,
                                std::uint32_t payload_bytes);

@@ -26,6 +26,7 @@ errorKindName(ErrorKind kind)
       case ErrorKind::PoolTimeout: return "pool-timeout";
       case ErrorKind::DbRetriesExhausted: return "db-retries-exhausted";
       case ErrorKind::RecoveryWait: return "recovery-wait";
+      case ErrorKind::FailoverWait: return "failover-wait";
     }
     return "?";
 }

@@ -68,9 +68,10 @@ enum class ErrorKind : std::uint8_t
     PoolTimeout,         //!< connection-pool acquire timed out
     DbRetriesExhausted,  //!< every DB attempt failed
     RecoveryWait,        //!< DB tier is replaying its WAL after a crash
+    FailoverWait,        //!< shard blacked out while a replica promotes
 };
 
-inline constexpr std::size_t errorKindCount = 8;
+inline constexpr std::size_t errorKindCount = 9;
 
 /** Printable error-kind name. */
 const char *errorKindName(ErrorKind kind);

@@ -252,12 +252,75 @@ ResponseTracker::dbRecoveryUs() const
     return total;
 }
 
+void
+ResponseTracker::noteFailoverBlackout(std::uint32_t shard, SimTime from,
+                                      SimTime to)
+{
+    assert(to == 0 || to >= from);
+    failover_blackouts_[shard].push_back(Interval{from, to});
+}
+
+std::size_t
+ResponseTracker::failoverCount() const
+{
+    std::size_t count = 0;
+    for (const auto &[shard, intervals] : failover_blackouts_) {
+        (void)shard;
+        count += intervals.size();
+    }
+    return count;
+}
+
+SimTime
+ResponseTracker::failoverBlackoutUs() const
+{
+    SimTime total = 0;
+    for (const auto &[shard, intervals] : failover_blackouts_) {
+        (void)shard;
+        for (const Interval &interval : intervals)
+            total += interval.to == 0 ? 0 : interval.to - interval.from;
+    }
+    return total;
+}
+
+SimTime
+ResponseTracker::failoverBlackoutUs(std::uint32_t shard) const
+{
+    const auto it = failover_blackouts_.find(shard);
+    if (it == failover_blackouts_.end())
+        return 0;
+    SimTime total = 0;
+    for (const Interval &interval : it->second)
+        total += interval.to == 0 ? 0 : interval.to - interval.from;
+    return total;
+}
+
+double
+ResponseTracker::shardAvailability(std::uint32_t shard,
+                                   SimTime horizon) const
+{
+    if (horizon == 0)
+        return 1.0;
+    const auto it = failover_blackouts_.find(shard);
+    if (it == failover_blackouts_.end())
+        return 1.0;
+    SimTime down = 0;
+    for (const Interval &interval : it->second)
+        down += clippedOverlap(interval, horizon);
+    return 1.0 -
+        static_cast<double>(down) / static_cast<double>(horizon);
+}
+
 DegradedSummary
 ResponseTracker::degradedSummary(SimTime horizon) const
 {
     std::vector<Interval> all = degraded_;
     for (const auto &[node, intervals] : down_intervals_) {
         (void)node;
+        all.insert(all.end(), intervals.begin(), intervals.end());
+    }
+    for (const auto &[shard, intervals] : failover_blackouts_) {
+        (void)shard;
         all.insert(all.end(), intervals.begin(), intervals.end());
     }
     std::vector<std::pair<SimTime, SimTime>> windows;

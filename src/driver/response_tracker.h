@@ -157,10 +157,33 @@ class ResponseTracker
     SimTime dbRecoveryUs() const;
 
     /**
-     * Merged union of degraded windows and node-down intervals over
-     * [0, horizon).
+     * Merged union of degraded windows, node-down intervals, and
+     * failover blackouts over [0, horizon).
      */
     DegradedSummary degradedSummary(SimTime horizon) const;
+
+    // ---- failover accounting (replicated DB tier) ----
+
+    /**
+     * Record one shard blackout: a primary crashed at `from` and a
+     * promoted replica reopened the shard at `to` (0 = still down).
+     * Blackouts join the degraded-window union like any other outage.
+     */
+    void noteFailoverBlackout(std::uint32_t shard, SimTime from,
+                              SimTime to);
+
+    /** Blackout windows recorded (across all shards). */
+    std::size_t failoverCount() const;
+
+    /** Total blackout time, all shards / one shard (to == horizon cap). */
+    SimTime failoverBlackoutUs() const;
+    SimTime failoverBlackoutUs(std::uint32_t shard) const;
+
+    /**
+     * Fraction of [0, horizon) the shard was serving (1.0 for shards
+     * never blacked out).
+     */
+    double shardAvailability(std::uint32_t shard, SimTime horizon) const;
 
   private:
     double bucket_seconds_;
@@ -191,6 +214,7 @@ class ResponseTracker
     std::map<std::uint32_t, std::vector<Interval>> down_intervals_;
     std::vector<Interval> degraded_;
     std::vector<Interval> recoveries_;
+    std::map<std::uint32_t, std::vector<Interval>> failover_blackouts_;
 
     static std::size_t idx(RequestType t)
     {

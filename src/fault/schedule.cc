@@ -51,6 +51,10 @@ FaultEvent::describe() const
         break;
       case FaultKind::DbCrash:
       case FaultKind::DbTornWrite:
+        if (shard != kNoTarget)
+            os << " shard=" << shard;
+        if (replica != kNoTarget)
+            os << " replica=" << replica;
         if (restart_after > 0)
             os << " restart=" << toSeconds(restart_after) << "s";
         break;
@@ -180,6 +184,15 @@ parseEvent(const std::string &raw)
             event.drop_probability = parseNonNegative(value, token);
             if (event.drop_probability > 1.0)
                 fail("drop probability must be <= 1", token);
+        } else if (key == "shard" &&
+                   (event.kind == FaultKind::DbCrash ||
+                    event.kind == FaultKind::DbTornWrite)) {
+            event.shard = static_cast<std::size_t>(
+                parseNonNegative(value, token));
+        } else if (key == "replica" &&
+                   event.kind == FaultKind::DbCrash) {
+            event.replica = static_cast<std::size_t>(
+                parseNonNegative(value, token));
         } else if (key == "mult" && event.kind == FaultKind::DbSlow) {
             event.disk_mult = parseNonNegative(value, token);
             if (event.disk_mult < 1.0)

@@ -30,10 +30,20 @@
  *   tornwrite@80:restart=2           same, but the in-flight WAL force
  *                                    is torn mid-record: half the
  *                                    unconfirmed window is lost
+ *   dbcrash@60:shard=1               replicated tier: crash shard 1's
+ *                                    primary (failover promotes a
+ *                                    replica; shard= defaults to 0)
+ *   dbcrash@60:shard=1,replica=0,restart=5
+ *                                    crash a standby instead: shard
+ *                                    1's replica 0 drops its stream,
+ *                                    restarts and resilvers 5 s later
  *
- * Times and durations are seconds (fractions allowed). Unknown kinds,
- * malformed numbers, and unknown keys throw std::invalid_argument
- * with a message naming the offending token.
+ * `shard=` is accepted for dbcrash/tornwrite only, and `replica=` for
+ * dbcrash only (a torn write is a primary WAL-device event); both are
+ * rejected for every other kind, like `node=`. Times and durations
+ * are seconds (fractions allowed). Unknown kinds, malformed numbers,
+ * and unknown keys throw std::invalid_argument with a message naming
+ * the offending token.
  */
 
 #ifndef JASIM_FAULT_SCHEDULE_H
@@ -67,6 +77,10 @@ struct FaultEvent
     static constexpr std::size_t kAllNodes =
         static_cast<std::size_t>(-1);
 
+    /** "Not specified" for the shard/replica scoping keys. */
+    static constexpr std::size_t kNoTarget =
+        static_cast<std::size_t>(-1);
+
     FaultKind kind = FaultKind::NodeCrash;
     SimTime at = 0;                 //!< absolute injection time
     std::size_t node = kAllNodes;   //!< target node
@@ -75,6 +89,10 @@ struct FaultEvent
     double latency_mult = 1.0;      //!< degrade: propagation multiplier
     double drop_probability = 0.0;  //!< degrade: per-message loss
     double disk_mult = 1.0;         //!< dbslow: service multiplier
+    /** dbcrash/tornwrite: target shard (unset = shard 0). */
+    std::size_t shard = kNoTarget;
+    /** dbcrash: crash this replica instead of the primary. */
+    std::size_t replica = kNoTarget;
 
     /** One-line human-readable form (used by summaries and tests). */
     std::string describe() const;

@@ -1,0 +1,82 @@
+#include "repl/failover.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "repl/replicated_db.h"
+#include "sim/types.h"
+#include "synth/component_profiles.h"
+
+namespace jasim::repl {
+
+bool
+FailoverController::primaryCrashed(std::size_t shard, ShardGroup &group,
+                                   Done done)
+{
+    if (group.down() || !group.anyLiveReplica())
+        return false;
+
+    FailoverOutcome out;
+    out.shard = shard;
+    out.crash_at = queue_.now();
+    out.watermark = group.maxLiveReplicaDurable();
+    const std::size_t promoted = group.mostCaughtUpReplica();
+    out.catchup_bytes = group.replica(promoted).unappliedBytes();
+
+    group.beginBlackout();
+
+    // Settle the audit at the watermark before anything is rewound:
+    // commits the promoted replica holds durably survive, everything
+    // above W is wiped with the old primary. Sync mode acked only at
+    // or below W, so a lost *acked* commit here is a real bug.
+    std::unordered_set<std::uint64_t> surviving;
+    for (const WalRecord &rec : group.database().wal().records()) {
+        if (rec.type == WalRecordType::Commit && rec.lsn <= out.watermark)
+            surviving.insert(rec.lsn);
+    }
+    group.auditor().noteCrash(surviving,
+                              group.database().wal().truncatedUpTo());
+
+    queue_.scheduleAfter(
+        secs(config_.detect_s), [this, &group, out, done]() mutable {
+            // Promotion: rewind the shard to W, then charge the
+            // promoted replica's catch-up -- replay its unapplied log
+            // gap, flush the promotion checkpoint, burn the redo CPU.
+            out.stats = group.database().failoverTo(out.watermark);
+            SimTime ready = queue_.now();
+            if (out.catchup_bytes > 0)
+                ready = std::max(
+                    ready, group.disk()
+                               .readSequential(ready, out.catchup_bytes)
+                               .completion);
+            const std::uint64_t flush_bytes =
+                out.stats.pages_flushed * 4096 +
+                out.stats.checkpoint_bytes;
+            if (flush_bytes > 0)
+                ready = std::max(
+                    ready,
+                    group.disk().write(ready, flush_bytes).completion);
+            const double cpu =
+                config_.promote_cpu_floor_us +
+                config_.promote_cpu_us_per_kb *
+                    (out.catchup_bytes / 1024.0);
+            ready = std::max(ready, group.scheduler()
+                                        .run(ready, cpu, Component::Db2)
+                                        .completion);
+            queue_.scheduleAt(ready,
+                              [this, &group, out, done]() mutable {
+                group.resyncReplicas(out.watermark);
+                group.database().confirmWalDurable(
+                    group.database().wal().issuedLsn());
+                group.endBlackout();
+                out.promoted_at = queue_.now();
+                ++failovers_;
+                history_.push_back(out);
+                if (done)
+                    done(out);
+            });
+        });
+    return true;
+}
+
+} // namespace jasim::repl

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Failover: promote the most-caught-up replica of a crashed primary.
+ *
+ * When a `dbcrash` fault hits a replicated shard primary, the
+ * controller freezes the shard (blackout), settles the durability
+ * audit at the promotion watermark W = the highest replica durable
+ * LSN (sync-mode acks waited for exactly this watermark, so acked
+ * commits survive by construction; async acks above W are the
+ * reported lost-ack count), then rewinds the shard database to W
+ * (Database::failoverTo), charges the promotion work -- replaying the
+ * replica's durable-but-unapplied log gap, flushing the promotion
+ * checkpoint, and the promotion CPU -- to the shard's disk and CPU
+ * models, and reopens the shard. The blackout window [crash,
+ * promoted) is what ResponseTracker bills against availability.
+ */
+
+#ifndef JASIM_REPL_FAILOVER_H
+#define JASIM_REPL_FAILOVER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/event_queue.h"
+
+namespace jasim::repl {
+
+class ShardGroup;
+
+/** Failover timing/cost knobs. */
+struct FailoverConfig
+{
+    /** Failure-detection delay before promotion starts (s). */
+    double detect_s = 0.3;
+
+    /** Fixed promotion overhead: election, reconfig, connection churn. */
+    double promote_cpu_floor_us = 20000.0;
+
+    /** Redo CPU per KB of durable-but-unapplied log replayed. */
+    double promote_cpu_us_per_kb = 40.0;
+};
+
+/** One completed failover. */
+struct FailoverOutcome
+{
+    std::size_t shard = 0;
+    SimTime crash_at = 0;
+    SimTime promoted_at = 0;
+    std::uint64_t watermark = 0;     //!< promoted durable LSN
+    std::uint64_t catchup_bytes = 0; //!< unapplied log replayed
+    FailoverStats stats;             //!< the database rewind
+};
+
+/** Orchestrates dbcrash -> detect -> promote -> reopen per shard. */
+class FailoverController
+{
+  public:
+    using Done = std::function<void(const FailoverOutcome &)>;
+
+    FailoverController(EventQueue &queue, const FailoverConfig &config)
+        : queue_(queue), config_(config)
+    {
+    }
+
+    /**
+     * The primary of `group` just crashed. Returns false (and does
+     * nothing) when no live replica exists to promote -- the caller
+     * falls back to blocking crash + ARIES recovery -- or when the
+     * shard is already failing over. `done` fires when the shard
+     * reopens.
+     */
+    bool primaryCrashed(std::size_t shard, ShardGroup &group, Done done);
+
+    std::uint64_t failoverCount() const { return failovers_; }
+    const std::vector<FailoverOutcome> &history() const
+    {
+        return history_;
+    }
+
+  private:
+    EventQueue &queue_;
+    FailoverConfig config_;
+    std::uint64_t failovers_ = 0;
+    std::vector<FailoverOutcome> history_;
+};
+
+} // namespace jasim::repl
+
+#endif // JASIM_REPL_FAILOVER_H

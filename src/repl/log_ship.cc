@@ -1,0 +1,77 @@
+#include "repl/log_ship.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jasim::repl {
+
+LogShipStream::LogShipStream(EventQueue &queue,
+                             const ReplicaConfig &config,
+                             std::uint64_t seed)
+    : queue_(queue), config_(config), link_(config.link, seed),
+      disk_(config.disk)
+{
+}
+
+void
+LogShipStream::ship(std::uint64_t lsn, std::uint64_t bytes)
+{
+    if (!alive_ || bytes == 0)
+        return;
+    shipped_bytes_ += bytes;
+    ++shipped_windows_;
+    const std::uint64_t gen = generation_;
+    const SimTime arrival = link_.deliver(queue_.now(), bytes);
+    queue_.scheduleAt(arrival, [this, lsn, bytes, gen] {
+        if (gen != generation_ || !alive_)
+            return;
+        const IoResult io = disk_.write(queue_.now(), bytes);
+        queue_.scheduleAt(io.completion, [this, lsn, bytes, gen] {
+            if (gen != generation_ || !alive_)
+                return;
+            if (lsn > durable_lsn_) {
+                durable_lsn_ = lsn;
+                unapplied_bytes_ += bytes;
+                if (durable_hook_)
+                    durable_hook_(lsn);
+            }
+            const SimTime apply = static_cast<SimTime>(std::llround(
+                config_.apply_us_per_kb * (bytes / 1024.0)));
+            queue_.scheduleAfter(apply, [this, lsn, bytes, gen] {
+                if (gen != generation_ || !alive_)
+                    return;
+                applied_lsn_ = std::max(applied_lsn_, lsn);
+                unapplied_bytes_ -=
+                    std::min(unapplied_bytes_, bytes);
+            });
+        });
+    });
+}
+
+void
+LogShipStream::crash()
+{
+    alive_ = false;
+    ++generation_;
+}
+
+void
+LogShipStream::restart()
+{
+    alive_ = true;
+    ++generation_;
+    durable_lsn_ = 0;
+    applied_lsn_ = 0;
+    unapplied_bytes_ = 0;
+}
+
+void
+LogShipStream::resyncTo(std::uint64_t lsn)
+{
+    ++generation_;
+    durable_lsn_ = std::min(durable_lsn_, lsn);
+    applied_lsn_ = std::min(applied_lsn_, durable_lsn_);
+    unapplied_bytes_ = 0;
+}
+
+} // namespace jasim::repl

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * WAL log shipping: one primary-to-replica replication stream.
+ *
+ * Every commit-time force on a shard primary ships the newly forced
+ * window down a dedicated network link (so replication lag is real
+ * simulated latency + bandwidth + serialization queueing), then the
+ * replica forces the window to its own WAL device before its durable
+ * watermark advances -- the standby is only as durable as its disk.
+ * The applied watermark trails durable by a redo-apply CPU delay; the
+ * durable/applied gap is the catch-up work a promotion must pay for.
+ *
+ * Faults: a replica crash drops the stream (in-flight windows are
+ * discarded via a generation counter) and a restart resilvers from
+ * scratch -- watermarks reset and jump forward with the next shipped
+ * window, modeling a full resync riding the stream.
+ */
+
+#ifndef JASIM_REPL_LOG_SHIP_H
+#define JASIM_REPL_LOG_SHIP_H
+
+#include <cstdint>
+#include <functional>
+
+#include "net/link.h"
+#include "os/disk.h"
+#include "sim/event_queue.h"
+
+namespace jasim::repl {
+
+/** One replica's stream characteristics. */
+struct ReplicaConfig
+{
+    /** Primary -> replica shipping link. */
+    LinkConfig link = LinkConfig::lan();
+
+    /** Replica WAL device (force completes before durable advances). */
+    DiskConfig disk;
+
+    /** Redo-apply cost per shipped KB (applied trails durable). */
+    double apply_us_per_kb = 3.0;
+};
+
+/** A log-shipping stream and its replica-side watermarks. */
+class LogShipStream
+{
+  public:
+    LogShipStream(EventQueue &queue, const ReplicaConfig &config,
+                  std::uint64_t seed);
+
+    /** Fires (on the primary side) whenever durableLsn() advances. */
+    using DurableHook = std::function<void(std::uint64_t lsn)>;
+    void setDurableHook(DurableHook hook) { durable_hook_ = std::move(hook); }
+
+    /**
+     * Ship the freshly forced window ending at `lsn` (`bytes` of log).
+     * Called by the cluster at the primary's force-I/O completion.
+     */
+    void ship(std::uint64_t lsn, std::uint64_t bytes);
+
+    /** Highest LSN forced to the replica's WAL device. */
+    std::uint64_t durableLsn() const { return durable_lsn_; }
+
+    /** Highest LSN redo-applied to the replica's page image. */
+    std::uint64_t appliedLsn() const { return applied_lsn_; }
+
+    /** Log bytes durable on the replica but not yet applied. */
+    std::uint64_t unappliedBytes() const { return unapplied_bytes_; }
+
+    std::uint64_t shippedBytes() const { return shipped_bytes_; }
+    std::uint64_t shippedWindows() const { return shipped_windows_; }
+
+    // ---- faults / failover ----
+
+    bool alive() const { return alive_; }
+
+    /** Replica crash: stream stops, in-flight windows are lost. */
+    void crash();
+
+    /** Replica restart: resilver (watermarks reset, resync on ship). */
+    void restart();
+
+    /**
+     * Failover resync: clamp watermarks to the promoted timeline's
+     * watermark and drop in-flight traffic from the old primary.
+     */
+    void resyncTo(std::uint64_t lsn);
+
+    NetworkLink &link() { return link_; }
+    DiskModel &disk() { return disk_; }
+
+  private:
+    EventQueue &queue_;
+    ReplicaConfig config_;
+    NetworkLink link_;
+    DiskModel disk_;
+    DurableHook durable_hook_;
+
+    bool alive_ = true;
+    std::uint64_t generation_ = 0; //!< bumped to drop in-flight windows
+    std::uint64_t durable_lsn_ = 0;
+    std::uint64_t applied_lsn_ = 0;
+    std::uint64_t unapplied_bytes_ = 0;
+    std::uint64_t shipped_bytes_ = 0;
+    std::uint64_t shipped_windows_ = 0;
+};
+
+} // namespace jasim::repl
+
+#endif // JASIM_REPL_LOG_SHIP_H

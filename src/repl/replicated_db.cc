@@ -1,0 +1,139 @@
+#include "repl/replicated_db.h"
+
+#include <algorithm>
+
+namespace jasim::repl {
+
+ShardGroup::ShardGroup(EventQueue &queue,
+                       const ShardGroupConfig &config, std::uint64_t seed)
+    : queue_(queue), config_(config),
+      app_(config.db, config.injection_rate, seed),
+      scheduler_(config.cpus), disk_(config.disk)
+{
+    // Shipping needs WAL retention and failover gates on the audit:
+    // both are always armed on a shard primary. Audit first, so the
+    // empty audit table is part of the stable baseline.
+    app_.enableAudit();
+    app_.database().enableRecovery();
+
+    Rng seeder(seed ^ 0x4e95ull);
+    for (std::size_t r = 0; r < config.replicas; ++r) {
+        replicas_.push_back(std::make_unique<LogShipStream>(
+            queue_, config.replica, seeder()));
+        replicas_.back()->setDurableHook(
+            [this](std::uint64_t) { onReplicaDurable(); });
+    }
+    if (!replicas_.empty())
+        app_.database().setTruncationFloor(0);
+}
+
+void
+ShardGroup::shipForced(std::uint64_t lsn, std::uint64_t bytes)
+{
+    if (down_)
+        return;
+    for (const auto &stream : replicas_)
+        stream->ship(lsn, bytes);
+}
+
+void
+ShardGroup::whenAckDurable(std::uint64_t lsn, AckFn done)
+{
+    if (replicas_.empty() || lsn <= maxLiveReplicaDurable()) {
+        done();
+        return;
+    }
+    ++ack_waits_;
+    waiters_.push_back(Waiter{lsn, std::move(done)});
+}
+
+void
+ShardGroup::onReplicaDurable()
+{
+    app_.database().setTruncationFloor(minReplicaDurable());
+    const std::uint64_t durable = maxLiveReplicaDurable();
+    // Fire ripe waiters in FIFO order (deterministic ack order).
+    std::vector<Waiter> ready;
+    std::vector<Waiter> rest;
+    for (Waiter &w : waiters_) {
+        if (w.lsn <= durable)
+            ready.push_back(std::move(w));
+        else
+            rest.push_back(std::move(w));
+    }
+    waiters_ = std::move(rest);
+    for (Waiter &w : ready)
+        w.done();
+}
+
+std::uint64_t
+ShardGroup::maxLiveReplicaDurable() const
+{
+    std::uint64_t best = 0;
+    for (const auto &stream : replicas_)
+        if (stream->alive())
+            best = std::max(best, stream->durableLsn());
+    return best;
+}
+
+std::uint64_t
+ShardGroup::minReplicaDurable() const
+{
+    std::uint64_t floor = ~0ull;
+    for (const auto &stream : replicas_)
+        floor = std::min(floor, stream->durableLsn());
+    return floor == ~0ull ? 0 : floor;
+}
+
+bool
+ShardGroup::anyLiveReplica() const
+{
+    for (const auto &stream : replicas_)
+        if (stream->alive())
+            return true;
+    return false;
+}
+
+std::size_t
+ShardGroup::mostCaughtUpReplica() const
+{
+    std::size_t best = 0;
+    std::uint64_t best_lsn = 0;
+    bool found = false;
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        if (!replicas_[r]->alive())
+            continue;
+        if (!found || replicas_[r]->durableLsn() > best_lsn) {
+            best = r;
+            best_lsn = replicas_[r]->durableLsn();
+            found = true;
+        }
+    }
+    return best;
+}
+
+void
+ShardGroup::resyncReplicas(std::uint64_t lsn)
+{
+    for (const auto &stream : replicas_)
+        if (stream->alive())
+            stream->resyncTo(lsn);
+    if (!replicas_.empty())
+        app_.database().setTruncationFloor(minReplicaDurable());
+}
+
+void
+ShardGroup::beginBlackout()
+{
+    down_ = true;
+    ++generation_;
+    waiters_.clear();
+}
+
+void
+ShardGroup::endBlackout()
+{
+    down_ = false;
+}
+
+} // namespace jasim::repl

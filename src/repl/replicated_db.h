@@ -1,0 +1,176 @@
+/**
+ * @file
+ * A shard group: one primary database plus R log-shipping replicas.
+ *
+ * The group bundles everything one shard of the replicated DB tier
+ * owns -- the primary's application/database, CPU scheduler, data
+ * disk, durability auditor, and the replica streams -- together with
+ * the ack rule that distinguishes the two replication modes:
+ *
+ *   - async: a commit acks when the primary's own WAL force
+ *     completes; replication lag is invisible to clients but acked
+ *     commits above the promotion watermark are LOST on failover
+ *     (reported by the auditor as lost_acked).
+ *   - sync:  a commit acks only when at least one replica has the
+ *     commit durable (whenAckDurable), so every acked commit is at
+ *     or below any future promotion watermark and failover loses
+ *     nothing acked -- the auditor gates on exactly this.
+ *
+ * The group also maintains the primary's WAL truncation floor at the
+ * minimum replica durable watermark, so checkpoints never discard log
+ * a standby still needs. After a failover the promoted replica is the
+ * new primary; by symmetry (identical config) the group keeps serving
+ * with the same members, streams resynced to the promotion watermark
+ * -- the old primary rejoins as a standby.
+ */
+
+#ifndef JASIM_REPL_REPLICATED_DB_H
+#define JASIM_REPL_REPLICATED_DB_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "db/durability_audit.h"
+#include "os/disk.h"
+#include "os/scheduler.h"
+#include "repl/failover.h"
+#include "repl/log_ship.h"
+#include "repl/shard_map.h"
+#include "was/application.h"
+
+namespace jasim::repl {
+
+/** Cluster-level replication axis (jasim::repl is off by default). */
+struct ReplConfig
+{
+    std::size_t shards = 1;   //!< shard groups partitioning the keys
+    std::size_t replicas = 0; //!< log-shipping standbys per shard
+    bool sync = false;        //!< ack only after a replica is durable
+    ReplicaConfig replica;    //!< stream link/disk/apply parameters
+    FailoverConfig failover;
+
+    /** Anything beyond the single unreplicated box of PR 5? */
+    bool enabled() const { return shards > 1 || replicas > 0; }
+};
+
+/** Sizing of one shard group. */
+struct ShardGroupConfig
+{
+    DbConfig db;
+    double injection_rate = 10.0; //!< population share of this shard
+    std::size_t cpus = 4;
+    DiskConfig disk;
+    std::size_t replicas = 0;
+    ReplicaConfig replica;
+    bool sync = false;
+};
+
+/** One shard: primary + replicas + ack bookkeeping. */
+class ShardGroup
+{
+  public:
+    ShardGroup(EventQueue &queue, const ShardGroupConfig &config,
+               std::uint64_t seed);
+
+    Jas2004Application &application() { return app_; }
+    Database &database() { return app_.database(); }
+    const Database &database() const { return app_.database(); }
+    CpuScheduler &scheduler() { return scheduler_; }
+    const CpuScheduler &scheduler() const { return scheduler_; }
+    DiskModel &disk() { return disk_; }
+    const DiskModel &disk() const { return disk_; }
+    DurabilityAuditor &auditor() { return auditor_; }
+    const DurabilityAuditor &auditor() const { return auditor_; }
+
+    bool syncMode() const { return config_.sync; }
+    std::size_t replicaCount() const { return replicas_.size(); }
+    LogShipStream &replica(std::size_t i) { return *replicas_[i]; }
+    const LogShipStream &replica(std::size_t i) const
+    {
+        return *replicas_[i];
+    }
+
+    /** Run the audit-table reconciliation for this shard. */
+    AuditReport auditNow() const
+    {
+        return auditor_.audit(app_.database(), app_.auditTable());
+    }
+
+    // ---- shipping & acks ----
+
+    /**
+     * The primary's force I/O up to `lsn` completed (`bytes` newly
+     * durable): fan the window out to every replica stream.
+     */
+    void shipForced(std::uint64_t lsn, std::uint64_t bytes);
+
+    /**
+     * Run `done` once the commit at `lsn` is durable on at least one
+     * live replica (immediately when it already is, or when there are
+     * no replicas to wait for). Sync-mode commits ack through here.
+     * Waiters are dropped -- never run -- on a blackout; the caller's
+     * attempt deadline reclaims the request.
+     */
+    using AckFn = std::function<void()>;
+    void whenAckDurable(std::uint64_t lsn, AckFn done);
+
+    std::uint64_t ackWaits() const { return ack_waits_; }
+
+    // ---- watermarks ----
+
+    /** Promotion watermark: highest durable LSN on a live replica. */
+    std::uint64_t maxLiveReplicaDurable() const;
+
+    /** Truncation floor: lowest durable LSN across all replicas. */
+    std::uint64_t minReplicaDurable() const;
+
+    bool anyLiveReplica() const;
+
+    /** Index of the most-caught-up live replica (ties: lowest). */
+    std::size_t mostCaughtUpReplica() const;
+
+    /** Clamp every live stream to the promoted timeline. */
+    void resyncReplicas(std::uint64_t lsn);
+
+    // ---- failover / fault state ----
+
+    bool down() const { return down_; }
+
+    /**
+     * Shard blackout: calls fail fast, in-flight completions are
+     * dropped (generation bump), pending sync-ack waiters die.
+     */
+    void beginBlackout();
+    void endBlackout();
+
+    /** Stamp for in-flight completions; bumped by beginBlackout(). */
+    std::uint64_t generation() const { return generation_; }
+
+  private:
+    void onReplicaDurable();
+
+    EventQueue &queue_;
+    ShardGroupConfig config_;
+    Jas2004Application app_;
+    CpuScheduler scheduler_;
+    DiskModel disk_;
+    DurabilityAuditor auditor_;
+    std::vector<std::unique_ptr<LogShipStream>> replicas_;
+
+    bool down_ = false;
+    std::uint64_t generation_ = 0;
+
+    struct Waiter
+    {
+        std::uint64_t lsn;
+        AckFn done;
+    };
+    std::vector<Waiter> waiters_;
+    std::uint64_t ack_waits_ = 0;
+};
+
+} // namespace jasim::repl
+
+#endif // JASIM_REPL_REPLICATED_DB_H

@@ -1,0 +1,61 @@
+#include "repl/shard_map.h"
+
+#include <sstream>
+
+namespace jasim::repl {
+
+namespace {
+
+/** floor(value * 2^64 / shards) without losing the top bits. */
+std::uint64_t scaleDown(std::uint64_t value, std::size_t shards)
+{
+    using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(value) << 64) /
+                                      shards);
+}
+
+} // namespace
+
+ShardMap::ShardMap(std::size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+std::size_t ShardMap::shardOf(std::uint64_t key) const
+{
+    using u128 = unsigned __int128;
+    return static_cast<std::size_t>(
+        (static_cast<u128>(key) * shards_) >> 64);
+}
+
+std::uint64_t ShardMap::rangeBegin(std::size_t shard) const
+{
+    if (shard == 0)
+        return 0;
+    // Smallest key k with k * shards >> 64 == shard, i.e.
+    // ceil(shard * 2^64 / shards).
+    const std::uint64_t floor_value = scaleDown(shard, shards_);
+    return shardOf(floor_value) == shard ? floor_value : floor_value + 1;
+}
+
+std::uint64_t ShardMap::rangeEnd(std::size_t shard) const
+{
+    return shard + 1 >= shards_ ? 0 : rangeBegin(shard + 1);
+}
+
+std::string ShardMap::describe() const
+{
+    std::ostringstream out;
+    out << std::hex;
+    for (std::size_t s = 0; s < shards_; ++s) {
+        if (s != 0)
+            out << "  ";
+        out << "shard " << std::dec << s << std::hex << ": ["
+            << rangeBegin(s) << ", ";
+        if (s + 1 >= shards_)
+            out << "2^64";
+        else
+            out << rangeEnd(s);
+        out << ")";
+    }
+    return out.str();
+}
+
+} // namespace jasim::repl

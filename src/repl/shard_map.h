@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Range partitioning of the database key space across shard groups.
+ *
+ * The map is a pure function of the shard count: shard i owns the
+ * contiguous key range [begin(i), end(i)), computed with the
+ * multiplicative range-mapping trick (key * shards >> 64) so every
+ * 64-bit key lands on exactly one shard, ranges are contiguous and
+ * near-equal, and no per-key state is kept. The cluster draws one
+ * routing key per DB call from a dedicated RNG stream, so adding
+ * shards never perturbs any other subsystem's random sequence.
+ */
+
+#ifndef JASIM_REPL_SHARD_MAP_H
+#define JASIM_REPL_SHARD_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jasim::repl {
+
+/** Contiguous range partition of the 64-bit key space. */
+class ShardMap
+{
+  public:
+    /** @param shards number of shard groups (clamped to >= 1). */
+    explicit ShardMap(std::size_t shards = 1);
+
+    std::size_t shardCount() const { return shards_; }
+
+    /** Which shard owns `key`. Always < shardCount(). */
+    std::size_t shardOf(std::uint64_t key) const;
+
+    /** First key owned by `shard` (inclusive). */
+    std::uint64_t rangeBegin(std::size_t shard) const;
+
+    /**
+     * One past the last key owned by `shard`, i.e.\ rangeBegin(shard
+     * + 1); for the last shard the range extends to the top of the
+     * key space and this returns 0 (wrap-around sentinel).
+     */
+    std::uint64_t rangeEnd(std::size_t shard) const;
+
+    /** Human-readable partition table ("shard 0: [0, 7fff...)"). */
+    std::string describe() const;
+
+  private:
+    std::size_t shards_ = 1;
+};
+
+} // namespace jasim::repl
+
+#endif // JASIM_REPL_SHARD_MAP_H

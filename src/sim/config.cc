@@ -105,6 +105,36 @@ Config::fastpath() const
     return getBool("fastpath", true);
 }
 
+std::size_t
+Config::shards() const
+{
+    const std::string text = getString("shards", "1");
+    char *end = nullptr;
+    const std::int64_t raw = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || raw <= 0)
+        return 1; // unparsable, zero, or negative: single box
+    const std::size_t shards = static_cast<std::size_t>(raw);
+    return shards > 64 ? 64 : shards;
+}
+
+std::size_t
+Config::replicas() const
+{
+    const std::string text = getString("replicas", "0");
+    char *end = nullptr;
+    const std::int64_t raw = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || raw < 0)
+        return 0; // unparsable or negative: unreplicated
+    const std::size_t replicas = static_cast<std::size_t>(raw);
+    return replicas > 8 ? 8 : replicas;
+}
+
+std::string
+Config::syncMode() const
+{
+    return getString("sync-mode", "async") == "sync" ? "sync" : "async";
+}
+
 bool
 Config::getBool(const std::string &key, bool fallback) const
 {

@@ -69,6 +69,31 @@ class Config
      */
     std::string faults() const { return getString("faults", ""); }
 
+    /**
+     * Validated shard count from `--shards N` (replicated DB tier).
+     *
+     * Absent, zero, negative, or unparsable values mean 1 (the
+     * legacy single box); anything above 64 is clamped to 64.
+     */
+    std::size_t shards() const;
+
+    /**
+     * Validated replicas-per-shard from `--replicas R`.
+     *
+     * Absent, negative, or unparsable values mean 0 (unreplicated);
+     * anything above 8 is clamped to 8.
+     */
+    std::size_t replicas() const;
+
+    /**
+     * Replication ack mode from `--sync-mode {sync,async}`.
+     *
+     * "sync" acks a commit only once a replica holds it durably;
+     * anything else — including the default — is "async".
+     */
+    std::string syncMode() const;
+    bool syncReplication() const { return syncMode() == "sync"; }
+
     const std::map<std::string, std::string> &entries() const
     {
         return values_;

@@ -228,6 +228,74 @@ TEST(ResponseTrackerTest, DegradedSummaryMergesOverlappingWindows)
     EXPECT_DOUBLE_EQ(summary.degraded_fraction, 0.4);
 }
 
+TEST(ResponseTrackerTest, FailoverBlackoutsCountPerShard)
+{
+    ResponseTracker tracker;
+    EXPECT_EQ(tracker.failoverCount(), 0u);
+    EXPECT_EQ(tracker.failoverBlackoutUs(), 0u);
+    tracker.noteFailoverBlackout(0, secs(10), secs(12));
+    tracker.noteFailoverBlackout(1, secs(40), secs(41));
+    EXPECT_EQ(tracker.failoverCount(), 2u);
+    EXPECT_EQ(tracker.failoverBlackoutUs(), secs(3));
+    EXPECT_EQ(tracker.failoverBlackoutUs(0), secs(2));
+    EXPECT_EQ(tracker.failoverBlackoutUs(1), secs(1));
+    EXPECT_EQ(tracker.failoverBlackoutUs(7), 0u); // untouched shard
+}
+
+TEST(ResponseTrackerTest, ShardAvailabilityClipsBlackouts)
+{
+    ResponseTracker tracker;
+    EXPECT_DOUBLE_EQ(tracker.shardAvailability(0, secs(100)), 1.0);
+    tracker.noteFailoverBlackout(0, secs(10), secs(30));
+    EXPECT_DOUBLE_EQ(tracker.shardAvailability(0, secs(100)), 0.8);
+    EXPECT_DOUBLE_EQ(tracker.shardAvailability(1, secs(100)), 1.0);
+    // A still-open blackout (to == 0) counts up to the horizon.
+    tracker.noteFailoverBlackout(1, secs(90), 0);
+    EXPECT_DOUBLE_EQ(tracker.shardAvailability(1, secs(100)), 0.9);
+    // Horizon before the blackout started: fully up.
+    EXPECT_DOUBLE_EQ(tracker.shardAvailability(1, secs(50)), 1.0);
+}
+
+TEST(ResponseTrackerTest, DegradedSummaryMergesFailoverBlackouts)
+{
+    // Blackouts join the degraded union exactly like degraded
+    // windows and node-down intervals: overlaps merge, gaps count.
+    ResponseTracker tracker;
+    tracker.noteDegraded(secs(10), secs(30));
+    tracker.noteFailoverBlackout(0, secs(20), secs(40)); // overlaps
+    tracker.noteFailoverBlackout(1, secs(70), secs(80)); // disjoint
+    const DegradedSummary summary = tracker.degradedSummary(secs(100));
+    EXPECT_EQ(summary.intervals, 2u); // [10,40) and [70,80)
+    EXPECT_EQ(summary.degraded_us, secs(40));
+    EXPECT_DOUBLE_EQ(summary.degraded_fraction, 0.4);
+}
+
+TEST(ResponseTrackerTest, AllBlackoutWindowStillReportsSentinel)
+{
+    // A window that is 100% blackout completes nothing: percentile
+    // queries must report the explicit no-samples sentinel, never a
+    // fake zero latency.
+    ResponseTracker tracker;
+    tracker.noteFailoverBlackout(0, 0, secs(100));
+    EXPECT_DOUBLE_EQ(tracker.p99ResponseSeconds(RequestType::Purchase),
+                     ResponseTracker::kNoSamples);
+    EXPECT_DOUBLE_EQ(tracker.meanResponseSeconds(RequestType::Purchase),
+                     ResponseTracker::kNoSamples);
+    EXPECT_DOUBLE_EQ(tracker.jops(0, secs(100)), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.shardAvailability(0, secs(100)), 0.0);
+}
+
+TEST(ResponseTrackerTest, FailoverWaitErrorsCountLikeAnyKind)
+{
+    ResponseTracker tracker;
+    tracker.error(makeRequest(1, RequestType::Purchase, 0), secs(1), 0,
+                  ErrorKind::FailoverWait);
+    EXPECT_EQ(tracker.errorCount(ErrorKind::FailoverWait), 1u);
+    EXPECT_EQ(tracker.errorCount(), 1u);
+    EXPECT_STREQ(errorKindName(ErrorKind::FailoverWait),
+                 "failover-wait");
+}
+
 TEST(ResponseTrackerTest, ErrorKindNamesAreStable)
 {
     EXPECT_STREQ(errorKindName(ErrorKind::None), "none");

@@ -185,6 +185,87 @@ TEST(FaultScheduleTest, RejectsMalformedDbVerbs)
                  std::invalid_argument);
 }
 
+TEST(FaultScheduleTest, ParsesShardScopedDbCrash)
+{
+    const FaultSchedule s =
+        FaultSchedule::parse("dbcrash@60:shard=1,restart=2");
+    ASSERT_EQ(s.size(), 1u);
+    const FaultEvent &e = s.events()[0];
+    EXPECT_EQ(e.kind, FaultKind::DbCrash);
+    EXPECT_EQ(e.shard, 1u);
+    EXPECT_EQ(e.replica, FaultEvent::kNoTarget); // primary by default
+    EXPECT_EQ(e.restart_after, secs(2.0));
+    EXPECT_TRUE(s.hasDbFault());
+}
+
+TEST(FaultScheduleTest, ShardDefaultsToUnspecified)
+{
+    // No shard key: the injector targets shard 0 (and the legacy
+    // single-box tier ignores the scoping entirely).
+    const FaultSchedule s = FaultSchedule::parse("dbcrash@60");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].shard, FaultEvent::kNoTarget);
+    EXPECT_EQ(s.events()[0].replica, FaultEvent::kNoTarget);
+}
+
+TEST(FaultScheduleTest, ParsesReplicaScopedDbCrash)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "dbcrash@60:shard=1,replica=0,restart=5");
+    ASSERT_EQ(s.size(), 1u);
+    const FaultEvent &e = s.events()[0];
+    EXPECT_EQ(e.shard, 1u);
+    EXPECT_EQ(e.replica, 0u);
+    EXPECT_EQ(e.restart_after, secs(5.0));
+}
+
+TEST(FaultScheduleTest, TornWriteTakesShardButNotReplica)
+{
+    // A torn write is a primary WAL-device event: shard= scopes it,
+    // replica= is meaningless and rejected.
+    const FaultSchedule s =
+        FaultSchedule::parse("tornwrite@80:shard=2,restart=1");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].shard, 2u);
+    EXPECT_THROW(FaultSchedule::parse("tornwrite@80:replica=0"),
+                 std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, ShardAndReplicaKeysAreKindScoped)
+{
+    EXPECT_THROW(FaultSchedule::parse("crash@10:node=0,shard=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("dbslow@10:mult=2,shard=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("degrade@10:lat=2,replica=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("poolkill@10:node=0,shard=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("dbcrash@10:shard=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("dbcrash@10:replica="),
+                 std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, DescribeCarriesShardAndReplicaScope)
+{
+    EXPECT_EQ(FaultSchedule::parse("dbcrash@60:shard=1,restart=2")
+                  .summary(),
+              "dbcrash@60s shard=1 restart=2s");
+    EXPECT_EQ(
+        FaultSchedule::parse("dbcrash@60:shard=1,replica=0,restart=5")
+            .summary(),
+        "dbcrash@60s shard=1 replica=0 restart=5s");
+}
+
+TEST(FaultScheduleTest, ReplicaCrashStillCountsAsDbFault)
+{
+    // hasDbFault() stays honest under scoping: a replica-only crash
+    // is still a DB-tier event (the cluster arms audit/recovery).
+    EXPECT_TRUE(FaultSchedule::parse("dbcrash@5:shard=0,replica=0")
+                    .hasDbFault());
+}
+
 TEST(FaultScheduleTest, MixedVerbsSortStablyByTime)
 {
     const FaultSchedule s = FaultSchedule::parse(

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "repl/log_ship.h"
+
+namespace jasim::repl {
+namespace {
+
+/** A stream on a LAN link and RAM-disk WAL device. */
+class LogShipTest : public ::testing::Test
+{
+  protected:
+    LogShipTest() : stream_(queue_, ReplicaConfig{}, 42) {}
+
+    /** Ship and run the queue dry; returns the new durable LSN. */
+    std::uint64_t shipAndSettle(std::uint64_t lsn, std::uint64_t bytes)
+    {
+        stream_.ship(lsn, bytes);
+        queue_.runUntil(queue_.now() + secs(10.0));
+        return stream_.durableLsn();
+    }
+
+    EventQueue queue_;
+    LogShipStream stream_;
+};
+
+TEST_F(LogShipTest, DurableAdvancesAfterLinkAndDiskLatency)
+{
+    stream_.ship(100, 4096);
+    // Nothing is durable at ship time: the window must cross the
+    // link and the replica's force I/O must complete first.
+    EXPECT_EQ(stream_.durableLsn(), 0u);
+    queue_.runUntil(secs(10.0));
+    EXPECT_EQ(stream_.durableLsn(), 100u);
+    EXPECT_EQ(stream_.shippedWindows(), 1u);
+    EXPECT_EQ(stream_.shippedBytes(), 4096u);
+}
+
+TEST_F(LogShipTest, AppliedTrailsDurable)
+{
+    stream_.ship(100, 64 * 1024);
+    SimTime durable_at = 0;
+    stream_.setDurableHook([&](std::uint64_t) {
+        durable_at = queue_.now();
+    });
+    queue_.runUntil(secs(10.0));
+    EXPECT_EQ(stream_.durableLsn(), 100u);
+    EXPECT_EQ(stream_.appliedLsn(), 100u);
+    // Redo apply took nonzero simulated time after durability.
+    EXPECT_GT(queue_.now(), 0u);
+    EXPECT_GT(durable_at, 0u);
+}
+
+TEST_F(LogShipTest, UnappliedBytesAreThePromotionDebt)
+{
+    // At the instant durability advances, the window is durable but
+    // not yet redo-applied: that gap is the promotion catch-up debt.
+    std::uint64_t debt_at_durable = 0;
+    stream_.setDurableHook([&](std::uint64_t) {
+        debt_at_durable = stream_.unappliedBytes();
+    });
+    stream_.ship(100, 8192);
+    queue_.runUntil(secs(10.0));
+    EXPECT_EQ(debt_at_durable, 8192u);
+    EXPECT_EQ(stream_.unappliedBytes(), 0u); // applied caught up
+}
+
+TEST_F(LogShipTest, MonotoneDurableIgnoresStaleWindows)
+{
+    EXPECT_EQ(shipAndSettle(100, 1024), 100u);
+    EXPECT_EQ(shipAndSettle(90, 512), 100u); // stale: no regress
+    EXPECT_EQ(shipAndSettle(200, 1024), 200u);
+}
+
+TEST_F(LogShipTest, CrashDropsInFlightWindows)
+{
+    stream_.ship(100, 4096);
+    stream_.crash();
+    EXPECT_FALSE(stream_.alive());
+    queue_.runUntil(secs(10.0));
+    EXPECT_EQ(stream_.durableLsn(), 0u); // in-flight window discarded
+    stream_.ship(200, 4096); // shipping to a dead replica is a no-op
+    queue_.runUntil(secs(20.0));
+    EXPECT_EQ(stream_.durableLsn(), 0u);
+}
+
+TEST_F(LogShipTest, RestartResilversFromNextWindow)
+{
+    EXPECT_EQ(shipAndSettle(100, 4096), 100u);
+    stream_.crash();
+    stream_.restart();
+    EXPECT_TRUE(stream_.alive());
+    EXPECT_EQ(stream_.durableLsn(), 0u); // watermarks reset
+    // The next shipped window carries the resync: durable jumps.
+    EXPECT_EQ(shipAndSettle(250, 4096), 250u);
+}
+
+TEST_F(LogShipTest, ResyncClampsToPromotedTimeline)
+{
+    EXPECT_EQ(shipAndSettle(100, 4096), 100u);
+    stream_.ship(200, 4096); // in flight from the dead primary
+    stream_.resyncTo(60);
+    queue_.runUntil(secs(20.0));
+    EXPECT_EQ(stream_.durableLsn(), 60u); // clamped; in-flight dropped
+    EXPECT_LE(stream_.appliedLsn(), 60u);
+    EXPECT_EQ(stream_.unappliedBytes(), 0u);
+}
+
+TEST_F(LogShipTest, DurableHookFiresOnEveryAdvance)
+{
+    std::vector<std::uint64_t> advances;
+    stream_.setDurableHook([&](std::uint64_t lsn) {
+        advances.push_back(lsn);
+    });
+    shipAndSettle(10, 256);
+    shipAndSettle(20, 256);
+    ASSERT_EQ(advances.size(), 2u);
+    EXPECT_EQ(advances[0], 10u);
+    EXPECT_EQ(advances[1], 20u);
+}
+
+TEST_F(LogShipTest, DeterministicForFixedSeed)
+{
+    EventQueue q1, q2;
+    LogShipStream a(q1, ReplicaConfig{}, 7);
+    LogShipStream b(q2, ReplicaConfig{}, 7);
+    a.ship(100, 4096);
+    b.ship(100, 4096);
+    q1.runUntil(secs(10.0));
+    q2.runUntil(secs(10.0));
+    EXPECT_EQ(q1.executed(), q2.executed());
+    EXPECT_EQ(a.durableLsn(), b.durableLsn());
+}
+
+} // namespace
+} // namespace jasim::repl

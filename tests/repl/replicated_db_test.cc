@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "repl/replicated_db.h"
+
+namespace jasim::repl {
+namespace {
+
+/** A small shard group; replica count set per test. */
+class ShardGroupTest : public ::testing::Test
+{
+  protected:
+    ShardGroupConfig
+    smallConfig(std::size_t replicas, bool sync = false)
+    {
+        ShardGroupConfig config;
+        config.injection_rate = 1.0; // tiny population
+        config.replicas = replicas;
+        config.sync = sync;
+        return config;
+    }
+
+    /**
+     * Run one write txn, confirm its force durable, and ship the
+     * window — the cluster's commit path, condensed.
+     */
+    TxnDbOutcome commitAndShip(ShardGroup &group)
+    {
+        const TxnDbOutcome outcome =
+            group.application().runTransaction(RequestType::Purchase);
+        EXPECT_GT(outcome.wal_issued_lsn, 0u);
+        group.database().confirmWalDurable(outcome.wal_issued_lsn);
+        group.shipForced(outcome.wal_issued_lsn,
+                         outcome.cost.log_bytes_forced);
+        return outcome;
+    }
+
+    void settle() { queue_.runUntil(queue_.now() + secs(10.0)); }
+
+    EventQueue queue_;
+};
+
+TEST_F(ShardGroupTest, AuditAndRecoveryAlwaysArmed)
+{
+    ShardGroup group(queue_, smallConfig(0), 42);
+    EXPECT_TRUE(group.application().auditEnabled());
+    const TxnDbOutcome outcome =
+        group.application().runTransaction(RequestType::Purchase);
+    EXPECT_GT(outcome.audit_token, 0u);
+}
+
+TEST_F(ShardGroupTest, ShipFansOutToEveryReplica)
+{
+    ShardGroup group(queue_, smallConfig(2), 42);
+    ASSERT_EQ(group.replicaCount(), 2u);
+    const TxnDbOutcome outcome = commitAndShip(group);
+    settle();
+    EXPECT_EQ(group.replica(0).durableLsn(), outcome.wal_issued_lsn);
+    EXPECT_EQ(group.replica(1).durableLsn(), outcome.wal_issued_lsn);
+    EXPECT_EQ(group.maxLiveReplicaDurable(), outcome.wal_issued_lsn);
+    EXPECT_EQ(group.minReplicaDurable(), outcome.wal_issued_lsn);
+}
+
+TEST_F(ShardGroupTest, AckImmediateWithoutReplicas)
+{
+    ShardGroup group(queue_, smallConfig(0), 42);
+    bool acked = false;
+    group.whenAckDurable(123, [&] { acked = true; });
+    EXPECT_TRUE(acked); // nothing to wait for
+}
+
+TEST_F(ShardGroupTest, SyncAckWaitsForReplicaDurability)
+{
+    ShardGroup group(queue_, smallConfig(1, /*sync=*/true), 42);
+    const TxnDbOutcome outcome = commitAndShip(group);
+    bool acked = false;
+    group.whenAckDurable(outcome.wal_issued_lsn, [&] { acked = true; });
+    EXPECT_FALSE(acked); // window still crossing link + replica disk
+    settle();
+    EXPECT_TRUE(acked);
+    EXPECT_GT(group.ackWaits(), 0u);
+}
+
+TEST_F(ShardGroupTest, BlackoutDropsPendingAckWaiters)
+{
+    ShardGroup group(queue_, smallConfig(1, /*sync=*/true), 42);
+    const TxnDbOutcome outcome = commitAndShip(group);
+    bool acked = false;
+    group.whenAckDurable(outcome.wal_issued_lsn, [&] { acked = true; });
+    const std::uint64_t generation = group.generation();
+    group.beginBlackout();
+    EXPECT_TRUE(group.down());
+    EXPECT_GT(group.generation(), generation);
+    settle();
+    EXPECT_FALSE(acked); // waiter died with the blackout
+    group.endBlackout();
+    EXPECT_FALSE(group.down());
+}
+
+TEST_F(ShardGroupTest, MostCaughtUpReplicaWinsPromotion)
+{
+    ShardGroup group(queue_, smallConfig(2), 42);
+    const TxnDbOutcome first = commitAndShip(group);
+    settle();
+    // Crash replica 0, commit more: only replica 1 advances.
+    group.replica(0).crash();
+    const TxnDbOutcome later = commitAndShip(group);
+    settle();
+    EXPECT_TRUE(group.anyLiveReplica());
+    EXPECT_EQ(group.mostCaughtUpReplica(), 1u);
+    EXPECT_EQ(group.maxLiveReplicaDurable(), later.wal_issued_lsn);
+    // The dead replica pins the truncation floor at its last durable
+    // watermark until it restarts (a restart resets it and resilvers
+    // from the stream), so the log it still needs is never truncated.
+    EXPECT_EQ(group.minReplicaDurable(), first.wal_issued_lsn);
+}
+
+TEST_F(ShardGroupTest, TruncationFloorFollowsMinReplicaDurable)
+{
+    ShardGroup group(queue_, smallConfig(1), 42);
+    for (int i = 0; i < 30; ++i)
+        commitAndShip(group);
+    settle();
+    const std::uint64_t durable = group.replica(0).durableLsn();
+    EXPECT_GT(durable, 0u);
+    // A checkpoint may truncate only what the standby already holds:
+    // everything at or below the floor, nothing above it.
+    group.database().checkpoint();
+    EXPECT_LE(group.database().wal().truncatedUpTo(), durable);
+}
+
+TEST_F(ShardGroupTest, ResyncClampsEveryLiveStream)
+{
+    ShardGroup group(queue_, smallConfig(2), 42);
+    const TxnDbOutcome outcome = commitAndShip(group);
+    settle();
+    const std::uint64_t watermark = outcome.wal_issued_lsn / 2;
+    group.resyncReplicas(watermark);
+    EXPECT_LE(group.replica(0).durableLsn(), watermark);
+    EXPECT_LE(group.replica(1).durableLsn(), watermark);
+}
+
+} // namespace
+} // namespace jasim::repl

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "repl/shard_map.h"
+
+namespace jasim::repl {
+namespace {
+
+TEST(ShardMapTest, SingleShardOwnsEverything)
+{
+    const ShardMap map(1);
+    EXPECT_EQ(map.shardCount(), 1u);
+    EXPECT_EQ(map.shardOf(0), 0u);
+    EXPECT_EQ(map.shardOf(~0ull), 0u);
+    EXPECT_EQ(map.rangeBegin(0), 0u);
+    EXPECT_EQ(map.rangeEnd(0), 0u); // wrap sentinel: top of key space
+}
+
+TEST(ShardMapTest, ZeroClampsToOne)
+{
+    const ShardMap map(0);
+    EXPECT_EQ(map.shardCount(), 1u);
+}
+
+TEST(ShardMapTest, RangesAreContiguousAndExhaustive)
+{
+    for (const std::size_t shards : {2u, 3u, 5u, 8u, 64u}) {
+        const ShardMap map(shards);
+        EXPECT_EQ(map.rangeBegin(0), 0u);
+        for (std::size_t s = 0; s + 1 < shards; ++s)
+            EXPECT_EQ(map.rangeEnd(s), map.rangeBegin(s + 1))
+                << shards << " shards, boundary " << s;
+        EXPECT_EQ(map.rangeEnd(shards - 1), 0u);
+    }
+}
+
+TEST(ShardMapTest, ShardOfMatchesItsRange)
+{
+    const ShardMap map(5);
+    for (std::size_t s = 0; s < 5; ++s) {
+        const std::uint64_t begin = map.rangeBegin(s);
+        EXPECT_EQ(map.shardOf(begin), s) << "range begin, shard " << s;
+        const std::uint64_t end = map.rangeEnd(s);
+        const std::uint64_t last = (end == 0 ? ~0ull : end - 1);
+        EXPECT_EQ(map.shardOf(last), s) << "range last, shard " << s;
+    }
+}
+
+TEST(ShardMapTest, KeysSpreadNearEvenly)
+{
+    // The multiplicative map preserves key order, so equidistant
+    // probes land near-uniformly across the shard count.
+    const ShardMap map(4);
+    std::size_t counts[4] = {0, 0, 0, 0};
+    const std::uint64_t step = ~0ull / 1000;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        ++counts[map.shardOf(i * step)];
+    for (const std::size_t c : counts) {
+        EXPECT_GT(c, 200u);
+        EXPECT_LT(c, 300u);
+    }
+}
+
+TEST(ShardMapTest, DescribeListsEveryShard)
+{
+    const ShardMap map(3);
+    const std::string text = map.describe();
+    EXPECT_NE(text.find("shard 0"), std::string::npos);
+    EXPECT_NE(text.find("shard 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace jasim::repl

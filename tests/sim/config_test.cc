@@ -194,6 +194,64 @@ TEST(ConfigTest, FlagStillBooleanBeforePositionalKeyValue)
     EXPECT_EQ(config.getInt("heap_mb", 0), 512);
 }
 
+TEST(ConfigTest, ReplicationAxesDefaultToLegacySingleBox)
+{
+    const char *argv[] = {"prog", "ir=40"};
+    Config config = Config::fromArgs(2, const_cast<char **>(argv));
+    EXPECT_EQ(config.shards(), 1u);
+    EXPECT_EQ(config.replicas(), 0u);
+    EXPECT_EQ(config.syncMode(), "async");
+    EXPECT_FALSE(config.syncReplication());
+}
+
+TEST(ConfigTest, ReplicationAxesParseEveryFlagSpelling)
+{
+    const char *argv[] = {"prog", "--shards", "4", "--replicas=2",
+                          "sync-mode=sync"};
+    Config config = Config::fromArgs(5, const_cast<char **>(argv));
+    EXPECT_EQ(config.shards(), 4u);
+    EXPECT_EQ(config.replicas(), 2u);
+    EXPECT_EQ(config.syncMode(), "sync");
+    EXPECT_TRUE(config.syncReplication());
+}
+
+TEST(ConfigTest, ShardsValidatesAndClamps)
+{
+    Config config;
+    config.set("shards", "0");
+    EXPECT_EQ(config.shards(), 1u); // zero means the single box
+    config.set("shards", "-3");
+    EXPECT_EQ(config.shards(), 1u);
+    config.set("shards", "lots");
+    EXPECT_EQ(config.shards(), 1u);
+    config.set("shards", "100000");
+    EXPECT_EQ(config.shards(), 64u); // sane ceiling
+}
+
+TEST(ConfigTest, ReplicasValidatesAndClamps)
+{
+    Config config;
+    config.set("replicas", "-1");
+    EXPECT_EQ(config.replicas(), 0u); // negative: unreplicated
+    config.set("replicas", "junk");
+    EXPECT_EQ(config.replicas(), 0u);
+    config.set("replicas", "999");
+    EXPECT_EQ(config.replicas(), 8u); // sane ceiling
+}
+
+TEST(ConfigTest, SyncModeOnlyRecognisesSync)
+{
+    // Anything that is not exactly "sync" falls back to async: the
+    // safe default never silently strengthens the ack guarantee.
+    Config config;
+    config.set("sync-mode", "SYNC");
+    EXPECT_EQ(config.syncMode(), "async");
+    config.set("sync-mode", "semisync");
+    EXPECT_EQ(config.syncMode(), "async");
+    config.set("sync-mode", "sync");
+    EXPECT_TRUE(config.syncReplication());
+}
+
 TEST(ConfigTest, SetOverwrites)
 {
     Config config;
