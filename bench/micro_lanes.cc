@@ -1,0 +1,194 @@
+/**
+ * Lane-scheduler microbenchmark: one cluster simulation executed
+ * three ways — the serial legacy kernel (`lanes=0`), the windowed
+ * lane protocol single-threaded (`lanes=1`), and the lane protocol
+ * with host threads (`lanes=N`) — timed and cross-checked.
+ *
+ * The identity gate is the point: `lanes=1` and `lanes=N` must agree
+ * exactly (completions, errors, executed events, steady JOPS) for
+ * every N, because the windowed protocol's schedule is a function of
+ * simulation state alone (see src/lane/lane_scheduler.h). A mismatch
+ * is a correctness bug and the bench exits nonzero. Serial-vs-lane
+ * figures are reported for the overhead/speedup trajectory; they are
+ * not gated (the two kernels may order same-microsecond cross-lane
+ * ties differently, and wall clock depends on host cores).
+ *
+ *   ./micro_lanes [nodes=8] [lanes=4] [ir=40] [steady=6] [reps=3]
+ *
+ * Writes out/BENCH_micro_lanes.json (and BENCH_micro_lanes.json at
+ * the repo root — run from there) with walls and speedups.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+#include "bench_common.h"
+
+#include "core/cluster.h"
+
+using namespace jasim;
+
+namespace {
+
+/** Everything one timed run produces. */
+struct RunResult
+{
+    double wall_s = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t errors = 0;
+    double jops = 0.0;
+    bool lane_mode = false;
+    std::uint64_t windows = 0;
+    std::uint64_t merged = 0;
+
+    bool
+    sameSimulation(const RunResult &other) const
+    {
+        return events == other.events &&
+               completed == other.completed &&
+               errors == other.errors && jops == other.jops;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(std::cout, "Micro: lane-scheduler throughput",
+                  "Windowed per-node event lanes (jasim::lane) vs the "
+                  "serial kernel on one cluster simulation; lanes=1 "
+                  "and lanes=N must match bit-for-bit.");
+    const Config args = Config::fromArgs(argc, argv);
+    const std::size_t nodes =
+        static_cast<std::size_t>(args.getInt("nodes", 8));
+    std::size_t lane_threads = args.lanes();
+    if (lane_threads == 0)
+        lane_threads = 4;
+    const double ir = args.getDouble("ir", 40.0);
+    const double steady_s = args.getDouble("steady", 6.0);
+    const double ramp_s = args.getDouble("ramp", 2.0);
+    const int reps = static_cast<int>(args.getInt("reps", 3));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 42));
+    bench::PerfReport perf("micro_lanes", /*tracked=*/true);
+
+    auto profiles =
+        std::make_shared<const WorkloadProfiles>(seed ^ 0x9a0full);
+    auto registry = std::make_shared<const MethodRegistry>(
+        profiles->layout(Component::WasJit).count(), seed ^ 0x3e9ull);
+
+    const SimTime steady_from = secs(ramp_s);
+    const SimTime steady_to = secs(ramp_s + steady_s);
+
+    const auto timedRun = [&](std::size_t lanes) {
+        ClusterConfig config;
+        config.nodes = nodes;
+        config.node.injection_rate = ir;
+        config.node.driver.ramp_up_s = ramp_s;
+        config.lanes = lanes;
+        const auto t0 = std::chrono::steady_clock::now();
+        ClusterUnderTest cluster(config, profiles, registry, seed);
+        cluster.start(steady_to);
+        cluster.advanceTo(steady_to);
+        RunResult r;
+        r.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        r.events = cluster.queue().executed();
+        r.completed = cluster.tracker().totalCompleted();
+        r.errors = cluster.tracker().errorCount();
+        r.jops = cluster.jops(steady_from, steady_to);
+        r.lane_mode = cluster.laneModeActive();
+        if (const lane::LaneScheduler *sched =
+                cluster.laneScheduler()) {
+            r.windows = sched->windows();
+            r.merged = sched->merged();
+        }
+        return r;
+    };
+
+    // Interleave the arms per rep so a noise burst hits all three;
+    // keep each arm's best wall time.
+    RunResult serial, lane1, laneN;
+    double serial_wall = 0.0, lane1_wall = 0.0, laneN_wall = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        RunResult s = timedRun(0);
+        RunResult l1 = timedRun(1);
+        RunResult ln = timedRun(lane_threads);
+        if (r == 0 || s.wall_s < serial_wall)
+            serial_wall = s.wall_s;
+        if (r == 0 || l1.wall_s < lane1_wall)
+            lane1_wall = l1.wall_s;
+        if (r == 0 || ln.wall_s < laneN_wall)
+            laneN_wall = ln.wall_s;
+        serial = s;
+        lane1 = l1;
+        laneN = ln;
+        perf.addEvents(s.events + l1.events + ln.events);
+    }
+
+    if (!lane1.lane_mode || !laneN.lane_mode) {
+        std::cout << "FAIL: lane mode did not engage (fabric without "
+                     "lookahead?)\n";
+        return 1;
+    }
+    // The hard gate: thread count must not change the simulation.
+    if (!lane1.sameSimulation(laneN)) {
+        std::cout << "FAIL: lanes=1 and lanes=" << lane_threads
+                  << " diverged (events " << lane1.events << " vs "
+                  << laneN.events << ", completed " << lane1.completed
+                  << " vs " << laneN.completed << ")\n";
+        return 1;
+    }
+
+    const double overhead =
+        serial_wall > 0.0 ? lane1_wall / serial_wall : 0.0;
+    const double speedup =
+        laneN_wall > 0.0 ? serial_wall / laneN_wall : 0.0;
+
+    TextTable table({"kernel", "wall (s)", "events", "JOPS",
+                     "vs serial"});
+    table.addRow({"serial (lanes=0)",
+                  TextTable::num(serial_wall, 3),
+                  TextTable::num(static_cast<double>(serial.events), 0),
+                  TextTable::num(serial.jops, 1), "1.00"});
+    table.addRow({"lane protocol, 1 thread",
+                  TextTable::num(lane1_wall, 3),
+                  TextTable::num(static_cast<double>(lane1.events), 0),
+                  TextTable::num(lane1.jops, 1),
+                  TextTable::num(serial_wall > 0.0
+                                     ? serial_wall / lane1_wall
+                                     : 0.0,
+                                 2)});
+    table.addRow({"lane protocol, " + std::to_string(lane_threads) +
+                      " threads",
+                  TextTable::num(laneN_wall, 3),
+                  TextTable::num(static_cast<double>(laneN.events), 0),
+                  TextTable::num(laneN.jops, 1),
+                  TextTable::num(speedup, 2)});
+    table.print(std::cout);
+
+    std::cout << "\nlanes=1 == lanes=" << lane_threads
+              << ": IDENTICAL (" << laneN.completed
+              << " completions, " << laneN.events << " events, "
+              << laneN.windows << " windows, " << laneN.merged
+              << " cross-lane merges)\n"
+              << "serial == lane protocol: "
+              << (serial.sameSimulation(lane1) ? "IDENTICAL"
+                                               : "tie-order drift")
+              << " (see src/lane/lane_scheduler.h on ordering)\n";
+
+    perf.note("nodes", static_cast<double>(nodes));
+    perf.note("lanes", static_cast<double>(lane_threads));
+    perf.note("wall_serial", serial_wall);
+    perf.note("wall_lane1", lane1_wall);
+    perf.note("wall_laneN", laneN_wall);
+    perf.note("protocol_overhead", overhead);
+    perf.note("speedup", speedup);
+    perf.note("windows", static_cast<double>(laneN.windows));
+    perf.note("merged", static_cast<double>(laneN.merged));
+    perf.write(lane_threads);
+    return 0;
+}

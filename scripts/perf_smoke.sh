@@ -7,7 +7,11 @@
 #    the same seed — jasim::par's whole contract;
 #  - `--fastpath=0` must produce BIT-IDENTICAL stdout to `--fastpath`
 #    on a memory-bound bench — the fast path's whole contract (and
-#    micro_memwalk itself exits 1 if its arms' checksums diverge).
+#    micro_memwalk itself exits 1 if its arms' checksums diverge);
+#  - `--lanes 4` must produce BIT-IDENTICAL stdout to `--lanes 1` —
+#    jasim::lane's whole contract: host thread count never changes
+#    one byte of simulation output (and micro_lanes itself exits 1 if
+#    its lanes=1/lanes=N arms diverge).
 #
 # Soft gate (warning only): the microbench speedup target (>= 1.5x
 # over the std::function baseline) and the parallel wall-clock win
@@ -25,7 +29,8 @@ BUILD="${1:-build-perf}"
 echo "== perf-smoke: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target micro_eventqueue micro_memwalk \
-    fig08_l1d abl_l2size abl_cluster_scaling abl_recovery abl_replication
+    micro_lanes fig08_l1d abl_l2size abl_cluster_scaling abl_recovery \
+    abl_replication
 
 echo "== perf-smoke: event-kernel microbenchmark =="
 "$BUILD/bench/micro_eventqueue"
@@ -33,6 +38,11 @@ echo "== perf-smoke: event-kernel microbenchmark =="
 echo "== perf-smoke: memory-path microbenchmark (A/B fastpath) =="
 # Exits nonzero on its own if the two arms' checksums diverge.
 "$BUILD/bench/micro_memwalk"
+
+echo "== perf-smoke: lane-scheduler microbenchmark (A/B lanes) =="
+# Exits nonzero on its own if lanes=1 and lanes=N disagree on any
+# counter of the simulated cluster.
+"$BUILD/bench/micro_lanes" nodes=4 ir=30 steady=4 ramp=1 reps=2
 
 echo "== perf-smoke: abl_l2size serial vs --jobs 4 =="
 tmp="$(mktemp -d)"
@@ -87,13 +97,45 @@ if ! cmp -s "$tmp/nofaults.txt" "$tmp/replofF.txt"; then
 fi
 echo "repl gating: --shards 1 --replicas 0 output is bit-identical to no replication flags"
 
+echo "== perf-smoke: parallel event core, --lanes 4 vs --lanes 1 =="
+# jasim::lane's contract, end to end: the windowed lane protocol's
+# schedule is a function of simulation state alone, so host thread
+# count must never change one byte of stdout. fig08_l1d is a
+# single-box bench where lane mode never engages — there the flag
+# must be completely inert as well.
+"$BUILD/bench/fig08_l1d" "${fp_args[@]}" --lanes 1 >"$tmp/lanes1_fig.txt"
+"$BUILD/bench/fig08_l1d" "${fp_args[@]}" --lanes 4 >"$tmp/lanes4_fig.txt"
+if ! cmp -s "$tmp/lanes1_fig.txt" "$tmp/lanes4_fig.txt"; then
+    echo "FAIL: fig08_l1d --lanes 4 output differs from --lanes 1:" >&2
+    diff "$tmp/lanes1_fig.txt" "$tmp/lanes4_fig.txt" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/lanes1_fig.txt" "$tmp/fp_on.txt"; then
+    echo "FAIL: --lanes changed single-box fig08_l1d output (flag must be inert there):" >&2
+    diff "$tmp/fp_on.txt" "$tmp/lanes1_fig.txt" >&2 || true
+    exit 1
+fi
+lane_args=(nodes=8 steady=10 ramp=3 ir=40 seed=7)
+"$BUILD/bench/abl_cluster_scaling" "${lane_args[@]}" --lanes 1 >"$tmp/lanes1_cl.txt"
+"$BUILD/bench/abl_cluster_scaling" "${lane_args[@]}" --lanes 4 >"$tmp/lanes4_cl.txt"
+if ! cmp -s "$tmp/lanes1_cl.txt" "$tmp/lanes4_cl.txt"; then
+    echo "FAIL: abl_cluster_scaling --lanes 4 output differs from --lanes 1 (lane determinism broken):" >&2
+    diff "$tmp/lanes1_cl.txt" "$tmp/lanes4_cl.txt" >&2 || true
+    exit 1
+fi
+echo "lane determinism: --lanes 4 output is bit-identical to --lanes 1 (single-box and 8-node cluster)"
+
 echo "== perf-smoke: healthy-run goldens (recovery compiled in) =="
-# Pinned pre-recovery-PR digests: arming crash recovery must cost a
-# healthy run NOTHING — not one byte of output may move. Regenerate
-# deliberately (and re-pin) only when a PR intends to change healthy
-# behaviour.
+# Pinned healthy-run digests: compiled-in-but-disarmed machinery must
+# cost a healthy run NOTHING — not one byte of output may move.
+# Regenerate deliberately (and re-pin) only when a PR intends to
+# change healthy behaviour. FIG08 dates from the recovery PR; CLUSTER
+# was re-pinned by the lane PR, which deliberately changed two serial
+# behaviours: per-direction link jitter streams (forward/reverse no
+# longer interleave one RNG) and the balancer observing a completion
+# when the response reaches the LB rather than when the node finishes.
 FIG08_GOLDEN=dc1c0cb762998eecd0bd75fb426090fb1206c4ec1a29fedd195ad6ff02535e97
-CLUSTER_GOLDEN=5b4aa806dadaad0f4ba939292d3dd8bc78ec43708a08c8a92c03cd08ce5e2cdc
+CLUSTER_GOLDEN=339892eadce23d768bd7859bdb7b32ef4f7dc6146d2878ec521c68ebfd7c6acd
 fig08_sha="$(sha256sum "$tmp/fp_on.txt" | cut -d' ' -f1)"
 cluster_sha="$(sha256sum "$tmp/nofaults.txt" | cut -d' ' -f1)"
 if [[ "$fig08_sha" != "$FIG08_GOLDEN" ]]; then

@@ -9,9 +9,12 @@
 # `--san` widens the sanitized stage to the FULL suite (JASIM_SANITIZE=ON
 # + ctest): slower, but every test runs instrumented. Use it when
 # touching lifetime-sensitive code (event closures, fault injection,
-# connection pools).
+# connection pools). `--san` also adds a ThreadSanitizer build
+# (-DJASIM_TSAN=ON) running test_lane and test_par — the two suites
+# that exercise real cross-thread handoffs (jasim::lane windows and
+# jasim::par sweeps); ASan cannot see data races, TSan can.
 #
-# Usage: scripts/tier1.sh [--san] [build-dir] [sanitized-build-dir]
+# Usage: scripts/tier1.sh [--san] [build-dir] [sanitized-build-dir] [tsan-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +26,7 @@ if [[ "${1:-}" == "--san" ]]; then
 fi
 BUILD="${1:-build}"
 SAN_BUILD="${2:-build-asan}"
+TSAN_BUILD="${3:-build-tsan}"
 
 echo "== tier-1: standard build =="
 cmake -B "$BUILD" -S . >/dev/null
@@ -34,6 +38,12 @@ if [[ "$SAN_FULL" == 1 ]]; then
     cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
     cmake --build "$SAN_BUILD" -j
     ctest --test-dir "$SAN_BUILD" --output-on-failure -j"$(nproc)"
+
+    echo "== tier-1: TSan build (lane + par thread handoffs) =="
+    cmake -B "$TSAN_BUILD" -S . -DJASIM_TSAN=ON >/dev/null
+    cmake --build "$TSAN_BUILD" -j --target test_lane test_par
+    "$TSAN_BUILD/tests/test_lane"
+    "$TSAN_BUILD/tests/test_par"
 else
     echo "== tier-1: sanitized build (ASan + UBSan) =="
     cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null

@@ -25,6 +25,7 @@
 #include "db/durability_audit.h"
 #include "fault/injector.h"
 #include "fault/resilience.h"
+#include "lane/lane_scheduler.h"
 #include "net/connection_pool.h"
 #include "net/fabric.h"
 #include "net/load_balancer.h"
@@ -97,6 +98,17 @@ struct ClusterConfig
      * byte-identical to a build without replication support.
      */
     repl::ReplConfig repl;
+
+    /**
+     * Host threads for parallel event execution (jasim::lane). 0 (the
+     * default) runs the untouched serial kernel; any value >= 1 runs
+     * the windowed lane scheduler, whose output is bit-identical for
+     * every thread count — `lanes 16` replays exactly the schedule
+     * `lanes 1` does. Lane mode silently falls back to serial when
+     * the run cannot be lane-partitioned: faults/resilience/recovery
+     * armed, replication on, or a zero-latency fabric (no lookahead).
+     */
+    std::size_t lanes = 0;
 
     /** Aggregate injection rate the driver runs at. */
     double totalInjectionRate() const
@@ -229,6 +241,23 @@ class ClusterUnderTest
 
     /** Field-wise sum of every shard's audit (repl mode only). */
     AuditReport clusterAuditNow() const;
+
+    // ---- parallel lane mode (jasim::lane) ----
+
+    /** True when the windowed lane scheduler drives this run. */
+    bool laneModeActive() const { return lane_sched_ != nullptr; }
+
+    /** Null when lane mode is off or fell back to serial. */
+    const lane::LaneScheduler *laneScheduler() const
+    {
+        return lane_sched_.get();
+    }
+
+    /** Lane owning node `n`'s events (lane 0 is driver/LB/DB). */
+    static constexpr std::size_t nodeLane(std::size_t n)
+    {
+        return n + 1;
+    }
 
   private:
     ClusterConfig config_;
@@ -370,6 +399,13 @@ class ClusterUnderTest
 
     std::uint64_t responseBytes(std::size_t node,
                                 RequestType type) const;
+
+    /**
+     * Windowed parallel scheduler (lane mode); null in serial runs.
+     * Declared last so it is destroyed first — it must detach from
+     * queue_ while the queue (and every lane's closures) still live.
+     */
+    std::unique_ptr<lane::LaneScheduler> lane_sched_;
 };
 
 } // namespace jasim

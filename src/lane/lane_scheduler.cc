@@ -1,0 +1,248 @@
+#include "lane/lane_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace jasim::lane {
+
+namespace {
+
+/** Thread-local destination override installed by ToLane guards. */
+thread_local std::size_t tl_dest = kInherit;
+
+/** What the calling thread is executing right now. */
+struct ExecContext
+{
+    const LaneScheduler *sched = nullptr;
+    std::size_t lane = 0;
+    SimTime window_end = 0;
+};
+
+thread_local ExecContext tl_ctx;
+
+/** RAII window context for runLaneWindow (exception-safe restore). */
+class CtxGuard
+{
+  public:
+    CtxGuard(const LaneScheduler *sched, std::size_t lane,
+             SimTime window_end)
+        : saved_(tl_ctx)
+    {
+        tl_ctx = ExecContext{sched, lane, window_end};
+    }
+    ~CtxGuard() { tl_ctx = saved_; }
+
+  private:
+    ExecContext saved_;
+};
+
+} // namespace
+
+ToLane::ToLane(std::size_t lane) : saved_(tl_dest)
+{
+    tl_dest = lane;
+}
+
+ToLane::~ToLane()
+{
+    tl_dest = saved_;
+}
+
+std::size_t
+ToLane::current()
+{
+    return tl_dest;
+}
+
+std::size_t
+LaneScheduler::currentLane()
+{
+    return tl_ctx.sched ? tl_ctx.lane : kInherit;
+}
+
+LaneScheduler::LaneScheduler(EventQueue &facade,
+                             std::size_t lane_count, SimTime lookahead,
+                             std::size_t threads)
+    : facade_(facade), lookahead_(lookahead),
+      team_(std::min(threads == 0 ? std::size_t{1} : threads,
+                     lane_count == 0 ? std::size_t{1} : lane_count))
+{
+    if (lane_count == 0)
+        throw std::invalid_argument(
+            "LaneScheduler needs at least one lane");
+    if (lookahead_ == 0)
+        throw std::invalid_argument(
+            "LaneScheduler lookahead must be >= 1 us; gate lane mode "
+            "off on zero-latency fabrics instead");
+    lanes_.reserve(lane_count);
+    for (std::size_t l = 0; l < lane_count; ++l)
+        lanes_.push_back(std::make_unique<Lane>());
+    window_job_ = [this](std::size_t i) {
+        runLaneWindow(active_[i], window_end_);
+    };
+    facade_.setLaneRouter(this);
+}
+
+LaneScheduler::~LaneScheduler()
+{
+    facade_.setLaneRouter(nullptr);
+}
+
+std::uint64_t
+LaneScheduler::laneSchedule(SimTime when, InlineFunction &&action)
+{
+    const std::size_t tagged = tl_dest;
+    if (tl_ctx.sched != this) {
+        // Root context: model setup or between runs. Every lane sits
+        // at global_now_, so a direct insert is safe.
+        const std::size_t dest = tagged == kInherit ? 0 : tagged;
+        if (dest >= lanes_.size())
+            throw std::logic_error("ToLane destination out of range");
+        return lanes_[dest]->queue.scheduleAt(when, std::move(action));
+    }
+
+    Lane &origin = *lanes_[tl_ctx.lane];
+    const std::size_t dest = tagged == kInherit ? tl_ctx.lane : tagged;
+    if (dest >= lanes_.size())
+        throw std::logic_error("ToLane destination out of range");
+
+    if (when < tl_ctx.window_end) {
+        // Inside the current window: only the executing lane itself
+        // may receive the event. A cross-lane schedule this early
+        // breaks the conservative window — it means some interaction
+        // bypassed the network links the lookahead was derived from.
+        if (dest != tl_ctx.lane)
+            throw std::logic_error(
+                "jasim::lane lookahead violation: cross-lane schedule "
+                "inside the execution window");
+        return origin.queue.scheduleAt(when, std::move(action));
+    }
+
+    // At or past the window end: defer — same-lane included, so that
+    // every post-window event acquires its destination sequence
+    // number through the one canonical merge order.
+    origin.outbox.push_back(Deferred{
+        when, origin.queue.now(),
+        static_cast<std::uint32_t>(tl_ctx.lane), origin.emitted++,
+        dest, std::move(action)});
+    return origin.emitted;
+}
+
+SimTime
+LaneScheduler::laneNow() const
+{
+    if (tl_ctx.sched == this)
+        return lanes_[tl_ctx.lane]->queue.now();
+    return global_now_;
+}
+
+std::size_t
+LaneScheduler::lanePending() const
+{
+    std::size_t pending = 0;
+    for (const auto &lane : lanes_)
+        pending += lane->queue.pending() + lane->outbox.size();
+    return pending;
+}
+
+std::uint64_t
+LaneScheduler::laneExecuted() const
+{
+    std::uint64_t executed = 0;
+    for (const auto &lane : lanes_)
+        executed += lane->queue.executed();
+    return executed;
+}
+
+void
+LaneScheduler::runLaneWindow(std::size_t lane, SimTime window_end)
+{
+    CtxGuard guard(this, lane, window_end);
+    lanes_[lane]->queue.runUntil(window_end - 1);
+}
+
+void
+LaneScheduler::mergeOutboxes()
+{
+    merge_buf_.clear();
+    for (auto &lane : lanes_) {
+        if (lane->outbox.empty())
+            continue;
+        for (auto &deferred : lane->outbox)
+            merge_buf_.push_back(std::move(deferred));
+        lane->outbox.clear();
+    }
+    if (merge_buf_.empty())
+        return;
+
+    // Canonical order: emission time, then emitting lane, then the
+    // lane's own emission count. All three are simulation state, so
+    // the order — and with it every destination sequence number — is
+    // identical for every thread count.
+    std::sort(merge_buf_.begin(), merge_buf_.end(),
+              [](const Deferred &a, const Deferred &b) {
+                  if (a.emit_when != b.emit_when)
+                      return a.emit_when < b.emit_when;
+                  if (a.origin != b.origin)
+                      return a.origin < b.origin;
+                  return a.emit_seq < b.emit_seq;
+              });
+
+    for (auto &deferred : merge_buf_) {
+        lanes_[deferred.dest]->queue.scheduleAt(
+            deferred.when, std::move(deferred.action));
+        ++merged_;
+    }
+    merge_buf_.clear();
+}
+
+std::uint64_t
+LaneScheduler::laneRunUntil(SimTime horizon)
+{
+    assert(tl_ctx.sched == nullptr &&
+           "nested laneRunUntil from inside a window");
+    assert(horizon < EventQueue::kNoEvent);
+
+    const std::uint64_t before = laneExecuted();
+    for (;;) {
+        SimTime next = EventQueue::kNoEvent;
+        for (const auto &lane : lanes_)
+            next = std::min(next, lane->queue.nextEventTime());
+        if (next > horizon)
+            break; // includes the drained case (next == kNoEvent)
+
+        // Window [next, window_end), exclusive. Jumping to `next`
+        // rather than marching fixed steps skips idle gaps entirely.
+        SimTime window_end = next + lookahead_;
+        if (window_end > horizon)
+            window_end = horizon + 1;
+
+        active_.clear();
+        for (std::size_t l = 0; l < lanes_.size(); ++l) {
+            if (lanes_[l]->queue.nextEventTime() < window_end)
+                active_.push_back(l);
+        }
+        if (active_.size() == 1) {
+            // Don't wake the team for a lone lane — the common case
+            // at low event density, and exactly the serial path.
+            runLaneWindow(active_[0], window_end);
+        } else {
+            window_end_ = window_end;
+            team_.run(active_.size(), window_job_);
+        }
+        mergeOutboxes();
+        ++windows_;
+    }
+
+    // Nothing left at or before the horizon: advance every lane's
+    // clock (and the facade's) so later scheduling sees a uniform
+    // "now", exactly like the serial kernel leaves time at the
+    // horizon.
+    for (auto &lane : lanes_)
+        lane->queue.runUntil(horizon);
+    global_now_ = horizon;
+    return laneExecuted() - before;
+}
+
+} // namespace jasim::lane

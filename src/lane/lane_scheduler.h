@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Conservative windowed parallel event execution (jasim::lane).
+ *
+ * One simulation, many host cores: events are partitioned into lanes
+ * by owning model component (the cluster maps the driver/LB/DB tier
+ * to lane 0 and each app-server node to its own lane), and lanes
+ * execute concurrently inside bounded time windows [T, T+Δ), where Δ
+ * is the fabric's minimum one-way link latency. The protocol is the
+ * classic null-message-free conservative window:
+ *
+ *  1. T = earliest pending event across all lanes; the window is
+ *     [T, W) with W = min(T + Δ, horizon + 1).
+ *  2. Every lane with events before W runs them on the team,
+ *     lane-locally in (time, sequence) order. A lane may schedule
+ *     onto itself inside the window; any schedule targeting a time
+ *     >= W — same-lane or cross-lane — is deferred to the lane's
+ *     outbox. A cross-lane schedule *inside* the window is a
+ *     lookahead violation and throws (it cannot happen when every
+ *     cross-lane interaction rides a jasim::net link, because a link
+ *     delivers no earlier than now + Δ >= W; see
+ *     NetworkLink::minLatencyUs()).
+ *  3. Barrier. Outboxes merge in one canonical order — sorted by
+ *     (emit time, origin lane, per-lane emit count) — and each
+ *     deferred event is inserted into its destination lane, drawing
+ *     destination sequence numbers in that canonical order.
+ *
+ * Why the output is bit-identical for any thread count: steps 1–3
+ * depend only on event content, never on which host thread ran a
+ * lane or when. The window boundaries, the set of events in each
+ * window, each lane's internal order, and the merge order are all
+ * functions of the simulation state alone, so `--lanes 16` replays
+ * exactly the schedule `--lanes 1` does — threads only change which
+ * wall-clock instant each lane's window executes on.
+ *
+ * The facade EventQueue (the one model code holds) delegates here
+ * via the LaneRouter hook; per-lane queues underneath are ordinary
+ * serial EventQueues.
+ */
+
+#ifndef JASIM_LANE_LANE_SCHEDULER_H
+#define JASIM_LANE_LANE_SCHEDULER_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "lane/worker_team.h"
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace jasim::lane {
+
+/** Destination marker: "route to the scheduling context's own lane". */
+inline constexpr std::size_t kInherit = static_cast<std::size_t>(-1);
+
+/**
+ * Scoped destination override for cross-lane schedules.
+ *
+ * The scheduler cannot guess which lane a closure belongs to, so the
+ * model tags handoff points: `ToLane guard(node_lane);` around a
+ * scheduleAt makes the event land on that lane. Guards nest (the
+ * previous destination is restored on destruction) and are free
+ * no-ops when no scheduler is installed, so the cluster tags its
+ * handoffs unconditionally. Thread-local, hence safe inside
+ * concurrently executing lanes.
+ */
+class ToLane
+{
+  public:
+    explicit ToLane(std::size_t lane);
+    ~ToLane();
+
+    ToLane(const ToLane &) = delete;
+    ToLane &operator=(const ToLane &) = delete;
+
+    /** The destination currently in effect (kInherit if none). */
+    static std::size_t current();
+
+  private:
+    std::size_t saved_;
+};
+
+/**
+ * The windowed lane scheduler; installs itself as the facade queue's
+ * LaneRouter for its lifetime.
+ *
+ * `threads` is host parallelism only — it is clamped to the lane
+ * count and NEVER affects results (see file comment). `lookahead`
+ * must be >= 1 us; the owner gates lane mode off entirely (leaving
+ * the facade queue untouched) when the fabric cannot guarantee that.
+ */
+class LaneScheduler : public LaneRouter
+{
+  public:
+    LaneScheduler(EventQueue &facade, std::size_t lane_count,
+                  SimTime lookahead, std::size_t threads);
+    ~LaneScheduler() override;
+
+    LaneScheduler(const LaneScheduler &) = delete;
+    LaneScheduler &operator=(const LaneScheduler &) = delete;
+
+    std::size_t laneCount() const { return lanes_.size(); }
+    SimTime lookahead() const { return lookahead_; }
+    std::size_t threads() const { return team_.width(); }
+
+    /** Windows executed so far (one barrier round each). */
+    std::uint64_t windows() const { return windows_; }
+
+    /** Cross-lane (deferred) events merged so far. */
+    std::uint64_t merged() const { return merged_; }
+
+    // LaneRouter facade hooks.
+    std::uint64_t laneSchedule(SimTime when,
+                               InlineFunction &&action) override;
+    SimTime laneNow() const override;
+    std::uint64_t laneRunUntil(SimTime horizon) override;
+    std::size_t lanePending() const override;
+    std::uint64_t laneExecuted() const override;
+
+    /**
+     * Lane the calling thread is currently executing, or kInherit
+     * outside window execution (root context).
+     */
+    static std::size_t currentLane();
+
+  private:
+    /** A deferred schedule awaiting the window barrier. */
+    struct Deferred
+    {
+        SimTime when;        //!< target time (>= window end)
+        SimTime emit_when;   //!< origin lane's clock at emission
+        std::uint32_t origin; //!< emitting lane
+        std::uint64_t emit_seq; //!< per-origin-lane emission count
+        std::size_t dest;    //!< destination lane
+        InlineFunction action;
+    };
+
+    /**
+     * One lane: a private serial event queue plus the outbox its
+     * window execution fills. Cache-line aligned so concurrently
+     * hot lanes do not false-share.
+     */
+    struct alignas(64) Lane
+    {
+        EventQueue queue;
+        std::vector<Deferred> outbox;
+        std::uint64_t emitted = 0;
+    };
+
+    /** Run one lane's events in [queue.now, window_end). */
+    void runLaneWindow(std::size_t lane, SimTime window_end);
+
+    /** Drain every outbox into destination queues, canonical order. */
+    void mergeOutboxes();
+
+    EventQueue &facade_;
+    SimTime lookahead_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    WorkerTeam team_;
+
+    SimTime global_now_ = 0;   //!< facade time between runs
+    std::uint64_t windows_ = 0;
+    std::uint64_t merged_ = 0;
+
+    /**
+     * The per-round team job, built once (a fresh std::function per
+     * window would cost an allocation check per barrier). Reads
+     * window_end_, which the window loop writes before each round —
+     * the team's generation handoff orders the write for workers.
+     */
+    WorkerTeam::Job window_job_;
+    SimTime window_end_ = 0;
+
+    std::vector<Deferred> merge_buf_;    //!< scratch for the barrier
+    std::vector<std::size_t> active_;    //!< scratch: lanes this window
+};
+
+} // namespace jasim::lane
+
+#endif // JASIM_LANE_LANE_SCHEDULER_H

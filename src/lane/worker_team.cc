@@ -1,0 +1,130 @@
+#include "lane/worker_team.h"
+
+namespace jasim::lane {
+
+namespace {
+
+/**
+ * Spin iterations before a waiter falls back to blocking. Windows
+ * arrive back-to-back while a run is hot, so the fast path should
+ * never touch the kernel; the condvar exists for the gaps (end of
+ * run, cursor exhaustion on an oversubscribed host).
+ */
+constexpr int kSpinLimit = 1 << 12;
+
+} // namespace
+
+WorkerTeam::WorkerTeam(std::size_t width)
+{
+    if (width <= 1)
+        return;
+    workers_.reserve(width - 1);
+    for (std::size_t w = 0; w + 1 < width; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerTeam::~WorkerTeam()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+WorkerTeam::drain()
+{
+    for (;;) {
+        const std::size_t i =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count_)
+            return;
+        try {
+            (*job_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+    }
+}
+
+void
+WorkerTeam::run(std::size_t count, const Job &job)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        // Serial path: same job invocations, no handoff machinery.
+        for (std::size_t i = 0; i < count; ++i)
+            job(i);
+        return;
+    }
+
+    job_ = &job;
+    count_ = count;
+    cursor_.store(0, std::memory_order_relaxed);
+    busy_.store(workers_.size(), std::memory_order_relaxed);
+    {
+        // The lock orders the round state above before the bump for
+        // workers woken via the condvar; spinners are ordered by the
+        // release/acquire pair on generation_ itself.
+        std::lock_guard<std::mutex> lock(mutex_);
+        generation_.fetch_add(1, std::memory_order_release);
+    }
+    wake_.notify_all();
+
+    drain();
+
+    int spins = 0;
+    while (busy_.load(std::memory_order_acquire) != 0) {
+        if (++spins >= kSpinLimit) {
+            spins = 0;
+            std::this_thread::yield();
+        }
+    }
+    job_ = nullptr;
+
+    if (first_error_) {
+        std::exception_ptr error;
+        {
+            std::lock_guard<std::mutex> lock(error_mutex_);
+            error = first_error_;
+            first_error_ = nullptr;
+        }
+        std::rethrow_exception(error);
+    }
+}
+
+void
+WorkerTeam::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t gen;
+        int spins = 0;
+        while ((gen = generation_.load(std::memory_order_acquire)) ==
+               seen) {
+            if (++spins < kSpinLimit)
+                continue;
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (stop_)
+                return;
+            if (generation_.load(std::memory_order_acquire) != seen)
+                break;
+            wake_.wait(lock);
+            spins = 0;
+        }
+        // A generation change can only come from run(), and run()
+        // never overlaps the destructor, so reaching here means a
+        // live round: no stop re-check needed.
+        seen = gen;
+        drain();
+        busy_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+} // namespace jasim::lane

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Persistent thread team for per-window lane execution.
+ *
+ * `jasim::par::WorkerPool` spawns and joins its threads on every
+ * parallelFor call, which is fine for sweeps (a handful of calls per
+ * process) but hopeless for the lane scheduler, which opens a barrier
+ * round per lookahead window — millions of rounds per run. WorkerTeam
+ * keeps its threads alive for the scheduler's lifetime: a round is
+ * one release-store of a generation counter, workers spin briefly on
+ * it before falling back to a condition variable, and pull work items
+ * from a shared cursor (dragonradio's slot-worker idiom: workers fill
+ * a shared slot, atomics count completion). The calling thread always
+ * participates, so a team of width W uses W-1 extra threads.
+ */
+
+#ifndef JASIM_LANE_WORKER_TEAM_H
+#define JASIM_LANE_WORKER_TEAM_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jasim::lane {
+
+/**
+ * A fixed team of persistent workers executing indexed rounds.
+ *
+ * Not reentrant: run() must not be called from inside a job, and only
+ * one thread may call run() at a time (the lane scheduler's window
+ * loop is the single driver).
+ */
+class WorkerTeam
+{
+  public:
+    using Job = std::function<void(std::size_t)>;
+
+    /**
+     * @param width total concurrency including the calling thread;
+     *              width <= 1 starts no threads and run() is a plain
+     *              serial loop.
+     */
+    explicit WorkerTeam(std::size_t width);
+
+    ~WorkerTeam();
+
+    WorkerTeam(const WorkerTeam &) = delete;
+    WorkerTeam &operator=(const WorkerTeam &) = delete;
+
+    /** Total concurrency: extra workers + the calling thread. */
+    std::size_t width() const { return workers_.size() + 1; }
+
+    /**
+     * Run `job(i)` for every i in [0, count); blocks until all items
+     * finish. Items are pulled from a shared cursor, so the
+     * assignment of items to threads is nondeterministic — callers
+     * must not depend on it (the lane scheduler doesn't: lanes are
+     * independent within a window by construction). If any job
+     * throws, the first exception (in completion order) is rethrown
+     * here after every worker has gone idle.
+     */
+    void run(std::size_t count, const Job &job);
+
+  private:
+    /** Pull items until the cursor runs dry. */
+    void drain();
+
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;              //!< guards generation bumps + cv
+    std::condition_variable wake_;
+    bool stop_ = false;
+
+    /** Bumped once per round; workers watch it to start. */
+    std::atomic<std::uint64_t> generation_{0};
+
+    /** Round state, written before the generation bump. */
+    const Job *job_ = nullptr;
+    std::size_t count_ = 0;
+    std::atomic<std::size_t> cursor_{0};
+    std::atomic<std::size_t> busy_{0}; //!< workers still in the round
+
+    std::mutex error_mutex_;
+    std::exception_ptr first_error_;
+};
+
+} // namespace jasim::lane
+
+#endif // JASIM_LANE_WORKER_TEAM_H

@@ -54,6 +54,14 @@ class NetworkFabric
     /** Total bytes that crossed any link. */
     std::uint64_t totalBytes() const;
 
+    /**
+     * Minimum guaranteed one-way delivery delay over every link in
+     * the fabric (us). No message can cross any hop faster than this,
+     * so it is a sound conservative lookahead window for
+     * jasim::lane. Zero if any link is zero-cost.
+     */
+    SimTime minLatencyUs() const;
+
   private:
     NetworkLink client_lb_;
     std::vector<std::unique_ptr<NetworkLink>> lb_node_;

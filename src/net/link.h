@@ -10,6 +10,16 @@
  * A default-constructed LinkConfig with latency_us = 0 and
  * jitter_sigma = 0 is a zero-cost link, which the cluster equivalence
  * tests rely on.
+ *
+ * The jitter multiplier is clamped below at kJitterFloor, so a link
+ * has a guaranteed minimum one-way latency, `minLatencyUs()`. That
+ * bound is load-bearing: jasim::lane uses the fabric-wide minimum as
+ * its conservative lookahead window, and an unbounded log-normal
+ * would let a single early delivery violate the window. Each
+ * direction draws jitter from its own forked RNG stream and keeps its
+ * own stats, so the two directions of a full-duplex link are
+ * independent — which is what lets the forward and reverse paths be
+ * owned by different event lanes.
  */
 
 #ifndef JASIM_NET_LINK_H
@@ -70,6 +80,15 @@ class NetworkLink
   public:
     enum class Direction : std::uint8_t { Forward, Reverse };
 
+    /**
+     * Lower clamp on the log-normal jitter multiplier. With sigma
+     * 0.15 (the lan() default) a draw this low is a ~4.6-sigma event
+     * in log space, so the clamp is unobservable in practice — it
+     * exists to make minLatencyUs() a hard guarantee rather than a
+     * statistical one.
+     */
+    static constexpr double kJitterFloor = 0.5;
+
     NetworkLink(const LinkConfig &config, std::uint64_t seed);
 
     /**
@@ -107,22 +126,41 @@ class NetworkLink
     /** Expected round-trip time, jitter-free (us). */
     double rttUs() const { return 2.0 * config_.latency_us; }
 
+    /**
+     * Guaranteed minimum one-way delivery delay (us): the configured
+     * latency scaled by the jitter floor when jitter is enabled.
+     * Degradation multipliers only ever raise latency, and
+     * serialization only adds, so no message delivered at time `now`
+     * can arrive before `now + minLatencyUs()`. jasim::lane takes the
+     * fabric-wide minimum of this as its lookahead window.
+     */
+    SimTime minLatencyUs() const;
+
     const LinkConfig &config() const { return config_; }
-    const LinkStats &stats() const { return stats_; }
+
+    /** Stats summed over both directions. */
+    LinkStats stats() const;
+
+    /** One direction's stats. */
+    const LinkStats &stats(Direction direction) const
+    {
+        return stats_[static_cast<std::size_t>(direction)];
+    }
 
     /** Messages the degraded link has dropped (via drawDrop). */
     std::uint64_t dropped() const { return dropped_; }
 
   private:
     LinkConfig config_;
-    Rng rng_;
+    Rng rng_[2];       //!< per-direction jitter streams
+    Rng drop_rng_;     //!< fault-mode drop draws (own stream)
     SimTime tx_free_[2] = {0, 0}; //!< per-direction next-free time
-    LinkStats stats_;
+    LinkStats stats_[2];
     double latency_mult_ = 1.0;
     double drop_probability_ = 0.0;
     std::uint64_t dropped_ = 0;
 
-    SimTime propagation();
+    SimTime propagation(Direction direction);
 };
 
 } // namespace jasim

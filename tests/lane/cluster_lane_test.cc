@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace jasim {
+namespace {
+
+struct Shared
+{
+    std::shared_ptr<const WorkloadProfiles> profiles;
+    std::shared_ptr<const MethodRegistry> registry;
+
+    explicit Shared(std::uint64_t seed = 11)
+        : profiles(std::make_shared<const WorkloadProfiles>(seed)),
+          registry(std::make_shared<const MethodRegistry>(
+              profiles->layout(Component::WasJit).count(), seed))
+    {
+    }
+};
+
+/** Small LAN cluster, short ramp: quick but exercises every tier. */
+ClusterConfig
+lanCluster(std::size_t nodes, std::size_t lanes)
+{
+    ClusterConfig config;
+    config.nodes = nodes;
+    config.node.injection_rate = 8.0;
+    config.node.driver.ramp_up_s = 1.0;
+    config.lanes = lanes;
+    return config;
+}
+
+struct RunTotals
+{
+    std::uint64_t completed;
+    std::uint64_t errors;
+    std::uint64_t events;
+    std::uint64_t bytes;
+    double jops;
+};
+
+RunTotals
+runCluster(const Shared &shared, const ClusterConfig &config,
+           bool expect_lane_mode)
+{
+    ClusterUnderTest cluster(config, shared.profiles, shared.registry,
+                             21);
+    EXPECT_EQ(cluster.laneModeActive(), expect_lane_mode);
+    cluster.start(secs(12));
+    cluster.advanceTo(secs(14)); // drain
+    if (const lane::LaneScheduler *sched = cluster.laneScheduler()) {
+        EXPECT_TRUE(expect_lane_mode);
+        EXPECT_GT(sched->windows(), 0u);
+        EXPECT_GT(sched->merged(), 0u);
+    } else {
+        EXPECT_FALSE(expect_lane_mode);
+        EXPECT_EQ(cluster.laneScheduler(), nullptr);
+    }
+    return RunTotals{cluster.tracker().totalCompleted(),
+                     cluster.tracker().errorCount(),
+                     cluster.queue().executed(),
+                     cluster.fabric().totalBytes(),
+                     cluster.jops(secs(2), secs(12))};
+}
+
+TEST(ClusterLaneTest, NodeLaneMappingReservesLaneZeroForTheFront)
+{
+    EXPECT_EQ(ClusterUnderTest::nodeLane(0), 1u);
+    EXPECT_EQ(ClusterUnderTest::nodeLane(7), 8u);
+}
+
+TEST(ClusterLaneTest, DefaultLanesZeroKeepsSerialKernel)
+{
+    Shared shared;
+    const RunTotals serial =
+        runCluster(shared, lanCluster(2, 0), false);
+    EXPECT_GT(serial.completed, 50u);
+}
+
+TEST(ClusterLaneTest, LaneCountsAgreeBitForBit)
+{
+    Shared shared;
+    const RunTotals one = runCluster(shared, lanCluster(3, 1), true);
+    EXPECT_GT(one.completed, 50u);
+    for (std::size_t lanes : {2u, 4u, 8u}) {
+        const RunTotals n =
+            runCluster(shared, lanCluster(3, lanes), true);
+        EXPECT_EQ(n.completed, one.completed) << "lanes=" << lanes;
+        EXPECT_EQ(n.errors, one.errors) << "lanes=" << lanes;
+        EXPECT_EQ(n.events, one.events) << "lanes=" << lanes;
+        EXPECT_EQ(n.bytes, one.bytes) << "lanes=" << lanes;
+        EXPECT_DOUBLE_EQ(n.jops, one.jops) << "lanes=" << lanes;
+    }
+}
+
+TEST(ClusterLaneTest, JitteredLinksStayBitIdenticalAcrossLaneCounts)
+{
+    Shared shared;
+    ClusterConfig config = lanCluster(2, 1);
+    config.fabric.node_db.jitter_sigma = 0.3;
+    config.fabric.lb_node.jitter_sigma = 0.3;
+    const RunTotals one = runCluster(shared, config, true);
+    config.lanes = 4;
+    const RunTotals four = runCluster(shared, config, true);
+    EXPECT_GT(one.completed, 50u);
+    EXPECT_EQ(four.completed, one.completed);
+    EXPECT_EQ(four.events, one.events);
+    EXPECT_EQ(four.bytes, one.bytes);
+    EXPECT_DOUBLE_EQ(four.jops, one.jops);
+}
+
+TEST(ClusterLaneTest, ZeroCostFabricFallsBackToSerial)
+{
+    Shared shared;
+    ClusterConfig config = lanCluster(2, 4);
+    config.fabric = FabricConfig::zeroCost();
+    // No lookahead (a message may cross a hop instantly): lane mode
+    // silently stands down and the run completes serially.
+    const RunTotals totals = runCluster(shared, config, false);
+    EXPECT_GT(totals.completed, 50u);
+}
+
+TEST(ClusterLaneTest, FaultScheduleFallsBackToSerial)
+{
+    Shared shared;
+    ClusterConfig config = lanCluster(2, 4);
+    config.faults = FaultSchedule::parse("crash@5:node=0,restart=2");
+    ClusterUnderTest cluster(config, shared.profiles, shared.registry,
+                             21);
+    EXPECT_FALSE(cluster.laneModeActive());
+    EXPECT_TRUE(cluster.resilienceEnabled());
+    cluster.start(secs(12));
+    cluster.advanceTo(secs(14));
+    EXPECT_GT(cluster.tracker().totalCompleted(), 50u);
+}
+
+TEST(ClusterLaneTest, ReplicationFallsBackToSerial)
+{
+    Shared shared;
+    ClusterConfig config = lanCluster(2, 4);
+    config.repl.shards = 2;
+    ClusterUnderTest cluster(config, shared.profiles, shared.registry,
+                             21);
+    EXPECT_FALSE(cluster.laneModeActive());
+    EXPECT_TRUE(cluster.replicationEnabled());
+    cluster.start(secs(12));
+    cluster.advanceTo(secs(14));
+    EXPECT_GT(cluster.tracker().totalCompleted(), 50u);
+}
+
+} // namespace
+} // namespace jasim

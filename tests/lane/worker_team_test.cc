@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "lane/worker_team.h"
+
+namespace jasim::lane {
+namespace {
+
+TEST(WorkerTeamTest, WidthOneRunsInline)
+{
+    WorkerTeam team(1);
+    EXPECT_EQ(team.width(), 1u);
+    std::vector<int> hits(8, 0);
+    team.run(hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerTeamTest, EveryIndexRunsExactlyOnce)
+{
+    WorkerTeam team(4);
+    EXPECT_EQ(team.width(), 4u);
+    std::vector<std::atomic<int>> hits(100);
+    team.run(hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerTeamTest, CountZeroIsANoOp)
+{
+    WorkerTeam team(3);
+    team.run(0, [](std::size_t) { FAIL() << "job ran for count=0"; });
+}
+
+TEST(WorkerTeamTest, CountBelowWidthStillCoversAll)
+{
+    WorkerTeam team(8);
+    std::vector<std::atomic<int>> hits(3);
+    team.run(hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerTeamTest, TeamIsReusableAcrossManyRounds)
+{
+    WorkerTeam team(4);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 200; ++round)
+        team.run(16, [&](std::size_t) { total++; });
+    EXPECT_EQ(total.load(), 200 * 16);
+}
+
+TEST(WorkerTeamTest, JobExceptionIsRethrownToCaller)
+{
+    WorkerTeam team(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(team.run(32,
+                          [&](std::size_t i) {
+                              ran++;
+                              if (i == 7)
+                                  throw std::runtime_error("lane boom");
+                          }),
+                 std::runtime_error);
+    EXPECT_GT(ran.load(), 0);
+    // The team survives a throwing round.
+    std::atomic<int> after{0};
+    team.run(8, [&](std::size_t) { after++; });
+    EXPECT_EQ(after.load(), 8);
+}
+
+} // namespace
+} // namespace jasim::lane

@@ -75,6 +75,59 @@ TEST(LinkTest, JitterIsDeterministicUnderPinnedSeed)
     EXPECT_TRUE(any_differ);
 }
 
+TEST(LinkTest, JitteredDeliveryNeverBeatsTheDocumentedFloor)
+{
+    // The jitter multiplier is clamped at kJitterFloor, so no draw —
+    // however extreme the sigma — can deliver faster than
+    // floor x latency. jasim::lane derives its lookahead window from
+    // this guarantee; a single early delivery would break it.
+    LinkConfig config;
+    config.latency_us = 200.0;
+    config.jitter_sigma = 1.5; // heavy tail, many low draws
+    config.bytes_per_us = 0.0; // isolate propagation
+    NetworkLink link(config, 77);
+    const auto floor_us =
+        static_cast<SimTime>(200.0 * NetworkLink::kJitterFloor);
+    EXPECT_EQ(link.minLatencyUs(), floor_us);
+    for (int i = 0; i < 20000; ++i) {
+        const SimTime sent = static_cast<SimTime>(i) * 1000;
+        const auto dir = (i % 2 == 0)
+                             ? NetworkLink::Direction::Forward
+                             : NetworkLink::Direction::Reverse;
+        const SimTime arrival = link.deliver(sent, 1, dir);
+        EXPECT_GE(arrival - sent, floor_us) << "message " << i;
+    }
+}
+
+TEST(LinkTest, MinLatencyReflectsJitterConfig)
+{
+    LinkConfig config;
+    config.latency_us = 100.0;
+    config.jitter_sigma = 0.0;
+    EXPECT_EQ(NetworkLink(config, 1).minLatencyUs(), 100u);
+    config.jitter_sigma = 0.15;
+    EXPECT_EQ(NetworkLink(config, 1).minLatencyUs(), 50u);
+    EXPECT_EQ(NetworkLink(LinkConfig::zeroCost(), 1).minLatencyUs(),
+              0u);
+}
+
+TEST(LinkTest, PerDirectionStatsSumIntoTheAggregate)
+{
+    LinkConfig config;
+    config.latency_us = 10.0;
+    config.bytes_per_us = 100.0;
+    NetworkLink link(config, 1);
+    link.deliver(0, 1000);
+    link.deliver(0, 500, NetworkLink::Direction::Reverse);
+    link.deliver(0, 500, NetworkLink::Direction::Reverse);
+    EXPECT_EQ(link.stats(NetworkLink::Direction::Forward).messages,
+              1u);
+    EXPECT_EQ(link.stats(NetworkLink::Direction::Reverse).messages,
+              2u);
+    EXPECT_EQ(link.stats().messages, 3u);
+    EXPECT_EQ(link.stats().bytes, 2000u);
+}
+
 TEST(LinkTest, JitterStaysCenteredOnConfiguredLatency)
 {
     LinkConfig config;

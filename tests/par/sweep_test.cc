@@ -97,6 +97,43 @@ TEST(SweepTest, FirstExceptionPropagates)
         std::runtime_error);
 }
 
+TEST(SweepTest, ParallelForCountZeroIsANoOp)
+{
+    WorkerPool pool(4);
+    pool.parallelFor(0, [](std::size_t) {
+        FAIL() << "work ran for count=0";
+    });
+}
+
+TEST(SweepTest, ParallelForCountBelowJobsCoversAll)
+{
+    std::vector<std::atomic<int>> hits(2);
+    WorkerPool pool(8); // more workers than work items
+    pool.parallelFor(2, [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepTest, ParallelForRethrowsFirstExceptionAndDrains)
+{
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(
+                     16,
+                     [&](std::size_t i) {
+                         ++ran;
+                         if (i % 2 == 1)
+                             throw std::runtime_error("odd point");
+                     }),
+                 std::runtime_error);
+    // Every index was still visited (failures don't strand work),
+    // and the pool remains usable afterwards.
+    EXPECT_EQ(ran.load(), 16);
+    std::atomic<int> after{0};
+    pool.parallelFor(4, [&](std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 4);
+}
+
 TEST(SweepTest, SerialExceptionPropagatesToo)
 {
     WorkerPool pool(1);
