@@ -28,15 +28,19 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "adm/admission.h"
 #include "core/experiment.h"
 #include "core/figures.h"
+#include "driver/arrival.h"
 #include "repl/replicated_db.h"
 #include "sim/config.h"
 #include "stats/render.h"
@@ -90,6 +94,20 @@ configFromArgs(int argc, char **argv, double default_steady_s = 300.0)
     // Exact fast path (`--fastpath`, default on; `--fastpath=0` for
     // A/B runs -- stdout must not change either way).
     config.window.fastpath = args.fastpath();
+
+    // Overload axis: `--arrival <spec>` shapes the open-loop rate,
+    // `--admission <spec>` arms the shed/backpressure ladder. The
+    // defaults leave both off and the run byte-identical to a
+    // pre-overload build. Malformed specs abort with the offending
+    // token, like a bad --faults spec.
+    try {
+        config.sut.driver.arrival = ArrivalSpec::parse(args.arrival());
+        config.sut.admission =
+            adm::AdmissionConfig::parse(args.admission());
+    } catch (const std::invalid_argument &error) {
+        std::cerr << error.what() << "\n";
+        std::exit(2);
+    }
     return config;
 }
 

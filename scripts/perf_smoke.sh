@@ -30,7 +30,7 @@ echo "== perf-smoke: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target micro_eventqueue micro_memwalk \
     micro_lanes fig08_l1d abl_l2size abl_cluster_scaling abl_recovery \
-    abl_replication
+    abl_replication abl_burst
 
 echo "== perf-smoke: event-kernel microbenchmark =="
 "$BUILD/bench/micro_eventqueue"
@@ -96,6 +96,20 @@ if ! cmp -s "$tmp/nofaults.txt" "$tmp/replofF.txt"; then
     exit 1
 fi
 echo "repl gating: --shards 1 --replicas 0 output is bit-identical to no replication flags"
+
+echo "== perf-smoke: cluster with overload flags disarmed vs absent =="
+# The overload machinery's gating contract (jasim::adm + the arrival
+# modulator): `--arrival fixed --admission none` must construct
+# nothing — no modulator, no controller, not one extra RNG draw — so
+# the run must be BIT-IDENTICAL to one with neither flag (and
+# therefore to the pinned CLUSTER golden below).
+"$BUILD/bench/abl_cluster_scaling" "${cl_args[@]}" --arrival fixed --admission none >"$tmp/admoff.txt"
+if ! cmp -s "$tmp/nofaults.txt" "$tmp/admoff.txt"; then
+    echo "FAIL: --arrival fixed --admission none output differs from no overload flags (adm gating broken):" >&2
+    diff "$tmp/nofaults.txt" "$tmp/admoff.txt" >&2 || true
+    exit 1
+fi
+echo "adm gating: --arrival fixed --admission none output is bit-identical to no overload flags"
 
 echo "== perf-smoke: parallel event core, --lanes 4 vs --lanes 1 =="
 # jasim::lane's contract, end to end: the windowed lane protocol's
@@ -194,6 +208,27 @@ if ! grep -q "blackouts nonzero+bounded: yes" "$tmp/repl_a.txt"; then
     exit 1
 fi
 echo "replication: byte-identical across job counts, sync acks survive failover, blackouts bounded"
+
+echo "== perf-smoke: abl_burst graceful degradation + determinism gate =="
+# Scaled-down overload sweep: the bench itself exits 1 unless the
+# adaptive policy holds p99 inside the SLA at 4x burst with goodput
+# >= 80% of no-burst capacity while `none` collapses (p99 >= 10x
+# baseline), and its in-band same-seed re-run point is bit-identical.
+# On top of that, stdout must be byte-identical across repeat runs
+# and worker counts.
+burst_args=(nodes=2 steady=40 ramp=10 seed=11)
+"$BUILD/bench/abl_burst" "${burst_args[@]}" --jobs 4 >"$tmp/burst_a.txt"
+"$BUILD/bench/abl_burst" "${burst_args[@]}" --jobs 1 >"$tmp/burst_b.txt"
+if ! cmp -s "$tmp/burst_a.txt" "$tmp/burst_b.txt"; then
+    echo "FAIL: abl_burst output differs across runs/job counts (overload determinism broken):" >&2
+    diff "$tmp/burst_a.txt" "$tmp/burst_b.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "deterministic re-run: yes" "$tmp/burst_a.txt"; then
+    echo "FAIL: abl_burst in-band same-seed re-run diverged" >&2
+    exit 1
+fi
+echo "overload: byte-identical across job counts, adaptive holds the SLA, none collapses"
 
 python3 - out/BENCH_abl_l2size_serial.json out/BENCH_abl_l2size.json <<'EOF'
 import json, sys

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: standard build + full test suite, then an
 # ASan+UBSan-instrumented build (-DJASIM_SANITIZE=ON) running the
-# net, fault, db, repl, and core test binaries, which exercise the
-# event-queue closure graph, the cluster's cross-object callback
-# wiring, the WAL-replay/recovery paths, and the log-shipping /
-# failover machinery — the code most likely to hide lifetime bugs.
+# net, fault, db, repl, adm, driver, and core test binaries, which
+# exercise the event-queue closure graph, the cluster's cross-object
+# callback wiring, the WAL-replay/recovery paths, the log-shipping /
+# failover machinery, and the admission-control shed callbacks — the
+# code most likely to hide lifetime bugs.
 #
 # `--san` widens the sanitized stage to the FULL suite (JASIM_SANITIZE=ON
 # + ctest): slower, but every test runs instrumented. Use it when
@@ -47,11 +48,13 @@ if [[ "$SAN_FULL" == 1 ]]; then
 else
     echo "== tier-1: sanitized build (ASan + UBSan) =="
     cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null
-    cmake --build "$SAN_BUILD" -j --target test_net test_fault test_db test_repl test_core
+    cmake --build "$SAN_BUILD" -j --target test_net test_fault test_db test_repl test_adm test_driver test_core
     "$SAN_BUILD/tests/test_net"
     "$SAN_BUILD/tests/test_fault"
     "$SAN_BUILD/tests/test_db"
     "$SAN_BUILD/tests/test_repl"
+    "$SAN_BUILD/tests/test_adm"
+    "$SAN_BUILD/tests/test_driver"
     "$SAN_BUILD/tests/test_core"
 fi
 

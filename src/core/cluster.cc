@@ -67,7 +67,23 @@ ClusterUnderTest::ClusterUnderTest(
             db_app_->enableAudit();
         db_app_->database().enableRecovery();
     }
+    // Admission control arms the whole backpressure ladder: the
+    // balancer's in-flight cap, the per-node accept queue (built by
+    // each SystemUnderTest), and a bounded EJB->DB pool acquire on
+    // the plain path below. Default (none) leaves all of it off.
+    adm_on_ = config_.node.admission.enabled();
+    if (adm_on_)
+        lb_.setInFlightCap(config_.node.admission.lb_inflight_cap);
+
     ConnectionPoolConfig pool_config = config_.db_pool;
+    if (adm_on_ && !resilience_on_ && !repl_on_ &&
+        pool_config.acquire_timeout_us <= 0.0 &&
+        config_.resilience.pool_acquire_timeout_s > 0.0) {
+        // Saturation at the DB tier must propagate upstream as an
+        // error, not as an unbounded connection queue.
+        pool_config.acquire_timeout_us =
+            config_.resilience.pool_acquire_timeout_s * 1e6;
+    }
     if (resilience_on_ || repl_on_) {
         // The sharded path always runs with attempt deadlines and a
         // bounded pool wait: a failover blackout must shed load, not
@@ -193,6 +209,14 @@ ClusterUnderTest::routeToNode(const Request &request)
     // The balancer is a single server: forwarding work serializes, so
     // an undersized balancer is itself a possible cluster bottleneck.
     const SimTime now = queue_.now();
+    if (lb_.saturated()) {
+        // Cap shed happens before any forwarding work: the reject is
+        // a front-door reset, not a served request.
+        lb_.noteShed();
+        tracker_.error(request, now, ResponseTracker::kNoNode,
+                       ErrorKind::ShedAtLB);
+        return;
+    }
     const SimTime start = std::max(now, lb_free_);
     lb_free_ = start + static_cast<SimTime>(
         std::llround(config_.lb.forward_us));
@@ -300,26 +324,53 @@ ClusterUnderTest::remoteDb(std::size_t node, RequestType type,
         startDbAttempt(call);
         return;
     }
+    if (adm_on_) {
+        // Backpressure: the pool acquire is bounded, so DB-tier
+        // saturation surfaces as a PoolTimeout error upstream
+        // instead of an unbounded connection queue. The shared done
+        // fires exactly once — the pool guarantees one callback.
+        auto shared_done = std::make_shared<SystemUnderTest::DbDone>(
+            std::move(done));
+        pools_[node]->acquire(
+            [this, node, type, noise, shared_done](SimTime ready) {
+                plainDbQuery(node, type, noise,
+                             std::move(*shared_done), ready);
+            },
+            [shared_done](SimTime) {
+                (*shared_done)(TxnDbOutcome{},
+                               ErrorKind::PoolTimeout);
+            });
+        return;
+    }
     // JDBC-style: hold a pooled connection for the whole round trip.
     pools_[node]->acquire([this, node, type, noise,
                            done = std::move(done)](SimTime ready) {
-        const SimTime at_db = fabric_.nodeDb(node).deliver(
-            ready, static_cast<std::uint64_t>(config_.query_bytes));
-        // The query leaves the node's lane for the DB tier (lane 0).
-        const lane::ToLane to_db(0);
-        queue_.scheduleAt(at_db, [this, node, type, noise,
-                                  done = std::move(done)]() mutable {
-            auto outcome = std::make_shared<TxnDbOutcome>(
-                db_app_->runTransaction(type));
-            const TxnProfile &profile =
-                nodes_[node]->application().profile(type);
-            const double burst =
-                profile.db_us * noise + outcome->cost.cpu_us;
-            dbBurst(burst, [this, node, outcome,
-                            done = std::move(done)]() mutable {
-                finishDbTransaction(node, std::move(outcome),
-                                    std::move(done));
-            });
+        plainDbQuery(node, type, noise, std::move(done), ready);
+    });
+}
+
+void
+ClusterUnderTest::plainDbQuery(std::size_t node, RequestType type,
+                               double noise,
+                               SystemUnderTest::DbDone done,
+                               SimTime ready)
+{
+    const SimTime at_db = fabric_.nodeDb(node).deliver(
+        ready, static_cast<std::uint64_t>(config_.query_bytes));
+    // The query leaves the node's lane for the DB tier (lane 0).
+    const lane::ToLane to_db(0);
+    queue_.scheduleAt(at_db, [this, node, type, noise,
+                              done = std::move(done)]() mutable {
+        auto outcome = std::make_shared<TxnDbOutcome>(
+            db_app_->runTransaction(type));
+        const TxnProfile &profile =
+            nodes_[node]->application().profile(type);
+        const double burst =
+            profile.db_us * noise + outcome->cost.cpu_us;
+        dbBurst(burst, [this, node, outcome,
+                        done = std::move(done)]() mutable {
+            finishDbTransaction(node, std::move(outcome),
+                                std::move(done));
         });
     });
 }
@@ -508,7 +559,7 @@ ClusterUnderTest::settleDbFailure(const std::shared_ptr<DbCall> &call,
 {
     if (breaker_failure)
         breaker_->recordFailure(queue_.now());
-    if (retry_.shouldRetry(call->attempt)) {
+    if (retry_.allowRetry(call->attempt, queue_.now())) {
         tracker_.recordRetry(kind);
         const SimTime backoff =
             retry_.backoffUs(call->attempt, retry_rng_);
@@ -951,7 +1002,7 @@ void
 ClusterUnderTest::settleShardFailure(
     const std::shared_ptr<DbCall> &call, ErrorKind kind)
 {
-    if (retry_.shouldRetry(call->attempt)) {
+    if (retry_.allowRetry(call->attempt, queue_.now())) {
         tracker_.recordRetry(kind);
         const SimTime backoff =
             retry_.backoffUs(call->attempt, retry_rng_);

@@ -154,6 +154,15 @@ class ClusterUnderTest
     ResponseTracker &tracker() { return tracker_; }
     const ResponseTracker &tracker() const { return tracker_; }
 
+    /** The cluster driver; null until start(). */
+    const Driver *driver() const { return driver_.get(); }
+
+    /** True when `--admission` armed any part of the shed ladder. */
+    bool admissionEnabled() const { return adm_on_; }
+
+    /** Retry policy state (token-bucket budget counters). */
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
     /** Aggregate operations per second over [from, to). */
     double jops(SimTime from, SimTime to) const
     {
@@ -279,6 +288,7 @@ class ClusterUnderTest
     SimTime db_disk_blocked_us_ = 0;
 
     bool resilience_on_ = false;
+    bool adm_on_ = false; //!< admission/backpressure ladder armed
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<HealthChecker> health_;
     std::unique_ptr<CircuitBreaker> breaker_;
@@ -338,6 +348,10 @@ class ClusterUnderTest
                        SimTime at, ErrorKind kind);
     void remoteDb(std::size_t node, RequestType type, double noise,
                   SystemUnderTest::DbDone done);
+    /** Plain (non-resilient) DB round trip, connection in hand. */
+    void plainDbQuery(std::size_t node, RequestType type,
+                      double noise, SystemUnderTest::DbDone done,
+                      SimTime ready);
     void finishDbTransaction(std::size_t node,
                              std::shared_ptr<TxnDbOutcome> outcome,
                              SystemUnderTest::DbDone done);

@@ -27,6 +27,15 @@ SystemUnderTest::SystemUnderTest(
       rng_(seed)
 {
     assert(profiles_ && registry_);
+    if (config_.admission.webEnabled()) {
+        adm::AdmissionConfig admission = config_.admission;
+        if (admission.max_concurrent == 0)
+            admission.max_concurrent = config_.was_threads;
+        admission.min_concurrent = std::min(
+            admission.min_concurrent, admission.max_concurrent);
+        admission_ = std::make_unique<adm::AdmissionController>(
+            admission, queue_);
+    }
 }
 
 void
@@ -74,12 +83,42 @@ SystemUnderTest::handleRequest(const Request &request)
             tracker_.error(request, now, 0, ErrorKind::NodeDown);
         return;
     }
+    if (admission_) {
+        admission_->offer(
+            [this, request](SimTime) { dispatch(request); },
+            [this, request](SimTime at, adm::ShedReason) {
+                // Fast reject: a tiny canned response, no WAS
+                // thread, no service time charged.
+                web_.noteRejected();
+                if (failure_hook_)
+                    failure_hook_(request, at, ErrorKind::Rejected);
+                else
+                    tracker_.error(request, at, 0,
+                                   ErrorKind::Rejected);
+            });
+        return;
+    }
+    dispatch(request);
+}
+
+void
+SystemUnderTest::dispatch(const Request &request)
+{
     pool_.submit([this, request](SimTime, ThreadPool::Done done) {
         auto job = std::make_shared<Job>();
         job->request = request;
         job->profile = &app_.profile(request.type);
         job->noise = demandNoise();
-        job->done = std::move(done);
+        if (admission_) {
+            // The admission slot frees with the WAS thread, whatever
+            // the request's outcome.
+            job->done = [this, done = std::move(done)] {
+                done();
+                admission_->release();
+            };
+        } else {
+            job->done = std::move(done);
+        }
         job->epoch = crash_epoch_;
         advanceJob(job);
     });

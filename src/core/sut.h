@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "adm/admission.h"
 #include "db/database.h"
 #include "driver/driver.h"
 #include "driver/response_tracker.h"
@@ -47,6 +48,14 @@ struct SutConfig
     EjbContainerConfig ejb;
     JitConfig jit;
     DriverConfig driver;   //!< injection_rate is overridden from above
+
+    /**
+     * Web-tier admission control (jasim::adm). The default `none`
+     * builds no controller and leaves request handling byte-identical
+     * to a pre-admission build. `max_concurrent == 0` resolves to
+     * `was_threads`.
+     */
+    adm::AdmissionConfig admission;
 
     /** Log-normal sigma of per-request service-demand noise. */
     double demand_sigma = 0.18;
@@ -178,6 +187,12 @@ class SystemUnderTest
     VmStat &vmstat() { return vmstat_; }
     const SutConfig &config() const { return config_; }
 
+    /** Null unless config.admission arms a web-tier shed policy. */
+    const adm::AdmissionController *admission() const
+    {
+        return admission_.get();
+    }
+
     /** Live bytes as of the last collection (mark-phase footprint). */
     std::uint64_t gcLiveBytes() const { return gc_.lastLiveBytes(); }
 
@@ -211,6 +226,7 @@ class SystemUnderTest
     ResponseTracker tracker_;
     VmStat vmstat_;
     Rng rng_;
+    std::unique_ptr<adm::AdmissionController> admission_;
     std::unique_ptr<Driver> driver_;
     SimTime disk_blocked_us_ = 0;
     RemoteDbTier remote_db_;
@@ -234,6 +250,8 @@ class SystemUnderTest
     };
 
     void handleRequest(const Request &request);
+    /** Hand an admitted request to the WAS thread pool. */
+    void dispatch(const Request &request);
     void advanceJob(const std::shared_ptr<Job> &job);
     void scheduleAdvance(const std::shared_ptr<Job> &job, SimTime when);
 

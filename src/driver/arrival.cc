@@ -1,0 +1,238 @@
+#include "driver/arrival.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/distributions.h"
+
+namespace jasim {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what, const std::string &token)
+{
+    throw std::invalid_argument("--arrival: " + what + " in \"" +
+                                token + "\"");
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+double
+parseNumber(const std::string &token)
+{
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(token, &used);
+    } catch (const std::exception &) {
+        fail("expected a number", token);
+    }
+    if (used != token.size() || !std::isfinite(value))
+        fail("expected a number", token);
+    return value;
+}
+
+double
+parsePositive(const std::string &token)
+{
+    const double value = parseNumber(token);
+    if (value <= 0.0)
+        fail("expected a value > 0", token);
+    return value;
+}
+
+} // namespace
+
+const char *
+arrivalModeName(ArrivalMode mode)
+{
+    switch (mode) {
+      case ArrivalMode::Fixed: return "fixed";
+      case ArrivalMode::Mmpp: return "mmpp";
+      case ArrivalMode::Curve: return "curve";
+    }
+    return "?";
+}
+
+ArrivalSpec
+ArrivalSpec::parse(const std::string &raw)
+{
+    ArrivalSpec spec;
+    const std::string whole = trim(raw);
+    if (whole.empty() || whole == "fixed")
+        return spec;
+
+    const std::size_t colon = whole.find(':');
+    const std::string head = trim(whole.substr(0, colon));
+    const std::string params =
+        colon == std::string::npos ? "" : whole.substr(colon + 1);
+
+    if (head == "mmpp") {
+        spec.mode = ArrivalMode::Mmpp;
+        std::stringstream list(params);
+        std::string item;
+        while (std::getline(list, item, ',')) {
+            item = trim(item);
+            if (item.empty())
+                continue;
+            const std::size_t eq = item.find('=');
+            if (eq == std::string::npos)
+                fail("expected key=value", item);
+            const std::string key = trim(item.substr(0, eq));
+            const std::string value = trim(item.substr(eq + 1));
+            if (key == "base")
+                spec.base_multiplier = parsePositive(value);
+            else if (key == "burst")
+                spec.burst_multiplier = parsePositive(value);
+            else if (key == "on")
+                spec.burst_mean_s = parsePositive(value);
+            else if (key == "off")
+                spec.baseline_mean_s = parsePositive(value);
+            else
+                fail("unknown mmpp key \"" + key + "\"", item);
+        }
+        if (spec.burst_multiplier < spec.base_multiplier)
+            fail("burst multiplier must be >= base", whole);
+        return spec;
+    }
+
+    if (head == "curve") {
+        spec.mode = ArrivalMode::Curve;
+        std::stringstream list(params);
+        std::string item;
+        while (std::getline(list, item, ',')) {
+            item = trim(item);
+            if (item.empty())
+                continue;
+            const std::size_t eq = item.find('=');
+            if (eq == std::string::npos)
+                fail("expected time=multiplier", item);
+            CurvePoint point;
+            const double at_s =
+                parseNumber(trim(item.substr(0, eq)));
+            if (at_s < 0.0)
+                fail("expected a time >= 0", item);
+            point.at = secs(at_s);
+            point.multiplier = parseNumber(trim(item.substr(eq + 1)));
+            if (point.multiplier < 0.0)
+                fail("expected a multiplier >= 0", item);
+            if (!spec.points.empty() &&
+                point.at <= spec.points.back().at)
+                fail("knot times must be strictly increasing", item);
+            spec.points.push_back(point);
+        }
+        if (spec.points.size() < 2)
+            fail("curve needs at least two time=multiplier knots",
+                 whole);
+        if (spec.maxMultiplier() <= 0.0)
+            fail("curve needs at least one multiplier > 0", whole);
+        return spec;
+    }
+
+    fail("unknown arrival mode \"" + head + "\"", whole);
+}
+
+double
+ArrivalSpec::maxMultiplier() const
+{
+    switch (mode) {
+      case ArrivalMode::Fixed:
+        return 1.0;
+      case ArrivalMode::Mmpp:
+        return std::max(base_multiplier, burst_multiplier);
+      case ArrivalMode::Curve: {
+        double best = 0.0;
+        for (const CurvePoint &point : points)
+            best = std::max(best, point.multiplier);
+        return best;
+      }
+    }
+    return 1.0;
+}
+
+std::string
+ArrivalSpec::describe() const
+{
+    std::ostringstream out;
+    out << arrivalModeName(mode);
+    if (mode == ArrivalMode::Mmpp) {
+        out << " base=" << base_multiplier
+            << " burst=" << burst_multiplier
+            << " on=" << burst_mean_s << "s off=" << baseline_mean_s
+            << "s";
+    } else if (mode == ArrivalMode::Curve) {
+        out << " knots=" << points.size()
+            << " peak=" << maxMultiplier();
+    }
+    return out.str();
+}
+
+RateModulator::RateModulator(const ArrivalSpec &spec,
+                             std::uint64_t seed)
+    : spec_(spec), rng_(seed), max_multiplier_(spec.maxMultiplier())
+{
+    assert(spec_.enabled());
+    if (spec_.mode == ArrivalMode::Mmpp) {
+        // The process starts in the baseline state; the first switch
+        // time comes off the modulator's own stream.
+        next_switch_ = secs(
+            drawExponential(rng_, 1.0 / spec_.baseline_mean_s));
+    }
+}
+
+double
+RateModulator::multiplier(SimTime at)
+{
+    assert(at >= last_query_ && "modulator queries must be monotone");
+    last_query_ = at;
+    if (spec_.mode == ArrivalMode::Curve)
+        return curveMultiplier(at);
+
+    while (at >= next_switch_) {
+        in_burst_ = !in_burst_;
+        if (in_burst_)
+            ++bursts_;
+        const double mean_s = in_burst_ ? spec_.burst_mean_s
+                                        : spec_.baseline_mean_s;
+        next_switch_ +=
+            std::max<SimTime>(1, secs(drawExponential(
+                                     rng_, 1.0 / mean_s)));
+    }
+    return in_burst_ ? spec_.burst_multiplier
+                     : spec_.base_multiplier;
+}
+
+double
+RateModulator::curveMultiplier(SimTime at) const
+{
+    const std::vector<CurvePoint> &pts = spec_.points;
+    if (at <= pts.front().at)
+        return pts.front().multiplier;
+    if (at >= pts.back().at)
+        return pts.back().multiplier;
+    // First knot strictly past `at`; interpolate from its predecessor.
+    const auto after = std::upper_bound(
+        pts.begin(), pts.end(), at,
+        [](SimTime t, const CurvePoint &p) { return t < p.at; });
+    const CurvePoint &hi = *after;
+    const CurvePoint &lo = *(after - 1);
+    const double span = static_cast<double>(hi.at - lo.at);
+    const double frac = static_cast<double>(at - lo.at) / span;
+    return lo.multiplier + (hi.multiplier - lo.multiplier) * frac;
+}
+
+} // namespace jasim

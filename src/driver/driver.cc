@@ -11,6 +11,10 @@ Driver::Driver(const DriverConfig &config, EventQueue &queue,
     : config_(config), queue_(queue), rng_(seed), sink_(std::move(sink))
 {
     assert(sink_ != nullptr);
+    if (config_.arrival.enabled()) {
+        modulator_ = std::make_unique<RateModulator>(
+            config_.arrival, seed ^ 0xa771ull);
+    }
     const double dealer =
         config_.injection_rate * config_.dealer_per_ir;
     rates_[static_cast<std::size_t>(RequestType::Browse)] =
@@ -31,8 +35,11 @@ Driver::start(SimTime start, SimTime end)
         if (rates_[t] <= 0.0)
             continue;
         const auto type = static_cast<RequestType>(t);
+        double rate = rates_[t];
+        if (modulator_)
+            rate *= modulator_->maxMultiplier();
         const SimTime first = start + secs(
-            drawExponential(rng_, rates_[t]));
+            drawExponential(rng_, rate));
         if (first < end_) {
             queue_.scheduleAt(first, [this, type] {
                 scheduleNext(type);
@@ -46,9 +53,15 @@ Driver::scheduleNext(RequestType type)
 {
     // Linear thinning during the driver ramp-up.
     const SimTime ramp = secs(config_.ramp_up_s);
-    const bool accept = ramp == 0 || queue_.now() >= ramp ||
+    bool accept = ramp == 0 || queue_.now() >= ramp ||
         rng_.uniform() < static_cast<double>(queue_.now()) /
             static_cast<double>(ramp);
+    // Lewis-Shedler thinning against the rate modulator: candidates
+    // arrive at rate x maxMultiplier and survive with m(t)/max.
+    if (accept && modulator_) {
+        accept = rng_.uniform() * modulator_->maxMultiplier() <
+            modulator_->multiplier(queue_.now());
+    }
     if (accept) {
         Request request;
         request.id = next_id_++;
@@ -58,7 +71,9 @@ Driver::scheduleNext(RequestType type)
         sink_(request);
     }
 
-    const double rate = rates_[static_cast<std::size_t>(type)];
+    double rate = rates_[static_cast<std::size_t>(type)];
+    if (modulator_)
+        rate *= modulator_->maxMultiplier();
     const SimTime next = queue_.now() + secs(drawExponential(rng_, rate));
     if (next < end_) {
         queue_.scheduleAt(next, [this, type] { scheduleNext(type); });

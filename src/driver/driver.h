@@ -15,7 +15,9 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 
+#include "driver/arrival.h"
 #include "driver/request.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -44,6 +46,15 @@ struct DriverConfig
     double purchase_share = 0.25;
     double manage_share = 0.25;
 
+    /**
+     * Arrival process (see driver/arrival.h). The default fixed mode
+     * builds no modulator and leaves the arrival stream byte-identical
+     * to a pre-arrival-process build; mmpp/curve modes thin an
+     * over-sampled Poisson stream against the shared rate modulator,
+     * so bursts hit every traffic class coherently.
+     */
+    ArrivalSpec arrival;
+
     /** Nominal JOPS per IR on a tuned system. */
     double
     jopsPerIr() const
@@ -69,12 +80,21 @@ class Driver
 
     std::uint64_t injectedCount() const { return injected_; }
 
+    /** Burst-state entries of the rate modulator (0 in fixed mode). */
+    std::uint64_t burstCount() const
+    {
+        return modulator_ ? modulator_->burstCount() : 0;
+    }
+
     const DriverConfig &config() const { return config_; }
 
   private:
     DriverConfig config_;
     EventQueue &queue_;
     Rng rng_;
+    /** Null in fixed mode; its own forked stream, so enabling a
+     *  modulator never perturbs the per-type arrival draws' seed. */
+    std::unique_ptr<RateModulator> modulator_;
     Sink sink_;
     SimTime end_ = 0;
     std::uint64_t injected_ = 0;

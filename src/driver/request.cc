@@ -27,6 +27,8 @@ errorKindName(ErrorKind kind)
       case ErrorKind::DbRetriesExhausted: return "db-retries-exhausted";
       case ErrorKind::RecoveryWait: return "recovery-wait";
       case ErrorKind::FailoverWait: return "failover-wait";
+      case ErrorKind::Rejected: return "rejected";
+      case ErrorKind::ShedAtLB: return "shed-at-lb";
     }
     return "?";
 }

@@ -69,9 +69,11 @@ enum class ErrorKind : std::uint8_t
     DbRetriesExhausted,  //!< every DB attempt failed
     RecoveryWait,        //!< DB tier is replaying its WAL after a crash
     FailoverWait,        //!< shard blacked out while a replica promotes
+    Rejected,            //!< shed by web-tier admission control
+    ShedAtLB,            //!< shed by the balancer's in-flight cap
 };
 
-inline constexpr std::size_t errorKindCount = 9;
+inline constexpr std::size_t errorKindCount = 11;
 
 /** Printable error-kind name. */
 const char *errorKindName(ErrorKind kind);

@@ -18,8 +18,9 @@ ResponseTracker::complete(const Request &request, SimTime finish,
 {
     assert(finish >= request.arrival);
     PerType &pt = per_type_[idx(request.type)];
-    pt.responses.add(toSeconds(finish - request.arrival));
-    pt.completions.push_back(Completion{finish, node});
+    const double seconds = toSeconds(finish - request.arrival);
+    pt.responses.add(seconds);
+    pt.completions.push_back(Completion{finish, node, seconds});
 }
 
 std::uint64_t
@@ -71,6 +72,38 @@ ResponseTracker::jops(SimTime from, SimTime to) const
         }
     }
     return static_cast<double>(completed) / toSeconds(to - from);
+}
+
+double
+ResponseTracker::goodput(SimTime from, SimTime to,
+                         double bound_seconds) const
+{
+    if (to <= from)
+        return 0.0;
+    std::uint64_t good = 0;
+    for (std::size_t t = 0; t < requestTypeCount; ++t) {
+        const double bound = bound_seconds > 0.0
+            ? bound_seconds
+            : slaSeconds(static_cast<RequestType>(t));
+        for (const Completion &c : per_type_[t].completions) {
+            if (c.finish >= from && c.finish < to &&
+                c.seconds <= bound)
+                good += 1;
+        }
+    }
+    return static_cast<double>(good) / toSeconds(to - from);
+}
+
+double
+ResponseTracker::slaAttainment(RequestType type,
+                               double bound_seconds) const
+{
+    const PerType &pt = per_type_[idx(type)];
+    if (pt.completions.empty())
+        return kNoSamples;
+    const double bound =
+        bound_seconds > 0.0 ? bound_seconds : slaSeconds(type);
+    return pt.responses.fractionAtOrBelow(bound);
 }
 
 std::uint64_t

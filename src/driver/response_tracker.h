@@ -88,6 +88,31 @@ class ResponseTracker
     /** Overall operations per second over [from, to). */
     double jops(SimTime from, SimTime to) const;
 
+    /**
+     * Goodput over [from, to): completions per second that met their
+     * latency bound. `bound_seconds` overrides the per-type SLA bound
+     * when > 0 (overload benches use a uniform bound).
+     */
+    double goodput(SimTime from, SimTime to,
+                   double bound_seconds = 0.0) const;
+
+    /**
+     * Fraction of a type's completions at or under the latency bound
+     * (the type's SLA bound when `bound_seconds` is 0); kNoSamples
+     * before the first completion. Shed/errored requests never enter
+     * the numerator or denominator — shedding is visible in
+     * shedCount()/errorRate(), not here.
+     */
+    double slaAttainment(RequestType type,
+                         double bound_seconds = 0.0) const;
+
+    /** Requests shed by admission control or the balancer cap. */
+    std::uint64_t shedCount() const
+    {
+        return errorCount(ErrorKind::Rejected) +
+            errorCount(ErrorKind::ShedAtLB);
+    }
+
     /** SLA verdicts per type (only steady-state samples if sliced). */
     std::array<SlaVerdict, requestTypeCount> verdicts() const;
 
@@ -191,6 +216,7 @@ class ResponseTracker
     {
         SimTime finish;
         std::uint32_t node;
+        double seconds; //!< response time, for windowed goodput
     };
     struct PerType
     {

@@ -6,6 +6,27 @@
 
 namespace jasim {
 
+bool
+RetryPolicy::allowRetry(std::size_t attempt, SimTime now)
+{
+    if (!shouldRetry(attempt))
+        return false;
+    if (config_.retry_budget_per_s <= 0.0)
+        return true;
+    assert(now >= last_refill_);
+    tokens_ = std::min(
+        config_.retry_budget_burst,
+        tokens_ + toSeconds(now - last_refill_) *
+            config_.retry_budget_per_s);
+    last_refill_ = now;
+    if (tokens_ < 1.0) {
+        ++budget_denied_;
+        return false;
+    }
+    tokens_ -= 1.0;
+    return true;
+}
+
 SimTime
 RetryPolicy::backoffUs(std::size_t attempt, Rng &rng) const
 {

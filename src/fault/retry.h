@@ -40,13 +40,28 @@ struct RetryConfig
      * from [1-j, 1+j]. Zero draws nothing from the RNG.
      */
     double jitter = 0.25;
+
+    /**
+     * Token-bucket retry budget: retries the whole policy may grant
+     * per second (<= 0 = unlimited, the legacy behaviour). Under
+     * overload a full per-request retry allowance amplifies offered
+     * load attempt-fold; the budget caps the aggregate retry rate so
+     * a failure storm cannot feed itself.
+     */
+    double retry_budget_per_s = 0.0;
+
+    /** Bucket depth: retries grantable in one burst. */
+    double retry_budget_burst = 10.0;
 };
 
-/** Pure policy object: answers "again?" and "after how long?". */
+/** Policy object: answers "again?" and "after how long?". */
 class RetryPolicy
 {
   public:
-    explicit RetryPolicy(const RetryConfig &config) : config_(config) {}
+    explicit RetryPolicy(const RetryConfig &config)
+        : config_(config), tokens_(config.retry_budget_burst)
+    {
+    }
 
     /** May attempt `attempt`+1 follow a failed attempt `attempt` (1-based)? */
     bool shouldRetry(std::size_t attempt) const
@@ -55,15 +70,33 @@ class RetryPolicy
     }
 
     /**
+     * shouldRetry() plus the retry budget: refills the token bucket
+     * to `now` and, when the per-attempt budget allows a retry,
+     * spends one token for it. Denials against a non-exhausted
+     * attempt budget are counted in budgetDenied(). With no budget
+     * configured this is exactly shouldRetry().
+     */
+    bool allowRetry(std::size_t attempt, SimTime now);
+
+    /**
      * Backoff to wait after failed attempt `attempt` (1-based),
      * in integer microseconds. Draws at most one uniform from `rng`.
      */
     SimTime backoffUs(std::size_t attempt, Rng &rng) const;
 
+    /** Retries refused by the token bucket alone. */
+    std::uint64_t budgetDenied() const { return budget_denied_; }
+
+    /** Tokens currently in the bucket (after the last refill). */
+    double tokens() const { return tokens_; }
+
     const RetryConfig &config() const { return config_; }
 
   private:
     RetryConfig config_;
+    double tokens_;
+    SimTime last_refill_ = 0;
+    std::uint64_t budget_denied_ = 0;
 };
 
 } // namespace jasim

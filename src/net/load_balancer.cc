@@ -105,10 +105,8 @@ LoadBalancer::route()
     ++in_flight_[node];
     ++routed_[node];
     ++total_routed_;
-    std::size_t flying = 0;
-    for (const std::size_t f : in_flight_)
-        flying += f;
-    peak_in_flight_ = std::max(peak_in_flight_, flying);
+    ++total_in_flight_;
+    peak_in_flight_ = std::max(peak_in_flight_, total_in_flight_);
     return node;
 }
 
@@ -116,7 +114,9 @@ void
 LoadBalancer::complete(std::size_t node)
 {
     assert(node < in_flight_.size() && in_flight_[node] > 0);
+    assert(total_in_flight_ > 0);
     --in_flight_[node];
+    --total_in_flight_;
 }
 
 void

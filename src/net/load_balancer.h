@@ -100,6 +100,28 @@ class LoadBalancer
     std::uint64_t totalRouted() const { return total_routed_; }
     std::size_t peakInFlight() const { return peak_in_flight_; }
 
+    /** Requests currently in flight across every node. */
+    std::size_t totalInFlight() const { return total_in_flight_; }
+
+    /**
+     * Arm (or disarm with 0) the balancer-level in-flight cap. The
+     * balancer itself stays policy-free: the caller checks
+     * saturated() before route() and records the shed here.
+     */
+    void setInFlightCap(std::size_t cap) { in_flight_cap_ = cap; }
+    std::size_t inFlightCap() const { return in_flight_cap_; }
+
+    /** True when the cap is armed and the fleet is at it. */
+    bool saturated() const
+    {
+        return in_flight_cap_ > 0 &&
+            total_in_flight_ >= in_flight_cap_;
+    }
+
+    /** Account one request shed at the balancer. */
+    void noteShed() { ++sheds_; }
+    std::uint64_t sheds() const { return sheds_; }
+
     /** Requests refused because no node was up. */
     std::uint64_t unroutable() const { return unroutable_; }
 
@@ -119,6 +141,9 @@ class LoadBalancer
     std::size_t next_ = 0;               //!< round-robin cursor
     std::uint64_t total_routed_ = 0;
     std::size_t peak_in_flight_ = 0;
+    std::size_t total_in_flight_ = 0;
+    std::size_t in_flight_cap_ = 0;      //!< 0 = uncapped
+    std::uint64_t sheds_ = 0;
     std::uint64_t unroutable_ = 0;
     std::uint64_t ejections_ = 0;
     std::uint64_t readmissions_ = 0;

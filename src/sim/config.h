@@ -82,6 +82,24 @@ class Config
     std::string faults() const { return getString("faults", ""); }
 
     /**
+     * Arrival-process spec from `--arrival <spec>` (see
+     * driver/arrival.h for the grammar). Empty — the default — means
+     * fixed-rate Poisson; benches pass it to ArrivalSpec::parse.
+     */
+    std::string arrival() const { return getString("arrival", ""); }
+
+    /**
+     * Admission-control spec from `--admission <spec>` (see
+     * adm/admission.h for the grammar). Empty — the default — means
+     * no admission control; benches pass it to
+     * adm::AdmissionConfig::parse.
+     */
+    std::string admission() const
+    {
+        return getString("admission", "");
+    }
+
+    /**
      * Validated shard count from `--shards N` (replicated DB tier).
      *
      * Absent, zero, negative, or unparsable values mean 1 (the

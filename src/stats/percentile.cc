@@ -31,6 +31,18 @@ PercentileTracker::percentile(double p) const
 }
 
 double
+PercentileTracker::fractionAtOrBelow(double bound) const
+{
+    if (samples_.empty())
+        return 1.0;
+    ensureSorted();
+    const auto past = std::upper_bound(samples_.begin(),
+                                       samples_.end(), bound);
+    return static_cast<double>(past - samples_.begin()) /
+        static_cast<double>(samples_.size());
+}
+
+double
 PercentileTracker::mean() const
 {
     if (samples_.empty())

@@ -39,6 +39,12 @@ class PercentileTracker
      */
     double percentile(double p) const;
 
+    /**
+     * Fraction of samples <= bound (SLA attainment for a latency
+     * bound). Returns 1.0 when empty.
+     */
+    double fractionAtOrBelow(double bound) const;
+
     double mean() const;
     double max() const;
 

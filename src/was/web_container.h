@@ -33,7 +33,15 @@ class WebContainer
      */
     double handle(RequestType type, double response_kb);
 
+    /**
+     * Account one admission-control fast reject: a canned 503 with
+     * no body, modelled at zero CPU — the whole point of shedding at
+     * the front door is that a reject costs ~nothing.
+     */
+    void noteRejected() { ++rejected_; }
+
     std::uint64_t handledCount() const { return handled_; }
+    std::uint64_t rejectedCount() const { return rejected_; }
     double totalUs() const { return total_us_; }
 
     const WebContainerConfig &config() const { return config_; }
@@ -41,6 +49,7 @@ class WebContainer
   private:
     WebContainerConfig config_;
     std::uint64_t handled_ = 0;
+    std::uint64_t rejected_ = 0;
     double total_us_ = 0.0;
 };
 

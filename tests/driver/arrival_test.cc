@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/cluster.h"
+#include "driver/arrival.h"
+#include "driver/driver.h"
+#include "sim/event_queue.h"
+
+namespace jasim {
+namespace {
+
+// ---- grammar ---------------------------------------------------------
+
+TEST(ArrivalSpecTest, EmptyAndFixedParseToFixed)
+{
+    EXPECT_EQ(ArrivalSpec::parse("").mode, ArrivalMode::Fixed);
+    EXPECT_EQ(ArrivalSpec::parse("fixed").mode, ArrivalMode::Fixed);
+    EXPECT_EQ(ArrivalSpec::parse(" fixed ").mode, ArrivalMode::Fixed);
+    EXPECT_FALSE(ArrivalSpec::parse("").enabled());
+    EXPECT_DOUBLE_EQ(ArrivalSpec::parse("").maxMultiplier(), 1.0);
+}
+
+TEST(ArrivalSpecTest, MmppParsesKeysAndDefaults)
+{
+    const ArrivalSpec spec =
+        ArrivalSpec::parse("mmpp:burst=5,base=2,on=3,off=9");
+    EXPECT_EQ(spec.mode, ArrivalMode::Mmpp);
+    EXPECT_DOUBLE_EQ(spec.burst_multiplier, 5.0);
+    EXPECT_DOUBLE_EQ(spec.base_multiplier, 2.0);
+    EXPECT_DOUBLE_EQ(spec.burst_mean_s, 3.0);
+    EXPECT_DOUBLE_EQ(spec.baseline_mean_s, 9.0);
+    EXPECT_DOUBLE_EQ(spec.maxMultiplier(), 5.0);
+
+    const ArrivalSpec defaults = ArrivalSpec::parse("mmpp:");
+    EXPECT_DOUBLE_EQ(defaults.base_multiplier, 1.0);
+    EXPECT_DOUBLE_EQ(defaults.burst_multiplier, 4.0);
+}
+
+TEST(ArrivalSpecTest, CurveParsesSortedKnots)
+{
+    const ArrivalSpec spec =
+        ArrivalSpec::parse("curve:0=1,60=4,120=0.5");
+    EXPECT_EQ(spec.mode, ArrivalMode::Curve);
+    ASSERT_EQ(spec.points.size(), 3u);
+    EXPECT_EQ(spec.points[1].at, secs(60));
+    EXPECT_DOUBLE_EQ(spec.points[1].multiplier, 4.0);
+    EXPECT_DOUBLE_EQ(spec.maxMultiplier(), 4.0);
+}
+
+TEST(ArrivalSpecTest, MalformedSpecsThrowNamingTheToken)
+{
+    EXPECT_THROW(ArrivalSpec::parse("bogus:"), std::invalid_argument);
+    EXPECT_THROW(ArrivalSpec::parse("mmpp:burst=nope"),
+                 std::invalid_argument);
+    EXPECT_THROW(ArrivalSpec::parse("mmpp:burst=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(ArrivalSpec::parse("mmpp:wat=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(ArrivalSpec::parse("mmpp:burst=1,base=3"),
+                 std::invalid_argument);
+    EXPECT_THROW(ArrivalSpec::parse("curve:0=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(ArrivalSpec::parse("curve:10=1,10=2"),
+                 std::invalid_argument);
+    EXPECT_THROW(ArrivalSpec::parse("curve:0=0,50=0"),
+                 std::invalid_argument);
+    try {
+        ArrivalSpec::parse("mmpp:on=-2");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("--arrival"), std::string::npos);
+        EXPECT_NE(what.find("-2"), std::string::npos);
+    }
+}
+
+// ---- modulator -------------------------------------------------------
+
+TEST(RateModulatorTest, CurveInterpolatesAndClamps)
+{
+    RateModulator mod(ArrivalSpec::parse("curve:10=1,20=3,30=2"), 1);
+    EXPECT_DOUBLE_EQ(mod.multiplier(0), 1.0);        // clamp before
+    EXPECT_DOUBLE_EQ(mod.multiplier(secs(10)), 1.0); // knot
+    EXPECT_DOUBLE_EQ(mod.multiplier(secs(15)), 2.0); // midpoint
+    EXPECT_DOUBLE_EQ(mod.multiplier(secs(20)), 3.0);
+    EXPECT_DOUBLE_EQ(mod.multiplier(secs(25)), 2.5);
+    EXPECT_DOUBLE_EQ(mod.multiplier(secs(99)), 2.0); // clamp after
+    EXPECT_EQ(mod.burstCount(), 0u);
+}
+
+TEST(RateModulatorTest, MmppFlipsBetweenExactlyTwoLevels)
+{
+    const ArrivalSpec spec =
+        ArrivalSpec::parse("mmpp:base=1,burst=4,on=2,off=5");
+    RateModulator mod(spec, 77);
+    bool saw_base = false;
+    bool saw_burst = false;
+    for (SimTime at = 0; at < secs(200); at += secs(1) / 10) {
+        const double m = mod.multiplier(at);
+        if (m == 1.0)
+            saw_base = true;
+        else if (m == 4.0)
+            saw_burst = true;
+        else
+            FAIL() << "unexpected multiplier " << m;
+    }
+    EXPECT_TRUE(saw_base);
+    EXPECT_TRUE(saw_burst);
+    EXPECT_GT(mod.burstCount(), 5u);
+}
+
+TEST(RateModulatorTest, SameSeedSameTimeline)
+{
+    const ArrivalSpec spec = ArrivalSpec::parse("mmpp:burst=6");
+    RateModulator a(spec, 42);
+    RateModulator b(spec, 42);
+    RateModulator c(spec, 43);
+    bool diverged = false;
+    for (SimTime at = 0; at < secs(300); at += secs(1) / 4) {
+        EXPECT_DOUBLE_EQ(a.multiplier(at), b.multiplier(at));
+        diverged = diverged || a.multiplier(at) != c.multiplier(at);
+    }
+    EXPECT_TRUE(diverged) << "different seeds gave one timeline";
+}
+
+// ---- driver integration ---------------------------------------------
+
+struct Arrivals
+{
+    std::vector<SimTime> times;
+    std::vector<RequestType> types;
+};
+
+Arrivals
+collect(const DriverConfig &config, std::uint64_t seed, SimTime end)
+{
+    Arrivals out;
+    EventQueue queue;
+    Driver driver(config, queue, seed, [&](const Request &request) {
+        out.times.push_back(request.arrival);
+        out.types.push_back(request.type);
+    });
+    driver.start(0, end);
+    queue.runUntil(end);
+    return out;
+}
+
+DriverConfig
+fastDriver()
+{
+    DriverConfig config;
+    config.injection_rate = 50.0;
+    config.ramp_up_s = 0.0;
+    return config;
+}
+
+TEST(DriverArrivalTest, FixedSpecIsByteIdenticalToDefault)
+{
+    // `--arrival fixed` must not even perturb the RNG stream.
+    DriverConfig with_spec = fastDriver();
+    with_spec.arrival = ArrivalSpec::parse("fixed");
+    const Arrivals legacy = collect(fastDriver(), 9, secs(30));
+    const Arrivals spelled = collect(with_spec, 9, secs(30));
+    ASSERT_EQ(legacy.times.size(), spelled.times.size());
+    EXPECT_EQ(legacy.times, spelled.times);
+    EXPECT_EQ(legacy.types, spelled.types);
+}
+
+TEST(DriverArrivalTest, MmppAndCurveAreSameSeedDeterministic)
+{
+    for (const char *spec :
+         {"mmpp:burst=5,on=2,off=4", "curve:0=1,10=6,20=1"}) {
+        DriverConfig config = fastDriver();
+        config.arrival = ArrivalSpec::parse(spec);
+        const Arrivals a = collect(config, 31, secs(30));
+        const Arrivals b = collect(config, 31, secs(30));
+        const Arrivals other = collect(config, 32, secs(30));
+        ASSERT_GT(a.times.size(), 100u) << spec;
+        EXPECT_EQ(a.times, b.times) << spec;
+        EXPECT_EQ(a.types, b.types) << spec;
+        EXPECT_NE(a.times, other.times) << spec;
+    }
+}
+
+TEST(DriverArrivalTest, CurveShapesTheRate)
+{
+    // 4x multiplier over [10, 20) vs 1x elsewhere: the busy window
+    // must carry roughly four times the arrivals of the quiet one.
+    DriverConfig config = fastDriver();
+    config.arrival =
+        ArrivalSpec::parse("curve:0=1,9.99=1,10=4,20=4,20.01=1");
+    const Arrivals run = collect(config, 5, secs(30));
+    std::size_t quiet = 0;
+    std::size_t busy = 0;
+    for (const SimTime at : run.times) {
+        if (at >= secs(10) && at < secs(20))
+            ++busy;
+        else if (at < secs(10))
+            ++quiet;
+    }
+    EXPECT_GT(busy, 2 * quiet);
+    EXPECT_LT(busy, 8 * quiet);
+}
+
+TEST(DriverArrivalTest, MmppBurstsRaiseTheMeanRate)
+{
+    DriverConfig config = fastDriver();
+    config.arrival = ArrivalSpec::parse("mmpp:burst=4,on=5,off=5");
+    const Arrivals fixed = collect(fastDriver(), 5, secs(60));
+    const Arrivals bursty = collect(config, 5, secs(60));
+    // Expected mean multiplier (1+4)/2 = 2.5x; leave slack for the
+    // seeded sojourn draws.
+    EXPECT_GT(bursty.times.size(), fixed.times.size() * 3 / 2);
+}
+
+// ---- cluster-level same-seed bit identity (satellite) ----------------
+
+struct ClusterDigest
+{
+    std::uint64_t completed;
+    std::uint64_t errors;
+    std::uint64_t shed;
+    std::uint64_t injected;
+    std::uint64_t executed;
+    double jops;
+    double p99;
+
+    bool operator==(const ClusterDigest &other) const
+    {
+        return completed == other.completed &&
+            errors == other.errors && shed == other.shed &&
+            injected == other.injected &&
+            executed == other.executed && jops == other.jops &&
+            p99 == other.p99;
+    }
+};
+
+ClusterDigest
+runCluster(const char *arrival, const char *admission,
+           std::uint64_t seed)
+{
+    std::shared_ptr<const WorkloadProfiles> profiles =
+        std::make_shared<const WorkloadProfiles>(11);
+    std::shared_ptr<const MethodRegistry> registry =
+        std::make_shared<const MethodRegistry>(
+            profiles->layout(Component::WasJit).count(), 11);
+    ClusterConfig config;
+    config.nodes = 2;
+    config.node.injection_rate = 30.0;
+    config.node.driver.ramp_up_s = 2.0;
+    config.node.driver.arrival = ArrivalSpec::parse(arrival);
+    config.node.admission = adm::AdmissionConfig::parse(admission);
+    ClusterUnderTest cluster(config, profiles, registry, seed);
+    cluster.start(secs(25));
+    cluster.advanceTo(secs(30));
+
+    ClusterDigest digest;
+    digest.completed = cluster.tracker().totalCompleted();
+    digest.errors = cluster.tracker().errorCount();
+    digest.shed = cluster.tracker().shedCount();
+    digest.injected = cluster.driver()->injectedCount();
+    digest.executed = cluster.queue().executed();
+    digest.jops = cluster.jops(secs(2), secs(25));
+    digest.p99 =
+        cluster.tracker().p99ResponseSeconds(RequestType::Browse);
+    return digest;
+}
+
+TEST(DriverArrivalTest, ClusterRunsAreBitIdenticalUnderSameSeed)
+{
+    const struct
+    {
+        const char *arrival;
+        const char *admission;
+    } cases[] = {
+        {"mmpp:burst=6,on=2,off=6", ""},
+        {"curve:0=1,10=5,20=1", ""},
+        {"mmpp:burst=6,on=2,off=6",
+         "adaptive:cap=32,min=2,target=0.05,interval=0.25,"
+         "queue=64,deadline=0.3"},
+    };
+    for (const auto &c : cases) {
+        const ClusterDigest a = runCluster(c.arrival, c.admission, 3);
+        const ClusterDigest b = runCluster(c.arrival, c.admission, 3);
+        EXPECT_GT(a.completed, 100u) << c.arrival;
+        EXPECT_TRUE(a == b) << c.arrival << " / " << c.admission;
+    }
+}
+
+} // namespace
+} // namespace jasim

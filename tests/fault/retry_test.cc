@@ -72,6 +72,81 @@ TEST(RetryPolicyTest, JitterStaysWithinBoundsAndIsSeeded)
     }
 }
 
+TEST(RetryPolicyTest, NoBudgetConfiguredMatchesShouldRetryExactly)
+{
+    // Legacy configs (budget <= 0) must behave bit-for-bit like the
+    // plain attempt counter, with nothing counted or spent.
+    RetryPolicy policy(noJitter());
+    for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+        EXPECT_EQ(policy.allowRetry(attempt, secs(attempt)),
+                  policy.shouldRetry(attempt));
+    }
+    EXPECT_EQ(policy.budgetDenied(), 0u);
+}
+
+TEST(RetryPolicyTest, BudgetCapsARetryStorm)
+{
+    RetryConfig config = noJitter();
+    config.retry_budget_per_s = 2.0;
+    config.retry_budget_burst = 3.0;
+    RetryPolicy policy(config);
+
+    // A same-instant storm: only the bucket's burst depth passes.
+    std::size_t granted = 0;
+    for (int i = 0; i < 20; ++i)
+        granted += policy.allowRetry(1, secs(10)) ? 1 : 0;
+    EXPECT_EQ(granted, 3u);
+    EXPECT_EQ(policy.budgetDenied(), 17u);
+
+    // One second later the refill rate grants exactly two more.
+    granted = 0;
+    for (int i = 0; i < 20; ++i)
+        granted += policy.allowRetry(1, secs(11)) ? 1 : 0;
+    EXPECT_EQ(granted, 2u);
+
+    // Exhausted attempt budgets are refused for free: no token is
+    // spent and no denial is counted against the bucket.
+    const std::uint64_t denied = policy.budgetDenied();
+    const double tokens = policy.tokens();
+    EXPECT_FALSE(policy.allowRetry(config.max_attempts, secs(12)));
+    EXPECT_EQ(policy.budgetDenied(), denied);
+    EXPECT_GE(policy.tokens(), tokens);
+}
+
+TEST(RetryPolicyTest, HealthyTrafficNeverHitsTheBudget)
+{
+    RetryConfig config = noJitter();
+    config.retry_budget_per_s = 5.0;
+    config.retry_budget_burst = 10.0;
+    RetryPolicy policy(config);
+
+    // One retry per second against a 5/s refill: the bucket never
+    // empties, so the budget never interferes with normal retries.
+    for (std::size_t s = 1; s <= 100; ++s)
+        EXPECT_TRUE(policy.allowRetry(1, secs(s)));
+    EXPECT_EQ(policy.budgetDenied(), 0u);
+    EXPECT_GT(policy.tokens(), 5.0);
+
+    RetryPolicy unlimited(noJitter());
+    for (std::size_t s = 1; s <= 100; ++s)
+        EXPECT_TRUE(unlimited.allowRetry(1, secs(s)));
+    EXPECT_EQ(unlimited.budgetDenied(), 0u);
+}
+
+TEST(RetryPolicyTest, BudgetRefillClampsAtBurstDepth)
+{
+    RetryConfig config = noJitter();
+    config.retry_budget_per_s = 1.0;
+    config.retry_budget_burst = 2.0;
+    RetryPolicy policy(config);
+
+    // A long quiet period must not bank more than the burst depth.
+    EXPECT_TRUE(policy.allowRetry(1, secs(1000)));
+    EXPECT_TRUE(policy.allowRetry(1, secs(1000)));
+    EXPECT_FALSE(policy.allowRetry(1, secs(1000)));
+    EXPECT_EQ(policy.budgetDenied(), 1u);
+}
+
 TEST(RetryPolicyTest, JitteredBackoffVariesAcrossDraws)
 {
     RetryConfig config = noJitter();
