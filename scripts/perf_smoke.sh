@@ -30,7 +30,7 @@ echo "== perf-smoke: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target micro_eventqueue micro_memwalk \
     micro_lanes fig08_l1d abl_l2size abl_cluster_scaling abl_recovery \
-    abl_replication abl_burst
+    abl_replication abl_burst abl_partition soak_chaos
 
 echo "== perf-smoke: event-kernel microbenchmark =="
 "$BUILD/bench/micro_eventqueue"
@@ -208,6 +208,43 @@ if ! grep -q "blackouts nonzero+bounded: yes" "$tmp/repl_a.txt"; then
     exit 1
 fi
 echo "replication: byte-identical across job counts, sync acks survive failover, blackouts bounded"
+
+echo "== perf-smoke: abl_partition lease/fencing gate =="
+# Scaled-down partition sweep: the bench itself exits 1 unless
+# sync-mode points lose ZERO acked commits across partition + heal,
+# every decisive cut promotes exactly once and rewinds the deposed
+# primary's tail, some stale shipment bounces off the fence, the
+# planned switchover's blackout stays under one lease interval, and
+# its in-band same-seed re-run point is bit-identical. On top of
+# that, stdout must be byte-identical across worker counts.
+part_args=(steady=12 ramp=2 ir=80 nodes=2 seed=11)
+"$BUILD/bench/abl_partition" "${part_args[@]}" --jobs 2 >"$tmp/part_a.txt"
+"$BUILD/bench/abl_partition" "${part_args[@]}" --jobs 1 >"$tmp/part_b.txt"
+if ! cmp -s "$tmp/part_a.txt" "$tmp/part_b.txt"; then
+    echo "FAIL: abl_partition output differs across job counts (partition determinism broken):" >&2
+    diff "$tmp/part_a.txt" "$tmp/part_b.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "Sync zero-loss: yes" "$tmp/part_a.txt"; then
+    echo "FAIL: abl_partition lost a sync-acked commit across partition + heal" >&2
+    exit 1
+fi
+if ! grep -q "switchover under one lease: yes" "$tmp/part_a.txt"; then
+    echo "FAIL: abl_partition planned switchover blackout exceeded one lease" >&2
+    exit 1
+fi
+echo "partition: byte-identical across job counts, sync acks survive the split, switchover under one lease"
+
+echo "== perf-smoke: chaos soak smoke (3 seeds) =="
+# The quick arm of scripts/soak.sh: three randomized schedules must
+# hold every invariant (clean audits, monotone fencing tokens, >= 90%
+# goodput recovery, bit-identical re-run). The bench exits 1 itself.
+"$BUILD/bench/soak_chaos" seeds=3 >"$tmp/soak.txt" || {
+    echo "FAIL: chaos soak smoke violated an invariant:" >&2
+    cat "$tmp/soak.txt" >&2
+    exit 1
+}
+echo "soak: 3 randomized schedules held every invariant"
 
 echo "== perf-smoke: abl_burst graceful degradation + determinism gate =="
 # Scaled-down overload sweep: the bench itself exits 1 unless the

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Chaos soak: Release build, then bench/soak_chaos — N seeded
+# randomized fault schedules (partitions, primary/replica crashes,
+# planned switchovers) against the partition-tolerance invariants:
+#
+#  - safety: audits stay clean (nothing resurrected or duplicated, no
+#    durable loss, sync seeds lose ZERO acked commits);
+#  - fencing: per-shard fencing tokens strictly increase across every
+#    promotion (no duplicate promotions, no stale-primary authority);
+#  - liveness: goodput after the last heal recovers to >= 90% of a
+#    fault-free twin of the same seed over the same window;
+#  - reproducibility: the first seed re-runs bit-identically.
+#
+# The bench exits 1 if any seed violates any invariant, and prints
+# the offending seed's schedule so the failure replays with
+# `--faults '<schedule>'` under the same seed.
+#
+# Usage: scripts/soak.sh [--quick] [release-build-dir]
+#   --quick   3 seeds instead of 20 (the perf_smoke.sh smoke stage)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEEDS=20
+if [[ "${1:-}" == "--quick" ]]; then
+    SEEDS=3
+    shift
+fi
+BUILD="${1:-build-perf}"
+
+echo "== soak: Release build =="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target soak_chaos
+
+echo "== soak: $SEEDS randomized fault schedules =="
+"$BUILD/bench/soak_chaos" seeds="$SEEDS"
+
+echo "== soak: all invariants held over $SEEDS schedules =="

@@ -13,9 +13,13 @@
 # connection pools). `--san` also adds a ThreadSanitizer build
 # (-DJASIM_TSAN=ON) running test_lane and test_par — the two suites
 # that exercise real cross-thread handoffs (jasim::lane windows and
-# jasim::par sweeps); ASan cannot see data races, TSan can.
+# jasim::par sweeps); ASan cannot see data races, TSan can — plus a
+# standalone UBSan build (-DJASIM_UBSAN=ON) running the full suite:
+# UBSan alone is near full speed, and it catches signed overflow /
+# misaligned access in arithmetic-heavy code (fencing-token and LSN
+# math, lease expiry) that ASan's shadow-memory pass can mask.
 #
-# Usage: scripts/tier1.sh [--san] [build-dir] [sanitized-build-dir] [tsan-build-dir]
+# Usage: scripts/tier1.sh [--san] [build-dir] [sanitized-build-dir] [tsan-build-dir] [ubsan-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +32,7 @@ fi
 BUILD="${1:-build}"
 SAN_BUILD="${2:-build-asan}"
 TSAN_BUILD="${3:-build-tsan}"
+UBSAN_BUILD="${4:-build-ubsan}"
 
 echo "== tier-1: standard build =="
 cmake -B "$BUILD" -S . >/dev/null
@@ -45,6 +50,11 @@ if [[ "$SAN_FULL" == 1 ]]; then
     cmake --build "$TSAN_BUILD" -j --target test_lane test_par
     "$TSAN_BUILD/tests/test_lane"
     "$TSAN_BUILD/tests/test_par"
+
+    echo "== tier-1: UBSan build (full suite, undefined behaviour only) =="
+    cmake -B "$UBSAN_BUILD" -S . -DJASIM_UBSAN=ON >/dev/null
+    cmake --build "$UBSAN_BUILD" -j
+    ctest --test-dir "$UBSAN_BUILD" --output-on-failure -j"$(nproc)"
 else
     echo "== tier-1: sanitized build (ASan + UBSan) =="
     cmake -B "$SAN_BUILD" -S . -DJASIM_SANITIZE=ON >/dev/null

@@ -45,6 +45,23 @@ ClusterUnderTest::ClusterUnderTest(
             shards_.push_back(std::make_unique<repl::ShardGroup>(
                 queue_, sc, shard_seeder()));
         }
+        // Lease/fencing machinery arms only when the schedule can
+        // split the fabric or hand a primary off; an unleased group
+        // is byte-identical to a build without partition support.
+        lease_on_ = config_.faults.hasPartition() ||
+            config_.faults.hasSwitchover() ||
+            config_.repl.lease.force_enabled;
+        if (lease_on_) {
+            stale_remnants_.resize(shards_.size());
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+                shards_[s]->armLease(
+                    config_.repl.lease, [this, s](std::size_t r) {
+                        return fabric_.reachable(
+                            servingEndpoint(s),
+                            NetEndpoint::dbReplica(s, r));
+                    });
+            }
+        }
     } else {
         // The shared DB node is populated for the aggregate IR, as the
         // real benchmark scales its initial database with load.
@@ -190,6 +207,16 @@ ClusterUnderTest::start(SimTime end)
         queue_.scheduleAfter(
             secs(config_.db_recovery.checkpoint_interval_s),
             [this] { replCheckpointTick(); });
+    }
+    if (lease_on_) {
+        // Heartbeat rounds start now; the lease monitor shares their
+        // cadence (it can only promote after lapse + detect_s, so
+        // detection latency is the monitor grain plus that grace).
+        for (auto &group : shards_)
+            group->startLease();
+        queue_.scheduleAfter(
+            std::max<SimTime>(secs(config_.repl.lease.renew_s), 1000),
+            [this] { leaseMonitorTick(); });
     }
 }
 
@@ -452,6 +479,18 @@ ClusterUnderTest::startDbAttempt(const std::shared_ptr<DbCall> &call)
                         /*breaker_failure=*/false);
         return;
     }
+    if (fabric_.partitioned() &&
+        !fabric_.reachable(NetEndpoint::node(call->node),
+                           NetEndpoint::dbPrimary(0))) {
+        // Legacy single-box tier: `db0` names the shared DB node. A
+        // node cut off from it fails fast, and not as a breaker
+        // failure -- the partition is a known condition, not a
+        // timeout worth tripping on.
+        fabric_.notePartitionDrop();
+        settleDbFailure(call, ErrorKind::Partitioned,
+                        /*breaker_failure=*/false);
+        return;
+    }
     if (!breaker_->allowRequest(queue_.now())) {
         settleDbFailure(call, ErrorKind::DbCircuitOpen,
                         /*breaker_failure=*/false);
@@ -503,6 +542,17 @@ ClusterUnderTest::runDbAttempt(const std::shared_ptr<DbCall> &call,
             settleDbFailure(call,
                             db_recovering_ ? ErrorKind::RecoveryWait
                                            : ErrorKind::NodeDown,
+                            /*breaker_failure=*/false);
+            return;
+        }
+        if (fabric_.partitioned() &&
+            !fabric_.reachable(NetEndpoint::node(call->node),
+                               NetEndpoint::dbPrimary(0))) {
+            // The fabric split while the query was on the wire.
+            *settled = true;
+            pools_[call->node]->release();
+            fabric_.notePartitionDrop();
+            settleDbFailure(call, ErrorKind::Partitioned,
                             /*breaker_failure=*/false);
             return;
         }
@@ -568,11 +618,13 @@ ClusterUnderTest::settleDbFailure(const std::shared_ptr<DbCall> &call,
                              [this, call] { startDbAttempt(call); });
         return;
     }
-    // RecoveryWait stays visible through retries: the error table
-    // should attribute the failure to recovery, not to the retry
-    // budget.
+    // RecoveryWait and Partitioned stay visible through retries: the
+    // error table should attribute the failure to recovery / the
+    // split, not to the retry budget.
+    const bool attributable = kind == ErrorKind::RecoveryWait ||
+        kind == ErrorKind::Partitioned;
     call->done(TxnDbOutcome{},
-               call->attempt > 1 && kind != ErrorKind::RecoveryWait
+               call->attempt > 1 && !attributable
                    ? ErrorKind::DbRetriesExhausted
                    : kind);
 }
@@ -664,7 +716,204 @@ ClusterUnderTest::applyFault(const FaultEvent &event)
         crashDbTier(event);
         return;
       }
+      case FaultKind::Partition: {
+        applyPartition(event);
+        return;
+      }
+      case FaultKind::Switchover: {
+        if (repl_on_)
+            applySwitchover(event);
+        return;
+      }
     }
+}
+
+// ---- partition tolerance ---------------------------------------------
+
+NetEndpoint
+ClusterUnderTest::servingEndpoint(std::size_t shard) const
+{
+    const std::size_t member = shards_[shard]->servingMember();
+    return member == repl::ShardGroup::kPrimaryMember
+        ? NetEndpoint::dbPrimary(shard)
+        : NetEndpoint::dbReplica(shard, member);
+}
+
+bool
+ClusterUnderTest::nodeReachesShard(std::size_t node,
+                                   std::size_t shard) const
+{
+    return fabric_.reachable(NetEndpoint::node(node),
+                             servingEndpoint(shard));
+}
+
+void
+ClusterUnderTest::applyPartition(const FaultEvent &event)
+{
+    const SimTime now = queue_.now();
+    fabric_.setPartition(event.sides);
+    tracker_.notePartitionWindow(
+        now, event.duration > 0 ? now + event.duration : 0);
+    if (event.duration > 0) {
+        queue_.scheduleAfter(event.duration,
+                             [this] { healPartition(); });
+    }
+}
+
+void
+ClusterUnderTest::healPartition()
+{
+    fabric_.clearPartition();
+    if (!lease_on_)
+        return;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        StaleRemnant &rem = stale_remnants_[s];
+        if (!rem.valid)
+            continue;
+        rem.valid = false;
+        repl::ShardGroup &group = *shards_[s];
+        // The deposed primary re-ships its divergent tail carrying
+        // its pre-promotion token: every stream's fence (raised at
+        // promotion) refuses it before any replica disk I/O.
+        for (std::size_t r = 0; r < group.replicaCount(); ++r) {
+            if (group.replica(r).alive())
+                group.replica(r).ship(rem.issued_lsn, rem.bytes,
+                                      rem.token);
+        }
+        // Rejoining means rewinding the stale timeline: scan the
+        // divergent tail (one sequential read) and discard it, then
+        // hand the serving VIP back to the primary slot -- the
+        // promoted state lives in the shared shard database, so the
+        // slot resumes on the winning timeline as a plain standby
+        // catch-up would.
+        ++stale_rewinds_;
+        stale_rewind_bytes_ += rem.bytes;
+        SimTime rejoin = queue_.now();
+        if (rem.bytes > 0) {
+            rejoin = group.disk()
+                         .readSequential(rejoin, rem.bytes)
+                         .completion;
+        }
+        queue_.scheduleAt(rejoin, [this, s] {
+            shards_[s]->setServingMember(
+                repl::ShardGroup::kPrimaryMember);
+        });
+    }
+}
+
+void
+ClusterUnderTest::applySwitchover(const FaultEvent &event)
+{
+    const std::size_t shard =
+        event.shard == FaultEvent::kNoTarget ? 0 : event.shard;
+    if (shard >= shards_.size())
+        return; // targets a shard this cluster doesn't have
+    failover_->plannedSwitchover(
+        shard, *shards_[shard],
+        [this, shard](const repl::FailoverOutcome &o) {
+            tracker_.noteSwitchover(static_cast<std::uint32_t>(shard),
+                                    o.blackout_begin, o.promoted_at);
+        });
+}
+
+void
+ClusterUnderTest::leaseMonitorTick()
+{
+    const SimTime now = queue_.now();
+    const SimTime grace = secs(config_.repl.failover.detect_s);
+    for (std::size_t s = 0; fabric_.partitioned() && s < shards_.size();
+         ++s) {
+        repl::ShardGroup &group = *shards_[s];
+        if (group.down() || group.lease().valid(now))
+            continue;
+        if (now < group.lease().expiry() + grace)
+            continue; // lapse not yet past the detection grace
+
+        // Promotion is quorum-gated: the serving member must have
+        // lost its majority, and some other side must hold one. With
+        // neither (e.g. R=1 split down the middle) the shard stays
+        // unavailable -- CP, not split-brain.
+        const std::size_t members = group.replicaCount() + 1;
+        const std::size_t majority = members / 2 + 1;
+        const NetEndpoint serving = servingEndpoint(s);
+        const std::size_t serving_member = group.servingMember();
+
+        std::size_t with_serving = 1; // the serving member itself
+        for (std::size_t r = 0; r < group.replicaCount(); ++r) {
+            if (r == serving_member || !group.replica(r).alive())
+                continue;
+            if (fabric_.reachable(serving,
+                                  NetEndpoint::dbReplica(s, r)))
+                ++with_serving;
+        }
+        if (serving_member != repl::ShardGroup::kPrimaryMember &&
+            fabric_.reachable(serving, NetEndpoint::dbPrimary(s)))
+            ++with_serving;
+        if (with_serving >= majority)
+            continue; // serving side still holds a quorum
+
+        // Candidate: the most-caught-up live replica cut off from the
+        // serving member whose own side musters a majority.
+        constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+        std::size_t candidate = kNone;
+        std::uint64_t candidate_lsn = 0;
+        std::uint64_t watermark = 0;
+        for (std::size_t r = 0; r < group.replicaCount(); ++r) {
+            if (r == serving_member || !group.replica(r).alive())
+                continue;
+            const NetEndpoint ep = NetEndpoint::dbReplica(s, r);
+            if (fabric_.reachable(serving, ep))
+                continue; // same side as the deposed member
+            std::size_t side = 1;
+            std::uint64_t side_max = group.replica(r).durableLsn();
+            for (std::size_t q = 0; q < group.replicaCount(); ++q) {
+                if (q == r || q == serving_member ||
+                    !group.replica(q).alive())
+                    continue;
+                if (!fabric_.reachable(
+                        ep, NetEndpoint::dbReplica(s, q)))
+                    continue;
+                ++side;
+                side_max = std::max(side_max,
+                                    group.replica(q).durableLsn());
+            }
+            if (side < majority)
+                continue;
+            if (candidate == kNone ||
+                group.replica(r).durableLsn() > candidate_lsn) {
+                candidate = r;
+                candidate_lsn = group.replica(r).durableLsn();
+                watermark = side_max;
+            }
+        }
+        if (candidate == kNone)
+            continue;
+
+        // Capture what the deposed timeline holds above W before the
+        // promotion rewinds the shared database: this is the tail the
+        // stale primary will try to ship on heal.
+        StaleRemnant rem;
+        rem.token = group.lease().fencingToken();
+        rem.issued_lsn = group.database().wal().issuedLsn();
+        rem.bytes = group.database().wal().bytesAbove(watermark);
+        for (const WalRecord &rec : group.database().wal().records()) {
+            if (rec.lsn > watermark)
+                ++rem.records;
+        }
+        rem.valid = true;
+        stale_remnants_[s] = rem;
+
+        failover_->partitionPromote(
+            s, group, candidate, watermark,
+            [this, s](const repl::FailoverOutcome &o) {
+                tracker_.noteFailoverBlackout(
+                    static_cast<std::uint32_t>(s), o.blackout_begin,
+                    o.promoted_at);
+            });
+    }
+    queue_.scheduleAfter(
+        std::max<SimTime>(secs(config_.repl.lease.renew_s), 1000),
+        [this] { leaseMonitorTick(); });
 }
 
 // ---- DB crash consistency -------------------------------------------
@@ -804,7 +1053,23 @@ ClusterUnderTest::startShardCall(std::size_t node, RequestType type,
     call->type = type;
     call->noise = noise;
     call->shard = shard_map_->shardOf(route_rng_());
-    call->done = std::move(done);
+    if (lease_on_ && !shards_[call->shard]->draining()) {
+        // Drain accounting brackets the whole call (across retries):
+        // inflightEnd fires exactly when the call settles, whether
+        // with an ack or a final failure. Calls arriving mid-drain
+        // are not bracketed -- they fail fast with FailoverWait and
+        // never touch the shard, so counting them would let a steady
+        // arrival stream wedge the drain forever.
+        const std::size_t shard = call->shard;
+        shards_[shard]->inflightBegin();
+        call->done = [this, shard, done = std::move(done)](
+                         const TxnDbOutcome &outcome, ErrorKind kind) {
+            shards_[shard]->inflightEnd();
+            done(outcome, kind);
+        };
+    } else {
+        call->done = std::move(done);
+    }
     startShardAttempt(call);
 }
 
@@ -812,10 +1077,20 @@ void
 ClusterUnderTest::startShardAttempt(
     const std::shared_ptr<DbCall> &call)
 {
-    if (shards_[call->shard]->down()) {
+    if (shards_[call->shard]->down() ||
+        shards_[call->shard]->draining()) {
         // Fail fast: the shard is blacked out (failing over, or down
-        // replaying its WAL on the unreplicated fallback).
+        // replaying its WAL on the unreplicated fallback) or draining
+        // for a planned switchover.
         settleShardFailure(call, ErrorKind::FailoverWait);
+        return;
+    }
+    if (lease_on_ && fabric_.partitioned() &&
+        !nodeReachesShard(call->node, call->shard)) {
+        // The partition map cuts this node off from the member
+        // serving the shard: the send fails fast, no wire traffic.
+        fabric_.notePartitionDrop();
+        settleShardFailure(call, ErrorKind::Partitioned);
         return;
     }
     pools_[call->node]->acquire(
@@ -856,6 +1131,15 @@ ClusterUnderTest::runShardAttempt(const std::shared_ptr<DbCall> &call,
             *settled = true;
             pools_[call->node]->release();
             settleShardFailure(call, ErrorKind::FailoverWait);
+            return;
+        }
+        if (lease_on_ && fabric_.partitioned() &&
+            !nodeReachesShard(call->node, call->shard)) {
+            // The fabric split while the query was on the wire.
+            *settled = true;
+            pools_[call->node]->release();
+            fabric_.notePartitionDrop();
+            settleShardFailure(call, ErrorKind::Partitioned);
             return;
         }
         call->generation = group.generation();
@@ -976,6 +1260,18 @@ ClusterUnderTest::sendShardResponse(
         return;
     if (call->generation != shards_[call->shard]->generation())
         return;
+    if (lease_on_) {
+        // A member that cannot prove its lease must not ack: the
+        // response is withheld and the attempt deadline reclaims the
+        // slot. Same if the partition cut the response path.
+        if (!shards_[call->shard]->leaseValid())
+            return;
+        if (fabric_.partitioned() &&
+            !nodeReachesShard(call->node, call->shard)) {
+            fabric_.notePartitionDrop();
+            return;
+        }
+    }
     NetworkLink &link = fabric_.nodeDb(call->node);
     const bool lost = link.drawDrop();
     const SimTime at_node = link.deliver(
@@ -1011,10 +1307,13 @@ ClusterUnderTest::settleShardFailure(
             backoff, [this, call] { startShardAttempt(call); });
         return;
     }
-    // FailoverWait stays visible through retries, like RecoveryWait
-    // on the legacy path: attribute the failure to the blackout.
+    // FailoverWait and Partitioned stay visible through retries, like
+    // RecoveryWait on the legacy path: attribute the failure to the
+    // blackout / the split, not to the retry budget.
+    const bool attributable = kind == ErrorKind::FailoverWait ||
+        kind == ErrorKind::Partitioned;
     call->done(TxnDbOutcome{},
-               call->attempt > 1 && kind != ErrorKind::FailoverWait
+               call->attempt > 1 && !attributable
                    ? ErrorKind::DbRetriesExhausted
                    : kind);
 }

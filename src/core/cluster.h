@@ -251,6 +251,28 @@ class ClusterUnderTest
     /** Field-wise sum of every shard's audit (repl mode only). */
     AuditReport clusterAuditNow() const;
 
+    // ---- partition tolerance (lease/fencing, armed by schedule) ----
+
+    /**
+     * True when a partition/switchover verb (or lease.force_enabled)
+     * armed the per-shard lease machinery. Without it the replicated
+     * tier runs with the PR 6 semantics, byte-identically.
+     */
+    bool leaseEnabled() const { return lease_on_; }
+
+    /**
+     * Endpoint of the member currently serving a shard (the primary
+     * slot, or the promoted replica during a partition).
+     */
+    NetEndpoint servingEndpoint(std::size_t shard) const;
+
+    /** Deposed-primary divergent tails fenced and rewound at heal. */
+    std::uint64_t staleRewinds() const { return stale_rewinds_; }
+    std::uint64_t staleRewindBytes() const
+    {
+        return stale_rewind_bytes_;
+    }
+
     // ---- parallel lane mode (jasim::lane) ----
 
     /** True when the windowed lane scheduler drives this run. */
@@ -317,6 +339,28 @@ class ClusterUnderTest
     std::vector<std::unique_ptr<repl::ShardGroup>> shards_;
     std::unique_ptr<repl::FailoverController> failover_;
     Rng route_rng_; //!< shard-routing key draws (own forked stream)
+
+    // ---- partition tolerance state (only used when lease_on_) ----
+    bool lease_on_ = false;
+
+    /**
+     * What a deposed primary still holds above the promotion
+     * watermark, captured at promotion time. On heal the tail ships
+     * with the old fencing token, bounces on every stream's fence,
+     * and the deposed timeline is rewound (sequential read of the
+     * divergent tail) before the member rejoins as a standby.
+     */
+    struct StaleRemnant
+    {
+        bool valid = false;
+        std::uint64_t token = 0;      //!< fencing token pre-promotion
+        std::uint64_t issued_lsn = 0; //!< stale timeline's WAL head
+        std::uint64_t bytes = 0;      //!< log bytes above the watermark
+        std::uint64_t records = 0;    //!< records above the watermark
+    };
+    std::vector<StaleRemnant> stale_remnants_;
+    std::uint64_t stale_rewinds_ = 0;
+    std::uint64_t stale_rewind_bytes_ = 0;
 
     /** Per-shard outage bookkeeping for the replicas==0 fallback. */
     struct ShardOutage
@@ -410,6 +454,15 @@ class ClusterUnderTest
     void beginShardRecovery(std::size_t shard);
     void finishShardRecovery(std::size_t shard);
     void replCheckpointTick();
+
+    // partition tolerance (only reached when the schedule can split
+    // the fabric or hand a primary off)
+    void applyPartition(const FaultEvent &event);
+    void healPartition();
+    void applySwitchover(const FaultEvent &event);
+    void leaseMonitorTick();
+    /** Node n can currently reach the member serving `shard`. */
+    bool nodeReachesShard(std::size_t node, std::size_t shard) const;
 
     std::uint64_t responseBytes(std::size_t node,
                                 RequestType type) const;

@@ -159,6 +159,18 @@ Wal::discardAbove(std::uint64_t watermark)
     return dropped;
 }
 
+std::uint64_t
+Wal::bytesAbove(std::uint64_t lsn) const
+{
+    const auto first_above = std::partition_point(
+        records_.begin(), records_.end(),
+        [lsn](const WalRecord &r) { return r.lsn <= lsn; });
+    std::uint64_t bytes = 0;
+    for (auto it = first_above; it != records_.end(); ++it)
+        bytes += it->bytes;
+    return bytes;
+}
+
 void
 Wal::truncate(std::uint64_t up_to_lsn)
 {

@@ -162,6 +162,13 @@ class Wal
      */
     std::uint64_t discardAbove(std::uint64_t watermark);
 
+    /**
+     * Retained log bytes strictly above `lsn`: the divergent tail a
+     * deposed primary would try to ship on heal (it bounces on the
+     * fencing token and is rewound instead).
+     */
+    std::uint64_t bytesAbove(std::uint64_t lsn) const;
+
   private:
     std::uint64_t appendRecord(WalRecord record,
                                std::uint32_t payload_bytes);

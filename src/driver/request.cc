@@ -29,6 +29,7 @@ errorKindName(ErrorKind kind)
       case ErrorKind::FailoverWait: return "failover-wait";
       case ErrorKind::Rejected: return "rejected";
       case ErrorKind::ShedAtLB: return "shed-at-lb";
+      case ErrorKind::Partitioned: return "partitioned";
     }
     return "?";
 }

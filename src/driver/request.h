@@ -71,9 +71,10 @@ enum class ErrorKind : std::uint8_t
     FailoverWait,        //!< shard blacked out while a replica promotes
     Rejected,            //!< shed by web-tier admission control
     ShedAtLB,            //!< shed by the balancer's in-flight cap
+    Partitioned,         //!< cross-side send blocked by a network partition
 };
 
-inline constexpr std::size_t errorKindCount = 11;
+inline constexpr std::size_t errorKindCount = 12;
 
 /** Printable error-kind name. */
 const char *errorKindName(ErrorKind kind);

@@ -237,13 +237,37 @@ ResponseTracker::noteNodeUp(std::uint32_t node, SimTime at)
 }
 
 SimTime
-ResponseTracker::clippedOverlap(const Interval &interval,
-                                SimTime horizon)
+ResponseTracker::mergedDownUs(const std::vector<Interval> &intervals,
+                              SimTime horizon)
 {
-    const SimTime from = std::min(interval.from, horizon);
-    const SimTime to =
-        interval.to == 0 ? horizon : std::min(interval.to, horizon);
-    return to > from ? to - from : 0;
+    std::vector<std::pair<SimTime, SimTime>> windows;
+    windows.reserve(intervals.size());
+    for (const Interval &interval : intervals) {
+        const SimTime from = std::min(interval.from, horizon);
+        const SimTime to = interval.to == 0
+                               ? horizon
+                               : std::min(interval.to, horizon);
+        if (to > from)
+            windows.emplace_back(from, to);
+    }
+    std::sort(windows.begin(), windows.end());
+    SimTime total = 0;
+    SimTime open_from = 0, open_to = 0;
+    bool open = false;
+    for (const auto &[from, to] : windows) {
+        if (open && from <= open_to) {
+            open_to = std::max(open_to, to);
+            continue;
+        }
+        if (open)
+            total += open_to - open_from;
+        open_from = from;
+        open_to = to;
+        open = true;
+    }
+    if (open)
+        total += open_to - open_from;
+    return total;
 }
 
 double
@@ -255,9 +279,7 @@ ResponseTracker::availability(std::uint32_t node,
     const auto it = down_intervals_.find(node);
     if (it == down_intervals_.end())
         return 1.0;
-    SimTime down = 0;
-    for (const Interval &interval : it->second)
-        down += clippedOverlap(interval, horizon);
+    const SimTime down = mergedDownUs(it->second, horizon);
     return 1.0 -
         static_cast<double>(down) / static_cast<double>(horizon);
 }
@@ -337,11 +359,31 @@ ResponseTracker::shardAvailability(std::uint32_t shard,
     const auto it = failover_blackouts_.find(shard);
     if (it == failover_blackouts_.end())
         return 1.0;
-    SimTime down = 0;
-    for (const Interval &interval : it->second)
-        down += clippedOverlap(interval, horizon);
+    const SimTime down = mergedDownUs(it->second, horizon);
     return 1.0 -
         static_cast<double>(down) / static_cast<double>(horizon);
+}
+
+void
+ResponseTracker::notePartitionWindow(SimTime from, SimTime to)
+{
+    assert(to == 0 || to >= from);
+    partitions_.push_back(Interval{from, to});
+}
+
+SimTime
+ResponseTracker::partitionUs(SimTime horizon) const
+{
+    return mergedDownUs(partitions_, horizon);
+}
+
+void
+ResponseTracker::noteSwitchover(std::uint32_t shard, SimTime from,
+                                SimTime to)
+{
+    assert(to == 0 || to >= from);
+    ++switchovers_;
+    failover_blackouts_[shard].push_back(Interval{from, to});
 }
 
 DegradedSummary

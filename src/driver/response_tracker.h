@@ -210,6 +210,25 @@ class ResponseTracker
      */
     double shardAvailability(std::uint32_t shard, SimTime horizon) const;
 
+    // ---- partition / switchover accounting ----
+
+    /** Record one fabric partition window (to == 0: never healed). */
+    void notePartitionWindow(SimTime from, SimTime to);
+
+    std::size_t partitionCount() const { return partitions_.size(); }
+
+    /** Total partitioned time over [0, horizon), windows merged. */
+    SimTime partitionUs(SimTime horizon) const;
+
+    /**
+     * Record one planned switchover's blackout. The window joins the
+     * shard's failover blackouts (availability billing) and the
+     * switchover count separately from crash/partition failovers.
+     */
+    void noteSwitchover(std::uint32_t shard, SimTime from, SimTime to);
+
+    std::size_t switchoverCount() const { return switchovers_; }
+
   private:
     double bucket_seconds_;
     struct Completion
@@ -241,14 +260,21 @@ class ResponseTracker
     std::vector<Interval> degraded_;
     std::vector<Interval> recoveries_;
     std::map<std::uint32_t, std::vector<Interval>> failover_blackouts_;
+    std::vector<Interval> partitions_;
+    std::size_t switchovers_ = 0;
 
     static std::size_t idx(RequestType t)
     {
         return static_cast<std::size_t>(t);
     }
 
-    static SimTime clippedOverlap(const Interval &interval,
-                                  SimTime horizon);
+    /**
+     * Total covered time of a set of intervals over [0, horizon),
+     * overlaps merged first so no instant is billed twice (a failover
+     * blackout overlapping a node-down window counts once).
+     */
+    static SimTime mergedDownUs(const std::vector<Interval> &intervals,
+                                SimTime horizon);
 };
 
 } // namespace jasim

@@ -17,6 +17,8 @@ faultKindName(FaultKind kind)
       case FaultKind::PoolKill: return "poolkill";
       case FaultKind::DbCrash: return "dbcrash";
       case FaultKind::DbTornWrite: return "tornwrite";
+      case FaultKind::Partition: return "partition";
+      case FaultKind::Switchover: return "switchover";
     }
     return "?";
 }
@@ -57,6 +59,23 @@ FaultEvent::describe() const
             os << " replica=" << replica;
         if (restart_after > 0)
             os << " restart=" << toSeconds(restart_after) << "s";
+        break;
+      case FaultKind::Partition:
+        os << " sides=";
+        for (std::size_t s = 0; s < sides.size(); ++s) {
+            if (s)
+                os << "|";
+            for (std::size_t e = 0; e < sides[s].size(); ++e) {
+                if (e)
+                    os << ",";
+                os << describeNetEndpoint(sides[s][e]);
+            }
+        }
+        if (duration > 0)
+            os << " dur=" << toSeconds(duration) << "s";
+        break;
+      case FaultKind::Switchover:
+        os << " shard=" << (shard == kNoTarget ? 0 : shard);
         break;
     }
     return os.str();
@@ -127,6 +146,10 @@ parseEvent(const std::string &raw)
         event.kind = FaultKind::DbCrash;
     else if (kind_name == "tornwrite")
         event.kind = FaultKind::DbTornWrite;
+    else if (kind_name == "partition")
+        event.kind = FaultKind::Partition;
+    else if (kind_name == "switchover")
+        event.kind = FaultKind::Switchover;
     else
         fail("unknown fault kind \"" + kind_name + "\"", token);
 
@@ -138,6 +161,10 @@ parseEvent(const std::string &raw)
     event.at = secs(parseNonNegative(time_str, token));
 
     bool saw_node = false;
+    // `sides=` values contain ','; fragments without '=' that follow
+    // a sides key continue the endpoint list.
+    std::string sides_str;
+    bool in_sides = false;
     std::string params = colon == std::string::npos
                              ? ""
                              : token.substr(colon + 1);
@@ -148,10 +175,16 @@ parseEvent(const std::string &raw)
         if (kv.empty())
             continue;
         const auto eq = kv.find('=');
-        if (eq == std::string::npos)
+        if (eq == std::string::npos) {
+            if (in_sides) {
+                sides_str += "," + kv;
+                continue;
+            }
             fail("parameter \"" + kv + "\" is not key=value", token);
+        }
         const std::string key = trim(kv.substr(0, eq));
         const std::string value = trim(kv.substr(eq + 1));
+        in_sides = false;
 
         if (key == "node" &&
             (event.kind == FaultKind::NodeCrash ||
@@ -172,7 +205,8 @@ parseEvent(const std::string &raw)
                 secs(parseNonNegative(value, token));
         } else if (key == "dur" &&
                    (event.kind == FaultKind::LinkDegrade ||
-                    event.kind == FaultKind::DbSlow)) {
+                    event.kind == FaultKind::DbSlow ||
+                    event.kind == FaultKind::Partition)) {
             event.duration = secs(parseNonNegative(value, token));
         } else if (key == "lat" &&
                    event.kind == FaultKind::LinkDegrade) {
@@ -186,9 +220,14 @@ parseEvent(const std::string &raw)
                 fail("drop probability must be <= 1", token);
         } else if (key == "shard" &&
                    (event.kind == FaultKind::DbCrash ||
-                    event.kind == FaultKind::DbTornWrite)) {
+                    event.kind == FaultKind::DbTornWrite ||
+                    event.kind == FaultKind::Switchover)) {
             event.shard = static_cast<std::size_t>(
                 parseNonNegative(value, token));
+        } else if (key == "sides" &&
+                   event.kind == FaultKind::Partition) {
+            sides_str = value;
+            in_sides = true;
         } else if (key == "replica" &&
                    event.kind == FaultKind::DbCrash) {
             event.replica = static_cast<std::size_t>(
@@ -206,7 +245,55 @@ parseEvent(const std::string &raw)
     if (!saw_node && (event.kind == FaultKind::NodeCrash ||
                       event.kind == FaultKind::PoolKill))
         fail("missing node=<n>", token);
+
+    if (event.kind == FaultKind::Partition) {
+        if (sides_str.empty())
+            fail("missing sides=<a,b|c,...>", token);
+        std::istringstream side_split(sides_str);
+        std::string side;
+        while (std::getline(side_split, side, '|')) {
+            std::vector<NetEndpoint> members;
+            std::istringstream member_split(side);
+            std::string member;
+            while (std::getline(member_split, member, ',')) {
+                member = trim(member);
+                if (member.empty())
+                    continue;
+                bool ok = false;
+                const NetEndpoint ep = parseNetEndpoint(member, ok);
+                if (!ok)
+                    fail("bad endpoint \"" + member +
+                             "\" (want <n>, db<s>, or db<s>.<r>)",
+                         token);
+                for (const auto &group : event.sides)
+                    for (const NetEndpoint &other : group)
+                        if (other == ep)
+                            fail("endpoint \"" + member +
+                                     "\" listed on two sides",
+                                 token);
+                for (const NetEndpoint &other : members)
+                    if (other == ep)
+                        fail("endpoint \"" + member +
+                                 "\" listed on two sides",
+                             token);
+                members.push_back(ep);
+            }
+            if (members.empty())
+                fail("empty partition side", token);
+            event.sides.push_back(std::move(members));
+        }
+        if (event.sides.size() < 2)
+            fail("partition needs at least two sides", token);
+    }
     return event;
+}
+
+/** Validation failure against an already-parsed event. */
+[[noreturn]] void
+failEvent(const std::string &what, const FaultEvent &event)
+{
+    throw std::invalid_argument("--faults: " + what + " in \"" +
+                                event.describe() + "\"");
 }
 
 } // namespace
@@ -222,7 +309,111 @@ FaultSchedule::parse(const std::string &spec)
             continue;
         schedule.add(parseEvent(token));
     }
+    schedule.validate();
     return schedule;
+}
+
+void
+FaultSchedule::validate() const
+{
+    // Open-ended windows use the sentinel; [at, until) is the down
+    // window, and any event landing at `at` or later inside it
+    // targets something already down.
+    constexpr SimTime kForever = static_cast<SimTime>(-1);
+    struct Window
+    {
+        std::size_t a = 0; // node, or shard
+        std::size_t b = 0; // kNoTarget for primaries, else replica
+        SimTime until = 0;
+    };
+    std::vector<Window> node_down;
+    std::vector<Window> db_down; // b == kNoTarget → primary/tier
+    SimTime partition_until = 0; // 0 = no open partition window
+    bool partition_open = false;
+
+    auto covered = [](const std::vector<Window> &windows,
+                      std::size_t a, std::size_t b, SimTime t) {
+        for (const Window &w : windows)
+            if (w.a == a && w.b == b && t < w.until)
+                return true;
+        return false;
+    };
+
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const FaultEvent &e = events_[i];
+
+        // Exact duplicates (same kind, time, target) are a spec bug.
+        for (std::size_t j = 0; j < i; ++j) {
+            const FaultEvent &p = events_[j];
+            if (p.kind != e.kind || p.at != e.at)
+                continue;
+            if (p.node == e.node && p.shard == e.shard &&
+                p.replica == e.replica)
+                failEvent("duplicate event (same kind, time, and "
+                          "target)",
+                          e);
+        }
+
+        const std::size_t shard =
+            e.shard == FaultEvent::kNoTarget ? 0 : e.shard;
+        switch (e.kind) {
+          case FaultKind::NodeCrash:
+          case FaultKind::PoolKill:
+            if (covered(node_down, e.node, 0, e.at))
+                failEvent("node " + std::to_string(e.node) +
+                              " is already down at that time",
+                          e);
+            if (e.kind == FaultKind::NodeCrash)
+                node_down.push_back(
+                    {e.node, 0,
+                     e.restart_after > 0 ? e.at + e.restart_after
+                                         : kForever});
+            break;
+          case FaultKind::DbCrash:
+          case FaultKind::DbTornWrite: {
+            const bool replica_scoped =
+                e.kind == FaultKind::DbCrash &&
+                e.replica != FaultEvent::kNoTarget;
+            const std::size_t member =
+                replica_scoped ? e.replica : FaultEvent::kNoTarget;
+            // A tier-wide crash (no shard key anywhere) and a
+            // shard-scoped crash share shard 0's bucket, which is
+            // exactly the cluster's own defaulting rule.
+            if (covered(db_down, shard, member, e.at))
+                failEvent("shard " + std::to_string(shard) +
+                              (replica_scoped
+                                   ? " replica " +
+                                         std::to_string(e.replica)
+                                   : std::string()) +
+                              " is already down at that time",
+                          e);
+            db_down.push_back(
+                {shard, member,
+                 e.restart_after > 0 ? e.at + e.restart_after
+                                     : kForever});
+            break;
+          }
+          case FaultKind::Switchover:
+            if (covered(db_down, shard, FaultEvent::kNoTarget, e.at))
+                failEvent("shard " + std::to_string(shard) +
+                              " is already down at that time",
+                          e);
+            break;
+          case FaultKind::Partition:
+            if (partition_open &&
+                (partition_until == kForever || e.at < partition_until))
+                failEvent("a partition window is still open at that "
+                          "time",
+                          e);
+            partition_open = true;
+            partition_until =
+                e.duration > 0 ? e.at + e.duration : kForever;
+            break;
+          case FaultKind::LinkDegrade:
+          case FaultKind::DbSlow:
+            break;
+        }
+    }
 }
 
 bool
@@ -232,6 +423,24 @@ FaultSchedule::hasDbFault() const
                        [](const FaultEvent &event) {
                            return event.kind == FaultKind::DbCrash ||
                                event.kind == FaultKind::DbTornWrite;
+                       });
+}
+
+bool
+FaultSchedule::hasPartition() const
+{
+    return std::any_of(events_.begin(), events_.end(),
+                       [](const FaultEvent &event) {
+                           return event.kind == FaultKind::Partition;
+                       });
+}
+
+bool
+FaultSchedule::hasSwitchover() const
+{
+    return std::any_of(events_.begin(), events_.end(),
+                       [](const FaultEvent &event) {
+                           return event.kind == FaultKind::Switchover;
                        });
 }
 

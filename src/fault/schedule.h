@@ -37,13 +37,40 @@
  *                                    crash a standby instead: shard
  *                                    1's replica 0 drops its stream,
  *                                    restarts and resilvers 5 s later
+ *   partition@60:sides=0,1,db0|2,db0.0,dur=20
+ *                                    split the fabric for 20 s: node
+ *                                    0+1 and shard 0's primary on one
+ *                                    side, node 2 and shard 0 replica
+ *                                    0 on the other. Sides are
+ *                                    '|'-separated endpoint lists
+ *                                    (`3` = node, `db1` = shard 1
+ *                                    primary, `db1.2` = its replica
+ *                                    2); endpoints on no side stay
+ *                                    reachable from everyone. Omit
+ *                                    dur to make the split permanent.
+ *   switchover@60:shard=1            planned handoff: drain shard 1's
+ *                                    in-flight txns, promote the
+ *                                    most-caught-up replica at the
+ *                                    applied watermark with a fresh
+ *                                    fencing token (~zero blackout)
  *
- * `shard=` is accepted for dbcrash/tornwrite only, and `replica=` for
- * dbcrash only (a torn write is a primary WAL-device event); both are
- * rejected for every other kind, like `node=`. Times and durations
- * are seconds (fractions allowed). Unknown kinds, malformed numbers,
- * and unknown keys throw std::invalid_argument with a message naming
- * the offending token.
+ * `shard=` is accepted for dbcrash/tornwrite/switchover only, and
+ * `replica=` for dbcrash only (a torn write is a primary WAL-device
+ * event); both are rejected for every other kind, like `node=`. Times
+ * and durations are seconds (fractions allowed). Unknown kinds,
+ * malformed numbers, and unknown keys throw std::invalid_argument
+ * with a message naming the offending token.
+ *
+ * parse() additionally validates the schedule as a whole: an event
+ * that targets a node or shard already down at its timestamp (inside
+ * an earlier crash's [at, at+restart) window, or any time after a
+ * restart-less crash), a partition declared while another partition
+ * window is still open, and exact duplicates (same kind, time, and
+ * target) are all rejected with a clear error instead of silently
+ * arming both. The window check is static: a replicated shard may
+ * reopen earlier via failover promotion, so schedules that crash the
+ * same shard twice should bound the first outage with `restart=`.
+ * Programmatic add() skips validation by design.
  */
 
 #ifndef JASIM_FAULT_SCHEDULE_H
@@ -53,6 +80,7 @@
 #include <string>
 #include <vector>
 
+#include "net/endpoint.h"
 #include "sim/types.h"
 
 namespace jasim {
@@ -66,6 +94,8 @@ enum class FaultKind : std::uint8_t
     PoolKill,    //!< drop a node's idle DB connections
     DbCrash,     //!< DB tier powers off; ARIES recovery on restart
     DbTornWrite, //!< DB crash with a torn in-flight WAL force
+    Partition,   //!< fabric splits into sides; cross-side sends fail
+    Switchover,  //!< planned primary handoff (drain + lease handoff)
 };
 
 const char *faultKindName(FaultKind kind);
@@ -89,10 +119,12 @@ struct FaultEvent
     double latency_mult = 1.0;      //!< degrade: propagation multiplier
     double drop_probability = 0.0;  //!< degrade: per-message loss
     double disk_mult = 1.0;         //!< dbslow: service multiplier
-    /** dbcrash/tornwrite: target shard (unset = shard 0). */
+    /** dbcrash/tornwrite/switchover: target shard (unset = shard 0). */
     std::size_t shard = kNoTarget;
     /** dbcrash: crash this replica instead of the primary. */
     std::size_t replica = kNoTarget;
+    /** partition: the sides of the split (each a list of endpoints). */
+    std::vector<std::vector<NetEndpoint>> sides;
 
     /** One-line human-readable form (used by summaries and tests). */
     std::string describe() const;
@@ -123,12 +155,21 @@ class FaultSchedule
 
     /** True if any event crashes the DB tier (recovery must arm). */
     bool hasDbFault() const;
+
+    /** True if any event splits the fabric (partition map must arm). */
+    bool hasPartition() const;
+
+    /** True if any event is a planned switchover. */
+    bool hasSwitchover() const;
     const std::vector<FaultEvent> &events() const { return events_; }
 
     /** Semicolon-joined describe() of every event. */
     std::string summary() const;
 
   private:
+    /** Whole-schedule checks (already-down targets, duplicates). */
+    void validate() const;
+
     std::vector<FaultEvent> events_;
 };
 

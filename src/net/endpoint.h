@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Named endpoints of the cluster fabric, as a partition can see them.
+ *
+ * The fault grammar's `partition` verb splits the fabric into sides;
+ * each side lists endpoints by a tiny textual scheme:
+ *
+ *   `3`       app-server node 3
+ *   `db1`     shard 1's primary slot
+ *   `db1.2`   shard 1, replica 2
+ *
+ * The driver, load balancer, and client links are never listed — an
+ * endpoint that appears on no side stays reachable from everyone, so
+ * front-of-house traffic is unaffected by a DB-tier split.
+ */
+
+#ifndef JASIM_NET_ENDPOINT_H
+#define JASIM_NET_ENDPOINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace jasim {
+
+/** One partitionable endpoint (app node, shard primary, or replica). */
+struct NetEndpoint
+{
+    enum class Kind : std::uint8_t
+    {
+        Node,      //!< app-server node `index`
+        DbPrimary, //!< shard `index`'s primary slot
+        DbReplica, //!< shard `index`, replica `replica`
+    };
+
+    Kind kind = Kind::Node;
+    std::size_t index = 0;   //!< node number or shard number
+    std::size_t replica = 0; //!< replica number (DbReplica only)
+
+    friend bool operator==(const NetEndpoint &a, const NetEndpoint &b)
+    {
+        return a.kind == b.kind && a.index == b.index &&
+               (a.kind != Kind::DbReplica || a.replica == b.replica);
+    }
+    friend bool operator!=(const NetEndpoint &a, const NetEndpoint &b)
+    {
+        return !(a == b);
+    }
+
+    static NetEndpoint node(std::size_t n)
+    {
+        return {Kind::Node, n, 0};
+    }
+    static NetEndpoint dbPrimary(std::size_t shard)
+    {
+        return {Kind::DbPrimary, shard, 0};
+    }
+    static NetEndpoint dbReplica(std::size_t shard, std::size_t replica)
+    {
+        return {Kind::DbReplica, shard, replica};
+    }
+};
+
+/**
+ * Parse one endpoint token (`3`, `db1`, `db1.2`). Sets `ok` false and
+ * returns a default endpoint on malformed input; the fault parser
+ * turns that into its usual `--faults:` diagnostic.
+ */
+inline NetEndpoint
+parseNetEndpoint(const std::string &token, bool &ok)
+{
+    ok = false;
+    NetEndpoint ep;
+    if (token.empty())
+        return ep;
+    std::size_t pos = 0;
+    if (token.compare(0, 2, "db") == 0) {
+        pos = 2;
+        ep.kind = NetEndpoint::Kind::DbPrimary;
+    }
+    std::size_t digits = 0;
+    std::size_t value = 0;
+    while (pos < token.size() && token[pos] >= '0' && token[pos] <= '9') {
+        value = value * 10 + static_cast<std::size_t>(token[pos] - '0');
+        ++pos;
+        ++digits;
+    }
+    if (digits == 0)
+        return ep;
+    ep.index = value;
+    if (pos == token.size()) {
+        ok = true;
+        return ep;
+    }
+    // `db<k>.<r>` — a replica slot. Nodes take no suffix.
+    if (ep.kind != NetEndpoint::Kind::DbPrimary || token[pos] != '.')
+        return ep;
+    ++pos;
+    digits = 0;
+    value = 0;
+    while (pos < token.size() && token[pos] >= '0' && token[pos] <= '9') {
+        value = value * 10 + static_cast<std::size_t>(token[pos] - '0');
+        ++pos;
+        ++digits;
+    }
+    if (digits == 0 || pos != token.size())
+        return ep;
+    ep.kind = NetEndpoint::Kind::DbReplica;
+    ep.replica = value;
+    ok = true;
+    return ep;
+}
+
+/** Printable endpoint name in the grammar's own scheme. */
+inline std::string
+describeNetEndpoint(const NetEndpoint &ep)
+{
+    switch (ep.kind) {
+      case NetEndpoint::Kind::Node:
+        return std::to_string(ep.index);
+      case NetEndpoint::Kind::DbPrimary:
+        return "db" + std::to_string(ep.index);
+      case NetEndpoint::Kind::DbReplica:
+        return "db" + std::to_string(ep.index) + "." +
+               std::to_string(ep.replica);
+    }
+    return "?";
+}
+
+} // namespace jasim
+
+#endif // JASIM_NET_ENDPOINT_H

@@ -30,6 +30,34 @@ NetworkFabric::minLatencyUs() const
     return min;
 }
 
+void
+NetworkFabric::setPartition(std::vector<std::vector<NetEndpoint>> sides)
+{
+    sides_ = std::move(sides);
+}
+
+int
+NetworkFabric::sideOf(const NetEndpoint &ep) const
+{
+    for (std::size_t s = 0; s < sides_.size(); ++s)
+        for (const NetEndpoint &member : sides_[s])
+            if (member == ep)
+                return static_cast<int>(s);
+    return -1;
+}
+
+bool
+NetworkFabric::reachable(const NetEndpoint &a, const NetEndpoint &b) const
+{
+    if (sides_.empty())
+        return true;
+    const int sa = sideOf(a);
+    const int sb = sideOf(b);
+    if (sa < 0 || sb < 0)
+        return true;
+    return sa == sb;
+}
+
 std::uint64_t
 NetworkFabric::totalBytes() const
 {

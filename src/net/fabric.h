@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/endpoint.h"
 #include "net/link.h"
 
 namespace jasim {
@@ -62,10 +63,33 @@ class NetworkFabric
      */
     SimTime minLatencyUs() const;
 
+    /**
+     * Install a partition: endpoints on different sides cannot reach
+     * each other until clearPartition(). An endpoint listed on no
+     * side remains reachable from everyone (the LB/driver links are
+     * never listed, so front traffic is untouched). Deterministic —
+     * no RNG is consulted; callers fail cross-side sends fast.
+     */
+    void setPartition(std::vector<std::vector<NetEndpoint>> sides);
+    void clearPartition() { sides_.clear(); }
+    bool partitioned() const { return !sides_.empty(); }
+
+    /** True iff `a` can currently send to `b` (and vice versa). */
+    bool reachable(const NetEndpoint &a, const NetEndpoint &b) const;
+
+    /** Count one message refused by the partition map. */
+    void notePartitionDrop() { ++partition_drops_; }
+    std::uint64_t partitionDrops() const { return partition_drops_; }
+
   private:
+    /** Side index holding `ep`, or -1 when unlisted. */
+    int sideOf(const NetEndpoint &ep) const;
+
     NetworkLink client_lb_;
     std::vector<std::unique_ptr<NetworkLink>> lb_node_;
     std::vector<std::unique_ptr<NetworkLink>> node_db_;
+    std::vector<std::vector<NetEndpoint>> sides_;
+    std::uint64_t partition_drops_ = 0;
 };
 
 } // namespace jasim

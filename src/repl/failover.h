@@ -40,16 +40,33 @@ struct FailoverConfig
 
     /** Redo CPU per KB of durable-but-unapplied log replayed. */
     double promote_cpu_us_per_kb = 40.0;
+
+    /** Abort a planned switchover whose drain wedges (s). */
+    double switchover_timeout_s = 5.0;
 };
+
+/** Why a promotion ran. */
+enum class FailoverKind : std::uint8_t
+{
+    Crash,      //!< primary dbcrash/tornwrite
+    Partition,  //!< quorum side promoted around a cut-off primary
+    Switchover, //!< planned handoff (drain + lease transfer)
+};
+
+const char *failoverKindName(FailoverKind kind);
 
 /** One completed failover. */
 struct FailoverOutcome
 {
     std::size_t shard = 0;
-    SimTime crash_at = 0;
+    FailoverKind kind = FailoverKind::Crash;
+    SimTime crash_at = 0;            //!< crash / decision time
     SimTime promoted_at = 0;
+    SimTime blackout_begin = 0;      //!< when the shard stopped serving
     std::uint64_t watermark = 0;     //!< promoted durable LSN
     std::uint64_t catchup_bytes = 0; //!< unapplied log replayed
+    std::uint64_t fencing_token = 0; //!< token issued (0 = unleased)
+    std::size_t promoted_member = 0; //!< replica index that took over
     FailoverStats stats;             //!< the database rewind
 };
 
@@ -73,16 +90,53 @@ class FailoverController
      */
     bool primaryCrashed(std::size_t shard, ShardGroup &group, Done done);
 
+    /**
+     * Quorum-gated promotion around a partitioned-away primary. The
+     * caller (the cluster's lease monitor) has already established
+     * that the serving member lost its quorum, its lease lapsed, and
+     * `candidate` leads a majority side with watermark `watermark`
+     * (max durable among that side's live replicas). Issues the next
+     * fencing token, fences every stream, rewinds the shard to W,
+     * and moves serving to `candidate`. Returns false when the shard
+     * is already down (promotion in progress or crashed).
+     */
+    bool partitionPromote(std::size_t shard, ShardGroup &group,
+                          std::size_t candidate, std::uint64_t watermark,
+                          Done done);
+
+    /**
+     * Planned switchover: fail-fast new attempts (drain), wait for
+     * in-flight txns to finish and the target replica to hold the
+     * full log durably, then hand the lease off at that watermark
+     * with a fresh fencing token. The blackout window is only the
+     * final promotion bookkeeping -- well under one lease interval.
+     * Returns false when the shard is down, draining, has no live
+     * replica, or (leased) does not currently hold its lease.
+     */
+    bool plannedSwitchover(std::size_t shard, ShardGroup &group,
+                           Done done);
+
     std::uint64_t failoverCount() const { return failovers_; }
+    std::uint64_t switchoverAborts() const { return switchover_aborts_; }
     const std::vector<FailoverOutcome> &history() const
     {
         return history_;
     }
 
   private:
+    /**
+     * Shared tail of every promotion: rewind to W, charge catch-up
+     * I/O + promotion CPU, resync streams, reopen, record `out`.
+     * Starts at now + `delay_us` (the detection delay; zero for a
+     * switchover, which already waited for its drain).
+     */
+    void promote(ShardGroup &group, FailoverOutcome out, SimTime delay_us,
+                 Done done);
+
     EventQueue &queue_;
     FailoverConfig config_;
     std::uint64_t failovers_ = 0;
+    std::uint64_t switchover_aborts_ = 0;
     std::vector<FailoverOutcome> history_;
 };
 

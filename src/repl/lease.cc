@@ -1,0 +1,14 @@
+#include "repl/lease.h"
+
+namespace jasim {
+
+void
+Lease::grant(SimTime expiry)
+{
+    if (expiry <= expiry_)
+        return;
+    expiry_ = expiry;
+    ++renewals_;
+}
+
+} // namespace jasim

@@ -14,7 +14,8 @@ LogShipStream::LogShipStream(EventQueue &queue,
 }
 
 void
-LogShipStream::ship(std::uint64_t lsn, std::uint64_t bytes)
+LogShipStream::ship(std::uint64_t lsn, std::uint64_t bytes,
+                    std::uint64_t token)
 {
     if (!alive_ || bytes == 0)
         return;
@@ -22,9 +23,16 @@ LogShipStream::ship(std::uint64_t lsn, std::uint64_t bytes)
     ++shipped_windows_;
     const std::uint64_t gen = generation_;
     const SimTime arrival = link_.deliver(queue_.now(), bytes);
-    queue_.scheduleAt(arrival, [this, lsn, bytes, gen] {
+    queue_.scheduleAt(arrival, [this, lsn, bytes, gen, token] {
         if (gen != generation_ || !alive_)
             return;
+        // Fencing check happens on receipt, before the replica pays
+        // any disk I/O for the window.
+        if (token < fence_token_) {
+            ++fenced_windows_;
+            return;
+        }
+        fence_token_ = std::max(fence_token_, token);
         const IoResult io = disk_.write(queue_.now(), bytes);
         queue_.scheduleAt(io.completion, [this, lsn, bytes, gen] {
             if (gen != generation_ || !alive_)
@@ -72,6 +80,12 @@ LogShipStream::resyncTo(std::uint64_t lsn)
     durable_lsn_ = std::min(durable_lsn_, lsn);
     applied_lsn_ = std::min(applied_lsn_, durable_lsn_);
     unapplied_bytes_ = 0;
+}
+
+void
+LogShipStream::setFenceToken(std::uint64_t token)
+{
+    fence_token_ = std::max(fence_token_, token);
 }
 
 } // namespace jasim::repl

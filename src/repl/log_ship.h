@@ -14,6 +14,13 @@
  * discarded via a generation counter) and a restart resilvers from
  * scratch -- watermarks reset and jump forward with the next shipped
  * window, modeling a full resync riding the stream.
+ *
+ * Fencing: every shipment may carry a fencing token (see
+ * repl/lease.h). The replica remembers the newest token it has seen
+ * (or been fenced to at a promotion) and refuses any window carrying
+ * an older one at arrival, before paying replica-disk I/O -- a
+ * deposed primary's post-partition writes bounce instead of moving
+ * the watermark. Token 0 (no lease armed) never fences anything.
  */
 
 #ifndef JASIM_REPL_LOG_SHIP_H
@@ -55,8 +62,11 @@ class LogShipStream
     /**
      * Ship the freshly forced window ending at `lsn` (`bytes` of log).
      * Called by the cluster at the primary's force-I/O completion.
+     * `token` is the shipper's fencing token (0 = unfenced legacy
+     * stream); windows older than the replica's fence are refused.
      */
-    void ship(std::uint64_t lsn, std::uint64_t bytes);
+    void ship(std::uint64_t lsn, std::uint64_t bytes,
+              std::uint64_t token = 0);
 
     /** Highest LSN forced to the replica's WAL device. */
     std::uint64_t durableLsn() const { return durable_lsn_; }
@@ -86,6 +96,17 @@ class LogShipStream
      */
     void resyncTo(std::uint64_t lsn);
 
+    // ---- fencing ----
+
+    /** Raise the replica's fence (promotion); never lowers it. */
+    void setFenceToken(std::uint64_t token);
+
+    /** Newest fencing token this replica has seen or been set to. */
+    std::uint64_t fenceToken() const { return fence_token_; }
+
+    /** Windows refused because they carried a stale token. */
+    std::uint64_t fencedWindows() const { return fenced_windows_; }
+
     NetworkLink &link() { return link_; }
     DiskModel &disk() { return disk_; }
 
@@ -103,6 +124,8 @@ class LogShipStream
     std::uint64_t unapplied_bytes_ = 0;
     std::uint64_t shipped_bytes_ = 0;
     std::uint64_t shipped_windows_ = 0;
+    std::uint64_t fence_token_ = 0;
+    std::uint64_t fenced_windows_ = 0;
 };
 
 } // namespace jasim::repl

@@ -22,6 +22,15 @@
  * new primary; by symmetry (identical config) the group keeps serving
  * with the same members, streams resynced to the promotion watermark
  * -- the old primary rejoins as a standby.
+ *
+ * When a schedule can split the fabric (partition/switchover verbs),
+ * the group additionally arms a *lease* (repl/lease.h): heartbeat
+ * rounds ride the replica links, a majority of acks extends the
+ * lease, and commits stop acking the moment it lapses. Sync acks
+ * then also need a durability quorum (Lease::quorumAcks() replicas)
+ * instead of any single replica, so a promoted majority always
+ * intersects the ack set. All of it is gated on armLease() -- an
+ * unleased group is byte-identical to PR 6.
  */
 
 #ifndef JASIM_REPL_REPLICATED_DB_H
@@ -36,6 +45,7 @@
 #include "os/disk.h"
 #include "os/scheduler.h"
 #include "repl/failover.h"
+#include "repl/lease.h"
 #include "repl/log_ship.h"
 #include "repl/shard_map.h"
 #include "was/application.h"
@@ -50,6 +60,7 @@ struct ReplConfig
     bool sync = false;        //!< ack only after a replica is durable
     ReplicaConfig replica;    //!< stream link/disk/apply parameters
     FailoverConfig failover;
+    LeaseConfig lease;        //!< armed by partition/switchover verbs
 
     /** Anything beyond the single unreplicated box of PR 5? */
     bool enabled() const { return shards > 1 || replicas > 0; }
@@ -118,6 +129,76 @@ class ShardGroup
 
     std::uint64_t ackWaits() const { return ack_waits_; }
 
+    // ---- lease / fencing (armed only by partition-capable runs) ----
+
+    /**
+     * Per-replica reachability, supplied by the cluster (closes over
+     * the fabric's partition map and the current serving endpoint).
+     */
+    using ReachFn = std::function<bool(std::size_t replica)>;
+
+    /** Arm the lease machinery. Without this, PR 6 semantics hold. */
+    void armLease(const LeaseConfig &config, ReachFn reachable);
+    bool leaseArmed() const { return lease_on_; }
+
+    /** Initial grant + heartbeat loop; call once at cluster start. */
+    void startLease();
+
+    /** True when unleased, or the lease is held right now. */
+    bool leaseValid() const
+    {
+        return !lease_on_ || lease_.valid(queue_.now());
+    }
+
+    Lease &lease() { return lease_; }
+    const Lease &lease() const { return lease_; }
+
+    /** Raise every stream's fence to `token` (promotion). */
+    void fenceReplicas(std::uint64_t token);
+
+    /** Fresh full-length grant (a promotion starts with the lease). */
+    void regrantLease()
+    {
+        if (lease_on_)
+            lease_.grant(queue_.now() + lease_us_);
+    }
+
+    /** Sum of stale windows refused across all streams. */
+    std::uint64_t fencedWindows() const;
+
+    /** Shipments/heartbeats refused locally by the partition map. */
+    std::uint64_t shipBlocked() const { return ship_blocked_; }
+    std::uint64_t heartbeatsBlocked() const { return hb_blocked_; }
+    std::uint64_t heartbeatsSent() const { return hb_sent_; }
+
+    /**
+     * The member currently serving the shard: kPrimaryMember for the
+     * primary slot, else the promoted replica's index. Only consulted
+     * by partition-aware callers (endpoint reachability).
+     */
+    static constexpr std::size_t kPrimaryMember =
+        static_cast<std::size_t>(-1);
+    std::size_t servingMember() const { return serving_member_; }
+    void setServingMember(std::size_t member)
+    {
+        serving_member_ = member;
+    }
+
+    // ---- drain (planned switchover) ----
+
+    /** Track one client txn entering/leaving the shard. */
+    void inflightBegin() { ++inflight_; }
+    void inflightEnd();
+    std::uint64_t inflight() const { return inflight_; }
+
+    /** While draining, new attempts must fail fast (FailoverWait). */
+    bool draining() const { return draining_; }
+    void beginDrain() { draining_ = true; }
+    void endDrain() { draining_ = false; }
+
+    /** Run `done` once no txn is in flight (immediately if so). */
+    void whenDrained(std::function<void()> done);
+
     // ---- watermarks ----
 
     /** Promotion watermark: highest durable LSN on a live replica. */
@@ -150,6 +231,14 @@ class ShardGroup
 
   private:
     void onReplicaDurable();
+    void heartbeatTick();
+
+    /**
+     * The LSN up to which commits may ack: any live replica when
+     * unleased (PR 6 rule), else the quorumAcks()-th highest durable
+     * watermark among live replicas (quorum intersection).
+     */
+    std::uint64_t ackDurableLsn() const;
 
     EventQueue &queue_;
     ShardGroupConfig config_;
@@ -169,6 +258,25 @@ class ShardGroup
     };
     std::vector<Waiter> waiters_;
     std::uint64_t ack_waits_ = 0;
+
+    // Lease machinery (inert until armLease()).
+    bool lease_on_ = false;
+    Lease lease_{0};
+    LeaseConfig lease_config_;
+    ReachFn reachable_;
+    SimTime lease_us_ = 0;
+    SimTime renew_us_ = 0;
+    std::uint64_t hb_bytes_ = 0;
+    bool hb_last_valid_ = true;
+    std::uint64_t hb_sent_ = 0;
+    std::uint64_t hb_blocked_ = 0;
+    std::uint64_t ship_blocked_ = 0;
+    std::size_t serving_member_ = kPrimaryMember;
+
+    // Drain bookkeeping (pure state: no events unless used).
+    std::uint64_t inflight_ = 0;
+    bool draining_ = false;
+    std::vector<std::function<void()>> drain_waiters_;
 };
 
 } // namespace jasim::repl

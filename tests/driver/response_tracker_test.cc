@@ -332,5 +332,56 @@ TEST(ResponseTrackerTest, DbRecoveryIntervalsSummed)
     EXPECT_EQ(tracker.dbRecoveryUs(), secs(5));
 }
 
+TEST(ResponseTrackerTest, AvailabilityMergesOverlappingWindows)
+{
+    // A failover blackout overlapping a crash window must be billed
+    // once: 10..20 and 15..30 cover 20 s, not 25.
+    ResponseTracker tracker;
+    tracker.noteNodeDown(3, secs(10));
+    tracker.noteNodeUp(3, secs(20));
+    tracker.noteNodeDown(3, secs(15)); // overlapping observation
+    tracker.noteNodeUp(3, secs(30));
+    tracker.noteNodeDown(3, secs(40));
+    tracker.noteNodeUp(3, secs(45));
+    // Windows: 10..20, 15..30, 40..45 → merged 20 + 5 = 25 s.
+    EXPECT_DOUBLE_EQ(tracker.availability(3, secs(100)), 0.75);
+}
+
+TEST(ResponseTrackerTest, ShardAvailabilityMergesOverlaps)
+{
+    ResponseTracker tracker;
+    tracker.noteFailoverBlackout(0, secs(10), secs(20));
+    tracker.noteSwitchover(0, secs(15), secs(18)); // inside the first
+    tracker.noteFailoverBlackout(0, secs(40), secs(50));
+    // Merged downtime: 10 + 10 = 20 s of 100.
+    EXPECT_DOUBLE_EQ(tracker.shardAvailability(0, secs(100)), 0.8);
+    // Counted separately: one switchover among three windows.
+    EXPECT_EQ(tracker.switchoverCount(), 1u);
+    EXPECT_EQ(tracker.failoverCount(), 3u);
+}
+
+TEST(ResponseTrackerTest, PartitionWindowsTracked)
+{
+    ResponseTracker tracker;
+    EXPECT_EQ(tracker.partitionCount(), 0u);
+    EXPECT_EQ(tracker.partitionUs(secs(100)), 0u);
+    tracker.notePartitionWindow(secs(10), secs(30));
+    tracker.notePartitionWindow(secs(90), 0); // never healed
+    EXPECT_EQ(tracker.partitionCount(), 2u);
+    // Open window runs to the horizon; both clip at it.
+    EXPECT_EQ(tracker.partitionUs(secs(100)), secs(30));
+    EXPECT_EQ(tracker.partitionUs(secs(20)), secs(10));
+}
+
+TEST(ResponseTrackerTest, PartitionedErrorsCountLikeAnyKind)
+{
+    ResponseTracker tracker;
+    tracker.error(makeRequest(1, RequestType::Purchase, 0), secs(1), 0,
+                  ErrorKind::Partitioned);
+    EXPECT_EQ(tracker.errorCount(ErrorKind::Partitioned), 1u);
+    EXPECT_EQ(tracker.errorCount(), 1u);
+    EXPECT_STREQ(errorKindName(ErrorKind::Partitioned), "partitioned");
+}
+
 } // namespace
 } // namespace jasim

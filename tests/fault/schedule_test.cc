@@ -268,13 +268,189 @@ TEST(FaultScheduleTest, ReplicaCrashStillCountsAsDbFault)
 
 TEST(FaultScheduleTest, MixedVerbsSortStablyByTime)
 {
+    // Distinct shards: same-time DB verbs on one shard would trip the
+    // already-down validation.
     const FaultSchedule s = FaultSchedule::parse(
-        "tornwrite@30:restart=1;crash@10:node=0;dbcrash@30:restart=1");
+        "tornwrite@30:restart=1;crash@10:node=0,restart=5;"
+        "dbcrash@30:shard=1,restart=1");
     ASSERT_EQ(s.size(), 3u);
     EXPECT_EQ(s.events()[0].kind, FaultKind::NodeCrash);
     // Same-time events keep spec order: tornwrite was written first.
     EXPECT_EQ(s.events()[1].kind, FaultKind::DbTornWrite);
     EXPECT_EQ(s.events()[2].kind, FaultKind::DbCrash);
+}
+
+// ---- partition / switchover verbs ----
+
+TEST(FaultScheduleTest, ParsesPartitionWithSides)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "partition@60:sides=0,1,db0|2,db0.0,dur=20");
+    ASSERT_EQ(s.size(), 1u);
+    const FaultEvent &e = s.events()[0];
+    EXPECT_EQ(e.kind, FaultKind::Partition);
+    EXPECT_EQ(e.at, secs(60.0));
+    EXPECT_EQ(e.duration, secs(20.0));
+    ASSERT_EQ(e.sides.size(), 2u);
+    ASSERT_EQ(e.sides[0].size(), 3u);
+    EXPECT_EQ(e.sides[0][0], NetEndpoint::node(0));
+    EXPECT_EQ(e.sides[0][1], NetEndpoint::node(1));
+    EXPECT_EQ(e.sides[0][2], NetEndpoint::dbPrimary(0));
+    ASSERT_EQ(e.sides[1].size(), 2u);
+    EXPECT_EQ(e.sides[1][0], NetEndpoint::node(2));
+    EXPECT_EQ(e.sides[1][1], NetEndpoint::dbReplica(0, 0));
+    EXPECT_TRUE(s.hasPartition());
+    EXPECT_FALSE(s.hasSwitchover());
+    EXPECT_FALSE(s.hasDbFault());
+}
+
+TEST(FaultScheduleTest, PartitionWithoutDurIsPermanent)
+{
+    const FaultSchedule s =
+        FaultSchedule::parse("partition@10:sides=0|db0.0");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].duration, 0u);
+}
+
+TEST(FaultScheduleTest, ParsesSwitchover)
+{
+    const FaultSchedule s =
+        FaultSchedule::parse("switchover@45:shard=1");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.events()[0].kind, FaultKind::Switchover);
+    EXPECT_EQ(s.events()[0].shard, 1u);
+    EXPECT_TRUE(s.hasSwitchover());
+    EXPECT_FALSE(s.hasPartition());
+
+    // shard= may be omitted; the cluster defaults it to shard 0.
+    const FaultSchedule d = FaultSchedule::parse("switchover@45");
+    EXPECT_EQ(d.events()[0].shard, FaultEvent::kNoTarget);
+}
+
+TEST(FaultScheduleTest, RejectsMalformedPartitionSpecs)
+{
+    // sides= is mandatory.
+    EXPECT_THROW(FaultSchedule::parse("partition@60:dur=5"),
+                 std::invalid_argument);
+    // At least two sides.
+    EXPECT_THROW(FaultSchedule::parse("partition@60:sides=0,1"),
+                 std::invalid_argument);
+    // No empty side.
+    EXPECT_THROW(FaultSchedule::parse("partition@60:sides=0|"),
+                 std::invalid_argument);
+    // Endpoint grammar: nodes take no suffix, db wants digits.
+    EXPECT_THROW(FaultSchedule::parse("partition@60:sides=0.1|db0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("partition@60:sides=dbx|0"),
+                 std::invalid_argument);
+    // An endpoint cannot sit on both sides of a split.
+    EXPECT_THROW(
+        FaultSchedule::parse("partition@60:sides=0,db0|db0,1"),
+        std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("partition@60:sides=0,0|1"),
+                 std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, PartitionAndSwitchoverKeysAreKindScoped)
+{
+    // sides= belongs to partition alone.
+    EXPECT_THROW(FaultSchedule::parse("crash@5:node=0,sides=0|1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("switchover@5:sides=0|1"),
+                 std::invalid_argument);
+    // switchover takes shard= but not node=, restart=, or replica=.
+    EXPECT_THROW(FaultSchedule::parse("switchover@5:node=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("switchover@5:restart=2"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("switchover@5:replica=0"),
+                 std::invalid_argument);
+    // partition takes dur= but not shard= or restart=.
+    EXPECT_THROW(
+        FaultSchedule::parse("partition@5:sides=0|1,shard=0"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        FaultSchedule::parse("partition@5:sides=0|1,restart=2"),
+        std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, DescribeCarriesSidesAndSwitchoverShard)
+{
+    const FaultSchedule s = FaultSchedule::parse(
+        "partition@60:sides=0,db0|1,db0.1,dur=20;switchover@90:shard=2");
+    EXPECT_EQ(s.events()[0].describe(),
+              "partition@60s sides=0,db0|1,db0.1 dur=20s");
+    EXPECT_EQ(s.events()[1].describe(), "switchover@90s shard=2");
+    EXPECT_NE(s.summary().find("partition@60s"), std::string::npos);
+}
+
+// ---- whole-schedule validation ----
+
+TEST(FaultScheduleTest, RejectsExactDuplicateEvents)
+{
+    EXPECT_THROW(FaultSchedule::parse(
+                     "crash@10:node=2,restart=5;crash@10:node=2"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse(
+                     "switchover@30:shard=1;switchover@30:shard=1"),
+                 std::invalid_argument);
+    // Same time, different target: fine.
+    EXPECT_NO_THROW(FaultSchedule::parse(
+        "crash@10:node=1,restart=5;crash@10:node=2,restart=5"));
+}
+
+TEST(FaultScheduleTest, RejectsVerbsAgainstDownNode)
+{
+    // Inside the [at, at+restart) window.
+    EXPECT_THROW(FaultSchedule::parse(
+                     "crash@10:node=0,restart=30;poolkill@20:node=0"),
+                 std::invalid_argument);
+    // A restart-less crash keeps the node down forever.
+    EXPECT_THROW(FaultSchedule::parse(
+                     "crash@10:node=0;crash@500:node=0"),
+                 std::invalid_argument);
+    // After the restart: fine.
+    EXPECT_NO_THROW(FaultSchedule::parse(
+        "crash@10:node=0,restart=5;poolkill@20:node=0"));
+    // Different node: fine.
+    EXPECT_NO_THROW(FaultSchedule::parse(
+        "crash@10:node=0,restart=30;poolkill@20:node=1"));
+}
+
+TEST(FaultScheduleTest, RejectsVerbsAgainstDownShard)
+{
+    EXPECT_THROW(FaultSchedule::parse(
+                     "dbcrash@10:shard=1,restart=30;"
+                     "switchover@20:shard=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse(
+                     "dbcrash@10:restart=30;tornwrite@20:restart=1"),
+                 std::invalid_argument);
+    // A downed replica does not block a primary-side verb.
+    EXPECT_NO_THROW(FaultSchedule::parse(
+        "dbcrash@10:shard=1,replica=0,restart=30;"
+        "switchover@20:shard=1"));
+    // But the same replica twice inside its window is rejected.
+    EXPECT_THROW(FaultSchedule::parse(
+                     "dbcrash@10:shard=1,replica=0,restart=30;"
+                     "dbcrash@20:shard=1,replica=0"),
+                 std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, RejectsOverlappingPartitionWindows)
+{
+    EXPECT_THROW(FaultSchedule::parse(
+                     "partition@10:sides=0|1,dur=30;"
+                     "partition@20:sides=0|2,dur=5"),
+                 std::invalid_argument);
+    // A permanent partition blocks any later one.
+    EXPECT_THROW(FaultSchedule::parse(
+                     "partition@10:sides=0|1;"
+                     "partition@900:sides=0|2,dur=5"),
+                 std::invalid_argument);
+    // Sequential windows are fine.
+    EXPECT_NO_THROW(FaultSchedule::parse(
+        "partition@10:sides=0|1,dur=5;partition@20:sides=0|2,dur=5"));
 }
 
 } // namespace

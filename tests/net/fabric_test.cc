@@ -48,5 +48,99 @@ TEST(FabricTest, LinksJitterIndependently)
     EXPECT_TRUE(differ);
 }
 
+// ---- partition map ----
+
+TEST(FabricTest, UnpartitionedFabricReachesEverything)
+{
+    NetworkFabric fabric(FabricConfig::zeroCost(), 3, 1);
+    EXPECT_FALSE(fabric.partitioned());
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::node(0),
+                                 NetEndpoint::dbPrimary(1)));
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::dbReplica(0, 1),
+                                 NetEndpoint::dbPrimary(0)));
+}
+
+TEST(FabricTest, PartitionSplitsCrossSideTrafficOnly)
+{
+    NetworkFabric fabric(FabricConfig::zeroCost(), 3, 1);
+    fabric.setPartition({{NetEndpoint::node(0),
+                          NetEndpoint::dbPrimary(0)},
+                         {NetEndpoint::node(1),
+                          NetEndpoint::dbReplica(0, 0)}});
+    EXPECT_TRUE(fabric.partitioned());
+
+    // Same side: reachable both ways.
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::node(0),
+                                 NetEndpoint::dbPrimary(0)));
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::dbReplica(0, 0),
+                                 NetEndpoint::node(1)));
+    // Cross side: cut, symmetric.
+    EXPECT_FALSE(fabric.reachable(NetEndpoint::node(0),
+                                  NetEndpoint::dbReplica(0, 0)));
+    EXPECT_FALSE(fabric.reachable(NetEndpoint::dbReplica(0, 0),
+                                  NetEndpoint::node(0)));
+    EXPECT_FALSE(fabric.reachable(NetEndpoint::dbPrimary(0),
+                                  NetEndpoint::node(1)));
+}
+
+TEST(FabricTest, UnlistedEndpointsStayReachableFromEveryone)
+{
+    NetworkFabric fabric(FabricConfig::zeroCost(), 3, 1);
+    fabric.setPartition(
+        {{NetEndpoint::node(0)}, {NetEndpoint::node(1)}});
+    // Node 2 and the whole DB tier are on no side.
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::node(0),
+                                 NetEndpoint::node(2)));
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::node(1),
+                                 NetEndpoint::dbPrimary(0)));
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::dbPrimary(0),
+                                 NetEndpoint::dbReplica(0, 1)));
+    // The listed pair is still cut.
+    EXPECT_FALSE(fabric.reachable(NetEndpoint::node(0),
+                                  NetEndpoint::node(1)));
+}
+
+TEST(FabricTest, ClearPartitionHealsTheFabric)
+{
+    NetworkFabric fabric(FabricConfig::zeroCost(), 2, 1);
+    fabric.setPartition(
+        {{NetEndpoint::node(0)}, {NetEndpoint::node(1)}});
+    EXPECT_FALSE(fabric.reachable(NetEndpoint::node(0),
+                                  NetEndpoint::node(1)));
+    fabric.clearPartition();
+    EXPECT_FALSE(fabric.partitioned());
+    EXPECT_TRUE(fabric.reachable(NetEndpoint::node(0),
+                                 NetEndpoint::node(1)));
+}
+
+TEST(FabricTest, CountsPartitionDrops)
+{
+    NetworkFabric fabric(FabricConfig::zeroCost(), 2, 1);
+    EXPECT_EQ(fabric.partitionDrops(), 0u);
+    fabric.notePartitionDrop();
+    fabric.notePartitionDrop();
+    EXPECT_EQ(fabric.partitionDrops(), 2u);
+}
+
+TEST(FabricTest, ParsesEndpointTokens)
+{
+    bool ok = false;
+    EXPECT_EQ(parseNetEndpoint("3", ok), NetEndpoint::node(3));
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseNetEndpoint("db1", ok), NetEndpoint::dbPrimary(1));
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseNetEndpoint("db1.2", ok),
+              NetEndpoint::dbReplica(1, 2));
+    EXPECT_TRUE(ok);
+    for (const char *bad : {"", "db", "x3", "3.1", "db1.", "db1.2.3"}) {
+        parseNetEndpoint(bad, ok);
+        EXPECT_FALSE(ok) << bad;
+    }
+    EXPECT_EQ(describeNetEndpoint(NetEndpoint::node(3)), "3");
+    EXPECT_EQ(describeNetEndpoint(NetEndpoint::dbPrimary(1)), "db1");
+    EXPECT_EQ(describeNetEndpoint(NetEndpoint::dbReplica(1, 2)),
+              "db1.2");
+}
+
 } // namespace
 } // namespace jasim

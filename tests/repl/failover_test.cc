@@ -172,5 +172,185 @@ TEST_F(FailoverTest, ShardKeepsServingOnThePromotedTimeline)
     EXPECT_EQ(audit.duplicates, 0u);
 }
 
+TEST_F(FailoverTest, DescribesEveryFailoverKind)
+{
+    EXPECT_STREQ(failoverKindName(FailoverKind::Crash), "crash");
+    EXPECT_STREQ(failoverKindName(FailoverKind::Partition),
+                 "partition");
+    EXPECT_STREQ(failoverKindName(FailoverKind::Switchover),
+                 "switchover");
+}
+
+// ---- planned switchover ----
+
+TEST_F(FailoverTest, SwitchoverHandsOffAtTheFullWatermarkFast)
+{
+    auto group = makeGroup(1);
+    FailoverController controller(queue_, config_);
+    const TxnDbOutcome last = commit(*group, true);
+    settle(); // replica fully caught up
+
+    ASSERT_TRUE(controller.plannedSwitchover(
+        0, *group, [](const FailoverOutcome &) {}));
+    settle();
+
+    ASSERT_EQ(controller.failoverCount(), 1u);
+    const FailoverOutcome &out = controller.history()[0];
+    EXPECT_EQ(out.kind, FailoverKind::Switchover);
+    // Handoff at the applied watermark: nothing is discarded.
+    EXPECT_EQ(out.watermark, last.wal_issued_lsn);
+    EXPECT_EQ(out.stats.discarded_records, 0u);
+    // ~zero blackout: only the promotion bookkeeping, far below the
+    // crash path's detection delay + catch-up replay.
+    EXPECT_LT(out.promoted_at - out.blackout_begin, secs(1.0));
+    EXPECT_FALSE(group->down());
+    EXPECT_FALSE(group->draining());
+    EXPECT_EQ(controller.switchoverAborts(), 0u);
+
+    const AuditReport audit = group->auditNow();
+    EXPECT_EQ(audit.lost_durable, 0u);
+    EXPECT_EQ(audit.resurrected, 0u);
+}
+
+TEST_F(FailoverTest, SwitchoverDrainsInflightTxnsFirst)
+{
+    auto group = makeGroup(1);
+    FailoverController controller(queue_, config_);
+    commit(*group, true);
+    settle();
+
+    group->inflightBegin();
+    ASSERT_TRUE(controller.plannedSwitchover(
+        0, *group, [](const FailoverOutcome &) {}));
+    EXPECT_TRUE(group->draining()); // new attempts now fail fast
+    queue_.runUntil(queue_.now() + secs(1.0));
+    EXPECT_EQ(controller.failoverCount(), 0u); // still waiting
+
+    group->inflightEnd(); // the last txn settles
+    settle();
+    EXPECT_EQ(controller.failoverCount(), 1u);
+    EXPECT_FALSE(group->draining());
+}
+
+TEST_F(FailoverTest, SwitchoverAbortsWhenTheDrainWedges)
+{
+    auto group = makeGroup(1);
+    FailoverController controller(queue_, config_);
+    commit(*group, true);
+    settle();
+
+    group->inflightBegin(); // never ends: a wedged drain
+    ASSERT_TRUE(controller.plannedSwitchover(
+        0, *group, [](const FailoverOutcome &) {}));
+    queue_.runUntil(queue_.now() +
+                    secs(config_.switchover_timeout_s + 1.0));
+
+    EXPECT_EQ(controller.switchoverAborts(), 1u);
+    EXPECT_EQ(controller.failoverCount(), 0u);
+    EXPECT_FALSE(group->draining()); // shard serves again
+    EXPECT_FALSE(group->down());
+}
+
+TEST_F(FailoverTest, SwitchoverRefusedWhenUnpromotable)
+{
+    FailoverController controller(queue_, config_);
+    // No live replica to hand off to.
+    auto bare = makeGroup(0);
+    EXPECT_FALSE(controller.plannedSwitchover(
+        0, *bare, [](const FailoverOutcome &) {}));
+    // Already draining.
+    auto group = makeGroup(1);
+    group->beginDrain();
+    EXPECT_FALSE(controller.plannedSwitchover(
+        0, *group, [](const FailoverOutcome &) {}));
+    group->endDrain();
+    // Mid-blackout.
+    group->beginBlackout();
+    EXPECT_FALSE(controller.plannedSwitchover(
+        0, *group, [](const FailoverOutcome &) {}));
+}
+
+// ---- partition promotion ----
+
+TEST_F(FailoverTest, PartitionPromoteFencesAndMovesServing)
+{
+    auto group = makeGroup(2);
+    group->armLease(LeaseConfig{}, [](std::size_t) { return true; });
+    group->startLease(); // heartbeats keep the lease renewed
+    FailoverController controller(queue_, config_);
+    const TxnDbOutcome replicated = commit(*group, true);
+    settle();
+    const std::uint64_t watermark = group->maxLiveReplicaDurable();
+    ASSERT_EQ(watermark, replicated.wal_issued_lsn);
+
+    ASSERT_TRUE(controller.partitionPromote(
+        0, *group, /*candidate=*/1, watermark,
+        [](const FailoverOutcome &) {}));
+    settle();
+
+    ASSERT_EQ(controller.failoverCount(), 1u);
+    const FailoverOutcome &out = controller.history()[0];
+    EXPECT_EQ(out.kind, FailoverKind::Partition);
+    EXPECT_EQ(out.watermark, watermark);
+    EXPECT_EQ(out.promoted_member, 1u);
+    // The promotion issued token 1 and fenced every stream to it.
+    EXPECT_EQ(out.fencing_token, 1u);
+    EXPECT_EQ(group->replica(0).fenceToken(), 1u);
+    EXPECT_EQ(group->replica(1).fenceToken(), 1u);
+    // Serving moved to the candidate; the new primary holds a lease.
+    EXPECT_EQ(group->servingMember(), 1u);
+    EXPECT_TRUE(group->leaseValid());
+    EXPECT_FALSE(group->down());
+}
+
+TEST_F(FailoverTest, FencingTokensStayMonotoneAcrossPromotions)
+{
+    auto group = makeGroup(2);
+    group->armLease(LeaseConfig{}, [](std::size_t) { return true; });
+    FailoverController controller(queue_, config_);
+    commit(*group, true);
+    settle();
+
+    ASSERT_TRUE(controller.partitionPromote(
+        0, *group, 1, group->maxLiveReplicaDurable(),
+        [](const FailoverOutcome &) {}));
+    // A second promotion while the first is mid-flight is refused.
+    EXPECT_FALSE(controller.partitionPromote(
+        0, *group, 0, 0, [](const FailoverOutcome &) {}));
+    settle();
+
+    ASSERT_TRUE(controller.partitionPromote(
+        0, *group, 0, group->maxLiveReplicaDurable(),
+        [](const FailoverOutcome &) {}));
+    settle();
+
+    ASSERT_EQ(controller.history().size(), 2u);
+    EXPECT_EQ(controller.history()[0].fencing_token, 1u);
+    EXPECT_EQ(controller.history()[1].fencing_token, 2u);
+    EXPECT_EQ(group->servingMember(), 0u);
+}
+
+TEST_F(FailoverTest, StalePrimaryWindowsBounceOffTheFence)
+{
+    auto group = makeGroup(1);
+    group->armLease(LeaseConfig{}, [](std::size_t) { return true; });
+    FailoverController controller(queue_, config_);
+    const TxnDbOutcome replicated = commit(*group, true);
+    settle();
+
+    ASSERT_TRUE(controller.partitionPromote(
+        0, *group, 0, group->maxLiveReplicaDurable(),
+        [](const FailoverOutcome &) {}));
+    settle();
+
+    // The deposed primary's post-partition write arrives on heal,
+    // still stamped with its pre-promotion token (0 < fence 1).
+    group->replica(0).ship(replicated.wal_issued_lsn + 100, 2048, 0);
+    settle();
+    EXPECT_EQ(group->fencedWindows(), 1u);
+    EXPECT_LE(group->replica(0).durableLsn(),
+              replicated.wal_issued_lsn);
+}
+
 } // namespace
 } // namespace jasim::repl

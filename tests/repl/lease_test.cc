@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "repl/lease.h"
+
+namespace jasim {
+namespace {
+
+TEST(LeaseTest, QuorumMathPerGroupSize)
+{
+    // R replicas → R+1 members; majority = floor(members/2)+1;
+    // quorumAcks = majority minus the primary's own vote.
+    const struct
+    {
+        std::size_t replicas, members, majority, quorum_acks;
+    } cases[] = {
+        {0, 1, 1, 0}, {1, 2, 2, 1}, {2, 3, 2, 1},
+        {3, 4, 3, 2}, {4, 5, 3, 2},
+    };
+    for (const auto &c : cases) {
+        Lease lease(c.replicas);
+        EXPECT_EQ(lease.members(), c.members) << c.replicas;
+        EXPECT_EQ(lease.majority(), c.majority) << c.replicas;
+        EXPECT_EQ(lease.quorumAcks(), c.quorum_acks) << c.replicas;
+    }
+}
+
+TEST(LeaseTest, GrantExtendsMonotonically)
+{
+    Lease lease(2);
+    EXPECT_FALSE(lease.valid(0));
+    lease.grant(secs(2.0));
+    EXPECT_TRUE(lease.valid(secs(1.0)));
+    EXPECT_EQ(lease.expiry(), secs(2.0));
+    EXPECT_EQ(lease.renewals(), 1u);
+
+    // A late ack for an older round can never shorten the lease.
+    lease.grant(secs(1.0));
+    EXPECT_EQ(lease.expiry(), secs(2.0));
+    EXPECT_EQ(lease.renewals(), 1u);
+
+    lease.grant(secs(3.5));
+    EXPECT_EQ(lease.expiry(), secs(3.5));
+    EXPECT_EQ(lease.renewals(), 2u);
+}
+
+TEST(LeaseTest, ValidityIsHalfOpenAtExpiry)
+{
+    Lease lease(1);
+    lease.grant(secs(2.0));
+    EXPECT_TRUE(lease.valid(secs(2.0) - 1));
+    EXPECT_FALSE(lease.valid(secs(2.0)));
+    EXPECT_FALSE(lease.valid(secs(9.0)));
+}
+
+TEST(LeaseTest, CountsLapses)
+{
+    Lease lease(1);
+    EXPECT_EQ(lease.lapses(), 0u);
+    lease.noteLapse();
+    lease.noteLapse();
+    EXPECT_EQ(lease.lapses(), 2u);
+}
+
+TEST(LeaseTest, FencingTokensStrictlyIncrease)
+{
+    Lease lease(2);
+    EXPECT_EQ(lease.fencingToken(), 0u);
+    const std::uint64_t first = lease.issueToken();
+    const std::uint64_t second = lease.issueToken();
+    EXPECT_EQ(first, 1u);
+    EXPECT_GT(second, first);
+    EXPECT_EQ(lease.fencingToken(), second);
+}
+
+} // namespace
+} // namespace jasim

@@ -118,6 +118,96 @@ TEST_F(LogShipTest, DurableHookFiresOnEveryAdvance)
     EXPECT_EQ(advances[1], 20u);
 }
 
+// ---- fencing ----
+
+TEST_F(LogShipTest, UnfencedStreamsNeverRefuseWindows)
+{
+    // Token 0 on both sides: legacy streams ship as before.
+    stream_.ship(100, 4096, 0);
+    queue_.runUntil(secs(10.0));
+    EXPECT_EQ(stream_.durableLsn(), 100u);
+    EXPECT_EQ(stream_.fencedWindows(), 0u);
+}
+
+TEST_F(LogShipTest, StaleTokenIsRefusedBeforeDiskIo)
+{
+    stream_.setFenceToken(3);
+    const std::uint64_t writes_before = stream_.disk().requestCount();
+    stream_.ship(100, 4096, 2); // deposed primary's token
+    queue_.runUntil(secs(10.0));
+    EXPECT_EQ(stream_.durableLsn(), 0u);
+    EXPECT_EQ(stream_.fencedWindows(), 1u);
+    // Refused at arrival: the replica paid no WAL-device write.
+    EXPECT_EQ(stream_.disk().requestCount(), writes_before);
+
+    // The current holder's windows still land.
+    stream_.ship(100, 4096, 3);
+    queue_.runUntil(secs(20.0));
+    EXPECT_EQ(stream_.durableLsn(), 100u);
+}
+
+TEST_F(LogShipTest, NewerTokenRaisesTheFence)
+{
+    stream_.ship(100, 1024, 5);
+    queue_.runUntil(secs(10.0));
+    EXPECT_EQ(stream_.fenceToken(), 5u);
+    // An older shipper is now fenced out even without setFenceToken.
+    stream_.ship(200, 1024, 4);
+    queue_.runUntil(secs(20.0));
+    EXPECT_EQ(stream_.durableLsn(), 100u);
+    EXPECT_EQ(stream_.fencedWindows(), 1u);
+}
+
+TEST_F(LogShipTest, FenceNeverLowers)
+{
+    stream_.setFenceToken(7);
+    stream_.setFenceToken(4);
+    EXPECT_EQ(stream_.fenceToken(), 7u);
+}
+
+// ---- resilver races ----
+
+TEST_F(LogShipTest, CrashDuringResyncDropsTheClampRace)
+{
+    // A promotion resync and a replica crash can interleave: the
+    // resync's clamp must not resurrect state on the dead replica,
+    // and windows in flight across both events must die with their
+    // generation.
+    EXPECT_EQ(shipAndSettle(100, 4096), 100u);
+    stream_.ship(200, 4096); // in flight from the old primary
+    stream_.resyncTo(60);    // promotion clamps the timeline...
+    stream_.crash();         // ...then the replica dies mid-resilver
+    queue_.runUntil(queue_.now() + secs(10.0));
+    EXPECT_EQ(stream_.durableLsn(), 60u); // clamp held, no advance
+    EXPECT_FALSE(stream_.alive());
+
+    // Restart resilvers from scratch on the promoted timeline.
+    stream_.restart();
+    EXPECT_EQ(stream_.durableLsn(), 0u);
+    EXPECT_EQ(shipAndSettle(300, 4096), 300u);
+    EXPECT_EQ(stream_.unappliedBytes(), 0u);
+}
+
+TEST_F(LogShipTest, ResyncDuringCatchUpDropsInFlightWindows)
+{
+    // The inverse interleaving: the replica crashed, restarted, and a
+    // catch-up window is mid-flight when a promotion resync lands
+    // (the primary's WAL was truncated under the lagging reader).
+    EXPECT_EQ(shipAndSettle(100, 4096), 100u);
+    stream_.crash();
+    stream_.restart();
+    stream_.ship(400, 16384); // catch-up resync window, in flight
+    stream_.resyncTo(250);    // promoted timeline is shorter
+    queue_.runUntil(queue_.now() + secs(10.0));
+    // The stale catch-up window died with its generation: durable
+    // stays at the clamp (0 post-restart, already <= 250), and only
+    // the promoted primary's next window advances it.
+    EXPECT_EQ(stream_.durableLsn(), 0u);
+    EXPECT_EQ(stream_.unappliedBytes(), 0u);
+    EXPECT_EQ(shipAndSettle(260, 2048), 260u);
+    EXPECT_LE(stream_.appliedLsn(), 260u);
+}
+
 TEST_F(LogShipTest, DeterministicForFixedSeed)
 {
     EventQueue q1, q2;

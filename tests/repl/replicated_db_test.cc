@@ -139,5 +139,134 @@ TEST_F(ShardGroupTest, ResyncClampsEveryLiveStream)
     EXPECT_LE(group.replica(1).durableLsn(), watermark);
 }
 
+// ---- lease / quorum acks ----
+
+TEST_F(ShardGroupTest, UnleasedGroupAcksOnAnySingleReplica)
+{
+    ShardGroup group(queue_, smallConfig(3, /*sync=*/true), 42);
+    group.replica(1).crash();
+    group.replica(2).crash();
+    const TxnDbOutcome outcome = commitAndShip(group);
+    bool acked = false;
+    group.whenAckDurable(outcome.wal_issued_lsn,
+                         [&] { acked = true; });
+    settle();
+    EXPECT_TRUE(acked); // one surviving replica suffices
+}
+
+TEST_F(ShardGroupTest, LeasedSyncAcksNeedADurabilityQuorum)
+{
+    // R=3: members 4, majority 3, so a sync ack needs 2 replicas
+    // durable — any promoted majority then intersects the ack set.
+    ShardGroup group(queue_, smallConfig(3, /*sync=*/true), 42);
+    group.armLease(LeaseConfig{}, [](std::size_t) { return true; });
+    EXPECT_TRUE(group.leaseArmed());
+    EXPECT_EQ(group.lease().quorumAcks(), 2u);
+
+    group.replica(1).crash();
+    group.replica(2).crash();
+    const TxnDbOutcome outcome = commitAndShip(group);
+    bool acked = false;
+    group.whenAckDurable(outcome.wal_issued_lsn,
+                         [&] { acked = true; });
+    settle();
+    EXPECT_FALSE(acked); // one durable replica is not a quorum
+    EXPECT_EQ(group.ackWaits(), 1u);
+
+    // A second replica resilvers and receives the window: quorum.
+    group.replica(1).restart();
+    group.shipForced(outcome.wal_issued_lsn,
+                     outcome.cost.log_bytes_forced);
+    settle();
+    EXPECT_TRUE(acked);
+}
+
+TEST_F(ShardGroupTest, HeartbeatsRenewTheLeaseWhileReachable)
+{
+    ShardGroup group(queue_, smallConfig(1), 42);
+    auto reachable = std::make_shared<bool>(true);
+    LeaseConfig lease;
+    lease.lease_s = 2.0;
+    lease.renew_s = 0.5;
+    group.armLease(lease,
+                   [reachable](std::size_t) { return *reachable; });
+    group.startLease();
+    EXPECT_TRUE(group.leaseValid());
+
+    queue_.runUntil(secs(10.0));
+    // Well past the initial grant: only renewals keep it alive.
+    EXPECT_TRUE(group.leaseValid());
+    EXPECT_GT(group.lease().renewals(), 2u);
+    EXPECT_GT(group.heartbeatsSent(), 0u);
+    EXPECT_EQ(group.lease().lapses(), 0u);
+}
+
+TEST_F(ShardGroupTest, LeaseLapsesWhenReplicasBecomeUnreachable)
+{
+    ShardGroup group(queue_, smallConfig(1), 42);
+    auto reachable = std::make_shared<bool>(true);
+    LeaseConfig lease;
+    lease.lease_s = 2.0;
+    lease.renew_s = 0.5;
+    group.armLease(lease,
+                   [reachable](std::size_t) { return *reachable; });
+    group.startLease();
+    queue_.runUntil(secs(5.0));
+    ASSERT_TRUE(group.leaseValid());
+
+    *reachable = false; // the partition opens
+    queue_.runUntil(secs(10.0));
+    EXPECT_FALSE(group.leaseValid()); // no majority, no renewal
+    EXPECT_GE(group.lease().lapses(), 1u);
+    EXPECT_GT(group.heartbeatsBlocked(), 0u);
+
+    *reachable = true; // heal: heartbeats resume, the lease returns
+    queue_.runUntil(secs(15.0));
+    EXPECT_TRUE(group.leaseValid());
+}
+
+TEST_F(ShardGroupTest, UnleasedGroupIsAlwaysLeaseValid)
+{
+    ShardGroup group(queue_, smallConfig(1), 42);
+    EXPECT_FALSE(group.leaseArmed());
+    EXPECT_TRUE(group.leaseValid());
+    queue_.runUntil(secs(60.0));
+    EXPECT_TRUE(group.leaseValid());
+    EXPECT_EQ(group.heartbeatsSent(), 0u); // no heartbeat traffic
+}
+
+// ---- drain ----
+
+TEST_F(ShardGroupTest, DrainWaitsForEveryInflightTxn)
+{
+    ShardGroup group(queue_, smallConfig(1), 42);
+    group.inflightBegin();
+    group.inflightBegin();
+    EXPECT_EQ(group.inflight(), 2u);
+
+    bool drained = false;
+    group.whenDrained([&] { drained = true; });
+    EXPECT_FALSE(drained);
+    group.inflightEnd();
+    EXPECT_FALSE(drained); // one still in flight
+    group.inflightEnd();
+    EXPECT_TRUE(drained);
+    EXPECT_EQ(group.inflight(), 0u);
+
+    // An idle shard drains immediately.
+    bool again = false;
+    group.whenDrained([&] { again = true; });
+    EXPECT_TRUE(again);
+}
+
+TEST_F(ShardGroupTest, FenceReplicasRaisesEveryStream)
+{
+    ShardGroup group(queue_, smallConfig(2), 42);
+    group.fenceReplicas(7);
+    EXPECT_EQ(group.replica(0).fenceToken(), 7u);
+    EXPECT_EQ(group.replica(1).fenceToken(), 7u);
+    EXPECT_EQ(group.fencedWindows(), 0u);
+}
+
 } // namespace
 } // namespace jasim::repl
